@@ -1,0 +1,56 @@
+// §3.2 ablation: the MAC is applied to the whole target batch rather than
+// per target. Per-target acceptance is optimal per particle (less direct
+// work) but diverges on a GPU; batch-level acceptance is slightly more
+// conservative (more accurate, a bit more work) and divergence-free.
+// This bench quantifies both sides of that trade.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/solver.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+using namespace bltc;
+
+int main() {
+  bench::banner(
+      "§3.2 ablation — batch-level vs per-target MAC",
+      "BLTC_BATCHMAC_N (default 20000)");
+
+  const std::size_t n = env_size("BLTC_BATCHMAC_N", 20000);
+  const Cloud cloud = uniform_cube(n, 31415);
+  const KernelSpec kernel = KernelSpec::coulomb();
+
+  bench::Table table({"mac", "theta", "error", "direct_evals/target",
+                      "approx_evals/target", "host_compute[s]"});
+
+  for (const double theta : {0.6, 0.8}) {
+    for (const bool per_target : {false, true}) {
+      TreecodeParams params;
+      params.theta = theta;
+      params.degree = 6;
+      params.max_leaf = 1000;
+      params.max_batch = 1000;
+      params.per_target_mac = per_target;
+
+      RunStats stats;
+      const auto phi =
+          compute_potential(cloud, kernel, params, Backend::kCpu, &stats);
+      const double err = bench::sampled_error(cloud, phi, kernel, 500);
+
+      table.add_row(
+          {per_target ? "per-target" : "batch", bench::Table::num(theta, 1),
+           bench::Table::sci(err),
+           bench::Table::num(stats.direct_evals / static_cast<double>(n), 0),
+           bench::Table::num(stats.approx_evals / static_cast<double>(n), 0),
+           bench::Table::num(stats.compute_seconds, 3)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nShape check vs paper: per-target MAC does less direct work per "
+      "target (it is per-particle\noptimal) at slightly larger error; "
+      "batch-level MAC trades that work for uniform control flow,\nwhich is "
+      "what makes the GPU kernels divergence-free (§3.2).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// §5 future-work ablation: particle-cluster (the paper's BLTC) vs
+// cluster-particle vs cluster-cluster barycentric treecodes, on uniform and
+// Plummer distributions. Reports error, kernel evaluations, interaction
+// mix, and host time — the work comparison behind references [30]-[32].
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/variants.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+using namespace bltc;
+
+namespace {
+
+const char* variant_name(TreecodeVariant v) {
+  switch (v) {
+    case TreecodeVariant::kParticleCluster:
+      return "particle-cluster";
+    case TreecodeVariant::kClusterParticle:
+      return "cluster-particle";
+    default:
+      return "cluster-cluster";
+  }
+}
+
+void run_panel(const char* label, const Cloud& cloud) {
+  std::printf("\n--- %s, N = %zu ---\n", label, cloud.size());
+  bench::Table table({"variant", "error", "kernel_evals", "pc", "cp", "cc",
+                      "direct", "host[s]"});
+  for (const TreecodeVariant v :
+       {TreecodeVariant::kParticleCluster, TreecodeVariant::kClusterParticle,
+        TreecodeVariant::kClusterCluster}) {
+    TreecodeParams params;
+    params.theta = 0.7;
+    params.degree = 6;
+    params.max_leaf = 500;
+    params.max_batch = 500;
+
+    VariantStats stats;
+    WallTimer timer;
+    const auto phi = compute_potential_variant(cloud, cloud,
+                                               KernelSpec::coulomb(), params,
+                                               v, &stats);
+    const double host_seconds = timer.seconds();
+    const double err =
+        bench::sampled_error(cloud, phi, KernelSpec::coulomb(), 500);
+
+    table.add_row({variant_name(v), bench::Table::sci(err),
+                   bench::Table::sci(stats.kernel_evals),
+                   std::to_string(stats.pc_interactions),
+                   std::to_string(stats.cp_interactions),
+                   std::to_string(stats.cc_interactions),
+                   std::to_string(stats.direct_interactions),
+                   bench::Table::num(host_seconds, 2)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "§5 ablation — treecode variants (PC vs CP vs CC)",
+      "BLTC_VARIANTS_N (default 30000)");
+  const std::size_t n = env_size("BLTC_VARIANTS_N", 30000);
+  run_panel("uniform cube", uniform_cube(n, 123));
+  run_panel("Plummer sphere", plummer_sphere(n, 456));
+  std::printf(
+      "\nExpected shape: cluster-cluster needs the fewest kernel evaluations "
+      "(grid-grid\ninteractions compress both sides); all variants deliver "
+      "comparable accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "core/direct_sum.hpp"
+#include "util/stats.hpp"
+
+namespace bltc::bench {
+
+double sampled_error(const Cloud& cloud, const std::vector<double>& phi,
+                     const KernelSpec& kernel, std::size_t nsamples) {
+  return sampled_error2(cloud, cloud, phi, kernel, nsamples);
+}
+
+double sampled_error2(const Cloud& targets, const Cloud& sources,
+                      const std::vector<double>& phi, const KernelSpec& kernel,
+                      std::size_t nsamples) {
+  const auto sample = sample_indices(targets.size(), nsamples);
+  const auto ref = direct_sum_sampled(targets, sample, sources, kernel);
+  std::vector<double> approx(sample.size());
+  for (std::size_t s = 0; s < sample.size(); ++s) approx[s] = phi[sample[s]];
+  return relative_l2_error(ref, approx);
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::sci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2e", v);
+  return buf;
+}
+
+void Table::print() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  for (std::size_t i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+void banner(const std::string& title, const std::string& knobs) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!knobs.empty()) std::printf("env knobs: %s\n", knobs.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bltc::bench

@@ -1,0 +1,49 @@
+// Shared infrastructure for the figure-reproduction benches: aligned table
+// printing (the "rows/series" the paper's figures plot), sampled error
+// evaluation against direct summation, and env-var scaling knobs so the same
+// binaries run as quick smoke tests or long paper-scale sweeps.
+//
+// Scaling knobs (see DESIGN.md §1): problem sizes default to ~1/50 of the
+// paper's (this machine has one CPU core and no GPU); modeled times project
+// onto the paper's hardware from real operation/byte counts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "util/workloads.hpp"
+
+namespace bltc::bench {
+
+/// Relative 2-norm error of `phi` against sampled direct summation
+/// (the paper samples the reference for large systems, Eq. 16).
+double sampled_error(const Cloud& cloud, const std::vector<double>& phi,
+                     const KernelSpec& kernel, std::size_t nsamples = 1000);
+
+/// Same, with distinct target/source clouds.
+double sampled_error2(const Cloud& targets, const Cloud& sources,
+                      const std::vector<double>& phi, const KernelSpec& kernel,
+                      std::size_t nsamples = 1000);
+
+/// Minimal aligned-column table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print() const;
+
+  static std::string num(double v, int precision = 3);
+  static std::string sci(double v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print the standard bench banner: what paper artifact this reproduces and
+/// which env knobs rescale it.
+void banner(const std::string& title, const std::string& knobs);
+
+}  // namespace bltc::bench

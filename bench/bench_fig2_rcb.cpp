@@ -1,0 +1,59 @@
+// Figure 2 reproduction: recursive coordinate bisection of the unit square
+// into (a) 4 and (b) 6 partitions, y bisected first. The paper's claim: the
+// area owned by each process is 1/4 (a) and 1/6 (b).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "partition/rcb.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+#include "util/workloads.hpp"
+
+using namespace bltc;
+
+namespace {
+
+void run_panel(const char* label, std::size_t nparts, std::size_t npoints) {
+  Cloud c = uniform_cube(npoints, 2020, 0.0, 1.0);
+  for (double& z : c.z) z = 0.0;  // 2D point set on the unit square
+  Box3 domain;
+  domain.lo = {0.0, 0.0, 0.0};
+  domain.hi = {1.0, 1.0, 0.0};
+
+  WallTimer timer;
+  const RcbResult r = rcb_partition(c.x, c.y, c.z, nparts, domain,
+                                    RcbAxisPolicy::kCycleYXZ);
+  const double seconds = timer.seconds();
+
+  std::printf("\nFig. 2%s: unit square, %zu partitions (%zu points, %.3f s)\n",
+              label, nparts, npoints, seconds);
+  bench::Table table({"part", "count", "x-range", "y-range", "area",
+                      "paper(1/p)"});
+  for (std::size_t p = 0; p < nparts; ++p) {
+    const Box3& b = r.part_box[p];
+    const double area = (b.hi[0] - b.lo[0]) * (b.hi[1] - b.lo[1]);
+    char xr[64], yr[64];
+    std::snprintf(xr, sizeof(xr), "[%.3f, %.3f]", b.lo[0], b.hi[0]);
+    std::snprintf(yr, sizeof(yr), "[%.3f, %.3f]", b.lo[1], b.hi[1]);
+    table.add_row({std::to_string(p), std::to_string(r.part_count[p]), xr, yr,
+                   bench::Table::num(area, 4),
+                   bench::Table::num(1.0 / static_cast<double>(nparts), 4)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Fig. 2 — RCB domain decomposition of the unit square (4 and 6 parts)",
+      "BLTC_FIG2_N (default 100000)");
+  const std::size_t n = env_size("BLTC_FIG2_N", 100000);
+  run_panel("a", 4, n);
+  run_panel("b", 6, n);
+  std::printf(
+      "\nExpected (paper): every part's area is 1/4 (panel a) and 1/6 "
+      "(panel b);\nthe first bisection is in y at 0.5, later cuts depend on "
+      "the rank split.\n");
+  return 0;
+}

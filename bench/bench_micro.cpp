@@ -1,0 +1,161 @@
+// google-benchmark micro suite: the hot building blocks of the BLTC —
+// kernel evaluations, barycentric basis, per-cluster modified charges (both
+// algebraic forms), tree construction, traversal, and RCB.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/barycentric.hpp"
+#include "core/batches.hpp"
+#include "core/chebyshev.hpp"
+#include "core/direct_sum.hpp"
+#include "core/interaction_lists.hpp"
+#include "core/kernels.hpp"
+#include "core/moments.hpp"
+#include "core/tree.hpp"
+#include "partition/rcb.hpp"
+#include "util/workloads.hpp"
+
+namespace bltc {
+namespace {
+
+void BM_KernelEval(benchmark::State& state) {
+  const KernelSpec spec = (state.range(0) == 0) ? KernelSpec::coulomb()
+                                                : KernelSpec::yukawa(0.5);
+  double r2 = 1.0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    with_kernel(spec, [&](auto k) {
+      for (int i = 0; i < 1000; ++i) {
+        acc += k(r2);
+        r2 += 1e-9;
+      }
+    });
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_KernelEval)->Arg(0)->Arg(1);
+
+void BM_BarycentricBasis(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  const auto pts = chebyshev2_points(degree);
+  const auto wts = chebyshev2_weights(degree);
+  std::vector<double> out(pts.size());
+  double t = 0.1234;
+  for (auto _ : state) {
+    barycentric_basis(pts, wts, t, out);
+    benchmark::DoNotOptimize(out.data());
+    t += 1e-9;
+  }
+}
+BENCHMARK(BM_BarycentricBasis)->Arg(4)->Arg(8)->Arg(13);
+
+void BM_ChebyshevPoints(benchmark::State& state) {
+  std::vector<double> out(9);
+  for (auto _ : state) {
+    chebyshev2_points_into(8, -1.0, 1.0, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_ChebyshevPoints);
+
+struct MomentFixture {
+  OrderedParticles sources;
+  ClusterTree tree;
+  MomentFixture() {
+    const Cloud c = uniform_cube(2000, 1);
+    sources = OrderedParticles::from_cloud(c);
+    TreeParams tp;
+    tp.max_leaf = 2000;
+    tree = ClusterTree::build(sources, tp);
+  }
+};
+
+void BM_MomentsDirect(benchmark::State& state) {
+  static const MomentFixture f;
+  const int degree = static_cast<int>(state.range(0));
+  const ClusterMoments grids = ClusterMoments::grids_only(f.tree, degree);
+  std::vector<double> out(grids.points_per_cluster());
+  for (auto _ : state) {
+    ClusterMoments::compute_cluster_direct(f.tree, f.sources, degree, 0,
+                                           grids.grid(0, 0), grids.grid(0, 1),
+                                           grids.grid(0, 2), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_MomentsDirect)->Arg(4)->Arg(8);
+
+void BM_MomentsFactorized(benchmark::State& state) {
+  static const MomentFixture f;
+  const int degree = static_cast<int>(state.range(0));
+  const ClusterMoments grids = ClusterMoments::grids_only(f.tree, degree);
+  std::vector<double> out(grids.points_per_cluster());
+  for (auto _ : state) {
+    ClusterMoments::compute_cluster_factorized(
+        f.tree, f.sources, degree, 0, grids.grid(0, 0), grids.grid(0, 1),
+        grids.grid(0, 2), out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_MomentsFactorized)->Arg(4)->Arg(8);
+
+void BM_TreeBuild(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Cloud c = uniform_cube(n, 2);
+  for (auto _ : state) {
+    OrderedParticles p = OrderedParticles::from_cloud(c);
+    TreeParams tp;
+    tp.max_leaf = 500;
+    const ClusterTree tree = ClusterTree::build(p, tp);
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+}
+BENCHMARK(BM_TreeBuild)->Arg(10000)->Arg(50000);
+
+void BM_Traversal(benchmark::State& state) {
+  const Cloud c = uniform_cube(30000, 3);
+  OrderedParticles src = OrderedParticles::from_cloud(c);
+  TreeParams tp;
+  tp.max_leaf = 500;
+  const ClusterTree tree = ClusterTree::build(src, tp);
+  OrderedParticles tgt = OrderedParticles::from_cloud(c);
+  const auto batches = build_target_batches(tgt, 500);
+  for (auto _ : state) {
+    const InteractionLists lists =
+        build_interaction_lists(batches, tree, 0.8, 8);
+    benchmark::DoNotOptimize(lists.total_approx);
+  }
+}
+BENCHMARK(BM_Traversal);
+
+void BM_Rcb(benchmark::State& state) {
+  const std::size_t nparts = static_cast<std::size_t>(state.range(0));
+  const Cloud c = uniform_cube(50000, 4);
+  const Box3 domain = Box3::cube(-1.0, 1.0);
+  for (auto _ : state) {
+    const RcbResult r = rcb_partition(c.x, c.y, c.z, nparts, domain);
+    benchmark::DoNotOptimize(r.assignment.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_Rcb)->Arg(4)->Arg(32);
+
+void BM_DirectSum(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Cloud c = uniform_cube(n, 5);
+  for (auto _ : state) {
+    const auto phi = direct_sum(c, c, KernelSpec::coulomb());
+    benchmark::DoNotOptimize(phi.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n * n));
+}
+BENCHMARK(BM_DirectSum)->Arg(1000)->Arg(4000);
+
+}  // namespace
+}  // namespace bltc
+
+BENCHMARK_MAIN();

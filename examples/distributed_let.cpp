@@ -1,0 +1,64 @@
+// Distributed-memory walkthrough (§3 of the paper): RCB domain
+// decomposition, one simulated GPU per rank, locally essential trees built
+// with one-sided RMA gets, and a bulk-synchronous potential evaluation.
+// Prints the per-rank accounting so the LET property is visible: each rank
+// fetches far less remote data than "everything".
+#include <cstdio>
+
+#include "core/direct_sum.hpp"
+#include "dist/dist_solver.hpp"
+#include "util/stats.hpp"
+#include "util/workloads.hpp"
+
+int main() {
+  using namespace bltc;
+
+  const std::size_t n = 64000;
+  const int nranks = 4;
+  const Cloud particles = uniform_cube(n, 11);
+
+  dist::DistParams params;
+  params.treecode.theta = 0.8;
+  params.treecode.degree = 8;
+  params.treecode.max_leaf = 1000;
+  params.treecode.max_batch = 1000;
+  params.backend = Backend::kGpuSim;
+  params.device = gpusim::DeviceSpec::p100();
+
+  const dist::DistResult res = dist::compute_potential_distributed(
+      particles, KernelSpec::yukawa(0.5), params, nranks);
+
+  std::printf("Distributed BLTC: %zu particles on %d ranks (P100 per rank, "
+              "modeled)\n\n",
+              n, nranks);
+  std::printf("%-5s %-10s %-9s %-12s %-12s %-10s %-10s\n", "rank", "particles",
+              "clusters", "LET clusters", "LET particles", "RMA gets",
+              "RMA KiB");
+  for (int r = 0; r < nranks; ++r) {
+    const dist::RankStats& st = res.per_rank[static_cast<std::size_t>(r)];
+    std::printf("%-5d %-10zu %-9zu %-12zu %-12zu %-10zu %-10.1f\n", r,
+                st.local_particles, st.local_clusters, st.let_remote_clusters,
+                st.let_remote_particles, st.rma_gets,
+                static_cast<double>(st.rma_bytes) / 1024.0);
+  }
+
+  std::printf("\nmodeled bulk-synchronous phases (max over ranks):\n");
+  std::printf("  setup (tree+LET+transfers): %.4f s\n", res.modeled.setup);
+  std::printf("  precompute (modified charges): %.4f s\n",
+              res.modeled.precompute);
+  std::printf("  compute (potential kernels): %.4f s\n", res.modeled.compute);
+
+  const auto sample = sample_indices(n, 400);
+  const auto ref = direct_sum_sampled(particles, sample, particles,
+                                      KernelSpec::yukawa(0.5));
+  std::vector<double> phi_sampled(sample.size());
+  for (std::size_t s = 0; s < sample.size(); ++s) {
+    phi_sampled[s] = res.potential[sample[s]];
+  }
+  std::printf("\nrelative 2-norm error vs direct sum: %.3e\n",
+              relative_l2_error(ref, phi_sampled));
+  std::printf("note: every rank pulled only its locally essential subset of "
+              "remote data,\nnot the full remote trees (LET property, "
+              "§3.1).\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Kernel independence demo (§2: "in general it can be any non-oscillatory
+// kernel that is smooth for x != y"): the same treecode, same tree, same
+// parameters — five different kernels, each checked against direct
+// summation. Adding a kernel to the library is one functor + one enum.
+#include <cstdio>
+
+#include "core/direct_sum.hpp"
+#include "core/solver.hpp"
+#include "util/stats.hpp"
+#include "util/workloads.hpp"
+
+int main() {
+  using namespace bltc;
+
+  const std::size_t n = 30000;
+  const Cloud particles = uniform_cube(n, 99);
+
+  TreecodeParams params;
+  params.theta = 0.7;
+  params.degree = 8;
+  params.max_leaf = 1000;
+  params.max_batch = 1000;
+
+  const KernelSpec kernels[] = {
+      KernelSpec::coulomb(),          KernelSpec::yukawa(0.5),
+      KernelSpec::gaussian(0.8),      KernelSpec::multiquadric(0.2),
+      KernelSpec::inverse_square(),
+  };
+
+  std::printf("Kernel gallery: %zu particles, theta=%.1f, n=%d\n\n", n,
+              params.theta, params.degree);
+  std::printf("%-28s %-12s %-14s\n", "kernel", "error", "compute[s]");
+
+  for (const KernelSpec& kernel : kernels) {
+    RunStats stats;
+    const std::vector<double> phi =
+        compute_potential(particles, kernel, params, Backend::kCpu, &stats);
+
+    const auto sample = sample_indices(n, 300);
+    const auto ref = direct_sum_sampled(particles, sample, particles, kernel);
+    std::vector<double> phi_sampled(sample.size());
+    for (std::size_t s = 0; s < sample.size(); ++s) {
+      phi_sampled[s] = phi[sample[s]];
+    }
+    std::printf("%-28s %-12.3e %-14.3f\n", kernel.name().c_str(),
+                relative_l2_error(ref, phi_sampled), stats.compute_seconds);
+  }
+
+  std::printf("\nAll kernels run through the identical treecode machinery — "
+              "only kernel\nevaluations differ (kernel independence, §2).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// N-body dynamics on top of the treecode *field* extension: a Plummer star
+// cluster integrated with kick-drift-kick leapfrog, accelerations computed
+// by the BLTC (potential + analytic gradient of the barycentric
+// approximation). Energy conservation over the integration is the standard
+// correctness check for a treecode force evaluation.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/fields.hpp"
+#include "util/rng.hpp"
+#include "util/workloads.hpp"
+
+int main() {
+  using namespace bltc;
+
+  const std::size_t n = 8000;
+  Cloud stars = plummer_sphere(n, 77, 1.0);  // q[i] = mass 1/N, G = 1
+
+  // Virial-equilibrium-ish isotropic velocities (sigma^2 ~ |W|/(3M)).
+  std::vector<double> vx(n), vy(n), vz(n);
+  {
+    SplitMix64 rng(78);
+    const double sigma = 0.35;
+    for (std::size_t i = 0; i < n; ++i) {
+      vx[i] = sigma * (rng.next_double() + rng.next_double() +
+                       rng.next_double() - 1.5);
+      vy[i] = sigma * (rng.next_double() + rng.next_double() +
+                       rng.next_double() - 1.5);
+      vz[i] = sigma * (rng.next_double() + rng.next_double() +
+                       rng.next_double() - 1.5);
+    }
+  }
+
+  TreecodeParams params;
+  params.theta = 0.6;
+  params.degree = 6;
+  params.max_leaf = 500;
+  params.max_batch = 500;
+
+  const auto energy = [&](const FieldResult& f) {
+    double kinetic = 0.0, potential = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      kinetic += 0.5 * stars.q[i] *
+                 (vx[i] * vx[i] + vy[i] * vy[i] + vz[i] * vz[i]);
+      // Gravitational PE = -(1/2) sum_i m_i phi_i with phi = sum m_j/r.
+      potential -= 0.5 * stars.q[i] * f.phi[i];
+    }
+    return kinetic + potential;
+  };
+
+  // Gravitational acceleration a = -grad Phi with Phi = -sum m/r, i.e.
+  // a_i = -E_i for the Coulomb-kernel field E = -grad(sum m/r).
+  FieldResult f = compute_field(stars, stars, KernelSpec::coulomb(), params);
+  const double e0 = energy(f);
+  std::printf("Leapfrog on a Plummer cluster, N = %zu, dt = 0.01\n", n);
+  std::printf("step  energy      drift\n");
+  std::printf("%4d  %-10.6f  %s\n", 0, e0, "--");
+
+  const double dt = 0.01;
+  const int steps = 10;
+  for (int s = 1; s <= steps; ++s) {
+    // Kick (half), drift, kick (half).
+    for (std::size_t i = 0; i < n; ++i) {
+      vx[i] += 0.5 * dt * -f.ex[i];
+      vy[i] += 0.5 * dt * -f.ey[i];
+      vz[i] += 0.5 * dt * -f.ez[i];
+      stars.x[i] += dt * vx[i];
+      stars.y[i] += dt * vy[i];
+      stars.z[i] += dt * vz[i];
+    }
+    f = compute_field(stars, stars, KernelSpec::coulomb(), params);
+    for (std::size_t i = 0; i < n; ++i) {
+      vx[i] += 0.5 * dt * -f.ex[i];
+      vy[i] += 0.5 * dt * -f.ey[i];
+      vz[i] += 0.5 * dt * -f.ez[i];
+    }
+    const double e = energy(f);
+    std::printf("%4d  %-10.6f  %+.3e\n", s, e,
+                (e - e0) / std::fabs(e0));
+  }
+  std::printf(
+      "\nRelative energy drift should stay at the 1e-3..1e-4 level over "
+      "these steps\n(limited by dt and close encounters, not by the "
+      "treecode force error).\n");
+  return 0;
+}

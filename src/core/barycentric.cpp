@@ -1,0 +1,63 @@
+#include "core/barycentric.hpp"
+
+#include <cmath>
+
+namespace bltc {
+
+int barycentric_basis(std::span<const double> pts, std::span<const double> wts,
+                      double t, std::span<double> out) {
+  const std::size_t m = pts.size();
+  int hit = -1;
+  double denom = 0.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const double d = t - pts[k];
+    if (std::fabs(d) <= kSingularityTol) {
+      hit = static_cast<int>(k);
+      break;
+    }
+    const double term = wts[k] / d;
+    out[k] = term;
+    denom += term;
+  }
+  if (hit >= 0) {
+    for (std::size_t k = 0; k < m; ++k) out[k] = 0.0;
+    out[static_cast<std::size_t>(hit)] = 1.0;
+    return hit;
+  }
+  const double inv = 1.0 / denom;
+  for (std::size_t k = 0; k < m; ++k) out[k] *= inv;
+  return -1;
+}
+
+double barycentric_interpolate(std::span<const double> pts,
+                               std::span<const double> wts,
+                               std::span<const double> fvals, double t) {
+  const std::size_t m = pts.size();
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t k = 0; k < m; ++k) {
+    const double d = t - pts[k];
+    if (std::fabs(d) <= kSingularityTol) return fvals[k];
+    const double term = wts[k] / d;
+    num += term * fvals[k];
+    den += term;
+  }
+  return num / den;
+}
+
+Denominator barycentric_denominator(std::span<const double> pts,
+                                    std::span<const double> wts, double t) {
+  Denominator result;
+  const std::size_t m = pts.size();
+  for (std::size_t k = 0; k < m; ++k) {
+    const double d = t - pts[k];
+    if (std::fabs(d) <= kSingularityTol) {
+      result.hit = static_cast<int>(k);
+      return result;
+    }
+    result.value += wts[k] / d;
+  }
+  return result;
+}
+
+}  // namespace bltc

@@ -1,0 +1,48 @@
+// Barycentric Lagrange evaluation, Eq. (4)-(5), including the removable
+// singularity handling of §2.3: when an evaluation coordinate coincides with
+// an interpolation point to within the smallest positive normal double, the
+// Kronecker-delta condition L_k(s_k') = delta_{kk'} is enforced exactly.
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace bltc {
+
+/// Tolerance for detecting a coincidence between a particle coordinate and a
+/// Chebyshev point coordinate (§2.3 uses the smallest positive IEEE normal
+/// double).
+inline constexpr double kSingularityTol =
+    std::numeric_limits<double>::min();
+
+/// Evaluate all Lagrange basis polynomials L_k(t), k = 0..n, at a single
+/// point `t` in barycentric form. `pts` and `wts` are the interpolation
+/// points and barycentric weights (spans of size n+1); results are written
+/// into `out` (size n+1).
+///
+/// Returns the index of the interpolation point that `t` coincided with, or
+/// -1 if no coincidence (the generic barycentric formula was used).
+int barycentric_basis(std::span<const double> pts, std::span<const double> wts,
+                      double t, std::span<double> out);
+
+/// Interpolate f given its values at `pts`: p(t) = sum_k f_k L_k(t).
+double barycentric_interpolate(std::span<const double> pts,
+                               std::span<const double> wts,
+                               std::span<const double> fvals, double t);
+
+/// Per-particle decomposition used by the paper's two GPU preprocessing
+/// kernels (Eq. 14-15): for coordinate t,
+///   L_k(t) = (w_k / (t - s_k)) / D(t),  D(t) = sum_k' w_k' / (t - s_k').
+/// `Denominator` reports D(t) and whether t hit an interpolation point; a
+/// hit makes the factorized form invalid for that coordinate and callers
+/// fall back to the delta condition.
+struct Denominator {
+  double value = 0.0;  ///< D(t); meaningless when hit >= 0
+  int hit = -1;        ///< index of coincident point, or -1
+};
+
+Denominator barycentric_denominator(std::span<const double> pts,
+                                    std::span<const double> wts, double t);
+
+}  // namespace bltc

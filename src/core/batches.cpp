@@ -1,0 +1,26 @@
+#include "core/batches.hpp"
+
+namespace bltc {
+
+std::vector<TargetBatch> build_target_batches(OrderedParticles& targets,
+                                              std::size_t max_batch) {
+  TreeParams params;
+  params.max_leaf = max_batch;
+  const ClusterTree tree = ClusterTree::build(targets, params);
+
+  std::vector<TargetBatch> batches;
+  batches.reserve(tree.num_leaves());
+  for (const int li : tree.leaf_indices()) {
+    const ClusterNode& node = tree.node(li);
+    TargetBatch b;
+    b.begin = node.begin;
+    b.end = node.end;
+    b.box = node.box;
+    b.center = node.center;
+    b.radius = node.radius;
+    if (b.count() > 0) batches.push_back(b);
+  }
+  return batches;
+}
+
+}  // namespace bltc

@@ -1,0 +1,34 @@
+// Target batches (§2.4, §3.2): geometrically localized groups of at most
+// N_B target particles. The paper partitions targets with the same routine
+// used for the source tree, so batches are built as the leaves of a cluster
+// tree over the targets.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/particles.hpp"
+#include "core/tree.hpp"
+#include "util/box.hpp"
+
+namespace bltc {
+
+/// One target batch: contiguous range of (reordered) targets plus the
+/// geometry used by the batch-level MAC.
+struct TargetBatch {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  Box3 box;
+  std::array<double, 3> center{};
+  double radius = 0.0;  ///< half-diagonal, the MAC's r_B
+
+  std::size_t count() const { return end - begin; }
+};
+
+/// Partition targets into batches of at most `max_batch` particles; reorders
+/// `targets` in place (permutation retained inside OrderedParticles).
+std::vector<TargetBatch> build_target_batches(OrderedParticles& targets,
+                                              std::size_t max_batch);
+
+}  // namespace bltc

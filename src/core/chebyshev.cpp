@@ -1,0 +1,74 @@
+#include "core/chebyshev.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bltc {
+
+std::vector<double> chebyshev2_points(int degree) {
+  if (degree < 0) throw std::invalid_argument("chebyshev2_points: degree < 0");
+  std::vector<double> s(static_cast<std::size_t>(degree) + 1);
+  if (degree == 0) {
+    s[0] = 0.0;  // single-point rule: interval midpoint
+    return s;
+  }
+  for (int k = 0; k <= degree; ++k) {
+    s[static_cast<std::size_t>(k)] =
+        std::cos(std::numbers::pi * static_cast<double>(k) /
+                 static_cast<double>(degree));
+  }
+  return s;
+}
+
+std::vector<double> chebyshev2_points(int degree, double a, double b) {
+  std::vector<double> s(static_cast<std::size_t>(degree) + 1);
+  chebyshev2_points_into(degree, a, b, s);
+  return s;
+}
+
+void chebyshev2_points_into(int degree, double a, double b,
+                            std::span<double> out) {
+  if (degree < 0) throw std::invalid_argument("chebyshev2_points: degree < 0");
+  const double mid = 0.5 * (a + b);
+  const double half = 0.5 * (b - a);
+  if (degree == 0) {
+    out[0] = mid;
+    return;
+  }
+  for (int k = 0; k <= degree; ++k) {
+    const double t = std::cos(std::numbers::pi * static_cast<double>(k) /
+                              static_cast<double>(degree));
+    out[static_cast<std::size_t>(k)] = mid + half * t;
+  }
+}
+
+std::vector<double> chebyshev2_weights(int degree) {
+  if (degree < 0)
+    throw std::invalid_argument("chebyshev2_weights: degree < 0");
+  std::vector<double> w(static_cast<std::size_t>(degree) + 1);
+  if (degree == 0) {
+    w[0] = 1.0;
+    return w;
+  }
+  for (int k = 0; k <= degree; ++k) {
+    const double delta = (k == 0 || k == degree) ? 0.5 : 1.0;
+    w[static_cast<std::size_t>(k)] = (k % 2 == 0) ? delta : -delta;
+  }
+  return w;
+}
+
+std::vector<double> barycentric_weights_generic(std::span<const double> pts) {
+  const std::size_t n = pts.size();
+  std::vector<double> w(n, 1.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    double prod = 1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != k) prod *= pts[k] - pts[j];
+    }
+    w[k] = 1.0 / prod;
+  }
+  return w;
+}
+
+}  // namespace bltc

@@ -1,0 +1,32 @@
+// Chebyshev points of the second kind and their barycentric weights,
+// Eq. (6)-(7) of the paper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace bltc {
+
+/// s_k = cos(pi k / n), k = 0..n, on [-1, 1]. Note s_0 = 1 and s_n = -1,
+/// so the endpoints of the interval are always interpolation points.
+std::vector<double> chebyshev2_points(int degree);
+
+/// Chebyshev points mapped affinely onto [a, b]; the barycentric weights are
+/// invariant under this map (common scale factors cancel in Eq. 4).
+std::vector<double> chebyshev2_points(int degree, double a, double b);
+
+/// Write the mapped points into `out` (size degree+1); allocation-free form
+/// used when building per-cluster interpolation grids.
+void chebyshev2_points_into(int degree, double a, double b,
+                            std::span<double> out);
+
+/// Barycentric weights for Chebyshev points of the 2nd kind, Eq. (7):
+/// w_k = (-1)^k * delta_k with delta = 1/2 at the two endpoints.
+std::vector<double> chebyshev2_weights(int degree);
+
+/// Generic barycentric weights w_k = 1 / prod_{j != k} (s_k - s_j) for an
+/// arbitrary point set (used by tests to validate the closed form above,
+/// up to overall scaling).
+std::vector<double> barycentric_weights_generic(std::span<const double> pts);
+
+}  // namespace bltc

@@ -1,0 +1,46 @@
+// Host potential-evaluation engine — the paper's CPU comparator (§4): one
+// OpenMP thread takes one target batch and walks its interaction list,
+// evaluating the barycentric approximation (Eq. 11) for far clusters and the
+// direct sum (Eq. 9) for near ones.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/interaction_lists.hpp"
+#include "core/kernels.hpp"
+#include "core/moments.hpp"
+#include "core/particles.hpp"
+
+namespace bltc {
+
+/// Operation counters shared by both engines; these feed the performance
+/// model (evals are G(x,y) evaluations; the approximation counts one eval
+/// per target-Chebyshev-point pair because Eq. 11 has direct-sum form).
+struct EngineCounters {
+  double direct_evals = 0.0;
+  double approx_evals = 0.0;
+  std::size_t direct_launches = 0;
+  std::size_t approx_launches = 0;
+};
+
+/// Evaluate potentials (tree order) for batched targets.
+std::vector<double> cpu_evaluate(const OrderedParticles& targets,
+                                 const std::vector<TargetBatch>& batches,
+                                 const InteractionLists& lists,
+                                 const ClusterTree& tree,
+                                 const OrderedParticles& sources,
+                                 const ClusterMoments& moments,
+                                 const KernelSpec& kernel,
+                                 EngineCounters* counters = nullptr);
+
+/// Ablation path: `lists` has one entry per target (per-target MAC).
+std::vector<double> cpu_evaluate_per_target(const OrderedParticles& targets,
+                                            const InteractionLists& lists,
+                                            const ClusterTree& tree,
+                                            const OrderedParticles& sources,
+                                            const ClusterMoments& moments,
+                                            const KernelSpec& kernel,
+                                            EngineCounters* counters = nullptr);
+
+}  // namespace bltc

@@ -1,0 +1,55 @@
+#include "core/direct_sum.hpp"
+
+namespace bltc {
+namespace {
+
+template <typename Kernel>
+double potential_at(double tx, double ty, double tz, const Cloud& sources,
+                    Kernel k) {
+  double phi = 0.0;
+  const std::size_t n = sources.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    const double dx = tx - sources.x[j];
+    const double dy = ty - sources.y[j];
+    const double dz = tz - sources.z[j];
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    if constexpr (Kernel::kSingular) {
+      if (r2 == 0.0) continue;
+    }
+    phi += k(r2) * sources.q[j];
+  }
+  return phi;
+}
+
+}  // namespace
+
+std::vector<double> direct_sum(const Cloud& targets, const Cloud& sources,
+                               const KernelSpec& kernel) {
+  std::vector<double> phi(targets.size(), 0.0);
+  with_kernel(kernel, [&](auto k) {
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      phi[i] =
+          potential_at(targets.x[i], targets.y[i], targets.z[i], sources, k);
+    }
+  });
+  return phi;
+}
+
+std::vector<double> direct_sum_sampled(const Cloud& targets,
+                                       std::span<const std::size_t> sample,
+                                       const Cloud& sources,
+                                       const KernelSpec& kernel) {
+  std::vector<double> phi(sample.size(), 0.0);
+  with_kernel(kernel, [&](auto k) {
+#pragma omp parallel for schedule(static)
+    for (std::size_t s = 0; s < sample.size(); ++s) {
+      const std::size_t i = sample[s];
+      phi[s] =
+          potential_at(targets.x[i], targets.y[i], targets.z[i], sources, k);
+    }
+  });
+  return phi;
+}
+
+}  // namespace bltc

@@ -1,0 +1,26 @@
+// O(N^2) direct summation, Eq. (1) — the accuracy reference and the baseline
+// the paper compares against. Self-interactions (r = 0) are skipped for
+// kernels singular at the origin, the standard treecode convention.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "util/workloads.hpp"
+
+namespace bltc {
+
+/// Potential at every target due to all sources (OpenMP over targets).
+std::vector<double> direct_sum(const Cloud& targets, const Cloud& sources,
+                               const KernelSpec& kernel);
+
+/// Potential at the sampled targets only — the paper samples the reference
+/// for systems with >= 8M particles. Returns one value per sample entry.
+std::vector<double> direct_sum_sampled(const Cloud& targets,
+                                       std::span<const std::size_t> sample,
+                                       const Cloud& sources,
+                                       const KernelSpec& kernel);
+
+}  // namespace bltc

@@ -1,0 +1,114 @@
+// Potentials *and* fields (negative potential gradients). The BLTC
+// approximation interpolates G in the source variable only (Eq. 8), so it
+// can be differentiated analytically in the target variable:
+//   E(x) = -grad phi(x) ~ -sum_k grad_x G(x, s_k) q̂_k,
+// which converges at the same rate as the potential itself. For radial
+// kernels G(|x-y|), grad_x G = (G'(r)/r) (x - y), so each kernel only needs
+// one extra scalar function. This enables force evaluation for dynamics
+// (gravitational N-body, molecular dynamics) on top of the paper's
+// machinery.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "core/solver.hpp"
+#include "util/workloads.hpp"
+
+namespace bltc {
+
+/// Potential and field at every target: E = -grad phi (per unit target
+/// charge; multiply by q_i for the force on particle i).
+struct FieldResult {
+  std::vector<double> phi;
+  std::vector<double> ex, ey, ez;
+};
+
+/// Radial-derivative functors: `value_and_slope(r2, gr_over_r)` returns
+/// G(r) and writes G'(r)/r, the factor multiplying (x - y) in grad_x G.
+struct CoulombGradKernel {
+  static constexpr bool kSingular = true;
+  double value_and_slope(double r2, double& gr_over_r) const {
+    const double inv_r = 1.0 / std::sqrt(r2);
+    const double inv_r2 = inv_r * inv_r;
+    gr_over_r = -inv_r * inv_r2;  // -1/r^3
+    return inv_r;
+  }
+};
+
+struct YukawaGradKernel {
+  static constexpr bool kSingular = true;
+  double kappa;
+  double value_and_slope(double r2, double& gr_over_r) const {
+    const double r = std::sqrt(r2);
+    const double g = std::exp(-kappa * r) / r;
+    gr_over_r = -g * (kappa * r + 1.0) / r2;  // -e^{-kr}(kr+1)/r^3
+    return g;
+  }
+};
+
+struct GaussianGradKernel {
+  static constexpr bool kSingular = false;
+  double kappa;
+  double value_and_slope(double r2, double& gr_over_r) const {
+    const double g = std::exp(-kappa * r2);
+    gr_over_r = -2.0 * kappa * g;
+    return g;
+  }
+};
+
+struct MultiquadricGradKernel {
+  static constexpr bool kSingular = false;
+  double shape;
+  double value_and_slope(double r2, double& gr_over_r) const {
+    const double g = std::sqrt(r2 + shape * shape);
+    gr_over_r = 1.0 / g;
+    return g;
+  }
+};
+
+struct InverseSquareGradKernel {
+  static constexpr bool kSingular = true;
+  double value_and_slope(double r2, double& gr_over_r) const {
+    const double g = 1.0 / r2;
+    gr_over_r = -2.0 * g * g;  // -2/r^4
+    return g;
+  }
+};
+
+/// One-time dispatch analogous to with_kernel.
+template <typename F>
+decltype(auto) with_grad_kernel(const KernelSpec& spec, F&& f) {
+  switch (spec.type) {
+    case KernelType::kCoulomb:
+      return f(CoulombGradKernel{});
+    case KernelType::kYukawa:
+      return f(YukawaGradKernel{spec.kappa});
+    case KernelType::kGaussian:
+      return f(GaussianGradKernel{spec.kappa});
+    case KernelType::kMultiquadric:
+      return f(MultiquadricGradKernel{spec.kappa});
+    case KernelType::kInverseSquare:
+      return f(InverseSquareGradKernel{});
+  }
+  throw std::invalid_argument("with_grad_kernel: unknown kernel type");
+}
+
+/// Scalar gradient evaluation for tests: writes grad_x G(x, y) into g[3];
+/// returns G. Zero for coincident points with singular kernels.
+double evaluate_kernel_gradient(const KernelSpec& spec, double x1, double x2,
+                                double x3, double y1, double y2, double y3,
+                                double g[3]);
+
+/// Treecode potentials + fields at `targets` due to `sources` (CPU engine).
+FieldResult compute_field(const Cloud& targets, const Cloud& sources,
+                          const KernelSpec& kernel,
+                          const TreecodeParams& params,
+                          RunStats* stats = nullptr);
+
+/// O(N^2) reference for fields.
+FieldResult direct_field(const Cloud& targets, const Cloud& sources,
+                         const KernelSpec& kernel);
+
+}  // namespace bltc

@@ -1,0 +1,72 @@
+// BLTC device kernels on the simulated GPU (§3.2). Four kernels exactly as
+// the paper describes:
+//   1. preprocessing kernel 1 — intermediate charges q̃_j (Eq. 14), one
+//      source particle per thread block, threads over interpolation degree;
+//   2. preprocessing kernel 2 — modified charges q̂_k (Eq. 15), one
+//      Chebyshev point per thread block, threads over source particles;
+//   3. batch-cluster direct sum kernel (Eq. 9), one target per thread block,
+//      threads over source particles, reduction per block;
+//   4. batch-cluster approximation kernel (Eq. 11), one target per thread
+//      block, threads over Chebyshev points, reduction per block.
+// Launches cycle round-robin over the device's asynchronous streams, and
+// transfers follow the paper's data-region schedule: sources HtD before the
+// precompute, modified charges DtH after it, targets + cluster data HtD
+// before the compute, potentials DtH at the end.
+#pragma once
+
+#include <vector>
+
+#include "core/cpu_engine.hpp"
+#include "core/interaction_lists.hpp"
+#include "core/kernels.hpp"
+#include "core/moments.hpp"
+#include "core/particles.hpp"
+#include "gpusim/device.hpp"
+
+namespace bltc {
+
+/// Relative cost of one kernel evaluation by kernel family, used to weight
+/// KernelCost::evals. Calibrated to the paper's observation that Yukawa runs
+/// ~1.5x slower than Coulomb on the GPU and ~1.8x on the CPU (§4, Fig. 4).
+double kernel_eval_weight(const KernelSpec& spec, bool on_gpu);
+
+/// Result of the device-side precompute (modified charges for every cluster).
+struct GpuPrecomputeResult {
+  /// Flattened modified charges, same layout as ClusterMoments.
+  std::vector<double> qhat;
+};
+
+/// Run the two preprocessing kernels for every cluster of the tree on
+/// `device`; `moments` supplies the per-cluster grids (grids_only is enough).
+GpuPrecomputeResult gpu_precompute_moments(gpusim::Device& device,
+                                           const ClusterTree& tree,
+                                           const OrderedParticles& sources,
+                                           const ClusterMoments& moments,
+                                           int degree);
+
+/// Potential evaluation (kernels 3 and 4) assuming all inputs are already
+/// device resident — no transfers are accounted. The distributed solver
+/// uses this after explicitly accounting the (much smaller) LET transfer.
+std::vector<double> gpu_evaluate_device_resident(
+    gpusim::Device& device, const OrderedParticles& targets,
+    const std::vector<TargetBatch>& batches, const InteractionLists& lists,
+    const ClusterTree& tree, const OrderedParticles& sources,
+    const ClusterMoments& moments, const KernelSpec& kernel,
+    EngineCounters* counters = nullptr, bool mixed_precision = false);
+
+/// Run the potential evaluation (kernels 3 and 4) for all batches on
+/// `device`, including the HtD upload of targets/sources/cluster data and
+/// the DtH download of potentials. `moments` must already hold modified
+/// charges. Returns tree-ordered potentials.
+std::vector<double> gpu_evaluate(gpusim::Device& device,
+                                 const OrderedParticles& targets,
+                                 const std::vector<TargetBatch>& batches,
+                                 const InteractionLists& lists,
+                                 const ClusterTree& tree,
+                                 const OrderedParticles& sources,
+                                 const ClusterMoments& moments,
+                                 const KernelSpec& kernel,
+                                 EngineCounters* counters = nullptr,
+                                 bool mixed_precision = false);
+
+}  // namespace bltc

@@ -1,0 +1,70 @@
+#include "core/interaction_lists.hpp"
+
+namespace bltc {
+namespace {
+
+void traverse(const ClusterTree& tree, int ci,
+              const std::array<double, 3>& center, double radius,
+              double theta, int degree, BatchInteractions& out) {
+  const ClusterNode& cluster = tree.node(ci);
+  if (cluster.count() == 0) return;
+  switch (evaluate_mac(center, radius, cluster.center, cluster.radius,
+                       cluster.count(), theta, degree)) {
+    case MacResult::kApprox:
+      out.approx.push_back(ci);
+      return;
+    case MacResult::kClusterSmall:
+      out.direct.push_back(ci);
+      return;
+    case MacResult::kTooClose:
+      if (cluster.is_leaf()) {
+        out.direct.push_back(ci);
+      } else {
+        for (int c = 0; c < cluster.num_children; ++c) {
+          traverse(tree, cluster.children[static_cast<std::size_t>(c)], center,
+                   radius, theta, degree, out);
+        }
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+InteractionLists build_interaction_lists(
+    const std::vector<TargetBatch>& batches, const ClusterTree& tree,
+    double theta, int degree) {
+  InteractionLists lists;
+  lists.per_batch.resize(batches.size());
+  if (tree.num_nodes() == 0) return lists;
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    traverse(tree, tree.root(), batches[b].center, batches[b].radius, theta,
+             degree, lists.per_batch[b]);
+  }
+  for (const auto& bi : lists.per_batch) {
+    lists.total_approx += bi.approx.size();
+    lists.total_direct += bi.direct.size();
+  }
+  return lists;
+}
+
+InteractionLists build_interaction_lists_per_target(
+    const OrderedParticles& targets, const ClusterTree& tree, double theta,
+    int degree) {
+  InteractionLists lists;
+  lists.per_batch.resize(targets.size());
+  if (tree.num_nodes() == 0) return lists;
+#pragma omp parallel for schedule(dynamic, 64)
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const std::array<double, 3> pt{targets.x[i], targets.y[i], targets.z[i]};
+    traverse(tree, tree.root(), pt, 0.0, theta, degree, lists.per_batch[i]);
+  }
+  for (const auto& bi : lists.per_batch) {
+    lists.total_approx += bi.approx.size();
+    lists.total_direct += bi.direct.size();
+  }
+  return lists;
+}
+
+}  // namespace bltc

@@ -1,0 +1,45 @@
+// Dual traversal (BLTC algorithm lines 8-20): every target batch descends
+// the source tree once. The traversal is separated from potential evaluation
+// so that the same interaction lists can be executed by the host engine, the
+// simulated-GPU engine, or shipped across ranks during LET construction —
+// exactly the structure the paper's implementation uses (the CPU builds the
+// lists, the GPU consumes them).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/batches.hpp"
+#include "core/mac.hpp"
+#include "core/tree.hpp"
+
+namespace bltc {
+
+/// Interaction lists for one target batch: clusters to evaluate via the
+/// barycentric approximation (Eq. 11) and clusters to sum directly (Eq. 9).
+struct BatchInteractions {
+  std::vector<int> approx;  ///< cluster indices, MAC passed
+  std::vector<int> direct;  ///< cluster indices, direct summation
+};
+
+/// Lists for all batches plus aggregate counts used by benches and the
+/// performance model.
+struct InteractionLists {
+  std::vector<BatchInteractions> per_batch;
+  std::size_t total_approx = 0;
+  std::size_t total_direct = 0;
+};
+
+/// Build interaction lists with the batch-level MAC (the paper's default).
+InteractionLists build_interaction_lists(const std::vector<TargetBatch>& batches,
+                                         const ClusterTree& tree, double theta,
+                                         int degree);
+
+/// Ablation variant: apply the MAC per target particle instead of per batch
+/// (§3.2 argues batching is near-optimal; this quantifies the claim). The
+/// result has one BatchInteractions per *target particle* of `targets`.
+InteractionLists build_interaction_lists_per_target(
+    const OrderedParticles& targets, const ClusterTree& tree, double theta,
+    int degree);
+
+}  // namespace bltc

@@ -1,0 +1,31 @@
+#include "core/kernels.hpp"
+
+namespace bltc {
+
+std::string KernelSpec::name() const {
+  switch (type) {
+    case KernelType::kCoulomb:
+      return "coulomb";
+    case KernelType::kYukawa:
+      return "yukawa(kappa=" + std::to_string(kappa) + ")";
+    case KernelType::kGaussian:
+      return "gaussian(kappa=" + std::to_string(kappa) + ")";
+    case KernelType::kMultiquadric:
+      return "multiquadric(c=" + std::to_string(kappa) + ")";
+    case KernelType::kInverseSquare:
+      return "inverse_square";
+  }
+  return "unknown";
+}
+
+double evaluate_kernel(const KernelSpec& spec, double x1, double x2, double x3,
+                       double y1, double y2, double y3) {
+  const double d1 = x1 - y1;
+  const double d2 = x2 - y2;
+  const double d3 = x3 - y3;
+  const double r2 = d1 * d1 + d2 * d2 + d3 * d3;
+  if (r2 == 0.0 && spec.singular_at_origin()) return 0.0;
+  return with_kernel(spec, [r2](auto k) { return k(r2); });
+}
+
+}  // namespace bltc

@@ -1,0 +1,155 @@
+#include "core/moments.hpp"
+
+#include <cassert>
+
+#include "core/barycentric.hpp"
+#include "core/chebyshev.hpp"
+#include "core/mac.hpp"
+
+namespace bltc {
+
+ClusterMoments ClusterMoments::grids_only(const ClusterTree& tree,
+                                          int degree) {
+  ClusterMoments m;
+  m.degree_ = degree;
+  m.ppc_ = interpolation_point_count(degree);
+  m.num_clusters_ = tree.num_nodes();
+  const std::size_t npts = static_cast<std::size_t>(degree) + 1;
+  m.grids_.assign(m.num_clusters_ * 3 * npts, 0.0);
+  m.qhat_.assign(m.num_clusters_ * m.ppc_, 0.0);
+  for (std::size_t c = 0; c < m.num_clusters_; ++c) {
+    const Box3& box = tree.node(static_cast<int>(c)).box;
+    for (int d = 0; d < 3; ++d) {
+      chebyshev2_points_into(
+          degree, box.lo[static_cast<std::size_t>(d)],
+          box.hi[static_cast<std::size_t>(d)],
+          {m.grids_.data() + (c * 3 + static_cast<std::size_t>(d)) * npts,
+           npts});
+    }
+  }
+  return m;
+}
+
+void ClusterMoments::compute_cluster_direct(
+    const ClusterTree& tree, const OrderedParticles& sources, int degree,
+    int cluster, std::span<const double> gx, std::span<const double> gy,
+    std::span<const double> gz, std::span<double> out) {
+  const ClusterNode& node = tree.node(cluster);
+  const std::size_t m = static_cast<std::size_t>(degree) + 1;
+  const std::vector<double> w = chebyshev2_weights(degree);
+  std::vector<double> l1(m), l2(m), l3(m);
+
+  for (double& v : out) v = 0.0;
+  for (std::size_t j = node.begin; j < node.end; ++j) {
+    barycentric_basis(gx, w, sources.x[j], l1);
+    barycentric_basis(gy, w, sources.y[j], l2);
+    barycentric_basis(gz, w, sources.z[j], l3);
+    const double qj = sources.q[j];
+    for (std::size_t k1 = 0; k1 < m; ++k1) {
+      const double a = l1[k1] * qj;
+      if (a == 0.0) continue;
+      for (std::size_t k2 = 0; k2 < m; ++k2) {
+        const double ab = a * l2[k2];
+        if (ab == 0.0) continue;
+        double* row = out.data() + (k1 * m + k2) * m;
+        for (std::size_t k3 = 0; k3 < m; ++k3) {
+          row[k3] += ab * l3[k3];
+        }
+      }
+    }
+  }
+}
+
+void ClusterMoments::compute_cluster_factorized(
+    const ClusterTree& tree, const OrderedParticles& sources, int degree,
+    int cluster, std::span<const double> gx, std::span<const double> gy,
+    std::span<const double> gz, std::span<double> out) {
+  const ClusterNode& node = tree.node(cluster);
+  const std::size_t m = static_cast<std::size_t>(degree) + 1;
+  const std::vector<double> w = chebyshev2_weights(degree);
+
+  for (double& v : out) v = 0.0;
+
+  // Kernel 1 (Eq. 14): intermediate charges for particles whose coordinates
+  // do not coincide with any grid coordinate. Particles with a coincidence
+  // are deferred to the delta-condition cleanup below, because 1/(y-s)
+  // factors are undefined for them.
+  std::vector<double> qtilde(node.count(), 0.0);
+  std::vector<unsigned char> hit(node.count(), 0);
+  for (std::size_t j = 0; j < node.count(); ++j) {
+    const std::size_t p = node.begin + j;
+    const Denominator d1 = barycentric_denominator(gx, w, sources.x[p]);
+    const Denominator d2 = barycentric_denominator(gy, w, sources.y[p]);
+    const Denominator d3 = barycentric_denominator(gz, w, sources.z[p]);
+    if (d1.hit >= 0 || d2.hit >= 0 || d3.hit >= 0) {
+      hit[j] = 1;
+      continue;
+    }
+    qtilde[j] = sources.q[p] / (d1.value * d2.value * d3.value);
+  }
+
+  // Kernel 2 (Eq. 15): accumulate over regular particles for every grid
+  // point k = (k1,k2,k3).
+  for (std::size_t k1 = 0; k1 < m; ++k1) {
+    for (std::size_t k2 = 0; k2 < m; ++k2) {
+      for (std::size_t k3 = 0; k3 < m; ++k3) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < node.count(); ++j) {
+          if (hit[j]) continue;
+          const std::size_t p = node.begin + j;
+          acc += (w[k1] / (sources.x[p] - gx[k1])) *
+                 (w[k2] / (sources.y[p] - gy[k2])) *
+                 (w[k3] / (sources.z[p] - gz[k3])) * qtilde[j];
+        }
+        out[(k1 * m + k2) * m + k3] += acc;
+      }
+    }
+  }
+
+  // Cleanup for coincident particles: enforce L_k = delta in the hit
+  // dimension(s) and the ordinary barycentric basis elsewhere.
+  std::vector<double> l1(m), l2(m), l3(m);
+  for (std::size_t j = 0; j < node.count(); ++j) {
+    if (!hit[j]) continue;
+    const std::size_t p = node.begin + j;
+    barycentric_basis(gx, w, sources.x[p], l1);
+    barycentric_basis(gy, w, sources.y[p], l2);
+    barycentric_basis(gz, w, sources.z[p], l3);
+    const double qj = sources.q[p];
+    for (std::size_t k1 = 0; k1 < m; ++k1) {
+      const double a = l1[k1] * qj;
+      if (a == 0.0) continue;
+      for (std::size_t k2 = 0; k2 < m; ++k2) {
+        const double ab = a * l2[k2];
+        if (ab == 0.0) continue;
+        double* row = out.data() + (k1 * m + k2) * m;
+        for (std::size_t k3 = 0; k3 < m; ++k3) {
+          row[k3] += ab * l3[k3];
+        }
+      }
+    }
+  }
+}
+
+ClusterMoments ClusterMoments::compute(const ClusterTree& tree,
+                                       const OrderedParticles& sources,
+                                       int degree,
+                                       MomentAlgorithm algorithm) {
+  ClusterMoments m = grids_only(tree, degree);
+  const std::size_t nc = m.num_clusters_;
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t c = 0; c < nc; ++c) {
+    const int ci = static_cast<int>(c);
+    std::span<double> out{m.qhat_.data() + c * m.ppc_, m.ppc_};
+    if (algorithm == MomentAlgorithm::kDirect) {
+      compute_cluster_direct(tree, sources, degree, ci, m.grid(ci, 0),
+                             m.grid(ci, 1), m.grid(ci, 2), out);
+    } else {
+      compute_cluster_factorized(tree, sources, degree, ci, m.grid(ci, 0),
+                                 m.grid(ci, 1), m.grid(ci, 2), out);
+    }
+  }
+  return m;
+}
+
+}  // namespace bltc

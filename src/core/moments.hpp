@@ -1,0 +1,98 @@
+// Cluster interpolation data: per-cluster tensor-product Chebyshev grids and
+// modified charges q̂_k (Eq. 12). Two algebraically equivalent computation
+// paths are provided:
+//   * `kDirect`      — accumulate L_{k1} L_{k2} L_{k3} q_j per particle, the
+//                      natural host formulation of Eq. (12);
+//   * `kFactorized`  — the paper's two-kernel GPU formulation, Eq. (14)-(15):
+//                      first q̃_j = q_j / (D_1 D_2 D_3), then
+//                      q̂_k = sum_j [w/(y-s)]^3 q̃_j, with explicit handling
+//                      of particles whose coordinates coincide with grid
+//                      coordinates (which the minimal-bounding-box policy
+//                      guarantees will happen).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/particles.hpp"
+#include "core/tree.hpp"
+
+namespace bltc {
+
+/// Which algebraic formulation computes the modified charges.
+enum class MomentAlgorithm { kDirect, kFactorized };
+
+/// Per-cluster interpolation grids and modified charges for a whole tree.
+/// Storage is flat: cluster c owns grid coords [c*3*(n+1), ...) and modified
+/// charges [c*(n+1)^3, ...), mirroring the device-friendly array layout the
+/// paper uses for its cluster data.
+class ClusterMoments {
+ public:
+  /// Compute grids and modified charges for every cluster of `tree`.
+  static ClusterMoments compute(const ClusterTree& tree,
+                                const OrderedParticles& sources, int degree,
+                                MomentAlgorithm algorithm =
+                                    MomentAlgorithm::kDirect);
+
+  int degree() const { return degree_; }
+  std::size_t points_per_cluster() const { return ppc_; }
+  std::size_t num_clusters() const { return num_clusters_; }
+
+  /// Chebyshev coordinates of cluster `c` along dimension `dim` (size n+1).
+  std::span<const double> grid(int c, int dim) const {
+    const std::size_t m = static_cast<std::size_t>(degree_) + 1;
+    return {grids_.data() +
+                (static_cast<std::size_t>(c) * 3 +
+                 static_cast<std::size_t>(dim)) *
+                    m,
+            m};
+  }
+
+  /// Modified charges of cluster `c`, flattened k = (k1*(n+1)+k2)*(n+1)+k3.
+  std::span<const double> qhat(int c) const {
+    return {qhat_.data() + static_cast<std::size_t>(c) * ppc_, ppc_};
+  }
+
+  /// Mutable access used by the distributed solver when filling a locally
+  /// essential tree with remotely fetched charges.
+  std::span<double> qhat_mutable(int c) {
+    return {qhat_.data() + static_cast<std::size_t>(c) * ppc_, ppc_};
+  }
+
+  /// Whole flattened charge array (RMA window exposure).
+  std::span<const double> all_qhat() const { return qhat_; }
+  std::span<double> all_qhat_mutable() { return qhat_; }
+  std::span<const double> all_grids() const { return grids_; }
+
+  /// Build only the grids (no charges); the distributed solver uses this for
+  /// remote clusters whose charges arrive over the network.
+  static ClusterMoments grids_only(const ClusterTree& tree, int degree);
+
+  /// Recompute the modified charges of a single cluster into `out`
+  /// (size (n+1)^3); exposed for tests and for the simulated-GPU engine.
+  static void compute_cluster_direct(const ClusterTree& tree,
+                                     const OrderedParticles& sources,
+                                     int degree, int cluster,
+                                     std::span<const double> gx,
+                                     std::span<const double> gy,
+                                     std::span<const double> gz,
+                                     std::span<double> out);
+
+  static void compute_cluster_factorized(const ClusterTree& tree,
+                                         const OrderedParticles& sources,
+                                         int degree, int cluster,
+                                         std::span<const double> gx,
+                                         std::span<const double> gy,
+                                         std::span<const double> gz,
+                                         std::span<double> out);
+
+ private:
+  int degree_ = 0;
+  std::size_t ppc_ = 0;  ///< (n+1)^3
+  std::size_t num_clusters_ = 0;
+  std::vector<double> grids_;  ///< [cluster][dim][n+1]
+  std::vector<double> qhat_;   ///< [cluster][(n+1)^3]
+};
+
+}  // namespace bltc

@@ -1,0 +1,48 @@
+#include "core/particles.hpp"
+
+#include <cassert>
+
+namespace bltc {
+
+OrderedParticles OrderedParticles::from_cloud(const Cloud& cloud) {
+  OrderedParticles p;
+  p.x = cloud.x;
+  p.y = cloud.y;
+  p.z = cloud.z;
+  p.q = cloud.q;
+  p.original_index.resize(cloud.size());
+  for (std::size_t i = 0; i < cloud.size(); ++i) p.original_index[i] = i;
+  return p;
+}
+
+void OrderedParticles::permute(std::span<const std::size_t> perm) {
+  assert(perm.size() == size());
+  const std::size_t n = size();
+  std::vector<double> nx(n), ny(n), nz(n), nq(n);
+  std::vector<std::size_t> norig(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = perm[i];
+    nx[i] = x[j];
+    ny[i] = y[j];
+    nz[i] = z[j];
+    nq[i] = q[j];
+    norig[i] = original_index[j];
+  }
+  x = std::move(nx);
+  y = std::move(ny);
+  z = std::move(nz);
+  q = std::move(nq);
+  original_index = std::move(norig);
+}
+
+std::vector<double> OrderedParticles::scatter_to_original(
+    std::span<const double> values) const {
+  assert(values.size() == size());
+  std::vector<double> out(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    out[original_index[i]] = values[i];
+  }
+  return out;
+}
+
+}  // namespace bltc

@@ -1,0 +1,34 @@
+// Structure-of-arrays particle set plus the permutation machinery the tree
+// builder uses: clusters and batches are contiguous index ranges of a
+// reordered copy, and results are scattered back to the caller's order.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/workloads.hpp"
+
+namespace bltc {
+
+/// Particle set in tree order together with the permutation that maps tree
+/// order back to the original order: `original_index[i]` is the caller-order
+/// index of the particle now stored at slot i.
+struct OrderedParticles {
+  std::vector<double> x, y, z, q;
+  std::vector<std::size_t> original_index;
+
+  std::size_t size() const { return x.size(); }
+
+  /// Start from a caller-order cloud with the identity permutation.
+  static OrderedParticles from_cloud(const Cloud& cloud);
+
+  /// Apply a permutation given as "slot i takes the particle currently at
+  /// `perm[i]`"; composes with the stored original_index.
+  void permute(std::span<const std::size_t> perm);
+
+  /// Scatter tree-ordered `values` (one per particle) back to caller order.
+  std::vector<double> scatter_to_original(std::span<const double> values) const;
+};
+
+}  // namespace bltc

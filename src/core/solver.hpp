@@ -1,0 +1,109 @@
+// Public single-node BLTC API. `compute_potential` runs the full pipeline
+// of the paper's Section 2 algorithm — tree + batches, modified charges,
+// MAC-driven traversal, potential evaluation — on either the host engine or
+// the simulated-GPU engine, and reports the paper's three-phase timing
+// breakdown (setup / precompute / compute, §4).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "core/moments.hpp"
+#include "gpusim/device.hpp"
+#include "util/workloads.hpp"
+
+namespace bltc {
+
+/// Which engine evaluates the potentials.
+enum class Backend {
+  kCpu,     ///< host OpenMP engine (the paper's 6-core CPU comparator)
+  kGpuSim,  ///< simulated-GPU engine (the paper's OpenACC implementation)
+};
+
+/// Treecode parameters (paper notation: theta, n, N_L, N_B).
+struct TreecodeParams {
+  double theta = 0.8;           ///< MAC parameter
+  int degree = 8;               ///< interpolation degree n
+  std::size_t max_leaf = 2000;  ///< N_L, source leaf size
+  std::size_t max_batch = 2000; ///< N_B, target batch size
+  /// Which algebraic form computes the modified charges on the CPU backend.
+  MomentAlgorithm moment_algorithm = MomentAlgorithm::kDirect;
+  /// Ablation: apply the MAC per target instead of per batch (CPU only).
+  bool per_target_mac = false;
+
+  /// Throws std::invalid_argument when parameters are out of range.
+  void validate() const;
+};
+
+/// Options for the simulated-GPU backend.
+struct GpuOptions {
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::titan_v();
+  bool async_streams = true;  ///< paper default: 4 async streams
+  /// §5 future-work feature: evaluate the potential kernels in single
+  /// precision (accumulation and storage in float) while the tree, moments,
+  /// and MAC stay double. Roughly halves the modeled kernel time on FP32-
+  /// heavy GPUs at the cost of ~1e-7 relative error.
+  bool mixed_precision = false;
+};
+
+/// Modeled wall-clock on the paper's hardware (GpuSim backend only).
+struct ModeledTimes {
+  double setup = 0.0;       ///< host tree/list work + PCIe transfers
+  double precompute = 0.0;  ///< preprocessing kernels
+  double compute = 0.0;     ///< potential kernels
+  double total() const { return setup + precompute + compute; }
+};
+
+/// Measured and modeled statistics for one solve.
+struct RunStats {
+  // Measured on this machine, paper phase boundaries (§4).
+  double setup_seconds = 0.0;
+  double precompute_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double total_seconds() const {
+    return setup_seconds + precompute_seconds + compute_seconds;
+  }
+
+  // Structure counts.
+  std::size_t num_clusters = 0;
+  std::size_t num_leaves = 0;
+  std::size_t num_batches = 0;
+  std::size_t approx_interactions = 0;  ///< MAC-accepted batch-cluster pairs
+  std::size_t direct_interactions = 0;  ///< direct batch-cluster pairs
+
+  // Work counts (kernel evaluations).
+  double approx_evals = 0.0;
+  double direct_evals = 0.0;
+
+  // Device accounting (GpuSim backend only).
+  std::size_t gpu_launches = 0;
+  std::size_t bytes_to_device = 0;
+  std::size_t bytes_to_host = 0;
+  ModeledTimes modeled;
+};
+
+/// Compute potentials at `targets` due to `sources` (Eq. 1) with the BLTC.
+/// Targets and sources may be the same cloud or disjoint sets. The result is
+/// in the caller's target order.
+std::vector<double> compute_potential(const Cloud& targets,
+                                      const Cloud& sources,
+                                      const KernelSpec& kernel,
+                                      const TreecodeParams& params,
+                                      Backend backend = Backend::kCpu,
+                                      RunStats* stats = nullptr,
+                                      const GpuOptions* gpu = nullptr);
+
+/// Convenience overload for the common targets == sources case.
+inline std::vector<double> compute_potential(const Cloud& particles,
+                                             const KernelSpec& kernel,
+                                             const TreecodeParams& params,
+                                             Backend backend = Backend::kCpu,
+                                             RunStats* stats = nullptr,
+                                             const GpuOptions* gpu = nullptr) {
+  return compute_potential(particles, particles, kernel, params, backend,
+                           stats, gpu);
+}
+
+}  // namespace bltc

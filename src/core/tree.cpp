@@ -1,0 +1,176 @@
+#include "core/tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bltc {
+namespace {
+
+/// Decide which of the three dimensions to bisect: a dimension is split iff
+/// its extent exceeds longest/max_aspect. Returns a 3-bit mask.
+unsigned split_mask(const Box3& box, double max_aspect) {
+  const auto L = box.lengths();
+  const double longest = std::max({L[0], L[1], L[2]});
+  if (longest <= 0.0) return 0u;
+  const double threshold = longest / max_aspect;
+  unsigned mask = 0u;
+  for (int d = 0; d < 3; ++d) {
+    if (L[static_cast<std::size_t>(d)] > threshold) mask |= (1u << d);
+  }
+  return mask;
+}
+
+}  // namespace
+
+ClusterTree ClusterTree::build(OrderedParticles& particles,
+                               const TreeParams& params) {
+  ClusterTree tree;
+  const std::size_t n = particles.size();
+  const std::size_t max_leaf = std::max<std::size_t>(1, params.max_leaf);
+
+  ClusterNode root;
+  root.begin = 0;
+  root.end = n;
+  root.box = minimal_bounding_box_range(particles.x, particles.y, particles.z,
+                                        0, n);
+  if (!root.box.valid()) root.box = Box3{};  // empty input
+  root.center = root.box.center();
+  root.radius = root.box.radius();
+  tree.nodes_.push_back(root);
+
+  // Scratch arrays reused across splits.
+  std::vector<std::size_t> scratch_idx;
+  std::vector<int> octant;
+
+  // Iterative subdivision with an explicit work stack (the recursion depth
+  // is O(log N) but an explicit stack keeps very deep adaptive trees safe).
+  std::vector<int> stack{0};
+  while (!stack.empty()) {
+    const int ni = stack.back();
+    stack.pop_back();
+
+    // Copy out what we need: pushing children may reallocate nodes_.
+    const std::size_t begin = tree.nodes_[static_cast<std::size_t>(ni)].begin;
+    const std::size_t end = tree.nodes_[static_cast<std::size_t>(ni)].end;
+    const Box3 box = tree.nodes_[static_cast<std::size_t>(ni)].box;
+    const int level = tree.nodes_[static_cast<std::size_t>(ni)].level;
+    const std::size_t count = end - begin;
+
+    if (count <= max_leaf) {
+      ++tree.num_leaves_;
+      continue;
+    }
+
+    unsigned mask = split_mask(box, params.max_aspect);
+    const auto mid = box.center();
+
+    // Assign each particle an octant code restricted to the split mask.
+    octant.resize(count);
+    std::array<std::size_t, 8> bucket_count{};
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t p = begin + i;
+      int code = 0;
+      if ((mask & 1u) && particles.x[p] > mid[0]) code |= 1;
+      if ((mask & 2u) && particles.y[p] > mid[1]) code |= 2;
+      if ((mask & 4u) && particles.z[p] > mid[2]) code |= 4;
+      octant[i] = code;
+      ++bucket_count[static_cast<std::size_t>(code)];
+    }
+
+    // Degenerate case (coincident particles or zero-extent box): midpoint
+    // splitting cannot separate the points, so bisect by index instead to
+    // preserve the leaf-size invariant.
+    const bool degenerate =
+        mask == 0u ||
+        std::count_if(bucket_count.begin(), bucket_count.end(),
+                      [](std::size_t c) { return c > 0; }) <= 1;
+    if (degenerate) {
+      const std::size_t half = count / 2;
+      for (std::size_t i = 0; i < count; ++i) {
+        octant[i] = (i < half) ? 0 : 1;
+      }
+      bucket_count.fill(0);
+      bucket_count[0] = half;
+      bucket_count[1] = count - half;
+    }
+
+    // Counting sort of the particle range into octant order.
+    std::array<std::size_t, 8> offset{};
+    std::size_t running = 0;
+    for (int c = 0; c < 8; ++c) {
+      offset[static_cast<std::size_t>(c)] = running;
+      running += bucket_count[static_cast<std::size_t>(c)];
+    }
+    scratch_idx.resize(count);
+    {
+      std::array<std::size_t, 8> cursor = offset;
+      for (std::size_t i = 0; i < count; ++i) {
+        scratch_idx[cursor[static_cast<std::size_t>(octant[i])]++] = begin + i;
+      }
+    }
+    // Apply the in-range permutation to the SoA arrays.
+    {
+      const auto apply = [&](std::vector<double>& a) {
+        std::vector<double> tmp(count);
+        for (std::size_t i = 0; i < count; ++i) tmp[i] = a[scratch_idx[i]];
+        std::copy(tmp.begin(), tmp.end(), a.begin() + static_cast<long>(begin));
+      };
+      apply(particles.x);
+      apply(particles.y);
+      apply(particles.z);
+      apply(particles.q);
+      std::vector<std::size_t> tmp(count);
+      for (std::size_t i = 0; i < count; ++i)
+        tmp[i] = particles.original_index[scratch_idx[i]];
+      std::copy(tmp.begin(), tmp.end(),
+                particles.original_index.begin() + static_cast<long>(begin));
+    }
+
+    // Create the non-empty children with minimal bounding boxes.
+    for (int c = 0; c < 8; ++c) {
+      const std::size_t cnt = bucket_count[static_cast<std::size_t>(c)];
+      if (cnt == 0) continue;
+      ClusterNode child;
+      child.begin = begin + offset[static_cast<std::size_t>(c)];
+      child.end = child.begin + cnt;
+      child.box = minimal_bounding_box_range(particles.x, particles.y,
+                                             particles.z, child.begin,
+                                             child.end);
+      child.center = child.box.center();
+      child.radius = child.box.radius();
+      child.parent = ni;
+      child.level = level + 1;
+      const int child_index = static_cast<int>(tree.nodes_.size());
+      tree.nodes_.push_back(child);
+      auto& parent_node = tree.nodes_[static_cast<std::size_t>(ni)];
+      parent_node.children[static_cast<std::size_t>(parent_node.num_children)] =
+          child_index;
+      ++parent_node.num_children;
+      tree.max_level_ = std::max(tree.max_level_, level + 1);
+      stack.push_back(child_index);
+    }
+  }
+
+  return tree;
+}
+
+ClusterTree ClusterTree::from_nodes(std::vector<ClusterNode> nodes) {
+  ClusterTree tree;
+  tree.nodes_ = std::move(nodes);
+  for (const ClusterNode& n : tree.nodes_) {
+    if (n.is_leaf()) ++tree.num_leaves_;
+    tree.max_level_ = std::max(tree.max_level_, n.level);
+  }
+  return tree;
+}
+
+std::vector<int> ClusterTree::leaf_indices() const {
+  std::vector<int> leaves;
+  leaves.reserve(num_leaves_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_leaf()) leaves.push_back(static_cast<int>(i));
+  }
+  return leaves;
+}
+
+}  // namespace bltc

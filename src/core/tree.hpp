@@ -1,0 +1,78 @@
+// Hierarchical tree of source clusters (§2.4): the root is the minimal
+// bounding box of all sources; clusters divide at the midpoint of their
+// bounding box. Division is aspect-ratio aware (§3.1): a dimension is split
+// only if its extent exceeds longest/sqrt(2), so a cluster may get 2, 4, or
+// 8 children instead of always 8. Recursion stops at `max_leaf` particles.
+// Every cluster's box is the *minimal* bounding box of its own particles,
+// which guarantees some particle coordinates coincide with Chebyshev
+// endpoint coordinates (the removable-singularity case of §2.3).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/particles.hpp"
+#include "util/box.hpp"
+
+namespace bltc {
+
+/// Tree construction parameters.
+struct TreeParams {
+  std::size_t max_leaf = 2000;  ///< N_L: recursion stops at this many particles
+  /// Maximum tolerated aspect ratio when deciding which dimensions to split;
+  /// the paper uses sqrt(2).
+  double max_aspect = 1.4142135623730951;
+};
+
+/// One cluster. Children are indices into ClusterTree::nodes();
+/// `begin..end` is the cluster's contiguous particle range in tree order.
+struct ClusterNode {
+  Box3 box;                        ///< minimal bounding box of the particles
+  std::array<double, 3> center{};  ///< box center (interpolation grid center)
+  double radius = 0.0;             ///< half-diagonal, the MAC's r_C
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  int parent = -1;
+  int level = 0;
+  std::array<int, 8> children{-1, -1, -1, -1, -1, -1, -1, -1};
+  int num_children = 0;
+
+  bool is_leaf() const { return num_children == 0; }
+  std::size_t count() const { return end - begin; }
+};
+
+/// Source cluster tree. Building reorders `particles` in place so that every
+/// cluster owns a contiguous range; the particles object keeps the
+/// permutation back to caller order.
+class ClusterTree {
+ public:
+  /// Build over all particles. Root is node 0. Empty input produces a tree
+  /// with a single empty leaf.
+  static ClusterTree build(OrderedParticles& particles,
+                           const TreeParams& params);
+
+  const std::vector<ClusterNode>& nodes() const { return nodes_; }
+  const ClusterNode& node(int i) const {
+    return nodes_[static_cast<std::size_t>(i)];
+  }
+  int root() const { return 0; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t num_leaves() const { return num_leaves_; }
+  int max_level() const { return max_level_; }
+
+  /// Indices of all leaf nodes, in tree order.
+  std::vector<int> leaf_indices() const;
+
+  /// Reassemble a tree from an explicit node array (used by the distributed
+  /// layer to materialize a remote rank's tree received over RMA). Leaf
+  /// count and max level are recomputed.
+  static ClusterTree from_nodes(std::vector<ClusterNode> nodes);
+
+ private:
+  std::vector<ClusterNode> nodes_;
+  std::size_t num_leaves_ = 0;
+  int max_level_ = 0;
+};
+
+}  // namespace bltc

@@ -1,0 +1,303 @@
+#include "core/variants.hpp"
+
+#include <algorithm>
+
+#include "core/barycentric.hpp"
+#include "core/chebyshev.hpp"
+#include "core/mac.hpp"
+#include "core/moments.hpp"
+#include "core/particles.hpp"
+#include "core/tree.hpp"
+
+namespace bltc {
+namespace {
+
+/// Work-in-progress state shared by the dual traversal.
+template <typename Kernel>
+struct DualContext {
+  Kernel kern;
+  const ClusterTree& ttree;
+  const ClusterTree& stree;
+  const OrderedParticles& targets;
+  const OrderedParticles& sources;
+  const ClusterMoments& tgrids;    ///< target-side grids (phihat layout)
+  const ClusterMoments& smoments;  ///< source-side grids + modified charges
+  double theta;
+  std::size_t ppc;                 ///< (n+1)^3
+  std::size_t npts;                ///< n+1
+  TreecodeVariant variant;
+  std::vector<double>& phihat;     ///< per-target-node grid potentials
+  std::vector<char>& node_has_phihat;
+  std::vector<double>& phi;        ///< per-target-particle direct/PC results
+  VariantStats& stats;
+
+  double kernel_at(double x1, double x2, double x3, double y1, double y2,
+                   double y3) {
+    const double d1 = x1 - y1;
+    const double d2 = x2 - y2;
+    const double d3 = x3 - y3;
+    const double r2 = d1 * d1 + d2 * d2 + d3 * d3;
+    if constexpr (Kernel::kSingular) {
+      if (r2 == 0.0) return 0.0;
+    }
+    return kern(r2);
+  }
+
+  /// Direct particle-particle summation between two clusters.
+  void direct(const ClusterNode& t, const ClusterNode& s) {
+    for (std::size_t i = t.begin; i < t.end; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = s.begin; j < s.end; ++j) {
+        acc += kernel_at(targets.x[i], targets.y[i], targets.z[i],
+                         sources.x[j], sources.y[j], sources.z[j]) *
+               sources.q[j];
+      }
+      phi[i] += acc;
+    }
+    ++stats.direct_interactions;
+    stats.kernel_evals +=
+        static_cast<double>(t.count()) * static_cast<double>(s.count());
+  }
+
+  /// Particle-cluster: target particles vs source Chebyshev points (Eq. 11).
+  void pc(const ClusterNode& t, int si) {
+    const auto gx = smoments.grid(si, 0);
+    const auto gy = smoments.grid(si, 1);
+    const auto gz = smoments.grid(si, 2);
+    const auto qhat = smoments.qhat(si);
+    for (std::size_t i = t.begin; i < t.end; ++i) {
+      double acc = 0.0;
+      for (std::size_t k1 = 0; k1 < npts; ++k1) {
+        for (std::size_t k2 = 0; k2 < npts; ++k2) {
+          const double* row = qhat.data() + (k1 * npts + k2) * npts;
+          for (std::size_t k3 = 0; k3 < npts; ++k3) {
+            acc += kernel_at(targets.x[i], targets.y[i], targets.z[i], gx[k1],
+                             gy[k2], gz[k3]) *
+                   row[k3];
+          }
+        }
+      }
+      phi[i] += acc;
+    }
+    ++stats.pc_interactions;
+    stats.kernel_evals +=
+        static_cast<double>(t.count()) * static_cast<double>(ppc);
+  }
+
+  /// Cluster-particle: target Chebyshev points vs source particles; the
+  /// result is accumulated on the target cluster's grid and interpolated to
+  /// the particles in the downward pass.
+  void cp(int ti, const ClusterNode& s) {
+    const auto gx = tgrids.grid(ti, 0);
+    const auto gy = tgrids.grid(ti, 1);
+    const auto gz = tgrids.grid(ti, 2);
+    double* ph = phihat.data() + static_cast<std::size_t>(ti) * ppc;
+    for (std::size_t k1 = 0; k1 < npts; ++k1) {
+      for (std::size_t k2 = 0; k2 < npts; ++k2) {
+        for (std::size_t k3 = 0; k3 < npts; ++k3) {
+          double acc = 0.0;
+          for (std::size_t j = s.begin; j < s.end; ++j) {
+            acc += kernel_at(gx[k1], gy[k2], gz[k3], sources.x[j],
+                             sources.y[j], sources.z[j]) *
+                   sources.q[j];
+          }
+          ph[(k1 * npts + k2) * npts + k3] += acc;
+        }
+      }
+    }
+    node_has_phihat[static_cast<std::size_t>(ti)] = 1;
+    ++stats.cp_interactions;
+    stats.kernel_evals +=
+        static_cast<double>(ppc) * static_cast<double>(s.count());
+  }
+
+  /// Cluster-cluster: target Chebyshev points vs source Chebyshev points
+  /// with modified charges.
+  void cc(int ti, int si) {
+    const auto tx = tgrids.grid(ti, 0);
+    const auto ty = tgrids.grid(ti, 1);
+    const auto tz = tgrids.grid(ti, 2);
+    const auto sx = smoments.grid(si, 0);
+    const auto sy = smoments.grid(si, 1);
+    const auto sz = smoments.grid(si, 2);
+    const auto qhat = smoments.qhat(si);
+    double* ph = phihat.data() + static_cast<std::size_t>(ti) * ppc;
+    for (std::size_t k1 = 0; k1 < npts; ++k1) {
+      for (std::size_t k2 = 0; k2 < npts; ++k2) {
+        for (std::size_t k3 = 0; k3 < npts; ++k3) {
+          double acc = 0.0;
+          for (std::size_t m1 = 0; m1 < npts; ++m1) {
+            for (std::size_t m2 = 0; m2 < npts; ++m2) {
+              const double* qrow = qhat.data() + (m1 * npts + m2) * npts;
+              for (std::size_t m3 = 0; m3 < npts; ++m3) {
+                acc += kernel_at(tx[k1], ty[k2], tz[k3], sx[m1], sy[m2],
+                                 sz[m3]) *
+                       qrow[m3];
+              }
+            }
+          }
+          ph[(k1 * npts + k2) * npts + k3] += acc;
+        }
+      }
+    }
+    node_has_phihat[static_cast<std::size_t>(ti)] = 1;
+    ++stats.cc_interactions;
+    stats.kernel_evals += static_cast<double>(ppc) * static_cast<double>(ppc);
+  }
+
+  void traverse(int ti, int si) {
+    const ClusterNode& t = ttree.node(ti);
+    const ClusterNode& s = stree.node(si);
+    if (t.count() == 0 || s.count() == 0) return;
+
+    const double r = distance(t.center, s.center);
+    const bool separated = (t.radius + s.radius) < theta * r;
+    const bool target_big = t.count() > ppc;
+    const bool source_big = s.count() > ppc;
+
+    if (separated) {
+      switch (variant) {
+        case TreecodeVariant::kClusterCluster:
+          if (target_big && source_big) {
+            cc(ti, si);
+          } else if (source_big) {
+            pc(t, si);  // target too small to interpolate: source side only
+          } else if (target_big) {
+            cp(ti, s);  // source too small: target side only
+          } else {
+            direct(t, s);
+          }
+          return;
+        case TreecodeVariant::kClusterParticle:
+          if (target_big) {
+            cp(ti, s);
+          } else {
+            direct(t, s);
+          }
+          return;
+        case TreecodeVariant::kParticleCluster:
+          if (source_big) {
+            pc(t, si);
+          } else {
+            direct(t, s);
+          }
+          return;
+      }
+    }
+
+    // Not separated: recurse into the fatter side (dual tree traversal);
+    // if that side is a leaf, recurse the other; direct when both leaves.
+    const bool t_splittable = !t.is_leaf();
+    const bool s_splittable = !s.is_leaf();
+    if (!t_splittable && !s_splittable) {
+      direct(t, s);
+      return;
+    }
+    const bool split_target =
+        t_splittable && (!s_splittable || t.radius >= s.radius);
+    if (split_target) {
+      for (int c = 0; c < t.num_children; ++c) {
+        traverse(t.children[static_cast<std::size_t>(c)], si);
+      }
+    } else {
+      for (int c = 0; c < s.num_children; ++c) {
+        traverse(ti, s.children[static_cast<std::size_t>(c)]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<double> compute_potential_variant(const Cloud& targets,
+                                              const Cloud& sources,
+                                              const KernelSpec& kernel,
+                                              const TreecodeParams& params,
+                                              TreecodeVariant variant,
+                                              VariantStats* stats) {
+  params.validate();
+  VariantStats local_stats;
+  if (targets.size() == 0 || sources.size() == 0) {
+    if (stats != nullptr) *stats = local_stats;
+    return std::vector<double>(targets.size(), 0.0);
+  }
+
+  // Source side: tree + grids (+ modified charges for PC/CC interactions).
+  OrderedParticles src = OrderedParticles::from_cloud(sources);
+  TreeParams stp;
+  stp.max_leaf = params.max_leaf;
+  const ClusterTree stree = ClusterTree::build(src, stp);
+  const ClusterMoments smoments =
+      ClusterMoments::compute(stree, src, params.degree,
+                              params.moment_algorithm);
+
+  // Target side: its own cluster tree (leaf size N_B) + grids + per-node
+  // grid potentials phihat.
+  OrderedParticles tgt = OrderedParticles::from_cloud(targets);
+  TreeParams ttp;
+  ttp.max_leaf = params.max_batch;
+  const ClusterTree ttree = ClusterTree::build(tgt, ttp);
+  const ClusterMoments tgrids = ClusterMoments::grids_only(ttree,
+                                                           params.degree);
+
+  const std::size_t ppc = interpolation_point_count(params.degree);
+  std::vector<double> phihat(ttree.num_nodes() * ppc, 0.0);
+  std::vector<char> node_has_phihat(ttree.num_nodes(), 0);
+  std::vector<double> phi(tgt.size(), 0.0);
+
+  with_kernel(kernel, [&](auto k) {
+    DualContext<decltype(k)> ctx{k,
+                                 ttree,
+                                 stree,
+                                 tgt,
+                                 src,
+                                 tgrids,
+                                 smoments,
+                                 params.theta,
+                                 ppc,
+                                 static_cast<std::size_t>(params.degree) + 1,
+                                 variant,
+                                 phihat,
+                                 node_has_phihat,
+                                 phi,
+                                 local_stats};
+    ctx.traverse(ttree.root(), stree.root());
+  });
+
+  // Downward pass: interpolate every flagged node's grid potentials to its
+  // particles, phi(x) += sum_k L_k1(x1) L_k2(x2) L_k3(x3) phihat_k.
+  const std::size_t npts = static_cast<std::size_t>(params.degree) + 1;
+  const std::vector<double> w = chebyshev2_weights(params.degree);
+  std::vector<double> l1(npts), l2(npts), l3(npts);
+  for (std::size_t ni = 0; ni < ttree.num_nodes(); ++ni) {
+    if (!node_has_phihat[ni]) continue;
+    const ClusterNode& node = ttree.node(static_cast<int>(ni));
+    const auto gx = tgrids.grid(static_cast<int>(ni), 0);
+    const auto gy = tgrids.grid(static_cast<int>(ni), 1);
+    const auto gz = tgrids.grid(static_cast<int>(ni), 2);
+    const double* ph = phihat.data() + ni * ppc;
+    for (std::size_t i = node.begin; i < node.end; ++i) {
+      barycentric_basis(gx, w, tgt.x[i], l1);
+      barycentric_basis(gy, w, tgt.y[i], l2);
+      barycentric_basis(gz, w, tgt.z[i], l3);
+      double acc = 0.0;
+      for (std::size_t k1 = 0; k1 < npts; ++k1) {
+        if (l1[k1] == 0.0) continue;
+        for (std::size_t k2 = 0; k2 < npts; ++k2) {
+          const double a = l1[k1] * l2[k2];
+          if (a == 0.0) continue;
+          const double* row = ph + (k1 * npts + k2) * npts;
+          for (std::size_t k3 = 0; k3 < npts; ++k3) {
+            acc += a * l3[k3] * row[k3];
+          }
+        }
+      }
+      phi[i] += acc;
+    }
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return tgt.scatter_to_original(phi);
+}
+
+}  // namespace bltc

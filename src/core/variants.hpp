@@ -1,0 +1,53 @@
+// Treecode variants beyond the paper's particle-cluster (PC) scheme — §5
+// lists "GPU acceleration of barycentric cluster-particle and
+// cluster-cluster treecodes" as future work; this module implements both on
+// the same substrates (references [30]-[32] of the paper).
+//
+//   * Cluster-particle (CP): interpolation on the *target* side. Potentials
+//     due to well-separated sources are accumulated at the target cluster's
+//     Chebyshev points and interpolated down to the particles afterwards.
+//   * Cluster-cluster (CC, a barycentric dual tree traversal): both sides
+//     interpolated — source modified charges q̂ interact with target grid
+//     points, giving O(N) -like work for large well-separated regions.
+//
+// The CC traversal degrades gracefully: when the target cluster is too
+// small it falls back to a PC interaction, when the source cluster is too
+// small to a CP interaction, and to direct summation when both are small —
+// the same size logic as Eq. (13).
+#pragma once
+
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "core/solver.hpp"
+#include "util/workloads.hpp"
+
+namespace bltc {
+
+/// Which approximation scheme the solver uses.
+enum class TreecodeVariant {
+  kParticleCluster,  ///< the paper's BLTC (source-side interpolation)
+  kClusterParticle,  ///< target-side interpolation
+  kClusterCluster,   ///< both sides (dual tree traversal)
+};
+
+/// Interaction-type counters for the variant engines.
+struct VariantStats {
+  std::size_t pc_interactions = 0;  ///< particle-cluster approximations
+  std::size_t cp_interactions = 0;  ///< cluster-particle approximations
+  std::size_t cc_interactions = 0;  ///< cluster-cluster approximations
+  std::size_t direct_interactions = 0;
+  double kernel_evals = 0.0;  ///< total G evaluations (all interaction types)
+};
+
+/// Compute potentials with the selected treecode variant. Uses the same
+/// trees, moments, and MAC machinery as the main solver; results are in the
+/// caller's target order.
+std::vector<double> compute_potential_variant(const Cloud& targets,
+                                              const Cloud& sources,
+                                              const KernelSpec& kernel,
+                                              const TreecodeParams& params,
+                                              TreecodeVariant variant,
+                                              VariantStats* stats = nullptr);
+
+}  // namespace bltc

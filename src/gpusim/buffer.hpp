@@ -1,0 +1,61 @@
+// Device memory buffers. Real storage lives on the host (there is no GPU),
+// but every allocation and transfer goes through the owning Device so the
+// performance model sees the same HtD/DtH traffic the paper's OpenACC data
+// regions generate (§3.2, "Host and Device Data Management").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "gpusim/device.hpp"
+
+namespace bltc::gpusim {
+
+/// Typed device buffer. Construction with data models a host-to-device
+/// copy; `copy_to_host` models the reverse. Kernels access the storage
+/// through `span()` — semantically a device pointer.
+template <typename T>
+class DeviceBuffer {
+ public:
+  /// Allocate `n` zero-initialized elements on the device (no transfer;
+  /// OpenACC `create` clause).
+  DeviceBuffer(Device& device, std::size_t n)
+      : device_(&device), data_(n, T{}) {}
+
+  /// Allocate and upload (OpenACC `copyin` clause).
+  DeviceBuffer(Device& device, std::span<const T> host)
+      : device_(&device), data_(host.begin(), host.end()) {
+    device_->host_to_device(host.size_bytes());
+  }
+
+  std::size_t size() const { return data_.size(); }
+
+  std::span<T> span() { return data_; }
+  std::span<const T> span() const { return data_; }
+
+  /// Upload fresh host data into an existing allocation (OpenACC `update
+  /// device`).
+  void upload(std::span<const T> host) {
+    data_.assign(host.begin(), host.end());
+    device_->host_to_device(host.size_bytes());
+  }
+
+  /// Download the buffer (OpenACC `copyout` / `update self`).
+  std::vector<T> copy_to_host() const {
+    device_->device_to_host(data_.size() * sizeof(T));
+    return data_;
+  }
+
+  /// Download into an existing host span (sizes must match).
+  void copy_to_host(std::span<T> out) const {
+    device_->device_to_host(data_.size() * sizeof(T));
+    std::copy(data_.begin(), data_.end(), out.begin());
+  }
+
+ private:
+  Device* device_;
+  std::vector<T> data_;
+};
+
+}  // namespace bltc::gpusim

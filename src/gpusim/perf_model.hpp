@@ -1,0 +1,56 @@
+// Performance-model constants that are not per-device: host-side (CPU)
+// processing rates for the tree/list construction that stays on the CPU in
+// the paper, and the interconnect model for multi-rank runs on Comet.
+// Together with gpusim::DeviceSpec these regenerate the paper's timing
+// figures at paper scale from the *actual* operation/byte counts measured
+// while running the real algorithm at reduced scale.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace bltc::gpusim {
+
+/// Host CPU model for the phases the paper keeps on the CPU: octree and
+/// batch construction, interaction lists, LET assembly.
+struct HostSpec {
+  std::string name;
+  /// Particles processed per second for tree build + batching + lists
+  /// (calibrated so 64M particles of setup cost ~8 s, consistent with the
+  /// small setup fraction at 1 GPU in Fig. 6c).
+  double setup_particles_per_sec = 8.0e6;
+
+  static HostSpec comet_haswell() {
+    return {"Comet Xeon E5-2680v3 host (modeled)", 8.0e6};
+  }
+  static HostSpec flux_x5650() {
+    return {"Flux Xeon X5650 host (modeled)", 5.0e6};
+  }
+};
+
+/// Interconnect model for the RMA traffic between ranks (Comet used FDR
+/// InfiniBand, ~56 Gbit/s; effective point-to-point bandwidth is lower).
+struct NetworkSpec {
+  std::string name;
+  double bandwidth = 5.0e9;  ///< effective bytes/s per rank
+  double latency = 3.0e-6;   ///< seconds per one-sided get
+
+  static NetworkSpec comet_infiniband() {
+    return {"Comet FDR InfiniBand (modeled)", 5.0e9, 3.0e-6};
+  }
+};
+
+/// Modeled wall-clock for a communication pattern: `gets` one-sided
+/// operations moving `bytes` total.
+inline double comm_seconds(const NetworkSpec& net, std::size_t gets,
+                           std::size_t bytes) {
+  return static_cast<double>(gets) * net.latency +
+         static_cast<double>(bytes) / net.bandwidth;
+}
+
+/// Modeled host-side setup seconds for `n` particles.
+inline double host_setup_seconds(const HostSpec& host, std::size_t n) {
+  return static_cast<double>(n) / host.setup_particles_per_sec;
+}
+
+}  // namespace bltc::gpusim

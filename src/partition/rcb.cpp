@@ -1,0 +1,148 @@
+#include "partition/rcb.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace bltc {
+namespace {
+
+struct Task {
+  std::vector<std::size_t> indices;  ///< points in this region
+  Box3 box;                          ///< region geometry
+  std::size_t nparts;                ///< ranks assigned to this region
+  int first_part;                    ///< lowest part id in this region
+  int depth;                         ///< bisection depth (axis cycling)
+};
+
+int pick_axis(const Box3& box, int depth, RcbAxisPolicy policy) {
+  if (policy == RcbAxisPolicy::kCycleYXZ) {
+    // Fig. 2's convention: bisect y first, then x, then z, repeating.
+    // Zero-extent axes (2D point sets like Fig. 2) are skipped.
+    constexpr int order[3] = {1, 0, 2};
+    const auto L = box.lengths();
+    for (int t = 0; t < 3; ++t) {
+      const int axis = order[(depth + t) % 3];
+      if (L[static_cast<std::size_t>(axis)] > 0.0) return axis;
+    }
+    return order[depth % 3];
+  }
+  const auto L = box.lengths();
+  int axis = 0;
+  if (L[1] > L[static_cast<std::size_t>(axis)]) axis = 1;
+  if (L[2] > L[static_cast<std::size_t>(axis)]) axis = 2;
+  return axis;
+}
+
+double coordinate(std::span<const double> x, std::span<const double> y,
+                  std::span<const double> z, std::size_t i, int axis) {
+  switch (axis) {
+    case 0:
+      return x[i];
+    case 1:
+      return y[i];
+    default:
+      return z[i];
+  }
+}
+
+}  // namespace
+
+RcbResult rcb_partition(std::span<const double> x, std::span<const double> y,
+                        std::span<const double> z, std::size_t nparts,
+                        const Box3& domain, RcbAxisPolicy policy) {
+  if (nparts == 0) throw std::invalid_argument("rcb_partition: nparts == 0");
+  const std::size_t n = x.size();
+
+  RcbResult result;
+  result.assignment.assign(n, 0);
+  result.part_box.assign(nparts, domain);
+  result.part_count.assign(nparts, 0);
+
+  Task root;
+  root.indices.resize(n);
+  std::iota(root.indices.begin(), root.indices.end(), std::size_t{0});
+  root.box = domain;
+  root.nparts = nparts;
+  root.first_part = 0;
+  root.depth = 0;
+
+  std::vector<Task> stack;
+  stack.push_back(std::move(root));
+
+  while (!stack.empty()) {
+    Task task = std::move(stack.back());
+    stack.pop_back();
+
+    if (task.nparts == 1) {
+      for (const std::size_t i : task.indices) {
+        result.assignment[i] = task.first_part;
+      }
+      result.part_box[static_cast<std::size_t>(task.first_part)] = task.box;
+      result.part_count[static_cast<std::size_t>(task.first_part)] =
+          task.indices.size();
+      continue;
+    }
+
+    // Split the ranks as evenly as possible; the particle split must match
+    // the rank ratio so every rank ends up with ~N/nparts particles.
+    const std::size_t lo_parts = task.nparts / 2;
+    const std::size_t hi_parts = task.nparts - lo_parts;
+    const int axis = pick_axis(task.box, task.depth, policy);
+
+    const std::size_t lo_count =
+        task.indices.size() * lo_parts / task.nparts;
+
+    // Weighted median: nth_element on the cut axis.
+    auto& idx = task.indices;
+    auto cmp = [&](std::size_t a, std::size_t b) {
+      return coordinate(x, y, z, a, axis) < coordinate(x, y, z, b, axis);
+    };
+    if (lo_count > 0 && lo_count < idx.size()) {
+      std::nth_element(idx.begin(),
+                       idx.begin() + static_cast<long>(lo_count), idx.end(),
+                       cmp);
+    }
+
+    // Cut plane: midpoint between the two sides' boundary points, so both
+    // children's geometric boxes partition the parent box. For Fig. 2's
+    // area-balanced picture on uniform points this converges to the
+    // population median.
+    double cut;
+    if (lo_count == 0) {
+      cut = task.box.lo[static_cast<std::size_t>(axis)];
+    } else if (lo_count == idx.size()) {
+      cut = task.box.hi[static_cast<std::size_t>(axis)];
+    } else {
+      const std::size_t below = *std::max_element(
+          idx.begin(), idx.begin() + static_cast<long>(lo_count), cmp);
+      const std::size_t above = *std::min_element(
+          idx.begin() + static_cast<long>(lo_count), idx.end(), cmp);
+      cut = 0.5 * (coordinate(x, y, z, below, axis) +
+                   coordinate(x, y, z, above, axis));
+    }
+
+    Task lo_task, hi_task;
+    lo_task.indices.assign(idx.begin(),
+                           idx.begin() + static_cast<long>(lo_count));
+    hi_task.indices.assign(idx.begin() + static_cast<long>(lo_count),
+                           idx.end());
+    lo_task.box = task.box;
+    lo_task.box.hi[static_cast<std::size_t>(axis)] = cut;
+    hi_task.box = task.box;
+    hi_task.box.lo[static_cast<std::size_t>(axis)] = cut;
+    lo_task.nparts = lo_parts;
+    hi_task.nparts = hi_parts;
+    lo_task.first_part = task.first_part;
+    hi_task.first_part = task.first_part + static_cast<int>(lo_parts);
+    lo_task.depth = task.depth + 1;
+    hi_task.depth = task.depth + 1;
+
+    if (lo_parts > 0) stack.push_back(std::move(lo_task));
+    stack.push_back(std::move(hi_task));
+  }
+
+  return result;
+}
+
+}  // namespace bltc

@@ -1,0 +1,42 @@
+// Recursive coordinate bisection (§3.1, Fig. 2) — the role Zoltan plays in
+// the paper. The domain is recursively cut by hyperplanes perpendicular to
+// coordinate axes; each cut balances the particle count against the number
+// of ranks assigned to each side, so non-power-of-two rank counts (Fig. 2b's
+// six partitions) produce unequal splits at the right levels.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/box.hpp"
+
+namespace bltc {
+
+/// Axis selection policy for successive bisections.
+enum class RcbAxisPolicy {
+  kLongestExtent,  ///< cut the longest dimension of the current sub-box
+  kCycleYXZ,       ///< y first, then x, then z (reproduces Fig. 2 exactly)
+};
+
+/// Result of an RCB decomposition into `nparts` parts.
+struct RcbResult {
+  /// part id (0..nparts-1) for every input point.
+  std::vector<int> assignment;
+  /// Geometric sub-box owned by each part (the cut planes, not the minimal
+  /// bounding box of the part's points).
+  std::vector<Box3> part_box;
+  /// Number of points in each part.
+  std::vector<std::size_t> part_count;
+};
+
+/// Decompose `n` points (SoA spans) into `nparts` balanced parts. Points on
+/// a cut plane go to the lower side. `domain` is the overall region being
+/// divided (used to report part boxes; pass the points' bounding box or the
+/// nominal domain such as the unit square/cube).
+RcbResult rcb_partition(std::span<const double> x, std::span<const double> y,
+                        std::span<const double> z, std::size_t nparts,
+                        const Box3& domain,
+                        RcbAxisPolicy policy = RcbAxisPolicy::kLongestExtent);
+
+}  // namespace bltc

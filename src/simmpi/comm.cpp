@@ -1,0 +1,117 @@
+#include "simmpi/comm.hpp"
+
+#include <memory>
+#include <thread>
+
+namespace bltc::simmpi {
+
+Context::Context(int size)
+    : size_(size),
+      bytes_gotten_(static_cast<std::size_t>(size)),
+      gets_issued_(static_cast<std::size_t>(size)) {
+  if (size < 1) throw std::invalid_argument("Context: size must be >= 1");
+  next_window_.assign(static_cast<std::size_t>(size), 0);
+  for (auto& b : bytes_gotten_) b.store(0);
+  for (auto& g : gets_issued_) g.store(0);
+}
+
+void Context::barrier() {
+  std::unique_lock lock(barrier_mutex_);
+  const bool sense = barrier_sense_;
+  if (++barrier_count_ == size_) {
+    barrier_count_ = 0;
+    barrier_sense_ = !barrier_sense_;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_sense_ != sense; });
+  }
+}
+
+std::size_t Context::register_window(int rank, void* base, std::size_t bytes,
+                                     std::size_t elem_size) {
+  std::unique_lock lock(windows_mutex_);
+  const std::size_t id = next_window_[static_cast<std::size_t>(rank)]++;
+  while (id >= windows_.size()) {
+    windows_.push_back(std::make_unique<WindowState>());
+  }
+  WindowState& w = *windows_[id];
+  if (w.exposure.empty()) {
+    w.exposure.resize(static_cast<std::size_t>(size_));
+    w.locks.clear();
+    for (int r = 0; r < size_; ++r) {
+      w.locks.push_back(std::make_unique<std::mutex>());
+    }
+  }
+  w.exposure[static_cast<std::size_t>(rank)] = {base, bytes, elem_size};
+  if (++w.registered == size_) w.live = true;
+  windows_cv_.notify_all();
+  return id;
+}
+
+void Context::deregister_window(std::size_t win_id, int rank) {
+  std::unique_lock lock(windows_mutex_);
+  WindowState& w = *windows_[win_id];
+  w.exposure[static_cast<std::size_t>(rank)] = {};
+  if (--w.registered == 0) {
+    w.live = false;
+    w.exposure.clear();
+    w.locks.clear();
+  }
+}
+
+const Context::Exposure& Context::exposure(std::size_t win_id,
+                                           int target_rank) const {
+  std::unique_lock lock(windows_mutex_);
+  const WindowState& w = *windows_.at(win_id);
+  if (!w.live) {
+    throw std::logic_error(
+        "simmpi: window accessed before all ranks registered it (missing "
+        "collective create?)");
+  }
+  return w.exposure[static_cast<std::size_t>(target_rank)];
+}
+
+std::mutex& Context::window_lock(std::size_t win_id, int target_rank) {
+  std::unique_lock lock(windows_mutex_);
+  return *windows_.at(win_id)->locks[static_cast<std::size_t>(target_rank)];
+}
+
+void Context::account_get(int origin_rank, std::size_t bytes) {
+  bytes_gotten_[static_cast<std::size_t>(origin_rank)].fetch_add(
+      bytes, std::memory_order_relaxed);
+  gets_issued_[static_cast<std::size_t>(origin_rank)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::size_t Context::bytes_gotten(int rank) const {
+  return bytes_gotten_[static_cast<std::size_t>(rank)].load(
+      std::memory_order_relaxed);
+}
+
+std::size_t Context::gets_issued(int rank) const {
+  return gets_issued_[static_cast<std::size_t>(rank)].load(
+      std::memory_order_relaxed);
+}
+
+void run_ranks(int nranks, const std::function<void(Comm&)>& fn) {
+  Context ctx(nranks);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(ctx, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace bltc::simmpi

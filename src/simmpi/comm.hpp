@@ -1,0 +1,172 @@
+// In-process message-passing substrate standing in for MPI (DESIGN.md §1).
+//
+// N ranks run as N OS threads. Each rank owns private data; the *only*
+// sanctioned communication channels are:
+//   * Window<T> — passive-target one-sided access (lock / get / put /
+//     unlock), mirroring the MPI-3 RMA model the paper uses for LET
+//     construction;
+//   * barrier() — bulk synchronization;
+//   * allgather / allreduce helpers built on windows + barriers.
+// Because ranks are real threads, ordering and publication bugs that would
+// appear under MPI RMA (reading a window before its owner filled it, racing
+// puts) appear here too — the barrier/lock discipline is load-bearing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace bltc::simmpi {
+
+class Comm;
+
+/// Shared state for one communicator: barrier machinery plus the window
+/// registry (windows are collective objects identified by creation order,
+/// like MPI window handles).
+class Context {
+ public:
+  explicit Context(int size);
+
+  int size() const { return size_; }
+
+  /// Sense-reversing barrier across all ranks.
+  void barrier();
+
+  /// Collective window registration: every rank calls with its local
+  /// exposure; returns the window id. Ranks must call in the same order.
+  std::size_t register_window(int rank, void* base, std::size_t bytes,
+                              std::size_t elem_size);
+  void deregister_window(std::size_t win_id, int rank);
+
+  struct Exposure {
+    void* base = nullptr;
+    std::size_t bytes = 0;
+    std::size_t elem_size = 0;
+  };
+
+  /// Exposure of `win_id` on `target_rank` (valid between the collective
+  /// create and destroy).
+  const Exposure& exposure(std::size_t win_id, int target_rank) const;
+
+  /// Per-(window, target-rank) passive-target lock.
+  std::mutex& window_lock(std::size_t win_id, int target_rank);
+
+  /// Communication accounting (bytes moved by one-sided ops), read by the
+  /// scaling performance model.
+  void account_get(int origin_rank, std::size_t bytes);
+  std::size_t bytes_gotten(int rank) const;
+  std::size_t gets_issued(int rank) const;
+
+ private:
+  struct WindowState {
+    std::vector<Exposure> exposure;          // per rank
+    std::vector<std::unique_ptr<std::mutex>> locks;  // per rank
+    int registered = 0;
+    bool live = false;
+  };
+
+  int size_;
+  // Barrier.
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  bool barrier_sense_ = false;
+  // Windows. unique_ptr keeps WindowState addresses stable across registry
+  // growth, so references handed to in-flight one-sided ops stay valid.
+  mutable std::mutex windows_mutex_;
+  std::condition_variable windows_cv_;
+  std::vector<std::unique_ptr<WindowState>> windows_;
+  std::vector<std::size_t> next_window_;  // per-rank creation cursor
+  // Accounting.
+  std::vector<std::atomic<std::size_t>> bytes_gotten_;
+  std::vector<std::atomic<std::size_t>> gets_issued_;
+};
+
+/// Rank-local communicator handle passed to the rank function.
+class Comm {
+ public:
+  Comm(Context& ctx, int rank) : ctx_(&ctx), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return ctx_->size(); }
+  void barrier() { ctx_->barrier(); }
+  Context& context() { return *ctx_; }
+
+  /// Bytes this rank has pulled through one-sided gets (for the comm model).
+  std::size_t bytes_gotten() const { return ctx_->bytes_gotten(rank_); }
+  std::size_t gets_issued() const { return ctx_->gets_issued(rank_); }
+
+ private:
+  Context* ctx_;
+  int rank_;
+};
+
+/// Typed RMA window. Creation and destruction are collective; `get`/`put`
+/// are one-sided and may target any rank while that rank computes,
+/// matching MPI passive-target synchronization.
+template <typename T>
+class Window {
+ public:
+  /// Collective: expose `local` (must stay alive while the window is live).
+  Window(Comm& comm, std::span<T> local) : comm_(&comm) {
+    id_ = comm.context().register_window(comm.rank(), local.data(),
+                                         local.size_bytes(), sizeof(T));
+    comm.barrier();  // all exposures visible before any access
+  }
+
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+
+  ~Window() {
+    // Collective teardown: no rank may destroy its exposure while another
+    // could still access it.
+    comm_->barrier();
+    comm_->context().deregister_window(id_, comm_->rank());
+  }
+
+  /// Number of elements exposed by `target_rank`.
+  std::size_t size_at(int target_rank) const {
+    const auto& e = comm_->context().exposure(id_, target_rank);
+    return e.bytes / sizeof(T);
+  }
+
+  /// One-sided get: copy `out.size()` elements starting at element `offset`
+  /// of `target_rank`'s exposure. Lock-protected (passive target).
+  void get(int target_rank, std::size_t offset, std::span<T> out) {
+    const auto& e = comm_->context().exposure(id_, target_rank);
+    if ((offset + out.size()) * sizeof(T) > e.bytes) {
+      throw std::out_of_range("Window::get: range outside target exposure");
+    }
+    std::scoped_lock lock(comm_->context().window_lock(id_, target_rank));
+    const T* base = static_cast<const T*>(e.base);
+    std::copy(base + offset, base + offset + out.size(), out.begin());
+    comm_->context().account_get(comm_->rank(), out.size_bytes());
+  }
+
+  /// One-sided put: write `data` into `target_rank`'s exposure at `offset`.
+  void put(int target_rank, std::size_t offset, std::span<const T> data) {
+    const auto& e = comm_->context().exposure(id_, target_rank);
+    if ((offset + data.size()) * sizeof(T) > e.bytes) {
+      throw std::out_of_range("Window::put: range outside target exposure");
+    }
+    std::scoped_lock lock(comm_->context().window_lock(id_, target_rank));
+    T* base = static_cast<T*>(e.base);
+    std::copy(data.begin(), data.end(), base + offset);
+  }
+
+ private:
+  Comm* comm_;
+  std::size_t id_ = 0;
+};
+
+/// Run `fn(comm)` on `nranks` concurrent ranks; rethrows the first rank
+/// exception after joining all threads.
+void run_ranks(int nranks, const std::function<void(Comm&)>& fn);
+
+}  // namespace bltc::simmpi

@@ -1,0 +1,36 @@
+#include "util/box.hpp"
+
+namespace bltc {
+
+double Box3::aspect_ratio() const {
+  const double s = shortest();
+  if (s <= 0.0) return std::numeric_limits<double>::infinity();
+  return longest() / s;
+}
+
+Box3 minimal_bounding_box(std::span<const double> x, std::span<const double> y,
+                          std::span<const double> z,
+                          std::span<const std::size_t> idx) {
+  Box3 box = Box3::empty();
+  for (const std::size_t i : idx) box.extend(x[i], y[i], z[i]);
+  return box;
+}
+
+Box3 minimal_bounding_box_range(std::span<const double> x,
+                                std::span<const double> y,
+                                std::span<const double> z, std::size_t begin,
+                                std::size_t end) {
+  Box3 box = Box3::empty();
+  for (std::size_t i = begin; i < end; ++i) box.extend(x[i], y[i], z[i]);
+  return box;
+}
+
+double distance(const std::array<double, 3>& a,
+                const std::array<double, 3>& b) {
+  const double dx = a[0] - b[0];
+  const double dy = a[1] - b[1];
+  const double dz = a[2] - b[2];
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+}  // namespace bltc

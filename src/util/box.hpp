@@ -1,0 +1,94 @@
+// Axis-aligned 3D bounding boxes used by cluster trees, target batches, and
+// the RCB domain decomposition.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+
+namespace bltc {
+
+/// Axis-aligned box in 3D, stored as per-axis [lo, hi] intervals.
+struct Box3 {
+  std::array<double, 3> lo{0.0, 0.0, 0.0};
+  std::array<double, 3> hi{0.0, 0.0, 0.0};
+
+  /// A box positioned so that any union/extend resets it (lo=+inf, hi=-inf).
+  static Box3 empty() {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    return Box3{{inf, inf, inf}, {-inf, -inf, -inf}};
+  }
+
+  /// Cube [a,b]^3.
+  static Box3 cube(double a, double b) { return Box3{{a, a, a}, {b, b, b}}; }
+
+  /// Grow the box to contain point (x, y, z).
+  void extend(double x, double y, double z) {
+    lo[0] = std::fmin(lo[0], x);
+    lo[1] = std::fmin(lo[1], y);
+    lo[2] = std::fmin(lo[2], z);
+    hi[0] = std::fmax(hi[0], x);
+    hi[1] = std::fmax(hi[1], y);
+    hi[2] = std::fmax(hi[2], z);
+  }
+
+  std::array<double, 3> center() const {
+    return {0.5 * (lo[0] + hi[0]), 0.5 * (lo[1] + hi[1]),
+            0.5 * (lo[2] + hi[2])};
+  }
+
+  std::array<double, 3> lengths() const {
+    return {hi[0] - lo[0], hi[1] - lo[1], hi[2] - lo[2]};
+  }
+
+  /// Half-diagonal: the cluster/batch radius used by the MAC.
+  double radius() const {
+    const auto L = lengths();
+    return 0.5 * std::sqrt(L[0] * L[0] + L[1] * L[1] + L[2] * L[2]);
+  }
+
+  double longest() const {
+    const auto L = lengths();
+    return std::fmax(L[0], std::fmax(L[1], L[2]));
+  }
+
+  double shortest() const {
+    const auto L = lengths();
+    return std::fmin(L[0], std::fmin(L[1], L[2]));
+  }
+
+  /// Ratio of longest to shortest extent; infinity for degenerate boxes.
+  double aspect_ratio() const;
+
+  bool contains(double x, double y, double z) const {
+    return x >= lo[0] && x <= hi[0] && y >= lo[1] && y <= hi[1] &&
+           z >= lo[2] && z <= hi[2];
+  }
+
+  double volume() const {
+    const auto L = lengths();
+    return L[0] * L[1] * L[2];
+  }
+
+  bool valid() const {
+    return lo[0] <= hi[0] && lo[1] <= hi[1] && lo[2] <= hi[2];
+  }
+};
+
+/// Minimal bounding box of the points selected by `idx` within SoA arrays.
+Box3 minimal_bounding_box(std::span<const double> x, std::span<const double> y,
+                          std::span<const double> z,
+                          std::span<const std::size_t> idx);
+
+/// Minimal bounding box of a contiguous range [begin, end) of SoA arrays.
+Box3 minimal_bounding_box_range(std::span<const double> x,
+                                std::span<const double> y,
+                                std::span<const double> z, std::size_t begin,
+                                std::size_t end);
+
+/// Euclidean distance between two points.
+double distance(const std::array<double, 3>& a, const std::array<double, 3>& b);
+
+}  // namespace bltc

@@ -1,0 +1,62 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace bltc {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      order_.push_back(key);
+      // A following token that is not itself an option is this key's value;
+      // otherwise it is a boolean flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[i + 1];
+        ++i;
+      } else {
+        values_[key] = "true";
+      }
+    } else {
+      positional_.push_back(token);
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string ArgParser::get_string(const std::string& key,
+                                  const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double ArgParser::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return end == it->second.c_str() ? fallback : v;
+}
+
+std::size_t ArgParser::get_size(const std::string& key,
+                                std::size_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+  return end == it->second.c_str() ? fallback : static_cast<std::size_t>(v);
+}
+
+int ArgParser::get_int(const std::string& key, int fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  return end == it->second.c_str() ? fallback : static_cast<int>(v);
+}
+
+}  // namespace bltc

@@ -1,0 +1,38 @@
+// Minimal command-line option parser for the standalone executable
+// (`--key value` and boolean `--flag` forms). No external dependencies.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bltc {
+
+/// Parses `--key value` pairs and bare `--flag`s. Unknown keys are
+/// collected so the tool can reject typos.
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::size_t get_size(const std::string& key, std::size_t fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+
+  /// Keys seen on the command line, in order (for typo checking against a
+  /// whitelist).
+  const std::vector<std::string>& keys() const { return order_; }
+
+  /// Positional arguments (tokens not starting with --).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bltc

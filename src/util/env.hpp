@@ -1,0 +1,20 @@
+// Environment-variable overrides so the bench harness can be scaled from
+// quick smoke runs up to paper-scale sweeps without recompiling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace bltc {
+
+/// Integer environment override: returns `fallback` when `name` is unset or
+/// unparsable.
+std::size_t env_size(const char* name, std::size_t fallback);
+
+/// Floating-point environment override.
+double env_double(const char* name, double fallback);
+
+/// String environment override.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace bltc

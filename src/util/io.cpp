@@ -1,0 +1,64 @@
+#include "util/io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bltc {
+
+Cloud read_cloud(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_cloud: cannot open " + path);
+  Cloud cloud;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments; treat commas as whitespace.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    for (char& ch : line) {
+      if (ch == ',') ch = ' ';
+    }
+    std::istringstream fields(line);
+    double x, y, z, q;
+    if (!(fields >> x)) continue;  // blank line
+    if (!(fields >> y >> z >> q)) {
+      throw std::runtime_error("read_cloud: malformed line " +
+                               std::to_string(lineno) + " in " + path);
+    }
+    cloud.x.push_back(x);
+    cloud.y.push_back(y);
+    cloud.z.push_back(z);
+    cloud.q.push_back(q);
+  }
+  return cloud;
+}
+
+void write_cloud(const std::string& path, const Cloud& cloud) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_cloud: cannot open " + path);
+  out << "# x y z q\n";
+  char buf[160];
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.17g %.17g %.17g %.17g\n", cloud.x[i],
+                  cloud.y[i], cloud.z[i], cloud.q[i]);
+    out << buf;
+  }
+  if (!out) throw std::runtime_error("write_cloud: write failed: " + path);
+}
+
+void write_values(const std::string& path,
+                  const std::vector<double>& values) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_values: cannot open " + path);
+  char buf[64];
+  for (const double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.17g\n", v);
+    out << buf;
+  }
+  if (!out) throw std::runtime_error("write_values: write failed: " + path);
+}
+
+}  // namespace bltc

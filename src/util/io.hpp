@@ -1,0 +1,23 @@
+// Particle-cloud I/O: whitespace/comma-separated text files with one
+// particle per line, "x y z q". Lets the standalone executable run on real
+// data sets rather than only generated workloads.
+#pragma once
+
+#include <string>
+
+#include "util/workloads.hpp"
+
+namespace bltc {
+
+/// Read a cloud from a text file. Each non-empty, non-comment ('#') line
+/// holds x y z q (comma or whitespace separated). Throws std::runtime_error
+/// on unreadable files or malformed lines.
+Cloud read_cloud(const std::string& path);
+
+/// Write a cloud in the same format (full double precision round trip).
+void write_cloud(const std::string& path, const Cloud& cloud);
+
+/// Write potentials, one value per line (aligned with the cloud order).
+void write_values(const std::string& path, const std::vector<double>& values);
+
+}  // namespace bltc

@@ -1,0 +1,34 @@
+// Deterministic, seedable RNG used by all workload generators, tests, and
+// benches. SplitMix64 is small, fast, and has no shared state, which keeps
+// multi-rank workload generation reproducible regardless of thread schedule.
+#pragma once
+
+#include <cstdint>
+
+namespace bltc {
+
+/// SplitMix64 generator (public-domain algorithm by Sebastiano Vigna).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [a, b).
+  double uniform(double a, double b) { return a + (b - a) * next_double(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace bltc

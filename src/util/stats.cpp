@@ -1,0 +1,54 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+namespace bltc {
+
+double relative_l2_error(std::span<const double> reference,
+                         std::span<const double> approx) {
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double d = reference[i] - approx[i];
+    num += d * d;
+    den += reference[i] * reference[i];
+  }
+  if (den == 0.0) return std::sqrt(num);
+  return std::sqrt(num / den);
+}
+
+double relative_l2_error_sampled(std::span<const double> reference,
+                                 std::span<const double> approx,
+                                 std::span<const std::size_t> sample) {
+  double num = 0.0;
+  double den = 0.0;
+  for (const std::size_t i : sample) {
+    const double d = reference[i] - approx[i];
+    num += d * d;
+    den += reference[i] * reference[i];
+  }
+  if (den == 0.0) return std::sqrt(num);
+  return std::sqrt(num / den);
+}
+
+double max_abs_difference(std::span<const double> a,
+                          std::span<const double> b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::fmax(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) {
+  if (k >= n || n == 0) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) idx[i] = (i * n) / k;
+  return idx;
+}
+
+}  // namespace bltc

@@ -1,0 +1,28 @@
+// Error norms and small summary statistics used to report accuracy the same
+// way the paper does (relative 2-norm, optionally on a sampled subset).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bltc {
+
+/// Relative 2-norm error, Eq. (16) of the paper:
+///   E = ( sum (ref_i - approx_i)^2 / sum ref_i^2 )^{1/2}.
+double relative_l2_error(std::span<const double> reference,
+                         std::span<const double> approx);
+
+/// Relative 2-norm error restricted to the entries listed in `sample`
+/// (the paper samples targets for systems with >= 8M particles).
+double relative_l2_error_sampled(std::span<const double> reference,
+                                 std::span<const double> approx,
+                                 std::span<const std::size_t> sample);
+
+/// Max-norm of elementwise absolute difference.
+double max_abs_difference(std::span<const double> a, std::span<const double> b);
+
+/// Evenly spaced sample of k indices from [0, n); k is clamped to n.
+std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+}  // namespace bltc

@@ -1,0 +1,25 @@
+// Wall-clock timing used for the setup/precompute/compute phase breakdown.
+#pragma once
+
+#include <chrono>
+
+namespace bltc {
+
+/// Monotonic wall-clock stopwatch; `seconds()` reads elapsed time since the
+/// last `reset()` (or construction) without stopping the clock.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bltc

@@ -1,0 +1,79 @@
+#include "util/workloads.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/rng.hpp"
+
+namespace bltc {
+
+Cloud uniform_cube(std::size_t n, std::uint64_t seed, double lo, double hi) {
+  Cloud c;
+  c.resize(n);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.x[i] = rng.uniform(lo, hi);
+    c.y[i] = rng.uniform(lo, hi);
+    c.z[i] = rng.uniform(lo, hi);
+    c.q[i] = rng.uniform(-1.0, 1.0);
+  }
+  return c;
+}
+
+Cloud plummer_sphere(std::size_t n, std::uint64_t seed, double a,
+                     double rmax) {
+  Cloud c;
+  c.resize(n);
+  SplitMix64 rng(seed);
+  const double mass = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Invert the Plummer cumulative mass profile M(r) = (r/a)^3/(1+(r/a)^2)^{3/2}.
+    double r;
+    do {
+      const double m = rng.uniform(1e-10, 1.0 - 1e-10);
+      r = a / std::sqrt(std::pow(m, -2.0 / 3.0) - 1.0);
+    } while (r > rmax * a);
+    const double u = rng.uniform(-1.0, 1.0);           // cos(polar)
+    const double phi = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    const double s = std::sqrt(1.0 - u * u);
+    c.x[i] = r * s * std::cos(phi);
+    c.y[i] = r * s * std::sin(phi);
+    c.z[i] = r * u;
+    c.q[i] = mass;
+  }
+  return c;
+}
+
+Cloud sphere_surface(std::size_t n, std::uint64_t seed, double r) {
+  Cloud c;
+  c.resize(n);
+  SplitMix64 rng(seed);
+  const double golden = std::numbers::pi * (3.0 - std::sqrt(5.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+    const double u = 1.0 - 2.0 * t;  // cos(polar), uniform in [-1, 1]
+    const double s = std::sqrt(1.0 - u * u);
+    const double phi = golden * static_cast<double>(i);
+    c.x[i] = r * s * std::cos(phi);
+    c.y[i] = r * s * std::sin(phi);
+    c.z[i] = r * u;
+    c.q[i] = rng.uniform(-1.0, 1.0);
+  }
+  return c;
+}
+
+Cloud dumbbell(std::size_t n, std::uint64_t seed, double separation) {
+  Cloud c;
+  c.resize(n);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double off = (i % 2 == 0) ? -0.5 * separation : 0.5 * separation;
+    c.x[i] = rng.uniform(-1.0, 1.0) + off;
+    c.y[i] = rng.uniform(-1.0, 1.0);
+    c.z[i] = rng.uniform(-1.0, 1.0);
+    c.q[i] = rng.uniform(-1.0, 1.0);
+  }
+  return c;
+}
+
+}  // namespace bltc

@@ -1,0 +1,46 @@
+// Workload generators for the paper's experiments and the domain examples:
+// uniform particles in a cube (all paper experiments), a Plummer sphere
+// (irregular astrophysical distribution, listed by the paper as future work),
+// and quadrature points on a sphere surface (boundary-element scenario).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bltc {
+
+/// Structure-of-arrays particle cloud with charges.
+struct Cloud {
+  std::vector<double> x, y, z, q;
+
+  std::size_t size() const { return x.size(); }
+  void resize(std::size_t n) {
+    x.resize(n);
+    y.resize(n);
+    z.resize(n);
+    q.resize(n);
+  }
+};
+
+/// N particles uniformly random in [lo, hi]^3 with charges uniform in
+/// [-1, 1] — the distribution used by every experiment in the paper (§4).
+Cloud uniform_cube(std::size_t n, std::uint64_t seed, double lo = -1.0,
+                   double hi = 1.0);
+
+/// N particles drawn from a Plummer model (scale radius a), a centrally
+/// concentrated distribution typical of star clusters. Charges are set to
+/// equal masses 1/N. Positions are clamped to radius `rmax * a`.
+Cloud plummer_sphere(std::size_t n, std::uint64_t seed, double a = 1.0,
+                     double rmax = 20.0);
+
+/// N quasi-uniform points on the sphere of radius r (Fibonacci lattice),
+/// with charges uniform in [-1, 1]; models boundary-element quadrature
+/// points on a molecular surface.
+Cloud sphere_surface(std::size_t n, std::uint64_t seed, double r = 1.0);
+
+/// Two well-separated uniform clusters (a "dumbbell"); stresses the MAC and
+/// the adaptive tree with a strongly non-uniform box population.
+Cloud dumbbell(std::size_t n, std::uint64_t seed, double separation = 6.0);
+
+}  // namespace bltc

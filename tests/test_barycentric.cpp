@@ -1,0 +1,156 @@
+#include "core/barycentric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/chebyshev.hpp"
+#include "util/rng.hpp"
+
+namespace bltc {
+namespace {
+
+TEST(Barycentric, BasisIsPartitionOfUnity) {
+  // sum_k L_k(t) = 1 for every t (interpolation of the constant 1 is exact).
+  const auto pts = chebyshev2_points(8);
+  const auto wts = chebyshev2_weights(8);
+  std::vector<double> L(pts.size());
+  SplitMix64 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double t = rng.uniform(-1.0, 1.0);
+    barycentric_basis(pts, wts, t, L);
+    double sum = 0.0;
+    for (const double v : L) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-13);
+  }
+}
+
+TEST(Barycentric, BasisIsKroneckerDeltaAtNodes) {
+  const auto pts = chebyshev2_points(6);
+  const auto wts = chebyshev2_weights(6);
+  std::vector<double> L(pts.size());
+  for (std::size_t j = 0; j < pts.size(); ++j) {
+    const int hit = barycentric_basis(pts, wts, pts[j], L);
+    EXPECT_EQ(hit, static_cast<int>(j));
+    for (std::size_t k = 0; k < pts.size(); ++k) {
+      EXPECT_DOUBLE_EQ(L[k], k == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Barycentric, NearNodeEvaluationIsFinite) {
+  // Points extremely close to (but not exactly at) a node must not blow up;
+  // the barycentric form is famously stable here.
+  const auto pts = chebyshev2_points(10);
+  const auto wts = chebyshev2_weights(10);
+  std::vector<double> L(pts.size());
+  const double t = pts[3] + 1e-13;
+  const int hit = barycentric_basis(pts, wts, t, L);
+  EXPECT_EQ(hit, -1);
+  double sum = 0.0;
+  for (const double v : L) {
+    EXPECT_TRUE(std::isfinite(v));
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+  EXPECT_NEAR(L[3], 1.0, 1e-2);
+}
+
+class BarycentricExactness : public ::testing::TestWithParam<int> {};
+
+TEST_P(BarycentricExactness, ReproducesPolynomialsUpToDegree) {
+  // Property: interpolation at n+1 points reproduces every polynomial of
+  // degree <= n exactly (up to rounding).
+  const int n = GetParam();
+  const auto pts = chebyshev2_points(n, -2.0, 3.0);
+  const auto wts = chebyshev2_weights(n);
+  SplitMix64 rng(static_cast<std::uint64_t>(n) + 1);
+
+  for (int deg = 0; deg <= n; ++deg) {
+    // Random polynomial of degree `deg`.
+    std::vector<double> coeff(static_cast<std::size_t>(deg) + 1);
+    for (double& c : coeff) c = rng.uniform(-1.0, 1.0);
+    const auto poly = [&](double t) {
+      double v = 0.0;
+      for (std::size_t i = coeff.size(); i-- > 0;) v = v * t + coeff[i];
+      return v;
+    };
+    std::vector<double> fvals(pts.size());
+    for (std::size_t k = 0; k < pts.size(); ++k) fvals[k] = poly(pts[k]);
+
+    for (int trial = 0; trial < 10; ++trial) {
+      const double t = rng.uniform(-2.0, 3.0);
+      EXPECT_NEAR(barycentric_interpolate(pts, wts, fvals, t), poly(t),
+                  1e-10 * (1.0 + std::fabs(poly(t))))
+          << "n=" << n << " deg=" << deg;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, BarycentricExactness,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(Barycentric, InterpolateAtNodeReturnsNodeValue) {
+  const auto pts = chebyshev2_points(5);
+  const auto wts = chebyshev2_weights(5);
+  const std::vector<double> fvals{1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  for (std::size_t k = 0; k < pts.size(); ++k) {
+    EXPECT_DOUBLE_EQ(barycentric_interpolate(pts, wts, fvals, pts[k]),
+                     fvals[k]);
+  }
+}
+
+TEST(Barycentric, ChebyshevInterpolationConvergesForSmoothFunction) {
+  // Spectral convergence on exp(x): error should fall by orders of
+  // magnitude as the degree grows.
+  const auto f = [](double t) { return std::exp(t); };
+  double prev_err = 1e300;
+  for (int n : {2, 4, 8, 16}) {
+    const auto pts = chebyshev2_points(n);
+    const auto wts = chebyshev2_weights(n);
+    std::vector<double> fvals(pts.size());
+    for (std::size_t k = 0; k < pts.size(); ++k) fvals[k] = f(pts[k]);
+    double err = 0.0;
+    for (int i = 0; i <= 100; ++i) {
+      const double t = -1.0 + 0.02 * i;
+      err = std::fmax(
+          err, std::fabs(barycentric_interpolate(pts, wts, fvals, t) - f(t)));
+    }
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-14);
+}
+
+TEST(Barycentric, DenominatorDetectsHits) {
+  const auto pts = chebyshev2_points(4, 0.0, 1.0);
+  const auto wts = chebyshev2_weights(4);
+  const Denominator hit = barycentric_denominator(pts, wts, pts[2]);
+  EXPECT_EQ(hit.hit, 2);
+  const Denominator miss = barycentric_denominator(pts, wts, 0.1234);
+  EXPECT_EQ(miss.hit, -1);
+  EXPECT_TRUE(std::isfinite(miss.value));
+  EXPECT_NE(miss.value, 0.0);
+}
+
+TEST(Barycentric, DenominatorConsistentWithBasis) {
+  // For non-hit t, L_k(t) = (w_k/(t-s_k)) / D(t).
+  const auto pts = chebyshev2_points(7, -1.0, 2.0);
+  const auto wts = chebyshev2_weights(7);
+  const double t = 0.377;
+  const Denominator d = barycentric_denominator(pts, wts, t);
+  ASSERT_EQ(d.hit, -1);
+  std::vector<double> L(pts.size());
+  barycentric_basis(pts, wts, t, L);
+  for (std::size_t k = 0; k < pts.size(); ++k) {
+    EXPECT_NEAR(L[k], (wts[k] / (t - pts[k])) / d.value, 1e-13);
+  }
+}
+
+TEST(Barycentric, SingularityToleranceIsSmallestNormalDouble) {
+  EXPECT_EQ(kSingularityTol, std::numeric_limits<double>::min());
+}
+
+}  // namespace
+}  // namespace bltc

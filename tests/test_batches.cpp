@@ -1,0 +1,80 @@
+#include "core/batches.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/workloads.hpp"
+
+namespace bltc {
+namespace {
+
+TEST(Batches, CoverEveryTargetExactlyOnce) {
+  Cloud c = uniform_cube(3000, 1);
+  OrderedParticles t = OrderedParticles::from_cloud(c);
+  const auto batches = build_target_batches(t, 200);
+  std::vector<char> covered(t.size(), 0);
+  for (const TargetBatch& b : batches) {
+    for (std::size_t i = b.begin; i < b.end; ++i) {
+      EXPECT_EQ(covered[i], 0);
+      covered[i] = 1;
+    }
+  }
+  for (const char cvd : covered) EXPECT_EQ(cvd, 1);
+}
+
+TEST(Batches, RespectMaxBatchSize) {
+  Cloud c = uniform_cube(5000, 2);
+  OrderedParticles t = OrderedParticles::from_cloud(c);
+  for (const std::size_t nb : {50u, 500u, 5000u}) {
+    OrderedParticles tt = OrderedParticles::from_cloud(c);
+    const auto batches = build_target_batches(tt, nb);
+    for (const TargetBatch& b : batches) {
+      EXPECT_LE(b.count(), nb);
+      EXPECT_GT(b.count(), 0u);
+    }
+  }
+}
+
+TEST(Batches, GeometryMatchesContents) {
+  Cloud c = uniform_cube(2000, 3);
+  OrderedParticles t = OrderedParticles::from_cloud(c);
+  const auto batches = build_target_batches(t, 100);
+  for (const TargetBatch& b : batches) {
+    for (std::size_t i = b.begin; i < b.end; ++i) {
+      EXPECT_TRUE(b.box.contains(t.x[i], t.y[i], t.z[i]));
+    }
+    EXPECT_DOUBLE_EQ(b.radius, b.box.radius());
+    const auto ctr = b.box.center();
+    EXPECT_DOUBLE_EQ(b.center[0], ctr[0]);
+  }
+}
+
+TEST(Batches, SingleBatchWhenMaxBatchExceedsN) {
+  Cloud c = uniform_cube(100, 4);
+  OrderedParticles t = OrderedParticles::from_cloud(c);
+  const auto batches = build_target_batches(t, 1000);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].count(), 100u);
+}
+
+TEST(Batches, BatchesAreGeometricallyLocalized) {
+  // With NB << N on a uniform cloud, batch radii must be much smaller than
+  // the domain radius — this locality is what makes the batch-level MAC
+  // near-optimal (§3.2).
+  Cloud c = uniform_cube(8000, 5);
+  OrderedParticles t = OrderedParticles::from_cloud(c);
+  const auto batches = build_target_batches(t, 100);
+  const double domain_radius = std::sqrt(3.0);
+  for (const TargetBatch& b : batches) {
+    EXPECT_LT(b.radius, 0.4 * domain_radius);
+  }
+}
+
+TEST(Batches, EmptyTargetsGiveNoBatches) {
+  Cloud c;
+  OrderedParticles t = OrderedParticles::from_cloud(c);
+  const auto batches = build_target_batches(t, 100);
+  EXPECT_TRUE(batches.empty());
+}
+
+}  // namespace
+}  // namespace bltc

@@ -1,0 +1,78 @@
+#include "util/box.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bltc {
+namespace {
+
+TEST(Box3, EmptyBoxIsInvalidAndExtendFixesIt) {
+  Box3 b = Box3::empty();
+  EXPECT_FALSE(b.valid());
+  b.extend(1.0, 2.0, 3.0);
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.lo[0], 1.0);
+  EXPECT_EQ(b.hi[2], 3.0);
+}
+
+TEST(Box3, CubeGeometry) {
+  const Box3 b = Box3::cube(-1.0, 1.0);
+  const auto c = b.center();
+  EXPECT_DOUBLE_EQ(c[0], 0.0);
+  EXPECT_DOUBLE_EQ(c[1], 0.0);
+  EXPECT_DOUBLE_EQ(c[2], 0.0);
+  EXPECT_DOUBLE_EQ(b.longest(), 2.0);
+  EXPECT_DOUBLE_EQ(b.shortest(), 2.0);
+  EXPECT_DOUBLE_EQ(b.radius(), std::sqrt(3.0));
+  EXPECT_DOUBLE_EQ(b.volume(), 8.0);
+  EXPECT_DOUBLE_EQ(b.aspect_ratio(), 1.0);
+}
+
+TEST(Box3, ExtendGrowsMonotonically) {
+  Box3 b = Box3::empty();
+  b.extend(0.0, 0.0, 0.0);
+  b.extend(2.0, -1.0, 0.5);
+  EXPECT_DOUBLE_EQ(b.lo[1], -1.0);
+  EXPECT_DOUBLE_EQ(b.hi[0], 2.0);
+  EXPECT_TRUE(b.contains(1.0, 0.0, 0.25));
+  EXPECT_FALSE(b.contains(3.0, 0.0, 0.0));
+}
+
+TEST(Box3, AspectRatioOfDegenerateBoxIsInfinite) {
+  Box3 b = Box3::empty();
+  b.extend(0.0, 0.0, 0.0);
+  b.extend(1.0, 1.0, 0.0);  // zero z extent
+  EXPECT_TRUE(std::isinf(b.aspect_ratio()));
+}
+
+TEST(Box3, MinimalBoundingBoxOfIndexedPoints) {
+  const std::vector<double> x{0.0, 1.0, 5.0};
+  const std::vector<double> y{0.0, 2.0, -3.0};
+  const std::vector<double> z{1.0, 1.0, 1.0};
+  const std::vector<std::size_t> idx{0, 1};
+  const Box3 b = minimal_bounding_box(x, y, z, idx);
+  EXPECT_DOUBLE_EQ(b.hi[0], 1.0);  // point 2 excluded
+  EXPECT_DOUBLE_EQ(b.hi[1], 2.0);
+  EXPECT_DOUBLE_EQ(b.lo[2], 1.0);
+  EXPECT_DOUBLE_EQ(b.hi[2], 1.0);
+}
+
+TEST(Box3, MinimalBoundingBoxRange) {
+  const std::vector<double> x{0.0, 1.0, 5.0};
+  const std::vector<double> y{0.0, 2.0, -3.0};
+  const std::vector<double> z{1.0, 4.0, 1.0};
+  const Box3 b = minimal_bounding_box_range(x, y, z, 1, 3);
+  EXPECT_DOUBLE_EQ(b.lo[0], 1.0);
+  EXPECT_DOUBLE_EQ(b.hi[0], 5.0);
+  EXPECT_DOUBLE_EQ(b.lo[1], -3.0);
+  EXPECT_DOUBLE_EQ(b.hi[2], 4.0);
+}
+
+TEST(Box3, DistanceBetweenPoints) {
+  EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {3, 4, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1, 1}, {1, 1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace bltc

@@ -1,0 +1,118 @@
+#include "core/chebyshev.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bltc {
+namespace {
+
+TEST(Chebyshev, EndpointsAreIntervalEndpoints) {
+  // s_0 = cos(0) = 1 and s_n = cos(pi) = -1, so the first and last points
+  // are always the interval endpoints — this is what guarantees particle/
+  // grid coincidences with minimal bounding boxes (§2.3).
+  for (int n : {1, 2, 5, 8, 13}) {
+    const auto s = chebyshev2_points(n);
+    EXPECT_DOUBLE_EQ(s.front(), 1.0) << "degree " << n;
+    EXPECT_DOUBLE_EQ(s.back(), -1.0) << "degree " << n;
+  }
+}
+
+TEST(Chebyshev, PointsAreStrictlyDecreasing) {
+  const auto s = chebyshev2_points(10);
+  for (std::size_t k = 1; k < s.size(); ++k) {
+    EXPECT_LT(s[k], s[k - 1]);
+  }
+}
+
+TEST(Chebyshev, PointsAreSymmetric) {
+  const auto s = chebyshev2_points(9);
+  const std::size_t n = s.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(s[k], -s[n - 1 - k], 1e-15);
+  }
+}
+
+TEST(Chebyshev, MappedIntervalEndpoints) {
+  const auto s = chebyshev2_points(6, 2.0, 5.0);
+  EXPECT_DOUBLE_EQ(s.front(), 5.0);  // cos(0)=1 maps to b
+  EXPECT_DOUBLE_EQ(s.back(), 2.0);   // cos(pi)=-1 maps to a
+  for (const double v : s) {
+    EXPECT_GE(v, 2.0);
+    EXPECT_LE(v, 5.0);
+  }
+}
+
+TEST(Chebyshev, MappedPointsMatchAffineMapOfReference) {
+  const auto ref = chebyshev2_points(7);
+  const auto mapped = chebyshev2_points(7, -3.0, 1.0);
+  for (std::size_t k = 0; k < ref.size(); ++k) {
+    EXPECT_NEAR(mapped[k], -1.0 + 2.0 * ref[k], 1e-14);
+  }
+}
+
+TEST(Chebyshev, IntoVariantMatchesVectorVariant) {
+  std::vector<double> out(9);
+  chebyshev2_points_into(8, 0.5, 0.9, out);
+  const auto ref = chebyshev2_points(8, 0.5, 0.9);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    EXPECT_DOUBLE_EQ(out[k], ref[k]);
+  }
+}
+
+TEST(Chebyshev, DegreeZeroIsMidpoint) {
+  const auto s = chebyshev2_points(0, 2.0, 4.0);
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0], 3.0);
+  const auto w = chebyshev2_weights(0);
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+TEST(Chebyshev, NegativeDegreeThrows) {
+  EXPECT_THROW(chebyshev2_points(-1), std::invalid_argument);
+  EXPECT_THROW(chebyshev2_weights(-2), std::invalid_argument);
+}
+
+TEST(Chebyshev, WeightsClosedForm) {
+  // Eq. (7): w_k = (-1)^k delta_k, delta = 1/2 at the endpoints.
+  const auto w = chebyshev2_weights(5);
+  ASSERT_EQ(w.size(), 6u);
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], -1.0);
+  EXPECT_DOUBLE_EQ(w[2], 1.0);
+  EXPECT_DOUBLE_EQ(w[3], -1.0);
+  EXPECT_DOUBLE_EQ(w[4], 1.0);
+  EXPECT_DOUBLE_EQ(w[5], -0.5);
+}
+
+TEST(Chebyshev, ClosedFormWeightsProportionalToGenericFormula) {
+  // Barycentric weights are only defined up to a common scale; the closed
+  // form (7) must be proportional to 1/prod(s_k - s_j).
+  for (int n : {2, 4, 7, 10}) {
+    const auto pts = chebyshev2_points(n);
+    const auto closed = chebyshev2_weights(n);
+    const auto generic = barycentric_weights_generic(pts);
+    const double ratio = closed[0] / generic[0];
+    for (std::size_t k = 0; k < closed.size(); ++k) {
+      EXPECT_NEAR(closed[k], ratio * generic[k],
+                  1e-9 * std::fabs(closed[k]) + 1e-12)
+          << "degree " << n << " k " << k;
+    }
+  }
+}
+
+TEST(Chebyshev, WeightScaleInvarianceUnderIntervalMap) {
+  // The generic weights on [a,b] differ from those on [-1,1] by a common
+  // factor only, so the closed-form weights remain valid after mapping.
+  const auto pts = chebyshev2_points(6, 2.0, 7.0);
+  const auto generic = barycentric_weights_generic(pts);
+  const auto closed = chebyshev2_weights(6);
+  const double ratio = closed[0] / generic[0];
+  for (std::size_t k = 0; k < closed.size(); ++k) {
+    EXPECT_NEAR(closed[k], ratio * generic[k], 1e-9 * std::fabs(closed[k]));
+  }
+}
+
+}  // namespace
+}  // namespace bltc

@@ -1,0 +1,72 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace bltc {
+namespace {
+
+ArgParser parse(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, KeyValuePairs) {
+  const ArgParser args = parse({"--n", "5000", "--theta", "0.7"});
+  EXPECT_EQ(args.get_size("n", 0), 5000u);
+  EXPECT_DOUBLE_EQ(args.get_double("theta", 0.0), 0.7);
+}
+
+TEST(Cli, MissingKeysFallBack) {
+  const ArgParser args = parse({"--n", "10"});
+  EXPECT_EQ(args.get_size("missing", 42), 42u);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(args.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(args.get_int("missing", -3), -3);
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Cli, BooleanFlags) {
+  const ArgParser args = parse({"--check-error", "--n", "10", "--verbose"});
+  EXPECT_TRUE(args.has("check-error"));
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get_string("check-error", ""), "true");
+  EXPECT_EQ(args.get_size("n", 0), 10u);
+}
+
+TEST(Cli, FlagFollowedByOptionIsBoolean) {
+  const ArgParser args = parse({"--flag", "--n", "7"});
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_EQ(args.get_string("flag", ""), "true");
+  EXPECT_EQ(args.get_size("n", 0), 7u);
+}
+
+TEST(Cli, UnparsableNumbersFallBack) {
+  const ArgParser args = parse({"--n", "abc", "--theta", "xyz"});
+  EXPECT_EQ(args.get_size("n", 9), 9u);
+  EXPECT_DOUBLE_EQ(args.get_double("theta", 0.25), 0.25);
+}
+
+TEST(Cli, KeysPreserveOrder) {
+  const ArgParser args = parse({"--b", "1", "--a", "2", "--c"});
+  ASSERT_EQ(args.keys().size(), 3u);
+  EXPECT_EQ(args.keys()[0], "b");
+  EXPECT_EQ(args.keys()[1], "a");
+  EXPECT_EQ(args.keys()[2], "c");
+}
+
+TEST(Cli, PositionalArguments) {
+  const ArgParser args = parse({"input.csv", "--n", "5", "output.csv"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.csv");
+  EXPECT_EQ(args.positional()[1], "output.csv");
+}
+
+TEST(Cli, NegativeNumberAsValue) {
+  // "-3" does not start with "--", so it is a value, not an option.
+  const ArgParser args = parse({"--offset", "-3"});
+  EXPECT_EQ(args.get_int("offset", 0), -3);
+}
+
+}  // namespace
+}  // namespace bltc

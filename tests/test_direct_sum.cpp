@@ -1,0 +1,128 @@
+#include "core/direct_sum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+#include "util/workloads.hpp"
+
+namespace bltc {
+namespace {
+
+TEST(DirectSum, TwoParticleCoulomb) {
+  Cloud c;
+  c.resize(2);
+  c.x = {0.0, 3.0};
+  c.y = {0.0, 4.0};
+  c.z = {0.0, 0.0};
+  c.q = {2.0, -1.0};
+  const auto phi = direct_sum(c, c, KernelSpec::coulomb());
+  // r = 5; phi_0 = q_1/r = -0.2; phi_1 = q_0/r = 0.4. Self skipped.
+  EXPECT_DOUBLE_EQ(phi[0], -0.2);
+  EXPECT_DOUBLE_EQ(phi[1], 0.4);
+}
+
+TEST(DirectSum, SelfInteractionSkippedForSingularKernels) {
+  Cloud c;
+  c.resize(1);
+  c.x = {1.0};
+  c.y = {2.0};
+  c.z = {3.0};
+  c.q = {5.0};
+  const auto phi = direct_sum(c, c, KernelSpec::coulomb());
+  EXPECT_DOUBLE_EQ(phi[0], 0.0);
+}
+
+TEST(DirectSum, SelfInteractionIncludedForSmoothKernels) {
+  Cloud c;
+  c.resize(1);
+  c.x = {1.0};
+  c.y = {2.0};
+  c.z = {3.0};
+  c.q = {5.0};
+  const auto phi = direct_sum(c, c, KernelSpec::gaussian(1.0));
+  EXPECT_DOUBLE_EQ(phi[0], 5.0);  // G(0) = 1 times q
+}
+
+TEST(DirectSum, SuperpositionLinearity) {
+  const Cloud targets = uniform_cube(50, 1);
+  Cloud a = uniform_cube(200, 2);
+  Cloud b = uniform_cube(200, 3);
+  // Union cloud.
+  Cloud ab = a;
+  ab.x.insert(ab.x.end(), b.x.begin(), b.x.end());
+  ab.y.insert(ab.y.end(), b.y.begin(), b.y.end());
+  ab.z.insert(ab.z.end(), b.z.begin(), b.z.end());
+  ab.q.insert(ab.q.end(), b.q.begin(), b.q.end());
+
+  const auto phi_a = direct_sum(targets, a, KernelSpec::yukawa(0.5));
+  const auto phi_b = direct_sum(targets, b, KernelSpec::yukawa(0.5));
+  const auto phi_ab = direct_sum(targets, ab, KernelSpec::yukawa(0.5));
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(phi_ab[i], phi_a[i] + phi_b[i],
+                1e-12 * (1.0 + std::fabs(phi_ab[i])));
+  }
+}
+
+TEST(DirectSum, ChargeScalingScalesPotential) {
+  const Cloud targets = uniform_cube(20, 4);
+  Cloud sources = uniform_cube(100, 5);
+  const auto phi1 = direct_sum(targets, sources, KernelSpec::coulomb());
+  for (double& q : sources.q) q *= -3.0;
+  const auto phi2 = direct_sum(targets, sources, KernelSpec::coulomb());
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(phi2[i], -3.0 * phi1[i], 1e-12 * (1.0 + std::fabs(phi1[i])));
+  }
+}
+
+TEST(DirectSum, SampledMatchesFull) {
+  const Cloud c = uniform_cube(500, 6);
+  const auto full = direct_sum(c, c, KernelSpec::coulomb());
+  const auto sample = sample_indices(c.size(), 50);
+  const auto sampled = direct_sum_sampled(c, sample, c, KernelSpec::coulomb());
+  ASSERT_EQ(sampled.size(), sample.size());
+  for (std::size_t s = 0; s < sample.size(); ++s) {
+    EXPECT_DOUBLE_EQ(sampled[s], full[sample[s]]);
+  }
+}
+
+TEST(DirectSum, YukawaBoundedByCoulomb) {
+  const Cloud c = uniform_cube(300, 7);
+  Cloud positive = c;
+  for (double& q : positive.q) q = std::fabs(q);
+  const auto phi_c = direct_sum(positive, positive, KernelSpec::coulomb());
+  const auto phi_y = direct_sum(positive, positive, KernelSpec::yukawa(0.5));
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_LE(phi_y[i], phi_c[i] + 1e-12);
+    EXPECT_GE(phi_y[i], 0.0);
+  }
+}
+
+TEST(DirectSum, DisjointTargetsAndSources) {
+  const Cloud targets = uniform_cube(40, 8, 5.0, 6.0);  // far away
+  const Cloud sources = uniform_cube(100, 9);
+  const auto phi = direct_sum(targets, sources, KernelSpec::coulomb());
+  // Sanity: each potential is the correct brute-force value.
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    double expected = 0.0;
+    for (std::size_t j = 0; j < sources.size(); ++j) {
+      expected += evaluate_kernel(KernelSpec::coulomb(), targets.x[i],
+                                  targets.y[i], targets.z[i], sources.x[j],
+                                  sources.y[j], sources.z[j]) *
+                  sources.q[j];
+    }
+    EXPECT_NEAR(phi[i], expected, 1e-12 * (1.0 + std::fabs(expected)));
+  }
+}
+
+TEST(DirectSum, EmptyInputs) {
+  Cloud empty;
+  const Cloud c = uniform_cube(10, 10);
+  EXPECT_TRUE(direct_sum(empty, c, KernelSpec::coulomb()).empty());
+  const auto phi = direct_sum(c, empty, KernelSpec::coulomb());
+  for (const double v : phi) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace bltc

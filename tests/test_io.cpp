@@ -1,0 +1,92 @@
+#include "util/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/workloads.hpp"
+
+namespace bltc {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) {
+    return std::string(::testing::TempDir()) + name;
+  }
+};
+
+TEST_F(IoTest, RoundTripPreservesFullPrecision) {
+  const Cloud original = uniform_cube(500, 1);
+  const std::string file = path("cloud_roundtrip.txt");
+  write_cloud(file, original);
+  const Cloud loaded = read_cloud(file);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.x[i], original.x[i]);
+    EXPECT_EQ(loaded.y[i], original.y[i]);
+    EXPECT_EQ(loaded.z[i], original.z[i]);
+    EXPECT_EQ(loaded.q[i], original.q[i]);
+  }
+  std::remove(file.c_str());
+}
+
+TEST_F(IoTest, ReadsCommaSeparatedAndComments) {
+  const std::string file = path("cloud_csv.txt");
+  {
+    std::ofstream out(file);
+    out << "# header comment\n";
+    out << "1.0, 2.0, 3.0, -0.5\n";
+    out << "\n";
+    out << "4.0 5.0 6.0 0.25  # trailing comment\n";
+  }
+  const Cloud c = read_cloud(file);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.x[0], 1.0);
+  EXPECT_DOUBLE_EQ(c.q[0], -0.5);
+  EXPECT_DOUBLE_EQ(c.y[1], 5.0);
+  EXPECT_DOUBLE_EQ(c.q[1], 0.25);
+  std::remove(file.c_str());
+}
+
+TEST_F(IoTest, MalformedLineThrows) {
+  const std::string file = path("cloud_bad.txt");
+  {
+    std::ofstream out(file);
+    out << "1.0 2.0\n";  // only two fields
+  }
+  EXPECT_THROW(read_cloud(file), std::runtime_error);
+  std::remove(file.c_str());
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(read_cloud(path("does_not_exist.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, WriteValuesRoundTrip) {
+  const std::string file = path("values.txt");
+  const std::vector<double> values{1.5, -2.25, 3.125e-7};
+  write_values(file, values);
+  std::ifstream in(file);
+  double v;
+  std::vector<double> loaded;
+  while (in >> v) loaded.push_back(v);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_DOUBLE_EQ(loaded[0], 1.5);
+  EXPECT_DOUBLE_EQ(loaded[2], 3.125e-7);
+  std::remove(file.c_str());
+}
+
+TEST_F(IoTest, EmptyFileGivesEmptyCloud) {
+  const std::string file = path("cloud_empty.txt");
+  {
+    std::ofstream out(file);
+    out << "# nothing but comments\n\n";
+  }
+  EXPECT_EQ(read_cloud(file).size(), 0u);
+  std::remove(file.c_str());
+}
+
+}  // namespace
+}  // namespace bltc

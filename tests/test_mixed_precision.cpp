@@ -1,0 +1,77 @@
+// §5 future-work feature: mixed-precision potential evaluation (float
+// kernel arithmetic on the device, double everywhere else).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/direct_sum.hpp"
+#include "core/solver.hpp"
+#include "util/stats.hpp"
+#include "util/workloads.hpp"
+
+namespace bltc {
+namespace {
+
+TreecodeParams params() {
+  TreecodeParams p;
+  p.theta = 0.6;
+  p.degree = 8;
+  p.max_leaf = 500;
+  p.max_batch = 500;
+  return p;
+}
+
+TEST(MixedPrecision, AccuracyDegradesToSinglePrecisionLevel) {
+  const Cloud c = uniform_cube(6000, 1);
+  const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+
+  GpuOptions double_opts;
+  GpuOptions float_opts;
+  float_opts.mixed_precision = true;
+
+  const auto phi_d = compute_potential(c, c, KernelSpec::coulomb(), params(),
+                                       Backend::kGpuSim, nullptr,
+                                       &double_opts);
+  const auto phi_f = compute_potential(c, c, KernelSpec::coulomb(), params(),
+                                       Backend::kGpuSim, nullptr,
+                                       &float_opts);
+  const double err_d = relative_l2_error(ref, phi_d);
+  const double err_f = relative_l2_error(ref, phi_f);
+
+  // Double path: treecode-limited (theta=0.6, n=8 ~ 1e-7). Float path:
+  // limited by single-precision accumulation (~1e-6), but not garbage.
+  EXPECT_LT(err_d, 1e-6);
+  EXPECT_LT(err_f, 1e-4);
+  EXPECT_GT(err_f, err_d);  // precision loss is real and visible
+}
+
+TEST(MixedPrecision, ModeledComputeIsFaster) {
+  const Cloud c = uniform_cube(15000, 2);
+  TreecodeParams p = params();
+  p.max_leaf = 2000;
+  p.max_batch = 2000;
+
+  GpuOptions double_opts;
+  GpuOptions float_opts;
+  float_opts.mixed_precision = true;
+
+  RunStats sd, sf;
+  compute_potential(c, c, KernelSpec::coulomb(), p, Backend::kGpuSim, &sd,
+                    &double_opts);
+  compute_potential(c, c, KernelSpec::coulomb(), p, Backend::kGpuSim, &sf,
+                    &float_opts);
+  EXPECT_LT(sf.modeled.compute, sd.modeled.compute);
+}
+
+TEST(MixedPrecision, YukawaAlsoWorks) {
+  const Cloud c = uniform_cube(4000, 3);
+  const auto ref = direct_sum(c, c, KernelSpec::yukawa(0.5));
+  GpuOptions float_opts;
+  float_opts.mixed_precision = true;
+  const auto phi = compute_potential(c, c, KernelSpec::yukawa(0.5), params(),
+                                     Backend::kGpuSim, nullptr, &float_opts);
+  EXPECT_LT(relative_l2_error(ref, phi), 1e-4);
+}
+
+}  // namespace
+}  // namespace bltc

@@ -1,0 +1,73 @@
+#include "core/particles.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/workloads.hpp"
+
+namespace bltc {
+namespace {
+
+TEST(Particles, FromCloudKeepsOrderAndIdentityPermutation) {
+  const Cloud c = uniform_cube(10, 1);
+  const OrderedParticles p = OrderedParticles::from_cloud(c);
+  ASSERT_EQ(p.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(p.x[i], c.x[i]);
+    EXPECT_EQ(p.q[i], c.q[i]);
+    EXPECT_EQ(p.original_index[i], i);
+  }
+}
+
+TEST(Particles, PermuteReordersAllArraysConsistently) {
+  const Cloud c = uniform_cube(5, 2);
+  OrderedParticles p = OrderedParticles::from_cloud(c);
+  const std::vector<std::size_t> perm{4, 2, 0, 1, 3};
+  p.permute(perm);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(p.x[i], c.x[perm[i]]);
+    EXPECT_EQ(p.y[i], c.y[perm[i]]);
+    EXPECT_EQ(p.z[i], c.z[perm[i]]);
+    EXPECT_EQ(p.q[i], c.q[perm[i]]);
+    EXPECT_EQ(p.original_index[i], perm[i]);
+  }
+}
+
+TEST(Particles, PermutationsCompose) {
+  const Cloud c = uniform_cube(6, 3);
+  OrderedParticles p = OrderedParticles::from_cloud(c);
+  p.permute(std::vector<std::size_t>{5, 4, 3, 2, 1, 0});
+  p.permute(std::vector<std::size_t>{1, 0, 3, 2, 5, 4});
+  // Slot 0 now holds: second permutation takes slot 1 of the reversed
+  // order, which held original index 4.
+  EXPECT_EQ(p.original_index[0], 4u);
+  EXPECT_EQ(p.x[0], c.x[4]);
+}
+
+TEST(Particles, ScatterToOriginalInvertsPermutation) {
+  const Cloud c = uniform_cube(100, 4);
+  OrderedParticles p = OrderedParticles::from_cloud(c);
+  std::vector<std::size_t> perm(100);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  // Deterministic shuffle.
+  for (std::size_t i = 99; i > 0; --i) {
+    std::swap(perm[i], perm[(i * 7919) % (i + 1)]);
+  }
+  p.permute(perm);
+
+  // "Values" tagged with the tree-order x coordinate.
+  const std::vector<double> values = p.x;
+  const std::vector<double> restored = p.scatter_to_original(values);
+  EXPECT_EQ(restored, c.x);
+}
+
+TEST(Particles, ScatterOfIdentityIsIdentity) {
+  const Cloud c = uniform_cube(7, 5);
+  const OrderedParticles p = OrderedParticles::from_cloud(c);
+  const std::vector<double> v{1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(p.scatter_to_original(v), v);
+}
+
+}  // namespace
+}  // namespace bltc

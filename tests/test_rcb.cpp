@@ -1,0 +1,136 @@
+#include "partition/rcb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/workloads.hpp"
+
+namespace bltc {
+namespace {
+
+TEST(Rcb, BalancesParticleCounts) {
+  const Cloud c = uniform_cube(10000, 1);
+  for (const std::size_t nparts : {2u, 3u, 4u, 6u, 8u, 32u}) {
+    const Box3 domain = Box3::cube(-1.0, 1.0);
+    const RcbResult r =
+        rcb_partition(c.x, c.y, c.z, nparts, domain);
+    std::size_t total = 0;
+    for (const std::size_t count : r.part_count) {
+      total += count;
+      // Each part within 1% + 2 particles of the ideal share.
+      const double ideal = 10000.0 / static_cast<double>(nparts);
+      EXPECT_NEAR(static_cast<double>(count), ideal, 0.01 * ideal + 2.0)
+          << "nparts " << nparts;
+    }
+    EXPECT_EQ(total, c.size());
+  }
+}
+
+TEST(Rcb, AssignmentsMatchPartBoxes) {
+  const Cloud c = uniform_cube(5000, 2);
+  const Box3 domain = Box3::cube(-1.0, 1.0);
+  const RcbResult r = rcb_partition(c.x, c.y, c.z, 4, domain);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const Box3& box = r.part_box[static_cast<std::size_t>(r.assignment[i])];
+    EXPECT_TRUE(box.contains(c.x[i], c.y[i], c.z[i])) << "particle " << i;
+  }
+}
+
+TEST(Rcb, PartBoxesTileTheDomain) {
+  const Cloud c = uniform_cube(8000, 3);
+  const Box3 domain = Box3::cube(-1.0, 1.0);
+  const RcbResult r = rcb_partition(c.x, c.y, c.z, 6, domain);
+  double vol = 0.0;
+  for (const Box3& b : r.part_box) vol += b.volume();
+  EXPECT_NEAR(vol, domain.volume(), 1e-9);
+}
+
+TEST(Rcb, Figure2aFourEqualAreas) {
+  // Fig. 2a: the unit square, 4 partitions, y bisected first; every process
+  // owns area 1/4.
+  Cloud c = uniform_cube(100000, 4, 0.0, 1.0);
+  for (double& z : c.z) z = 0.0;  // 2D points
+  Box3 domain;
+  domain.lo = {0.0, 0.0, 0.0};
+  domain.hi = {1.0, 1.0, 0.0};
+  const RcbResult r = rcb_partition(c.x, c.y, c.z, 4, domain,
+                                    RcbAxisPolicy::kCycleYXZ);
+  for (const Box3& b : r.part_box) {
+    const auto L = b.lengths();
+    EXPECT_NEAR(L[0] * L[1], 0.25, 0.02);  // area 1/4 (population median)
+  }
+  // First cut was in y at ~0.5: two boxes end at y~0.5, two start there.
+  int below = 0, above = 0;
+  for (const Box3& b : r.part_box) {
+    if (std::fabs(b.hi[1] - 0.5) < 0.02) ++below;
+    if (std::fabs(b.lo[1] - 0.5) < 0.02) ++above;
+  }
+  EXPECT_EQ(below, 2);
+  EXPECT_EQ(above, 2);
+}
+
+TEST(Rcb, Figure2bSixEqualAreas) {
+  // Fig. 2b: 6 partitions of the unit square; each process owns area 1/6.
+  Cloud c = uniform_cube(120000, 5, 0.0, 1.0);
+  for (double& z : c.z) z = 0.0;
+  Box3 domain;
+  domain.lo = {0.0, 0.0, 0.0};
+  domain.hi = {1.0, 1.0, 0.0};
+  const RcbResult r = rcb_partition(c.x, c.y, c.z, 6, domain,
+                                    RcbAxisPolicy::kCycleYXZ);
+  for (const Box3& b : r.part_box) {
+    const auto L = b.lengths();
+    EXPECT_NEAR(L[0] * L[1], 1.0 / 6.0, 0.02);
+  }
+}
+
+TEST(Rcb, LongestExtentPolicyCutsTheLongAxis) {
+  // A 10:1:1 slab: the first (and every early) cut must be in x.
+  Cloud c = uniform_cube(4000, 6);
+  for (double& x : c.x) x *= 10.0;
+  Box3 domain;
+  domain.lo = {-10.0, -1.0, -1.0};
+  domain.hi = {10.0, 1.0, 1.0};
+  const RcbResult r = rcb_partition(c.x, c.y, c.z, 2, domain,
+                                    RcbAxisPolicy::kLongestExtent);
+  // Both part boxes keep the full y/z extents; only x was divided.
+  for (const Box3& b : r.part_box) {
+    EXPECT_DOUBLE_EQ(b.lo[1], -1.0);
+    EXPECT_DOUBLE_EQ(b.hi[1], 1.0);
+    EXPECT_LT(b.lengths()[0], 20.0);
+  }
+}
+
+TEST(Rcb, SinglePartitionIsIdentity) {
+  const Cloud c = uniform_cube(100, 7);
+  const Box3 domain = Box3::cube(-1.0, 1.0);
+  const RcbResult r = rcb_partition(c.x, c.y, c.z, 1, domain);
+  for (const int a : r.assignment) EXPECT_EQ(a, 0);
+  EXPECT_EQ(r.part_count[0], 100u);
+}
+
+TEST(Rcb, ZeroPartsThrows) {
+  const Cloud c = uniform_cube(10, 8);
+  EXPECT_THROW(rcb_partition(c.x, c.y, c.z, 0, Box3::cube(-1, 1)),
+               std::invalid_argument);
+}
+
+TEST(Rcb, MorePartsThanPointsLeavesSomeEmpty) {
+  const Cloud c = uniform_cube(3, 9);
+  const RcbResult r = rcb_partition(c.x, c.y, c.z, 8, Box3::cube(-1, 1));
+  std::size_t total = 0;
+  for (const std::size_t count : r.part_count) total += count;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Rcb, DeterministicForFixedInput) {
+  const Cloud c = uniform_cube(2000, 10);
+  const Box3 domain = Box3::cube(-1.0, 1.0);
+  const RcbResult a = rcb_partition(c.x, c.y, c.z, 5, domain);
+  const RcbResult b = rcb_partition(c.x, c.y, c.z, 5, domain);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+}  // namespace
+}  // namespace bltc

@@ -1,0 +1,168 @@
+// Robustness and failure-injection tests: determinism, degenerate inputs
+// (duplicate particles, collinear clouds, extreme separations), and
+// numerical edge cases that a production treecode must survive.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/direct_sum.hpp"
+#include "core/solver.hpp"
+#include "dist/dist_solver.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/workloads.hpp"
+
+namespace bltc {
+namespace {
+
+TreecodeParams params() {
+  TreecodeParams p;
+  p.theta = 0.7;
+  p.degree = 5;
+  p.max_leaf = 200;
+  p.max_batch = 200;
+  return p;
+}
+
+TEST(Robustness, SolverIsDeterministic) {
+  // Identical input must give bitwise-identical output regardless of
+  // OpenMP scheduling: every batch writes only its own targets and the
+  // accumulation order within a batch is fixed.
+  const Cloud c = uniform_cube(5000, 1);
+  const auto a = compute_potential(c, KernelSpec::coulomb(), params());
+  const auto b = compute_potential(c, KernelSpec::coulomb(), params());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Robustness, DistributedSolverIsDeterministic) {
+  const Cloud c = uniform_cube(4000, 2);
+  dist::DistParams p;
+  p.treecode = params();
+  p.backend = Backend::kCpu;
+  const auto a = dist::compute_potential_distributed(c, KernelSpec::coulomb(),
+                                                     p, 4);
+  const auto b = dist::compute_potential_distributed(c, KernelSpec::coulomb(),
+                                                     p, 4);
+  EXPECT_EQ(a.potential, b.potential);
+}
+
+TEST(Robustness, DuplicateParticlesMatchDirectSumConvention) {
+  // Exact duplicates: the r = 0 pair is skipped (the standard convention);
+  // the treecode must agree with direct summation, not blow up.
+  Cloud c = uniform_cube(2000, 3);
+  for (std::size_t i = 0; i < 100; ++i) {  // duplicate 100 particles exactly
+    c.x.push_back(c.x[i]);
+    c.y.push_back(c.y[i]);
+    c.z.push_back(c.z[i]);
+    c.q.push_back(0.5);
+  }
+  const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+  const auto phi = compute_potential(c, KernelSpec::coulomb(), params());
+  for (const double v : phi) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_LT(relative_l2_error(ref, phi), 1e-4);
+}
+
+TEST(Robustness, CollinearCloud) {
+  // All particles on a line: degenerate boxes in two dimensions, aspect
+  // logic must bisect only along the line.
+  Cloud c;
+  c.resize(3000);
+  SplitMix64 rng(4);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c.x[i] = rng.uniform(-1.0, 1.0);
+    c.y[i] = 0.25;
+    c.z[i] = -0.5;
+    c.q[i] = rng.uniform(-1.0, 1.0);
+  }
+  const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+  const auto phi = compute_potential(c, KernelSpec::coulomb(), params());
+  EXPECT_LT(relative_l2_error(ref, phi), 1e-4);
+}
+
+TEST(Robustness, PlanarCloud) {
+  Cloud c = uniform_cube(3000, 5);
+  for (double& z : c.z) z = 0.0;
+  const auto ref = direct_sum(c, c, KernelSpec::yukawa(0.5));
+  const auto phi = compute_potential(c, KernelSpec::yukawa(0.5), params());
+  EXPECT_LT(relative_l2_error(ref, phi), 1e-4);
+}
+
+TEST(Robustness, DumbbellDistribution) {
+  // Two well-separated clumps: the MAC should approximate the far clump
+  // aggressively and the accuracy must hold.
+  const Cloud c = dumbbell(6000, 6, 8.0);
+  const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+  RunStats stats;
+  const auto phi = compute_potential(c, KernelSpec::coulomb(), params(),
+                                     Backend::kCpu, &stats);
+  EXPECT_LT(relative_l2_error(ref, phi), 1e-5);
+  EXPECT_GT(stats.approx_interactions, 0u);
+}
+
+TEST(Robustness, TinyCoordinatesAndCharges) {
+  // Scale invariance stress: everything at 1e-6 scale must not underflow
+  // through the barycentric weights or the MAC.
+  Cloud c = uniform_cube(2000, 7);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c.x[i] *= 1e-6;
+    c.y[i] *= 1e-6;
+    c.z[i] *= 1e-6;
+    c.q[i] *= 1e-6;
+  }
+  const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+  const auto phi = compute_potential(c, KernelSpec::coulomb(), params());
+  EXPECT_LT(relative_l2_error(ref, phi), 1e-4);
+}
+
+TEST(Robustness, HugeCoordinateOffset) {
+  // Cloud far from the origin: differences stay small while absolute
+  // coordinates are large (catastrophic-cancellation stress).
+  Cloud c = uniform_cube(2000, 8);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c.x[i] += 1e6;
+    c.y[i] -= 1e6;
+  }
+  const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+  const auto phi = compute_potential(c, KernelSpec::coulomb(), params());
+  EXPECT_LT(relative_l2_error(ref, phi), 1e-4);
+}
+
+TEST(Robustness, AllChargesZero) {
+  Cloud c = uniform_cube(1000, 9);
+  for (double& q : c.q) q = 0.0;
+  const auto phi = compute_potential(c, KernelSpec::coulomb(), params());
+  for (const double v : phi) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Robustness, SingleSourceManyTargets) {
+  Cloud src;
+  src.resize(1);
+  src.x = {0.1};
+  src.y = {0.2};
+  src.z = {0.3};
+  src.q = {2.5};
+  const Cloud tgt = uniform_cube(500, 10);
+  const auto phi = compute_potential(tgt, src, KernelSpec::coulomb(),
+                                     params());
+  for (std::size_t i = 0; i < tgt.size(); ++i) {
+    const double expect = evaluate_kernel(KernelSpec::coulomb(), tgt.x[i],
+                                          tgt.y[i], tgt.z[i], 0.1, 0.2, 0.3) *
+                          2.5;
+    EXPECT_NEAR(phi[i], expect, 1e-12 * (1.0 + std::fabs(expect)));
+  }
+}
+
+TEST(Robustness, GpuBackendSurvivesDegenerateInputs) {
+  Cloud c = uniform_cube(1500, 11);
+  for (double& z : c.z) z = 0.0;  // planar
+  const auto cpu = compute_potential(c, KernelSpec::coulomb(), params(),
+                                     Backend::kCpu);
+  const auto gpu = compute_potential(c, KernelSpec::coulomb(), params(),
+                                     Backend::kGpuSim);
+  double scale = 0.0;
+  for (const double v : cpu) scale = std::fmax(scale, std::fabs(v));
+  EXPECT_LT(max_abs_difference(cpu, gpu), 1e-11 * scale);
+}
+
+}  // namespace
+}  // namespace bltc

@@ -1,0 +1,235 @@
+#include "core/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/direct_sum.hpp"
+#include "util/stats.hpp"
+#include "util/workloads.hpp"
+
+namespace bltc {
+namespace {
+
+TreecodeParams small_params() {
+  TreecodeParams p;
+  p.theta = 0.7;
+  p.degree = 6;
+  p.max_leaf = 300;
+  p.max_batch = 300;
+  return p;
+}
+
+TEST(Solver, MatchesDirectSumWithinTreecodeAccuracy) {
+  const Cloud c = uniform_cube(8000, 1);
+  const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+  RunStats stats;
+  const auto phi = compute_potential(c, KernelSpec::coulomb(), small_params(),
+                                     Backend::kCpu, &stats);
+  EXPECT_LT(relative_l2_error(ref, phi), 1e-5);
+  EXPECT_GT(stats.num_clusters, 1u);
+  EXPECT_GT(stats.num_batches, 1u);
+  EXPECT_GT(stats.approx_interactions, 0u);
+  EXPECT_GT(stats.direct_interactions, 0u);
+  EXPECT_GT(stats.approx_evals, 0.0);
+  EXPECT_GT(stats.direct_evals, 0.0);
+}
+
+TEST(Solver, GpuBackendMatchesCpuBackendNumerically) {
+  // The simulated GPU runs the same arithmetic in the same order within
+  // each batch-cluster interaction; agreement should be near machine eps.
+  const Cloud c = uniform_cube(5000, 2);
+  const auto cpu = compute_potential(c, KernelSpec::yukawa(0.5),
+                                     small_params(), Backend::kCpu);
+  RunStats gstats;
+  const auto gpu = compute_potential(c, KernelSpec::yukawa(0.5),
+                                     small_params(), Backend::kGpuSim,
+                                     &gstats);
+  double scale = 0.0;
+  for (const double v : cpu) scale = std::fmax(scale, std::fabs(v));
+  EXPECT_LT(max_abs_difference(cpu, gpu), 1e-11 * scale);
+  EXPECT_GT(gstats.gpu_launches, 0u);
+  EXPECT_GT(gstats.bytes_to_device, 0u);
+  EXPECT_GT(gstats.bytes_to_host, 0u);
+  EXPECT_GT(gstats.modeled.compute, 0.0);
+  EXPECT_GT(gstats.modeled.precompute, 0.0);
+  EXPECT_GT(gstats.modeled.setup, 0.0);
+}
+
+TEST(Solver, ResultIsInCallerOrder) {
+  // The tree reorders particles internally; results must come back in the
+  // caller's order. Verify against per-target brute force on a shuffled,
+  // asymmetric cloud.
+  Cloud c = uniform_cube(600, 3);
+  c.x[17] += 3.0;  // break any accidental symmetry
+  const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+  TreecodeParams p = small_params();
+  p.degree = 10;
+  p.theta = 0.5;
+  const auto phi = compute_potential(c, KernelSpec::coulomb(), p);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(phi[i], ref[i], 1e-6 * (1.0 + std::fabs(ref[i]))) << i;
+  }
+}
+
+TEST(Solver, DisjointTargetsAndSources) {
+  // BEM-style usage: targets on a sphere surface, sources in the volume.
+  const Cloud targets = sphere_surface(800, 4, 3.0);
+  const Cloud sources = uniform_cube(4000, 5);
+  const auto ref = direct_sum(targets, sources, KernelSpec::yukawa(0.5));
+  const auto phi = compute_potential(targets, sources, KernelSpec::yukawa(0.5),
+                                     small_params());
+  EXPECT_LT(relative_l2_error(ref, phi), 1e-6);
+}
+
+TEST(Solver, SmoothKernelNeedsNoSingularityGuard) {
+  const Cloud c = uniform_cube(3000, 6);
+  const auto ref = direct_sum(c, c, KernelSpec::gaussian(0.5));
+  const auto phi = compute_potential(c, KernelSpec::gaussian(0.5),
+                                     small_params());
+  EXPECT_LT(relative_l2_error(ref, phi), 1e-5);
+}
+
+TEST(Solver, MultiquadricKernel) {
+  const Cloud c = uniform_cube(3000, 7);
+  const auto ref = direct_sum(c, c, KernelSpec::multiquadric(0.1));
+  const auto phi = compute_potential(c, KernelSpec::multiquadric(0.1),
+                                     small_params());
+  EXPECT_LT(relative_l2_error(ref, phi), 1e-5);
+}
+
+TEST(Solver, FactorizedMomentsGiveSameResult) {
+  const Cloud c = uniform_cube(4000, 8);
+  TreecodeParams p = small_params();
+  const auto direct_alg = compute_potential(c, KernelSpec::coulomb(), p);
+  p.moment_algorithm = MomentAlgorithm::kFactorized;
+  const auto fact_alg = compute_potential(c, KernelSpec::coulomb(), p);
+  double scale = 0.0;
+  for (const double v : direct_alg) scale = std::fmax(scale, std::fabs(v));
+  EXPECT_LT(max_abs_difference(direct_alg, fact_alg), 1e-11 * scale);
+}
+
+TEST(Solver, BatchMacIsMoreConservativeThanPerTargetMac) {
+  // §3.2: applying the MAC to the whole batch (radius r_B > 0) is stricter
+  // than per-target (r_B = 0), so it accepts fewer approximations — more
+  // accurate, at the cost of extra direct work. Both stay at treecode-level
+  // accuracy.
+  const Cloud c = uniform_cube(4000, 9);
+  const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+  TreecodeParams p = small_params();
+  RunStats batch_stats, point_stats;
+  const auto batch_phi =
+      compute_potential(c, KernelSpec::coulomb(), p, Backend::kCpu,
+                        &batch_stats);
+  p.per_target_mac = true;
+  const auto point_phi =
+      compute_potential(c, KernelSpec::coulomb(), p, Backend::kCpu,
+                        &point_stats);
+  const double batch_err = relative_l2_error(ref, batch_phi);
+  const double point_err = relative_l2_error(ref, point_phi);
+  EXPECT_LE(batch_err, point_err * 1.1);  // batching never loses accuracy
+  EXPECT_LT(point_err, 1e-3);             // still treecode-level
+  // Per-target traversal does no more direct work per target than batch.
+  EXPECT_LE(point_stats.direct_evals / static_cast<double>(c.size()),
+            batch_stats.direct_evals / static_cast<double>(c.size()) * 1.05);
+}
+
+TEST(Solver, PerTargetMacRejectedOnGpuBackend) {
+  const Cloud c = uniform_cube(100, 10);
+  TreecodeParams p = small_params();
+  p.per_target_mac = true;
+  EXPECT_THROW(
+      compute_potential(c, KernelSpec::coulomb(), p, Backend::kGpuSim),
+      std::invalid_argument);
+}
+
+TEST(Solver, ParameterValidation) {
+  const Cloud c = uniform_cube(10, 11);
+  TreecodeParams p;
+  p.theta = 0.0;
+  EXPECT_THROW(compute_potential(c, KernelSpec::coulomb(), p),
+               std::invalid_argument);
+  p = TreecodeParams{};
+  p.theta = 1.0;
+  EXPECT_THROW(compute_potential(c, KernelSpec::coulomb(), p),
+               std::invalid_argument);
+  p = TreecodeParams{};
+  p.degree = -1;
+  EXPECT_THROW(compute_potential(c, KernelSpec::coulomb(), p),
+               std::invalid_argument);
+  p = TreecodeParams{};
+  p.max_leaf = 0;
+  EXPECT_THROW(compute_potential(c, KernelSpec::coulomb(), p),
+               std::invalid_argument);
+}
+
+TEST(Solver, EmptyCloudsReturnEmptyOrZero) {
+  Cloud empty;
+  const Cloud c = uniform_cube(50, 12);
+  EXPECT_TRUE(
+      compute_potential(empty, c, KernelSpec::coulomb(), small_params())
+          .empty());
+  const auto phi =
+      compute_potential(c, empty, KernelSpec::coulomb(), small_params());
+  ASSERT_EQ(phi.size(), c.size());
+  for (const double v : phi) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Solver, TinyCloudFallsBackToAllDirect) {
+  // N far below (n+1)^3: the size condition forces pure direct summation,
+  // and the result must be *exactly* the direct sum (same skip convention).
+  const Cloud c = uniform_cube(50, 13);
+  const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+  RunStats stats;
+  const auto phi = compute_potential(c, KernelSpec::coulomb(), small_params(),
+                                     Backend::kCpu, &stats);
+  EXPECT_EQ(stats.approx_interactions, 0u);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(phi[i], ref[i], 1e-12 * (1.0 + std::fabs(ref[i])));
+  }
+}
+
+TEST(Solver, AsyncStreamsDoNotChangeNumerics) {
+  const Cloud c = uniform_cube(3000, 14);
+  GpuOptions async_opts;
+  async_opts.async_streams = true;
+  GpuOptions sync_opts;
+  sync_opts.async_streams = false;
+  const auto a = compute_potential(c, c, KernelSpec::coulomb(),
+                                   small_params(), Backend::kGpuSim, nullptr,
+                                   &async_opts);
+  const auto b = compute_potential(c, c, KernelSpec::coulomb(),
+                                   small_params(), Backend::kGpuSim, nullptr,
+                                   &sync_opts);
+  EXPECT_EQ(a, b);  // bitwise: stream scheduling is timing-only
+}
+
+TEST(Solver, ModeledAsyncIsFasterThanModeledSync) {
+  const Cloud c = uniform_cube(6000, 15);
+  RunStats async_stats, sync_stats;
+  GpuOptions async_opts;
+  async_opts.async_streams = true;
+  GpuOptions sync_opts;
+  sync_opts.async_streams = false;
+  compute_potential(c, c, KernelSpec::coulomb(), small_params(),
+                    Backend::kGpuSim, &async_stats, &async_opts);
+  compute_potential(c, c, KernelSpec::coulomb(), small_params(),
+                    Backend::kGpuSim, &sync_stats, &sync_opts);
+  EXPECT_LT(async_stats.modeled.compute, sync_stats.modeled.compute);
+}
+
+TEST(Solver, PhaseTimesArePopulated) {
+  const Cloud c = uniform_cube(4000, 16);
+  RunStats stats;
+  compute_potential(c, KernelSpec::coulomb(), small_params(), Backend::kCpu,
+                    &stats);
+  EXPECT_GT(stats.setup_seconds, 0.0);
+  EXPECT_GT(stats.precompute_seconds, 0.0);
+  EXPECT_GT(stats.compute_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(
+      stats.total_seconds(),
+      stats.setup_seconds + stats.precompute_seconds + stats.compute_seconds);
+}
+
+}  // namespace
+}  // namespace bltc

@@ -1,0 +1,137 @@
+// Parameterized accuracy sweeps over (kernel, theta, degree) — the
+// property-style counterpart of the paper's Fig. 4: error is controlled by
+// theta and falls rapidly (spectrally) as the interpolation degree grows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "core/direct_sum.hpp"
+#include "core/solver.hpp"
+#include "util/stats.hpp"
+#include "util/workloads.hpp"
+
+namespace bltc {
+namespace {
+
+/// Shared fixtures: one cloud + one direct-sum reference per kernel,
+/// computed once across the whole sweep.
+class SolverSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {
+ protected:
+  static constexpr std::size_t kN = 6000;
+
+  static const Cloud& cloud() {
+    static const Cloud c = uniform_cube(kN, 42);
+    return c;
+  }
+
+  static KernelSpec kernel_for(int id) {
+    switch (id) {
+      case 0:
+        return KernelSpec::coulomb();
+      case 1:
+        return KernelSpec::yukawa(0.5);
+      default:
+        return KernelSpec::gaussian(0.5);
+    }
+  }
+
+  static const std::vector<double>& reference(int kernel_id) {
+    static std::map<int, std::vector<double>> refs;
+    auto it = refs.find(kernel_id);
+    if (it == refs.end()) {
+      it = refs.emplace(kernel_id,
+                        direct_sum(cloud(), cloud(), kernel_for(kernel_id)))
+               .first;
+    }
+    return it->second;
+  }
+
+  static double run_error(int kernel_id, double theta, int degree) {
+    TreecodeParams p;
+    p.theta = theta;
+    p.degree = degree;
+    p.max_leaf = 300;
+    p.max_batch = 300;
+    const auto phi = compute_potential(cloud(), kernel_for(kernel_id), p);
+    return relative_l2_error(reference(kernel_id), phi);
+  }
+};
+
+TEST_P(SolverSweep, ErrorWithinExpectedBand) {
+  const auto [kernel_id, theta, degree] = GetParam();
+  const double err = run_error(kernel_id, theta, degree);
+
+  // Loose error-band model for theta in [0.5, 0.9]: the treecode error
+  // behaves like C * theta^(degree+1) (polynomial interpolation error on a
+  // region of relative size theta). We assert a generous upper bound and
+  // that the method is meaningfully better than nothing.
+  const double bound = 50.0 * std::pow(theta, degree + 1);
+  EXPECT_LT(err, bound) << "kernel=" << kernel_id << " theta=" << theta
+                        << " degree=" << degree;
+  EXPECT_LT(err, 0.2);
+}
+
+TEST_P(SolverSweep, ErrorDropsWithDegree) {
+  const auto [kernel_id, theta, degree] = GetParam();
+  if (degree + 4 > 10) GTEST_SKIP() << "upper degree checked elsewhere";
+  const double err_low = run_error(kernel_id, theta, degree);
+  const double err_high = run_error(kernel_id, theta, degree + 4);
+  // Four extra degrees must shrink the error substantially (spectral
+  // convergence); allow slack for error floors near machine precision.
+  EXPECT_LT(err_high, err_low * 0.5 + 1e-14)
+      << "kernel=" << kernel_id << " theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsThetaDegree, SolverSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(0.5, 0.7, 0.9),
+                       ::testing::Values(2, 4, 6)),
+    [](const ::testing::TestParamInfo<SolverSweep::ParamType>& info) {
+      const int k = std::get<0>(info.param);
+      const double theta = std::get<1>(info.param);
+      const int deg = std::get<2>(info.param);
+      const std::string kn = (k == 0)   ? "coulomb"
+                             : (k == 1) ? "yukawa"
+                                        : "gaussian";
+      return kn + "_theta" + std::to_string(static_cast<int>(theta * 10)) +
+             "_n" + std::to_string(deg);
+    });
+
+TEST(SolverConvergence, ReachesTightAccuracyAtHighDegree) {
+  // theta = 0.5, n = 12 should push well past 10 digits (Fig. 4 reaches
+  // machine precision at n = 13 with theta = 0.5).
+  const Cloud c = uniform_cube(4000, 7);
+  const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+  TreecodeParams p;
+  p.theta = 0.5;
+  p.degree = 12;
+  p.max_leaf = 400;
+  p.max_batch = 400;
+  const auto phi = compute_potential(c, KernelSpec::coulomb(), p);
+  EXPECT_LT(relative_l2_error(ref, phi), 1e-10);
+}
+
+TEST(SolverConvergence, ThetaControlsErrorMonotonically) {
+  const Cloud c = uniform_cube(5000, 8);
+  const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+  double prev = -1.0;
+  for (const double theta : {0.5, 0.7, 0.9}) {
+    TreecodeParams p;
+    p.theta = theta;
+    p.degree = 6;
+    p.max_leaf = 300;
+    p.max_batch = 300;
+    const auto phi = compute_potential(c, KernelSpec::coulomb(), p);
+    const double err = relative_l2_error(ref, phi);
+    EXPECT_GT(err, prev);  // larger theta -> looser MAC -> larger error
+    prev = err;
+  }
+}
+
+}  // namespace
+}  // namespace bltc

@@ -1,0 +1,89 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/env.hpp"
+
+namespace bltc {
+namespace {
+
+TEST(Stats, RelativeL2ErrorKnownValue) {
+  const std::vector<double> ref{3.0, 4.0};
+  const std::vector<double> approx{3.0, 5.0};  // diff (0,1); ||ref|| = 5
+  EXPECT_DOUBLE_EQ(relative_l2_error(ref, approx), 0.2);
+}
+
+TEST(Stats, RelativeL2ErrorOfIdenticalVectorsIsZero) {
+  const std::vector<double> v{1.0, -2.0, 3.5};
+  EXPECT_DOUBLE_EQ(relative_l2_error(v, v), 0.0);
+}
+
+TEST(Stats, RelativeL2ErrorZeroReferenceFallsBackToAbsolute) {
+  const std::vector<double> ref{0.0, 0.0};
+  const std::vector<double> approx{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(relative_l2_error(ref, approx), 5.0);
+}
+
+TEST(Stats, SampledErrorUsesOnlySampleEntries) {
+  const std::vector<double> ref{1.0, 100.0, 1.0};
+  const std::vector<double> approx{1.0, 0.0, 2.0};  // entry 1 is way off
+  const std::vector<std::size_t> sample{0, 2};
+  EXPECT_DOUBLE_EQ(
+      relative_l2_error_sampled(ref, approx, sample),
+      std::sqrt(1.0 / 2.0));
+}
+
+TEST(Stats, MaxAbsDifference) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{1.5, 2.0, 1.0};
+  EXPECT_DOUBLE_EQ(max_abs_difference(a, b), 2.0);
+}
+
+TEST(Stats, SampleIndicesEvenlySpaced) {
+  const auto s = sample_indices(100, 10);
+  ASSERT_EQ(s.size(), 10u);
+  EXPECT_EQ(s[0], 0u);
+  EXPECT_EQ(s[1], 10u);
+  EXPECT_EQ(s[9], 90u);
+}
+
+TEST(Stats, SampleIndicesClampedToN) {
+  const auto s = sample_indices(5, 100);
+  ASSERT_EQ(s.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Stats, SampleIndicesAreStrictlyIncreasing) {
+  const auto s = sample_indices(1000, 37);
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_LT(s[i - 1], s[i]);
+}
+
+TEST(Env, SizeParsesAndFallsBack) {
+  ::setenv("BLTC_TEST_ENV_SIZE", "1234", 1);
+  EXPECT_EQ(env_size("BLTC_TEST_ENV_SIZE", 7), 1234u);
+  ::unsetenv("BLTC_TEST_ENV_SIZE");
+  EXPECT_EQ(env_size("BLTC_TEST_ENV_SIZE", 7), 7u);
+  ::setenv("BLTC_TEST_ENV_SIZE", "garbage", 1);
+  EXPECT_EQ(env_size("BLTC_TEST_ENV_SIZE", 7), 7u);
+  ::unsetenv("BLTC_TEST_ENV_SIZE");
+}
+
+TEST(Env, DoubleParsesAndFallsBack) {
+  ::setenv("BLTC_TEST_ENV_DBL", "0.75", 1);
+  EXPECT_DOUBLE_EQ(env_double("BLTC_TEST_ENV_DBL", 1.5), 0.75);
+  ::unsetenv("BLTC_TEST_ENV_DBL");
+  EXPECT_DOUBLE_EQ(env_double("BLTC_TEST_ENV_DBL", 1.5), 1.5);
+}
+
+TEST(Env, StringFallsBackOnEmpty) {
+  ::setenv("BLTC_TEST_ENV_STR", "", 1);
+  EXPECT_EQ(env_string("BLTC_TEST_ENV_STR", "dflt"), "dflt");
+  ::setenv("BLTC_TEST_ENV_STR", "value", 1);
+  EXPECT_EQ(env_string("BLTC_TEST_ENV_STR", "dflt"), "value");
+  ::unsetenv("BLTC_TEST_ENV_STR");
+}
+
+}  // namespace
+}  // namespace bltc

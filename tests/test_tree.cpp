@@ -1,0 +1,249 @@
+#include "core/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "util/workloads.hpp"
+
+namespace bltc {
+namespace {
+
+OrderedParticles build_particles(const Cloud& cloud) {
+  return OrderedParticles::from_cloud(cloud);
+}
+
+/// Checks the structural invariants every valid cluster tree must satisfy.
+void check_tree_invariants(const ClusterTree& tree,
+                           const OrderedParticles& p, std::size_t max_leaf) {
+  const auto& nodes = tree.nodes();
+  ASSERT_FALSE(nodes.empty());
+  const ClusterNode& root = nodes[0];
+  EXPECT_EQ(root.begin, 0u);
+  EXPECT_EQ(root.end, p.size());
+  EXPECT_EQ(root.level, 0);
+  EXPECT_EQ(root.parent, -1);
+
+  std::size_t leaf_count = 0;
+  for (std::size_t ni = 0; ni < nodes.size(); ++ni) {
+    const ClusterNode& n = nodes[ni];
+    EXPECT_LE(n.begin, n.end);
+
+    // Every particle in the range lies inside the node's (minimal) box.
+    for (std::size_t i = n.begin; i < n.end; ++i) {
+      EXPECT_TRUE(n.box.contains(p.x[i], p.y[i], p.z[i]))
+          << "node " << ni << " particle " << i;
+    }
+    // Minimality: the box is exactly the bounding box of the range.
+    if (n.count() > 0) {
+      const Box3 minimal =
+          minimal_bounding_box_range(p.x, p.y, p.z, n.begin, n.end);
+      for (int d = 0; d < 3; ++d) {
+        EXPECT_DOUBLE_EQ(n.box.lo[static_cast<std::size_t>(d)],
+                         minimal.lo[static_cast<std::size_t>(d)]);
+        EXPECT_DOUBLE_EQ(n.box.hi[static_cast<std::size_t>(d)],
+                         minimal.hi[static_cast<std::size_t>(d)]);
+      }
+    }
+
+    if (n.is_leaf()) {
+      ++leaf_count;
+      EXPECT_LE(n.count(), max_leaf) << "leaf " << ni;
+    } else {
+      // Children partition the parent's particle range contiguously.
+      std::size_t cursor = n.begin;
+      for (int c = 0; c < n.num_children; ++c) {
+        const ClusterNode& child =
+            nodes[static_cast<std::size_t>(n.children[static_cast<std::size_t>(c)])];
+        EXPECT_EQ(child.begin, cursor);
+        EXPECT_EQ(child.parent, static_cast<int>(ni));
+        EXPECT_EQ(child.level, n.level + 1);
+        EXPECT_GT(child.count(), 0u);  // empty children are discarded
+        cursor = child.end;
+      }
+      EXPECT_EQ(cursor, n.end);
+      EXPECT_GE(n.num_children, 2);
+      EXPECT_LE(n.num_children, 8);
+    }
+  }
+  EXPECT_EQ(leaf_count, tree.num_leaves());
+}
+
+class TreeInvariants
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(TreeInvariants, HoldOnUniformCube) {
+  const auto [max_leaf, seed] = GetParam();
+  Cloud c = uniform_cube(4000, static_cast<std::uint64_t>(seed));
+  OrderedParticles p = build_particles(c);
+  TreeParams params;
+  params.max_leaf = max_leaf;
+  const ClusterTree tree = ClusterTree::build(p, params);
+  check_tree_invariants(tree, p, max_leaf);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LeafSizes, TreeInvariants,
+    ::testing::Combine(::testing::Values(std::size_t{16}, std::size_t{100},
+                                         std::size_t{500}, std::size_t{4000}),
+                       ::testing::Values(1, 2)));
+
+TEST(Tree, PermutationPreservesParticleMultiset) {
+  Cloud c = uniform_cube(2000, 3);
+  OrderedParticles p = build_particles(c);
+  TreeParams params;
+  params.max_leaf = 64;
+  ClusterTree::build(p, params);
+  // original_index must remain a permutation of 0..N-1.
+  std::vector<std::size_t> sorted = p.original_index;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  // And the coordinates must still match the originals through it.
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(p.x[i], c.x[p.original_index[i]]);
+    EXPECT_EQ(p.q[i], c.q[p.original_index[i]]);
+  }
+}
+
+TEST(Tree, AspectRatioAwareSplitting) {
+  // A thin slab (x extent 8, y extent 1, z extent 0.1) must not be split in
+  // y or z at the root: only dimensions longer than longest/sqrt(2) divide,
+  // so the root should get exactly 2 children (§3.1).
+  Cloud c = uniform_cube(2000, 4);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    c.x[i] *= 4.0;
+    c.z[i] *= 0.05;
+  }
+  OrderedParticles p = build_particles(c);
+  TreeParams params;
+  params.max_leaf = 100;
+  const ClusterTree tree = ClusterTree::build(p, params);
+  EXPECT_EQ(tree.node(0).num_children, 2);
+  check_tree_invariants(tree, p, 100);
+}
+
+TEST(Tree, CubeSplitsIntoEightAtRoot) {
+  Cloud c = uniform_cube(4000, 5);
+  OrderedParticles p = build_particles(c);
+  TreeParams params;
+  params.max_leaf = 100;
+  const ClusterTree tree = ClusterTree::build(p, params);
+  EXPECT_EQ(tree.node(0).num_children, 8);
+}
+
+TEST(Tree, TwoToOneAspectSplitsIntoFour) {
+  // Extents (4, 2, 2): x and... only x exceeds 4/sqrt(2) ≈ 2.83, so the
+  // root bisects in x only -> 2 children, each roughly (2, 2, 2) cubes.
+  Cloud c = uniform_cube(4000, 6);
+  for (std::size_t i = 0; i < c.size(); ++i) c.x[i] *= 2.0;
+  OrderedParticles p = build_particles(c);
+  TreeParams params;
+  params.max_leaf = 200;
+  const ClusterTree tree = ClusterTree::build(p, params);
+  EXPECT_EQ(tree.node(0).num_children, 2);
+  // The children, now near-cubic, divide in all three dimensions.
+  const ClusterNode& child = tree.node(tree.node(0).children[0]);
+  if (!child.is_leaf()) {
+    EXPECT_EQ(child.num_children, 8);
+  }
+}
+
+TEST(Tree, SingleParticleIsALeafRoot) {
+  Cloud c;
+  c.resize(1);
+  c.x[0] = 0.5;
+  c.y[0] = -0.5;
+  c.z[0] = 0.25;
+  c.q[0] = 1.0;
+  OrderedParticles p = build_particles(c);
+  const ClusterTree tree = ClusterTree::build(p, TreeParams{});
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_TRUE(tree.node(0).is_leaf());
+  EXPECT_DOUBLE_EQ(tree.node(0).radius, 0.0);
+}
+
+TEST(Tree, EmptyInputProducesEmptyRoot) {
+  Cloud c;
+  OrderedParticles p = build_particles(c);
+  const ClusterTree tree = ClusterTree::build(p, TreeParams{});
+  EXPECT_EQ(tree.num_nodes(), 1u);
+  EXPECT_EQ(tree.node(0).count(), 0u);
+}
+
+TEST(Tree, CoincidentParticlesStillRespectLeafSize) {
+  // 1000 copies of the same point: midpoint splitting cannot separate them,
+  // so the builder must fall back to index bisection.
+  Cloud c;
+  c.resize(1000);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    c.x[i] = 0.1;
+    c.y[i] = 0.2;
+    c.z[i] = 0.3;
+    c.q[i] = 1.0;
+  }
+  OrderedParticles p = build_particles(c);
+  TreeParams params;
+  params.max_leaf = 64;
+  const ClusterTree tree = ClusterTree::build(p, params);
+  for (const int li : tree.leaf_indices()) {
+    EXPECT_LE(tree.node(li).count(), 64u);
+  }
+}
+
+TEST(Tree, LeafIndicesMatchesLeafFlags) {
+  Cloud c = uniform_cube(3000, 8);
+  OrderedParticles p = build_particles(c);
+  TreeParams params;
+  params.max_leaf = 128;
+  const ClusterTree tree = ClusterTree::build(p, params);
+  const auto leaves = tree.leaf_indices();
+  EXPECT_EQ(leaves.size(), tree.num_leaves());
+  for (const int li : leaves) EXPECT_TRUE(tree.node(li).is_leaf());
+}
+
+TEST(Tree, LeavesPartitionAllParticles) {
+  Cloud c = uniform_cube(3000, 9);
+  OrderedParticles p = build_particles(c);
+  TreeParams params;
+  params.max_leaf = 100;
+  const ClusterTree tree = ClusterTree::build(p, params);
+  std::vector<char> covered(p.size(), 0);
+  for (const int li : tree.leaf_indices()) {
+    const ClusterNode& n = tree.node(li);
+    for (std::size_t i = n.begin; i < n.end; ++i) {
+      EXPECT_EQ(covered[i], 0) << "particle covered twice";
+      covered[i] = 1;
+    }
+  }
+  for (const char cvd : covered) EXPECT_EQ(cvd, 1);
+}
+
+TEST(Tree, PlummerDistributionBuildsDeepAdaptiveTree) {
+  Cloud c = plummer_sphere(5000, 10);
+  OrderedParticles p = build_particles(c);
+  TreeParams params;
+  params.max_leaf = 50;
+  const ClusterTree tree = ClusterTree::build(p, params);
+  check_tree_invariants(tree, p, 50);
+  // The dense core forces deeper refinement than a uniform cloud of the
+  // same size would need.
+  EXPECT_GT(tree.max_level(), 3);
+}
+
+TEST(Tree, FromNodesRoundTrip) {
+  Cloud c = uniform_cube(1000, 11);
+  OrderedParticles p = build_particles(c);
+  TreeParams params;
+  params.max_leaf = 100;
+  const ClusterTree tree = ClusterTree::build(p, params);
+  const ClusterTree copy = ClusterTree::from_nodes(
+      std::vector<ClusterNode>(tree.nodes().begin(), tree.nodes().end()));
+  EXPECT_EQ(copy.num_nodes(), tree.num_nodes());
+  EXPECT_EQ(copy.num_leaves(), tree.num_leaves());
+  EXPECT_EQ(copy.max_level(), tree.max_level());
+}
+
+}  // namespace
+}  // namespace bltc

@@ -1,0 +1,158 @@
+#include "core/variants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/direct_sum.hpp"
+#include "util/stats.hpp"
+#include "util/workloads.hpp"
+
+namespace bltc {
+namespace {
+
+TreecodeParams small_params() {
+  TreecodeParams p;
+  p.theta = 0.6;
+  p.degree = 5;
+  p.max_leaf = 300;
+  p.max_batch = 300;
+  return p;
+}
+
+class VariantAccuracy : public ::testing::TestWithParam<TreecodeVariant> {};
+
+TEST_P(VariantAccuracy, MatchesDirectSum) {
+  const TreecodeVariant variant = GetParam();
+  const Cloud c = uniform_cube(6000, 1);
+  const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+  VariantStats stats;
+  const auto phi = compute_potential_variant(c, c, KernelSpec::coulomb(),
+                                             small_params(), variant, &stats);
+  EXPECT_LT(relative_l2_error(ref, phi), 1e-4);
+  EXPECT_GT(stats.kernel_evals, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, VariantAccuracy,
+    ::testing::Values(TreecodeVariant::kParticleCluster,
+                      TreecodeVariant::kClusterParticle,
+                      TreecodeVariant::kClusterCluster),
+    [](const ::testing::TestParamInfo<TreecodeVariant>& info) {
+      switch (info.param) {
+        case TreecodeVariant::kParticleCluster:
+          return std::string("particle_cluster");
+        case TreecodeVariant::kClusterParticle:
+          return std::string("cluster_particle");
+        default:
+          return std::string("cluster_cluster");
+      }
+    });
+
+TEST(Variants, InteractionTypesMatchVariant) {
+  // CC interactions need pairs of clusters that are simultaneously large
+  // (count > (n+1)^3) and well separated; a deep tree with a low degree
+  // guarantees both exist in the unit cube.
+  const Cloud c = uniform_cube(20000, 2);
+  TreecodeParams p = small_params();
+  p.theta = 0.8;
+  p.degree = 3;
+  p.max_leaf = 100;
+  p.max_batch = 100;
+
+  VariantStats pc_stats;
+  compute_potential_variant(c, c, KernelSpec::coulomb(), p,
+                            TreecodeVariant::kParticleCluster, &pc_stats);
+  EXPECT_GT(pc_stats.pc_interactions, 0u);
+  EXPECT_EQ(pc_stats.cp_interactions, 0u);
+  EXPECT_EQ(pc_stats.cc_interactions, 0u);
+
+  VariantStats cp_stats;
+  compute_potential_variant(c, c, KernelSpec::coulomb(), p,
+                            TreecodeVariant::kClusterParticle, &cp_stats);
+  EXPECT_GT(cp_stats.cp_interactions, 0u);
+  EXPECT_EQ(cp_stats.pc_interactions, 0u);
+  EXPECT_EQ(cp_stats.cc_interactions, 0u);
+
+  VariantStats cc_stats;
+  compute_potential_variant(c, c, KernelSpec::coulomb(), p,
+                            TreecodeVariant::kClusterCluster, &cc_stats);
+  EXPECT_GT(cc_stats.cc_interactions, 0u);
+}
+
+TEST(Variants, ClusterClusterDoesFewerEvalsAtScale) {
+  // The CC scheme's grid-grid interactions replace many particle-grid
+  // interactions; at moderate N it already evaluates fewer kernels than PC.
+  const Cloud c = uniform_cube(20000, 3);
+  TreecodeParams p = small_params();
+  p.theta = 0.8;
+  p.degree = 4;
+  p.max_leaf = 200;
+  p.max_batch = 200;
+
+  VariantStats pc_stats, cc_stats;
+  compute_potential_variant(c, c, KernelSpec::coulomb(), p,
+                            TreecodeVariant::kParticleCluster, &pc_stats);
+  compute_potential_variant(c, c, KernelSpec::coulomb(), p,
+                            TreecodeVariant::kClusterCluster, &cc_stats);
+  EXPECT_LT(cc_stats.kernel_evals, pc_stats.kernel_evals);
+}
+
+TEST(Variants, DisjointTargetsAndSources) {
+  const Cloud targets = sphere_surface(2000, 4, 2.5);
+  const Cloud sources = uniform_cube(5000, 5);
+  const auto ref = direct_sum(targets, sources, KernelSpec::yukawa(0.5));
+  for (const TreecodeVariant v :
+       {TreecodeVariant::kClusterParticle, TreecodeVariant::kClusterCluster}) {
+    const auto phi = compute_potential_variant(
+        targets, sources, KernelSpec::yukawa(0.5), small_params(), v);
+    EXPECT_LT(relative_l2_error(ref, phi), 1e-4);
+  }
+}
+
+TEST(Variants, TinySystemFallsBackToDirect) {
+  const Cloud c = uniform_cube(60, 6);
+  const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+  VariantStats stats;
+  const auto phi = compute_potential_variant(
+      c, c, KernelSpec::coulomb(), small_params(),
+      TreecodeVariant::kClusterCluster, &stats);
+  EXPECT_EQ(stats.cc_interactions, 0u);
+  EXPECT_EQ(stats.pc_interactions, 0u);
+  EXPECT_EQ(stats.cp_interactions, 0u);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(phi[i], ref[i], 1e-12 * (1.0 + std::fabs(ref[i])));
+  }
+}
+
+TEST(Variants, EmptyInputs) {
+  Cloud empty;
+  const Cloud c = uniform_cube(50, 7);
+  EXPECT_TRUE(compute_potential_variant(empty, c, KernelSpec::coulomb(),
+                                        small_params(),
+                                        TreecodeVariant::kClusterCluster)
+                  .empty());
+  const auto phi = compute_potential_variant(
+      c, empty, KernelSpec::coulomb(), small_params(),
+      TreecodeVariant::kClusterCluster);
+  for (const double v : phi) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Variants, ConvergesWithDegree) {
+  const Cloud c = uniform_cube(5000, 8);
+  const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+  double prev = 1e300;
+  for (const int degree : {2, 4, 6, 8}) {
+    TreecodeParams p = small_params();
+    p.degree = degree;
+    const auto phi = compute_potential_variant(
+        c, c, KernelSpec::coulomb(), p, TreecodeVariant::kClusterCluster);
+    const double err = relative_l2_error(ref, phi);
+    EXPECT_LT(err, prev * 1.5) << degree;
+    prev = err;
+  }
+  EXPECT_LT(prev, 1e-6);
+}
+
+}  // namespace
+}  // namespace bltc
