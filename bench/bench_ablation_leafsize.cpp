@@ -31,9 +31,14 @@ int main() {
     params.max_leaf = leaf;
     params.max_batch = leaf;
 
+    SolverConfig config;
+    config.kernel = kernel;
+    config.params = params;
+    config.backend = Backend::kGpuSim;
+    Solver solver(config);
+    solver.set_sources(cloud);
     RunStats stats;
-    const auto phi =
-        compute_potential(cloud, kernel, params, Backend::kGpuSim, &stats);
+    const auto phi = solver.evaluate(cloud, &stats);
     const double err = bench::sampled_error(cloud, phi, kernel, 500);
 
     table.add_row({std::to_string(leaf), bench::Table::sci(err),

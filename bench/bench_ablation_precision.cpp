@@ -29,12 +29,15 @@ int main() {
       params.max_leaf = 2000;
       params.max_batch = 2000;
 
-      GpuOptions opts;
-      opts.mixed_precision = mixed;
-
+      SolverConfig config;
+      config.kernel = kernel;
+      config.params = params;
+      config.backend = Backend::kGpuSim;
+      config.gpu.mixed_precision = mixed;
+      Solver solver(config);
+      solver.set_sources(cloud);
       RunStats stats;
-      const auto phi = compute_potential(cloud, cloud, kernel, params,
-                                         Backend::kGpuSim, &stats, &opts);
+      const auto phi = solver.evaluate(cloud, &stats);
       const double err = bench::sampled_error(cloud, phi, kernel, 500);
 
       table.add_row({kernel.name(), mixed ? "float" : "double",

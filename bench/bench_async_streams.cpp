@@ -31,16 +31,21 @@ int main() {
       params.max_leaf = batch;
       params.max_batch = batch;
 
-      GpuOptions sync_opts;
-      sync_opts.async_streams = false;
-      GpuOptions async_opts;
-      async_opts.async_streams = true;
+      SolverConfig sync_config;
+      sync_config.kernel = kernel;
+      sync_config.params = params;
+      sync_config.backend = Backend::kGpuSim;
+      sync_config.gpu.async_streams = false;
+      SolverConfig async_config = sync_config;
+      async_config.gpu.async_streams = true;
 
       RunStats sync_stats, async_stats;
-      compute_potential(cloud, cloud, kernel, params, Backend::kGpuSim,
-                        &sync_stats, &sync_opts);
-      compute_potential(cloud, cloud, kernel, params, Backend::kGpuSim,
-                        &async_stats, &async_opts);
+      Solver sync_solver(sync_config);
+      sync_solver.set_sources(cloud);
+      sync_solver.evaluate(cloud, &sync_stats);
+      Solver async_solver(async_config);
+      async_solver.set_sources(cloud);
+      async_solver.evaluate(cloud, &async_stats);
 
       const double reduction = 100.0 * (sync_stats.modeled.compute -
                                         async_stats.modeled.compute) /

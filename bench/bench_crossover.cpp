@@ -35,9 +35,14 @@ int main() {
     params.max_leaf = batch;
     params.max_batch = batch;
 
+    SolverConfig config;
+    config.kernel = kernel;
+    config.params = params;
+    config.backend = Backend::kGpuSim;
+    Solver solver(config);
+    solver.set_sources(cloud);
     RunStats stats;
-    const auto phi =
-        compute_potential(cloud, kernel, params, Backend::kGpuSim, &stats);
+    const auto phi = solver.evaluate(cloud, &stats);
     const double err = bench::sampled_error(cloud, phi, kernel, 500);
 
     const double pairs = static_cast<double>(n) * static_cast<double>(n);

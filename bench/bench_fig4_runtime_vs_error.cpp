@@ -63,10 +63,15 @@ void run_kernel_panel(const Cloud& cloud, const KernelSpec& kernel,
       params.max_leaf = batch_size;
       params.max_batch = batch_size;
 
+      SolverConfig config;
+      config.kernel = kernel;
+      config.params = params;
+      config.backend = Backend::kGpuSim;
       RunStats stats;
       WallTimer timer;
-      const auto phi = compute_potential(cloud, kernel, params,
-                                         Backend::kGpuSim, &stats);
+      Solver solver(config);
+      solver.set_sources(cloud);
+      const auto phi = solver.evaluate(cloud, &stats);
       const double host_seconds = timer.seconds();
       const double err = bench::sampled_error(cloud, phi, kernel);
 

@@ -37,15 +37,18 @@ int main() {
   const double kappa = 0.5;
   const KernelSpec kernel = KernelSpec::yukawa(kappa);
 
-  TreecodeParams params;
-  params.theta = 0.6;
-  params.degree = 8;
-  params.max_leaf = 1000;
-  params.max_batch = 1000;
+  SolverConfig config;
+  config.kernel = kernel;
+  config.params.theta = 0.6;
+  config.params.degree = 8;
+  config.params.max_leaf = 1000;
+  config.params.max_batch = 1000;
+  config.backend = Backend::kGpuSim;
+  Solver solver(config);
 
+  solver.set_sources(surface);
   RunStats stats;
-  const std::vector<double> phi = compute_potential(
-      probes, surface, kernel, params, Backend::kGpuSim, &stats);
+  const std::vector<double> phi = solver.evaluate(probes, &stats);
 
   std::printf("BEM sphere example: %zu surface charges -> %zu probes "
               "(%s)\n",
@@ -56,6 +59,21 @@ int main() {
               stats.compute_seconds);
   std::printf("  modeled Titan V total: %.4f s (%zu kernel launches)\n",
               stats.modeled.total(), stats.gpu_launches);
+
+  // A solvation solver iterates: surface charges change every outer
+  // iteration, geometry does not. update_charges() recomputes only the
+  // modified charges and re-uploads q — tree, lists, and the probes' plan
+  // (and their device copies) are reused as-is.
+  Cloud iterated = surface;
+  for (double& q : iterated.q) q *= 0.9;
+  solver.update_charges(iterated.q);
+  RunStats iter_stats;
+  solver.evaluate(probes, &iter_stats);
+  std::printf("  BEM-iteration re-solve (update_charges): setup %.6f s, "
+              "precompute %.3f s, compute %.3f s, fresh HtD %.1f KiB\n",
+              iter_stats.setup_seconds, iter_stats.precompute_seconds,
+              iter_stats.compute_seconds,
+              static_cast<double>(iter_stats.bytes_to_device) / 1024.0);
 
   // Accuracy check on sampled probes.
   const auto sample = sample_indices(probes.size(), 400);

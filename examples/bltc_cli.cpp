@@ -136,8 +136,14 @@ int main(int argc, char** argv) {
                   static_cast<double>(st.rma_bytes) / 1024.0);
     }
   } else {
+    SolverConfig config;
+    config.kernel = kernel;
+    config.params = params;
+    config.backend = backend;
+    Solver solver(std::move(config));
+    solver.set_sources(cloud);
     RunStats stats;
-    phi = compute_potential(cloud, kernel, params, backend, &stats);
+    phi = solver.evaluate(cloud, &stats);
     std::printf("wall time: %.3f s  (setup %.3f, precompute %.3f, compute "
                 "%.3f)\n",
                 timer.seconds(), stats.setup_seconds,

@@ -32,9 +32,13 @@ int main() {
   std::printf("%-28s %-12s %-14s\n", "kernel", "error", "compute[s]");
 
   for (const KernelSpec& kernel : kernels) {
+    SolverConfig config;
+    config.kernel = kernel;
+    config.params = params;
+    Solver solver(config);
+    solver.set_sources(particles);
     RunStats stats;
-    const std::vector<double> phi =
-        compute_potential(particles, kernel, params, Backend::kCpu, &stats);
+    const std::vector<double> phi = solver.evaluate(particles, &stats);
 
     const auto sample = sample_indices(n, 300);
     const auto ref = direct_sum_sampled(particles, sample, particles, kernel);

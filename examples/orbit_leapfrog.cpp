@@ -32,11 +32,16 @@ int main() {
     }
   }
 
-  TreecodeParams params;
-  params.theta = 0.6;
-  params.degree = 6;
-  params.max_leaf = 500;
-  params.max_batch = 500;
+  // One persistent Solver for the whole integration: the engine survives
+  // across steps, and each position update re-plans explicitly instead of
+  // rebuilding the solver from scratch every force evaluation.
+  SolverConfig config;
+  config.kernel = KernelSpec::coulomb();
+  config.params.theta = 0.6;
+  config.params.degree = 6;
+  config.params.max_leaf = 500;
+  config.params.max_batch = 500;
+  Solver solver(config);
 
   const auto energy = [&](const FieldResult& f) {
     double kinetic = 0.0, potential = 0.0;
@@ -51,7 +56,8 @@ int main() {
 
   // Gravitational acceleration a = -grad Phi with Phi = -sum m/r, i.e.
   // a_i = -E_i for the Coulomb-kernel field E = -grad(sum m/r).
-  FieldResult f = compute_field(stars, stars, KernelSpec::coulomb(), params);
+  solver.set_sources(stars);
+  FieldResult f = solver.evaluate_field(stars);
   const double e0 = energy(f);
   std::printf("Leapfrog on a Plummer cluster, N = %zu, dt = 0.01\n", n);
   std::printf("step  energy      drift\n");
@@ -69,7 +75,8 @@ int main() {
       stars.y[i] += dt * vy[i];
       stars.z[i] += dt * vz[i];
     }
-    f = compute_field(stars, stars, KernelSpec::coulomb(), params);
+    solver.update_positions(stars);  // full re-plan: geometry moved
+    f = solver.evaluate_field(stars);
     for (std::size_t i = 0; i < n; ++i) {
       vx[i] += 0.5 * dt * -f.ex[i];
       vy[i] += 0.5 * dt * -f.ey[i];

@@ -23,15 +23,17 @@ int main() {
   const double a = 1.0;  // Plummer scale radius
   const Cloud cluster = plummer_sphere(n, 2024, a);
 
-  TreecodeParams params;
-  params.theta = 0.6;
-  params.degree = 8;
-  params.max_leaf = 1000;
-  params.max_batch = 1000;
+  SolverConfig config;
+  config.kernel = KernelSpec::coulomb();
+  config.params.theta = 0.6;
+  config.params.degree = 8;
+  config.params.max_leaf = 1000;
+  config.params.max_batch = 1000;
+  Solver solver(config);
 
+  solver.set_sources(cluster);
   RunStats stats;
-  const std::vector<double> phi = compute_potential(
-      cluster, KernelSpec::coulomb(), params, Backend::kCpu, &stats);
+  const std::vector<double> phi = solver.evaluate(cluster, &stats);
 
   // Potential energy (G = 1, total mass M = 1; the 1/2 avoids double
   // counting pairs; phi already excludes self-interaction).

@@ -2,7 +2,7 @@
 // barycentric Lagrange treecode and verify the accuracy against direct
 // summation on a sample of targets.
 //
-// Build & run:  ./examples/quickstart
+// Build & run:  ./build/quickstart
 #include <cstdio>
 
 #include "core/direct_sum.hpp"
@@ -18,33 +18,48 @@ int main() {
   const std::size_t n = 20000;
   const Cloud particles = uniform_cube(n, /*seed=*/1);
 
-  // 2. Pick a kernel and treecode parameters. theta controls the MAC
-  //    (smaller = more accurate), degree is the interpolation degree.
-  const KernelSpec kernel = KernelSpec::coulomb();
-  TreecodeParams params;
-  params.theta = 0.7;
-  params.degree = 8;
-  params.max_leaf = 2000;   // N_L
-  params.max_batch = 2000;  // N_B
+  // 2. Configure a solver. theta controls the MAC (smaller = more
+  //    accurate), degree is the interpolation degree. Backend::kCpu runs
+  //    the OpenMP host engine; Backend::kGpuSim runs the simulated-GPU
+  //    engine and also reports modeled times on the paper's hardware.
+  SolverConfig config;
+  config.kernel = KernelSpec::coulomb();
+  config.params.theta = 0.7;
+  config.params.degree = 8;
+  config.params.max_leaf = 2000;   // N_L
+  config.params.max_batch = 2000;  // N_B
+  config.backend = Backend::kCpu;
+  Solver solver(config);
 
-  // 3. Compute potentials. Backend::kCpu runs the OpenMP host engine;
-  //    Backend::kGpuSim runs the simulated-GPU engine and also reports
-  //    modeled times on the paper's hardware.
+  // 3. Plan once (tree + modified charges), then evaluate. The plan is
+  //    reusable: repeated evaluations at the same targets skip setup and
+  //    precompute entirely, and update_charges() refreshes only the
+  //    modified charges when source charges change.
+  solver.set_sources(particles);
   RunStats stats;
-  const std::vector<double> phi =
-      compute_potential(particles, kernel, params, Backend::kCpu, &stats);
+  const std::vector<double> phi = solver.evaluate(particles, &stats);
 
-  std::printf("BLTC solved %zu particles (%s)\n", n, kernel.name().c_str());
+  std::printf("BLTC solved %zu particles (%s)\n", n,
+              config.kernel.name().c_str());
   std::printf("  clusters: %zu   batches: %zu\n", stats.num_clusters,
               stats.num_batches);
   std::printf("  phases: setup %.3f s, precompute %.3f s, compute %.3f s\n",
               stats.setup_seconds, stats.precompute_seconds,
               stats.compute_seconds);
 
+  // A second evaluation reuses the whole plan — setup/precompute ~ 0.
+  RunStats again;
+  solver.evaluate(particles, &again);
+  std::printf("  replan-free 2nd call: setup %.6f s, precompute %.6f s, "
+              "compute %.3f s\n",
+              again.setup_seconds, again.precompute_seconds,
+              again.compute_seconds);
+
   // 4. Check the error against direct summation on 500 sampled targets
   //    (Eq. 16 of the paper).
   const auto sample = sample_indices(n, 500);
-  const auto ref = direct_sum_sampled(particles, sample, particles, kernel);
+  const auto ref = direct_sum_sampled(particles, sample, particles,
+                                      config.kernel);
   std::vector<double> phi_sampled(sample.size());
   for (std::size_t s = 0; s < sample.size(); ++s) {
     phi_sampled[s] = phi[sample[s]];

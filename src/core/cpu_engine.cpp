@@ -1,5 +1,9 @@
 #include "core/cpu_engine.hpp"
 
+#include <stdexcept>
+
+#include "core/fields.hpp"
+
 namespace bltc {
 namespace {
 
@@ -144,6 +148,158 @@ std::vector<double> cpu_evaluate_per_target(const OrderedParticles& targets,
   local.direct_launches = direct_launches;
   if (counters != nullptr) *counters = local;
   return phi;
+}
+
+FieldResult cpu_evaluate_field(const OrderedParticles& targets,
+                               const std::vector<TargetBatch>& batches,
+                               const InteractionLists& lists,
+                               const ClusterTree& tree,
+                               const OrderedParticles& sources,
+                               const ClusterMoments& moments,
+                               const KernelSpec& kernel,
+                               EngineCounters* counters) {
+  FieldResult out;
+  out.phi.assign(targets.size(), 0.0);
+  out.ex.assign(targets.size(), 0.0);
+  out.ey.assign(targets.size(), 0.0);
+  out.ez.assign(targets.size(), 0.0);
+  EngineCounters local;
+  double approx_evals = 0.0, direct_evals = 0.0;
+  std::size_t approx_launches = 0, direct_launches = 0;
+
+  with_grad_kernel(kernel, [&](auto k) {
+#pragma omp parallel for schedule(dynamic) \
+    reduction(+ : approx_evals, direct_evals, approx_launches, direct_launches)
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+      const TargetBatch& batch = batches[b];
+      const BatchInteractions& bi = lists.per_batch[b];
+
+      for (const int ci : bi.approx) {
+        const auto gx = moments.grid(ci, 0);
+        const auto gy = moments.grid(ci, 1);
+        const auto gz = moments.grid(ci, 2);
+        const auto qhat = moments.qhat(ci);
+        const std::size_t m = gx.size();
+        for (std::size_t i = batch.begin; i < batch.end; ++i) {
+          double p = 0.0, fx = 0.0, fy = 0.0, fz = 0.0;
+          for (std::size_t k1 = 0; k1 < m; ++k1) {
+            for (std::size_t k2 = 0; k2 < m; ++k2) {
+              const double* qrow = qhat.data() + (k1 * m + k2) * m;
+              for (std::size_t k3 = 0; k3 < m; ++k3) {
+                accumulate_field_contribution(targets.x[i], targets.y[i], targets.z[i],
+                                 gx[k1], gy[k2], gz[k3], qrow[k3], k, p, fx,
+                                 fy, fz);
+              }
+            }
+          }
+          out.phi[i] += p;
+          out.ex[i] += fx;
+          out.ey[i] += fy;
+          out.ez[i] += fz;
+        }
+        approx_evals += static_cast<double>(batch.count()) *
+                        static_cast<double>(qhat.size());
+        ++approx_launches;
+      }
+
+      for (const int ci : bi.direct) {
+        const ClusterNode& node = tree.node(ci);
+        for (std::size_t i = batch.begin; i < batch.end; ++i) {
+          double p = 0.0, fx = 0.0, fy = 0.0, fz = 0.0;
+          for (std::size_t j = node.begin; j < node.end; ++j) {
+            accumulate_field_contribution(targets.x[i], targets.y[i], targets.z[i],
+                             sources.x[j], sources.y[j], sources.z[j],
+                             sources.q[j], k, p, fx, fy, fz);
+          }
+          out.phi[i] += p;
+          out.ex[i] += fx;
+          out.ey[i] += fy;
+          out.ez[i] += fz;
+        }
+        direct_evals += static_cast<double>(batch.count()) *
+                        static_cast<double>(node.count());
+        ++direct_launches;
+      }
+    }
+  });
+
+  local.approx_evals = approx_evals;
+  local.direct_evals = direct_evals;
+  local.approx_launches = approx_launches;
+  local.direct_launches = direct_launches;
+  if (counters != nullptr) *counters = local;
+  return out;
+}
+
+void CpuEngine::prepare_sources(const SourcePlan& plan,
+                                const TreecodeParams& params,
+                                bool charges_only) {
+  const ClusterTree& tree = *plan.tree;
+  const OrderedParticles& sources = *plan.particles;
+  if (!charges_only) {
+    moments_ = ClusterMoments::compute(tree, sources, params.degree,
+                                       params.moment_algorithm);
+    return;
+  }
+  // Charges-only refresh: the grids depend only on the tree geometry, so
+  // only the modified charges are recomputed (the paper's precompute phase
+  // in isolation).
+  const std::size_t nc = tree.num_nodes();
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t c = 0; c < nc; ++c) {
+    const int ci = static_cast<int>(c);
+    if (params.moment_algorithm == MomentAlgorithm::kDirect) {
+      ClusterMoments::compute_cluster_direct(
+          tree, sources, params.degree, ci, moments_.grid(ci, 0),
+          moments_.grid(ci, 1), moments_.grid(ci, 2),
+          moments_.qhat_mutable(ci));
+    } else {
+      ClusterMoments::compute_cluster_factorized(
+          tree, sources, params.degree, ci, moments_.grid(ci, 0),
+          moments_.grid(ci, 1), moments_.grid(ci, 2),
+          moments_.qhat_mutable(ci));
+    }
+  }
+}
+
+std::vector<double> CpuEngine::evaluate_potential(const SourcePlan& sources,
+                                                  const TargetPlan& targets,
+                                                  const KernelSpec& kernel,
+                                                  bool /*fresh_targets*/,
+                                                  RunStats& stats) {
+  EngineCounters counters;
+  std::vector<double> phi;
+  if (targets.per_target_mac) {
+    phi = cpu_evaluate_per_target(*targets.particles, *targets.lists,
+                                  *sources.tree, *sources.particles, moments_,
+                                  kernel, &counters);
+  } else {
+    phi = cpu_evaluate(*targets.particles, *targets.batches, *targets.lists,
+                       *sources.tree, *sources.particles, moments_, kernel,
+                       &counters);
+  }
+  stats.approx_evals = counters.approx_evals;
+  stats.direct_evals = counters.direct_evals;
+  return phi;
+}
+
+FieldResult CpuEngine::evaluate_field(const SourcePlan& sources,
+                                      const TargetPlan& targets,
+                                      const KernelSpec& kernel,
+                                      bool /*fresh_targets*/,
+                                      RunStats& stats) {
+  if (targets.per_target_mac) {
+    throw std::invalid_argument(
+        "field evaluation supports the batched MAC only");
+  }
+  EngineCounters counters;
+  FieldResult out =
+      cpu_evaluate_field(*targets.particles, *targets.batches, *targets.lists,
+                         *sources.tree, *sources.particles, moments_, kernel,
+                         &counters);
+  stats.approx_evals = counters.approx_evals;
+  stats.direct_evals = counters.direct_evals;
+  return out;
 }
 
 }  // namespace bltc

@@ -1,28 +1,22 @@
 // Host potential-evaluation engine — the paper's CPU comparator (§4): one
 // OpenMP thread takes one target batch and walks its interaction list,
 // evaluating the barycentric approximation (Eq. 11) for far clusters and the
-// direct sum (Eq. 9) for near ones.
+// direct sum (Eq. 9) for near ones. `CpuEngine` wraps the free evaluation
+// functions behind the Engine interface and keeps the modified charges
+// alive across evaluate() calls; the free functions remain the low-level
+// building blocks the distributed solver drives directly.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/interaction_lists.hpp"
 #include "core/kernels.hpp"
 #include "core/moments.hpp"
 #include "core/particles.hpp"
 
 namespace bltc {
-
-/// Operation counters shared by both engines; these feed the performance
-/// model (evals are G(x,y) evaluations; the approximation counts one eval
-/// per target-Chebyshev-point pair because Eq. 11 has direct-sum form).
-struct EngineCounters {
-  double direct_evals = 0.0;
-  double approx_evals = 0.0;
-  std::size_t direct_launches = 0;
-  std::size_t approx_launches = 0;
-};
 
 /// Evaluate potentials (tree order) for batched targets.
 std::vector<double> cpu_evaluate(const OrderedParticles& targets,
@@ -42,5 +36,41 @@ std::vector<double> cpu_evaluate_per_target(const OrderedParticles& targets,
                                             const ClusterMoments& moments,
                                             const KernelSpec& kernel,
                                             EngineCounters* counters = nullptr);
+
+/// Potential + field evaluation (tree order) for batched targets, using the
+/// analytic gradient of the barycentric approximation (core/fields.hpp).
+FieldResult cpu_evaluate_field(const OrderedParticles& targets,
+                               const std::vector<TargetBatch>& batches,
+                               const InteractionLists& lists,
+                               const ClusterTree& tree,
+                               const OrderedParticles& sources,
+                               const ClusterMoments& moments,
+                               const KernelSpec& kernel,
+                               EngineCounters* counters = nullptr);
+
+/// Engine-interface wrapper over the host evaluation paths. Source state is
+/// one ClusterMoments instance, recomputed in full on prepare and charges-
+/// only on update_charges (grids depend only on the tree geometry).
+class CpuEngine final : public Engine {
+ public:
+  Backend backend() const override { return Backend::kCpu; }
+  bool supports_per_target_mac() const override { return true; }
+  bool supports_fields() const override { return true; }
+
+  void prepare_sources(const SourcePlan& plan, const TreecodeParams& params,
+                       bool charges_only) override;
+  std::vector<double> evaluate_potential(const SourcePlan& sources,
+                                         const TargetPlan& targets,
+                                         const KernelSpec& kernel,
+                                         bool fresh_targets,
+                                         RunStats& stats) override;
+  FieldResult evaluate_field(const SourcePlan& sources,
+                             const TargetPlan& targets,
+                             const KernelSpec& kernel, bool fresh_targets,
+                             RunStats& stats) override;
+
+ private:
+  ClusterMoments moments_;
+};
 
 }  // namespace bltc

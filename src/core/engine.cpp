@@ -1,0 +1,54 @@
+#include "core/engine.hpp"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/cpu_engine.hpp"
+#include "core/gpu_engine.hpp"
+
+namespace bltc {
+namespace {
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<Backend, EngineFactory>& registry() {
+  static std::map<Backend, EngineFactory> r = {
+      {Backend::kCpu,
+       [](const GpuOptions&) -> std::unique_ptr<Engine> {
+         return std::make_unique<CpuEngine>();
+       }},
+      {Backend::kGpuSim,
+       [](const GpuOptions& gpu) -> std::unique_ptr<Engine> {
+         return std::make_unique<GpuSimEngine>(gpu);
+       }},
+  };
+  return r;
+}
+
+}  // namespace
+
+void register_engine(Backend backend, EngineFactory factory) {
+  std::scoped_lock lock(registry_mutex());
+  registry()[backend] = factory;
+}
+
+std::unique_ptr<Engine> make_engine(Backend backend, const GpuOptions& gpu) {
+  EngineFactory factory = nullptr;
+  {
+    std::scoped_lock lock(registry_mutex());
+    const auto it = registry().find(backend);
+    if (it != registry().end()) factory = it->second;
+  }
+  if (factory == nullptr) {
+    throw std::invalid_argument("make_engine: no engine registered for the "
+                                "requested backend");
+  }
+  return factory(gpu);
+}
+
+}  // namespace bltc

@@ -1,0 +1,106 @@
+// Engine interface behind the `Solver` handle. A plan (source tree, target
+// batches, interaction lists) is built by the solver on the host; an Engine
+// turns a plan into potentials or fields and owns all backend-specific state
+// that should persist across `evaluate()` calls — the host engine keeps the
+// modified charges, the simulated-GPU engine additionally keeps sources,
+// grids, and cluster data device-resident so repeated evaluations transfer
+// nothing but fresh targets and results. New backends register a factory at
+// load time instead of growing a switch in the solver.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/interaction_lists.hpp"
+#include "core/kernels.hpp"
+#include "core/particles.hpp"
+#include "core/solver.hpp"
+#include "core/tree.hpp"
+
+namespace bltc {
+
+/// Operation counters shared by the engines; these feed the performance
+/// model (evals are G(x,y) evaluations; the approximation counts one eval
+/// per target-Chebyshev-point pair because Eq. 11 has direct-sum form).
+struct EngineCounters {
+  double direct_evals = 0.0;
+  double approx_evals = 0.0;
+  std::size_t direct_launches = 0;
+  std::size_t approx_launches = 0;
+};
+
+/// Source side of a plan: tree-ordered particles plus their cluster tree.
+/// Views into solver-owned storage; valid for the duration of a call.
+struct SourcePlan {
+  const OrderedParticles* particles = nullptr;
+  const ClusterTree* tree = nullptr;
+};
+
+/// Target side of a plan: tree-ordered targets, their batches, and the
+/// MAC-driven interaction lists. With `per_target_mac` the lists hold one
+/// entry per target particle and `batches` is empty (CPU ablation path).
+struct TargetPlan {
+  const OrderedParticles* particles = nullptr;
+  const std::vector<TargetBatch>* batches = nullptr;
+  const InteractionLists* lists = nullptr;
+  bool per_target_mac = false;
+};
+
+/// Backend evaluation engine. One engine instance lives inside one Solver
+/// and sees every lifecycle transition, so it can cache whatever makes
+/// repeated evaluation cheap.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual Backend backend() const = 0;
+
+  /// Whether the engine can execute per-target-MAC interaction lists
+  /// (the GPU engine batches by construction and cannot).
+  virtual bool supports_per_target_mac() const = 0;
+
+  /// Whether evaluate_field is implemented.
+  virtual bool supports_fields() const = 0;
+
+  /// Build (or refresh) source-side state for `plan`: modified charges, and
+  /// on device engines the device-resident copies of sources and cluster
+  /// data. With `charges_only` the tree geometry is unchanged since the last
+  /// call and only the charges were rewritten — engines keep their grids and
+  /// recompute the modified charges alone.
+  virtual void prepare_sources(const SourcePlan& plan,
+                               const TreecodeParams& params,
+                               bool charges_only) = 0;
+
+  /// Evaluate potentials at the planned targets, in tree order.
+  /// `fresh_targets` marks a target plan the engine has not executed yet
+  /// (device engines stage target data exactly then). Engines fill the
+  /// work/device/modeled fields of `stats`; the solver fills phase seconds
+  /// and structure counts.
+  virtual std::vector<double> evaluate_potential(const SourcePlan& sources,
+                                                 const TargetPlan& targets,
+                                                 const KernelSpec& kernel,
+                                                 bool fresh_targets,
+                                                 RunStats& stats) = 0;
+
+  /// Evaluate potential + field (E = -grad phi) at the planned targets, in
+  /// tree order. Throws std::invalid_argument when unsupported.
+  virtual FieldResult evaluate_field(const SourcePlan& sources,
+                                     const TargetPlan& targets,
+                                     const KernelSpec& kernel,
+                                     bool fresh_targets, RunStats& stats) = 0;
+};
+
+/// Engine factory: builds a fresh engine for one Solver instance.
+using EngineFactory = std::unique_ptr<Engine> (*)(const GpuOptions& gpu);
+
+/// Register (or replace) the factory serving `backend`. The two built-in
+/// engines self-register; out-of-tree backends call this before building
+/// their first Solver.
+void register_engine(Backend backend, EngineFactory factory);
+
+/// Instantiate the engine registered for `backend`. Throws
+/// std::invalid_argument when no factory is registered.
+std::unique_ptr<Engine> make_engine(Backend backend, const GpuOptions& gpu);
+
+}  // namespace bltc

@@ -1,36 +1,8 @@
 #include "core/fields.hpp"
 
-#include "core/batches.hpp"
-#include "core/interaction_lists.hpp"
-#include "core/moments.hpp"
-#include "core/tree.hpp"
 #include "util/timer.hpp"
 
 namespace bltc {
-namespace {
-
-/// Accumulate potential and field at one target from one source point
-/// (either a real particle or a Chebyshev point with modified charge).
-template <typename GradKernel>
-inline void accumulate(double tx, double ty, double tz, double sx, double sy,
-                       double sz, double q, GradKernel k, double& phi,
-                       double& ex, double& ey, double& ez) {
-  const double dx = tx - sx;
-  const double dy = ty - sy;
-  const double dz = tz - sz;
-  const double r2 = dx * dx + dy * dy + dz * dz;
-  if constexpr (GradKernel::kSingular) {
-    if (r2 == 0.0) return;
-  }
-  double slope;
-  phi += k.value_and_slope(r2, slope) * q;
-  // E = -grad phi = -(G'(r)/r) (x - y) q.
-  ex -= slope * dx * q;
-  ey -= slope * dy * q;
-  ez -= slope * dz * q;
-}
-
-}  // namespace
 
 double evaluate_kernel_gradient(const KernelSpec& spec, double x1, double x2,
                                 double x3, double y1, double y2, double y3,
@@ -65,9 +37,10 @@ FieldResult direct_field(const Cloud& targets, const Cloud& sources,
     for (std::size_t i = 0; i < targets.size(); ++i) {
       double phi = 0.0, ex = 0.0, ey = 0.0, ez = 0.0;
       for (std::size_t j = 0; j < sources.size(); ++j) {
-        accumulate(targets.x[i], targets.y[i], targets.z[i], sources.x[j],
-                   sources.y[j], sources.z[j], sources.q[j], k, phi, ex, ey,
-                   ez);
+        accumulate_field_contribution(targets.x[i], targets.y[i],
+                                      targets.z[i], sources.x[j], sources.y[j],
+                                      sources.z[j], sources.q[j], k, phi, ex,
+                                      ey, ez);
       }
       out.phi[i] = phi;
       out.ex[i] = ex;
@@ -81,106 +54,17 @@ FieldResult direct_field(const Cloud& targets, const Cloud& sources,
 FieldResult compute_field(const Cloud& targets, const Cloud& sources,
                           const KernelSpec& kernel,
                           const TreecodeParams& params, RunStats* stats) {
-  params.validate();
-  RunStats local_stats;
-  FieldResult out;
-  if (targets.size() == 0 || sources.size() == 0) {
-    out.phi.assign(targets.size(), 0.0);
-    out.ex.assign(targets.size(), 0.0);
-    out.ey.assign(targets.size(), 0.0);
-    out.ez.assign(targets.size(), 0.0);
-    if (stats != nullptr) *stats = local_stats;
-    return out;
-  }
-
-  // Setup phase (identical structure to the potential-only solver).
-  WallTimer timer;
-  OrderedParticles src = OrderedParticles::from_cloud(sources);
-  TreeParams tree_params;
-  tree_params.max_leaf = params.max_leaf;
-  const ClusterTree tree = ClusterTree::build(src, tree_params);
-  OrderedParticles tgt = OrderedParticles::from_cloud(targets);
-  std::vector<TargetBatch> batches =
-      build_target_batches(tgt, params.max_batch);
-  const InteractionLists lists =
-      build_interaction_lists(batches, tree, params.theta, params.degree);
-  local_stats.setup_seconds = timer.seconds();
-  local_stats.num_clusters = tree.num_nodes();
-  local_stats.num_leaves = tree.num_leaves();
-  local_stats.num_batches = batches.size();
-  local_stats.approx_interactions = lists.total_approx;
-  local_stats.direct_interactions = lists.total_direct;
-
-  timer.reset();
-  const ClusterMoments moments = ClusterMoments::compute(
-      tree, src, params.degree, params.moment_algorithm);
-  local_stats.precompute_seconds = timer.seconds();
-
-  timer.reset();
-  std::vector<double> phi(tgt.size(), 0.0), ex(tgt.size(), 0.0),
-      ey(tgt.size(), 0.0), ez(tgt.size(), 0.0);
-  double approx_evals = 0.0, direct_evals = 0.0;
-
-  with_grad_kernel(kernel, [&](auto k) {
-#pragma omp parallel for schedule(dynamic) reduction(+ : approx_evals, direct_evals)
-    for (std::size_t b = 0; b < batches.size(); ++b) {
-      const TargetBatch& batch = batches[b];
-      const BatchInteractions& bi = lists.per_batch[b];
-
-      for (const int ci : bi.approx) {
-        const auto gx = moments.grid(ci, 0);
-        const auto gy = moments.grid(ci, 1);
-        const auto gz = moments.grid(ci, 2);
-        const auto qhat = moments.qhat(ci);
-        const std::size_t m = gx.size();
-        for (std::size_t i = batch.begin; i < batch.end; ++i) {
-          double p = 0.0, fx = 0.0, fy = 0.0, fz = 0.0;
-          for (std::size_t k1 = 0; k1 < m; ++k1) {
-            for (std::size_t k2 = 0; k2 < m; ++k2) {
-              const double* qrow = qhat.data() + (k1 * m + k2) * m;
-              for (std::size_t k3 = 0; k3 < m; ++k3) {
-                accumulate(tgt.x[i], tgt.y[i], tgt.z[i], gx[k1], gy[k2],
-                           gz[k3], qrow[k3], k, p, fx, fy, fz);
-              }
-            }
-          }
-          phi[i] += p;
-          ex[i] += fx;
-          ey[i] += fy;
-          ez[i] += fz;
-        }
-        approx_evals += static_cast<double>(batch.count()) *
-                        static_cast<double>(qhat.size());
-      }
-
-      for (const int ci : bi.direct) {
-        const ClusterNode& node = tree.node(ci);
-        for (std::size_t i = batch.begin; i < batch.end; ++i) {
-          double p = 0.0, fx = 0.0, fy = 0.0, fz = 0.0;
-          for (std::size_t j = node.begin; j < node.end; ++j) {
-            accumulate(tgt.x[i], tgt.y[i], tgt.z[i], src.x[j], src.y[j],
-                       src.z[j], src.q[j], k, p, fx, fy, fz);
-          }
-          phi[i] += p;
-          ex[i] += fx;
-          ey[i] += fy;
-          ez[i] += fz;
-        }
-        direct_evals += static_cast<double>(batch.count()) *
-                        static_cast<double>(node.count());
-      }
-    }
-  });
-  local_stats.compute_seconds = timer.seconds();
-  local_stats.approx_evals = approx_evals;
-  local_stats.direct_evals = direct_evals;
-
-  out.phi = tgt.scatter_to_original(phi);
-  out.ex = tgt.scatter_to_original(ex);
-  out.ey = tgt.scatter_to_original(ey);
-  out.ez = tgt.scatter_to_original(ez);
-  if (stats != nullptr) *stats = local_stats;
-  return out;
+  SolverConfig config;
+  config.kernel = kernel;
+  config.params = params;
+  // Field evaluation has always used the batched MAC; this wrapper keeps
+  // ignoring the per-target ablation flag like the pre-handle code path did
+  // (Solver::evaluate_field on a per-target-configured handle throws).
+  config.params.per_target_mac = false;
+  config.backend = Backend::kCpu;
+  Solver solver(std::move(config));
+  solver.set_sources(sources);
+  return solver.evaluate_field(targets, stats);
 }
 
 }  // namespace bltc

@@ -18,12 +18,10 @@
 
 namespace bltc {
 
-/// Potential and field at every target: E = -grad phi (per unit target
-/// charge; multiply by q_i for the force on particle i).
-struct FieldResult {
-  std::vector<double> phi;
-  std::vector<double> ex, ey, ez;
-};
+// FieldResult lives in core/solver.hpp: fields are evaluated through the
+// same Solver handle as potentials (`Solver::evaluate_field`), sharing one
+// plan. This header keeps the gradient-kernel machinery and the one-shot
+// compatibility wrappers.
 
 /// Radial-derivative functors: `value_and_slope(r2, gr_over_r)` returns
 /// G(r) and writes G'(r)/r, the factor multiplying (x - y) in grad_x G.
@@ -95,6 +93,31 @@ decltype(auto) with_grad_kernel(const KernelSpec& spec, F&& f) {
   throw std::invalid_argument("with_grad_kernel: unknown kernel type");
 }
 
+/// Accumulate potential and field at one target from one source point
+/// (either a real particle or a Chebyshev point with modified charge).
+/// Shared by the O(N^2) reference and the treecode field engine so the
+/// singular-kernel guard and the E = -grad phi convention live once.
+template <typename GradKernel>
+inline void accumulate_field_contribution(double tx, double ty, double tz,
+                                          double sx, double sy, double sz,
+                                          double q, GradKernel k, double& phi,
+                                          double& ex, double& ey,
+                                          double& ez) {
+  const double dx = tx - sx;
+  const double dy = ty - sy;
+  const double dz = tz - sz;
+  const double r2 = dx * dx + dy * dy + dz * dz;
+  if constexpr (GradKernel::kSingular) {
+    if (r2 == 0.0) return;
+  }
+  double slope;
+  phi += k.value_and_slope(r2, slope) * q;
+  // E = -grad phi = -(G'(r)/r) (x - y) q.
+  ex -= slope * dx * q;
+  ey -= slope * dy * q;
+  ez -= slope * dz * q;
+}
+
 /// Scalar gradient evaluation for tests: writes grad_x G(x, y) into g[3];
 /// returns G. Zero for coincident points with singular kernels.
 double evaluate_kernel_gradient(const KernelSpec& spec, double x1, double x2,
@@ -102,6 +125,8 @@ double evaluate_kernel_gradient(const KernelSpec& spec, double x1, double x2,
                                 double g[3]);
 
 /// Treecode potentials + fields at `targets` due to `sources` (CPU engine).
+/// One-shot wrapper over a temporary Solver (deprecated for hot paths —
+/// dynamics drivers should hold a Solver and call evaluate_field per step).
 FieldResult compute_field(const Cloud& targets, const Cloud& sources,
                           const KernelSpec& kernel,
                           const TreecodeParams& params,

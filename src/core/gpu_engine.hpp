@@ -12,15 +12,23 @@
 // transfers follow the paper's data-region schedule: sources HtD before the
 // precompute, modified charges DtH after it, targets + cluster data HtD
 // before the compute, potentials DtH at the end.
+//
+// `GpuSimEngine` wraps these kernels behind the Engine interface and keeps
+// sources, grids, and modified charges device-resident across evaluate()
+// calls: a Solver that evaluates repeatedly uploads source data exactly
+// once, and target data only when the target plan changes.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
-#include "core/cpu_engine.hpp"
+#include "core/engine.hpp"
 #include "core/interaction_lists.hpp"
 #include "core/kernels.hpp"
 #include "core/moments.hpp"
 #include "core/particles.hpp"
+#include "gpusim/buffer.hpp"
 #include "gpusim/device.hpp"
 
 namespace bltc {
@@ -37,7 +45,23 @@ struct GpuPrecomputeResult {
 };
 
 /// Run the two preprocessing kernels for every cluster of the tree on
-/// `device`; `moments` supplies the per-cluster grids (grids_only is enough).
+/// `device`, assuming the source particles are already device resident (no
+/// source HtD is accounted); `moments` supplies the per-cluster grids
+/// (grids_only is enough). The modified charges return to the host (DtH),
+/// where (in the distributed code) they are exposed through RMA windows.
+GpuPrecomputeResult gpu_precompute_moments_device_resident(
+    gpusim::Device& device, const ClusterTree& tree,
+    const OrderedParticles& sources, const ClusterMoments& moments,
+    int degree);
+
+/// Copy a precompute result's flattened modified charges into `moments`
+/// (which must have been built over the same tree/degree). The layout
+/// knowledge lives here, next to the kernels that produce it.
+void apply_precompute_result(const GpuPrecomputeResult& result,
+                             const ClusterTree& tree, ClusterMoments& moments);
+
+/// One-shot variant: uploads the source particles (HtD) first, then runs
+/// the preprocessing kernels.
 GpuPrecomputeResult gpu_precompute_moments(gpusim::Device& device,
                                            const ClusterTree& tree,
                                            const OrderedParticles& sources,
@@ -68,5 +92,58 @@ std::vector<double> gpu_evaluate(gpusim::Device& device,
                                  const KernelSpec& kernel,
                                  EngineCounters* counters = nullptr,
                                  bool mixed_precision = false);
+
+/// Engine-interface wrapper owning one simulated device for the lifetime of
+/// its Solver. Device-resident state: source coordinates/charges (uploaded
+/// by prepare_sources; charges alone re-uploaded by update_charges),
+/// cluster grids and modified charges, and the last target plan's
+/// coordinates. Statistics are reported as deltas per evaluation, so a
+/// repeat evaluation on an unchanged plan shows zero host-to-device bytes
+/// for sources and targets.
+class GpuSimEngine final : public Engine {
+ public:
+  explicit GpuSimEngine(const GpuOptions& options);
+
+  Backend backend() const override { return Backend::kGpuSim; }
+  bool supports_per_target_mac() const override { return false; }
+  bool supports_fields() const override { return false; }
+
+  void prepare_sources(const SourcePlan& plan, const TreecodeParams& params,
+                       bool charges_only) override;
+  std::vector<double> evaluate_potential(const SourcePlan& sources,
+                                         const TargetPlan& targets,
+                                         const KernelSpec& kernel,
+                                         bool fresh_targets,
+                                         RunStats& stats) override;
+  FieldResult evaluate_field(const SourcePlan& sources,
+                             const TargetPlan& targets,
+                             const KernelSpec& kernel, bool fresh_targets,
+                             RunStats& stats) override;
+
+  /// Cumulative device counters (tests and benches).
+  const gpusim::Device& device() const { return device_; }
+
+ private:
+  using Buffer = gpusim::DeviceBuffer<double>;
+
+  GpuOptions options_;
+  gpusim::Device device_;
+  ClusterMoments moments_;  ///< host mirror of grids + modified charges
+
+  // Device-resident data (persist across evaluate calls).
+  std::unique_ptr<Buffer> src_x_, src_y_, src_z_, src_q_;
+  std::unique_ptr<Buffer> grids_, qhat_;
+  std::unique_ptr<Buffer> tgt_x_, tgt_y_, tgt_z_;
+
+  // Phase accounting pending attribution to the next evaluation.
+  double pending_modeled_precompute_ = 0.0;
+  std::size_t pending_host_setup_particles_ = 0;
+
+  // Snapshots of the device's cumulative counters at the last report.
+  gpusim::TimeMarker reported_marker_;
+  std::size_t reported_launches_ = 0;
+  std::size_t reported_bytes_htd_ = 0;
+  std::size_t reported_bytes_dth_ = 0;
+};
 
 }  // namespace bltc

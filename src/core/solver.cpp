@@ -1,13 +1,12 @@
 #include "core/solver.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "core/batches.hpp"
-#include "core/cpu_engine.hpp"
-#include "core/gpu_engine.hpp"
+#include "core/engine.hpp"
 #include "core/interaction_lists.hpp"
 #include "core/tree.hpp"
-#include "gpusim/perf_model.hpp"
 #include "util/timer.hpp"
 
 namespace bltc {
@@ -25,117 +24,196 @@ void TreecodeParams::validate() const {
   }
 }
 
+Solver::Solver(SolverConfig config) : config_(std::move(config)) {
+  config_.params.validate();
+  engine_ = make_engine(config_.backend, config_.gpu);
+}
+
+Solver::~Solver() = default;
+Solver::Solver(Solver&&) noexcept = default;
+Solver& Solver::operator=(Solver&&) noexcept = default;
+
+void Solver::plan_sources(const Cloud& sources) {
+  WallTimer timer;
+  src_ = OrderedParticles::from_cloud(sources);
+  TreeParams tree_params;
+  tree_params.max_leaf = config_.params.max_leaf;
+  tree_ = ClusterTree::build(src_, tree_params);
+  pending_setup_seconds_ += timer.seconds();
+
+  timer.reset();
+  const SourcePlan plan{&src_, &tree_};
+  engine_->prepare_sources(plan, config_.params, /*charges_only=*/false);
+  pending_precompute_seconds_ += timer.seconds();
+}
+
+void Solver::set_sources(const Cloud& sources) {
+  have_sources_ = true;
+  // Interaction lists reference the source tree; any cached target plan
+  // must be re-listed against the new tree.
+  targets_valid_ = false;
+  if (sources.size() == 0) {
+    src_ = OrderedParticles{};
+    return;
+  }
+  plan_sources(sources);
+}
+
+void Solver::update_charges(std::span<const double> charges) {
+  if (!have_sources_) {
+    throw std::logic_error("Solver::update_charges: no sources set");
+  }
+  if (charges.size() != src_.size()) {
+    throw std::invalid_argument(
+        "Solver::update_charges: charge count does not match the sources");
+  }
+  if (src_.size() == 0) return;
+  // Charges arrive in caller order; the plan stores tree order.
+  WallTimer timer;
+  for (std::size_t i = 0; i < src_.size(); ++i) {
+    src_.q[i] = charges[src_.original_index[i]];
+  }
+  const SourcePlan plan{&src_, &tree_};
+  engine_->prepare_sources(plan, config_.params, /*charges_only=*/true);
+  pending_precompute_seconds_ += timer.seconds();
+}
+
+void Solver::update_positions(const Cloud& sources) { set_sources(sources); }
+
+bool Solver::target_plan_matches(const Cloud& targets) const {
+  if (!targets_valid_ || targets.size() != tgt_.size()) return false;
+  for (std::size_t i = 0; i < tgt_.size(); ++i) {
+    const std::size_t o = tgt_.original_index[i];
+    if (targets.x[o] != tgt_.x[i] || targets.y[o] != tgt_.y[i] ||
+        targets.z[o] != tgt_.z[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Solver::plan_targets(const Cloud& targets) {
+  tgt_ = OrderedParticles::from_cloud(targets);
+  batches_.clear();
+  if (config_.params.per_target_mac) {
+    lists_ = build_interaction_lists_per_target(tgt_, tree_,
+                                                config_.params.theta,
+                                                config_.params.degree);
+  } else {
+    batches_ = build_target_batches(tgt_, config_.params.max_batch);
+    lists_ = build_interaction_lists(batches_, tree_, config_.params.theta,
+                                     config_.params.degree);
+  }
+  targets_valid_ = true;
+}
+
+bool Solver::begin_evaluation(const Cloud& targets, RunStats& stats,
+                              bool& fresh_targets) {
+  if (!have_sources_) {
+    throw std::logic_error("Solver::evaluate: call set_sources first");
+  }
+  if (src_.size() == 0 || targets.size() == 0) {
+    stats = RunStats{};
+    return false;
+  }
+  if (config_.params.per_target_mac && !engine_->supports_per_target_mac()) {
+    throw std::invalid_argument(
+        "per_target_mac is a CPU-backend ablation; the GPU engine batches "
+        "by construction");
+  }
+  WallTimer timer;
+  fresh_targets = !target_plan_matches(targets);
+  if (fresh_targets) plan_targets(targets);
+  stats = RunStats{};
+  stats.setup_seconds = pending_setup_seconds_ + timer.seconds();
+  stats.precompute_seconds = pending_precompute_seconds_;
+  pending_setup_seconds_ = 0.0;
+  pending_precompute_seconds_ = 0.0;
+  return true;
+}
+
+void Solver::finish_stats(RunStats& stats) const {
+  stats.num_clusters = tree_.num_nodes();
+  stats.num_leaves = tree_.num_leaves();
+  stats.num_batches = lists_.per_batch.size();
+  stats.approx_interactions = lists_.total_approx;
+  stats.direct_interactions = lists_.total_direct;
+  stats.per_target_mac = config_.params.per_target_mac;
+}
+
+std::vector<double> Solver::evaluate(const Cloud& targets, RunStats* stats) {
+  RunStats local;
+  bool fresh_targets = false;
+  if (!begin_evaluation(targets, local, fresh_targets)) {
+    if (stats != nullptr) *stats = local;
+    return std::vector<double>(targets.size(), 0.0);
+  }
+  const SourcePlan src_plan{&src_, &tree_};
+  const TargetPlan tgt_plan{&tgt_, &batches_, &lists_,
+                            config_.params.per_target_mac};
+  WallTimer timer;
+  std::vector<double> phi_tree_order = engine_->evaluate_potential(
+      src_plan, tgt_plan, config_.kernel, fresh_targets, local);
+  local.compute_seconds = timer.seconds();
+  finish_stats(local);
+  if (stats != nullptr) *stats = local;
+  return tgt_.scatter_to_original(phi_tree_order);
+}
+
+FieldResult Solver::evaluate_field(const Cloud& targets, RunStats* stats) {
+  // Reject before any target planning: neither case may consume the
+  // pending phase accounting or burn list-build work.
+  if (!engine_->supports_fields()) {
+    throw std::invalid_argument(
+        "field evaluation is implemented on the CPU engine only; use "
+        "Backend::kCpu");
+  }
+  if (config_.params.per_target_mac) {
+    throw std::invalid_argument(
+        "field evaluation supports the batched MAC only");
+  }
+  RunStats local;
+  bool fresh_targets = false;
+  if (!begin_evaluation(targets, local, fresh_targets)) {
+    if (stats != nullptr) *stats = local;
+    FieldResult out;
+    out.phi.assign(targets.size(), 0.0);
+    out.ex.assign(targets.size(), 0.0);
+    out.ey.assign(targets.size(), 0.0);
+    out.ez.assign(targets.size(), 0.0);
+    return out;
+  }
+  const SourcePlan src_plan{&src_, &tree_};
+  const TargetPlan tgt_plan{&tgt_, &batches_, &lists_,
+                            config_.params.per_target_mac};
+  WallTimer timer;
+  FieldResult tree_order = engine_->evaluate_field(
+      src_plan, tgt_plan, config_.kernel, fresh_targets, local);
+  local.compute_seconds = timer.seconds();
+  finish_stats(local);
+  if (stats != nullptr) *stats = local;
+  FieldResult out;
+  out.phi = tgt_.scatter_to_original(tree_order.phi);
+  out.ex = tgt_.scatter_to_original(tree_order.ex);
+  out.ey = tgt_.scatter_to_original(tree_order.ey);
+  out.ez = tgt_.scatter_to_original(tree_order.ez);
+  return out;
+}
+
 std::vector<double> compute_potential(const Cloud& targets,
                                       const Cloud& sources,
                                       const KernelSpec& kernel,
                                       const TreecodeParams& params,
                                       Backend backend, RunStats* stats,
                                       const GpuOptions* gpu) {
-  params.validate();
-  RunStats local_stats;
-
-  if (sources.size() == 0 || targets.size() == 0) {
-    if (stats != nullptr) *stats = local_stats;
-    return std::vector<double>(targets.size(), 0.0);
-  }
-
-  // ---- Setup phase: source tree, target batches, interaction lists.
-  WallTimer timer;
-  OrderedParticles src = OrderedParticles::from_cloud(sources);
-  TreeParams tree_params;
-  tree_params.max_leaf = params.max_leaf;
-  const ClusterTree tree = ClusterTree::build(src, tree_params);
-
-  OrderedParticles tgt = OrderedParticles::from_cloud(targets);
-  std::vector<TargetBatch> batches;
-  InteractionLists lists;
-  if (params.per_target_mac) {
-    lists = build_interaction_lists_per_target(tgt, tree, params.theta,
-                                               params.degree);
-  } else {
-    batches = build_target_batches(tgt, params.max_batch);
-    lists = build_interaction_lists(batches, tree, params.theta,
-                                    params.degree);
-  }
-  local_stats.setup_seconds = timer.seconds();
-  local_stats.num_clusters = tree.num_nodes();
-  local_stats.num_leaves = tree.num_leaves();
-  local_stats.num_batches = batches.size();
-  local_stats.approx_interactions = lists.total_approx;
-  local_stats.direct_interactions = lists.total_direct;
-
-  std::vector<double> phi_tree_order;
-  EngineCounters counters;
-
-  if (backend == Backend::kCpu) {
-    // ---- Precompute phase: modified charges on the host.
-    timer.reset();
-    const ClusterMoments moments = ClusterMoments::compute(
-        tree, src, params.degree, params.moment_algorithm);
-    local_stats.precompute_seconds = timer.seconds();
-
-    // ---- Compute phase.
-    timer.reset();
-    if (params.per_target_mac) {
-      phi_tree_order = cpu_evaluate_per_target(tgt, lists, tree, src, moments,
-                                               kernel, &counters);
-    } else {
-      phi_tree_order = cpu_evaluate(tgt, batches, lists, tree, src, moments,
-                                    kernel, &counters);
-    }
-    local_stats.compute_seconds = timer.seconds();
-  } else {
-    if (params.per_target_mac) {
-      throw std::invalid_argument(
-          "per_target_mac is a CPU-backend ablation; the GPU engine batches "
-          "by construction");
-    }
-    const GpuOptions default_gpu;
-    const GpuOptions& opts = (gpu != nullptr) ? *gpu : default_gpu;
-    gpusim::Device device(opts.device, opts.async_streams);
-
-    // ---- Precompute phase: the two preprocessing kernels per cluster.
-    timer.reset();
-    ClusterMoments moments = ClusterMoments::grids_only(tree, params.degree);
-    const gpusim::TimeMarker before_pre = device.marker();
-    GpuPrecomputeResult pre =
-        gpu_precompute_moments(device, tree, src, moments, params.degree);
-    for (std::size_t c = 0; c < tree.num_nodes(); ++c) {
-      auto dst = moments.qhat_mutable(static_cast<int>(c));
-      const double* src_q = pre.qhat.data() + c * moments.points_per_cluster();
-      for (std::size_t i = 0; i < dst.size(); ++i) dst[i] = src_q[i];
-    }
-    local_stats.precompute_seconds = timer.seconds();
-    const gpusim::TimeMarker after_pre = device.marker();
-
-    // ---- Compute phase: direct + approximation kernels over the lists.
-    timer.reset();
-    phi_tree_order = gpu_evaluate(device, tgt, batches, lists, tree, src,
-                                  moments, kernel, &counters,
-                                  opts.mixed_precision);
-    local_stats.compute_seconds = timer.seconds();
-    const gpusim::TimeMarker after_compute = device.marker();
-
-    // Modeled times on the paper's hardware: host-side setup work plus all
-    // PCIe transfers are attributed to the setup phase (the paper's setup
-    // includes data movement); kernel time splits by phase.
-    const gpusim::HostSpec host = gpusim::HostSpec::comet_haswell();
-    local_stats.modeled.setup =
-        gpusim::host_setup_seconds(host, targets.size() + sources.size()) +
-        after_compute.transfer_seconds;
-    local_stats.modeled.precompute =
-        after_pre.kernel_seconds - before_pre.kernel_seconds;
-    local_stats.modeled.compute =
-        after_compute.kernel_seconds - after_pre.kernel_seconds;
-    local_stats.gpu_launches = device.launches();
-    local_stats.bytes_to_device = device.bytes_to_device();
-    local_stats.bytes_to_host = device.bytes_to_host();
-  }
-
-  local_stats.approx_evals = counters.approx_evals;
-  local_stats.direct_evals = counters.direct_evals;
-  if (stats != nullptr) *stats = local_stats;
-  return tgt.scatter_to_original(phi_tree_order);
+  SolverConfig config;
+  config.kernel = kernel;
+  config.params = params;
+  config.backend = backend;
+  if (gpu != nullptr) config.gpu = *gpu;
+  Solver solver(std::move(config));
+  solver.set_sources(sources);
+  return solver.evaluate(targets, stats);
 }
 
 }  // namespace bltc

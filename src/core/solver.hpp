@@ -1,20 +1,46 @@
-// Public single-node BLTC API. `compute_potential` runs the full pipeline
-// of the paper's Section 2 algorithm — tree + batches, modified charges,
-// MAC-driven traversal, potential evaluation — on either the host engine or
-// the simulated-GPU engine, and reports the paper's three-phase timing
-// breakdown (setup / precompute / compute, §4).
+// Public single-node BLTC API.
+//
+// The paper's pipeline (§2-§4) has an explicit three-phase structure —
+// setup (trees, batches, interaction lists), precompute (modified charges),
+// compute (potential evaluation) — and `Solver` exposes it as a
+// plan/execute handle so setup and precompute are paid once and amortized
+// over many evaluations:
+//
+//   Solver solver({KernelSpec::coulomb(), params, Backend::kGpuSim});
+//   solver.set_sources(cloud);              // tree + modified charges, once
+//   auto phi  = solver.evaluate(targets);   // plans targets on first use
+//   auto phi2 = solver.evaluate(targets);   // re-executes the cached plan
+//   solver.update_charges(new_q);           // moments only, tree kept
+//   solver.update_positions(moved_cloud);   // full re-plan
+//
+// Behind the handle a polymorphic Engine (core/engine.hpp) owns all
+// backend-specific state: the simulated-GPU engine keeps sources and
+// cluster data device-resident across evaluate() calls, so a repeat
+// evaluation transfers nothing but results. Field (force) evaluation shares
+// the same plan through `evaluate_field`.
+//
+// The free functions `compute_potential` / `compute_field` are one-shot
+// wrappers over a temporary Solver, kept for compatibility; new code should
+// hold a Solver.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "core/interaction_lists.hpp"
 #include "core/kernels.hpp"
 #include "core/moments.hpp"
+#include "core/particles.hpp"
+#include "core/tree.hpp"
 #include "gpusim/device.hpp"
 #include "util/workloads.hpp"
 
 namespace bltc {
+
+class Engine;
 
 /// Which engine evaluates the potentials.
 enum class Backend {
@@ -56,7 +82,11 @@ struct ModeledTimes {
   double total() const { return setup + precompute + compute; }
 };
 
-/// Measured and modeled statistics for one solve.
+/// Measured and modeled statistics for one evaluation. Phase costs paid in
+/// an earlier lifecycle stage (set_sources / update_charges) are attributed
+/// to the first evaluation that uses them; a repeat evaluation on an
+/// unchanged plan reports setup_seconds and precompute_seconds near zero
+/// and, on the GpuSim backend, zero fresh host-to-device source bytes.
 struct RunStats {
   // Measured on this machine, paper phase boundaries (§4).
   double setup_seconds = 0.0;
@@ -69,24 +99,123 @@ struct RunStats {
   // Structure counts.
   std::size_t num_clusters = 0;
   std::size_t num_leaves = 0;
+  /// Number of interaction lists executed: target batches normally, target
+  /// *particles* when the per-target MAC ablation is active (see
+  /// `per_target_mac` below).
   std::size_t num_batches = 0;
-  std::size_t approx_interactions = 0;  ///< MAC-accepted batch-cluster pairs
-  std::size_t direct_interactions = 0;  ///< direct batch-cluster pairs
+  std::size_t approx_interactions = 0;  ///< MAC-accepted list-cluster pairs
+  std::size_t direct_interactions = 0;  ///< direct list-cluster pairs
+  /// True when the per-target MAC ablation produced these counts: the
+  /// interaction counts are then target-cluster pairs, not batch-cluster
+  /// pairs, and are not comparable with batched-run counts pair-for-pair.
+  bool per_target_mac = false;
 
   // Work counts (kernel evaluations).
   double approx_evals = 0.0;
   double direct_evals = 0.0;
 
-  // Device accounting (GpuSim backend only).
+  // Device accounting (GpuSim backend only); deltas for this evaluation.
   std::size_t gpu_launches = 0;
   std::size_t bytes_to_device = 0;
   std::size_t bytes_to_host = 0;
   ModeledTimes modeled;
 };
 
-/// Compute potentials at `targets` due to `sources` (Eq. 1) with the BLTC.
-/// Targets and sources may be the same cloud or disjoint sets. The result is
-/// in the caller's target order.
+/// Potential and field at every target: E = -grad phi (per unit target
+/// charge; multiply by q_i for the force on particle i).
+struct FieldResult {
+  std::vector<double> phi;
+  std::vector<double> ex, ey, ez;
+};
+
+/// Everything needed to construct a Solver. The kernel is part of the
+/// configuration because the modified charges are kernel-independent but
+/// the engines' cost accounting is not.
+struct SolverConfig {
+  KernelSpec kernel;
+  TreecodeParams params;
+  Backend backend = Backend::kCpu;
+  GpuOptions gpu;
+};
+
+/// Plan/execute treecode handle (see file comment for the lifecycle).
+/// Not thread-safe: one Solver serves one stream of evaluations, mirroring
+/// one-rank-per-device in the paper.
+class Solver {
+ public:
+  /// Validates `config` (throws std::invalid_argument) and instantiates the
+  /// backend engine through the registry (core/engine.hpp).
+  explicit Solver(SolverConfig config);
+  ~Solver();
+  Solver(Solver&&) noexcept;
+  Solver& operator=(Solver&&) noexcept;
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  const SolverConfig& config() const { return config_; }
+  bool has_sources() const { return have_sources_; }
+  std::size_t num_sources() const { return src_.size(); }
+
+  /// Build the source-side plan: cluster tree over `sources` plus the
+  /// engine's modified charges (device-resident data on device engines).
+  /// Invalidates any cached target plan: interaction lists depend on the
+  /// source tree, so the next evaluate() re-plans its targets in full.
+  void set_sources(const Cloud& sources);
+
+  /// Incremental path: charges changed, positions did not. Keeps the tree
+  /// and every list; recomputes only the modified charges (the paper's
+  /// precompute phase). `charges` is in caller order, one per source.
+  void update_charges(std::span<const double> charges);
+
+  /// Incremental path: positions changed — a full source re-plan.
+  void update_positions(const Cloud& sources);
+
+  /// Compute potentials at `targets` (Eq. 1), in the caller's target order.
+  /// The target plan (batches + interaction lists) is built on first use
+  /// and cached; calling again with identical target coordinates re-executes
+  /// the cached plan with zero setup work. Targets may alias the sources.
+  std::vector<double> evaluate(const Cloud& targets,
+                               RunStats* stats = nullptr);
+
+  /// Compute potentials and fields E = -grad phi at `targets`, sharing the
+  /// same cached plan as `evaluate`. CPU backend only.
+  FieldResult evaluate_field(const Cloud& targets, RunStats* stats = nullptr);
+
+ private:
+  void plan_sources(const Cloud& sources);
+  bool target_plan_matches(const Cloud& targets) const;
+  void plan_targets(const Cloud& targets);
+  /// Shared front half of evaluate/evaluate_field: empty handling, target
+  /// planning, pending-phase bookkeeping. Returns false when the result is
+  /// trivially zero (stats already written).
+  bool begin_evaluation(const Cloud& targets, RunStats& stats,
+                        bool& fresh_targets);
+  void finish_stats(RunStats& stats) const;
+
+  SolverConfig config_;
+  std::unique_ptr<Engine> engine_;
+
+  // Source plan.
+  bool have_sources_ = false;
+  OrderedParticles src_;
+  ClusterTree tree_;
+
+  // Target plan cache. The plan-match key is tgt_ itself: the stored
+  // permutation maps tree order back to caller order for comparison.
+  bool targets_valid_ = false;
+  OrderedParticles tgt_;
+  std::vector<TargetBatch> batches_;
+  InteractionLists lists_;
+
+  // Phase seconds paid in lifecycle calls, attributed to the next evaluate.
+  double pending_setup_seconds_ = 0.0;
+  double pending_precompute_seconds_ = 0.0;
+};
+
+/// One-shot convenience wrapper (deprecated for hot paths): builds a
+/// temporary Solver, plans, evaluates, discards. Dynamics drivers calling
+/// this per step rebuild the tree and re-upload device data every call —
+/// hold a Solver instead.
 std::vector<double> compute_potential(const Cloud& targets,
                                       const Cloud& sources,
                                       const KernelSpec& kernel,

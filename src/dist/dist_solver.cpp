@@ -1,0 +1,276 @@
+#include "dist/dist_solver.hpp"
+
+#include <algorithm>
+#include <span>
+#include <stdexcept>
+
+#include "core/batches.hpp"
+#include "core/cpu_engine.hpp"
+#include "core/gpu_engine.hpp"
+#include "core/interaction_lists.hpp"
+#include "core/moments.hpp"
+#include "core/tree.hpp"
+#include "dist/let.hpp"
+#include "partition/rcb.hpp"
+#include "simmpi/comm.hpp"
+#include "util/box.hpp"
+
+namespace bltc::dist {
+namespace {
+
+/// One rank's remotely assembled LET slice for one remote rank: the remote
+/// tree, grids recomputed locally from its boxes, fetched modified charges,
+/// and fetched particle ranges (unfetched slots stay zero and are never
+/// referenced by the interaction lists).
+struct RemotePiece {
+  ClusterTree tree;
+  ClusterMoments moments;
+  OrderedParticles particles;
+  InteractionLists lists;
+  std::size_t fetched_particles = 0;
+  std::size_t clusters_in_let = 0;
+};
+
+/// Accumulate `contribution` into `phi` elementwise.
+void add_into(std::vector<double>& phi,
+              const std::vector<double>& contribution) {
+  for (std::size_t i = 0; i < phi.size(); ++i) phi[i] += contribution[i];
+}
+
+}  // namespace
+
+DistResult compute_potential_distributed(const Cloud& cloud,
+                                         const KernelSpec& kernel,
+                                         const DistParams& params,
+                                         int nranks) {
+  params.treecode.validate();
+  if (nranks < 1) {
+    throw std::invalid_argument(
+        "compute_potential_distributed: nranks must be >= 1");
+  }
+  if (params.treecode.per_target_mac) {
+    throw std::invalid_argument(
+        "compute_potential_distributed: per_target_mac is a serial CPU "
+        "ablation");
+  }
+
+  const std::size_t n = cloud.size();
+  DistResult result;
+  result.potential.assign(n, 0.0);
+  result.per_rank.resize(static_cast<std::size_t>(nranks));
+  if (n == 0) return result;
+
+  // Domain decomposition (the paper's Zoltan step): deterministic RCB over
+  // the full cloud, computed once up front. Each rank owns the particles of
+  // one part, kept in original order so one rank reproduces the serial
+  // pipeline exactly.
+  const Box3 domain =
+      minimal_bounding_box_range(cloud.x, cloud.y, cloud.z, 0, n);
+  const RcbResult rcb =
+      rcb_partition(cloud.x, cloud.y, cloud.z,
+                    static_cast<std::size_t>(nranks), domain);
+  std::vector<std::vector<std::size_t>> owned(
+      static_cast<std::size_t>(nranks));
+  for (std::size_t i = 0; i < n; ++i) {
+    owned[static_cast<std::size_t>(rcb.assignment[i])].push_back(i);
+  }
+
+  simmpi::run_ranks(nranks, [&](simmpi::Comm& comm) {
+    const int rank = comm.rank();
+    const std::vector<std::size_t>& mine =
+        owned[static_cast<std::size_t>(rank)];
+    RankStats st;
+    st.local_particles = mine.size();
+
+    Cloud local;
+    local.resize(mine.size());
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      local.x[i] = cloud.x[mine[i]];
+      local.y[i] = cloud.y[mine[i]];
+      local.z[i] = cloud.z[mine[i]];
+      local.q[i] = cloud.q[mine[i]];
+    }
+
+    // ---- Local setup: source tree, target batches, local lists.
+    OrderedParticles src = OrderedParticles::from_cloud(local);
+    TreeParams tree_params;
+    tree_params.max_leaf = params.treecode.max_leaf;
+    const ClusterTree tree = ClusterTree::build(src, tree_params);
+    st.local_clusters = tree.num_nodes();
+    OrderedParticles tgt = OrderedParticles::from_cloud(local);
+    const std::vector<TargetBatch> batches =
+        build_target_batches(tgt, params.treecode.max_batch);
+    const InteractionLists local_lists = build_interaction_lists(
+        batches, tree, params.treecode.theta, params.treecode.degree);
+
+    const bool on_gpu = params.backend == Backend::kGpuSim;
+    gpusim::Device device(params.device, params.async_streams);
+
+    // ---- Local precompute: modified charges for every local cluster.
+    ClusterMoments moments;
+    double modeled_precompute = 0.0;
+    if (on_gpu) {
+      // Sources HtD, then the two preprocessing kernels per cluster.
+      device.host_to_device(4 * src.size() * sizeof(double));
+      moments = ClusterMoments::grids_only(tree, params.treecode.degree);
+      const gpusim::TimeMarker before = device.marker();
+      GpuPrecomputeResult pre = gpu_precompute_moments_device_resident(
+          device, tree, src, moments, params.treecode.degree);
+      const gpusim::TimeMarker after = device.marker();
+      modeled_precompute = after.kernel_seconds - before.kernel_seconds;
+      apply_precompute_result(pre, tree, moments);
+    } else {
+      moments = ClusterMoments::compute(tree, src, params.treecode.degree,
+                                        params.treecode.moment_algorithm);
+    }
+
+    // ---- Exposure: serialize the local tree and expose tree blob,
+    // modified charges, and tree-ordered particle data (x y z q
+    // interleaved) through collective RMA windows.
+    std::vector<double> blob = serialize_tree(tree);
+    std::vector<double> pdata(4 * src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      pdata[4 * i + 0] = src.x[i];
+      pdata[4 * i + 1] = src.y[i];
+      pdata[4 * i + 2] = src.z[i];
+      pdata[4 * i + 3] = src.q[i];
+    }
+    simmpi::Window<double> tree_win(comm, std::span<double>(blob));
+    simmpi::Window<double> qhat_win(comm, moments.all_qhat_mutable());
+    simmpi::Window<double> pdata_win(comm, std::span<double>(pdata));
+
+    // ---- LET construction: pull each remote tree, traverse it with the
+    // local batches, and fetch only what the traversal needs.
+    std::vector<RemotePiece> pieces;
+    pieces.reserve(static_cast<std::size_t>(nranks) - 1);
+    for (int r = 0; r < nranks; ++r) {
+      if (r == rank) continue;
+      RemotePiece piece;
+
+      std::vector<double> head(1);
+      tree_win.get(r, 0, head);
+      const std::size_t rnodes = static_cast<std::size_t>(head[0]);
+      std::vector<double> rblob(1 + rnodes * kNodeRecordSize);
+      rblob[0] = head[0];
+      tree_win.get(r, 1,
+                   std::span<double>(rblob).subspan(1));
+      piece.tree = deserialize_tree(rblob);
+
+      piece.lists = build_interaction_lists(
+          batches, piece.tree, params.treecode.theta, params.treecode.degree);
+
+      const std::vector<int> approx_nodes =
+          collect_unique_nodes(piece.lists, /*approx=*/true);
+      const std::vector<int> direct_nodes =
+          collect_unique_nodes(piece.lists, /*approx=*/false);
+      piece.clusters_in_let = approx_nodes.size() + direct_nodes.size();
+
+      // Grids are geometry-determined: recompute locally from the remote
+      // boxes; only the modified charges cross the network.
+      piece.moments =
+          ClusterMoments::grids_only(piece.tree, params.treecode.degree);
+      for (const int ci : approx_nodes) {
+        qhat_win.get(r,
+                     static_cast<std::size_t>(ci) *
+                         piece.moments.points_per_cluster(),
+                     piece.moments.qhat_mutable(ci));
+      }
+
+      // Remote particles for direct interactions: coalesced tree-order
+      // ranges. Unfetched slots stay zero and are never indexed.
+      const std::size_t rcount = piece.tree.node(piece.tree.root()).end;
+      piece.particles.x.assign(rcount, 0.0);
+      piece.particles.y.assign(rcount, 0.0);
+      piece.particles.z.assign(rcount, 0.0);
+      piece.particles.q.assign(rcount, 0.0);
+      std::vector<double> buf;
+      for (const auto& range : merge_node_ranges(piece.tree, direct_nodes)) {
+        const std::size_t count = range.second - range.first;
+        buf.resize(4 * count);
+        pdata_win.get(r, 4 * range.first, buf);
+        for (std::size_t i = 0; i < count; ++i) {
+          piece.particles.x[range.first + i] = buf[4 * i + 0];
+          piece.particles.y[range.first + i] = buf[4 * i + 1];
+          piece.particles.z[range.first + i] = buf[4 * i + 2];
+          piece.particles.q[range.first + i] = buf[4 * i + 3];
+        }
+        piece.fetched_particles += count;
+      }
+      st.let_remote_particles += piece.fetched_particles;
+      st.let_remote_clusters += piece.clusters_in_let;
+      pieces.push_back(std::move(piece));
+    }
+
+    // ---- Compute: local contribution first, then the remote pieces in
+    // rank order (fixed accumulation order keeps the result deterministic
+    // and backend-independent).
+    std::vector<double> phi(tgt.size(), 0.0);
+    double modeled_compute = 0.0;
+    if (on_gpu) {
+      // LET data HtD: targets, cluster grids + charges, fetched remote data.
+      std::size_t let_bytes =
+          3 * tgt.size() * sizeof(double) +
+          (moments.all_grids().size() + moments.all_qhat().size()) *
+              sizeof(double);
+      for (const RemotePiece& piece : pieces) {
+        let_bytes += (piece.moments.all_grids().size() +
+                      piece.moments.all_qhat().size() +
+                      4 * piece.fetched_particles) *
+                     sizeof(double);
+      }
+      device.host_to_device(let_bytes);
+
+      const gpusim::TimeMarker before = device.marker();
+      add_into(phi, gpu_evaluate_device_resident(device, tgt, batches,
+                                                 local_lists, tree, src,
+                                                 moments, kernel));
+      for (const RemotePiece& piece : pieces) {
+        add_into(phi, gpu_evaluate_device_resident(
+                          device, tgt, batches, piece.lists, piece.tree,
+                          piece.particles, piece.moments, kernel));
+      }
+      device.device_to_host(phi.size() * sizeof(double));
+      const gpusim::TimeMarker after = device.marker();
+      modeled_compute = after.kernel_seconds - before.kernel_seconds;
+    } else {
+      add_into(phi, cpu_evaluate(tgt, batches, local_lists, tree, src,
+                                 moments, kernel));
+      for (const RemotePiece& piece : pieces) {
+        add_into(phi, cpu_evaluate(tgt, batches, piece.lists, piece.tree,
+                                   piece.particles, piece.moments, kernel));
+      }
+    }
+
+    st.rma_gets = comm.gets_issued();
+    st.rma_bytes = comm.bytes_gotten();
+    if (on_gpu) {
+      st.modeled.setup =
+          gpusim::host_setup_seconds(params.host,
+                                     st.local_particles +
+                                         st.let_remote_particles) +
+          device.marker().transfer_seconds +
+          gpusim::comm_seconds(params.network, st.rma_gets, st.rma_bytes);
+      st.modeled.precompute = modeled_precompute;
+      st.modeled.compute = modeled_compute;
+    }
+
+    // ---- Scatter: local tree-order potentials back to the caller's
+    // original indices (ranks own disjoint index sets).
+    const std::vector<double> local_phi = tgt.scatter_to_original(phi);
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      result.potential[mine[i]] = local_phi[i];
+    }
+    result.per_rank[static_cast<std::size_t>(rank)] = st;
+  });
+
+  for (const RankStats& st : result.per_rank) {
+    result.modeled.setup = std::max(result.modeled.setup, st.modeled.setup);
+    result.modeled.precompute =
+        std::max(result.modeled.precompute, st.modeled.precompute);
+    result.modeled.compute =
+        std::max(result.modeled.compute, st.modeled.compute);
+  }
+  return result;
+}
+
+}  // namespace bltc::dist

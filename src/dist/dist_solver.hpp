@@ -1,0 +1,62 @@
+// Distributed BLTC pipeline (§3 of the paper): RCB domain decomposition
+// (the role Zoltan plays), one rank per simulated device, locally essential
+// trees built with one-sided RMA gets over the simmpi substrate, and a
+// bulk-synchronous potential evaluation. Ranks are in-process threads; the
+// communication accounting and the per-rank device models project the run
+// onto the paper's multi-GPU hardware.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "core/solver.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/perf_model.hpp"
+#include "util/workloads.hpp"
+
+namespace bltc::dist {
+
+/// Parameters for one distributed solve.
+struct DistParams {
+  TreecodeParams treecode;
+  Backend backend = Backend::kCpu;
+  /// Device modeled on every rank (GpuSim backend; the paper runs one GPU
+  /// per MPI rank).
+  gpusim::DeviceSpec device = gpusim::DeviceSpec::p100();
+  bool async_streams = true;
+  /// Host and interconnect models feeding the modeled phase times.
+  gpusim::HostSpec host = gpusim::HostSpec::comet_haswell();
+  gpusim::NetworkSpec network = gpusim::NetworkSpec::comet_infiniband();
+};
+
+/// Per-rank accounting: decomposition, LET size, one-sided traffic, and the
+/// modeled phase times on the paper's hardware (GpuSim backend).
+struct RankStats {
+  std::size_t local_particles = 0;
+  std::size_t local_clusters = 0;
+  std::size_t let_remote_clusters = 0;   ///< remote clusters in this rank's LET
+  std::size_t let_remote_particles = 0;  ///< remote particles actually fetched
+  std::size_t rma_gets = 0;
+  std::size_t rma_bytes = 0;
+  ModeledTimes modeled;
+};
+
+/// Result of a distributed solve.
+struct DistResult {
+  /// Potentials for every particle, in the caller's order.
+  std::vector<double> potential;
+  std::vector<RankStats> per_rank;
+  /// Bulk-synchronous phase times: per-phase maximum over ranks.
+  ModeledTimes modeled;
+};
+
+/// Compute potentials of `cloud` on itself across `nranks` in-process ranks
+/// (targets == sources, the paper's distributed configuration). One rank
+/// degenerates to the serial pipeline with no communication.
+DistResult compute_potential_distributed(const Cloud& cloud,
+                                         const KernelSpec& kernel,
+                                         const DistParams& params,
+                                         int nranks);
+
+}  // namespace bltc::dist

@@ -98,12 +98,15 @@ TEST_P(FieldAccuracy, TreecodeFieldMatchesDirect) {
   const Cloud c = uniform_cube(5000, 2);
   const FieldResult ref = direct_field(c, c, spec);
 
-  TreecodeParams p;
-  p.theta = 0.6;
-  p.degree = 8;
-  p.max_leaf = 300;
-  p.max_batch = 300;
-  const FieldResult f = compute_field(c, c, spec, p);
+  SolverConfig config;
+  config.kernel = spec;
+  config.params.theta = 0.6;
+  config.params.degree = 8;
+  config.params.max_leaf = 300;
+  config.params.max_batch = 300;
+  Solver solver(config);
+  solver.set_sources(c);
+  const FieldResult f = solver.evaluate_field(c);
 
   EXPECT_LT(relative_l2_error(ref.phi, f.phi), 1e-6) << spec.name();
   EXPECT_LT(relative_l2_error(ref.ex, f.ex), 1e-4) << spec.name();
@@ -150,13 +153,15 @@ TEST(Fields, DisjointTargetsAndSources) {
   const Cloud sources = uniform_cube(4000, 6);
   const FieldResult ref = direct_field(targets, sources,
                                        KernelSpec::coulomb());
-  TreecodeParams p;
-  p.theta = 0.6;
-  p.degree = 8;
-  p.max_leaf = 300;
-  p.max_batch = 300;
-  const FieldResult f = compute_field(targets, sources, KernelSpec::coulomb(),
-                                      p);
+  SolverConfig config;
+  config.kernel = KernelSpec::coulomb();
+  config.params.theta = 0.6;
+  config.params.degree = 8;
+  config.params.max_leaf = 300;
+  config.params.max_batch = 300;
+  Solver solver(config);
+  solver.set_sources(sources);
+  const FieldResult f = solver.evaluate_field(targets);
   EXPECT_LT(relative_l2_error(ref.ex, f.ex), 1e-6);
 }
 

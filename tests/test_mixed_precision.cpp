@@ -25,16 +25,17 @@ TEST(MixedPrecision, AccuracyDegradesToSinglePrecisionLevel) {
   const Cloud c = uniform_cube(6000, 1);
   const auto ref = direct_sum(c, c, KernelSpec::coulomb());
 
-  GpuOptions double_opts;
-  GpuOptions float_opts;
-  float_opts.mixed_precision = true;
-
-  const auto phi_d = compute_potential(c, c, KernelSpec::coulomb(), params(),
-                                       Backend::kGpuSim, nullptr,
-                                       &double_opts);
-  const auto phi_f = compute_potential(c, c, KernelSpec::coulomb(), params(),
-                                       Backend::kGpuSim, nullptr,
-                                       &float_opts);
+  SolverConfig config;
+  config.kernel = KernelSpec::coulomb();
+  config.params = params();
+  config.backend = Backend::kGpuSim;
+  Solver double_solver(config);
+  double_solver.set_sources(c);
+  const auto phi_d = double_solver.evaluate(c);
+  config.gpu.mixed_precision = true;
+  Solver float_solver(config);
+  float_solver.set_sources(c);
+  const auto phi_f = float_solver.evaluate(c);
   const double err_d = relative_l2_error(ref, phi_d);
   const double err_f = relative_l2_error(ref, phi_f);
 

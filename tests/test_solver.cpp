@@ -20,12 +20,22 @@ TreecodeParams small_params() {
   return p;
 }
 
+SolverConfig small_config(const KernelSpec& kernel,
+                          Backend backend = Backend::kCpu) {
+  SolverConfig config;
+  config.kernel = kernel;
+  config.params = small_params();
+  config.backend = backend;
+  return config;
+}
+
 TEST(Solver, MatchesDirectSumWithinTreecodeAccuracy) {
   const Cloud c = uniform_cube(8000, 1);
   const auto ref = direct_sum(c, c, KernelSpec::coulomb());
+  Solver solver(small_config(KernelSpec::coulomb()));
+  solver.set_sources(c);
   RunStats stats;
-  const auto phi = compute_potential(c, KernelSpec::coulomb(), small_params(),
-                                     Backend::kCpu, &stats);
+  const auto phi = solver.evaluate(c, &stats);
   EXPECT_LT(relative_l2_error(ref, phi), 1e-5);
   EXPECT_GT(stats.num_clusters, 1u);
   EXPECT_GT(stats.num_batches, 1u);
@@ -39,12 +49,13 @@ TEST(Solver, GpuBackendMatchesCpuBackendNumerically) {
   // The simulated GPU runs the same arithmetic in the same order within
   // each batch-cluster interaction; agreement should be near machine eps.
   const Cloud c = uniform_cube(5000, 2);
-  const auto cpu = compute_potential(c, KernelSpec::yukawa(0.5),
-                                     small_params(), Backend::kCpu);
+  Solver cpu_solver(small_config(KernelSpec::yukawa(0.5)));
+  cpu_solver.set_sources(c);
+  const auto cpu = cpu_solver.evaluate(c);
+  Solver gpu_solver(small_config(KernelSpec::yukawa(0.5), Backend::kGpuSim));
+  gpu_solver.set_sources(c);
   RunStats gstats;
-  const auto gpu = compute_potential(c, KernelSpec::yukawa(0.5),
-                                     small_params(), Backend::kGpuSim,
-                                     &gstats);
+  const auto gpu = gpu_solver.evaluate(c, &gstats);
   double scale = 0.0;
   for (const double v : cpu) scale = std::fmax(scale, std::fabs(v));
   EXPECT_LT(max_abs_difference(cpu, gpu), 1e-11 * scale);
@@ -77,8 +88,9 @@ TEST(Solver, DisjointTargetsAndSources) {
   const Cloud targets = sphere_surface(800, 4, 3.0);
   const Cloud sources = uniform_cube(4000, 5);
   const auto ref = direct_sum(targets, sources, KernelSpec::yukawa(0.5));
-  const auto phi = compute_potential(targets, sources, KernelSpec::yukawa(0.5),
-                                     small_params());
+  Solver solver(small_config(KernelSpec::yukawa(0.5)));
+  solver.set_sources(sources);
+  const auto phi = solver.evaluate(targets);
   EXPECT_LT(relative_l2_error(ref, phi), 1e-6);
 }
 
@@ -100,10 +112,14 @@ TEST(Solver, MultiquadricKernel) {
 
 TEST(Solver, FactorizedMomentsGiveSameResult) {
   const Cloud c = uniform_cube(4000, 8);
-  TreecodeParams p = small_params();
-  const auto direct_alg = compute_potential(c, KernelSpec::coulomb(), p);
-  p.moment_algorithm = MomentAlgorithm::kFactorized;
-  const auto fact_alg = compute_potential(c, KernelSpec::coulomb(), p);
+  SolverConfig config = small_config(KernelSpec::coulomb());
+  Solver direct_solver(config);
+  direct_solver.set_sources(c);
+  const auto direct_alg = direct_solver.evaluate(c);
+  config.params.moment_algorithm = MomentAlgorithm::kFactorized;
+  Solver fact_solver(config);
+  fact_solver.set_sources(c);
+  const auto fact_alg = fact_solver.evaluate(c);
   double scale = 0.0;
   for (const double v : direct_alg) scale = std::fmax(scale, std::fabs(v));
   EXPECT_LT(max_abs_difference(direct_alg, fact_alg), 1e-11 * scale);
@@ -191,16 +207,17 @@ TEST(Solver, TinyCloudFallsBackToAllDirect) {
 
 TEST(Solver, AsyncStreamsDoNotChangeNumerics) {
   const Cloud c = uniform_cube(3000, 14);
-  GpuOptions async_opts;
-  async_opts.async_streams = true;
-  GpuOptions sync_opts;
-  sync_opts.async_streams = false;
-  const auto a = compute_potential(c, c, KernelSpec::coulomb(),
-                                   small_params(), Backend::kGpuSim, nullptr,
-                                   &async_opts);
-  const auto b = compute_potential(c, c, KernelSpec::coulomb(),
-                                   small_params(), Backend::kGpuSim, nullptr,
-                                   &sync_opts);
+  SolverConfig async_config = small_config(KernelSpec::coulomb(),
+                                           Backend::kGpuSim);
+  async_config.gpu.async_streams = true;
+  SolverConfig sync_config = async_config;
+  sync_config.gpu.async_streams = false;
+  Solver async_solver(async_config);
+  async_solver.set_sources(c);
+  const auto a = async_solver.evaluate(c);
+  Solver sync_solver(sync_config);
+  sync_solver.set_sources(c);
+  const auto b = sync_solver.evaluate(c);
   EXPECT_EQ(a, b);  // bitwise: stream scheduling is timing-only
 }
 
