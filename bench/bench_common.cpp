@@ -1,6 +1,7 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/direct_sum.hpp"
 #include "util/stats.hpp"
@@ -69,6 +70,84 @@ void banner(const std::string& title, const std::string& knobs) {
   std::printf("%s\n", title.c_str());
   if (!knobs.empty()) std::printf("env knobs: %s\n", knobs.c_str());
   std::printf("================================================================\n");
+}
+
+JsonReport::JsonReport(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void JsonReport::metric(const std::string& name, double value) {
+  metrics_.emplace_back(name, value);
+}
+
+void JsonReport::note(const std::string& name, const std::string& value) {
+  notes_.emplace_back(name, value);
+}
+
+namespace {
+
+/// Escape the characters JSON strings cannot hold verbatim; the bench
+/// metric names are plain identifiers, so this only has to be correct, not
+/// complete (control characters other than \t\n\r are not expected).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool JsonReport::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "JsonReport: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n",
+               json_escape(bench_name_).c_str());
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    std::fprintf(f, "    \"%s\": %.17g%s\n",
+                 json_escape(metrics_[i].first).c_str(), metrics_[i].second,
+                 i + 1 < metrics_.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n  \"meta\": {\n");
+  for (std::size_t i = 0; i < notes_.size(); ++i) {
+    std::fprintf(f, "    \"%s\": \"%s\"%s\n",
+                 json_escape(notes_[i].first).c_str(),
+                 json_escape(notes_[i].second).c_str(),
+                 i + 1 < notes_.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("json report: %s\n", path.c_str());
+  return true;
+}
+
+std::string json_output_path(int argc, char** argv,
+                             const std::string& fallback) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        // A bare trailing --json must not silently fall back to the
+        // tracked default file (and possibly overwrite it).
+        std::fprintf(stderr, "--json requires a path (or '-' to disable); "
+                             "no report written\n");
+        return {};
+      }
+      const std::string path = argv[i + 1];
+      return path == "-" ? std::string{} : path;
+    }
+  }
+  return fallback;
 }
 
 }  // namespace bltc::bench

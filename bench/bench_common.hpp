@@ -46,4 +46,32 @@ class Table {
 /// which env knobs rescale it.
 void banner(const std::string& title, const std::string& knobs);
 
+/// Machine-readable bench output so the perf trajectory can be tracked
+/// across PRs: a flat list of named metrics written as one JSON object,
+///   {"bench": "...", "metrics": {"name": value, ...}, "meta": {...}}.
+/// Numeric metrics keep full double precision; `meta` holds free-form
+/// strings (units, configuration notes).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name);
+
+  void metric(const std::string& name, double value);
+  void note(const std::string& name, const std::string& value);
+
+  /// Write the report to `path`; returns false (with a perror-style message
+  /// on stderr) when the file cannot be written.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+};
+
+/// Parse `--json PATH` from argv; `fallback` when the flag is absent (the
+/// benches default to their tracked BENCH_*.json name). An empty string
+/// disables the report ("--json -" also disables it).
+std::string json_output_path(int argc, char** argv,
+                             const std::string& fallback);
+
 }  // namespace bltc::bench

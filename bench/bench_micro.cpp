@@ -1,161 +1,279 @@
-// google-benchmark micro suite: the hot building blocks of the BLTC —
-// kernel evaluations, barycentric basis, per-cluster modified charges (both
-// algebraic forms), tree construction, traversal, and RCB.
-#include <benchmark/benchmark.h>
-
+// Micro suite over the hot building blocks of the BLTC: the blocked
+// direct-sum and barycentric-approximation evaluators (the two kernels the
+// paper's speedups come from), kernel evaluations, barycentric basis,
+// per-cluster modified charges (both algebraic forms), tree construction,
+// traversal, and RCB.
+//
+// The headline metrics are `direct_interactions_per_sec` and
+// `approx_interactions_per_sec`: G(x,y) pair-evaluations per second through
+// the engine's blocked kernel core (core/cpu_kernels.hpp), measured on an
+// all-direct and an all-approx interaction pattern respectively. Results
+// are printed as a table and written to BENCH_micro.json (override with
+// `--json out.json`, disable with `--json -`) so the perf trajectory is
+// tracked across PRs.
+#include <cstdio>
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/barycentric.hpp"
 #include "core/batches.hpp"
 #include "core/chebyshev.hpp"
+#include "core/cpu_kernels.hpp"
 #include "core/direct_sum.hpp"
 #include "core/interaction_lists.hpp"
 #include "core/kernels.hpp"
 #include "core/moments.hpp"
 #include "core/tree.hpp"
 #include "partition/rcb.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
 #include "util/workloads.hpp"
 
-namespace bltc {
+using namespace bltc;
+
 namespace {
 
-void BM_KernelEval(benchmark::State& state) {
-  const KernelSpec spec = (state.range(0) == 0) ? KernelSpec::coulomb()
-                                                : KernelSpec::yukawa(0.5);
-  double r2 = 1.0;
-  double acc = 0.0;
-  for (auto _ : state) {
-    with_kernel(spec, [&](auto k) {
-      for (int i = 0; i < 1000; ++i) {
-        acc += k(r2);
-        r2 += 1e-9;
-      }
-    });
-  }
-  benchmark::DoNotOptimize(acc);
-  state.SetItemsProcessed(state.iterations() * 1000);
-}
-BENCHMARK(BM_KernelEval)->Arg(0)->Arg(1);
+double g_sink = 0.0;  ///< defeats dead-code elimination across benchmarks
 
-void BM_BarycentricBasis(benchmark::State& state) {
-  const int degree = static_cast<int>(state.range(0));
-  const auto pts = chebyshev2_points(degree);
-  const auto wts = chebyshev2_weights(degree);
-  std::vector<double> out(pts.size());
-  double t = 0.1234;
-  for (auto _ : state) {
-    barycentric_basis(pts, wts, t, out);
-    benchmark::DoNotOptimize(out.data());
-    t += 1e-9;
+/// Average seconds per call of `fn`, with reps chosen for a stable reading.
+double time_call(const std::function<void()>& fn, double min_seconds = 0.2) {
+  fn();  // warm-up (and first-touch of any lazily sized buffers)
+  WallTimer timer;
+  fn();
+  double elapsed = timer.seconds();
+  std::size_t reps = 1;
+  if (elapsed < min_seconds) {
+    reps = static_cast<std::size_t>(min_seconds / (elapsed + 1e-9)) + 1;
+    timer.reset();
+    for (std::size_t r = 0; r < reps; ++r) fn();
+    elapsed = timer.seconds();
   }
+  return elapsed / static_cast<double>(reps);
 }
-BENCHMARK(BM_BarycentricBasis)->Arg(4)->Arg(8)->Arg(13);
 
-void BM_ChebyshevPoints(benchmark::State& state) {
-  std::vector<double> out(9);
-  for (auto _ : state) {
-    chebyshev2_points_into(8, -1.0, 1.0, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-}
-BENCHMARK(BM_ChebyshevPoints);
-
-struct MomentFixture {
-  OrderedParticles sources;
+/// Tree + batches + lists + moments for one (targets, sources) pair.
+struct EvalSetup {
+  OrderedParticles src, tgt;
   ClusterTree tree;
-  MomentFixture() {
-    const Cloud c = uniform_cube(2000, 1);
-    sources = OrderedParticles::from_cloud(c);
+  ClusterMoments moments;
+  std::vector<TargetBatch> batches;
+  InteractionLists lists;
+
+  EvalSetup(const Cloud& targets, const Cloud& sources, double theta,
+            int degree) {
+    src = OrderedParticles::from_cloud(sources);
     TreeParams tp;
     tp.max_leaf = 2000;
-    tree = ClusterTree::build(sources, tp);
+    tree = ClusterTree::build(src, tp);
+    moments = ClusterMoments::compute(tree, src, degree);
+    tgt = OrderedParticles::from_cloud(targets);
+    batches = build_target_batches(tgt, 2000);
+    lists = build_interaction_lists(batches, tree, theta, degree);
   }
 };
 
-void BM_MomentsDirect(benchmark::State& state) {
-  static const MomentFixture f;
-  const int degree = static_cast<int>(state.range(0));
-  const ClusterMoments grids = ClusterMoments::grids_only(f.tree, degree);
-  std::vector<double> out(grids.points_per_cluster());
-  for (auto _ : state) {
-    ClusterMoments::compute_cluster_direct(f.tree, f.sources, degree, 0,
-                                           grids.grid(0, 0), grids.grid(0, 1),
-                                           grids.grid(0, 2), out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2000);
-}
-BENCHMARK(BM_MomentsDirect)->Arg(4)->Arg(8);
+}  // namespace
 
-void BM_MomentsFactorized(benchmark::State& state) {
-  static const MomentFixture f;
-  const int degree = static_cast<int>(state.range(0));
-  const ClusterMoments grids = ClusterMoments::grids_only(f.tree, degree);
-  std::vector<double> out(grids.points_per_cluster());
-  for (auto _ : state) {
-    ClusterMoments::compute_cluster_factorized(
-        f.tree, f.sources, degree, 0, grids.grid(0, 0), grids.grid(0, 1),
-        grids.grid(0, 2), out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 2000);
-}
-BENCHMARK(BM_MomentsFactorized)->Arg(4)->Arg(8);
+int main(int argc, char** argv) {
+  bench::banner(
+      "Micro benchmarks — blocked evaluators and treecode building blocks",
+      "BLTC_MICRO_DIRECT_N (default 8000), BLTC_MICRO_APPROX_N (default "
+      "20000)");
 
-void BM_TreeBuild(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  const Cloud c = uniform_cube(n, 2);
-  for (auto _ : state) {
-    OrderedParticles p = OrderedParticles::from_cloud(c);
+  const std::size_t direct_n = env_size("BLTC_MICRO_DIRECT_N", 8000);
+  const std::size_t approx_n = env_size("BLTC_MICRO_APPROX_N", 20000);
+
+  bench::Table table({"benchmark", "time", "rate"});
+  bench::JsonReport report("bench_micro");
+  report.note("direct_n", std::to_string(direct_n));
+  report.note("approx_n", std::to_string(approx_n));
+  report.note("rate_unit", "per second");
+
+  const auto row = [&](const std::string& name, double seconds, double items,
+                       const std::string& what) {
+    table.add_row({name, bench::Table::sci(seconds) + " s",
+                   bench::Table::sci(items / seconds) + " " + what + "/s"});
+    report.metric(name + "_seconds", seconds);
+    report.metric(name + "_per_sec", items / seconds);
+  };
+
+  // --- Blocked direct-sum rate (Eq. 9): theta ~ 0 makes every list entry a
+  // direct cluster, so the evaluator streams real particles only.
+  {
+    const Cloud c = uniform_cube(direct_n, 7);
+    EvalSetup s(c, c, 0.05, 8);
+    EngineCounters counters;
+    CpuWorkspace ws;
+    const double sec = time_call([&] {
+      g_sink += cpu_evaluate(s.tgt, s.batches, s.lists, s.tree, s.src,
+                             s.moments, KernelSpec::coulomb(), &counters,
+                             &ws)[0];
+    });
+    row("direct_interactions", sec, counters.direct_evals, "inter");
+  }
+
+  // --- Blocked approx rate (Eq. 11): far-away targets, every cluster
+  // passes the MAC, the evaluator streams Chebyshev points only.
+  {
+    const Cloud c = uniform_cube(approx_n, 7);
+    Cloud far = c;
+    for (auto& v : far.x) v += 6.0;
+    for (auto& v : far.y) v += 6.0;
+    for (auto& v : far.z) v += 6.0;
+    EvalSetup s(far, c, 0.8, 8);
+    EngineCounters counters;
+    CpuWorkspace ws;
+    const double sec = time_call([&] {
+      g_sink += cpu_evaluate(s.tgt, s.batches, s.lists, s.tree, s.src,
+                             s.moments, KernelSpec::coulomb(), &counters,
+                             &ws)[0];
+    });
+    row("approx_interactions", sec, counters.approx_evals, "inter");
+
+    // Same pattern through the field evaluator (potential + E).
+    EngineCounters fcounters;
+    const double fsec = time_call([&] {
+      g_sink += cpu_evaluate_field(s.tgt, s.batches, s.lists, s.tree, s.src,
+                                   s.moments, KernelSpec::coulomb(),
+                                   &fcounters, &ws)
+                    .ex[0];
+    });
+    row("approx_field_interactions", fsec, fcounters.approx_evals, "inter");
+  }
+
+  // --- Field direct rate.
+  {
+    const Cloud c = uniform_cube(direct_n, 7);
+    EvalSetup s(c, c, 0.05, 8);
+    EngineCounters counters;
+    CpuWorkspace ws;
+    const double sec = time_call([&] {
+      g_sink += cpu_evaluate_field(s.tgt, s.batches, s.lists, s.tree, s.src,
+                                   s.moments, KernelSpec::coulomb(),
+                                   &counters, &ws)
+                    .ex[0];
+    });
+    row("direct_field_interactions", sec, counters.direct_evals, "inter");
+  }
+
+  // --- Kernel evaluations (scalar dispatch form, per 1000 calls).
+  const std::vector<std::pair<std::string, KernelSpec>> kernel_cases{
+      {"kernel_coulomb", KernelSpec::coulomb()},
+      {"kernel_yukawa", KernelSpec::yukawa(0.5)}};
+  for (const auto& [name, spec] : kernel_cases) {
+    const KernelSpec local = spec;
+    const double sec = time_call([&] {
+      double r2 = 1.0;
+      with_kernel(local, [&](auto k) {
+        double acc = 0.0;
+        for (int i = 0; i < 1000; ++i) {
+          acc += k(r2);
+          r2 += 1e-9;
+        }
+        g_sink += acc;
+      });
+    });
+    row(name, sec, 1000.0, "eval");
+  }
+
+  // --- Barycentric basis at degree 8.
+  {
+    const auto pts = chebyshev2_points(8);
+    const auto wts = chebyshev2_weights(8);
+    std::vector<double> out(pts.size());
+    double t = 0.1234;
+    const double sec = time_call([&] {
+      barycentric_basis(pts, wts, t, out);
+      g_sink += out[0];
+      t += 1e-9;
+    });
+    row("barycentric_basis_deg8", sec, 1.0, "call");
+  }
+
+  // --- Per-cluster modified charges, both algebraic forms (degree 8).
+  {
+    const Cloud c = uniform_cube(2000, 1);
+    OrderedParticles sources = OrderedParticles::from_cloud(c);
+    TreeParams tp;
+    tp.max_leaf = 2000;
+    const ClusterTree tree = ClusterTree::build(sources, tp);
+    const ClusterMoments grids = ClusterMoments::grids_only(tree, 8);
+    std::vector<double> out(grids.points_per_cluster());
+    const double dsec = time_call([&] {
+      ClusterMoments::compute_cluster_direct(tree, sources, 8, 0,
+                                             grids.grid(0, 0),
+                                             grids.grid(0, 1),
+                                             grids.grid(0, 2), out);
+      g_sink += out[0];
+    });
+    row("moments_direct_deg8", dsec, 2000.0, "particle");
+    const double fsec = time_call([&] {
+      ClusterMoments::compute_cluster_factorized(tree, sources, 8, 0,
+                                                 grids.grid(0, 0),
+                                                 grids.grid(0, 1),
+                                                 grids.grid(0, 2), out);
+      g_sink += out[0];
+    });
+    row("moments_factorized_deg8", fsec, 2000.0, "particle");
+  }
+
+  // --- Tree construction.
+  {
+    const Cloud c = uniform_cube(50000, 2);
+    const double sec = time_call([&] {
+      OrderedParticles p = OrderedParticles::from_cloud(c);
+      TreeParams tp;
+      tp.max_leaf = 500;
+      const ClusterTree tree = ClusterTree::build(p, tp);
+      g_sink += static_cast<double>(tree.num_nodes());
+    });
+    row("tree_build_50k", sec, 50000.0, "particle");
+  }
+
+  // --- Dual traversal (list construction).
+  {
+    const Cloud c = uniform_cube(30000, 3);
+    OrderedParticles src = OrderedParticles::from_cloud(c);
     TreeParams tp;
     tp.max_leaf = 500;
-    const ClusterTree tree = ClusterTree::build(p, tp);
-    benchmark::DoNotOptimize(tree.num_nodes());
+    const ClusterTree tree = ClusterTree::build(src, tp);
+    OrderedParticles tgt = OrderedParticles::from_cloud(c);
+    const auto batches = build_target_batches(tgt, 500);
+    const double sec = time_call([&] {
+      const InteractionLists lists =
+          build_interaction_lists(batches, tree, 0.8, 8);
+      g_sink += static_cast<double>(lists.total_approx);
+    });
+    row("traversal_30k", sec, 1.0, "call");
   }
-  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
-}
-BENCHMARK(BM_TreeBuild)->Arg(10000)->Arg(50000);
 
-void BM_Traversal(benchmark::State& state) {
-  const Cloud c = uniform_cube(30000, 3);
-  OrderedParticles src = OrderedParticles::from_cloud(c);
-  TreeParams tp;
-  tp.max_leaf = 500;
-  const ClusterTree tree = ClusterTree::build(src, tp);
-  OrderedParticles tgt = OrderedParticles::from_cloud(c);
-  const auto batches = build_target_batches(tgt, 500);
-  for (auto _ : state) {
-    const InteractionLists lists =
-        build_interaction_lists(batches, tree, 0.8, 8);
-    benchmark::DoNotOptimize(lists.total_approx);
+  // --- RCB partition.
+  {
+    const Cloud c = uniform_cube(50000, 4);
+    const Box3 domain = Box3::cube(-1.0, 1.0);
+    const double sec = time_call([&] {
+      const RcbResult r = rcb_partition(c.x, c.y, c.z, 32, domain);
+      g_sink += static_cast<double>(r.assignment[0]);
+    });
+    row("rcb_50k_32parts", sec, 50000.0, "particle");
   }
-}
-BENCHMARK(BM_Traversal);
 
-void BM_Rcb(benchmark::State& state) {
-  const std::size_t nparts = static_cast<std::size_t>(state.range(0));
-  const Cloud c = uniform_cube(50000, 4);
-  const Box3 domain = Box3::cube(-1.0, 1.0);
-  for (auto _ : state) {
-    const RcbResult r = rcb_partition(c.x, c.y, c.z, nparts, domain);
-    benchmark::DoNotOptimize(r.assignment.data());
+  // --- O(N^2) reference direct sum (the exact oracle, kept scalar).
+  {
+    const Cloud c = uniform_cube(4000, 5);
+    const double sec = time_call([&] {
+      g_sink += direct_sum(c, c, KernelSpec::coulomb())[0];
+    });
+    row("direct_sum_naive_4k", sec, 4000.0 * 4000.0, "inter");
   }
-  state.SetItemsProcessed(state.iterations() * 50000);
+
+  table.print();
+  std::printf("(sink %.3g)\n", g_sink);
+
+  const std::string json_path =
+      bench::json_output_path(argc, argv, "BENCH_micro.json");
+  if (!json_path.empty()) report.write(json_path);
+  return 0;
 }
-BENCHMARK(BM_Rcb)->Arg(4)->Arg(32);
-
-void BM_DirectSum(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  const Cloud c = uniform_cube(n, 5);
-  for (auto _ : state) {
-    const auto phi = direct_sum(c, c, KernelSpec::coulomb());
-    benchmark::DoNotOptimize(phi.data());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<long>(n * n));
-}
-BENCHMARK(BM_DirectSum)->Arg(1000)->Arg(4000);
-
-}  // namespace
-}  // namespace bltc
-
-BENCHMARK_MAIN();

@@ -3,10 +3,12 @@
 // changing) sources; the one-shot free function re-runs all three phases
 // every call, while a held Solver pays setup + precompute once. This bench
 // measures both patterns on both backends and reports per-call phase
-// seconds and fresh host-to-device traffic — on an unchanged Solver the
-// repeat evaluations must show setup ~ 0, precompute ~ 0, and zero fresh
-// HtD source bytes.
+// seconds, fresh host-to-device traffic, and launch granularity — on an
+// unchanged Solver the repeat evaluations must show setup ~ 0, precompute
+// ~ 0, and zero fresh HtD source bytes. Results are written to
+// BENCH_replan.json (override with --json) for cross-PR tracking.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/solver.hpp"
@@ -14,7 +16,7 @@
 
 using namespace bltc;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner(
       "Plan/execute amortization — one-shot calls vs a held Solver",
       "BLTC_REPLAN_N (default 30000), BLTC_REPLAN_CALLS (default 5)");
@@ -30,13 +32,31 @@ int main() {
   params.max_leaf = 2000;
   params.max_batch = 2000;
 
+  bench::JsonReport report("bench_replan");
+  report.note("n", std::to_string(n));
+  report.note("calls", std::to_string(calls));
+
   for (const Backend backend : {Backend::kCpu, Backend::kGpuSim}) {
     const bool gpu = backend == Backend::kGpuSim;
+    const std::string tag = gpu ? "gpusim" : "cpu";
     std::printf("\n--- backend: %s, N = %zu, %d evaluations ---\n",
-                gpu ? "gpusim" : "cpu", n, calls);
+                tag.c_str(), n, calls);
 
     bench::Table table({"pattern", "call", "setup[s]", "precompute[s]",
-                        "compute[s]", "HtD KiB", "DtH KiB"});
+                        "compute[s]", "launches", "HtD KiB", "DtH KiB"});
+    const auto add_row = [&](const char* pattern, int call,
+                             const RunStats& stats) {
+      table.add_row(
+          {pattern, std::to_string(call),
+           bench::Table::num(stats.setup_seconds, 4),
+           bench::Table::num(stats.precompute_seconds, 4),
+           bench::Table::num(stats.compute_seconds, 4),
+           std::to_string(stats.approx_launches + stats.direct_launches),
+           bench::Table::num(
+               static_cast<double>(stats.bytes_to_device) / 1024.0, 1),
+           bench::Table::num(
+               static_cast<double>(stats.bytes_to_host) / 1024.0, 1)});
+    };
 
     // Pattern 1: fresh one-shot call per evaluation (the seed behavior —
     // every call rebuilds the tree, lists, and charges and re-uploads all
@@ -46,16 +66,7 @@ int main() {
       RunStats stats;
       compute_potential(cloud, kernel, params, backend, &stats);
       oneshot_total += stats.total_seconds();
-      table.add_row({"one-shot", std::to_string(c),
-                     bench::Table::num(stats.setup_seconds, 4),
-                     bench::Table::num(stats.precompute_seconds, 4),
-                     bench::Table::num(stats.compute_seconds, 4),
-                     bench::Table::num(
-                         static_cast<double>(stats.bytes_to_device) / 1024.0,
-                         1),
-                     bench::Table::num(
-                         static_cast<double>(stats.bytes_to_host) / 1024.0,
-                         1)});
+      add_row("one-shot", c, stats);
     }
 
     // Pattern 2: one Solver, repeated evaluate. The first call carries the
@@ -67,26 +78,38 @@ int main() {
     Solver solver(config);
     solver.set_sources(cloud);
     double held_total = 0.0;
+    RunStats last{};
     for (int c = 0; c < calls; ++c) {
       RunStats stats;
       solver.evaluate(cloud, &stats);
       held_total += stats.total_seconds();
-      table.add_row({"held-solver", std::to_string(c),
-                     bench::Table::num(stats.setup_seconds, 4),
-                     bench::Table::num(stats.precompute_seconds, 4),
-                     bench::Table::num(stats.compute_seconds, 4),
-                     bench::Table::num(
-                         static_cast<double>(stats.bytes_to_device) / 1024.0,
-                         1),
-                     bench::Table::num(
-                         static_cast<double>(stats.bytes_to_host) / 1024.0,
-                         1)});
+      add_row("held-solver", c, stats);
+      last = stats;
     }
     table.print();
     std::printf("total measured: one-shot %.3f s, held solver %.3f s "
                 "(%.0f%% saved)\n",
                 oneshot_total, held_total,
                 100.0 * (oneshot_total - held_total) / oneshot_total);
+
+    report.metric(tag + "_oneshot_total_seconds", oneshot_total);
+    report.metric(tag + "_held_total_seconds", held_total);
+    report.metric(tag + "_repeat_compute_seconds", last.compute_seconds);
+    // Launch granularity: how much work one kernel launch amortizes.
+    report.metric(tag + "_approx_launches",
+                  static_cast<double>(last.approx_launches));
+    report.metric(tag + "_direct_launches",
+                  static_cast<double>(last.direct_launches));
+    if (last.approx_launches > 0) {
+      report.metric(tag + "_approx_evals_per_launch",
+                    last.approx_evals /
+                        static_cast<double>(last.approx_launches));
+    }
+    if (last.direct_launches > 0) {
+      report.metric(tag + "_direct_evals_per_launch",
+                    last.direct_evals /
+                        static_cast<double>(last.direct_launches));
+    }
   }
 
   std::printf(
@@ -94,5 +117,9 @@ int main() {
       "~ 0, and (gpusim) 0 KiB\nfresh HtD — only the potentials' DtH "
       "remains. One-shot calls repeat the full pipeline.\n",
       calls - 1);
+
+  const std::string json_path =
+      bench::json_output_path(argc, argv, "BENCH_replan.json");
+  if (!json_path.empty()) report.write(json_path);
   return 0;
 }

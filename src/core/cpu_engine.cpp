@@ -1,235 +1,16 @@
 #include "core/cpu_engine.hpp"
 
-#include <stdexcept>
-
-#include "core/fields.hpp"
-
 namespace bltc {
 namespace {
 
-/// Potential at one target due to one cluster's Chebyshev points (Eq. 11).
-template <typename Kernel>
-double approx_at(double tx, double ty, double tz, std::span<const double> gx,
-                 std::span<const double> gy, std::span<const double> gz,
-                 std::span<const double> qhat, Kernel k) {
-  const std::size_t m = gx.size();
-  double phi = 0.0;
-  for (std::size_t k1 = 0; k1 < m; ++k1) {
-    const double dx = tx - gx[k1];
-    const double dx2 = dx * dx;
-    for (std::size_t k2 = 0; k2 < m; ++k2) {
-      const double dy = ty - gy[k2];
-      const double dxy2 = dx2 + dy * dy;
-      const double* qrow = qhat.data() + (k1 * m + k2) * m;
-      for (std::size_t k3 = 0; k3 < m; ++k3) {
-        const double dz = tz - gz[k3];
-        phi += k(dxy2 + dz * dz) * qrow[k3];
-      }
-    }
-  }
-  return phi;
-}
-
-/// Potential at one target due to one cluster's particles (Eq. 9).
-template <typename Kernel>
-double direct_at(double tx, double ty, double tz,
-                 const OrderedParticles& sources, std::size_t begin,
-                 std::size_t end, Kernel k) {
-  double phi = 0.0;
-  for (std::size_t j = begin; j < end; ++j) {
-    const double dx = tx - sources.x[j];
-    const double dy = ty - sources.y[j];
-    const double dz = tz - sources.z[j];
-    const double r2 = dx * dx + dy * dy + dz * dz;
-    if constexpr (Kernel::kSingular) {
-      if (r2 == 0.0) continue;
-    }
-    phi += k(r2) * sources.q[j];
-  }
-  return phi;
+void fill_stats(const EngineCounters& counters, RunStats& stats) {
+  stats.approx_evals = counters.approx_evals;
+  stats.direct_evals = counters.direct_evals;
+  stats.approx_launches = counters.approx_launches;
+  stats.direct_launches = counters.direct_launches;
 }
 
 }  // namespace
-
-std::vector<double> cpu_evaluate(const OrderedParticles& targets,
-                                 const std::vector<TargetBatch>& batches,
-                                 const InteractionLists& lists,
-                                 const ClusterTree& tree,
-                                 const OrderedParticles& sources,
-                                 const ClusterMoments& moments,
-                                 const KernelSpec& kernel,
-                                 EngineCounters* counters) {
-  std::vector<double> phi(targets.size(), 0.0);
-  EngineCounters local;
-  double approx_evals = 0.0, direct_evals = 0.0;
-  std::size_t approx_launches = 0, direct_launches = 0;
-
-  with_kernel(kernel, [&](auto k) {
-#pragma omp parallel for schedule(dynamic) \
-    reduction(+ : approx_evals, direct_evals, approx_launches, direct_launches)
-    for (std::size_t b = 0; b < batches.size(); ++b) {
-      const TargetBatch& batch = batches[b];
-      const BatchInteractions& bi = lists.per_batch[b];
-
-      for (const int ci : bi.approx) {
-        const auto gx = moments.grid(ci, 0);
-        const auto gy = moments.grid(ci, 1);
-        const auto gz = moments.grid(ci, 2);
-        const auto qhat = moments.qhat(ci);
-        for (std::size_t i = batch.begin; i < batch.end; ++i) {
-          phi[i] += approx_at(targets.x[i], targets.y[i], targets.z[i], gx, gy,
-                              gz, qhat, k);
-        }
-        approx_evals += static_cast<double>(batch.count()) *
-                        static_cast<double>(qhat.size());
-        ++approx_launches;
-      }
-
-      for (const int ci : bi.direct) {
-        const ClusterNode& node = tree.node(ci);
-        for (std::size_t i = batch.begin; i < batch.end; ++i) {
-          phi[i] += direct_at(targets.x[i], targets.y[i], targets.z[i],
-                              sources, node.begin, node.end, k);
-        }
-        direct_evals += static_cast<double>(batch.count()) *
-                        static_cast<double>(node.count());
-        ++direct_launches;
-      }
-    }
-  });
-
-  local.approx_evals = approx_evals;
-  local.direct_evals = direct_evals;
-  local.approx_launches = approx_launches;
-  local.direct_launches = direct_launches;
-  if (counters != nullptr) *counters = local;
-  return phi;
-}
-
-std::vector<double> cpu_evaluate_per_target(const OrderedParticles& targets,
-                                            const InteractionLists& lists,
-                                            const ClusterTree& tree,
-                                            const OrderedParticles& sources,
-                                            const ClusterMoments& moments,
-                                            const KernelSpec& kernel,
-                                            EngineCounters* counters) {
-  std::vector<double> phi(targets.size(), 0.0);
-  EngineCounters local;
-  double approx_evals = 0.0, direct_evals = 0.0;
-  std::size_t approx_launches = 0, direct_launches = 0;
-
-  with_kernel(kernel, [&](auto k) {
-#pragma omp parallel for schedule(dynamic, 64) \
-    reduction(+ : approx_evals, direct_evals, approx_launches, direct_launches)
-    for (std::size_t i = 0; i < targets.size(); ++i) {
-      const BatchInteractions& ti = lists.per_batch[i];
-      double acc = 0.0;
-      for (const int ci : ti.approx) {
-        acc += approx_at(targets.x[i], targets.y[i], targets.z[i],
-                         moments.grid(ci, 0), moments.grid(ci, 1),
-                         moments.grid(ci, 2), moments.qhat(ci), k);
-        approx_evals += static_cast<double>(moments.points_per_cluster());
-        ++approx_launches;
-      }
-      for (const int ci : ti.direct) {
-        const ClusterNode& node = tree.node(ci);
-        acc += direct_at(targets.x[i], targets.y[i], targets.z[i], sources,
-                         node.begin, node.end, k);
-        direct_evals += static_cast<double>(node.count());
-        ++direct_launches;
-      }
-      phi[i] = acc;
-    }
-  });
-
-  local.approx_evals = approx_evals;
-  local.direct_evals = direct_evals;
-  local.approx_launches = approx_launches;
-  local.direct_launches = direct_launches;
-  if (counters != nullptr) *counters = local;
-  return phi;
-}
-
-FieldResult cpu_evaluate_field(const OrderedParticles& targets,
-                               const std::vector<TargetBatch>& batches,
-                               const InteractionLists& lists,
-                               const ClusterTree& tree,
-                               const OrderedParticles& sources,
-                               const ClusterMoments& moments,
-                               const KernelSpec& kernel,
-                               EngineCounters* counters) {
-  FieldResult out;
-  out.phi.assign(targets.size(), 0.0);
-  out.ex.assign(targets.size(), 0.0);
-  out.ey.assign(targets.size(), 0.0);
-  out.ez.assign(targets.size(), 0.0);
-  EngineCounters local;
-  double approx_evals = 0.0, direct_evals = 0.0;
-  std::size_t approx_launches = 0, direct_launches = 0;
-
-  with_grad_kernel(kernel, [&](auto k) {
-#pragma omp parallel for schedule(dynamic) \
-    reduction(+ : approx_evals, direct_evals, approx_launches, direct_launches)
-    for (std::size_t b = 0; b < batches.size(); ++b) {
-      const TargetBatch& batch = batches[b];
-      const BatchInteractions& bi = lists.per_batch[b];
-
-      for (const int ci : bi.approx) {
-        const auto gx = moments.grid(ci, 0);
-        const auto gy = moments.grid(ci, 1);
-        const auto gz = moments.grid(ci, 2);
-        const auto qhat = moments.qhat(ci);
-        const std::size_t m = gx.size();
-        for (std::size_t i = batch.begin; i < batch.end; ++i) {
-          double p = 0.0, fx = 0.0, fy = 0.0, fz = 0.0;
-          for (std::size_t k1 = 0; k1 < m; ++k1) {
-            for (std::size_t k2 = 0; k2 < m; ++k2) {
-              const double* qrow = qhat.data() + (k1 * m + k2) * m;
-              for (std::size_t k3 = 0; k3 < m; ++k3) {
-                accumulate_field_contribution(targets.x[i], targets.y[i], targets.z[i],
-                                 gx[k1], gy[k2], gz[k3], qrow[k3], k, p, fx,
-                                 fy, fz);
-              }
-            }
-          }
-          out.phi[i] += p;
-          out.ex[i] += fx;
-          out.ey[i] += fy;
-          out.ez[i] += fz;
-        }
-        approx_evals += static_cast<double>(batch.count()) *
-                        static_cast<double>(qhat.size());
-        ++approx_launches;
-      }
-
-      for (const int ci : bi.direct) {
-        const ClusterNode& node = tree.node(ci);
-        for (std::size_t i = batch.begin; i < batch.end; ++i) {
-          double p = 0.0, fx = 0.0, fy = 0.0, fz = 0.0;
-          for (std::size_t j = node.begin; j < node.end; ++j) {
-            accumulate_field_contribution(targets.x[i], targets.y[i], targets.z[i],
-                             sources.x[j], sources.y[j], sources.z[j],
-                             sources.q[j], k, p, fx, fy, fz);
-          }
-          out.phi[i] += p;
-          out.ex[i] += fx;
-          out.ey[i] += fy;
-          out.ez[i] += fz;
-        }
-        direct_evals += static_cast<double>(batch.count()) *
-                        static_cast<double>(node.count());
-        ++direct_launches;
-      }
-    }
-  });
-
-  local.approx_evals = approx_evals;
-  local.direct_evals = direct_evals;
-  local.approx_launches = approx_launches;
-  local.direct_launches = direct_launches;
-  if (counters != nullptr) *counters = local;
-  return out;
-}
 
 void CpuEngine::prepare_sources(const SourcePlan& plan,
                                 const TreecodeParams& params,
@@ -272,14 +53,13 @@ std::vector<double> CpuEngine::evaluate_potential(const SourcePlan& sources,
   if (targets.per_target_mac) {
     phi = cpu_evaluate_per_target(*targets.particles, *targets.lists,
                                   *sources.tree, *sources.particles, moments_,
-                                  kernel, &counters);
+                                  kernel, &counters, &workspace_);
   } else {
     phi = cpu_evaluate(*targets.particles, *targets.batches, *targets.lists,
                        *sources.tree, *sources.particles, moments_, kernel,
-                       &counters);
+                       &counters, &workspace_);
   }
-  stats.approx_evals = counters.approx_evals;
-  stats.direct_evals = counters.direct_evals;
+  fill_stats(counters, stats);
   return phi;
 }
 
@@ -288,17 +68,20 @@ FieldResult CpuEngine::evaluate_field(const SourcePlan& sources,
                                       const KernelSpec& kernel,
                                       bool /*fresh_targets*/,
                                       RunStats& stats) {
-  if (targets.per_target_mac) {
-    throw std::invalid_argument(
-        "field evaluation supports the batched MAC only");
-  }
   EngineCounters counters;
-  FieldResult out =
-      cpu_evaluate_field(*targets.particles, *targets.batches, *targets.lists,
-                         *sources.tree, *sources.particles, moments_, kernel,
-                         &counters);
-  stats.approx_evals = counters.approx_evals;
-  stats.direct_evals = counters.direct_evals;
+  FieldResult out;
+  if (targets.per_target_mac) {
+    out = cpu_evaluate_field_per_target(*targets.particles, *targets.lists,
+                                        *sources.tree, *sources.particles,
+                                        moments_, kernel, &counters,
+                                        &workspace_);
+  } else {
+    out = cpu_evaluate_field(*targets.particles, *targets.batches,
+                             *targets.lists, *sources.tree,
+                             *sources.particles, moments_, kernel, &counters,
+                             &workspace_);
+  }
+  fill_stats(counters, stats);
   return out;
 }
 

@@ -1,15 +1,17 @@
-// Host potential-evaluation engine — the paper's CPU comparator (§4): one
-// OpenMP thread takes one target batch and walks its interaction list,
-// evaluating the barycentric approximation (Eq. 11) for far clusters and the
-// direct sum (Eq. 9) for near ones. `CpuEngine` wraps the free evaluation
-// functions behind the Engine interface and keeps the modified charges
-// alive across evaluate() calls; the free functions remain the low-level
-// building blocks the distributed solver drives directly.
+// Host potential-evaluation engine — the paper's CPU comparator (§4). All
+// four host paths ({potential, field} x {batched, per-target MAC}) execute
+// through the blocked kernel core in core/cpu_kernels.hpp; `CpuEngine`
+// wraps those free evaluation functions behind the Engine interface and
+// keeps the modified charges plus the per-thread evaluation workspace alive
+// across evaluate() calls, so repeated evaluations of a cached plan
+// allocate nothing. The free functions remain the low-level building
+// blocks the distributed solver drives directly.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "core/cpu_kernels.hpp"
 #include "core/engine.hpp"
 #include "core/interaction_lists.hpp"
 #include "core/kernels.hpp"
@@ -17,36 +19,6 @@
 #include "core/particles.hpp"
 
 namespace bltc {
-
-/// Evaluate potentials (tree order) for batched targets.
-std::vector<double> cpu_evaluate(const OrderedParticles& targets,
-                                 const std::vector<TargetBatch>& batches,
-                                 const InteractionLists& lists,
-                                 const ClusterTree& tree,
-                                 const OrderedParticles& sources,
-                                 const ClusterMoments& moments,
-                                 const KernelSpec& kernel,
-                                 EngineCounters* counters = nullptr);
-
-/// Ablation path: `lists` has one entry per target (per-target MAC).
-std::vector<double> cpu_evaluate_per_target(const OrderedParticles& targets,
-                                            const InteractionLists& lists,
-                                            const ClusterTree& tree,
-                                            const OrderedParticles& sources,
-                                            const ClusterMoments& moments,
-                                            const KernelSpec& kernel,
-                                            EngineCounters* counters = nullptr);
-
-/// Potential + field evaluation (tree order) for batched targets, using the
-/// analytic gradient of the barycentric approximation (core/fields.hpp).
-FieldResult cpu_evaluate_field(const OrderedParticles& targets,
-                               const std::vector<TargetBatch>& batches,
-                               const InteractionLists& lists,
-                               const ClusterTree& tree,
-                               const OrderedParticles& sources,
-                               const ClusterMoments& moments,
-                               const KernelSpec& kernel,
-                               EngineCounters* counters = nullptr);
 
 /// Engine-interface wrapper over the host evaluation paths. Source state is
 /// one ClusterMoments instance, recomputed in full on prepare and charges-
@@ -71,6 +43,7 @@ class CpuEngine final : public Engine {
 
  private:
   ClusterMoments moments_;
+  CpuWorkspace workspace_;  ///< per-thread scratch, persists across calls
 };
 
 }  // namespace bltc

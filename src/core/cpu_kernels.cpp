@@ -1,0 +1,244 @@
+#include "core/cpu_kernels.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace bltc {
+
+void CpuWorkspace::ensure_threads() {
+#ifdef _OPENMP
+  const std::size_t n = static_cast<std::size_t>(omp_get_max_threads());
+#else
+  const std::size_t n = 1;
+#endif
+  if (per_thread_.size() < n) per_thread_.resize(n);
+  // Expansion caches are only valid within one evaluation: the modified
+  // charges behind a cached cluster id may have been rewritten since.
+  for (CpuScratch& s : per_thread_) s.cached_cluster = -1;
+}
+
+CpuScratch& CpuWorkspace::scratch() {
+#ifdef _OPENMP
+  return per_thread_[static_cast<std::size_t>(omp_get_thread_num())];
+#else
+  return per_thread_[0];
+#endif
+}
+
+namespace {
+
+/// Expand cluster `ci`'s tensor-product Chebyshev grid into contiguous
+/// point streams. Done once per (list, cluster) visit — hoisted out of the
+/// target loop, and amortized over every target tile of the list.
+std::size_t expand_cluster_points(const ClusterMoments& moments, int ci,
+                                  CpuScratch& scratch) {
+  if (scratch.cached_cluster == ci) return moments.points_per_cluster();
+  const auto gx = moments.grid(ci, 0);
+  const auto gy = moments.grid(ci, 1);
+  const auto gz = moments.grid(ci, 2);
+  const auto qhat = moments.qhat(ci);
+  const std::size_t m = gx.size();
+  const std::size_t ppc = m * m * m;
+  scratch.ensure(ppc);
+  double* __restrict px = scratch.px.data();
+  double* __restrict py = scratch.py.data();
+  double* __restrict pz = scratch.pz.data();
+  double* __restrict pq = scratch.pq.data();
+  std::size_t p = 0;
+  for (std::size_t k1 = 0; k1 < m; ++k1) {
+    for (std::size_t k2 = 0; k2 < m; ++k2) {
+      const double* __restrict qrow = qhat.data() + (k1 * m + k2) * m;
+      for (std::size_t k3 = 0; k3 < m; ++k3) {
+        px[p] = gx[k1];
+        py[p] = gy[k2];
+        pz[p] = gz[k3];
+        pq[p] = qrow[k3];
+        ++p;
+      }
+    }
+  }
+  scratch.cached_cluster = ci;
+  return ppc;
+}
+
+/// The one list-execution driver behind all four host paths. `batches`
+/// null means per-target-MAC lists (one list per target particle).
+template <bool Field, typename K>
+void run_lists(const OrderedParticles& targets,
+               const std::vector<TargetBatch>* batches,
+               const InteractionLists& lists, const ClusterTree& tree,
+               const OrderedParticles& sources, const ClusterMoments& moments,
+               K k, CpuWorkspace& ws, double* __restrict phi,
+               double* __restrict ex, double* __restrict ey,
+               double* __restrict ez, EngineCounters* counters) {
+  const std::size_t nlists = lists.per_batch.size();
+  const double ppc = static_cast<double>(moments.points_per_cluster());
+
+  // Cost-weighted execution order: largest lists first, so with guided
+  // scheduling the parallel tail is made of the cheapest lists instead of
+  // whichever heavyweight a dynamic chunk-1 schedule dealt last.
+  auto& order = ws.order();
+  auto& cost = ws.cost();
+  order.resize(nlists);
+  cost.resize(nlists);
+  for (std::size_t b = 0; b < nlists; ++b) {
+    const BatchInteractions& bi = lists.per_batch[b];
+    const double count =
+        batches != nullptr ? static_cast<double>((*batches)[b].count()) : 1.0;
+    double work = static_cast<double>(bi.approx.size()) * ppc;
+    for (const int ci : bi.direct) {
+      work += static_cast<double>(tree.node(ci).count());
+    }
+    cost[b] = count * work;
+    order[b] = b;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return cost[a] > cost[b]; });
+
+  ws.ensure_threads();
+  double approx_evals = 0.0, direct_evals = 0.0;
+  std::size_t approx_launches = 0, direct_launches = 0;
+
+#pragma omp parallel for schedule(guided) \
+    reduction(+ : approx_evals, direct_evals, approx_launches, direct_launches)
+  for (std::size_t s = 0; s < nlists; ++s) {
+    const std::size_t b = order[s];
+    const BatchInteractions& bi = lists.per_batch[b];
+    const std::size_t begin = batches != nullptr ? (*batches)[b].begin : b;
+    const std::size_t end = batches != nullptr ? (*batches)[b].end : b + 1;
+    const double count = static_cast<double>(end - begin);
+    CpuScratch& scratch = ws.scratch();
+
+    const double* tx = targets.x.data();
+    const double* ty = targets.y.data();
+    const double* tz = targets.z.data();
+
+    for (const int ci : bi.approx) {
+      const std::size_t npts = expand_cluster_points(moments, ci, scratch);
+      for (std::size_t t0 = begin; t0 < end; t0 += kTargetTile) {
+        const std::size_t nt = std::min(kTargetTile, end - t0);
+        accumulate_tile<Field, true>(
+            tx + t0, ty + t0, tz + t0, nt, scratch.px.data(),
+            scratch.py.data(), scratch.pz.data(), scratch.pq.data(), npts, k,
+            phi + t0, Field ? ex + t0 : nullptr, Field ? ey + t0 : nullptr,
+            Field ? ez + t0 : nullptr);
+      }
+      approx_evals += count * static_cast<double>(npts);
+      ++approx_launches;
+    }
+
+    for (const int ci : bi.direct) {
+      const ClusterNode& node = tree.node(ci);
+      for (std::size_t t0 = begin; t0 < end; t0 += kTargetTile) {
+        const std::size_t nt = std::min(kTargetTile, end - t0);
+        accumulate_tile<Field, true>(
+            tx + t0, ty + t0, tz + t0, nt, sources.x.data() + node.begin,
+            sources.y.data() + node.begin, sources.z.data() + node.begin,
+            sources.q.data() + node.begin, node.count(), k, phi + t0,
+            Field ? ex + t0 : nullptr, Field ? ey + t0 : nullptr,
+            Field ? ez + t0 : nullptr);
+      }
+      direct_evals += count * static_cast<double>(node.count());
+      ++direct_launches;
+    }
+  }
+
+  if (counters != nullptr) {
+    counters->approx_evals = approx_evals;
+    counters->direct_evals = direct_evals;
+    counters->approx_launches = approx_launches;
+    counters->direct_launches = direct_launches;
+  }
+}
+
+}  // namespace
+
+std::vector<double> cpu_evaluate(const OrderedParticles& targets,
+                                 const std::vector<TargetBatch>& batches,
+                                 const InteractionLists& lists,
+                                 const ClusterTree& tree,
+                                 const OrderedParticles& sources,
+                                 const ClusterMoments& moments,
+                                 const KernelSpec& kernel,
+                                 EngineCounters* counters,
+                                 CpuWorkspace* workspace) {
+  std::vector<double> phi(targets.size(), 0.0);
+  CpuWorkspace local;
+  CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
+  with_kernel(kernel, [&](auto k) {
+    run_lists<false>(targets, &batches, lists, tree, sources, moments, k, ws,
+                     phi.data(), nullptr, nullptr, nullptr, counters);
+  });
+  return phi;
+}
+
+std::vector<double> cpu_evaluate_per_target(const OrderedParticles& targets,
+                                            const InteractionLists& lists,
+                                            const ClusterTree& tree,
+                                            const OrderedParticles& sources,
+                                            const ClusterMoments& moments,
+                                            const KernelSpec& kernel,
+                                            EngineCounters* counters,
+                                            CpuWorkspace* workspace) {
+  std::vector<double> phi(targets.size(), 0.0);
+  CpuWorkspace local;
+  CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
+  with_kernel(kernel, [&](auto k) {
+    run_lists<false>(targets, nullptr, lists, tree, sources, moments, k, ws,
+                     phi.data(), nullptr, nullptr, nullptr, counters);
+  });
+  return phi;
+}
+
+FieldResult cpu_evaluate_field(const OrderedParticles& targets,
+                               const std::vector<TargetBatch>& batches,
+                               const InteractionLists& lists,
+                               const ClusterTree& tree,
+                               const OrderedParticles& sources,
+                               const ClusterMoments& moments,
+                               const KernelSpec& kernel,
+                               EngineCounters* counters,
+                               CpuWorkspace* workspace) {
+  FieldResult out;
+  out.phi.assign(targets.size(), 0.0);
+  out.ex.assign(targets.size(), 0.0);
+  out.ey.assign(targets.size(), 0.0);
+  out.ez.assign(targets.size(), 0.0);
+  CpuWorkspace local;
+  CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
+  with_grad_kernel(kernel, [&](auto k) {
+    run_lists<true>(targets, &batches, lists, tree, sources, moments, k, ws,
+                    out.phi.data(), out.ex.data(), out.ey.data(),
+                    out.ez.data(), counters);
+  });
+  return out;
+}
+
+FieldResult cpu_evaluate_field_per_target(const OrderedParticles& targets,
+                                          const InteractionLists& lists,
+                                          const ClusterTree& tree,
+                                          const OrderedParticles& sources,
+                                          const ClusterMoments& moments,
+                                          const KernelSpec& kernel,
+                                          EngineCounters* counters,
+                                          CpuWorkspace* workspace) {
+  FieldResult out;
+  out.phi.assign(targets.size(), 0.0);
+  out.ex.assign(targets.size(), 0.0);
+  out.ey.assign(targets.size(), 0.0);
+  out.ez.assign(targets.size(), 0.0);
+  CpuWorkspace local;
+  CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
+  with_grad_kernel(kernel, [&](auto k) {
+    run_lists<true>(targets, nullptr, lists, tree, sources, moments, k, ws,
+                    out.phi.data(), out.ex.data(), out.ey.data(),
+                    out.ez.data(), counters);
+  });
+  return out;
+}
+
+}  // namespace bltc

@@ -1,0 +1,374 @@
+// Blocked CPU evaluation core — the one kernel that serves every host path.
+//
+// The paper's point (§3) is that batching targets against clusters turns
+// both hot loops — the direct sum (Eq. 9) and the barycentric approximation
+// (Eq. 11) — into the *same* high-intensity shape: a block of targets
+// against a contiguous stream of weighted source points (real particles for
+// Eq. 9, tensor-product Chebyshev points with modified charges for Eq. 11).
+// This header exploits that on the host:
+//
+//   * `accumulate_tile` keeps a tile of `kTargetTile` targets' accumulators
+//     (phi, and for fields ex/ey/ez) in registers and streams the source
+//     block through a `#pragma omp simd` inner loop, one SIMD lane per
+//     target. The singular-kernel guard is a branchless select
+//     (kernel_value_masked / grad_value_masked) so the loop if-converts.
+//   * A single-target variant vectorizes across *sources* with a simd
+//     reduction instead — the shape the per-target MAC ablation needs.
+//   * `TileSimd` is a hook for hand-tuned ISA-specific tiles; with AVX-512
+//     the Coulomb kernel replaces vsqrt+vdiv with vrsqrt14pd refined by two
+//     Newton iterations (relative error ~1e-16, far below the treecode's
+//     interpolation error). The exact portable path remains the reference
+//     (`Fast = false`), and the O(N^2) oracles in direct_sum.cpp stay on
+//     their original scalar form so their results are bit-stable.
+//
+// One templated driver (`cpu_kernels.cpp`) executes interaction lists
+// through these tiles for all four host paths: {potential, field} x
+// {batched MAC, per-target MAC}. Per-cluster grids are expanded once per
+// (list, cluster) visit into per-thread scratch that persists across
+// evaluations (owned by CpuEngine), and lists are executed largest-first
+// under guided scheduling so the parallel tail is made of cheap lists.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/fields.hpp"
+#include "core/interaction_lists.hpp"
+#include "core/kernels.hpp"
+#include "core/moments.hpp"
+#include "core/particles.hpp"
+#include "core/tree.hpp"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace bltc {
+
+/// Targets per tile: accumulators for one tile live in registers for the
+/// whole source stream (16 doubles = two AVX-512 registers, four NEON/SSE).
+inline constexpr std::size_t kTargetTile = 16;
+
+/// Per-thread scratch: one cluster's Chebyshev grid expanded to contiguous
+/// point streams (coordinates + modified charges), reused across clusters,
+/// lists, and evaluate() calls. `cached_cluster` skips re-expansion when
+/// consecutive lists on one thread visit the same cluster (the common case
+/// under the per-target MAC, where a list holds a single target); it is
+/// only valid within one evaluation — the driver invalidates it on entry
+/// because the modified charges can change between calls.
+struct CpuScratch {
+  AlignedVector px, py, pz, pq;
+  int cached_cluster = -1;
+
+  void ensure(std::size_t n) {
+    if (px.size() < n) {
+      px.resize(n);
+      py.resize(n);
+      pz.resize(n);
+      pq.resize(n);
+    }
+  }
+};
+
+/// Host evaluation workspace. `CpuEngine` keeps one alive across
+/// `Solver::evaluate` calls so repeated evaluations allocate nothing; the
+/// free evaluator functions fall back to a call-local instance.
+class CpuWorkspace {
+ public:
+  /// Size the per-thread scratch table and invalidate the per-thread
+  /// expansion caches; call from serial code before a parallel region
+  /// indexes it.
+  void ensure_threads();
+
+  /// Calling thread's scratch entry (valid inside the parallel region).
+  CpuScratch& scratch();
+
+  std::vector<std::size_t>& order() { return order_; }
+  std::vector<double>& cost() { return cost_; }
+
+ private:
+  std::vector<CpuScratch> per_thread_;
+  std::vector<std::size_t> order_;  ///< cost-sorted list execution order
+  std::vector<double> cost_;        ///< per-list work estimate
+};
+
+/// ISA-specific tile kernels. The primary template reports "none"; opt-in
+/// specializations provide `run(...)` for one (Field, kernel functor) pair
+/// and are selected only on full tiles with `Fast = true` (treecode paths).
+template <bool Field, typename K>
+struct TileSimd {
+  static constexpr bool kAvailable = false;
+};
+
+#if defined(__AVX512F__)
+
+namespace detail {
+
+/// 1/sqrt(a) from vrsqrt14pd (relative error < 2^-14) refined by two
+/// Newton-Raphson steps y <- y(3/2 - a y^2 / 2): error ~1e-16, no divider.
+/// Lanes where a == 0 are zeroed by `ok`.
+inline __m512d masked_rsqrt_nr2(__m512d a, __mmask8 ok) {
+  const __m512d half = _mm512_set1_pd(0.5);
+  const __m512d three_halves = _mm512_set1_pd(1.5);
+  const __m512d ha = _mm512_mul_pd(half, a);
+  __m512d y = _mm512_rsqrt14_pd(a);
+  y = _mm512_mul_pd(
+      y, _mm512_fnmadd_pd(_mm512_mul_pd(ha, y), y, three_halves));
+  y = _mm512_mul_pd(
+      y, _mm512_fnmadd_pd(_mm512_mul_pd(ha, y), y, three_halves));
+  return _mm512_maskz_mov_pd(ok, y);
+}
+
+}  // namespace detail
+
+/// Coulomb potential tile: 16 targets in two zmm accumulator registers.
+template <>
+struct TileSimd<false, CoulombKernel> {
+  static constexpr bool kAvailable = true;
+
+  static void run(const double* tx, const double* ty, const double* tz,
+                  const double* sx, const double* sy, const double* sz,
+                  const double* sq, std::size_t ns, CoulombKernel,
+                  double* phi, double*, double*, double*) {
+    const __m512d zero = _mm512_setzero_pd();
+    const __m512d tx0 = _mm512_loadu_pd(tx), tx1 = _mm512_loadu_pd(tx + 8);
+    const __m512d ty0 = _mm512_loadu_pd(ty), ty1 = _mm512_loadu_pd(ty + 8);
+    const __m512d tz0 = _mm512_loadu_pd(tz), tz1 = _mm512_loadu_pd(tz + 8);
+    __m512d acc0 = zero, acc1 = zero;
+    for (std::size_t j = 0; j < ns; ++j) {
+      const __m512d xj = _mm512_set1_pd(sx[j]);
+      const __m512d yj = _mm512_set1_pd(sy[j]);
+      const __m512d zj = _mm512_set1_pd(sz[j]);
+      const __m512d qj = _mm512_set1_pd(sq[j]);
+
+      __m512d dx = _mm512_sub_pd(tx0, xj);
+      __m512d dy = _mm512_sub_pd(ty0, yj);
+      __m512d dz = _mm512_sub_pd(tz0, zj);
+      __m512d r2 = _mm512_fmadd_pd(
+          dx, dx, _mm512_fmadd_pd(dy, dy, _mm512_mul_pd(dz, dz)));
+      acc0 = _mm512_fmadd_pd(
+          detail::masked_rsqrt_nr2(r2,
+                                   _mm512_cmp_pd_mask(r2, zero, _CMP_GT_OQ)),
+          qj, acc0);
+
+      dx = _mm512_sub_pd(tx1, xj);
+      dy = _mm512_sub_pd(ty1, yj);
+      dz = _mm512_sub_pd(tz1, zj);
+      r2 = _mm512_fmadd_pd(
+          dx, dx, _mm512_fmadd_pd(dy, dy, _mm512_mul_pd(dz, dz)));
+      acc1 = _mm512_fmadd_pd(
+          detail::masked_rsqrt_nr2(r2,
+                                   _mm512_cmp_pd_mask(r2, zero, _CMP_GT_OQ)),
+          qj, acc1);
+    }
+    _mm512_storeu_pd(phi, _mm512_add_pd(_mm512_loadu_pd(phi), acc0));
+    _mm512_storeu_pd(phi + 8, _mm512_add_pd(_mm512_loadu_pd(phi + 8), acc1));
+  }
+};
+
+/// Coulomb potential+field tile: slope = -1/r^3 = -(1/sqrt(r2))^3, so the
+/// whole contribution is rsqrt-only — no divider at all.
+template <>
+struct TileSimd<true, CoulombGradKernel> {
+  static constexpr bool kAvailable = true;
+
+  static void run(const double* tx, const double* ty, const double* tz,
+                  const double* sx, const double* sy, const double* sz,
+                  const double* sq, std::size_t ns, CoulombGradKernel,
+                  double* phi, double* ex, double* ey, double* ez) {
+    const __m512d zero = _mm512_setzero_pd();
+    const __m512d tx0 = _mm512_loadu_pd(tx), tx1 = _mm512_loadu_pd(tx + 8);
+    const __m512d ty0 = _mm512_loadu_pd(ty), ty1 = _mm512_loadu_pd(ty + 8);
+    const __m512d tz0 = _mm512_loadu_pd(tz), tz1 = _mm512_loadu_pd(tz + 8);
+    __m512d p0 = zero, p1 = zero;
+    __m512d x0 = zero, x1 = zero;
+    __m512d y0 = zero, y1 = zero;
+    __m512d z0 = zero, z1 = zero;
+    for (std::size_t j = 0; j < ns; ++j) {
+      const __m512d xj = _mm512_set1_pd(sx[j]);
+      const __m512d yj = _mm512_set1_pd(sy[j]);
+      const __m512d zj = _mm512_set1_pd(sz[j]);
+      const __m512d qj = _mm512_set1_pd(sq[j]);
+
+      __m512d dx = _mm512_sub_pd(tx0, xj);
+      __m512d dy = _mm512_sub_pd(ty0, yj);
+      __m512d dz = _mm512_sub_pd(tz0, zj);
+      __m512d r2 = _mm512_fmadd_pd(
+          dx, dx, _mm512_fmadd_pd(dy, dy, _mm512_mul_pd(dz, dz)));
+      __m512d inv_r = detail::masked_rsqrt_nr2(
+          r2, _mm512_cmp_pd_mask(r2, zero, _CMP_GT_OQ));
+      __m512d w = _mm512_mul_pd(
+          qj, _mm512_mul_pd(inv_r, _mm512_mul_pd(inv_r, inv_r)));
+      p0 = _mm512_fmadd_pd(inv_r, qj, p0);
+      x0 = _mm512_fmadd_pd(w, dx, x0);
+      y0 = _mm512_fmadd_pd(w, dy, y0);
+      z0 = _mm512_fmadd_pd(w, dz, z0);
+
+      dx = _mm512_sub_pd(tx1, xj);
+      dy = _mm512_sub_pd(ty1, yj);
+      dz = _mm512_sub_pd(tz1, zj);
+      r2 = _mm512_fmadd_pd(
+          dx, dx, _mm512_fmadd_pd(dy, dy, _mm512_mul_pd(dz, dz)));
+      inv_r = detail::masked_rsqrt_nr2(
+          r2, _mm512_cmp_pd_mask(r2, zero, _CMP_GT_OQ));
+      w = _mm512_mul_pd(qj,
+                        _mm512_mul_pd(inv_r, _mm512_mul_pd(inv_r, inv_r)));
+      p1 = _mm512_fmadd_pd(inv_r, qj, p1);
+      x1 = _mm512_fmadd_pd(w, dx, x1);
+      y1 = _mm512_fmadd_pd(w, dy, y1);
+      z1 = _mm512_fmadd_pd(w, dz, z1);
+    }
+    _mm512_storeu_pd(phi, _mm512_add_pd(_mm512_loadu_pd(phi), p0));
+    _mm512_storeu_pd(phi + 8, _mm512_add_pd(_mm512_loadu_pd(phi + 8), p1));
+    _mm512_storeu_pd(ex, _mm512_add_pd(_mm512_loadu_pd(ex), x0));
+    _mm512_storeu_pd(ex + 8, _mm512_add_pd(_mm512_loadu_pd(ex + 8), x1));
+    _mm512_storeu_pd(ey, _mm512_add_pd(_mm512_loadu_pd(ey), y0));
+    _mm512_storeu_pd(ey + 8, _mm512_add_pd(_mm512_loadu_pd(ey + 8), y1));
+    _mm512_storeu_pd(ez, _mm512_add_pd(_mm512_loadu_pd(ez), z0));
+    _mm512_storeu_pd(ez + 8, _mm512_add_pd(_mm512_loadu_pd(ez + 8), z1));
+  }
+};
+
+#endif  // __AVX512F__
+
+/// One target against a source stream, vectorized across sources with a
+/// simd reduction (the per-target-MAC shape, and the edge case nt == 1).
+template <bool Field, typename K>
+inline void accumulate_single(double tx, double ty, double tz,
+                              const double* __restrict sx,
+                              const double* __restrict sy,
+                              const double* __restrict sz,
+                              const double* __restrict sq, std::size_t ns,
+                              K k, double& phi, double& ex, double& ey,
+                              double& ez) {
+  double accp = 0.0, accx = 0.0, accy = 0.0, accz = 0.0;
+#pragma omp simd reduction(+ : accp, accx, accy, accz)
+  for (std::size_t j = 0; j < ns; ++j) {
+    const double dx = tx - sx[j];
+    const double dy = ty - sy[j];
+    const double dz = tz - sz[j];
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    const double qj = sq[j];
+    if constexpr (Field) {
+      const GradValue v = grad_value_masked(k, r2);
+      accp += v.g * qj;
+      accx -= v.slope * dx * qj;
+      accy -= v.slope * dy * qj;
+      accz -= v.slope * dz * qj;
+    } else {
+      accp += kernel_value_masked(k, r2) * qj;
+    }
+  }
+  phi += accp;
+  if constexpr (Field) {
+    ex += accx;
+    ey += accy;
+    ez += accz;
+  }
+}
+
+/// A tile of nt <= kTargetTile targets against ns contiguous source points:
+/// the unified inner kernel of every host evaluation path. `Fast` permits
+/// the ISA-specific tile (treecode paths); exact callers pass false.
+template <bool Field, bool Fast, typename K>
+inline void accumulate_tile(const double* __restrict tx,
+                            const double* __restrict ty,
+                            const double* __restrict tz, std::size_t nt,
+                            const double* __restrict sx,
+                            const double* __restrict sy,
+                            const double* __restrict sz,
+                            const double* __restrict sq, std::size_t ns, K k,
+                            double* __restrict phi, double* __restrict ex,
+                            double* __restrict ey, double* __restrict ez) {
+  if constexpr (Fast && TileSimd<Field, K>::kAvailable) {
+    if (nt == kTargetTile) {
+      TileSimd<Field, K>::run(tx, ty, tz, sx, sy, sz, sq, ns, k, phi, ex, ey,
+                              ez);
+      return;
+    }
+  }
+  if (nt == 1) {
+    accumulate_single<Field>(tx[0], ty[0], tz[0], sx, sy, sz, sq, ns, k,
+                             phi[0], Field ? ex[0] : phi[0],
+                             Field ? ey[0] : phi[0], Field ? ez[0] : phi[0]);
+    return;
+  }
+  // Portable blocked form: one SIMD lane per target, sources broadcast.
+  double accp[kTargetTile] = {};
+  double accx[kTargetTile] = {};
+  double accy[kTargetTile] = {};
+  double accz[kTargetTile] = {};
+  for (std::size_t j = 0; j < ns; ++j) {
+    const double xj = sx[j], yj = sy[j], zj = sz[j], qj = sq[j];
+#pragma omp simd
+    for (std::size_t t = 0; t < nt; ++t) {
+      const double dx = tx[t] - xj;
+      const double dy = ty[t] - yj;
+      const double dz = tz[t] - zj;
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if constexpr (Field) {
+        const GradValue v = grad_value_masked(k, r2);
+        accp[t] += v.g * qj;
+        accx[t] -= v.slope * dx * qj;
+        accy[t] -= v.slope * dy * qj;
+        accz[t] -= v.slope * dz * qj;
+      } else {
+        accp[t] += kernel_value_masked(k, r2) * qj;
+      }
+    }
+  }
+  for (std::size_t t = 0; t < nt; ++t) phi[t] += accp[t];
+  if constexpr (Field) {
+    for (std::size_t t = 0; t < nt; ++t) ex[t] += accx[t];
+    for (std::size_t t = 0; t < nt; ++t) ey[t] += accy[t];
+    for (std::size_t t = 0; t < nt; ++t) ez[t] += accz[t];
+  }
+}
+
+// ---- List-driven evaluators (implemented in cpu_kernels.cpp) -------------
+
+/// Evaluate potentials (tree order) for batched targets.
+std::vector<double> cpu_evaluate(const OrderedParticles& targets,
+                                 const std::vector<TargetBatch>& batches,
+                                 const InteractionLists& lists,
+                                 const ClusterTree& tree,
+                                 const OrderedParticles& sources,
+                                 const ClusterMoments& moments,
+                                 const KernelSpec& kernel,
+                                 EngineCounters* counters = nullptr,
+                                 CpuWorkspace* workspace = nullptr);
+
+/// Ablation path: `lists` has one entry per target (per-target MAC).
+std::vector<double> cpu_evaluate_per_target(const OrderedParticles& targets,
+                                            const InteractionLists& lists,
+                                            const ClusterTree& tree,
+                                            const OrderedParticles& sources,
+                                            const ClusterMoments& moments,
+                                            const KernelSpec& kernel,
+                                            EngineCounters* counters = nullptr,
+                                            CpuWorkspace* workspace = nullptr);
+
+/// Potential + field evaluation (tree order) for batched targets, using the
+/// analytic gradient of the barycentric approximation (core/fields.hpp).
+FieldResult cpu_evaluate_field(const OrderedParticles& targets,
+                               const std::vector<TargetBatch>& batches,
+                               const InteractionLists& lists,
+                               const ClusterTree& tree,
+                               const OrderedParticles& sources,
+                               const ClusterMoments& moments,
+                               const KernelSpec& kernel,
+                               EngineCounters* counters = nullptr,
+                               CpuWorkspace* workspace = nullptr);
+
+/// Per-target-MAC potential + field evaluation.
+FieldResult cpu_evaluate_field_per_target(const OrderedParticles& targets,
+                                          const InteractionLists& lists,
+                                          const ClusterTree& tree,
+                                          const OrderedParticles& sources,
+                                          const ClusterMoments& moments,
+                                          const KernelSpec& kernel,
+                                          EngineCounters* counters = nullptr,
+                                          CpuWorkspace* workspace = nullptr);
+
+}  // namespace bltc

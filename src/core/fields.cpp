@@ -16,12 +16,11 @@ double evaluate_kernel_gradient(const KernelSpec& spec, double x1, double x2,
     return 0.0;
   }
   return with_grad_kernel(spec, [&](auto k) {
-    double slope;
-    const double value = k.value_and_slope(r2, slope);
-    g[0] = slope * d1;
-    g[1] = slope * d2;
-    g[2] = slope * d3;
-    return value;
+    const GradValue v = k.grad(r2);
+    g[0] = v.slope * d1;
+    g[1] = v.slope * d2;
+    g[2] = v.slope * d3;
+    return v.g;
   });
 }
 
@@ -57,10 +56,6 @@ FieldResult compute_field(const Cloud& targets, const Cloud& sources,
   SolverConfig config;
   config.kernel = kernel;
   config.params = params;
-  // Field evaluation has always used the batched MAC; this wrapper keeps
-  // ignoring the per-target ablation flag like the pre-handle code path did
-  // (Solver::evaluate_field on a per-target-configured handle throws).
-  config.params.per_target_mac = false;
   config.backend = Backend::kCpu;
   Solver solver(std::move(config));
   solver.set_sources(sources);

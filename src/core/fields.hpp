@@ -23,57 +23,71 @@ namespace bltc {
 // plan. This header keeps the gradient-kernel machinery and the one-shot
 // compatibility wrappers.
 
-/// Radial-derivative functors: `value_and_slope(r2, gr_over_r)` returns
-/// G(r) and writes G'(r)/r, the factor multiplying (x - y) in grad_x G.
+/// G(r) together with G'(r)/r, the factor multiplying (x - y) in grad_x G.
+/// Returned by value so the gradient functors stay pure r2 -> {g, slope}
+/// maps the vectorizer can keep entirely in registers (a reference
+/// out-parameter forces a stack slot until inlining catches up).
+struct GradValue {
+  double g = 0.0;      ///< G(r)
+  double slope = 0.0;  ///< G'(r)/r
+};
+
+/// Radial-derivative functors: `grad(r2)` returns G(r) and G'(r)/r.
 struct CoulombGradKernel {
   static constexpr bool kSingular = true;
-  double value_and_slope(double r2, double& gr_over_r) const {
+  GradValue grad(double r2) const {
     const double inv_r = 1.0 / std::sqrt(r2);
     const double inv_r2 = inv_r * inv_r;
-    gr_over_r = -inv_r * inv_r2;  // -1/r^3
-    return inv_r;
+    return {inv_r, -inv_r * inv_r2};  // slope = -1/r^3
   }
 };
 
 struct YukawaGradKernel {
   static constexpr bool kSingular = true;
   double kappa;
-  double value_and_slope(double r2, double& gr_over_r) const {
+  GradValue grad(double r2) const {
     const double r = std::sqrt(r2);
     const double g = std::exp(-kappa * r) / r;
-    gr_over_r = -g * (kappa * r + 1.0) / r2;  // -e^{-kr}(kr+1)/r^3
-    return g;
+    return {g, -g * (kappa * r + 1.0) / r2};  // -e^{-kr}(kr+1)/r^3
   }
 };
 
 struct GaussianGradKernel {
   static constexpr bool kSingular = false;
   double kappa;
-  double value_and_slope(double r2, double& gr_over_r) const {
+  GradValue grad(double r2) const {
     const double g = std::exp(-kappa * r2);
-    gr_over_r = -2.0 * kappa * g;
-    return g;
+    return {g, -2.0 * kappa * g};
   }
 };
 
 struct MultiquadricGradKernel {
   static constexpr bool kSingular = false;
   double shape;
-  double value_and_slope(double r2, double& gr_over_r) const {
+  GradValue grad(double r2) const {
     const double g = std::sqrt(r2 + shape * shape);
-    gr_over_r = 1.0 / g;
-    return g;
+    return {g, 1.0 / g};
   }
 };
 
 struct InverseSquareGradKernel {
   static constexpr bool kSingular = true;
-  double value_and_slope(double r2, double& gr_over_r) const {
+  GradValue grad(double r2) const {
     const double g = 1.0 / r2;
-    gr_over_r = -2.0 * g * g;  // -2/r^4
-    return g;
+    return {g, -2.0 * g * g};  // -2/r^4
   }
 };
+
+/// Guarded gradient value in branchless form (see kernel_value_masked): both
+/// components zero at a coincident point for singular kernels.
+template <typename GradK>
+inline GradValue grad_value_masked(GradK k, double r2) {
+  GradValue v = k.grad(r2);
+  if constexpr (GradK::kSingular) {
+    if (!(r2 > 0.0)) v = GradValue{};
+  }
+  return v;
+}
 
 /// One-time dispatch analogous to with_kernel.
 template <typename F>
@@ -107,15 +121,12 @@ inline void accumulate_field_contribution(double tx, double ty, double tz,
   const double dy = ty - sy;
   const double dz = tz - sz;
   const double r2 = dx * dx + dy * dy + dz * dz;
-  if constexpr (GradKernel::kSingular) {
-    if (r2 == 0.0) return;
-  }
-  double slope;
-  phi += k.value_and_slope(r2, slope) * q;
+  const GradValue v = grad_value_masked(k, r2);
+  phi += v.g * q;
   // E = -grad phi = -(G'(r)/r) (x - y) q.
-  ex -= slope * dx * q;
-  ey -= slope * dy * q;
-  ez -= slope * dz * q;
+  ex -= v.slope * dx * q;
+  ey -= v.slope * dy * q;
+  ez -= v.slope * dz * q;
 }
 
 /// Scalar gradient evaluation for tests: writes grad_x G(x, y) into g[3];

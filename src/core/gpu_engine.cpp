@@ -413,6 +413,8 @@ std::vector<double> GpuSimEngine::evaluate_potential(const SourcePlan& sources,
 
   stats.approx_evals = counters.approx_evals;
   stats.direct_evals = counters.direct_evals;
+  stats.approx_launches = counters.approx_launches;
+  stats.direct_launches = counters.direct_launches;
 
   // Modeled times on the paper's hardware: host-side setup work plus all
   // PCIe transfers since the last report are attributed to the setup phase

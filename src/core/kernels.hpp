@@ -82,6 +82,21 @@ struct InverseSquareKernel {
   double operator()(double r2) const { return 1.0 / r2; }
 };
 
+/// Singularity-guarded kernel value in branchless (blend) form: the value of
+/// G at squared distance `r2`, zero at a coincident point for singular
+/// kernels. Written as a select rather than an early-out so the blocked
+/// evaluators (core/cpu_kernels.hpp) can if-convert and vectorize the guard;
+/// the speculative k(0) in a masked-off lane is IEEE inf, discarded by the
+/// select without being consumed.
+template <typename K>
+inline double kernel_value_masked(K k, double r2) {
+  if constexpr (K::kSingular) {
+    return (r2 > 0.0) ? k(r2) : 0.0;
+  } else {
+    return k(r2);
+  }
+}
+
 /// One-time dispatch from a runtime KernelSpec to a compile-time functor:
 /// `with_kernel(spec, [&](auto k) { ...hot loop using k(r2)... })`.
 template <typename F>

@@ -6,10 +6,10 @@ namespace bltc {
 
 OrderedParticles OrderedParticles::from_cloud(const Cloud& cloud) {
   OrderedParticles p;
-  p.x = cloud.x;
-  p.y = cloud.y;
-  p.z = cloud.z;
-  p.q = cloud.q;
+  p.x.assign(cloud.x.begin(), cloud.x.end());
+  p.y.assign(cloud.y.begin(), cloud.y.end());
+  p.z.assign(cloud.z.begin(), cloud.z.end());
+  p.q.assign(cloud.q.begin(), cloud.q.end());
   p.original_index.resize(cloud.size());
   for (std::size_t i = 0; i < cloud.size(); ++i) p.original_index[i] = i;
   return p;
@@ -18,7 +18,7 @@ OrderedParticles OrderedParticles::from_cloud(const Cloud& cloud) {
 void OrderedParticles::permute(std::span<const std::size_t> perm) {
   assert(perm.size() == size());
   const std::size_t n = size();
-  std::vector<double> nx(n), ny(n), nz(n), nq(n);
+  AlignedVector nx(n), ny(n), nz(n), nq(n);
   std::vector<std::size_t> norig(n);
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t j = perm[i];

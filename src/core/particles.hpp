@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <new>
 #include <span>
 #include <vector>
 
@@ -11,11 +12,44 @@
 
 namespace bltc {
 
+/// Minimal over-aligning allocator: the SoA coordinate arrays are the
+/// streams the blocked evaluation kernels (core/cpu_kernels.hpp) consume,
+/// and cache-line alignment keeps every SIMD tile load within one line.
+template <typename T, std::size_t Align = 64>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Align));
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// Cache-line-aligned double array, the storage type of every hot stream.
+using AlignedVector = std::vector<double, AlignedAllocator<double>>;
+
 /// Particle set in tree order together with the permutation that maps tree
 /// order back to the original order: `original_index[i]` is the caller-order
 /// index of the particle now stored at slot i.
 struct OrderedParticles {
-  std::vector<double> x, y, z, q;
+  AlignedVector x, y, z, q;
   std::vector<std::size_t> original_index;
 
   std::size_t size() const { return x.size(); }

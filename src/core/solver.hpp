@@ -113,6 +113,12 @@ struct RunStats {
   // Work counts (kernel evaluations).
   double approx_evals = 0.0;
   double direct_evals = 0.0;
+  /// Launch granularity: how many (list, cluster) kernel invocations the
+  /// engine executed — batch-cluster pairs normally, target-cluster pairs
+  /// under the per-target MAC. Together with the eval counts this tells
+  /// benches how much work each launch amortizes.
+  std::size_t approx_launches = 0;
+  std::size_t direct_launches = 0;
 
   // Device accounting (GpuSim backend only); deltas for this evaluation.
   std::size_t gpu_launches = 0;
@@ -178,7 +184,7 @@ class Solver {
                                RunStats* stats = nullptr);
 
   /// Compute potentials and fields E = -grad phi at `targets`, sharing the
-  /// same cached plan as `evaluate`. CPU backend only.
+  /// same cached plan as `evaluate` (both MAC modes). CPU backend only.
   FieldResult evaluate_field(const Cloud& targets, RunStats* stats = nullptr);
 
  private:

@@ -110,7 +110,7 @@ ClusterTree ClusterTree::build(OrderedParticles& particles,
     }
     // Apply the in-range permutation to the SoA arrays.
     {
-      const auto apply = [&](std::vector<double>& a) {
+      const auto apply = [&](AlignedVector& a) {
         std::vector<double> tmp(count);
         for (std::size_t i = 0; i < count; ++i) tmp[i] = a[scratch_idx[i]];
         std::copy(tmp.begin(), tmp.end(), a.begin() + static_cast<long>(begin));

@@ -11,7 +11,8 @@ namespace bltc {
 namespace {
 
 TEST(Fields, GradientsMatchFiniteDifferences) {
-  // Property: grad_x G from value_and_slope agrees with central differences
+  // Property: grad_x G from the grad() functors agrees with central
+  // differences
   // of evaluate_kernel for every kernel family.
   const double h = 1e-6;
   for (const KernelSpec spec :
@@ -163,6 +164,28 @@ TEST(Fields, DisjointTargetsAndSources) {
   solver.set_sources(sources);
   const FieldResult f = solver.evaluate_field(targets);
   EXPECT_LT(relative_l2_error(ref.ex, f.ex), 1e-6);
+}
+
+TEST(Fields, PerTargetMacFieldMatchesDirect) {
+  // The per-target MAC ablation runs through the same unified evaluator as
+  // the batched path, fields included.
+  const Cloud c = uniform_cube(2000, 21);
+  const FieldResult ref = direct_field(c, c, KernelSpec::coulomb());
+  SolverConfig config;
+  config.kernel = KernelSpec::coulomb();
+  config.params.theta = 0.6;
+  config.params.degree = 6;
+  config.params.max_leaf = 300;
+  config.params.max_batch = 300;
+  config.params.per_target_mac = true;
+  Solver solver(config);
+  solver.set_sources(c);
+  RunStats stats;
+  const FieldResult f = solver.evaluate_field(c, &stats);
+  EXPECT_TRUE(stats.per_target_mac);
+  EXPECT_GT(stats.approx_launches + stats.direct_launches, 0u);
+  EXPECT_LT(relative_l2_error(ref.phi, f.phi), 1e-5);
+  EXPECT_LT(relative_l2_error(ref.ex, f.ex), 1e-4);
 }
 
 TEST(Fields, EmptyInputs) {

@@ -57,7 +57,7 @@ TEST(Particles, ScatterToOriginalInvertsPermutation) {
   p.permute(perm);
 
   // "Values" tagged with the tree-order x coordinate.
-  const std::vector<double> values = p.x;
+  const std::vector<double> values(p.x.begin(), p.x.end());
   const std::vector<double> restored = p.scatter_to_original(values);
   EXPECT_EQ(restored, c.x);
 }
