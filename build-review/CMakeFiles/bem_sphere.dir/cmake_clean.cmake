@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bem_sphere.dir/examples/bem_sphere.cpp.o"
+  "CMakeFiles/bem_sphere.dir/examples/bem_sphere.cpp.o.d"
+  "bem_sphere"
+  "bem_sphere.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bem_sphere.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bem_sphere.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bem_sphere.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_batchmac.dir/bench/bench_ablation_batchmac.cpp.o"
+  "CMakeFiles/bench_ablation_batchmac.dir/bench/bench_ablation_batchmac.cpp.o.d"
+  "bench_ablation_batchmac"
+  "bench_ablation_batchmac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_batchmac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_leafsize.dir/bench/bench_ablation_leafsize.cpp.o"
+  "CMakeFiles/bench_ablation_leafsize.dir/bench/bench_ablation_leafsize.cpp.o.d"
+  "bench_ablation_leafsize"
+  "bench_ablation_leafsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_leafsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

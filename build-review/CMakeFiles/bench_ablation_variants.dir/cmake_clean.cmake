@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_variants.dir/bench/bench_ablation_variants.cpp.o"
+  "CMakeFiles/bench_ablation_variants.dir/bench/bench_ablation_variants.cpp.o.d"
+  "bench_ablation_variants"
+  "bench_ablation_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

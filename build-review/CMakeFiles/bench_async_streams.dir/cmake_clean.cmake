@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_streams.dir/bench/bench_async_streams.cpp.o"
+  "CMakeFiles/bench_async_streams.dir/bench/bench_async_streams.cpp.o.d"
+  "bench_async_streams"
+  "bench_async_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

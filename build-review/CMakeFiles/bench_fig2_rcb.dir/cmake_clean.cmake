@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_rcb.dir/bench/bench_fig2_rcb.cpp.o"
+  "CMakeFiles/bench_fig2_rcb.dir/bench/bench_fig2_rcb.cpp.o.d"
+  "bench_fig2_rcb"
+  "bench_fig2_rcb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_rcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_replan.dir/bench/bench_replan.cpp.o"
+  "CMakeFiles/bench_replan.dir/bench/bench_replan.cpp.o.d"
+  "bench_replan"
+  "bench_replan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_replan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

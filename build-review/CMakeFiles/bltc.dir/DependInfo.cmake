@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/barycentric.cpp" "CMakeFiles/bltc.dir/src/core/barycentric.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/barycentric.cpp.o.d"
+  "/root/repo/src/core/batches.cpp" "CMakeFiles/bltc.dir/src/core/batches.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/batches.cpp.o.d"
+  "/root/repo/src/core/chebyshev.cpp" "CMakeFiles/bltc.dir/src/core/chebyshev.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/chebyshev.cpp.o.d"
+  "/root/repo/src/core/cpu_engine.cpp" "CMakeFiles/bltc.dir/src/core/cpu_engine.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/cpu_engine.cpp.o.d"
+  "/root/repo/src/core/cpu_kernels.cpp" "CMakeFiles/bltc.dir/src/core/cpu_kernels.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/cpu_kernels.cpp.o.d"
+  "/root/repo/src/core/direct_sum.cpp" "CMakeFiles/bltc.dir/src/core/direct_sum.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/direct_sum.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "CMakeFiles/bltc.dir/src/core/engine.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/engine.cpp.o.d"
+  "/root/repo/src/core/fields.cpp" "CMakeFiles/bltc.dir/src/core/fields.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/fields.cpp.o.d"
+  "/root/repo/src/core/gpu_engine.cpp" "CMakeFiles/bltc.dir/src/core/gpu_engine.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/gpu_engine.cpp.o.d"
+  "/root/repo/src/core/interaction_lists.cpp" "CMakeFiles/bltc.dir/src/core/interaction_lists.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/interaction_lists.cpp.o.d"
+  "/root/repo/src/core/kernels.cpp" "CMakeFiles/bltc.dir/src/core/kernels.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/kernels.cpp.o.d"
+  "/root/repo/src/core/moments.cpp" "CMakeFiles/bltc.dir/src/core/moments.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/moments.cpp.o.d"
+  "/root/repo/src/core/particles.cpp" "CMakeFiles/bltc.dir/src/core/particles.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/particles.cpp.o.d"
+  "/root/repo/src/core/solver.cpp" "CMakeFiles/bltc.dir/src/core/solver.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/solver.cpp.o.d"
+  "/root/repo/src/core/tree.cpp" "CMakeFiles/bltc.dir/src/core/tree.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/tree.cpp.o.d"
+  "/root/repo/src/core/variants.cpp" "CMakeFiles/bltc.dir/src/core/variants.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/core/variants.cpp.o.d"
+  "/root/repo/src/dist/dist_solver.cpp" "CMakeFiles/bltc.dir/src/dist/dist_solver.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/dist/dist_solver.cpp.o.d"
+  "/root/repo/src/dist/let.cpp" "CMakeFiles/bltc.dir/src/dist/let.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/dist/let.cpp.o.d"
+  "/root/repo/src/gpusim/device.cpp" "CMakeFiles/bltc.dir/src/gpusim/device.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/gpusim/device.cpp.o.d"
+  "/root/repo/src/partition/rcb.cpp" "CMakeFiles/bltc.dir/src/partition/rcb.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/partition/rcb.cpp.o.d"
+  "/root/repo/src/simmpi/comm.cpp" "CMakeFiles/bltc.dir/src/simmpi/comm.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/simmpi/comm.cpp.o.d"
+  "/root/repo/src/util/box.cpp" "CMakeFiles/bltc.dir/src/util/box.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/util/box.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "CMakeFiles/bltc.dir/src/util/cli.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/util/cli.cpp.o.d"
+  "/root/repo/src/util/env.cpp" "CMakeFiles/bltc.dir/src/util/env.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/util/env.cpp.o.d"
+  "/root/repo/src/util/io.cpp" "CMakeFiles/bltc.dir/src/util/io.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/util/io.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/bltc.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/workloads.cpp" "CMakeFiles/bltc.dir/src/util/workloads.cpp.o" "gcc" "CMakeFiles/bltc.dir/src/util/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

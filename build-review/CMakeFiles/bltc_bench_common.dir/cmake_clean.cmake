@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bltc_bench_common.dir/bench/bench_common.cpp.o"
+  "CMakeFiles/bltc_bench_common.dir/bench/bench_common.cpp.o.d"
+  "libbltc_bench_common.a"
+  "libbltc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bltc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbltc_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bltc_cli.dir/examples/bltc_cli.cpp.o"
+  "CMakeFiles/bltc_cli.dir/examples/bltc_cli.cpp.o.d"
+  "bltc_cli"
+  "bltc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bltc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

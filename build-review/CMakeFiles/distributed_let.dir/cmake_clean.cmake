@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_let.dir/examples/distributed_let.cpp.o"
+  "CMakeFiles/distributed_let.dir/examples/distributed_let.cpp.o.d"
+  "distributed_let"
+  "distributed_let.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_let.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orbit_leapfrog.dir/examples/orbit_leapfrog.cpp.o"
+  "CMakeFiles/orbit_leapfrog.dir/examples/orbit_leapfrog.cpp.o.d"
+  "orbit_leapfrog"
+  "orbit_leapfrog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orbit_leapfrog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for orbit_leapfrog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plummer_gravity.dir/examples/plummer_gravity.cpp.o"
+  "CMakeFiles/plummer_gravity.dir/examples/plummer_gravity.cpp.o.d"
+  "plummer_gravity"
+  "plummer_gravity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plummer_gravity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_barycentric.dir/tests/test_barycentric.cpp.o"
+  "CMakeFiles/test_barycentric.dir/tests/test_barycentric.cpp.o.d"
+  "test_barycentric"
+  "test_barycentric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_barycentric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

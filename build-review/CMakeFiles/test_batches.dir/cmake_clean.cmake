@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_batches.dir/tests/test_batches.cpp.o"
+  "CMakeFiles/test_batches.dir/tests/test_batches.cpp.o.d"
+  "test_batches"
+  "test_batches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_batches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

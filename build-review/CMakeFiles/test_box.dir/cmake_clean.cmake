@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_box.dir/tests/test_box.cpp.o"
+  "CMakeFiles/test_box.dir/tests/test_box.cpp.o.d"
+  "test_box"
+  "test_box.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_box.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chebyshev.dir/tests/test_chebyshev.cpp.o"
+  "CMakeFiles/test_chebyshev.dir/tests/test_chebyshev.cpp.o.d"
+  "test_chebyshev"
+  "test_chebyshev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chebyshev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

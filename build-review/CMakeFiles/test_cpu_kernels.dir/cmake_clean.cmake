@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_kernels.dir/tests/test_cpu_kernels.cpp.o"
+  "CMakeFiles/test_cpu_kernels.dir/tests/test_cpu_kernels.cpp.o.d"
+  "test_cpu_kernels"
+  "test_cpu_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

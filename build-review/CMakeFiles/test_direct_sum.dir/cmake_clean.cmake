@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_direct_sum.dir/tests/test_direct_sum.cpp.o"
+  "CMakeFiles/test_direct_sum.dir/tests/test_direct_sum.cpp.o.d"
+  "test_direct_sum"
+  "test_direct_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_direct_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

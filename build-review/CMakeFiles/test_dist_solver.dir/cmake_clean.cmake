@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_solver.dir/tests/test_dist_solver.cpp.o"
+  "CMakeFiles/test_dist_solver.dir/tests/test_dist_solver.cpp.o.d"
+  "test_dist_solver"
+  "test_dist_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

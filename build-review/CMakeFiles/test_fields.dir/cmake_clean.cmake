@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fields.dir/tests/test_fields.cpp.o"
+  "CMakeFiles/test_fields.dir/tests/test_fields.cpp.o.d"
+  "test_fields"
+  "test_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

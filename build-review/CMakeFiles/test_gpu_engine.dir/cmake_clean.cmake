@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_engine.dir/tests/test_gpu_engine.cpp.o"
+  "CMakeFiles/test_gpu_engine.dir/tests/test_gpu_engine.cpp.o.d"
+  "test_gpu_engine"
+  "test_gpu_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interaction_lists.dir/tests/test_interaction_lists.cpp.o"
+  "CMakeFiles/test_interaction_lists.dir/tests/test_interaction_lists.cpp.o.d"
+  "test_interaction_lists"
+  "test_interaction_lists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interaction_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

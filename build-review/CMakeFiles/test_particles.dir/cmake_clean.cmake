@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_particles.dir/tests/test_particles.cpp.o"
+  "CMakeFiles/test_particles.dir/tests/test_particles.cpp.o.d"
+  "test_particles"
+  "test_particles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_particles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcb.dir/tests/test_rcb.cpp.o"
+  "CMakeFiles/test_rcb.dir/tests/test_rcb.cpp.o.d"
+  "test_rcb"
+  "test_rcb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

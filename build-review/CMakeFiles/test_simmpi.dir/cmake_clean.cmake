@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simmpi.dir/tests/test_simmpi.cpp.o"
+  "CMakeFiles/test_simmpi.dir/tests/test_simmpi.cpp.o.d"
+  "test_simmpi"
+  "test_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

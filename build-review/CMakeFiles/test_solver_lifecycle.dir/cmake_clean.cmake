@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_lifecycle.dir/tests/test_solver_lifecycle.cpp.o"
+  "CMakeFiles/test_solver_lifecycle.dir/tests/test_solver_lifecycle.cpp.o.d"
+  "test_solver_lifecycle"
+  "test_solver_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver_sweep.dir/tests/test_solver_sweep.cpp.o"
+  "CMakeFiles/test_solver_sweep.dir/tests/test_solver_sweep.cpp.o.d"
+  "test_solver_sweep"
+  "test_solver_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
