@@ -6,7 +6,11 @@
 // phases for the larger system — compute dominates at few ranks, and the
 // setup (communication) and precompute (under-filled GPU kernels) fractions
 // grow as ranks increase.
+//
+// Every run goes through the persistent DistSolver handle; the efficiency
+// series is also reported to BENCH_fig6.json (override with --json).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -20,7 +24,7 @@ namespace {
 
 struct Run {
   int ranks;
-  dist::DistResult result;
+  dist::DistStats stats;
   double error;
 };
 
@@ -28,18 +32,22 @@ std::vector<Run> scale_series(const Cloud& cloud, const KernelSpec& kernel,
                               int max_ranks, std::size_t batch) {
   std::vector<Run> runs;
   for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
-    dist::DistParams params;
-    params.treecode.theta = 0.8;
-    params.treecode.degree = 8;
-    params.treecode.max_leaf = batch;
-    params.treecode.max_batch = batch;
-    params.backend = Backend::kGpuSim;
-    params.device = gpusim::DeviceSpec::p100();
+    dist::DistConfig config;
+    config.kernel = kernel;
+    config.params.treecode.theta = 0.8;
+    config.params.treecode.degree = 8;
+    config.params.treecode.max_leaf = batch;
+    config.params.treecode.max_batch = batch;
+    config.params.backend = Backend::kGpuSim;
+    config.params.device = gpusim::DeviceSpec::p100();
+    config.nranks = ranks;
+
+    dist::DistSolver solver(config);
+    solver.set_sources(cloud);
     Run run;
     run.ranks = ranks;
-    run.result = dist::compute_potential_distributed(cloud, kernel, params,
-                                                     ranks);
-    run.error = bench::sampled_error(cloud, run.result.potential, kernel, 500);
+    const std::vector<double> phi = solver.evaluate(&run.stats);
+    run.error = bench::sampled_error(cloud, phi, kernel, 500);
     runs.push_back(std::move(run));
   }
   return runs;
@@ -53,11 +61,11 @@ void print_efficiency_panel(const char* label, const std::vector<Run>& small,
               label);
   bench::Table table({"ranks", "t_small[s]", "eff_small", "t_large[s]",
                       "eff_large"});
-  const double t1_small = small.front().result.modeled.total();
-  const double t1_large = large.front().result.modeled.total();
+  const double t1_small = small.front().stats.modeled.total();
+  const double t1_large = large.front().stats.modeled.total();
   for (std::size_t i = 0; i < small.size(); ++i) {
-    const double ts = small[i].result.modeled.total();
-    const double tl = large[i].result.modeled.total();
+    const double ts = small[i].stats.modeled.total();
+    const double tl = large[i].stats.modeled.total();
     const double p = static_cast<double>(small[i].ranks);
     table.add_row({std::to_string(small[i].ranks),
                    bench::Table::num(ts, 4),
@@ -76,7 +84,7 @@ void print_phase_panel(const char* label, const std::vector<Run>& large) {
   bench::Table table({"ranks", "total[s]", "setup%", "precompute%",
                       "compute%"});
   for (const Run& run : large) {
-    const ModeledTimes& m = run.result.modeled;
+    const ModeledTimes& m = run.stats.modeled;
     const double total = m.total();
     table.add_row({std::to_string(run.ranks), bench::Table::num(total, 4),
                    bench::Table::num(100.0 * m.setup / total, 1),
@@ -86,14 +94,26 @@ void print_phase_panel(const char* label, const std::vector<Run>& large) {
   table.print();
 }
 
+void report_series(bench::JsonReport& report, const std::string& tag,
+                   const std::vector<Run>& runs) {
+  const double t1 = runs.front().stats.modeled.total();
+  for (const Run& run : runs) {
+    const double t = run.stats.modeled.total();
+    const std::string key = tag + "_r" + std::to_string(run.ranks);
+    report.metric(key + "_model_total_seconds", t);
+    report.metric(key + "_efficiency",
+                  t1 / (static_cast<double>(run.ranks) * t));
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner(
       "Fig. 6 — strong scaling on up to 32 P100 ranks (modeled), theta=0.8, "
       "n=8",
       "BLTC_FIG6_N_SMALL (default 12000; paper 16M), BLTC_FIG6_N_LARGE "
-      "(default 64000; paper 64M), BLTC_FIG6_MAXRANKS (default 8; paper 32), "
+      "(default 48000; paper 64M), BLTC_FIG6_MAXRANKS (default 8; paper 32), "
       "BLTC_FIG6_BATCH (default 1000)");
 
   const std::size_t n_small = env_size("BLTC_FIG6_N_SMALL", 12000);
@@ -104,6 +124,11 @@ int main() {
   const Cloud small_cloud = uniform_cube(n_small, 66);
   const Cloud large_cloud = uniform_cube(n_large, 67);
 
+  bench::JsonReport report("bench_fig6_strong_scaling");
+  report.note("n_small", std::to_string(n_small));
+  report.note("n_large", std::to_string(n_large));
+  report.note("max_ranks", std::to_string(max_ranks));
+
   const auto coulomb_small =
       scale_series(small_cloud, KernelSpec::coulomb(), max_ranks, batch);
   const auto coulomb_large =
@@ -111,6 +136,8 @@ int main() {
   print_efficiency_panel("a (Coulomb)", coulomb_small, coulomb_large, n_small,
                          n_large);
   print_phase_panel("c (Coulomb)", coulomb_large);
+  report_series(report, "coulomb_small", coulomb_small);
+  report_series(report, "coulomb_large", coulomb_large);
 
   const auto yukawa_small =
       scale_series(small_cloud, KernelSpec::yukawa(0.5), max_ranks, batch);
@@ -119,10 +146,16 @@ int main() {
   print_efficiency_panel("b (Yukawa)", yukawa_small, yukawa_large, n_small,
                          n_large);
   print_phase_panel("d (Yukawa)", yukawa_large);
+  report_series(report, "yukawa_small", yukawa_small);
+  report_series(report, "yukawa_large", yukawa_large);
 
   std::printf(
       "\nShape checks vs paper: the larger system keeps higher efficiency at "
       "high rank counts;\ncompute dominates at 1 rank and the setup + "
       "precompute fractions grow with ranks.\n");
+
+  const std::string json_path =
+      bench::json_output_path(argc, argv, "BENCH_fig6.json");
+  if (!json_path.empty()) report.write(json_path);
   return 0;
 }

@@ -1,5 +1,7 @@
 #include "core/cpu_engine.hpp"
 
+#include <stdexcept>
+
 namespace bltc {
 namespace {
 
@@ -20,11 +22,15 @@ void CpuEngine::prepare_sources(const SourcePlan& plan,
   if (!charges_only) {
     moments_ = ClusterMoments::compute(tree, sources, params.degree,
                                        params.moment_algorithm);
+    // New source geometry orphans whatever LET pieces were attached (their
+    // lists referenced the old trees); the caller re-attaches after the
+    // exchange.
+    let_.clear();
     return;
   }
   // Charges-only refresh: the grids depend only on the tree geometry, so
-  // only the modified charges are recomputed (the paper's precompute phase
-  // in isolation).
+  // only the modified charges are recomputed, in place (the storage is an
+  // RMA exposure in the distributed path and must not move).
   const std::size_t nc = tree.num_nodes();
 #pragma omp parallel for schedule(dynamic)
   for (std::size_t c = 0; c < nc; ++c) {
@@ -43,23 +49,58 @@ void CpuEngine::prepare_sources(const SourcePlan& plan,
   }
 }
 
+void CpuEngine::attach_let_pieces(std::span<const LetPiece> pieces,
+                                  const TreecodeParams& /*params*/,
+                                  bool charges_only) {
+  if (charges_only) {
+    // The piece set is unchanged and the refreshed charges live in the
+    // caller-owned storage the stored views already point at.
+    if (pieces.size() != let_.size()) {
+      throw std::logic_error(
+          "CpuEngine::attach_let_pieces: charges_only refresh with a "
+          "different piece count");
+    }
+    return;
+  }
+  let_.assign(pieces.begin(), pieces.end());
+}
+
 std::vector<double> CpuEngine::evaluate_potential(const SourcePlan& sources,
                                                   const TargetPlan& targets,
                                                   const KernelSpec& kernel,
                                                   bool /*fresh_targets*/,
                                                   RunStats& stats) {
-  EngineCounters counters;
-  std::vector<double> phi;
-  if (targets.per_target_mac) {
-    phi = cpu_evaluate_per_target(*targets.particles, *targets.lists,
-                                  *sources.tree, *sources.particles, moments_,
-                                  kernel, &counters, &workspace_);
-  } else {
-    phi = cpu_evaluate(*targets.particles, *targets.batches, *targets.lists,
-                       *sources.tree, *sources.particles, moments_, kernel,
-                       &counters, &workspace_);
+  if (targets.lists.size() != 1 + let_.size()) {
+    throw std::logic_error(
+        "CpuEngine::evaluate_potential: one interaction list per source "
+        "piece expected");
   }
-  fill_stats(counters, stats);
+  EngineCounters total;
+  const auto eval_piece = [&](const SourcePlan& piece,
+                              const InteractionLists& lists) {
+    const ClusterMoments& moments =
+        piece.moments != nullptr ? *piece.moments : moments_;
+    EngineCounters counters;
+    std::vector<double> phi;
+    if (targets.per_target_mac) {
+      phi = cpu_evaluate_per_target(*targets.particles, lists, *piece.tree,
+                                    *piece.particles, moments, kernel,
+                                    &counters, &workspace_);
+    } else {
+      phi = cpu_evaluate(*targets.particles, *targets.batches, lists,
+                         *piece.tree, *piece.particles, moments, kernel,
+                         &counters, &workspace_);
+    }
+    accumulate_counters(total, counters);
+    return phi;
+  };
+  // Local piece first, then the attached LET pieces in piece order: the
+  // fixed accumulation order keeps the result deterministic.
+  std::vector<double> phi = eval_piece(sources, targets.lists[0]);
+  for (std::size_t p = 0; p < let_.size(); ++p) {
+    add_into(phi, eval_piece(let_[p].plan, targets.lists[1 + p]));
+  }
+  fill_stats(total, stats);
   return phi;
 }
 
@@ -68,20 +109,40 @@ FieldResult CpuEngine::evaluate_field(const SourcePlan& sources,
                                       const KernelSpec& kernel,
                                       bool /*fresh_targets*/,
                                       RunStats& stats) {
-  EngineCounters counters;
-  FieldResult out;
-  if (targets.per_target_mac) {
-    out = cpu_evaluate_field_per_target(*targets.particles, *targets.lists,
-                                        *sources.tree, *sources.particles,
-                                        moments_, kernel, &counters,
-                                        &workspace_);
-  } else {
-    out = cpu_evaluate_field(*targets.particles, *targets.batches,
-                             *targets.lists, *sources.tree,
-                             *sources.particles, moments_, kernel, &counters,
-                             &workspace_);
+  if (targets.lists.size() != 1 + let_.size()) {
+    throw std::logic_error(
+        "CpuEngine::evaluate_field: one interaction list per source piece "
+        "expected");
   }
-  fill_stats(counters, stats);
+  EngineCounters total;
+  const auto eval_piece = [&](const SourcePlan& piece,
+                              const InteractionLists& lists) {
+    const ClusterMoments& moments =
+        piece.moments != nullptr ? *piece.moments : moments_;
+    EngineCounters counters;
+    FieldResult out;
+    if (targets.per_target_mac) {
+      out = cpu_evaluate_field_per_target(*targets.particles, lists,
+                                          *piece.tree, *piece.particles,
+                                          moments, kernel, &counters,
+                                          &workspace_);
+    } else {
+      out = cpu_evaluate_field(*targets.particles, *targets.batches, lists,
+                               *piece.tree, *piece.particles, moments, kernel,
+                               &counters, &workspace_);
+    }
+    accumulate_counters(total, counters);
+    return out;
+  };
+  FieldResult out = eval_piece(sources, targets.lists[0]);
+  for (std::size_t p = 0; p < let_.size(); ++p) {
+    const FieldResult piece = eval_piece(let_[p].plan, targets.lists[1 + p]);
+    add_into(out.phi, piece.phi);
+    add_into(out.ex, piece.ex);
+    add_into(out.ey, piece.ey);
+    add_into(out.ez, piece.ez);
+  }
+  fill_stats(total, stats);
   return out;
 }
 

@@ -4,11 +4,14 @@
 // wraps those free evaluation functions behind the Engine interface and
 // keeps the modified charges plus the per-thread evaluation workspace alive
 // across evaluate() calls, so repeated evaluations of a cached plan
-// allocate nothing. The free functions remain the low-level building
-// blocks the distributed solver drives directly.
+// allocate nothing. In the distributed path each rank's CpuEngine also
+// holds the attached LET pieces (views into DistSolver-owned storage) and
+// sums their contributions after the local piece, in piece order, so the
+// accumulation is deterministic and backend-independent.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/cpu_kernels.hpp"
@@ -22,7 +25,8 @@ namespace bltc {
 
 /// Engine-interface wrapper over the host evaluation paths. Source state is
 /// one ClusterMoments instance, recomputed in full on prepare and charges-
-/// only on update_charges (grids depend only on the tree geometry).
+/// only on update_charges (grids depend only on the tree geometry), plus
+/// the currently attached LET pieces.
 class CpuEngine final : public Engine {
  public:
   Backend backend() const override { return Backend::kCpu; }
@@ -31,6 +35,12 @@ class CpuEngine final : public Engine {
 
   void prepare_sources(const SourcePlan& plan, const TreecodeParams& params,
                        bool charges_only) override;
+  void attach_let_pieces(std::span<const LetPiece> pieces,
+                         const TreecodeParams& params,
+                         bool charges_only) override;
+  std::span<const double> prepared_qhat() const override {
+    return moments_.all_qhat();
+  }
   std::vector<double> evaluate_potential(const SourcePlan& sources,
                                          const TargetPlan& targets,
                                          const KernelSpec& kernel,
@@ -43,7 +53,8 @@ class CpuEngine final : public Engine {
 
  private:
   ClusterMoments moments_;
-  CpuWorkspace workspace_;  ///< per-thread scratch, persists across calls
+  std::vector<LetPiece> let_;  ///< attached remote pieces (caller-owned data)
+  CpuWorkspace workspace_;     ///< per-thread scratch, persists across calls
 };
 
 }  // namespace bltc

@@ -32,6 +32,29 @@ std::map<Backend, EngineFactory>& registry() {
 
 }  // namespace
 
+void accumulate_counters(EngineCounters& total, const EngineCounters& piece) {
+  total.approx_evals += piece.approx_evals;
+  total.direct_evals += piece.direct_evals;
+  total.approx_launches += piece.approx_launches;
+  total.direct_launches += piece.direct_launches;
+}
+
+void add_into(std::vector<double>& acc,
+              const std::vector<double>& contribution) {
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += contribution[i];
+}
+
+void Engine::attach_let_pieces(std::span<const LetPiece> pieces,
+                               const TreecodeParams& /*params*/,
+                               bool /*charges_only*/) {
+  if (!pieces.empty()) {
+    throw std::invalid_argument(
+        "this engine does not support distributed LET evaluation");
+  }
+}
+
+std::span<const double> Engine::prepared_qhat() const { return {}; }
+
 void register_engine(Backend backend, EngineFactory factory) {
   std::scoped_lock lock(registry_mutex());
   registry()[backend] = factory;

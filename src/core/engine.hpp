@@ -1,20 +1,30 @@
-// Engine interface behind the `Solver` handle. A plan (source tree, target
-// batches, interaction lists) is built by the solver on the host; an Engine
-// turns a plan into potentials or fields and owns all backend-specific state
-// that should persist across `evaluate()` calls — the host engine keeps the
-// modified charges, the simulated-GPU engine additionally keeps sources,
-// grids, and cluster data device-resident so repeated evaluations transfer
-// nothing but fresh targets and results. New backends register a factory at
-// load time instead of growing a switch in the solver.
+// Engine interface behind the `Solver` and `dist::DistSolver` handles. A
+// plan (source tree, target batches, interaction lists — see core/plan.hpp)
+// is built by the solvers on the host; an Engine turns a plan into
+// potentials or fields and owns all backend-specific state that should
+// persist across `evaluate()` calls — the host engine keeps the modified
+// charges, the simulated-GPU engine additionally keeps sources, grids, and
+// cluster data device-resident so repeated evaluations transfer nothing but
+// fresh targets and results.
+//
+// The distributed path reuses the same interface: each rank owns one Engine
+// whose prepared sources are the rank's local particles, and attaches the
+// remote halves of its locally essential tree as extra source pieces
+// (`attach_let_pieces`). Evaluation then sums the contribution of every
+// piece in piece order, with one interaction list per piece carried by the
+// TargetPlan. New backends register a factory at load time instead of
+// growing a switch in the solvers.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/interaction_lists.hpp"
 #include "core/kernels.hpp"
 #include "core/particles.hpp"
+#include "core/plan.hpp"
 #include "core/solver.hpp"
 #include "core/tree.hpp"
 
@@ -30,26 +40,30 @@ struct EngineCounters {
   std::size_t approx_launches = 0;
 };
 
-/// Source side of a plan: tree-ordered particles plus their cluster tree.
-/// Views into solver-owned storage; valid for the duration of a call.
-struct SourcePlan {
-  const OrderedParticles* particles = nullptr;
-  const ClusterTree* tree = nullptr;
+/// Accumulate one piece's counters into a running total (multi-piece LET
+/// evaluation sums one EngineCounters per piece).
+void accumulate_counters(EngineCounters& total, const EngineCounters& piece);
+
+/// Elementwise `acc += contribution` (piece contributions sum into the
+/// first piece's result; sizes must match).
+void add_into(std::vector<double>& acc,
+              const std::vector<double>& contribution);
+
+/// One remote piece of a locally essential tree, handed to
+/// `Engine::attach_let_pieces`. `plan.moments` is always non-null (the
+/// modified charges were fetched over the network and assembled by the
+/// caller); `fetched_particles` is how many source particles were actually
+/// pulled for direct interactions — the particle arrays are sized to the
+/// full remote count with never-referenced zero placeholders elsewhere, so
+/// a device engine stages (and accounts) only the fetched subset.
+struct LetPiece {
+  SourcePlan plan;
+  std::size_t fetched_particles = 0;
 };
 
-/// Target side of a plan: tree-ordered targets, their batches, and the
-/// MAC-driven interaction lists. With `per_target_mac` the lists hold one
-/// entry per target particle and `batches` is empty (CPU ablation path).
-struct TargetPlan {
-  const OrderedParticles* particles = nullptr;
-  const std::vector<TargetBatch>* batches = nullptr;
-  const InteractionLists* lists = nullptr;
-  bool per_target_mac = false;
-};
-
-/// Backend evaluation engine. One engine instance lives inside one Solver
-/// and sees every lifecycle transition, so it can cache whatever makes
-/// repeated evaluation cheap.
+/// Backend evaluation engine. One engine instance lives inside one solver
+/// handle (one rank, in the distributed case) and sees every lifecycle
+/// transition, so it can cache whatever makes repeated evaluation cheap.
 class Engine {
  public:
   virtual ~Engine() = default;
@@ -63,20 +77,43 @@ class Engine {
   /// Whether evaluate_field is implemented.
   virtual bool supports_fields() const = 0;
 
-  /// Build (or refresh) source-side state for `plan`: modified charges, and
-  /// on device engines the device-resident copies of sources and cluster
-  /// data. With `charges_only` the tree geometry is unchanged since the last
-  /// call and only the charges were rewritten — engines keep their grids and
-  /// recompute the modified charges alone.
+  /// Build (or refresh) source-side state for the engine-owned piece of
+  /// `plan`: modified charges, and on device engines the device-resident
+  /// copies of sources and cluster data. With `charges_only` the tree
+  /// geometry is unchanged since the last call and only the charges were
+  /// rewritten — engines keep their grids and recompute the modified
+  /// charges alone, in place.
   virtual void prepare_sources(const SourcePlan& plan,
                                const TreecodeParams& params,
                                bool charges_only) = 0;
 
-  /// Evaluate potentials at the planned targets, in tree order.
-  /// `fresh_targets` marks a target plan the engine has not executed yet
-  /// (device engines stage target data exactly then). Engines fill the
-  /// work/device/modeled fields of `stats`; the solver fills phase seconds
-  /// and structure counts.
+  /// Distributed LET path: attach the remote source pieces this engine
+  /// evaluates in addition to its prepared local sources. The piece storage
+  /// (particles, trees, moments) is owned by the caller and must stay alive
+  /// and in place until the pieces are replaced. With `charges_only` the
+  /// piece set and every tree are unchanged — only the externally stored
+  /// charges (modified charges and direct-range particle charges) were
+  /// re-fetched, so device engines re-stage charges alone. The default
+  /// implementation rejects non-empty piece sets: serial-only backends need
+  /// not support LET evaluation.
+  virtual void attach_let_pieces(std::span<const LetPiece> pieces,
+                                 const TreecodeParams& params,
+                                 bool charges_only);
+
+  /// Flat modified-charge array of the engine-owned prepared sources
+  /// (layout of ClusterMoments::all_qhat). The distributed path exposes
+  /// this through an RMA window so remote ranks can fetch the charges of
+  /// MAC-accepted clusters; it must stay at a stable address across
+  /// `prepare_sources(..., charges_only=true)` refreshes. Default: empty
+  /// (backends that keep no host-readable moments cannot serve a LET).
+  virtual std::span<const double> prepared_qhat() const;
+
+  /// Evaluate potentials at the planned targets, in tree order, summing the
+  /// prepared sources (targets.lists[0]) and every attached LET piece
+  /// (targets.lists[1 + i]) in piece order. `fresh_targets` marks a target
+  /// plan the engine has not executed yet (device engines stage target data
+  /// exactly then). Engines fill the work/device/modeled fields of `stats`;
+  /// the solvers fill phase seconds and structure counts.
   virtual std::vector<double> evaluate_potential(const SourcePlan& sources,
                                                  const TargetPlan& targets,
                                                  const KernelSpec& kernel,
@@ -84,14 +121,15 @@ class Engine {
                                                  RunStats& stats) = 0;
 
   /// Evaluate potential + field (E = -grad phi) at the planned targets, in
-  /// tree order. Throws std::invalid_argument when unsupported.
+  /// tree order, over the same pieces as evaluate_potential. Throws
+  /// std::invalid_argument when unsupported.
   virtual FieldResult evaluate_field(const SourcePlan& sources,
                                      const TargetPlan& targets,
                                      const KernelSpec& kernel,
                                      bool fresh_targets, RunStats& stats) = 0;
 };
 
-/// Engine factory: builds a fresh engine for one Solver instance.
+/// Engine factory: builds a fresh engine for one solver handle.
 using EngineFactory = std::unique_ptr<Engine> (*)(const GpuOptions& gpu);
 
 /// Register (or replace) the factory serving `backend`. The two built-in

@@ -1,5 +1,6 @@
 #include "core/gpu_engine.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
@@ -379,6 +380,68 @@ void GpuSimEngine::prepare_sources(const SourcePlan& plan,
   } else {
     grids_ = std::make_unique<Buffer>(device_, moments_.all_grids());
     qhat_ = std::make_unique<Buffer>(device_, moments_.all_qhat());
+    // New source geometry orphans the attached LET; the caller re-attaches
+    // after the exchange.
+    let_.clear();
+  }
+}
+
+void GpuSimEngine::stage_piece_particles(LetDeviceState& state,
+                                         bool charges_only) {
+  const OrderedParticles& p = *state.piece.plan.particles;
+  if (!charges_only) {
+    // Allocate full-size device arrays (OpenACC `create`), then model the
+    // packed upload of the fetched subset: the placeholders outside the
+    // fetched ranges are never referenced by the lists and a real
+    // implementation would not move them over PCIe.
+    state.sx = std::make_unique<Buffer>(device_, p.size());
+    state.sy = std::make_unique<Buffer>(device_, p.size());
+    state.sz = std::make_unique<Buffer>(device_, p.size());
+    state.sq = std::make_unique<Buffer>(device_, p.size());
+    std::copy(p.x.begin(), p.x.end(), state.sx->span().begin());
+    std::copy(p.y.begin(), p.y.end(), state.sy->span().begin());
+    std::copy(p.z.begin(), p.z.end(), state.sz->span().begin());
+    device_.host_to_device(3 * state.piece.fetched_particles *
+                           sizeof(double));
+  }
+  // Charges restage on every refresh; coordinates stay resident.
+  std::copy(p.q.begin(), p.q.end(), state.sq->span().begin());
+  device_.host_to_device(state.piece.fetched_particles * sizeof(double));
+}
+
+void GpuSimEngine::attach_let_pieces(std::span<const LetPiece> pieces,
+                                     const TreecodeParams& /*params*/,
+                                     bool charges_only) {
+  if (charges_only) {
+    if (pieces.size() != let_.size()) {
+      throw std::logic_error(
+          "GpuSimEngine::attach_let_pieces: charges_only refresh with a "
+          "different piece count");
+    }
+    // Update-device of the refreshed charge data alone: modified charges of
+    // every LET cluster plus the fetched direct-range particle charges.
+    for (LetDeviceState& state : let_) {
+      state.qhat->upload(state.piece.plan.moments->all_qhat());
+      stage_piece_particles(state, /*charges_only=*/true);
+    }
+    return;
+  }
+  let_.clear();
+  let_.reserve(pieces.size());
+  for (const LetPiece& piece : pieces) {
+    LetDeviceState state;
+    state.piece = piece;
+    stage_piece_particles(state, /*charges_only=*/false);
+    // HtD: the piece's cluster data — grids recomputed locally from the
+    // remote boxes plus the fetched modified charges (the LET's device
+    // footprint, §3.1-3.2).
+    state.grids =
+        std::make_unique<Buffer>(device_, piece.plan.moments->all_grids());
+    state.qhat =
+        std::make_unique<Buffer>(device_, piece.plan.moments->all_qhat());
+    // LET assembly is host-side setup work, like the local tree/list build.
+    pending_host_setup_particles_ += piece.fetched_particles;
+    let_.push_back(std::move(state));
   }
 }
 
@@ -392,6 +455,11 @@ std::vector<double> GpuSimEngine::evaluate_potential(const SourcePlan& sources,
         "per_target_mac is a CPU-backend ablation; the GPU engine batches "
         "by construction");
   }
+  if (targets.lists.size() != 1 + let_.size()) {
+    throw std::logic_error(
+        "GpuSimEngine::evaluate_potential: one interaction list per source "
+        "piece expected");
+  }
   const OrderedParticles& tgt = *targets.particles;
   if (fresh_targets || tgt_x_ == nullptr) {
     // HtD: target coordinates, only when the target plan changed.
@@ -403,10 +471,23 @@ std::vector<double> GpuSimEngine::evaluate_potential(const SourcePlan& sources,
 
   const gpusim::TimeMarker before = device_.marker();
   EngineCounters counters;
+  // Local piece first, then the attached LET pieces in piece order (fixed
+  // accumulation order keeps the result deterministic and backend-
+  // independent).
   std::vector<double> phi = gpu_evaluate_device_resident(
-      device_, tgt, *targets.batches, *targets.lists, *sources.tree,
+      device_, tgt, *targets.batches, targets.lists[0], *sources.tree,
       *sources.particles, moments_, kernel, &counters,
       options_.mixed_precision);
+  for (std::size_t p = 0; p < let_.size(); ++p) {
+    const LetPiece& piece = let_[p].piece;
+    EngineCounters piece_counters;
+    add_into(phi, gpu_evaluate_device_resident(
+                      device_, tgt, *targets.batches, targets.lists[1 + p],
+                      *piece.plan.tree, *piece.plan.particles,
+                      *piece.plan.moments, kernel, &piece_counters,
+                      options_.mixed_precision));
+    accumulate_counters(counters, piece_counters);
+  }
   // DtH: final potentials (every evaluation downloads its results).
   device_.device_to_host(phi.size() * sizeof(double));
   const gpusim::TimeMarker after = device_.marker();
@@ -419,9 +500,9 @@ std::vector<double> GpuSimEngine::evaluate_potential(const SourcePlan& sources,
   // Modeled times on the paper's hardware: host-side setup work plus all
   // PCIe transfers since the last report are attributed to the setup phase
   // (the paper's setup includes data movement); kernel time splits by phase.
-  const gpusim::HostSpec host = gpusim::HostSpec::comet_haswell();
   stats.modeled.setup =
-      gpusim::host_setup_seconds(host, pending_host_setup_particles_) +
+      gpusim::host_setup_seconds(options_.host,
+                                 pending_host_setup_particles_) +
       (after.transfer_seconds - reported_marker_.transfer_seconds);
   stats.modeled.precompute = pending_modeled_precompute_;
   stats.modeled.compute = after.kernel_seconds - before.kernel_seconds;

@@ -16,11 +16,16 @@
 // `GpuSimEngine` wraps these kernels behind the Engine interface and keeps
 // sources, grids, and modified charges device-resident across evaluate()
 // calls: a Solver that evaluates repeatedly uploads source data exactly
-// once, and target data only when the target plan changes.
+// once, and target data only when the target plan changes. In the
+// distributed path each rank's engine additionally keeps its locally
+// essential tree device-resident — attached LET pieces stage their fetched
+// particles, grids, and modified charges once, and a charges-only refresh
+// re-uploads exactly the charge arrays.
 #pragma once
 
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -110,6 +115,12 @@ class GpuSimEngine final : public Engine {
 
   void prepare_sources(const SourcePlan& plan, const TreecodeParams& params,
                        bool charges_only) override;
+  void attach_let_pieces(std::span<const LetPiece> pieces,
+                         const TreecodeParams& params,
+                         bool charges_only) override;
+  std::span<const double> prepared_qhat() const override {
+    return moments_.all_qhat();
+  }
   std::vector<double> evaluate_potential(const SourcePlan& sources,
                                          const TargetPlan& targets,
                                          const KernelSpec& kernel,
@@ -126,6 +137,17 @@ class GpuSimEngine final : public Engine {
  private:
   using Buffer = gpusim::DeviceBuffer<double>;
 
+  /// Device-resident copy of one attached LET piece. The particle buffers
+  /// are sized to the remote particle count but only the fetched subset is
+  /// accounted as PCIe traffic (the placeholders are never referenced).
+  struct LetDeviceState {
+    LetPiece piece;  ///< host-side views (caller-owned storage)
+    std::unique_ptr<Buffer> sx, sy, sz, sq;
+    std::unique_ptr<Buffer> grids, qhat;
+  };
+
+  void stage_piece_particles(LetDeviceState& state, bool charges_only);
+
   GpuOptions options_;
   gpusim::Device device_;
   ClusterMoments moments_;  ///< host mirror of grids + modified charges
@@ -134,6 +156,7 @@ class GpuSimEngine final : public Engine {
   std::unique_ptr<Buffer> src_x_, src_y_, src_z_, src_q_;
   std::unique_ptr<Buffer> grids_, qhat_;
   std::unique_ptr<Buffer> tgt_x_, tgt_y_, tgt_z_;
+  std::vector<LetDeviceState> let_;
 
   // Phase accounting pending attribution to the next evaluation.
   double pending_modeled_precompute_ = 0.0;

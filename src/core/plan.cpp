@@ -1,0 +1,77 @@
+#include "core/plan.hpp"
+
+#include <stdexcept>
+
+namespace bltc {
+
+void TreecodeParams::validate() const {
+  if (!(theta > 0.0) || theta >= 1.0) {
+    throw std::invalid_argument("TreecodeParams: theta must be in (0, 1)");
+  }
+  if (degree < 0 || degree > 40) {
+    throw std::invalid_argument("TreecodeParams: degree must be in [0, 40]");
+  }
+  if (max_leaf == 0 || max_batch == 0) {
+    throw std::invalid_argument(
+        "TreecodeParams: max_leaf and max_batch must be positive");
+  }
+}
+
+SourcePlanState SourcePlanState::build(const Cloud& sources,
+                                       const TreecodeParams& params) {
+  SourcePlanState state;
+  state.particles = OrderedParticles::from_cloud(sources);
+  TreeParams tree_params;
+  tree_params.max_leaf = params.max_leaf;
+  state.tree = ClusterTree::build(state.particles, tree_params);
+  return state;
+}
+
+void SourcePlanState::set_charges(std::span<const double> charges) {
+  if (charges.size() != particles.size()) {
+    throw std::invalid_argument(
+        "SourcePlanState::set_charges: charge count does not match the "
+        "sources");
+  }
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    particles.q[i] = charges[particles.original_index[i]];
+  }
+}
+
+TargetPlanState TargetPlanState::plan(const Cloud& targets,
+                                      const TreecodeParams& params) {
+  TargetPlanState state;
+  state.particles = OrderedParticles::from_cloud(targets);
+  state.per_target_mac = params.per_target_mac;
+  if (!params.per_target_mac) {
+    state.batches = build_target_batches(state.particles, params.max_batch);
+  }
+  return state;
+}
+
+std::size_t TargetPlanState::append_lists(const ClusterTree& tree,
+                                          const TreecodeParams& params) {
+  if (per_target_mac) {
+    lists.push_back(build_interaction_lists_per_target(particles, tree,
+                                                       params.theta,
+                                                       params.degree));
+  } else {
+    lists.push_back(
+        build_interaction_lists(batches, tree, params.theta, params.degree));
+  }
+  return lists.size() - 1;
+}
+
+bool TargetPlanState::matches(const Cloud& targets) const {
+  if (targets.size() != particles.size()) return false;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    const std::size_t o = particles.original_index[i];
+    if (targets.x[o] != particles.x[i] || targets.y[o] != particles.y[i] ||
+        targets.z[o] != particles.z[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace bltc

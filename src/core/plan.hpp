@@ -1,0 +1,122 @@
+// Shared plan-construction layer: the paper's setup phase as a reusable
+// subsystem. A "plan" is everything the engines need before any kernel
+// runs — tree-ordered particles, the source cluster tree, target batches,
+// and the MAC-driven interaction lists — and both public handles build it
+// through this file:
+//
+//   * the serial `Solver` (core/solver.hpp) plans one source piece against
+//     one target set;
+//   * the distributed `dist::DistSolver` plans one *local* source piece per
+//     rank plus one locally-essential remote piece per peer rank, re-listing
+//     the same target batches against every piece's tree.
+//
+// `SourcePlanState` / `TargetPlanState` own the storage; the `SourcePlan` /
+// `TargetPlan` structs are non-owning views handed to the engines for the
+// duration of a call (engines may stash them only when the owner guarantees
+// the storage outlives the engine's use, as the distributed LET does).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/batches.hpp"
+#include "core/interaction_lists.hpp"
+#include "core/moments.hpp"
+#include "core/particles.hpp"
+#include "core/tree.hpp"
+#include "util/workloads.hpp"
+
+namespace bltc {
+
+/// Treecode parameters (paper notation: theta, n, N_L, N_B).
+struct TreecodeParams {
+  double theta = 0.8;           ///< MAC parameter
+  int degree = 8;               ///< interpolation degree n
+  std::size_t max_leaf = 2000;  ///< N_L, source leaf size
+  std::size_t max_batch = 2000; ///< N_B, target batch size
+  /// Which algebraic form computes the modified charges on the CPU backend.
+  MomentAlgorithm moment_algorithm = MomentAlgorithm::kDirect;
+  /// Ablation: apply the MAC per target instead of per batch (engines that
+  /// batch by construction reject it; see Engine::supports_per_target_mac).
+  bool per_target_mac = false;
+
+  /// Throws std::invalid_argument when parameters are out of range.
+  void validate() const;
+};
+
+/// Source side of a plan: tree-ordered particles plus their cluster tree.
+/// Views into plan-state-owned storage; valid for the duration of a call.
+/// `moments` is null for an engine-owned piece (the engine computes and
+/// caches the modified charges itself) and non-null for a distributed LET
+/// piece whose modified charges were fetched over the network and assembled
+/// by the caller.
+struct SourcePlan {
+  const OrderedParticles* particles = nullptr;
+  const ClusterTree* tree = nullptr;
+  const ClusterMoments* moments = nullptr;
+};
+
+/// Target side of a plan: tree-ordered targets, their batches, and the
+/// MAC-driven interaction lists — one `InteractionLists` per source piece,
+/// in piece order (the serial solver has exactly one). With `per_target_mac`
+/// each lists entry holds one interaction list per target *particle* and
+/// `batches` is empty.
+struct TargetPlan {
+  const OrderedParticles* particles = nullptr;
+  const std::vector<TargetBatch>* batches = nullptr;
+  std::span<const InteractionLists> lists;
+  bool per_target_mac = false;
+};
+
+/// Owning storage behind `SourcePlan`: the source half of the paper's setup
+/// phase (tree-order permutation + cluster tree).
+struct SourcePlanState {
+  OrderedParticles particles;
+  ClusterTree tree;
+
+  /// Build the tree-ordered particle set and its cluster tree.
+  static SourcePlanState build(const Cloud& sources,
+                               const TreecodeParams& params);
+
+  /// Rewrite the charges in place (caller order, one per source) without
+  /// touching the tree. Storage addresses are preserved, so RMA windows
+  /// exposing `particles.q` stay valid.
+  void set_charges(std::span<const double> charges);
+
+  std::size_t size() const { return particles.size(); }
+  SourcePlan view() const { return {&particles, &tree, nullptr}; }
+};
+
+/// Owning storage behind `TargetPlan`: target batching plus the interaction
+/// lists of every source tree the targets interact with. `plan()` builds the
+/// geometry half once; `append_lists()` runs the dual traversal against one
+/// source tree per call, so the distributed path can list the same batches
+/// against its local tree and every remote LET tree.
+struct TargetPlanState {
+  OrderedParticles particles;
+  std::vector<TargetBatch> batches;
+  std::vector<InteractionLists> lists;  ///< one per source piece, in order
+  bool per_target_mac = false;
+
+  /// Tree-order the targets and build their batches (no lists yet).
+  static TargetPlanState plan(const Cloud& targets,
+                              const TreecodeParams& params);
+
+  /// Traverse `tree` with the planned batches (or per-target under the
+  /// per-target MAC) and append the resulting lists; returns the piece
+  /// index the lists belong to.
+  std::size_t append_lists(const ClusterTree& tree,
+                           const TreecodeParams& params);
+
+  /// Whether this plan was built over exactly these target coordinates
+  /// (the plan-cache key: the stored permutation maps tree order back to
+  /// caller order for comparison).
+  bool matches(const Cloud& targets) const;
+
+  TargetPlan view() const {
+    return {&particles, &batches, lists, per_target_mac};
+  }
+};
+
+}  // namespace bltc

@@ -3,26 +3,11 @@
 #include <stdexcept>
 #include <utility>
 
-#include "core/batches.hpp"
 #include "core/engine.hpp"
-#include "core/interaction_lists.hpp"
-#include "core/tree.hpp"
+#include "core/plan.hpp"
 #include "util/timer.hpp"
 
 namespace bltc {
-
-void TreecodeParams::validate() const {
-  if (!(theta > 0.0) || theta >= 1.0) {
-    throw std::invalid_argument("TreecodeParams: theta must be in (0, 1)");
-  }
-  if (degree < 0 || degree > 40) {
-    throw std::invalid_argument("TreecodeParams: degree must be in [0, 40]");
-  }
-  if (max_leaf == 0 || max_batch == 0) {
-    throw std::invalid_argument(
-        "TreecodeParams: max_leaf and max_batch must be positive");
-  }
-}
 
 Solver::Solver(SolverConfig config) : config_(std::move(config)) {
   config_.params.validate();
@@ -35,15 +20,12 @@ Solver& Solver::operator=(Solver&&) noexcept = default;
 
 void Solver::plan_sources(const Cloud& sources) {
   WallTimer timer;
-  src_ = OrderedParticles::from_cloud(sources);
-  TreeParams tree_params;
-  tree_params.max_leaf = config_.params.max_leaf;
-  tree_ = ClusterTree::build(src_, tree_params);
+  source_ = SourcePlanState::build(sources, config_.params);
   pending_setup_seconds_ += timer.seconds();
 
   timer.reset();
-  const SourcePlan plan{&src_, &tree_};
-  engine_->prepare_sources(plan, config_.params, /*charges_only=*/false);
+  engine_->prepare_sources(source_.view(), config_.params,
+                           /*charges_only=*/false);
   pending_precompute_seconds_ += timer.seconds();
 }
 
@@ -53,7 +35,7 @@ void Solver::set_sources(const Cloud& sources) {
   // must be re-listed against the new tree.
   targets_valid_ = false;
   if (sources.size() == 0) {
-    src_ = OrderedParticles{};
+    source_ = SourcePlanState{};
     return;
   }
   plan_sources(sources);
@@ -63,47 +45,24 @@ void Solver::update_charges(std::span<const double> charges) {
   if (!have_sources_) {
     throw std::logic_error("Solver::update_charges: no sources set");
   }
-  if (charges.size() != src_.size()) {
+  if (charges.size() != source_.size()) {
     throw std::invalid_argument(
         "Solver::update_charges: charge count does not match the sources");
   }
-  if (src_.size() == 0) return;
+  if (source_.size() == 0) return;
   // Charges arrive in caller order; the plan stores tree order.
   WallTimer timer;
-  for (std::size_t i = 0; i < src_.size(); ++i) {
-    src_.q[i] = charges[src_.original_index[i]];
-  }
-  const SourcePlan plan{&src_, &tree_};
-  engine_->prepare_sources(plan, config_.params, /*charges_only=*/true);
+  source_.set_charges(charges);
+  engine_->prepare_sources(source_.view(), config_.params,
+                           /*charges_only=*/true);
   pending_precompute_seconds_ += timer.seconds();
 }
 
 void Solver::update_positions(const Cloud& sources) { set_sources(sources); }
 
-bool Solver::target_plan_matches(const Cloud& targets) const {
-  if (!targets_valid_ || targets.size() != tgt_.size()) return false;
-  for (std::size_t i = 0; i < tgt_.size(); ++i) {
-    const std::size_t o = tgt_.original_index[i];
-    if (targets.x[o] != tgt_.x[i] || targets.y[o] != tgt_.y[i] ||
-        targets.z[o] != tgt_.z[i]) {
-      return false;
-    }
-  }
-  return true;
-}
-
 void Solver::plan_targets(const Cloud& targets) {
-  tgt_ = OrderedParticles::from_cloud(targets);
-  batches_.clear();
-  if (config_.params.per_target_mac) {
-    lists_ = build_interaction_lists_per_target(tgt_, tree_,
-                                                config_.params.theta,
-                                                config_.params.degree);
-  } else {
-    batches_ = build_target_batches(tgt_, config_.params.max_batch);
-    lists_ = build_interaction_lists(batches_, tree_, config_.params.theta,
-                                     config_.params.degree);
-  }
+  targets_ = TargetPlanState::plan(targets, config_.params);
+  targets_.append_lists(source_.tree, config_.params);
   targets_valid_ = true;
 }
 
@@ -112,7 +71,7 @@ bool Solver::begin_evaluation(const Cloud& targets, RunStats& stats,
   if (!have_sources_) {
     throw std::logic_error("Solver::evaluate: call set_sources first");
   }
-  if (src_.size() == 0 || targets.size() == 0) {
+  if (source_.size() == 0 || targets.size() == 0) {
     stats = RunStats{};
     return false;
   }
@@ -122,7 +81,7 @@ bool Solver::begin_evaluation(const Cloud& targets, RunStats& stats,
         "by construction");
   }
   WallTimer timer;
-  fresh_targets = !target_plan_matches(targets);
+  fresh_targets = !(targets_valid_ && targets_.matches(targets));
   if (fresh_targets) plan_targets(targets);
   stats = RunStats{};
   stats.setup_seconds = pending_setup_seconds_ + timer.seconds();
@@ -133,11 +92,12 @@ bool Solver::begin_evaluation(const Cloud& targets, RunStats& stats,
 }
 
 void Solver::finish_stats(RunStats& stats) const {
-  stats.num_clusters = tree_.num_nodes();
-  stats.num_leaves = tree_.num_leaves();
-  stats.num_batches = lists_.per_batch.size();
-  stats.approx_interactions = lists_.total_approx;
-  stats.direct_interactions = lists_.total_direct;
+  stats.num_clusters = source_.tree.num_nodes();
+  stats.num_leaves = source_.tree.num_leaves();
+  const InteractionLists& lists = targets_.lists.front();
+  stats.num_batches = lists.per_batch.size();
+  stats.approx_interactions = lists.total_approx;
+  stats.direct_interactions = lists.total_direct;
   stats.per_target_mac = config_.params.per_target_mac;
 }
 
@@ -148,16 +108,13 @@ std::vector<double> Solver::evaluate(const Cloud& targets, RunStats* stats) {
     if (stats != nullptr) *stats = local;
     return std::vector<double>(targets.size(), 0.0);
   }
-  const SourcePlan src_plan{&src_, &tree_};
-  const TargetPlan tgt_plan{&tgt_, &batches_, &lists_,
-                            config_.params.per_target_mac};
   WallTimer timer;
   std::vector<double> phi_tree_order = engine_->evaluate_potential(
-      src_plan, tgt_plan, config_.kernel, fresh_targets, local);
+      source_.view(), targets_.view(), config_.kernel, fresh_targets, local);
   local.compute_seconds = timer.seconds();
   finish_stats(local);
   if (stats != nullptr) *stats = local;
-  return tgt_.scatter_to_original(phi_tree_order);
+  return targets_.particles.scatter_to_original(phi_tree_order);
 }
 
 FieldResult Solver::evaluate_field(const Cloud& targets, RunStats* stats) {
@@ -179,20 +136,17 @@ FieldResult Solver::evaluate_field(const Cloud& targets, RunStats* stats) {
     out.ez.assign(targets.size(), 0.0);
     return out;
   }
-  const SourcePlan src_plan{&src_, &tree_};
-  const TargetPlan tgt_plan{&tgt_, &batches_, &lists_,
-                            config_.params.per_target_mac};
   WallTimer timer;
   FieldResult tree_order = engine_->evaluate_field(
-      src_plan, tgt_plan, config_.kernel, fresh_targets, local);
+      source_.view(), targets_.view(), config_.kernel, fresh_targets, local);
   local.compute_seconds = timer.seconds();
   finish_stats(local);
   if (stats != nullptr) *stats = local;
   FieldResult out;
-  out.phi = tgt_.scatter_to_original(tree_order.phi);
-  out.ex = tgt_.scatter_to_original(tree_order.ex);
-  out.ey = tgt_.scatter_to_original(tree_order.ey);
-  out.ez = tgt_.scatter_to_original(tree_order.ez);
+  out.phi = targets_.particles.scatter_to_original(tree_order.phi);
+  out.ex = targets_.particles.scatter_to_original(tree_order.ex);
+  out.ey = targets_.particles.scatter_to_original(tree_order.ey);
+  out.ez = targets_.particles.scatter_to_original(tree_order.ez);
   return out;
 }
 

@@ -34,8 +34,10 @@
 #include "core/kernels.hpp"
 #include "core/moments.hpp"
 #include "core/particles.hpp"
+#include "core/plan.hpp"
 #include "core/tree.hpp"
 #include "gpusim/device.hpp"
+#include "gpusim/perf_model.hpp"
 #include "util/workloads.hpp"
 
 namespace bltc {
@@ -48,25 +50,13 @@ enum class Backend {
   kGpuSim,  ///< simulated-GPU engine (the paper's OpenACC implementation)
 };
 
-/// Treecode parameters (paper notation: theta, n, N_L, N_B).
-struct TreecodeParams {
-  double theta = 0.8;           ///< MAC parameter
-  int degree = 8;               ///< interpolation degree n
-  std::size_t max_leaf = 2000;  ///< N_L, source leaf size
-  std::size_t max_batch = 2000; ///< N_B, target batch size
-  /// Which algebraic form computes the modified charges on the CPU backend.
-  MomentAlgorithm moment_algorithm = MomentAlgorithm::kDirect;
-  /// Ablation: apply the MAC per target instead of per batch (CPU only).
-  bool per_target_mac = false;
-
-  /// Throws std::invalid_argument when parameters are out of range.
-  void validate() const;
-};
-
 /// Options for the simulated-GPU backend.
 struct GpuOptions {
   gpusim::DeviceSpec device = gpusim::DeviceSpec::titan_v();
   bool async_streams = true;  ///< paper default: 4 async streams
+  /// Host CPU model for the phases that stay on the host (tree, batches,
+  /// lists, LET assembly), feeding the modeled setup seconds.
+  gpusim::HostSpec host = gpusim::HostSpec::comet_haswell();
   /// §5 future-work feature: evaluate the potential kernels in single
   /// precision (accumulation and storage in float) while the tree, moments,
   /// and MAC stay double. Roughly halves the modeled kernel time on FP32-
@@ -160,7 +150,7 @@ class Solver {
 
   const SolverConfig& config() const { return config_; }
   bool has_sources() const { return have_sources_; }
-  std::size_t num_sources() const { return src_.size(); }
+  std::size_t num_sources() const { return source_.size(); }
 
   /// Build the source-side plan: cluster tree over `sources` plus the
   /// engine's modified charges (device-resident data on device engines).
@@ -189,7 +179,6 @@ class Solver {
 
  private:
   void plan_sources(const Cloud& sources);
-  bool target_plan_matches(const Cloud& targets) const;
   void plan_targets(const Cloud& targets);
   /// Shared front half of evaluate/evaluate_field: empty handling, target
   /// planning, pending-phase bookkeeping. Returns false when the result is
@@ -201,17 +190,14 @@ class Solver {
   SolverConfig config_;
   std::unique_ptr<Engine> engine_;
 
-  // Source plan.
+  // Source plan (core/plan.hpp owns the construction pipeline).
   bool have_sources_ = false;
-  OrderedParticles src_;
-  ClusterTree tree_;
+  SourcePlanState source_;
 
-  // Target plan cache. The plan-match key is tgt_ itself: the stored
-  // permutation maps tree order back to caller order for comparison.
+  // Target plan cache. The plan-match key is the stored tree-ordered
+  // targets themselves (TargetPlanState::matches).
   bool targets_valid_ = false;
-  OrderedParticles tgt_;
-  std::vector<TargetBatch> batches_;
-  InteractionLists lists_;
+  TargetPlanState targets_;
 
   // Phase seconds paid in lifecycle calls, attributed to the next evaluate.
   double pending_setup_seconds_ = 0.0;

@@ -3,62 +3,169 @@
 #include <algorithm>
 #include <span>
 #include <stdexcept>
+#include <utility>
 
-#include "core/batches.hpp"
-#include "core/cpu_engine.hpp"
-#include "core/gpu_engine.hpp"
-#include "core/interaction_lists.hpp"
-#include "core/moments.hpp"
-#include "core/tree.hpp"
+#include "core/engine.hpp"
+#include "core/plan.hpp"
 #include "dist/let.hpp"
 #include "partition/rcb.hpp"
 #include "simmpi/comm.hpp"
 #include "util/box.hpp"
+#include "util/timer.hpp"
 
 namespace bltc::dist {
-namespace {
 
-/// One rank's remotely assembled LET slice for one remote rank: the remote
-/// tree, grids recomputed locally from its boxes, fetched modified charges,
-/// and fetched particle ranges (unfetched slots stay zero and are never
-/// referenced by the interaction lists).
-struct RemotePiece {
-  ClusterTree tree;
-  ClusterMoments moments;
-  OrderedParticles particles;
-  InteractionLists lists;
-  std::size_t fetched_particles = 0;
-  std::size_t clusters_in_let = 0;
+/// Everything one rank owns across lifecycle calls: its engine, its local
+/// plan, the assembled remote LET pieces, and the storage its RMA windows
+/// expose. The windows outlive individual team runs (simmpi::RankTeam keeps
+/// the Context and Comm handles alive), so a charge refresh re-fetches
+/// through the windows registered at plan time.
+struct DistSolver::RankState {
+  int rank = 0;
+  std::unique_ptr<Engine> engine;
+
+  // Local plan.
+  std::vector<std::size_t> owned;  ///< original indices of local particles
+  SourcePlanState source;
+  TargetPlanState targets;
+
+  /// One remote rank's LET slice: the remote tree, grids recomputed locally
+  /// from its boxes, fetched modified charges, and fetched particle ranges
+  /// (unfetched slots stay zero and are never referenced by the lists).
+  struct Remote {
+    int rank = -1;
+    ClusterTree tree;
+    ClusterMoments moments;
+    OrderedParticles particles;
+    std::vector<int> approx_nodes;  ///< MAC-accepted clusters (charge fetch)
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;  ///< direct fetch
+    std::size_t fetched_particles = 0;
+    std::size_t clusters_in_let = 0;
+  };
+  std::vector<Remote> remotes;
+  std::vector<LetPiece> pieces;  ///< views into `remotes`, piece order
+
+  // RMA window exposures. The vectors (and the engine's qhat / the source
+  // plan's charge array) must stay alive and in place while windows live.
+  std::vector<double> tree_blob;
+  std::vector<double> coords;  ///< tree-order x y z interleaved
+  std::unique_ptr<simmpi::Window<double>> tree_win, qhat_win, coord_win,
+      charge_win;
+
+  // Structure counts for the current plan.
+  RankStats structure;
+
+  // Phase costs paid in lifecycle calls, attributed to the next evaluate.
+  double pending_setup_seconds = 0.0;
+  double pending_precompute_seconds = 0.0;
+  std::size_t pending_tree_builds = 0;
+  std::size_t let_charge_bytes = 0;
+
+  // Snapshots of the cumulative per-rank communication counters.
+  std::size_t reported_gets = 0;
+  std::size_t reported_bytes = 0;
+
+  /// Collective window teardown (must run on this rank's thread so the
+  /// destructor barriers pair across ranks), then drop the LET views.
+  void release_windows() {
+    charge_win.reset();
+    coord_win.reset();
+    qhat_win.reset();
+    tree_win.reset();
+  }
 };
 
-/// Accumulate `contribution` into `phi` elementwise.
-void add_into(std::vector<double>& phi,
-              const std::vector<double>& contribution) {
-  for (std::size_t i = 0; i < phi.size(); ++i) phi[i] += contribution[i];
+namespace {
+
+Cloud gather_cloud(const Cloud& cloud, const std::vector<std::size_t>& idx) {
+  Cloud local;
+  local.resize(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    local.x[i] = cloud.x[idx[i]];
+    local.y[i] = cloud.y[idx[i]];
+    local.z[i] = cloud.z[idx[i]];
+    local.q[i] = cloud.q[idx[i]];
+  }
+  return local;
 }
 
 }  // namespace
 
-DistResult compute_potential_distributed(const Cloud& cloud,
-                                         const KernelSpec& kernel,
-                                         const DistParams& params,
-                                         int nranks) {
-  params.treecode.validate();
-  if (nranks < 1) {
-    throw std::invalid_argument(
-        "compute_potential_distributed: nranks must be >= 1");
+DistSolver::DistSolver(DistConfig config) : config_(std::move(config)) {
+  config_.params.treecode.validate();
+  if (config_.nranks < 1) {
+    throw std::invalid_argument("DistSolver: nranks must be >= 1");
   }
-  if (params.treecode.per_target_mac) {
-    throw std::invalid_argument(
-        "compute_potential_distributed: per_target_mac is a serial CPU "
-        "ablation");
+  GpuOptions gpu;
+  gpu.device = config_.params.device;
+  gpu.async_streams = config_.params.async_streams;
+  gpu.host = config_.params.host;
+  team_ = std::make_unique<simmpi::RankTeam>(config_.nranks);
+  ranks_.reserve(static_cast<std::size_t>(config_.nranks));
+  for (int r = 0; r < config_.nranks; ++r) {
+    auto state = std::make_unique<RankState>();
+    state->rank = r;
+    state->engine = make_engine(config_.params.backend, gpu);
+    ranks_.push_back(std::move(state));
   }
+  if (config_.params.treecode.per_target_mac &&
+      !ranks_.front()->engine->supports_per_target_mac()) {
+    throw std::invalid_argument(
+        "DistSolver: per_target_mac requires an engine that can execute "
+        "per-target interaction lists; the GpuSim backend batches by "
+        "construction — use Backend::kCpu");
+  }
+}
 
+DistSolver::~DistSolver() {
+  try {
+    release_plan();
+  } catch (...) {
+    // Destructor teardown must not throw; a failed collective here means a
+    // rank already died with its own exception.
+  }
+}
+
+DistSolver::DistSolver(DistSolver&&) noexcept = default;
+
+DistSolver& DistSolver::operator=(DistSolver&& other) noexcept {
+  if (this != &other) {
+    // A defaulted move-assign would destroy this solver's RankTeam before
+    // the RankStates' live windows, whose destructors barrier on it —
+    // collective teardown must happen first, inside a team run.
+    try {
+      release_plan();
+    } catch (...) {
+    }
+    config_ = std::move(other.config_);
+    team_ = std::move(other.team_);
+    ranks_ = std::move(other.ranks_);
+    have_sources_ = other.have_sources_;
+    targets_fresh_ = other.targets_fresh_;
+    num_sources_ = other.num_sources_;
+  }
+  return *this;
+}
+
+void DistSolver::release_plan() {
+  if (team_ == nullptr || ranks_.empty()) return;
+  const bool have_windows = ranks_.front()->tree_win != nullptr;
+  if (!have_windows) return;
+  team_->run([&](simmpi::Comm& comm) {
+    RankState& s = *ranks_[static_cast<std::size_t>(comm.rank())];
+    s.release_windows();
+    // Detach before the views into `remotes` dangle.
+    s.engine->attach_let_pieces({}, config_.params.treecode,
+                                /*charges_only=*/false);
+    s.remotes.clear();
+    s.pieces.clear();
+  });
+}
+
+void DistSolver::plan(const Cloud& cloud) {
+  const TreecodeParams& tc = config_.params.treecode;
   const std::size_t n = cloud.size();
-  DistResult result;
-  result.potential.assign(n, 0.0);
-  result.per_rank.resize(static_cast<std::size_t>(nranks));
-  if (n == 0) return result;
+  const int nranks = config_.nranks;
 
   // Domain decomposition (the paper's Zoltan step): deterministic RCB over
   // the full cloud, computed once up front. Each rank owns the particles of
@@ -69,207 +176,369 @@ DistResult compute_potential_distributed(const Cloud& cloud,
   const RcbResult rcb =
       rcb_partition(cloud.x, cloud.y, cloud.z,
                     static_cast<std::size_t>(nranks), domain);
-  std::vector<std::vector<std::size_t>> owned(
-      static_cast<std::size_t>(nranks));
-  for (std::size_t i = 0; i < n; ++i) {
-    owned[static_cast<std::size_t>(rcb.assignment[i])].push_back(i);
-  }
+  std::vector<std::vector<std::size_t>> owned =
+      rcb_owned_indices(rcb, static_cast<std::size_t>(nranks));
 
-  simmpi::run_ranks(nranks, [&](simmpi::Comm& comm) {
+  team_->run([&](simmpi::Comm& comm) {
     const int rank = comm.rank();
-    const std::vector<std::size_t>& mine =
-        owned[static_cast<std::size_t>(rank)];
-    RankStats st;
-    st.local_particles = mine.size();
-
-    Cloud local;
-    local.resize(mine.size());
-    for (std::size_t i = 0; i < mine.size(); ++i) {
-      local.x[i] = cloud.x[mine[i]];
-      local.y[i] = cloud.y[mine[i]];
-      local.z[i] = cloud.z[mine[i]];
-      local.q[i] = cloud.q[mine[i]];
-    }
+    RankState& s = *ranks_[static_cast<std::size_t>(rank)];
 
     // ---- Local setup: source tree, target batches, local lists.
-    OrderedParticles src = OrderedParticles::from_cloud(local);
-    TreeParams tree_params;
-    tree_params.max_leaf = params.treecode.max_leaf;
-    const ClusterTree tree = ClusterTree::build(src, tree_params);
-    st.local_clusters = tree.num_nodes();
-    OrderedParticles tgt = OrderedParticles::from_cloud(local);
-    const std::vector<TargetBatch> batches =
-        build_target_batches(tgt, params.treecode.max_batch);
-    const InteractionLists local_lists = build_interaction_lists(
-        batches, tree, params.treecode.theta, params.treecode.degree);
+    WallTimer timer;
+    s.owned = std::move(owned[static_cast<std::size_t>(rank)]);
+    const Cloud local = gather_cloud(cloud, s.owned);
+    s.source = SourcePlanState::build(local, tc);
+    s.targets = TargetPlanState::plan(local, tc);
+    s.targets.append_lists(s.source.tree, tc);
+    s.pending_tree_builds += 1;
+    s.pending_setup_seconds += timer.seconds();
 
-    const bool on_gpu = params.backend == Backend::kGpuSim;
-    gpusim::Device device(params.device, params.async_streams);
-
-    // ---- Local precompute: modified charges for every local cluster.
-    ClusterMoments moments;
-    double modeled_precompute = 0.0;
-    if (on_gpu) {
-      // Sources HtD, then the two preprocessing kernels per cluster.
-      device.host_to_device(4 * src.size() * sizeof(double));
-      moments = ClusterMoments::grids_only(tree, params.treecode.degree);
-      const gpusim::TimeMarker before = device.marker();
-      GpuPrecomputeResult pre = gpu_precompute_moments_device_resident(
-          device, tree, src, moments, params.treecode.degree);
-      const gpusim::TimeMarker after = device.marker();
-      modeled_precompute = after.kernel_seconds - before.kernel_seconds;
-      apply_precompute_result(pre, tree, moments);
-    } else {
-      moments = ClusterMoments::compute(tree, src, params.treecode.degree,
-                                        params.treecode.moment_algorithm);
-    }
+    // ---- Local precompute: modified charges for every local cluster
+    // (device-resident on the GpuSim backend).
+    timer.reset();
+    s.engine->prepare_sources(s.source.view(), tc, /*charges_only=*/false);
+    s.pending_precompute_seconds += timer.seconds();
 
     // ---- Exposure: serialize the local tree and expose tree blob,
-    // modified charges, and tree-ordered particle data (x y z q
-    // interleaved) through collective RMA windows.
-    std::vector<double> blob = serialize_tree(tree);
-    std::vector<double> pdata(4 * src.size());
+    // modified charges, tree-ordered coordinates, and tree-ordered charges
+    // through collective RMA windows. Coordinates and charges are separate
+    // windows so a charge refresh can re-fetch charges alone.
+    timer.reset();
+    s.tree_blob = serialize_tree(s.source.tree);
+    const OrderedParticles& src = s.source.particles;
+    s.coords.resize(3 * src.size());
     for (std::size_t i = 0; i < src.size(); ++i) {
-      pdata[4 * i + 0] = src.x[i];
-      pdata[4 * i + 1] = src.y[i];
-      pdata[4 * i + 2] = src.z[i];
-      pdata[4 * i + 3] = src.q[i];
+      s.coords[3 * i + 0] = src.x[i];
+      s.coords[3 * i + 1] = src.y[i];
+      s.coords[3 * i + 2] = src.z[i];
     }
-    simmpi::Window<double> tree_win(comm, std::span<double>(blob));
-    simmpi::Window<double> qhat_win(comm, moments.all_qhat_mutable());
-    simmpi::Window<double> pdata_win(comm, std::span<double>(pdata));
+    s.tree_win = std::make_unique<simmpi::Window<double>>(
+        comm, std::span<double>(s.tree_blob));
+    // The engine owns the local modified charges; the window exposure is
+    // read-only by protocol (remote ranks only get), hence the const_cast.
+    const std::span<const double> qhat = s.engine->prepared_qhat();
+    s.qhat_win = std::make_unique<simmpi::Window<double>>(
+        comm,
+        std::span<double>(const_cast<double*>(qhat.data()), qhat.size()));
+    s.coord_win = std::make_unique<simmpi::Window<double>>(
+        comm, std::span<double>(s.coords));
+    s.charge_win = std::make_unique<simmpi::Window<double>>(
+        comm, std::span<double>(
+                  const_cast<double*>(s.source.particles.q.data()),
+                  s.source.particles.q.size()));
 
     // ---- LET construction: pull each remote tree, traverse it with the
     // local batches, and fetch only what the traversal needs.
-    std::vector<RemotePiece> pieces;
-    pieces.reserve(static_cast<std::size_t>(nranks) - 1);
+    s.remotes.clear();
+    s.pieces.clear();
+    s.let_charge_bytes = 0;
+    s.remotes.reserve(static_cast<std::size_t>(nranks) - 1);
+    std::size_t let_remote_clusters = 0;
+    std::size_t let_remote_particles = 0;
     for (int r = 0; r < nranks; ++r) {
       if (r == rank) continue;
-      RemotePiece piece;
+      RankState::Remote rem;
+      rem.rank = r;
 
       std::vector<double> head(1);
-      tree_win.get(r, 0, head);
+      s.tree_win->get(r, 0, head);
       const std::size_t rnodes = static_cast<std::size_t>(head[0]);
       std::vector<double> rblob(1 + rnodes * kNodeRecordSize);
       rblob[0] = head[0];
-      tree_win.get(r, 1,
-                   std::span<double>(rblob).subspan(1));
-      piece.tree = deserialize_tree(rblob);
+      s.tree_win->get(r, 1, std::span<double>(rblob).subspan(1));
+      rem.tree = deserialize_tree(rblob);
 
-      piece.lists = build_interaction_lists(
-          batches, piece.tree, params.treecode.theta, params.treecode.degree);
+      const std::size_t piece = s.targets.append_lists(rem.tree, tc);
+      const InteractionLists& rlists = s.targets.lists[piece];
 
-      const std::vector<int> approx_nodes =
-          collect_unique_nodes(piece.lists, /*approx=*/true);
+      rem.approx_nodes = collect_unique_nodes(rlists, /*approx=*/true);
       const std::vector<int> direct_nodes =
-          collect_unique_nodes(piece.lists, /*approx=*/false);
-      piece.clusters_in_let = approx_nodes.size() + direct_nodes.size();
+          collect_unique_nodes(rlists, /*approx=*/false);
+      rem.clusters_in_let = rem.approx_nodes.size() + direct_nodes.size();
 
       // Grids are geometry-determined: recompute locally from the remote
       // boxes; only the modified charges cross the network.
-      piece.moments =
-          ClusterMoments::grids_only(piece.tree, params.treecode.degree);
-      for (const int ci : approx_nodes) {
-        qhat_win.get(r,
-                     static_cast<std::size_t>(ci) *
-                         piece.moments.points_per_cluster(),
-                     piece.moments.qhat_mutable(ci));
+      rem.moments = ClusterMoments::grids_only(rem.tree, tc.degree);
+      for (const int ci : rem.approx_nodes) {
+        s.qhat_win->get(r,
+                        static_cast<std::size_t>(ci) *
+                            rem.moments.points_per_cluster(),
+                        rem.moments.qhat_mutable(ci));
+        s.let_charge_bytes +=
+            rem.moments.points_per_cluster() * sizeof(double);
       }
 
       // Remote particles for direct interactions: coalesced tree-order
       // ranges. Unfetched slots stay zero and are never indexed.
-      const std::size_t rcount = piece.tree.node(piece.tree.root()).end;
-      piece.particles.x.assign(rcount, 0.0);
-      piece.particles.y.assign(rcount, 0.0);
-      piece.particles.z.assign(rcount, 0.0);
-      piece.particles.q.assign(rcount, 0.0);
+      const std::size_t rcount = rem.tree.node(rem.tree.root()).end;
+      rem.particles.x.assign(rcount, 0.0);
+      rem.particles.y.assign(rcount, 0.0);
+      rem.particles.z.assign(rcount, 0.0);
+      rem.particles.q.assign(rcount, 0.0);
+      rem.ranges = merge_node_ranges(rem.tree, direct_nodes);
       std::vector<double> buf;
-      for (const auto& range : merge_node_ranges(piece.tree, direct_nodes)) {
+      for (const auto& range : rem.ranges) {
         const std::size_t count = range.second - range.first;
-        buf.resize(4 * count);
-        pdata_win.get(r, 4 * range.first, buf);
+        buf.resize(3 * count);
+        s.coord_win->get(r, 3 * range.first, buf);
         for (std::size_t i = 0; i < count; ++i) {
-          piece.particles.x[range.first + i] = buf[4 * i + 0];
-          piece.particles.y[range.first + i] = buf[4 * i + 1];
-          piece.particles.z[range.first + i] = buf[4 * i + 2];
-          piece.particles.q[range.first + i] = buf[4 * i + 3];
+          rem.particles.x[range.first + i] = buf[3 * i + 0];
+          rem.particles.y[range.first + i] = buf[3 * i + 1];
+          rem.particles.z[range.first + i] = buf[3 * i + 2];
         }
-        piece.fetched_particles += count;
+        s.charge_win->get(
+            r, range.first,
+            std::span<double>(rem.particles.q.data() + range.first, count));
+        s.let_charge_bytes += count * sizeof(double);
+        rem.fetched_particles += count;
       }
-      st.let_remote_particles += piece.fetched_particles;
-      st.let_remote_clusters += piece.clusters_in_let;
-      pieces.push_back(std::move(piece));
+      let_remote_particles += rem.fetched_particles;
+      let_remote_clusters += rem.clusters_in_let;
+      s.remotes.push_back(std::move(rem));
     }
 
-    // ---- Compute: local contribution first, then the remote pieces in
-    // rank order (fixed accumulation order keeps the result deterministic
-    // and backend-independent).
-    std::vector<double> phi(tgt.size(), 0.0);
-    double modeled_compute = 0.0;
+    // Pieces view the remotes; build only once the vector is final so the
+    // addresses are stable until the next full plan.
+    for (const RankState::Remote& rem : s.remotes) {
+      s.pieces.push_back(LetPiece{
+          SourcePlan{&rem.particles, &rem.tree, &rem.moments},
+          rem.fetched_particles});
+    }
+    s.engine->attach_let_pieces(s.pieces, tc, /*charges_only=*/false);
+    s.pending_setup_seconds += timer.seconds();
+
+    // Exposures must stay readable until every rank finished fetching.
+    comm.barrier();
+
+    s.structure = RankStats{};
+    s.structure.local_particles = s.owned.size();
+    s.structure.local_clusters = s.source.tree.num_nodes();
+    s.structure.let_remote_clusters = let_remote_clusters;
+    s.structure.let_remote_particles = let_remote_particles;
+  });
+  targets_fresh_ = true;
+}
+
+void DistSolver::set_sources(const Cloud& cloud) {
+  release_plan();
+  have_sources_ = true;
+  num_sources_ = cloud.size();
+  if (cloud.size() == 0) return;
+  plan(cloud);
+}
+
+void DistSolver::update_charges(std::span<const double> charges) {
+  if (!have_sources_) {
+    throw std::logic_error("DistSolver::update_charges: no sources set");
+  }
+  if (charges.size() != num_sources_) {
+    throw std::invalid_argument(
+        "DistSolver::update_charges: charge count does not match the "
+        "sources");
+  }
+  if (num_sources_ == 0) return;
+  const TreecodeParams& tc = config_.params.treecode;
+
+  team_->run([&](simmpi::Comm& comm) {
+    RankState& s = *ranks_[static_cast<std::size_t>(comm.rank())];
+
+    // ---- Local precompute: rewrite the local charges in place (the charge
+    // window exposes this storage) and recompute the modified charges (the
+    // qhat window exposure refreshes in place too).
+    WallTimer timer;
+    std::vector<double> local_q(s.owned.size());
+    for (std::size_t i = 0; i < s.owned.size(); ++i) {
+      local_q[i] = charges[s.owned[i]];
+    }
+    s.source.set_charges(local_q);
+    s.engine->prepare_sources(s.source.view(), tc, /*charges_only=*/true);
+    s.pending_precompute_seconds += timer.seconds();
+
+    // Every rank's exposures must be refreshed before anyone re-fetches.
+    comm.barrier();
+
+    // ---- LET charge refresh: re-fetch only the charge bytes — modified
+    // charges of MAC-accepted clusters and raw charges of direct-fetched
+    // ranges. Trees, lists, grids, and coordinates are untouched.
+    timer.reset();
+    s.let_charge_bytes = 0;
+    for (RankState::Remote& rem : s.remotes) {
+      for (const int ci : rem.approx_nodes) {
+        s.qhat_win->get(rem.rank,
+                        static_cast<std::size_t>(ci) *
+                            rem.moments.points_per_cluster(),
+                        rem.moments.qhat_mutable(ci));
+        s.let_charge_bytes +=
+            rem.moments.points_per_cluster() * sizeof(double);
+      }
+      for (const auto& range : rem.ranges) {
+        const std::size_t count = range.second - range.first;
+        s.charge_win->get(
+            rem.rank, range.first,
+            std::span<double>(rem.particles.q.data() + range.first, count));
+        s.let_charge_bytes += count * sizeof(double);
+      }
+    }
+    s.engine->attach_let_pieces(s.pieces, tc, /*charges_only=*/true);
+    s.pending_setup_seconds += timer.seconds();
+
+    // Fetches must complete before any rank mutates its exposures again.
+    comm.barrier();
+  });
+}
+
+void DistSolver::update_positions(const Cloud& cloud) { set_sources(cloud); }
+
+void DistSolver::finish_rank_stats(RankState& s, RankStats& st) const {
+  st.setup_seconds += s.pending_setup_seconds;
+  st.precompute_seconds += s.pending_precompute_seconds;
+  st.tree_builds = s.pending_tree_builds;
+  s.pending_setup_seconds = 0.0;
+  s.pending_precompute_seconds = 0.0;
+  s.pending_tree_builds = 0;
+
+  const std::size_t gets = team_->context().gets_issued(s.rank);
+  const std::size_t bytes = team_->context().bytes_gotten(s.rank);
+  st.rma_gets = gets - s.reported_gets;
+  st.rma_bytes = bytes - s.reported_bytes;
+  s.reported_gets = gets;
+  s.reported_bytes = bytes;
+  st.let_charge_bytes = s.let_charge_bytes;
+}
+
+void DistSolver::reduce_stats(DistStats& stats) const {
+  for (const RankStats& st : stats.per_rank) {
+    stats.modeled.setup = std::max(stats.modeled.setup, st.modeled.setup);
+    stats.modeled.precompute =
+        std::max(stats.modeled.precompute, st.modeled.precompute);
+    stats.modeled.compute =
+        std::max(stats.modeled.compute, st.modeled.compute);
+    stats.setup_seconds = std::max(stats.setup_seconds, st.setup_seconds);
+    stats.precompute_seconds =
+        std::max(stats.precompute_seconds, st.precompute_seconds);
+    stats.compute_seconds =
+        std::max(stats.compute_seconds, st.compute_seconds);
+  }
+}
+
+void DistSolver::run_evaluation(
+    DistStats& stats,
+    const std::function<void(RankState&, RankStats&)>& execute) {
+  const bool on_gpu = config_.params.backend == Backend::kGpuSim;
+  team_->run([&](simmpi::Comm& comm) {
+    RankState& s = *ranks_[static_cast<std::size_t>(comm.rank())];
+    RankStats st = s.structure;
+    execute(s, st);
+    finish_rank_stats(s, st);
     if (on_gpu) {
-      // LET data HtD: targets, cluster grids + charges, fetched remote data.
-      std::size_t let_bytes =
-          3 * tgt.size() * sizeof(double) +
-          (moments.all_grids().size() + moments.all_qhat().size()) *
-              sizeof(double);
-      for (const RemotePiece& piece : pieces) {
-        let_bytes += (piece.moments.all_grids().size() +
-                      piece.moments.all_qhat().size() +
-                      4 * piece.fetched_particles) *
-                     sizeof(double);
-      }
-      device.host_to_device(let_bytes);
-
-      const gpusim::TimeMarker before = device.marker();
-      add_into(phi, gpu_evaluate_device_resident(device, tgt, batches,
-                                                 local_lists, tree, src,
-                                                 moments, kernel));
-      for (const RemotePiece& piece : pieces) {
-        add_into(phi, gpu_evaluate_device_resident(
-                          device, tgt, batches, piece.lists, piece.tree,
-                          piece.particles, piece.moments, kernel));
-      }
-      device.device_to_host(phi.size() * sizeof(double));
-      const gpusim::TimeMarker after = device.marker();
-      modeled_compute = after.kernel_seconds - before.kernel_seconds;
-    } else {
-      add_into(phi, cpu_evaluate(tgt, batches, local_lists, tree, src,
-                                 moments, kernel));
-      for (const RemotePiece& piece : pieces) {
-        add_into(phi, cpu_evaluate(tgt, batches, piece.lists, piece.tree,
-                                   piece.particles, piece.moments, kernel));
-      }
+      st.modeled.setup += gpusim::comm_seconds(config_.params.network,
+                                               st.rma_gets, st.rma_bytes);
     }
+    stats.per_rank[static_cast<std::size_t>(comm.rank())] = st;
+  });
+  targets_fresh_ = false;
+  reduce_stats(stats);
+}
 
-    st.rma_gets = comm.gets_issued();
-    st.rma_bytes = comm.bytes_gotten();
-    if (on_gpu) {
-      st.modeled.setup =
-          gpusim::host_setup_seconds(params.host,
-                                     st.local_particles +
-                                         st.let_remote_particles) +
-          device.marker().transfer_seconds +
-          gpusim::comm_seconds(params.network, st.rma_gets, st.rma_bytes);
-      st.modeled.precompute = modeled_precompute;
-      st.modeled.compute = modeled_compute;
-    }
+std::vector<double> DistSolver::evaluate(DistStats* stats) {
+  if (!have_sources_) {
+    throw std::logic_error("DistSolver::evaluate: call set_sources first");
+  }
+  DistStats local;
+  local.per_rank.resize(static_cast<std::size_t>(config_.nranks));
+  std::vector<double> result(num_sources_, 0.0);
+  if (num_sources_ == 0) {
+    if (stats != nullptr) *stats = std::move(local);
+    return result;
+  }
+
+  run_evaluation(local, [&](RankState& s, RankStats& st) {
+    RunStats run;
+    WallTimer timer;
+    const std::vector<double> phi = s.engine->evaluate_potential(
+        s.source.view(), s.targets.view(), config_.kernel, targets_fresh_,
+        run);
+    st.compute_seconds = timer.seconds();
+    st.bytes_to_device = run.bytes_to_device;
+    st.bytes_to_host = run.bytes_to_host;
+    st.modeled = run.modeled;
 
     // ---- Scatter: local tree-order potentials back to the caller's
     // original indices (ranks own disjoint index sets).
-    const std::vector<double> local_phi = tgt.scatter_to_original(phi);
-    for (std::size_t i = 0; i < mine.size(); ++i) {
-      result.potential[mine[i]] = local_phi[i];
+    const std::vector<double> local_phi =
+        s.targets.particles.scatter_to_original(phi);
+    for (std::size_t i = 0; i < s.owned.size(); ++i) {
+      result[s.owned[i]] = local_phi[i];
     }
-    result.per_rank[static_cast<std::size_t>(rank)] = st;
   });
+  if (stats != nullptr) *stats = std::move(local);
+  return result;
+}
 
-  for (const RankStats& st : result.per_rank) {
-    result.modeled.setup = std::max(result.modeled.setup, st.modeled.setup);
-    result.modeled.precompute =
-        std::max(result.modeled.precompute, st.modeled.precompute);
-    result.modeled.compute =
-        std::max(result.modeled.compute, st.modeled.compute);
+FieldResult DistSolver::evaluate_field(DistStats* stats) {
+  if (!have_sources_) {
+    throw std::logic_error("DistSolver::evaluate_field: call set_sources "
+                           "first");
   }
+  if (!ranks_.front()->engine->supports_fields()) {
+    throw std::invalid_argument(
+        "distributed field evaluation requires an engine that supports "
+        "fields; the GpuSim engine is potential-only — use Backend::kCpu");
+  }
+  DistStats local;
+  local.per_rank.resize(static_cast<std::size_t>(config_.nranks));
+  FieldResult result;
+  result.phi.assign(num_sources_, 0.0);
+  result.ex.assign(num_sources_, 0.0);
+  result.ey.assign(num_sources_, 0.0);
+  result.ez.assign(num_sources_, 0.0);
+  if (num_sources_ == 0) {
+    if (stats != nullptr) *stats = std::move(local);
+    return result;
+  }
+
+  run_evaluation(local, [&](RankState& s, RankStats& st) {
+    RunStats run;
+    WallTimer timer;
+    const FieldResult tree_order = s.engine->evaluate_field(
+        s.source.view(), s.targets.view(), config_.kernel, targets_fresh_,
+        run);
+    st.compute_seconds = timer.seconds();
+    st.bytes_to_device = run.bytes_to_device;
+    st.bytes_to_host = run.bytes_to_host;
+    st.modeled = run.modeled;
+
+    const OrderedParticles& tgt = s.targets.particles;
+    const std::vector<double> phi = tgt.scatter_to_original(tree_order.phi);
+    const std::vector<double> ex = tgt.scatter_to_original(tree_order.ex);
+    const std::vector<double> ey = tgt.scatter_to_original(tree_order.ey);
+    const std::vector<double> ez = tgt.scatter_to_original(tree_order.ez);
+    for (std::size_t i = 0; i < s.owned.size(); ++i) {
+      result.phi[s.owned[i]] = phi[i];
+      result.ex[s.owned[i]] = ex[i];
+      result.ey[s.owned[i]] = ey[i];
+      result.ez[s.owned[i]] = ez[i];
+    }
+  });
+  if (stats != nullptr) *stats = std::move(local);
+  return result;
+}
+
+DistResult compute_potential_distributed(const Cloud& cloud,
+                                         const KernelSpec& kernel,
+                                         const DistParams& params,
+                                         int nranks) {
+  DistConfig config;
+  config.kernel = kernel;
+  config.params = params;
+  config.nranks = nranks;
+  DistSolver solver(std::move(config));
+  solver.set_sources(cloud);
+  DistStats stats;
+  DistResult result;
+  result.potential = solver.evaluate(&stats);
+  result.per_rank = std::move(stats.per_rank);
+  result.modeled = stats.modeled;
   return result;
 }
 

@@ -4,9 +4,29 @@
 // bulk-synchronous potential evaluation. Ranks are in-process threads; the
 // communication accounting and the per-rank device models project the run
 // onto the paper's multi-GPU hardware.
+//
+// `DistSolver` is the plan/execute handle, with the same lifecycle as the
+// serial `Solver` (core/solver.hpp):
+//
+//   DistSolver solver({KernelSpec::coulomb(), params, /*nranks=*/4});
+//   solver.set_sources(cloud);          // RCB + local trees + LET, once
+//   auto phi  = solver.evaluate();      // per-rank engines run cached plans
+//   auto phi2 = solver.evaluate();      // no RMA, no tree work: kernels only
+//   solver.update_charges(new_q);       // moments + LET *charge* refresh
+//   solver.update_positions(moved);     // full re-plan (RCB re-partition)
+//
+// Each rank owns one Engine from the core registry, so the distributed
+// path inherits the blocked CPU kernels and the simulated-GPU persistent-
+// residency model: a rank's LET (local sources, remote trees, fetched
+// charges and particles) is staged on its device once and repeat
+// evaluations move nothing but results. `compute_potential_distributed`
+// remains the one-shot wrapper.
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "core/kernels.hpp"
@@ -14,6 +34,10 @@
 #include "gpusim/device.hpp"
 #include "gpusim/perf_model.hpp"
 #include "util/workloads.hpp"
+
+namespace bltc::simmpi {
+class RankTeam;
+}  // namespace bltc::simmpi
 
 namespace bltc::dist {
 
@@ -30,19 +54,52 @@ struct DistParams {
   gpusim::NetworkSpec network = gpusim::NetworkSpec::comet_infiniband();
 };
 
-/// Per-rank accounting: decomposition, LET size, one-sided traffic, and the
-/// modeled phase times on the paper's hardware (GpuSim backend).
+/// Per-rank accounting. Structure counts describe the current plan; the
+/// phase seconds, RMA counters, and device bytes are *deltas* for one
+/// evaluation — costs paid in a lifecycle call (set_sources,
+/// update_charges) are attributed to the first evaluation that uses them,
+/// mirroring the serial RunStats. A repeat evaluation on an unchanged plan
+/// therefore reports zero RMA gets, zero tree builds, and near-zero
+/// setup/precompute seconds.
 struct RankStats {
+  // Structure counts (stable while the plan is unchanged).
   std::size_t local_particles = 0;
   std::size_t local_clusters = 0;
   std::size_t let_remote_clusters = 0;   ///< remote clusters in this rank's LET
   std::size_t let_remote_particles = 0;  ///< remote particles actually fetched
-  std::size_t rma_gets = 0;
-  std::size_t rma_bytes = 0;
+
+  // Measured phase seconds (paper phase boundaries, §4), per evaluation.
+  double setup_seconds = 0.0;
+  double precompute_seconds = 0.0;
+  double compute_seconds = 0.0;
+
+  // LET refresh deltas for this evaluation.
+  std::size_t tree_builds = 0;  ///< local tree constructions paid here
+  std::size_t rma_gets = 0;     ///< one-sided gets issued since last report
+  std::size_t rma_bytes = 0;    ///< bytes pulled since last report
+  /// Bytes of *charge* data fetched by the most recent LET exchange or
+  /// refresh: modified charges of MAC-accepted clusters plus raw charges of
+  /// direct-fetched ranges. After update_charges, rma_bytes equals exactly
+  /// this (no tree geometry or coordinates cross the network again).
+  std::size_t let_charge_bytes = 0;
+
+  // Device accounting deltas (GpuSim backend).
+  std::size_t bytes_to_device = 0;
+  std::size_t bytes_to_host = 0;
   ModeledTimes modeled;
 };
 
-/// Result of a distributed solve.
+/// Aggregate statistics for one distributed evaluation: per-rank detail
+/// plus the bulk-synchronous view (per-phase maximum over ranks).
+struct DistStats {
+  std::vector<RankStats> per_rank;
+  ModeledTimes modeled;
+  double setup_seconds = 0.0;
+  double precompute_seconds = 0.0;
+  double compute_seconds = 0.0;
+};
+
+/// Result of a one-shot distributed solve.
 struct DistResult {
   /// Potentials for every particle, in the caller's order.
   std::vector<double> potential;
@@ -51,9 +108,92 @@ struct DistResult {
   ModeledTimes modeled;
 };
 
+/// Everything needed to construct a DistSolver.
+struct DistConfig {
+  KernelSpec kernel;
+  DistParams params;
+  int nranks = 1;
+};
+
+/// Plan/execute distributed treecode handle (see file comment for the
+/// lifecycle). Targets are the sources themselves (the paper's distributed
+/// configuration: every rank evaluates the potential at its own particles).
+/// Not thread-safe externally; internally each lifecycle call is a
+/// bulk-synchronous phase over the in-process ranks.
+class DistSolver {
+ public:
+  /// Validates the configuration (throws std::invalid_argument on bad
+  /// treecode parameters, nranks < 1, or a per-target MAC request the
+  /// backend's engine cannot execute) and instantiates one Engine per rank
+  /// through the core registry.
+  explicit DistSolver(DistConfig config);
+  ~DistSolver();
+  DistSolver(DistSolver&&) noexcept;
+  DistSolver& operator=(DistSolver&&) noexcept;
+  DistSolver(const DistSolver&) = delete;
+  DistSolver& operator=(const DistSolver&) = delete;
+
+  const DistConfig& config() const { return config_; }
+  int nranks() const { return config_.nranks; }
+  bool has_sources() const { return have_sources_; }
+  std::size_t num_sources() const { return num_sources_; }
+
+  /// Build the distributed plan: RCB decomposition, per-rank source trees
+  /// and target batches, engine precompute, and the LET exchange (remote
+  /// trees, modified charges of MAC-accepted clusters, particle ranges of
+  /// direct clusters) over freshly registered RMA windows. The windows stay
+  /// live for later charge refreshes.
+  void set_sources(const Cloud& cloud);
+
+  /// Incremental path: charges changed, positions did not. Keeps every
+  /// tree, list, and window; recomputes the local modified charges and
+  /// re-fetches only the *charge* bytes of each rank's LET (modified
+  /// charges + direct-range particle charges) through the existing windows.
+  /// `charges` is in caller order, one per source.
+  void update_charges(std::span<const double> charges);
+
+  /// Incremental path: positions changed — a full re-plan including the
+  /// RCB re-partition.
+  void update_positions(const Cloud& cloud);
+
+  /// Compute potentials at every source particle, in the caller's order.
+  /// Repeat calls on an unchanged plan re-execute the cached per-rank plans
+  /// with zero communication and zero tree work.
+  std::vector<double> evaluate(DistStats* stats = nullptr);
+
+  /// Compute potentials and fields E = -grad phi at every source particle,
+  /// sharing the cached plans. Requires a backend whose engine supports
+  /// fields (CPU).
+  FieldResult evaluate_field(DistStats* stats = nullptr);
+
+ private:
+  struct RankState;
+
+  void plan(const Cloud& cloud);
+  void release_plan();  ///< collective teardown of windows + per-rank state
+  void finish_rank_stats(RankState& rank, RankStats& st) const;
+  void reduce_stats(DistStats& stats) const;
+  /// Shared back half of evaluate/evaluate_field: run `execute` (engine
+  /// call + result scatter, filling the compute/device fields of its
+  /// RankStats) on every rank, then fill the delta accounting, consume the
+  /// fresh-targets flag, and reduce the bulk-synchronous view.
+  void run_evaluation(DistStats& stats,
+                      const std::function<void(RankState&, RankStats&)>&
+                          execute);
+
+  DistConfig config_;
+  std::unique_ptr<simmpi::RankTeam> team_;
+  std::vector<std::unique_ptr<RankState>> ranks_;
+  bool have_sources_ = false;
+  bool targets_fresh_ = true;
+  std::size_t num_sources_ = 0;
+};
+
 /// Compute potentials of `cloud` on itself across `nranks` in-process ranks
 /// (targets == sources, the paper's distributed configuration). One rank
-/// degenerates to the serial pipeline with no communication.
+/// degenerates to the serial pipeline with no communication. One-shot
+/// wrapper over a temporary DistSolver; drivers that evaluate repeatedly
+/// should hold a DistSolver instead.
 DistResult compute_potential_distributed(const Cloud& cloud,
                                          const KernelSpec& kernel,
                                          const DistParams& params,

@@ -145,4 +145,16 @@ RcbResult rcb_partition(std::span<const double> x, std::span<const double> y,
   return result;
 }
 
+std::vector<std::vector<std::size_t>> rcb_owned_indices(const RcbResult& rcb,
+                                                        std::size_t nparts) {
+  std::vector<std::vector<std::size_t>> owned(nparts);
+  for (std::size_t p = 0; p < nparts && p < rcb.part_count.size(); ++p) {
+    owned[p].reserve(rcb.part_count[p]);
+  }
+  for (std::size_t i = 0; i < rcb.assignment.size(); ++i) {
+    owned[static_cast<std::size_t>(rcb.assignment[i])].push_back(i);
+  }
+  return owned;
+}
+
 }  // namespace bltc

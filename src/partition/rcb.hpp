@@ -39,4 +39,11 @@ RcbResult rcb_partition(std::span<const double> x, std::span<const double> y,
                         const Box3& domain,
                         RcbAxisPolicy policy = RcbAxisPolicy::kLongestExtent);
 
+/// Group a decomposition's points by owner: element p lists the input
+/// indices assigned to part p, in input order (so a one-part decomposition
+/// reproduces the identity, keeping the single-rank distributed pipeline
+/// bit-identical to the serial one).
+std::vector<std::vector<std::size_t>> rcb_owned_indices(const RcbResult& rcb,
+                                                        std::size_t nparts);
+
 }  // namespace bltc

@@ -93,16 +93,20 @@ std::size_t Context::gets_issued(int rank) const {
       std::memory_order_relaxed);
 }
 
-void run_ranks(int nranks, const std::function<void(Comm&)>& fn) {
-  Context ctx(nranks);
+RankTeam::RankTeam(int nranks) : ctx_(nranks) {
+  comms_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) comms_.emplace_back(ctx_, r);
+}
+
+void RankTeam::run(const std::function<void(Comm&)>& fn) {
+  const int nranks = ctx_.size();
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
-      Comm comm(ctx, r);
       try {
-        fn(comm);
+        fn(comms_[static_cast<std::size_t>(r)]);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
@@ -112,6 +116,11 @@ void run_ranks(int nranks, const std::function<void(Comm&)>& fn) {
   for (const auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+}
+
+void run_ranks(int nranks, const std::function<void(Comm&)>& fn) {
+  RankTeam team(nranks);
+  team.run(fn);
 }
 
 }  // namespace bltc::simmpi

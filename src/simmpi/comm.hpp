@@ -165,8 +165,38 @@ class Window {
   std::size_t id_ = 0;
 };
 
+/// Persistent rank team: one Context plus per-rank Comm handles that
+/// outlive any single `run()` call. Collective state — registered RMA
+/// windows, the communication accounting — persists between runs, so a
+/// handle like `dist::DistSolver` can register its LET windows once in
+/// set_sources and reuse them for the charge refresh of a later
+/// update_charges. Each `run()` spawns fresh OS threads (ranks are
+/// stateless between phases; all rank state lives in the caller), and
+/// window teardown must itself happen inside a `run()` so the collective
+/// barriers pair.
+class RankTeam {
+ public:
+  explicit RankTeam(int nranks);
+
+  RankTeam(const RankTeam&) = delete;
+  RankTeam& operator=(const RankTeam&) = delete;
+
+  int size() const { return ctx_.size(); }
+  Context& context() { return ctx_; }
+
+  /// Run `fn(comm)` on every rank concurrently and join; rethrows the first
+  /// rank exception after joining all threads. The Comm handed to rank r is
+  /// the same object across runs.
+  void run(const std::function<void(Comm&)>& fn);
+
+ private:
+  Context ctx_;
+  std::vector<Comm> comms_;
+};
+
 /// Run `fn(comm)` on `nranks` concurrent ranks; rethrows the first rank
-/// exception after joining all threads.
+/// exception after joining all threads. One-shot convenience over a
+/// temporary RankTeam.
 void run_ranks(int nranks, const std::function<void(Comm&)>& fn);
 
 }  // namespace bltc::simmpi

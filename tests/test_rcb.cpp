@@ -132,5 +132,31 @@ TEST(Rcb, DeterministicForFixedInput) {
   EXPECT_EQ(a.assignment, b.assignment);
 }
 
+TEST(Rcb, OwnedIndicesPartitionTheInputInOrder) {
+  const Cloud c = uniform_cube(1500, 11);
+  const RcbResult r = rcb_partition(c.x, c.y, c.z, 4, Box3::cube(-1, 1));
+  const auto owned = rcb_owned_indices(r, 4);
+  ASSERT_EQ(owned.size(), 4u);
+  std::vector<bool> seen(c.size(), false);
+  for (std::size_t p = 0; p < owned.size(); ++p) {
+    EXPECT_EQ(owned[p].size(), r.part_count[p]);
+    for (std::size_t k = 0; k < owned[p].size(); ++k) {
+      const std::size_t i = owned[p][k];
+      EXPECT_EQ(r.assignment[i], static_cast<int>(p));
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+      if (k > 0) EXPECT_LT(owned[p][k - 1], i);  // input order preserved
+    }
+  }
+}
+
+TEST(Rcb, OwnedIndicesSinglePartIsIdentity) {
+  const Cloud c = uniform_cube(64, 12);
+  const RcbResult r = rcb_partition(c.x, c.y, c.z, 1, Box3::cube(-1, 1));
+  const auto owned = rcb_owned_indices(r, 1);
+  ASSERT_EQ(owned.size(), 1u);
+  for (std::size_t i = 0; i < c.size(); ++i) EXPECT_EQ(owned[0][i], i);
+}
+
 }  // namespace
 }  // namespace bltc

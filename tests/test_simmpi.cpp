@@ -179,5 +179,44 @@ TEST(SimMpi, InvalidContextSizeThrows) {
   EXPECT_THROW(Context ctx(0), std::invalid_argument);
 }
 
+TEST(SimMpi, RankTeamKeepsWindowsAliveAcrossRuns) {
+  // The persistent-team contract behind DistSolver: a window registered in
+  // one bulk-synchronous phase (run) serves one-sided gets in a later
+  // phase, and its exposure reads the owner's *current* data — the window
+  // views live storage, it does not snapshot. Teardown is a third
+  // collective phase.
+  RankTeam team(3);
+  std::vector<std::vector<double>> storage(3);
+  std::vector<std::unique_ptr<Window<double>>> windows(3);
+
+  team.run([&](Comm& comm) {
+    const std::size_t r = static_cast<std::size_t>(comm.rank());
+    storage[r].assign(4, static_cast<double>(comm.rank()));
+    windows[r] = std::make_unique<Window<double>>(
+        comm, std::span<double>(storage[r]));
+  });
+
+  team.run([&](Comm& comm) {
+    const std::size_t r = static_cast<std::size_t>(comm.rank());
+    storage[r][0] = 100.0 + static_cast<double>(comm.rank());
+    comm.barrier();  // all owners updated before anyone fetches
+    const int peer = (comm.rank() + 1) % comm.size();
+    std::vector<double> buf(4);
+    windows[r]->get(peer, 0, buf);
+    EXPECT_DOUBLE_EQ(buf[0], 100.0 + peer);  // current data, not a snapshot
+    EXPECT_DOUBLE_EQ(buf[1], static_cast<double>(peer));
+  });
+
+  // Accounting persists across runs too.
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(team.context().gets_issued(r), 1u);
+    EXPECT_EQ(team.context().bytes_gotten(r), 4 * sizeof(double));
+  }
+
+  team.run([&](Comm& comm) {
+    windows[static_cast<std::size_t>(comm.rank())].reset();  // collective
+  });
+}
+
 }  // namespace
 }  // namespace bltc::simmpi
