@@ -232,7 +232,7 @@ int main(int argc, char** argv) {
     row("tree_build_50k", sec, 50000.0, "particle");
   }
 
-  // --- Dual traversal (list construction).
+  // --- Batched traversal (list construction, parallel over batches).
   {
     const Cloud c = uniform_cube(30000, 3);
     OrderedParticles src = OrderedParticles::from_cloud(c);
@@ -247,6 +247,14 @@ int main(int argc, char** argv) {
       g_sink += static_cast<double>(lists.total_approx);
     });
     row("traversal_30k", sec, 1.0, "call");
+
+    // Dual (pairwise) traversal over the same trees, self mode included.
+    const double dsec = time_call([&] {
+      const DualInteractionLists lists =
+          build_dual_interaction_lists(tree, tree, 0.8, 8, /*self=*/true);
+      g_sink += static_cast<double>(lists.total_cc);
+    });
+    row("dual_traversal_30k", dsec, 1.0, "call");
   }
 
   // --- RCB partition.

@@ -10,6 +10,10 @@ void fill_stats(const EngineCounters& counters, RunStats& stats) {
   stats.direct_evals = counters.direct_evals;
   stats.approx_launches = counters.approx_launches;
   stats.direct_launches = counters.direct_launches;
+  stats.cp_evals = counters.cp_evals;
+  stats.cc_evals = counters.cc_evals;
+  stats.cp_launches = counters.cp_launches;
+  stats.cc_launches = counters.cc_launches;
 }
 
 }  // namespace
@@ -19,9 +23,38 @@ void CpuEngine::prepare_sources(const SourcePlan& plan,
                                 bool charges_only) {
   const ClusterTree& tree = *plan.tree;
   const OrderedParticles& sources = *plan.particles;
+  // Dual traversal: the pairs reference moments at every ladder degree;
+  // level 0 is the nominal moments, lower levels are exact restrictions.
+  // On a charges-only refresh the grids are unchanged, so level 0 copies
+  // just the charge array instead of the whole moments object.
+  const auto build_ladder = [&](bool refresh) {
+    if (params.traversal != TraversalMode::kDual) {
+      dual_levels_.clear();
+      return;
+    }
+    const std::vector<int> ladder = dual_degree_ladder(params.degree);
+    if (refresh && dual_levels_.size() == ladder.size()) {
+      const auto src = moments_.all_qhat();
+      const auto dst = dual_levels_.front().all_qhat_mutable();
+      std::copy(src.begin(), src.end(), dst.begin());
+      for (std::size_t l = 1; l < ladder.size(); ++l) {
+        dual_levels_[l] =
+            ClusterMoments::restrict_from(tree, moments_, ladder[l]);
+      }
+      return;
+    }
+    dual_levels_.clear();
+    for (const int d : ladder) {
+      dual_levels_.push_back(d == params.degree
+                                 ? moments_
+                                 : ClusterMoments::restrict_from(tree,
+                                                                 moments_, d));
+    }
+  };
   if (!charges_only) {
     moments_ = ClusterMoments::compute(tree, sources, params.degree,
                                        params.moment_algorithm);
+    build_ladder(false);
     // New source geometry orphans whatever LET pieces were attached (their
     // lists referenced the old trees); the caller re-attaches after the
     // exchange.
@@ -35,7 +68,9 @@ void CpuEngine::prepare_sources(const SourcePlan& plan,
 #pragma omp parallel for schedule(dynamic)
   for (std::size_t c = 0; c < nc; ++c) {
     const int ci = static_cast<int>(c);
-    if (params.moment_algorithm == MomentAlgorithm::kDirect) {
+    const MomentAlgorithm algorithm = resolve_moment_algorithm(
+        params.moment_algorithm, tree.node(ci).count(), params.degree);
+    if (algorithm == MomentAlgorithm::kDirect) {
       ClusterMoments::compute_cluster_direct(
           tree, sources, params.degree, ci, moments_.grid(ci, 0),
           moments_.grid(ci, 1), moments_.grid(ci, 2),
@@ -47,6 +82,7 @@ void CpuEngine::prepare_sources(const SourcePlan& plan,
           moments_.qhat_mutable(ci));
     }
   }
+  build_ladder(true);
 }
 
 void CpuEngine::attach_let_pieces(std::span<const LetPiece> pieces,
@@ -70,35 +106,47 @@ std::vector<double> CpuEngine::evaluate_potential(const SourcePlan& sources,
                                                   const KernelSpec& kernel,
                                                   bool /*fresh_targets*/,
                                                   RunStats& stats) {
-  if (targets.lists.size() != 1 + let_.size()) {
+  const bool dual = targets.traversal == TraversalMode::kDual;
+  const std::size_t npieces =
+      dual ? targets.dual_lists.size() : targets.lists.size();
+  if (npieces != 1 + let_.size()) {
     throw std::logic_error(
         "CpuEngine::evaluate_potential: one interaction list per source "
         "piece expected");
   }
   EngineCounters total;
-  const auto eval_piece = [&](const SourcePlan& piece,
-                              const InteractionLists& lists) {
+  const auto eval_piece = [&](const SourcePlan& piece, std::size_t index) {
     const ClusterMoments& moments =
         piece.moments != nullptr ? *piece.moments : moments_;
     EngineCounters counters;
     std::vector<double> phi;
-    if (targets.per_target_mac) {
-      phi = cpu_evaluate_per_target(*targets.particles, lists, *piece.tree,
-                                    *piece.particles, moments, kernel,
-                                    &counters, &workspace_);
+    if (dual) {
+      if (piece.moments != nullptr) {
+        throw std::logic_error(
+            "CpuEngine: dual-traversal evaluation of externally-provided "
+            "moments (LET pieces) is not supported");
+      }
+      phi = cpu_evaluate_dual(*targets.particles, *targets.tree,
+                              targets.grids, targets.dual_lists[index],
+                              *piece.tree, *piece.particles, dual_levels_,
+                              kernel, &counters, &workspace_);
+    } else if (targets.per_target_mac) {
+      phi = cpu_evaluate_per_target(*targets.particles, targets.lists[index],
+                                    *piece.tree, *piece.particles, moments,
+                                    kernel, &counters, &workspace_);
     } else {
-      phi = cpu_evaluate(*targets.particles, *targets.batches, lists,
-                         *piece.tree, *piece.particles, moments, kernel,
-                         &counters, &workspace_);
+      phi = cpu_evaluate(*targets.particles, *targets.batches,
+                         targets.lists[index], *piece.tree, *piece.particles,
+                         moments, kernel, &counters, &workspace_);
     }
     accumulate_counters(total, counters);
     return phi;
   };
   // Local piece first, then the attached LET pieces in piece order: the
   // fixed accumulation order keeps the result deterministic.
-  std::vector<double> phi = eval_piece(sources, targets.lists[0]);
+  std::vector<double> phi = eval_piece(sources, 0);
   for (std::size_t p = 0; p < let_.size(); ++p) {
-    add_into(phi, eval_piece(let_[p].plan, targets.lists[1 + p]));
+    add_into(phi, eval_piece(let_[p].plan, 1 + p));
   }
   fill_stats(total, stats);
   return phi;
@@ -109,34 +157,48 @@ FieldResult CpuEngine::evaluate_field(const SourcePlan& sources,
                                       const KernelSpec& kernel,
                                       bool /*fresh_targets*/,
                                       RunStats& stats) {
-  if (targets.lists.size() != 1 + let_.size()) {
+  const bool dual = targets.traversal == TraversalMode::kDual;
+  const std::size_t npieces =
+      dual ? targets.dual_lists.size() : targets.lists.size();
+  if (npieces != 1 + let_.size()) {
     throw std::logic_error(
         "CpuEngine::evaluate_field: one interaction list per source piece "
         "expected");
   }
   EngineCounters total;
-  const auto eval_piece = [&](const SourcePlan& piece,
-                              const InteractionLists& lists) {
+  const auto eval_piece = [&](const SourcePlan& piece, std::size_t index) {
     const ClusterMoments& moments =
         piece.moments != nullptr ? *piece.moments : moments_;
     EngineCounters counters;
     FieldResult out;
-    if (targets.per_target_mac) {
-      out = cpu_evaluate_field_per_target(*targets.particles, lists,
-                                          *piece.tree, *piece.particles,
-                                          moments, kernel, &counters,
-                                          &workspace_);
+    if (dual) {
+      if (piece.moments != nullptr) {
+        throw std::logic_error(
+            "CpuEngine: dual-traversal evaluation of externally-provided "
+            "moments (LET pieces) is not supported");
+      }
+      out = cpu_evaluate_dual_field(*targets.particles, *targets.tree,
+                                    targets.grids, targets.dual_lists[index],
+                                    *piece.tree, *piece.particles,
+                                    dual_levels_, kernel, &counters,
+                                    &workspace_);
+    } else if (targets.per_target_mac) {
+      out = cpu_evaluate_field_per_target(*targets.particles,
+                                          targets.lists[index], *piece.tree,
+                                          *piece.particles, moments, kernel,
+                                          &counters, &workspace_);
     } else {
-      out = cpu_evaluate_field(*targets.particles, *targets.batches, lists,
-                               *piece.tree, *piece.particles, moments, kernel,
-                               &counters, &workspace_);
+      out = cpu_evaluate_field(*targets.particles, *targets.batches,
+                               targets.lists[index], *piece.tree,
+                               *piece.particles, moments, kernel, &counters,
+                               &workspace_);
     }
     accumulate_counters(total, counters);
     return out;
   };
-  FieldResult out = eval_piece(sources, targets.lists[0]);
+  FieldResult out = eval_piece(sources, 0);
   for (std::size_t p = 0; p < let_.size(); ++p) {
-    const FieldResult piece = eval_piece(let_[p].plan, targets.lists[1 + p]);
+    const FieldResult piece = eval_piece(let_[p].plan, 1 + p);
     add_into(out.phi, piece.phi);
     add_into(out.ex, piece.ex);
     add_into(out.ey, piece.ey);

@@ -53,6 +53,9 @@ class CpuEngine final : public Engine {
 
  private:
   ClusterMoments moments_;
+  /// Dual traversal only: moments at every ladder degree ([0] is the
+  /// nominal degree, lower degrees are exact restrictions of it).
+  std::vector<ClusterMoments> dual_levels_;
   std::vector<LetPiece> let_;  ///< attached remote pieces (caller-owned data)
   CpuWorkspace workspace_;     ///< per-thread scratch, persists across calls
 };

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "core/barycentric.hpp"
+#include "core/chebyshev.hpp"
+
 #ifdef _OPENMP
 #include <omp.h>
 #endif
@@ -18,7 +21,10 @@ void CpuWorkspace::ensure_threads() {
   if (per_thread_.size() < n) per_thread_.resize(n);
   // Expansion caches are only valid within one evaluation: the modified
   // charges behind a cached cluster id may have been rewritten since.
-  for (CpuScratch& s : per_thread_) s.cached_cluster = -1;
+  for (CpuScratch& s : per_thread_) {
+    s.cached_cluster = -1;
+    s.cached_target = -1;
+  }
 }
 
 CpuScratch& CpuWorkspace::scratch() {
@@ -33,10 +39,14 @@ namespace {
 
 /// Expand cluster `ci`'s tensor-product Chebyshev grid into contiguous
 /// point streams. Done once per (list, cluster) visit — hoisted out of the
-/// target loop, and amortized over every target tile of the list.
+/// target loop, and amortized over every target tile of the list. `level`
+/// is the ladder level `moments` belongs to (0 outside the dual traversal);
+/// it is part of the cache key.
 std::size_t expand_cluster_points(const ClusterMoments& moments, int ci,
-                                  CpuScratch& scratch) {
-  if (scratch.cached_cluster == ci) return moments.points_per_cluster();
+                                  CpuScratch& scratch, int level = 0) {
+  if (scratch.cached_cluster == ci && scratch.cached_cluster_level == level) {
+    return moments.points_per_cluster();
+  }
   const auto gx = moments.grid(ci, 0);
   const auto gy = moments.grid(ci, 1);
   const auto gz = moments.grid(ci, 2);
@@ -62,6 +72,7 @@ std::size_t expand_cluster_points(const ClusterMoments& moments, int ci,
     }
   }
   scratch.cached_cluster = ci;
+  scratch.cached_cluster_level = level;
   return ppc;
 }
 
@@ -155,6 +166,408 @@ void run_lists(const OrderedParticles& targets,
   }
 }
 
+/// Expand target node `ti`'s tensor-product Chebyshev grid into contiguous
+/// coordinate streams (the "targets" a CP/CC tile call consumes).
+std::size_t expand_target_grid(const ClusterMoments& grids, int ti,
+                               CpuScratch& scratch, int level) {
+  const std::size_t ppc = grids.points_per_cluster();
+  if (scratch.cached_target == ti && scratch.cached_target_level == level) {
+    return ppc;
+  }
+  const auto gx = grids.grid(ti, 0);
+  const auto gy = grids.grid(ti, 1);
+  const auto gz = grids.grid(ti, 2);
+  const std::size_t m = gx.size();
+  scratch.ensure_target(ppc);
+  double* __restrict tx = scratch.tgx.data();
+  double* __restrict ty = scratch.tgy.data();
+  double* __restrict tz = scratch.tgz.data();
+  std::size_t p = 0;
+  for (std::size_t k1 = 0; k1 < m; ++k1) {
+    for (std::size_t k2 = 0; k2 < m; ++k2) {
+      for (std::size_t k3 = 0; k3 < m; ++k3) {
+        tx[p] = gx[k1];
+        ty[p] = gy[k2];
+        tz[p] = gz[k3];
+        ++p;
+      }
+    }
+  }
+  scratch.cached_target = ti;
+  scratch.cached_target_level = level;
+  return ppc;
+}
+
+}  // namespace
+
+void dual_transfer_apply(const double* __restrict parent,
+                         double* __restrict child,
+                         const double* __restrict b1,
+                         const double* __restrict b2,
+                         const double* __restrict b3, std::size_t m,
+                         double* tmp1, double* tmp2) {
+  const std::size_t mm = m * m;
+  std::fill(tmp1, tmp1 + mm * m, 0.0);
+  for (std::size_t k1 = 0; k1 < m; ++k1) {
+    for (std::size_t m1 = 0; m1 < m; ++m1) {
+      const double c = b1[k1 * m + m1];
+      if (c == 0.0) continue;
+      const double* __restrict src = parent + m1 * mm;
+      double* __restrict dst = tmp1 + k1 * mm;
+#pragma omp simd
+      for (std::size_t i = 0; i < mm; ++i) dst[i] += c * src[i];
+    }
+  }
+  std::fill(tmp2, tmp2 + mm * m, 0.0);
+  for (std::size_t k1 = 0; k1 < m; ++k1) {
+    for (std::size_t k2 = 0; k2 < m; ++k2) {
+      double* __restrict dst = tmp2 + (k1 * m + k2) * m;
+      for (std::size_t m2 = 0; m2 < m; ++m2) {
+        const double c = b2[k2 * m + m2];
+        if (c == 0.0) continue;
+        const double* __restrict src = tmp1 + (k1 * m + m2) * m;
+#pragma omp simd
+        for (std::size_t i = 0; i < m; ++i) dst[i] += c * src[i];
+      }
+    }
+  }
+  for (std::size_t r = 0; r < mm; ++r) {
+    const double* __restrict src = tmp2 + r * m;
+    double* __restrict dst = child + r * m;
+    for (std::size_t k3 = 0; k3 < m; ++k3) {
+      const double* __restrict brow = b3 + k3 * m;
+      double acc = 0.0;
+#pragma omp simd reduction(+ : acc)
+      for (std::size_t j = 0; j < m; ++j) acc += brow[j] * src[j];
+      dst[k3] += acc;
+    }
+  }
+}
+
+namespace {
+
+/// The dual-traversal driver behind cpu_evaluate_dual{,_field}: CC/CP onto
+/// target grids (parallel over disjoint grid groups), downward pass, then
+/// PC/direct per target leaf (parallel over disjoint particle ranges).
+template <bool Field, typename K>
+void run_dual(const OrderedParticles& targets, const ClusterTree& ttree,
+              std::span<const ClusterMoments> tgrids,
+              const DualInteractionLists& lists, const ClusterTree& stree,
+              const OrderedParticles& sources,
+              std::span<const ClusterMoments> mlevels, K k, CpuWorkspace& ws,
+              double* __restrict phi, double* __restrict ex,
+              double* __restrict ey, double* __restrict ez,
+              EngineCounters* counters) {
+  const std::size_t nn = ttree.num_nodes();
+  const std::size_t nlevels = tgrids.size();
+
+  // Per-level grid-potential storage: level l's hat rows live at
+  // hat_off[l] + node * lppc[l].
+  std::vector<std::size_t> lppc(nlevels), hat_off(nlevels);
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < nlevels; ++l) {
+    lppc[l] = tgrids[l].points_per_cluster();
+    hat_off[l] = total;
+    total += nn * lppc[l];
+  }
+
+  ws.ensure_threads();
+  auto& hats = ws.hats();
+  hats.phi.assign(total, 0.0);
+  if constexpr (Field) {
+    hats.ex.assign(total, 0.0);
+    hats.ey.assign(total, 0.0);
+    hats.ez.assign(total, 0.0);
+  }
+  hats.flag.assign(nlevels * nn, 0);  // flag[l * nn + node]
+  for (const DualPair& pair : lists.grid_pairs) {
+    hats.flag[static_cast<std::size_t>(pair.level) * nn +
+              static_cast<std::size_t>(pair.target)] = 1;
+  }
+
+  double approx_evals = 0.0, direct_evals = 0.0;
+  double cp_evals = 0.0, cc_evals = 0.0;
+  std::size_t approx_launches = 0, direct_launches = 0;
+  std::size_t cp_launches = 0, cc_launches = 0;
+
+  // --- Phase 1: CC/CP accumulation onto target grids. Groups own disjoint
+  // grid rows (every level of one node belongs to exactly one group), so
+  // the parallel loop is race-free.
+  const std::size_t ngrid = lists.grid_nodes.size();
+#pragma omp parallel for schedule(guided) \
+    reduction(+ : cp_evals, cc_evals, cp_launches, cc_launches)
+  for (std::size_t g = 0; g < ngrid; ++g) {
+    const int ti = lists.grid_nodes[g];
+    CpuScratch& scratch = ws.scratch();
+
+    for (std::size_t e = lists.grid_offsets[g]; e < lists.grid_offsets[g + 1];
+         ++e) {
+      const DualPair& pair = lists.grid_pairs[e];
+      const std::size_t level = pair.level;
+      const std::size_t p = lppc[level];
+      expand_target_grid(tgrids[level], ti, scratch,
+                         static_cast<int>(level));
+      const double* tx = scratch.tgx.data();
+      const double* ty = scratch.tgy.data();
+      const double* tz = scratch.tgz.data();
+      const std::size_t row = hat_off[level] + static_cast<std::size_t>(ti) * p;
+      double* hp = hats.phi.data() + row;
+      double* hx = Field ? hats.ex.data() + row : nullptr;
+      double* hy = Field ? hats.ey.data() + row : nullptr;
+      double* hz = Field ? hats.ez.data() + row : nullptr;
+
+      if (pair.kind == DualKind::kCC) {
+        const std::size_t npts = expand_cluster_points(
+            mlevels[level], pair.source, scratch, static_cast<int>(level));
+        for (std::size_t t0 = 0; t0 < p; t0 += kTargetTile) {
+          const std::size_t nt = std::min(kTargetTile, p - t0);
+          accumulate_tile<Field, true>(
+              tx + t0, ty + t0, tz + t0, nt, scratch.px.data(),
+              scratch.py.data(), scratch.pz.data(), scratch.pq.data(), npts,
+              k, hp + t0, Field ? hx + t0 : nullptr,
+              Field ? hy + t0 : nullptr, Field ? hz + t0 : nullptr);
+        }
+        cc_evals += static_cast<double>(p) * static_cast<double>(npts);
+        ++cc_launches;
+      } else {  // kCP: source particles evaluated at the target grid
+        const ClusterNode& s = stree.node(pair.source);
+        for (std::size_t t0 = 0; t0 < p; t0 += kTargetTile) {
+          const std::size_t nt = std::min(kTargetTile, p - t0);
+          accumulate_tile<Field, true>(
+              tx + t0, ty + t0, tz + t0, nt, sources.x.data() + s.begin,
+              sources.y.data() + s.begin, sources.z.data() + s.begin,
+              sources.q.data() + s.begin, s.count(), k, hp + t0,
+              Field ? hx + t0 : nullptr, Field ? hy + t0 : nullptr,
+              Field ? hz + t0 : nullptr);
+        }
+        cp_evals += static_cast<double>(p) * static_cast<double>(s.count());
+        ++cp_launches;
+      }
+    }
+  }
+
+  // --- Phase 2 + 3, per ladder level: downward propagation (parents into
+  // children; node indices are parent-before-child by construction, so one
+  // ascending sweep reaches the leaves), then leaf grids interpolate to
+  // their particles (disjoint ranges; race-free in parallel).
+  for (std::size_t level = 0; level < nlevels; ++level) {
+    const ClusterMoments& grids = tgrids[level];
+    const std::size_t p = lppc[level];
+    const int degree = grids.degree();
+    const std::size_t m = static_cast<std::size_t>(degree) + 1;
+    const std::vector<double> w = chebyshev2_weights(degree);
+    unsigned char* flag = hats.flag.data() + level * nn;
+    double* hat_phi = hats.phi.data() + hat_off[level];
+    double* hat_ex = Field ? hats.ex.data() + hat_off[level] : nullptr;
+    double* hat_ey = Field ? hats.ey.data() + hat_off[level] : nullptr;
+    double* hat_ez = Field ? hats.ez.data() + hat_off[level] : nullptr;
+
+    std::vector<double> b1(m * m), b2(m * m), b3(m * m);
+    std::vector<double> tmp1(p), tmp2(p);
+    for (std::size_t ni = 0; ni < nn; ++ni) {
+      if (!flag[ni]) continue;
+      const ClusterNode& node = ttree.node(static_cast<int>(ni));
+      if (node.is_leaf()) continue;
+      const auto pgx = grids.grid(static_cast<int>(ni), 0);
+      const auto pgy = grids.grid(static_cast<int>(ni), 1);
+      const auto pgz = grids.grid(static_cast<int>(ni), 2);
+      for (int c = 0; c < node.num_children; ++c) {
+        const int ci = node.children[static_cast<std::size_t>(c)];
+        const auto cgx = grids.grid(ci, 0);
+        const auto cgy = grids.grid(ci, 1);
+        const auto cgz = grids.grid(ci, 2);
+        for (std::size_t kp = 0; kp < m; ++kp) {
+          barycentric_basis(pgx, w, cgx[kp], {b1.data() + kp * m, m});
+          barycentric_basis(pgy, w, cgy[kp], {b2.data() + kp * m, m});
+          barycentric_basis(pgz, w, cgz[kp], {b3.data() + kp * m, m});
+        }
+        const std::size_t prow = ni * p;
+        const std::size_t crow = static_cast<std::size_t>(ci) * p;
+        dual_transfer_apply(hat_phi + prow, hat_phi + crow, b1.data(), b2.data(),
+                       b3.data(), m, tmp1.data(), tmp2.data());
+        if constexpr (Field) {
+          dual_transfer_apply(hat_ex + prow, hat_ex + crow, b1.data(), b2.data(),
+                         b3.data(), m, tmp1.data(), tmp2.data());
+          dual_transfer_apply(hat_ey + prow, hat_ey + crow, b1.data(), b2.data(),
+                         b3.data(), m, tmp1.data(), tmp2.data());
+          dual_transfer_apply(hat_ez + prow, hat_ez + crow, b1.data(), b2.data(),
+                         b3.data(), m, tmp1.data(), tmp2.data());
+        }
+        flag[static_cast<std::size_t>(ci)] = 1;
+      }
+    }
+
+    std::vector<int> flagged_leaves;
+    for (std::size_t ni = 0; ni < nn; ++ni) {
+      if (flag[ni] && ttree.node(static_cast<int>(ni)).is_leaf() &&
+          ttree.node(static_cast<int>(ni)).count() > 0) {
+        flagged_leaves.push_back(static_cast<int>(ni));
+      }
+    }
+#pragma omp parallel for schedule(dynamic)
+    for (std::size_t fi = 0; fi < flagged_leaves.size(); ++fi) {
+      const int li = flagged_leaves[fi];
+      const ClusterNode& node = ttree.node(li);
+      const auto gx = grids.grid(li, 0);
+      const auto gy = grids.grid(li, 1);
+      const auto gz = grids.grid(li, 2);
+      const std::size_t row = static_cast<std::size_t>(li) * p;
+      const double* hp = hat_phi + row;
+      const double* hx = Field ? hat_ex + row : nullptr;
+      const double* hy = Field ? hat_ey + row : nullptr;
+      const double* hz = Field ? hat_ez + row : nullptr;
+      std::vector<double> l1(m), l2(m), l3(m);
+      for (std::size_t i = node.begin; i < node.end; ++i) {
+        barycentric_basis(gx, w, targets.x[i], l1);
+        barycentric_basis(gy, w, targets.y[i], l2);
+        barycentric_basis(gz, w, targets.z[i], l3);
+        double accp = 0.0, accx = 0.0, accy = 0.0, accz = 0.0;
+        for (std::size_t k1 = 0; k1 < m; ++k1) {
+          if (l1[k1] == 0.0) continue;
+          for (std::size_t k2 = 0; k2 < m; ++k2) {
+            const double a = l1[k1] * l2[k2];
+            if (a == 0.0) continue;
+            const std::size_t off = (k1 * m + k2) * m;
+            for (std::size_t k3 = 0; k3 < m; ++k3) {
+              const double c = a * l3[k3];
+              accp += c * hp[off + k3];
+              if constexpr (Field) {
+                accx += c * hx[off + k3];
+                accy += c * hy[off + k3];
+                accz += c * hz[off + k3];
+              }
+            }
+          }
+        }
+        phi[i] += accp;
+        if constexpr (Field) {
+          ex[i] += accx;
+          ey[i] += accy;
+          ez[i] += accz;
+        }
+      }
+    }
+  }
+
+  // --- Phase 4: PC/direct pairs straight onto target particles, grouped by
+  // target leaf (disjoint ranges; race-free in parallel). In self mode,
+  // direct pairs are symmetric: the target-side writes stay group-local,
+  // the source-side (mirror) writes go to per-thread accumulators reduced
+  // below — the one place the accumulation order depends on scheduling.
+  if (lists.self) {
+    for (std::size_t t = 0; t < ws.num_scratch(); ++t) {
+      ws.scratch_at(t).ensure_mirror(targets.size(), Field);
+    }
+  }
+  const std::size_t nleaf = lists.leaf_nodes.size();
+#pragma omp parallel for schedule(guided) \
+    reduction(+ : approx_evals, direct_evals, approx_launches, direct_launches)
+  for (std::size_t g = 0; g < nleaf; ++g) {
+    const ClusterNode& node = ttree.node(lists.leaf_nodes[g]);
+    const std::size_t begin = node.begin;
+    const std::size_t end = node.end;
+    const double count = static_cast<double>(end - begin);
+    CpuScratch& scratch = ws.scratch();
+    const double* tx = targets.x.data();
+    const double* ty = targets.y.data();
+    const double* tz = targets.z.data();
+    // Self mode: target and source orders are identical, but only the
+    // *source* particles see update_charges — the target plan caches the
+    // coordinates+charges it was planned with. The symmetric paths read
+    // the target-side charges from the live source array.
+    const double* tq = lists.self ? sources.q.data() : targets.q.data();
+
+    for (std::size_t e = lists.leaf_offsets[g]; e < lists.leaf_offsets[g + 1];
+         ++e) {
+      const DualPair& pair = lists.leaf_pairs[e];
+      if (pair.kind == DualKind::kPC) {
+        const std::size_t npts =
+            expand_cluster_points(mlevels[pair.level], pair.source, scratch,
+                                  static_cast<int>(pair.level));
+        for (std::size_t t0 = begin; t0 < end; t0 += kTargetTile) {
+          const std::size_t nt = std::min(kTargetTile, end - t0);
+          accumulate_tile<Field, true>(
+              tx + t0, ty + t0, tz + t0, nt, scratch.px.data(),
+              scratch.py.data(), scratch.pz.data(), scratch.pq.data(), npts,
+              k, phi + t0, Field ? ex + t0 : nullptr,
+              Field ? ey + t0 : nullptr, Field ? ez + t0 : nullptr);
+        }
+        approx_evals += count * static_cast<double>(npts);
+        ++approx_launches;
+      } else if (!lists.self) {  // one-directional direct
+        const ClusterNode& s = stree.node(pair.source);
+        for (std::size_t t0 = begin; t0 < end; t0 += kTargetTile) {
+          const std::size_t nt = std::min(kTargetTile, end - t0);
+          accumulate_tile<Field, true>(
+              tx + t0, ty + t0, tz + t0, nt, sources.x.data() + s.begin,
+              sources.y.data() + s.begin, sources.z.data() + s.begin,
+              sources.q.data() + s.begin, s.count(), k, phi + t0,
+              Field ? ex + t0 : nullptr, Field ? ey + t0 : nullptr,
+              Field ? ez + t0 : nullptr);
+        }
+        direct_evals += count * static_cast<double>(s.count());
+        ++direct_launches;
+      } else if (pair.source == lists.leaf_nodes[g]) {
+        // Diagonal self-pair: triangular sum within the leaf.
+        accumulate_range_self<Field>(
+            tx + begin, ty + begin, tz + begin, tq + begin, end - begin, k,
+            phi + begin, Field ? ex + begin : nullptr,
+            Field ? ey + begin : nullptr, Field ? ez + begin : nullptr);
+        direct_evals += count * (count - 1.0) / 2.0;
+        ++direct_launches;
+      } else {
+        // Symmetric off-diagonal direct: each G feeds both leaves.
+        const ClusterNode& s = stree.node(pair.source);
+        for (std::size_t t0 = begin; t0 < end; t0 += kTargetTile) {
+          const std::size_t nt = std::min(kTargetTile, end - t0);
+          accumulate_tile_mutual<Field>(
+              tx + t0, ty + t0, tz + t0, tq + t0, nt,
+              sources.x.data() + s.begin, sources.y.data() + s.begin,
+              sources.z.data() + s.begin, sources.q.data() + s.begin,
+              s.count(), k, phi + t0, Field ? ex + t0 : nullptr,
+              Field ? ey + t0 : nullptr, Field ? ez + t0 : nullptr,
+              scratch.mphi.data() + s.begin,
+              Field ? scratch.mex.data() + s.begin : nullptr,
+              Field ? scratch.mey.data() + s.begin : nullptr,
+              Field ? scratch.mez.data() + s.begin : nullptr);
+        }
+        direct_evals += count * static_cast<double>(s.count());
+        ++direct_launches;
+      }
+    }
+  }
+
+  // Mirror reduction (self mode): fold every thread's source-side
+  // accumulators into the outputs.
+  if (lists.self) {
+    const std::size_t n = targets.size();
+    const std::size_t nth = ws.num_scratch();
+#pragma omp parallel for schedule(static)
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t t = 0; t < nth; ++t) {
+        CpuScratch& s = ws.scratch_at(t);
+        phi[i] += s.mphi[i];
+        if constexpr (Field) {
+          ex[i] += s.mex[i];
+          ey[i] += s.mey[i];
+          ez[i] += s.mez[i];
+        }
+      }
+    }
+  }
+
+  if (counters != nullptr) {
+    counters->approx_evals = approx_evals;
+    counters->direct_evals = direct_evals;
+    counters->approx_launches = approx_launches;
+    counters->direct_launches = direct_launches;
+    counters->cp_evals = cp_evals;
+    counters->cc_evals = cc_evals;
+    counters->cp_launches = cp_launches;
+    counters->cc_launches = cc_launches;
+  }
+}
+
 }  // namespace
 
 std::vector<double> cpu_evaluate(const OrderedParticles& targets,
@@ -237,6 +650,46 @@ FieldResult cpu_evaluate_field_per_target(const OrderedParticles& targets,
     run_lists<true>(targets, nullptr, lists, tree, sources, moments, k, ws,
                     out.phi.data(), out.ex.data(), out.ey.data(),
                     out.ez.data(), counters);
+  });
+  return out;
+}
+
+std::vector<double> cpu_evaluate_dual(
+    const OrderedParticles& targets, const ClusterTree& target_tree,
+    std::span<const ClusterMoments> target_grids,
+    const DualInteractionLists& lists, const ClusterTree& source_tree,
+    const OrderedParticles& sources,
+    std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
+    EngineCounters* counters, CpuWorkspace* workspace) {
+  std::vector<double> phi(targets.size(), 0.0);
+  CpuWorkspace local;
+  CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
+  with_kernel(kernel, [&](auto k) {
+    run_dual<false>(targets, target_tree, target_grids, lists, source_tree,
+                    sources, moment_levels, k, ws, phi.data(), nullptr,
+                    nullptr, nullptr, counters);
+  });
+  return phi;
+}
+
+FieldResult cpu_evaluate_dual_field(
+    const OrderedParticles& targets, const ClusterTree& target_tree,
+    std::span<const ClusterMoments> target_grids,
+    const DualInteractionLists& lists, const ClusterTree& source_tree,
+    const OrderedParticles& sources,
+    std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
+    EngineCounters* counters, CpuWorkspace* workspace) {
+  FieldResult out;
+  out.phi.assign(targets.size(), 0.0);
+  out.ex.assign(targets.size(), 0.0);
+  out.ey.assign(targets.size(), 0.0);
+  out.ez.assign(targets.size(), 0.0);
+  CpuWorkspace local;
+  CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
+  with_grad_kernel(kernel, [&](auto k) {
+    run_dual<true>(targets, target_tree, target_grids, lists, source_tree,
+                   sources, moment_levels, k, ws, out.phi.data(),
+                   out.ex.data(), out.ey.data(), out.ez.data(), counters);
   });
   return out;
 }

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -60,6 +61,28 @@ inline constexpr std::size_t kTargetTile = 16;
 struct CpuScratch {
   AlignedVector px, py, pz, pq;
   int cached_cluster = -1;
+  int cached_cluster_level = 0;  ///< ladder level of the cached expansion
+
+  /// Dual traversal: one *target* node's Chebyshev grid expanded to
+  /// contiguous point streams (the "targets" of CP/CC tile calls).
+  AlignedVector tgx, tgy, tgz;
+  int cached_target = -1;
+  int cached_target_level = 0;
+
+  /// Self-mode dual traversal: per-thread mirror accumulators for the
+  /// source-side writes of symmetric direct pairs (the mirror leaf belongs
+  /// to another thread's group, so it cannot be written directly). Reduced
+  /// into the output arrays after the leaf phase.
+  AlignedVector mphi, mex, mey, mez;
+
+  void ensure_mirror(std::size_t n, bool field) {
+    mphi.assign(n, 0.0);
+    if (field) {
+      mex.assign(n, 0.0);
+      mey.assign(n, 0.0);
+      mez.assign(n, 0.0);
+    }
+  }
 
   void ensure(std::size_t n) {
     if (px.size() < n) {
@@ -67,6 +90,14 @@ struct CpuScratch {
       py.resize(n);
       pz.resize(n);
       pq.resize(n);
+    }
+  }
+
+  void ensure_target(std::size_t n) {
+    if (tgx.size() < n) {
+      tgx.resize(n);
+      tgy.resize(n);
+      tgz.resize(n);
     }
   }
 };
@@ -84,13 +115,27 @@ class CpuWorkspace {
   /// Calling thread's scratch entry (valid inside the parallel region).
   CpuScratch& scratch();
 
+  /// Scratch-table iteration (mirror-buffer setup and reduction).
+  std::size_t num_scratch() const { return per_thread_.size(); }
+  CpuScratch& scratch_at(std::size_t i) { return per_thread_[i]; }
+
   std::vector<std::size_t>& order() { return order_; }
   std::vector<double>& cost() { return cost_; }
+
+  /// Dual-traversal accumulators: per-target-node grid potentials (and, for
+  /// field runs, grid fields), zeroed at the start of every dual evaluation
+  /// but allocated once. `flag[n]` marks nodes whose grid holds data.
+  struct DualHats {
+    AlignedVector phi, ex, ey, ez;
+    std::vector<unsigned char> flag;
+  };
+  DualHats& hats() { return hats_; }
 
  private:
   std::vector<CpuScratch> per_thread_;
   std::vector<std::size_t> order_;  ///< cost-sorted list execution order
   std::vector<double> cost_;        ///< per-list work estimate
+  DualHats hats_;
 };
 
 /// ISA-specific tile kernels. The primary template reports "none"; opt-in
@@ -98,6 +143,14 @@ class CpuWorkspace {
 /// and are selected only on full tiles with `Fast = true` (treecode paths).
 template <bool Field, typename K>
 struct TileSimd {
+  static constexpr bool kAvailable = false;
+};
+
+/// ISA-specific *mutual* tiles (symmetric self-mode direct interactions):
+/// same contract as TileSimd plus the target charges and the source-side
+/// mirror accumulators.
+template <bool Field, typename K>
+struct TileSimdMutual {
   static constexpr bool kAvailable = false;
 };
 
@@ -230,6 +283,133 @@ struct TileSimd<true, CoulombGradKernel> {
   }
 };
 
+/// Mutual Coulomb potential tile: like TileSimd<false, CoulombKernel>, with
+/// a per-source horizontal reduction feeding the mirror potentials.
+template <>
+struct TileSimdMutual<false, CoulombKernel> {
+  static constexpr bool kAvailable = true;
+
+  static void run(const double* tx, const double* ty, const double* tz,
+                  const double* tq, const double* sx, const double* sy,
+                  const double* sz, const double* sq, std::size_t ns,
+                  CoulombKernel, double* phi, double*, double*, double*,
+                  double* sphi, double*, double*, double*) {
+    const __m512d zero = _mm512_setzero_pd();
+    const __m512d tx0 = _mm512_loadu_pd(tx), tx1 = _mm512_loadu_pd(tx + 8);
+    const __m512d ty0 = _mm512_loadu_pd(ty), ty1 = _mm512_loadu_pd(ty + 8);
+    const __m512d tz0 = _mm512_loadu_pd(tz), tz1 = _mm512_loadu_pd(tz + 8);
+    const __m512d tq0 = _mm512_loadu_pd(tq), tq1 = _mm512_loadu_pd(tq + 8);
+    __m512d acc0 = zero, acc1 = zero;
+    for (std::size_t j = 0; j < ns; ++j) {
+      const __m512d xj = _mm512_set1_pd(sx[j]);
+      const __m512d yj = _mm512_set1_pd(sy[j]);
+      const __m512d zj = _mm512_set1_pd(sz[j]);
+      const __m512d qj = _mm512_set1_pd(sq[j]);
+
+      __m512d dx = _mm512_sub_pd(tx0, xj);
+      __m512d dy = _mm512_sub_pd(ty0, yj);
+      __m512d dz = _mm512_sub_pd(tz0, zj);
+      __m512d r2 = _mm512_fmadd_pd(
+          dx, dx, _mm512_fmadd_pd(dy, dy, _mm512_mul_pd(dz, dz)));
+      const __m512d inv0 = detail::masked_rsqrt_nr2(
+          r2, _mm512_cmp_pd_mask(r2, zero, _CMP_GT_OQ));
+      acc0 = _mm512_fmadd_pd(inv0, qj, acc0);
+
+      dx = _mm512_sub_pd(tx1, xj);
+      dy = _mm512_sub_pd(ty1, yj);
+      dz = _mm512_sub_pd(tz1, zj);
+      r2 = _mm512_fmadd_pd(
+          dx, dx, _mm512_fmadd_pd(dy, dy, _mm512_mul_pd(dz, dz)));
+      const __m512d inv1 = detail::masked_rsqrt_nr2(
+          r2, _mm512_cmp_pd_mask(r2, zero, _CMP_GT_OQ));
+      acc1 = _mm512_fmadd_pd(inv1, qj, acc1);
+
+      sphi[j] += _mm512_reduce_add_pd(_mm512_fmadd_pd(
+          inv0, tq0, _mm512_mul_pd(inv1, tq1)));
+    }
+    _mm512_storeu_pd(phi, _mm512_add_pd(_mm512_loadu_pd(phi), acc0));
+    _mm512_storeu_pd(phi + 8, _mm512_add_pd(_mm512_loadu_pd(phi + 8), acc1));
+  }
+};
+
+/// Mutual Coulomb potential+field tile.
+template <>
+struct TileSimdMutual<true, CoulombGradKernel> {
+  static constexpr bool kAvailable = true;
+
+  static void run(const double* tx, const double* ty, const double* tz,
+                  const double* tq, const double* sx, const double* sy,
+                  const double* sz, const double* sq, std::size_t ns,
+                  CoulombGradKernel, double* phi, double* ex, double* ey,
+                  double* ez, double* sphi, double* sex, double* sey,
+                  double* sez) {
+    const __m512d zero = _mm512_setzero_pd();
+    const __m512d tx0 = _mm512_loadu_pd(tx), tx1 = _mm512_loadu_pd(tx + 8);
+    const __m512d ty0 = _mm512_loadu_pd(ty), ty1 = _mm512_loadu_pd(ty + 8);
+    const __m512d tz0 = _mm512_loadu_pd(tz), tz1 = _mm512_loadu_pd(tz + 8);
+    const __m512d tq0 = _mm512_loadu_pd(tq), tq1 = _mm512_loadu_pd(tq + 8);
+    __m512d p0 = zero, p1 = zero;
+    __m512d x0 = zero, x1 = zero;
+    __m512d y0 = zero, y1 = zero;
+    __m512d z0 = zero, z1 = zero;
+    for (std::size_t j = 0; j < ns; ++j) {
+      const __m512d xj = _mm512_set1_pd(sx[j]);
+      const __m512d yj = _mm512_set1_pd(sy[j]);
+      const __m512d zj = _mm512_set1_pd(sz[j]);
+      const __m512d qj = _mm512_set1_pd(sq[j]);
+
+      __m512d dx0 = _mm512_sub_pd(tx0, xj);
+      __m512d dy0 = _mm512_sub_pd(ty0, yj);
+      __m512d dz0 = _mm512_sub_pd(tz0, zj);
+      __m512d r2 = _mm512_fmadd_pd(
+          dx0, dx0, _mm512_fmadd_pd(dy0, dy0, _mm512_mul_pd(dz0, dz0)));
+      const __m512d inv0 = detail::masked_rsqrt_nr2(
+          r2, _mm512_cmp_pd_mask(r2, zero, _CMP_GT_OQ));
+      // w = 1/r^3 (positive); target side subtracts slope*d*q with
+      // slope = -w, i.e. adds w*d*q; source side adds slope*d*q = -w*d*q.
+      const __m512d w0 = _mm512_mul_pd(inv0, _mm512_mul_pd(inv0, inv0));
+      const __m512d wq0 = _mm512_mul_pd(w0, qj);
+      p0 = _mm512_fmadd_pd(inv0, qj, p0);
+      x0 = _mm512_fmadd_pd(wq0, dx0, x0);
+      y0 = _mm512_fmadd_pd(wq0, dy0, y0);
+      z0 = _mm512_fmadd_pd(wq0, dz0, z0);
+
+      __m512d dx1 = _mm512_sub_pd(tx1, xj);
+      __m512d dy1 = _mm512_sub_pd(ty1, yj);
+      __m512d dz1 = _mm512_sub_pd(tz1, zj);
+      r2 = _mm512_fmadd_pd(
+          dx1, dx1, _mm512_fmadd_pd(dy1, dy1, _mm512_mul_pd(dz1, dz1)));
+      const __m512d inv1 = detail::masked_rsqrt_nr2(
+          r2, _mm512_cmp_pd_mask(r2, zero, _CMP_GT_OQ));
+      const __m512d w1 = _mm512_mul_pd(inv1, _mm512_mul_pd(inv1, inv1));
+      const __m512d wq1 = _mm512_mul_pd(w1, qj);
+      p1 = _mm512_fmadd_pd(inv1, qj, p1);
+      x1 = _mm512_fmadd_pd(wq1, dx1, x1);
+      y1 = _mm512_fmadd_pd(wq1, dy1, y1);
+      z1 = _mm512_fmadd_pd(wq1, dz1, z1);
+
+      const __m512d wt0 = _mm512_mul_pd(w0, tq0);
+      const __m512d wt1 = _mm512_mul_pd(w1, tq1);
+      sphi[j] += _mm512_reduce_add_pd(_mm512_fmadd_pd(
+          inv0, tq0, _mm512_mul_pd(inv1, tq1)));
+      sex[j] -= _mm512_reduce_add_pd(_mm512_fmadd_pd(
+          wt0, dx0, _mm512_mul_pd(wt1, dx1)));
+      sey[j] -= _mm512_reduce_add_pd(_mm512_fmadd_pd(
+          wt0, dy0, _mm512_mul_pd(wt1, dy1)));
+      sez[j] -= _mm512_reduce_add_pd(_mm512_fmadd_pd(
+          wt0, dz0, _mm512_mul_pd(wt1, dz1)));
+    }
+    _mm512_storeu_pd(phi, _mm512_add_pd(_mm512_loadu_pd(phi), p0));
+    _mm512_storeu_pd(phi + 8, _mm512_add_pd(_mm512_loadu_pd(phi + 8), p1));
+    _mm512_storeu_pd(ex, _mm512_add_pd(_mm512_loadu_pd(ex), x0));
+    _mm512_storeu_pd(ex + 8, _mm512_add_pd(_mm512_loadu_pd(ex + 8), x1));
+    _mm512_storeu_pd(ey, _mm512_add_pd(_mm512_loadu_pd(ey), y0));
+    _mm512_storeu_pd(ey + 8, _mm512_add_pd(_mm512_loadu_pd(ey + 8), y1));
+    _mm512_storeu_pd(ez, _mm512_add_pd(_mm512_loadu_pd(ez), z0));
+    _mm512_storeu_pd(ez + 8, _mm512_add_pd(_mm512_loadu_pd(ez + 8), z1));
+  }
+};
+
 #endif  // __AVX512F__
 
 /// One target against a source stream, vectorized across sources with a
@@ -326,6 +506,141 @@ inline void accumulate_tile(const double* __restrict tx,
   }
 }
 
+/// Mutual (symmetric) tile for self-interaction dual traversals: a tile of
+/// nt targets against ns sources where targets and sources are disjoint
+/// ranges of the *same* particle set. Every kernel value is computed once
+/// and accumulated into both sides (Newton's third law), halving the
+/// near-field kernel evaluations. Source-side results go to the mirror
+/// accumulators `sphi`/`sex`/`sey`/`sez` (indexed by source position).
+template <bool Field, typename K>
+inline void accumulate_tile_mutual(
+    const double* __restrict tx, const double* __restrict ty,
+    const double* __restrict tz, const double* __restrict tq, std::size_t nt,
+    const double* __restrict sx, const double* __restrict sy,
+    const double* __restrict sz, const double* __restrict sq, std::size_t ns,
+    K k, double* __restrict phi, double* __restrict ex,
+    double* __restrict ey, double* __restrict ez, double* __restrict sphi,
+    double* __restrict sex, double* __restrict sey, double* __restrict sez) {
+  if constexpr (TileSimdMutual<Field, K>::kAvailable) {
+    if (nt == kTargetTile) {
+      TileSimdMutual<Field, K>::run(tx, ty, tz, tq, sx, sy, sz, sq, ns, k,
+                                    phi, ex, ey, ez, sphi, sex, sey, sez);
+      return;
+    }
+  }
+  double accp[kTargetTile] = {};
+  double accx[kTargetTile] = {};
+  double accy[kTargetTile] = {};
+  double accz[kTargetTile] = {};
+  for (std::size_t j = 0; j < ns; ++j) {
+    const double xj = sx[j], yj = sy[j], zj = sz[j], qj = sq[j];
+    double sp = 0.0, sxx = 0.0, syy = 0.0, szz = 0.0;
+#pragma omp simd reduction(+ : sp, sxx, syy, szz)
+    for (std::size_t t = 0; t < nt; ++t) {
+      const double dx = tx[t] - xj;
+      const double dy = ty[t] - yj;
+      const double dz = tz[t] - zj;
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if constexpr (Field) {
+        const GradValue v = grad_value_masked(k, r2);
+        accp[t] += v.g * qj;
+        accx[t] -= v.slope * dx * qj;
+        accy[t] -= v.slope * dy * qj;
+        accz[t] -= v.slope * dz * qj;
+        sp += v.g * tq[t];
+        // E at the source from the target: the separation flips sign.
+        sxx += v.slope * dx * tq[t];
+        syy += v.slope * dy * tq[t];
+        szz += v.slope * dz * tq[t];
+      } else {
+        const double g = kernel_value_masked(k, r2);
+        accp[t] += g * qj;
+        sp += g * tq[t];
+      }
+    }
+    sphi[j] += sp;
+    if constexpr (Field) {
+      sex[j] += sxx;
+      sey[j] += syy;
+      sez[j] += szz;
+    }
+  }
+  for (std::size_t t = 0; t < nt; ++t) phi[t] += accp[t];
+  if constexpr (Field) {
+    for (std::size_t t = 0; t < nt; ++t) ex[t] += accx[t];
+    for (std::size_t t = 0; t < nt; ++t) ey[t] += accy[t];
+    for (std::size_t t = 0; t < nt; ++t) ez[t] += accz[t];
+  }
+}
+
+/// Triangular self-interaction of one leaf range (the diagonal pair of a
+/// self-mode dual traversal): each unordered particle pair is evaluated
+/// once and accumulated into both particles; for kernels regular at the
+/// origin the G(0) self-term is added once per particle, matching the
+/// direct-sum convention.
+template <bool Field, typename K>
+inline void accumulate_range_self(const double* __restrict x,
+                                  const double* __restrict y,
+                                  const double* __restrict z,
+                                  const double* __restrict q, std::size_t n,
+                                  K k, double* __restrict phi,
+                                  double* __restrict ex,
+                                  double* __restrict ey,
+                                  double* __restrict ez) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = x[i], yi = y[i], zi = z[i], qi = q[i];
+    double accp = 0.0, accx = 0.0, accy = 0.0, accz = 0.0;
+#pragma omp simd reduction(+ : accp, accx, accy, accz)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = xi - x[j];
+      const double dy = yi - y[j];
+      const double dz = zi - z[j];
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if constexpr (Field) {
+        const GradValue v = grad_value_masked(k, r2);
+        accp += v.g * q[j];
+        accx -= v.slope * dx * q[j];
+        accy -= v.slope * dy * q[j];
+        accz -= v.slope * dz * q[j];
+        phi[j] += v.g * qi;
+        ex[j] += v.slope * dx * qi;
+        ey[j] += v.slope * dy * qi;
+        ez[j] += v.slope * dz * qi;
+      } else {
+        const double g = kernel_value_masked(k, r2);
+        accp += g * q[j];
+        phi[j] += g * qi;
+      }
+    }
+    phi[i] += accp;
+    if constexpr (Field) {
+      ex[i] += accx;
+      ey[i] += accy;
+      ez[i] += accz;
+    }
+  }
+  if constexpr (!K::kSingular) {
+    double g0;
+    if constexpr (Field) {
+      g0 = k.grad(0.0).g;
+    } else {
+      g0 = k(0.0);
+    }
+    for (std::size_t i = 0; i < n; ++i) phi[i] += g0 * q[i];
+    // grad at zero separation contributes no field (the offset is zero).
+  }
+}
+
+/// child += (B1 (x) B2 (x) B3) parent — the 3-mode tensor transfer of the
+/// dual downward pass (one component of a parent-to-child grid transfer),
+/// applied mode-by-mode (3 m^4 instead of m^6 work). Bd is row-major m x m
+/// with Bd[k*m + j] = L_j^{parent,d}(child grid point k); tmp1/tmp2 are
+/// caller scratch of m^3 doubles each. Shared by both engines.
+void dual_transfer_apply(const double* parent, double* child,
+                         const double* b1, const double* b2,
+                         const double* b3, std::size_t m, double* tmp1,
+                         double* tmp2);
+
 // ---- List-driven evaluators (implemented in cpu_kernels.cpp) -------------
 
 /// Evaluate potentials (tree order) for batched targets.
@@ -370,5 +685,31 @@ FieldResult cpu_evaluate_field_per_target(const OrderedParticles& targets,
                                           const KernelSpec& kernel,
                                           EngineCounters* counters = nullptr,
                                           CpuWorkspace* workspace = nullptr);
+
+/// Dual-traversal potential evaluation (tree order): executes CC/CP pairs
+/// onto target-node grids (parallel over grid groups), runs the downward
+/// pass (parent grids propagate to child grids, leaves interpolate to
+/// particles), and executes PC/direct pairs per target leaf — all four
+/// kinds through the same blocked tile core. `target_grids` and
+/// `moment_levels` hold one entry per ladder degree (DualPair::level).
+std::vector<double> cpu_evaluate_dual(
+    const OrderedParticles& targets, const ClusterTree& target_tree,
+    std::span<const ClusterMoments> target_grids,
+    const DualInteractionLists& lists, const ClusterTree& source_tree,
+    const OrderedParticles& sources,
+    std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
+    EngineCounters* counters = nullptr, CpuWorkspace* workspace = nullptr);
+
+/// Dual-traversal potential + field evaluation: CP/CC accumulate the field
+/// at the target grid points and the downward pass interpolates each
+/// component (the interpolant of the field converges at the same rate as
+/// the field of the interpolant).
+FieldResult cpu_evaluate_dual_field(
+    const OrderedParticles& targets, const ClusterTree& target_tree,
+    std::span<const ClusterMoments> target_grids,
+    const DualInteractionLists& lists, const ClusterTree& source_tree,
+    const OrderedParticles& sources,
+    std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
+    EngineCounters* counters = nullptr, CpuWorkspace* workspace = nullptr);
 
 }  // namespace bltc

@@ -37,6 +37,10 @@ void accumulate_counters(EngineCounters& total, const EngineCounters& piece) {
   total.direct_evals += piece.direct_evals;
   total.approx_launches += piece.approx_launches;
   total.direct_launches += piece.direct_launches;
+  total.cp_evals += piece.cp_evals;
+  total.cc_evals += piece.cc_evals;
+  total.cp_launches += piece.cp_launches;
+  total.cc_launches += piece.cc_launches;
 }
 
 void add_into(std::vector<double>& acc,

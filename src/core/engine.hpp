@@ -35,9 +35,20 @@ namespace bltc {
 /// per target-Chebyshev-point pair because Eq. 11 has direct-sum form).
 struct EngineCounters {
   double direct_evals = 0.0;
-  double approx_evals = 0.0;
+  double approx_evals = 0.0;  ///< particle-cluster (Eq. 11) evaluations
   std::size_t direct_launches = 0;
   std::size_t approx_launches = 0;
+  /// Dual-traversal interaction classes (zero under the batched traversal):
+  /// CP evaluates source particles at target grid points, CC evaluates
+  /// source proxy charges at target grid points.
+  double cp_evals = 0.0;
+  double cc_evals = 0.0;
+  std::size_t cp_launches = 0;
+  std::size_t cc_launches = 0;
+
+  double total_evals() const {
+    return direct_evals + approx_evals + cp_evals + cc_evals;
+  }
 };
 
 /// Accumulate one piece's counters into a running total (multi-piece LET

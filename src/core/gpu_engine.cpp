@@ -7,6 +7,7 @@
 
 #include "core/barycentric.hpp"
 #include "core/chebyshev.hpp"
+#include "core/cpu_kernels.hpp"  // dual_transfer_apply (downward pass)
 #include "gpusim/buffer.hpp"
 #include "gpusim/perf_model.hpp"
 
@@ -225,7 +226,381 @@ void direct_kernel_body(const OrderedParticles& targets,
   }
 }
 
+/// Accumulate one source stream (particles or proxy points) onto a target
+/// node's grid potentials — the body shared by the CC and CP launch classes.
+template <typename Real, typename Kernel>
+void grid_accumulate_body(std::span<const double> tx, std::span<const double> ty,
+                          std::span<const double> tz, const double* sx,
+                          const double* sy, const double* sz, const double* sq,
+                          std::size_t ns, Kernel k, double* hat) {
+  const std::size_t m = tx.size();
+  std::size_t p = 0;
+  for (std::size_t k1 = 0; k1 < m; ++k1) {
+    for (std::size_t k2 = 0; k2 < m; ++k2) {
+      for (std::size_t k3 = 0; k3 < m; ++k3, ++p) {
+        const double x = tx[k1], y = ty[k2], z = tz[k3];
+        Real acc = Real(0);
+        for (std::size_t j = 0; j < ns; ++j) {
+          const double dx = x - sx[j];
+          const double dy = y - sy[j];
+          const double dz = z - sz[j];
+          const double r2 = dx * dx + dy * dy + dz * dz;
+          if constexpr (Kernel::kSingular) {
+            if (r2 == 0.0) continue;
+          }
+          acc += static_cast<Real>(k(r2)) * static_cast<Real>(sq[j]);
+        }
+        hat[p] += static_cast<double>(acc);
+      }
+    }
+  }
+}
+
+/// Symmetric direct bodies for self-mode dual traversals (targets ==
+/// sources): one G per unordered point pair, accumulated into both sides.
+template <typename Real, typename Kernel>
+void direct_mutual_body(const OrderedParticles& pts, const ClusterNode& a,
+                        const ClusterNode& b, Kernel k,
+                        std::span<double> phi) {
+  for (std::size_t i = a.begin; i < a.end; ++i) {
+    Real acc = Real(0);
+    for (std::size_t j = b.begin; j < b.end; ++j) {
+      const double dx = pts.x[i] - pts.x[j];
+      const double dy = pts.y[i] - pts.y[j];
+      const double dz = pts.z[i] - pts.z[j];
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if constexpr (Kernel::kSingular) {
+        if (r2 == 0.0) continue;
+      }
+      const Real g = static_cast<Real>(k(r2));
+      acc += g * static_cast<Real>(pts.q[j]);
+      phi[j] += static_cast<double>(g * static_cast<Real>(pts.q[i]));
+    }
+    phi[i] += static_cast<double>(acc);
+  }
+}
+
+template <typename Real, typename Kernel>
+void direct_self_body(const OrderedParticles& pts, const ClusterNode& a,
+                      Kernel k, std::span<double> phi) {
+  for (std::size_t i = a.begin; i < a.end; ++i) {
+    Real acc = Real(0);
+    for (std::size_t j = i + 1; j < a.end; ++j) {
+      const double dx = pts.x[i] - pts.x[j];
+      const double dy = pts.y[i] - pts.y[j];
+      const double dz = pts.z[i] - pts.z[j];
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if constexpr (Kernel::kSingular) {
+        if (r2 == 0.0) continue;
+      }
+      const Real g = static_cast<Real>(k(r2));
+      acc += g * static_cast<Real>(pts.q[j]);
+      phi[j] += static_cast<double>(g * static_cast<Real>(pts.q[i]));
+    }
+    phi[i] += static_cast<double>(acc);
+  }
+  if constexpr (!Kernel::kSingular) {
+    const double g0 = k(0.0);
+    for (std::size_t i = a.begin; i < a.end; ++i) phi[i] += g0 * pts.q[i];
+  }
+}
+
+/// Interpolate a grid's accumulated potentials: parent grid -> child grid
+/// points (downward transfer) or leaf grid -> particles. `hat` is the
+/// source grid's (n+1)^3 potentials on the grids of `node_grids[ni]`.
+void interpolate_hat(std::span<const double> gx, std::span<const double> gy,
+                     std::span<const double> gz, std::span<const double> w,
+                     const double* hat, double x, double y, double z,
+                     std::vector<double>& l1, std::vector<double>& l2,
+                     std::vector<double>& l3, double& out) {
+  const std::size_t m = gx.size();
+  barycentric_basis(gx, w, x, l1);
+  barycentric_basis(gy, w, y, l2);
+  barycentric_basis(gz, w, z, l3);
+  double acc = 0.0;
+  for (std::size_t k1 = 0; k1 < m; ++k1) {
+    if (l1[k1] == 0.0) continue;
+    for (std::size_t k2 = 0; k2 < m; ++k2) {
+      const double a = l1[k1] * l2[k2];
+      if (a == 0.0) continue;
+      const double* row = hat + (k1 * m + k2) * m;
+      for (std::size_t k3 = 0; k3 < m; ++k3) acc += a * l3[k3] * row[k3];
+    }
+  }
+  out += acc;
+}
+
 }  // namespace
+
+std::vector<double> gpu_evaluate_dual_device_resident(
+    gpusim::Device& device, const OrderedParticles& targets,
+    const ClusterTree& target_tree,
+    std::span<const ClusterMoments> target_grids,
+    const DualInteractionLists& lists, const ClusterTree& source_tree,
+    const OrderedParticles& sources,
+    std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
+    EngineCounters* counters, bool mixed_precision) {
+  const std::size_t nn = target_tree.num_nodes();
+  const std::size_t nlevels = target_grids.size();
+  const double weight = kernel_eval_weight(kernel, /*on_gpu=*/true) *
+                        (mixed_precision ? 0.5 : 1.0);
+
+  // Per-level grid-potential scratch (resident in a real implementation;
+  // the engine's tgt_hat_ buffer stands in for it between calls).
+  std::vector<std::size_t> lppc(nlevels), hat_off(nlevels);
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < nlevels; ++l) {
+    lppc[l] = target_grids[l].points_per_cluster();
+    hat_off[l] = total;
+    total += nn * lppc[l];
+  }
+  std::vector<double> hat(total, 0.0);
+  std::vector<unsigned char> flag(nlevels * nn, 0);
+  std::vector<double> phi_store(targets.size(), 0.0);
+  const std::span<double> phi = phi_store;
+  EngineCounters local;
+
+  with_kernel(kernel, [&](auto k) {
+    // --- CC / CP kernels: one launch per pair, one target grid point per
+    // block, threads over the source stream with a block reduction.
+    for (std::size_t g = 0; g < lists.grid_nodes.size(); ++g) {
+      const int ti = lists.grid_nodes[g];
+      for (std::size_t e = lists.grid_offsets[g];
+           e < lists.grid_offsets[g + 1]; ++e) {
+        const DualPair& pair = lists.grid_pairs[e];
+        const std::size_t level = pair.level;
+        const ClusterMoments& tg = target_grids[level];
+        const ClusterMoments& sm = moment_levels[level];
+        const std::size_t ppc = lppc[level];
+        const std::size_t m = static_cast<std::size_t>(tg.degree()) + 1;
+        flag[level * nn + static_cast<std::size_t>(ti)] = 1;
+        const auto tx = tg.grid(ti, 0);
+        const auto ty = tg.grid(ti, 1);
+        const auto tz = tg.grid(ti, 2);
+        double* hrow =
+            hat.data() + hat_off[level] + static_cast<std::size_t>(ti) * ppc;
+        if (pair.kind == DualKind::kCC) {
+          const auto sgx = sm.grid(pair.source, 0);
+          const auto sgy = sm.grid(pair.source, 1);
+          const auto sgz = sm.grid(pair.source, 2);
+          const auto qhat = sm.qhat(pair.source);
+          // Expand the source proxy grid once per launch (device scratch).
+          std::vector<double> sx(ppc), sy(ppc), sz(ppc);
+          std::size_t p = 0;
+          for (std::size_t s1 = 0; s1 < m; ++s1) {
+            for (std::size_t s2 = 0; s2 < m; ++s2) {
+              for (std::size_t s3 = 0; s3 < m; ++s3, ++p) {
+                sx[p] = sgx[s1];
+                sy[p] = sgy[s2];
+                sz[p] = sgz[s3];
+              }
+            }
+          }
+          gpusim::KernelCost cost;
+          cost.evals = weight * static_cast<double>(ppc) *
+                       static_cast<double>(ppc);
+          cost.blocks = ppc;
+          device.launch(device.next_stream(), cost, [&, tx, ty, tz, hrow] {
+            if (mixed_precision) {
+              grid_accumulate_body<float>(tx, ty, tz, sx.data(), sy.data(),
+                                          sz.data(), qhat.data(), ppc, k,
+                                          hrow);
+            } else {
+              grid_accumulate_body<double>(tx, ty, tz, sx.data(), sy.data(),
+                                           sz.data(), qhat.data(), ppc, k,
+                                           hrow);
+            }
+          });
+          local.cc_evals +=
+              static_cast<double>(ppc) * static_cast<double>(ppc);
+          ++local.cc_launches;
+        } else {  // kCP
+          const ClusterNode& s = source_tree.node(pair.source);
+          gpusim::KernelCost cost;
+          cost.evals = weight * static_cast<double>(ppc) *
+                       static_cast<double>(s.count());
+          cost.blocks = ppc;
+          device.launch(device.next_stream(), cost, [&, tx, ty, tz, hrow, s] {
+            if (mixed_precision) {
+              grid_accumulate_body<float>(
+                  tx, ty, tz, sources.x.data() + s.begin,
+                  sources.y.data() + s.begin, sources.z.data() + s.begin,
+                  sources.q.data() + s.begin, s.count(), k, hrow);
+            } else {
+              grid_accumulate_body<double>(
+                  tx, ty, tz, sources.x.data() + s.begin,
+                  sources.y.data() + s.begin, sources.z.data() + s.begin,
+                  sources.q.data() + s.begin, s.count(), k, hrow);
+            }
+          });
+          local.cp_evals +=
+              static_cast<double>(ppc) * static_cast<double>(s.count());
+          ++local.cp_launches;
+        }
+      }
+    }
+
+    // --- Downward pass kernel chain, per ladder level. Transfers run
+    // parent-before-child (node index order); interpolation is kernel-
+    // independent double-precision work, so its modeled cost carries no
+    // kernel weight.
+    for (std::size_t level = 0; level < nlevels; ++level) {
+      const ClusterMoments& tg = target_grids[level];
+      const std::size_t ppc = lppc[level];
+      const std::size_t m = static_cast<std::size_t>(tg.degree()) + 1;
+      const std::vector<double> w = chebyshev2_weights(tg.degree());
+      std::vector<double> l1(m), l2(m), l3(m);
+      std::vector<double> b1(m * m), b2(m * m), b3(m * m);
+      std::vector<double> tmp1(ppc), tmp2(ppc);
+      unsigned char* lflag = flag.data() + level * nn;
+      double* lhat = hat.data() + hat_off[level];
+      for (std::size_t ni = 0; ni < nn; ++ni) {
+        if (!lflag[ni]) continue;
+        const ClusterNode& node = target_tree.node(static_cast<int>(ni));
+        if (node.is_leaf()) continue;
+        const auto pgx = tg.grid(static_cast<int>(ni), 0);
+        const auto pgy = tg.grid(static_cast<int>(ni), 1);
+        const auto pgz = tg.grid(static_cast<int>(ni), 2);
+        const double* prow = lhat + ni * ppc;
+        gpusim::KernelCost cost;
+        cost.evals = static_cast<double>(node.num_children) *
+                     static_cast<double>(ppc);
+        cost.blocks = static_cast<std::size_t>(node.num_children);
+        device.launch(device.next_stream(), cost, [&] {
+          for (int c = 0; c < node.num_children; ++c) {
+            const int ci = node.children[static_cast<std::size_t>(c)];
+            const auto cgx = tg.grid(ci, 0);
+            const auto cgy = tg.grid(ci, 1);
+            const auto cgz = tg.grid(ci, 2);
+            for (std::size_t kp = 0; kp < m; ++kp) {
+              barycentric_basis(pgx, w, cgx[kp], {b1.data() + kp * m, m});
+              barycentric_basis(pgy, w, cgy[kp], {b2.data() + kp * m, m});
+              barycentric_basis(pgz, w, cgz[kp], {b3.data() + kp * m, m});
+            }
+            dual_transfer_apply(prow, lhat + static_cast<std::size_t>(ci) * ppc,
+                                b1.data(), b2.data(), b3.data(), m,
+                                tmp1.data(), tmp2.data());
+            lflag[static_cast<std::size_t>(ci)] = 1;
+          }
+        });
+      }
+      for (std::size_t ni = 0; ni < nn; ++ni) {
+        if (!lflag[ni]) continue;
+        const ClusterNode& node = target_tree.node(static_cast<int>(ni));
+        if (!node.is_leaf() || node.count() == 0) continue;
+        const auto gx = tg.grid(static_cast<int>(ni), 0);
+        const auto gy = tg.grid(static_cast<int>(ni), 1);
+        const auto gz = tg.grid(static_cast<int>(ni), 2);
+        const double* hrow = lhat + ni * ppc;
+        gpusim::KernelCost cost;
+        cost.evals = static_cast<double>(node.count()) *
+                     static_cast<double>(ppc);
+        cost.blocks = node.count();
+        device.launch(device.next_stream(), cost, [&] {
+          for (std::size_t i = node.begin; i < node.end; ++i) {
+            interpolate_hat(gx, gy, gz, w, hrow, targets.x[i], targets.y[i],
+                            targets.z[i], l1, l2, l3, phi[i]);
+          }
+        });
+      }
+    }
+
+    // --- PC / direct kernels, target leaves as batches: the existing
+    // batch-cluster bodies (Eqs. 9 and 11) apply unchanged.
+    for (std::size_t g = 0; g < lists.leaf_nodes.size(); ++g) {
+      const ClusterNode& leaf = target_tree.node(lists.leaf_nodes[g]);
+      TargetBatch batch;
+      batch.begin = leaf.begin;
+      batch.end = leaf.end;
+      for (std::size_t e = lists.leaf_offsets[g];
+           e < lists.leaf_offsets[g + 1]; ++e) {
+        const DualPair& pair = lists.leaf_pairs[e];
+        if (pair.kind == DualKind::kPC) {
+          const ClusterMoments& sm = moment_levels[pair.level];
+          const std::size_t ppc = sm.points_per_cluster();
+          const auto gx = sm.grid(pair.source, 0);
+          const auto gy = sm.grid(pair.source, 1);
+          const auto gz = sm.grid(pair.source, 2);
+          const auto qhat = sm.qhat(pair.source);
+          gpusim::KernelCost cost;
+          cost.evals = weight * static_cast<double>(batch.count()) *
+                       static_cast<double>(ppc);
+          cost.blocks = batch.count();
+          device.launch(device.next_stream(), cost, [&, gx, gy, gz, qhat,
+                                                     batch] {
+            if (mixed_precision) {
+              approx_kernel_body<float>(targets, batch, gx, gy, gz, qhat, k,
+                                        phi);
+            } else {
+              approx_kernel_body<double>(targets, batch, gx, gy, gz, qhat, k,
+                                         phi);
+            }
+          });
+          local.approx_evals += static_cast<double>(batch.count()) *
+                                static_cast<double>(ppc);
+          ++local.approx_launches;
+        } else if (!lists.self) {  // one-directional direct
+          const ClusterNode& s = source_tree.node(pair.source);
+          gpusim::KernelCost cost;
+          cost.evals = weight * static_cast<double>(batch.count()) *
+                       static_cast<double>(s.count());
+          cost.blocks = batch.count();
+          device.launch(device.next_stream(), cost, [&, s, batch] {
+            if (mixed_precision) {
+              direct_kernel_body<float>(targets, batch, sources, s, k, phi);
+            } else {
+              direct_kernel_body<double>(targets, batch, sources, s, k, phi);
+            }
+          });
+          local.direct_evals += static_cast<double>(batch.count()) *
+                                static_cast<double>(s.count());
+          ++local.direct_launches;
+        } else if (pair.source == lists.leaf_nodes[g]) {
+          // Diagonal self-pair: triangular sum (half the evaluations).
+          const double evals =
+              static_cast<double>(batch.count()) *
+              (static_cast<double>(batch.count()) - 1.0) / 2.0;
+          gpusim::KernelCost cost;
+          cost.evals = weight * evals;
+          cost.blocks = batch.count();
+          // Self mode: target and source orders are identical, but only
+          // the source particles see update_charges — read everything from
+          // the live source arrays.
+          device.launch(device.next_stream(), cost, [&] {
+            if (mixed_precision) {
+              direct_self_body<float>(sources, leaf, k, phi);
+            } else {
+              direct_self_body<double>(sources, leaf, k, phi);
+            }
+          });
+          local.direct_evals += evals;
+          ++local.direct_launches;
+        } else {
+          // Symmetric off-diagonal direct: each G feeds both leaves.
+          const ClusterNode& s = source_tree.node(pair.source);
+          const double evals = static_cast<double>(batch.count()) *
+                               static_cast<double>(s.count());
+          gpusim::KernelCost cost;
+          cost.evals = weight * evals;
+          cost.blocks = batch.count();
+          device.launch(device.next_stream(), cost, [&, s] {
+            if (mixed_precision) {
+              direct_mutual_body<float>(sources, leaf, s, k, phi);
+            } else {
+              direct_mutual_body<double>(sources, leaf, s, k, phi);
+            }
+          });
+          local.direct_evals += evals;
+          ++local.direct_launches;
+        }
+      }
+    }
+  });
+
+  device.synchronize();
+  if (counters != nullptr) *counters = local;
+  return phi_store;
+}
 
 std::vector<double> gpu_evaluate_device_resident(
     gpusim::Device& device, const OrderedParticles& targets,
@@ -362,6 +737,8 @@ void GpuSimEngine::prepare_sources(const SourcePlan& plan,
     tgt_x_.reset();
     tgt_y_.reset();
     tgt_z_.reset();
+    tgt_grids_.reset();
+    tgt_hat_.reset();
   }
 
   // The two preprocessing kernels (Eqs. 14-15) per cluster.
@@ -383,6 +760,49 @@ void GpuSimEngine::prepare_sources(const SourcePlan& plan,
     // New source geometry orphans the attached LET; the caller re-attaches
     // after the exchange.
     let_.clear();
+  }
+
+  // Dual traversal: build the moment ladder. The restrictions are small
+  // tensor transfers of the already-resident nominal charges, modeled as
+  // one launch per level; the coarse grids and charges stay device
+  // resident (charges-only refreshes re-upload the charge arrays alone).
+  dual_moments_.clear();
+  if (!charges_only) {
+    dual_grids_.clear();
+    dual_qhat_.clear();
+  }
+  if (params.traversal == TraversalMode::kDual) {
+    const std::vector<int> ladder = dual_degree_ladder(params.degree);
+    for (std::size_t l = 0; l < ladder.size(); ++l) {
+      if (ladder[l] == params.degree) {
+        dual_moments_.push_back(moments_);
+        continue;
+      }
+      gpusim::KernelCost cost;
+      cost.evals = static_cast<double>(tree.num_nodes()) *
+                   static_cast<double>(interpolation_point_count(ladder[l]));
+      cost.blocks = tree.num_nodes();
+      const gpusim::TimeMarker rb = device_.marker();
+      device_.launch(device_.next_stream(), cost, [&] {
+        dual_moments_.push_back(
+            ClusterMoments::restrict_from(tree, moments_, ladder[l]));
+      });
+      device_.synchronize();
+      pending_modeled_precompute_ +=
+          device_.marker().kernel_seconds - rb.kernel_seconds;
+    }
+    if (charges_only) {
+      for (std::size_t l = 1; l < dual_moments_.size(); ++l) {
+        dual_qhat_[l - 1]->upload(dual_moments_[l].all_qhat());
+      }
+    } else {
+      for (std::size_t l = 1; l < dual_moments_.size(); ++l) {
+        dual_grids_.push_back(std::make_unique<Buffer>(
+            device_, dual_moments_[l].all_grids()));
+        dual_qhat_.push_back(std::make_unique<Buffer>(
+            device_, dual_moments_[l].all_qhat()));
+      }
+    }
   }
 }
 
@@ -455,10 +875,18 @@ std::vector<double> GpuSimEngine::evaluate_potential(const SourcePlan& sources,
         "per_target_mac is a CPU-backend ablation; the GPU engine batches "
         "by construction");
   }
-  if (targets.lists.size() != 1 + let_.size()) {
+  const bool dual = targets.traversal == TraversalMode::kDual;
+  const std::size_t npieces =
+      dual ? targets.dual_lists.size() : targets.lists.size();
+  if (npieces != 1 + let_.size()) {
     throw std::logic_error(
         "GpuSimEngine::evaluate_potential: one interaction list per source "
         "piece expected");
+  }
+  if (dual && !let_.empty()) {
+    throw std::invalid_argument(
+        "GpuSimEngine: dual-traversal evaluation of attached LET pieces is "
+        "not supported (DistSolver rejects TraversalMode::kDual)");
   }
   const OrderedParticles& tgt = *targets.particles;
   if (fresh_targets || tgt_x_ == nullptr) {
@@ -467,26 +895,51 @@ std::vector<double> GpuSimEngine::evaluate_potential(const SourcePlan& sources,
     tgt_y_ = std::make_unique<Buffer>(device_, std::span<const double>(tgt.y));
     tgt_z_ = std::make_unique<Buffer>(device_, std::span<const double>(tgt.z));
     pending_host_setup_particles_ += tgt.size();
+    // Dual traversal: the target cluster grids (every ladder level) ride
+    // along with the targets (HtD once per target plan); the per-node grid
+    // potentials are a device-side allocation the CC/CP kernels accumulate
+    // into.
+    if (dual) {
+      std::size_t grid_doubles = 0, hat_doubles = 0;
+      for (const ClusterMoments& g : targets.grids) {
+        grid_doubles += g.all_grids().size();
+        hat_doubles += g.num_clusters() * g.points_per_cluster();
+      }
+      tgt_grids_ = std::make_unique<Buffer>(device_, grid_doubles);
+      device_.host_to_device(grid_doubles * sizeof(double));
+      tgt_hat_ = std::make_unique<Buffer>(device_, hat_doubles);
+    } else {
+      tgt_grids_.reset();
+      tgt_hat_.reset();
+    }
   }
 
   const gpusim::TimeMarker before = device_.marker();
   EngineCounters counters;
-  // Local piece first, then the attached LET pieces in piece order (fixed
-  // accumulation order keeps the result deterministic and backend-
-  // independent).
-  std::vector<double> phi = gpu_evaluate_device_resident(
-      device_, tgt, *targets.batches, targets.lists[0], *sources.tree,
-      *sources.particles, moments_, kernel, &counters,
-      options_.mixed_precision);
-  for (std::size_t p = 0; p < let_.size(); ++p) {
-    const LetPiece& piece = let_[p].piece;
-    EngineCounters piece_counters;
-    add_into(phi, gpu_evaluate_device_resident(
-                      device_, tgt, *targets.batches, targets.lists[1 + p],
-                      *piece.plan.tree, *piece.plan.particles,
-                      *piece.plan.moments, kernel, &piece_counters,
-                      options_.mixed_precision));
-    accumulate_counters(counters, piece_counters);
+  std::vector<double> phi;
+  if (dual) {
+    phi = gpu_evaluate_dual_device_resident(
+        device_, tgt, *targets.tree, targets.grids, targets.dual_lists[0],
+        *sources.tree, *sources.particles, dual_moments_, kernel, &counters,
+        options_.mixed_precision);
+  } else {
+    // Local piece first, then the attached LET pieces in piece order (fixed
+    // accumulation order keeps the result deterministic and backend-
+    // independent).
+    phi = gpu_evaluate_device_resident(
+        device_, tgt, *targets.batches, targets.lists[0], *sources.tree,
+        *sources.particles, moments_, kernel, &counters,
+        options_.mixed_precision);
+    for (std::size_t p = 0; p < let_.size(); ++p) {
+      const LetPiece& piece = let_[p].piece;
+      EngineCounters piece_counters;
+      add_into(phi, gpu_evaluate_device_resident(
+                        device_, tgt, *targets.batches, targets.lists[1 + p],
+                        *piece.plan.tree, *piece.plan.particles,
+                        *piece.plan.moments, kernel, &piece_counters,
+                        options_.mixed_precision));
+      accumulate_counters(counters, piece_counters);
+    }
   }
   // DtH: final potentials (every evaluation downloads its results).
   device_.device_to_host(phi.size() * sizeof(double));
@@ -496,6 +949,10 @@ std::vector<double> GpuSimEngine::evaluate_potential(const SourcePlan& sources,
   stats.direct_evals = counters.direct_evals;
   stats.approx_launches = counters.approx_launches;
   stats.direct_launches = counters.direct_launches;
+  stats.cp_evals = counters.cp_evals;
+  stats.cc_evals = counters.cc_evals;
+  stats.cp_launches = counters.cp_launches;
+  stats.cc_launches = counters.cc_launches;
 
   // Modeled times on the paper's hardware: host-side setup work plus all
   // PCIe transfers since the last report are attributed to the setup phase

@@ -83,6 +83,21 @@ std::vector<double> gpu_evaluate_device_resident(
     const ClusterMoments& moments, const KernelSpec& kernel,
     EngineCounters* counters = nullptr, bool mixed_precision = false);
 
+/// Dual-traversal potential evaluation assuming all inputs (including the
+/// target cluster grids) are device resident. Models the BLDTT launch
+/// classes: CC/CP kernels accumulate onto per-target-node grid potentials,
+/// a downward-pass kernel chain propagates parent grids to children and
+/// interpolates leaf grids to particles, and PC/direct kernels reuse the
+/// batch-cluster bodies with target leaves as batches.
+std::vector<double> gpu_evaluate_dual_device_resident(
+    gpusim::Device& device, const OrderedParticles& targets,
+    const ClusterTree& target_tree,
+    std::span<const ClusterMoments> target_grids,
+    const DualInteractionLists& lists, const ClusterTree& source_tree,
+    const OrderedParticles& sources,
+    std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
+    EngineCounters* counters = nullptr, bool mixed_precision = false);
+
 /// Run the potential evaluation (kernels 3 and 4) for all batches on
 /// `device`, including the HtD upload of targets/sources/cluster data and
 /// the DtH download of potentials. `moments` must already hold modified
@@ -151,11 +166,20 @@ class GpuSimEngine final : public Engine {
   GpuOptions options_;
   gpusim::Device device_;
   ClusterMoments moments_;  ///< host mirror of grids + modified charges
+  /// Dual traversal only: host mirrors of the moment ladder ([0] is the
+  /// nominal degree; lower degrees are device-side restrictions of it).
+  std::vector<ClusterMoments> dual_moments_;
+  std::vector<std::unique_ptr<gpusim::DeviceBuffer<double>>> dual_grids_,
+      dual_qhat_;
 
   // Device-resident data (persist across evaluate calls).
   std::unique_ptr<Buffer> src_x_, src_y_, src_z_, src_q_;
   std::unique_ptr<Buffer> grids_, qhat_;
   std::unique_ptr<Buffer> tgt_x_, tgt_y_, tgt_z_;
+  /// Dual traversal: target-node Chebyshev grids plus the per-node grid
+  /// potentials the CC/CP kernels accumulate into; staged with the targets
+  /// and resident until the target plan changes.
+  std::unique_ptr<Buffer> tgt_grids_, tgt_hat_;
   std::vector<LetDeviceState> let_;
 
   // Phase accounting pending attribution to the next evaluation.

@@ -1,5 +1,9 @@
 #include "core/interaction_lists.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
 namespace bltc {
 namespace {
 
@@ -45,6 +49,409 @@ InteractionLists build_interaction_lists(
   for (const auto& bi : lists.per_batch) {
     lists.total_approx += bi.approx.size();
     lists.total_direct += bi.direct.size();
+  }
+  return lists;
+}
+
+namespace {
+
+/// Recursive half of the dual traversal: emits admissible pairs for the
+/// (ti, si) subproblem into `out` in a deterministic depth-first order.
+struct DualTraversal {
+  const ClusterTree& ttree;
+  const ClusterTree& stree;
+  double theta;
+  int degree;                ///< nominal interpolation degree n
+  std::vector<int> ladder;   ///< dual_degree_ladder(degree)
+  std::vector<double> lppc;  ///< (ladder[l]+1)^3 per level
+
+  /// Chebyshev interpolation of a kernel analytic outside the cluster
+  /// converges geometrically with the Bernstein-ellipse parameter
+  /// rho(kappa) = (1 + sqrt(1 - kappa^2)) / kappa > 1, where kappa is the
+  /// separation ratio (r_T + r_S)/R: error ~ rho^-(n+1).
+  static double log_rho(double kappa) {
+    const double k2 = std::min(kappa * kappa, 1.0);
+    return std::log((1.0 + std::sqrt(1.0 - k2)) / kappa);
+  }
+
+  /// Extra interpolation orders beyond the model's minimum, absorbing the
+  /// model's neglected constants (and the doubled constant of CC's two-
+  /// sided interpolation) so a reduced-order pair never dominates the
+  /// nominal (theta, n) error.
+  static constexpr double kOrderSafety = 0.75;
+
+  /// Lowest ladder level (cheapest grid) whose per-pair error *contribution*
+  /// still meets the nominal bound. On top of the geometric rate
+  /// rho(kappa)^-(n_l+1) <= rho(theta)^-(n+1) come share bumps — a source
+  /// cluster far larger than the nominal grid contributes a proportionally
+  /// larger slice of the potential (full weight), and a pair touching many
+  /// targets weighs more in the L2 norm (half weight, errors across targets
+  /// add incoherently) — plus kOrderSafety constant extra orders.
+  std::uint8_t pick_level(double kappa, double source_count,
+                          double target_count) const {
+    if (ladder.size() == 1) return 0;
+    if (!(kappa > 0.0)) return static_cast<std::uint8_t>(ladder.size() - 1);
+    const double lr = log_rho(kappa);
+    const double share_bump =
+        std::max(0.0, std::log(source_count / lppc[0])) +
+        0.5 * std::max(0.0, std::log(target_count / lppc[0]));
+    const double need = (static_cast<double>(degree + 1) * log_rho(theta) +
+                         share_bump) /
+                            lr +
+                        kOrderSafety;
+    for (std::size_t l = ladder.size(); l-- > 1;) {
+      if (static_cast<double>(ladder[l] + 1) >= need) {
+        return static_cast<std::uint8_t>(l);
+      }
+    }
+    return 0;
+  }
+
+  /// Emit `kind` once per non-empty target leaf under `ti` (particle-
+  /// accumulating kinds are anchored at leaves so their particle ranges are
+  /// disjoint across groups).
+  void emit_at_leaves(DualKind kind, std::uint8_t level, int ti, int si,
+                      std::vector<DualPair>& out) const {
+    const ClusterNode& t = ttree.node(ti);
+    if (t.count() == 0) return;
+    if (t.is_leaf()) {
+      out.push_back({kind, level, ti, si});
+      return;
+    }
+    for (int c = 0; c < t.num_children; ++c) {
+      emit_at_leaves(kind, level, t.children[static_cast<std::size_t>(c)], si,
+                     out);
+    }
+  }
+
+  void traverse(int ti, int si, std::vector<DualPair>& out) const {
+    const ClusterNode& t = ttree.node(ti);
+    const ClusterNode& s = stree.node(si);
+    if (t.count() == 0 || s.count() == 0) return;
+
+    const double r = distance(t.center, s.center);
+    if (t.radius + s.radius < theta * r) {
+      // Separated: pick the ladder level the pair's separation ratio
+      // admits, then the cheapest interaction kind at that level.
+      const std::uint8_t level =
+          pick_level((t.radius + s.radius) / r,
+                     static_cast<double>(s.count()),
+                     static_cast<double>(t.count()));
+      const double p = lppc[level];
+      const double ct = static_cast<double>(t.count());
+      const double cs = static_cast<double>(s.count());
+      const double cost_direct = ct * cs;
+      const double cost_pc = ct * p;
+      const double cost_cp = p * cs;
+      const double cost_cc = p * p;
+      if (cost_direct <= cost_pc && cost_direct <= cost_cp &&
+          cost_direct <= cost_cc) {
+        emit_at_leaves(DualKind::kDirect, 0, ti, si, out);
+      } else if (cost_cc <= cost_pc && cost_cc <= cost_cp) {
+        out.push_back({DualKind::kCC, level, ti, si});
+      } else if (cost_pc <= cost_cp) {
+        emit_at_leaves(DualKind::kPC, level, ti, si, out);
+      } else {
+        out.push_back({DualKind::kCP, level, ti, si});
+      }
+      return;
+    }
+
+    // Not separated: recurse into the fatter splittable side; direct sum
+    // when both sides are leaves.
+    const bool t_splittable = !t.is_leaf();
+    const bool s_splittable = !s.is_leaf();
+    if (!t_splittable && !s_splittable) {
+      out.push_back({DualKind::kDirect, 0, ti, si});
+      return;
+    }
+    const bool split_target =
+        t_splittable && (!s_splittable || t.radius >= s.radius);
+    if (split_target) {
+      for (int c = 0; c < t.num_children; ++c) {
+        traverse(t.children[static_cast<std::size_t>(c)], si, out);
+      }
+    } else {
+      for (int c = 0; c < s.num_children; ++c) {
+        traverse(ti, s.children[static_cast<std::size_t>(c)], out);
+      }
+    }
+  }
+
+  // ---- Self (mutual) traversal: targets == sources under one tree. ------
+
+  /// Emit one *symmetric* direct pair per (target leaf under ti, source
+  /// leaf under si): both sides of the recursion are split to leaves so the
+  /// executor's leaf grouping sees leaf-anchored targets, and the G-sharing
+  /// mirror writes stay within whole leaf ranges.
+  void emit_direct_at_leaf_pairs(int ti, int si,
+                                 std::vector<DualPair>& out) const {
+    const ClusterNode& t = ttree.node(ti);
+    if (t.count() == 0) return;
+    if (!t.is_leaf()) {
+      for (int c = 0; c < t.num_children; ++c) {
+        emit_direct_at_leaf_pairs(t.children[static_cast<std::size_t>(c)], si,
+                                  out);
+      }
+      return;
+    }
+    const ClusterNode& s = stree.node(si);
+    if (s.count() == 0) return;
+    if (!s.is_leaf()) {
+      for (int c = 0; c < s.num_children; ++c) {
+        emit_direct_at_leaf_pairs(ti, s.children[static_cast<std::size_t>(c)],
+                                  out);
+      }
+      return;
+    }
+    out.push_back({DualKind::kDirect, 0, ti, si});
+  }
+
+  /// Unordered pair of disjoint nodes of the one tree. Far-field kinds are
+  /// emitted for both directions (their ladder levels may differ: the share
+  /// bumps are direction-dependent); direct pairs are emitted once and
+  /// executed symmetrically.
+  void mutual(int i, int j, std::vector<DualPair>& out) const {
+    const ClusterNode& a = ttree.node(i);
+    const ClusterNode& b = stree.node(j);
+    if (a.count() == 0 || b.count() == 0) return;
+
+    const double r = distance(a.center, b.center);
+    if (a.radius + b.radius < theta * r) {
+      const double kappa = (a.radius + b.radius) / r;
+      const double ca = static_cast<double>(a.count());
+      const double cb = static_cast<double>(b.count());
+      const std::uint8_t l1 = pick_level(kappa, cb, ca);  // a <- b
+      const std::uint8_t l2 = pick_level(kappa, ca, cb);  // b <- a
+      const double p1 = lppc[l1];
+      const double p2 = lppc[l2];
+      // If direct wins either directional cost comparison, the symmetric
+      // direct sum (one G per unordered point pair) beats both.
+      const bool direct1 = ca * cb <= std::min({ca * p1, p1 * cb, p1 * p1});
+      const bool direct2 = cb * ca <= std::min({cb * p2, p2 * ca, p2 * p2});
+      if (direct1 || direct2) {
+        emit_direct_at_leaf_pairs(i, j, out);
+        return;
+      }
+      const auto emit_dir = [&](int ti, int si, std::uint8_t level,
+                                double ct, double cs) {
+        const double p = lppc[level];
+        const double cost_pc = ct * p;
+        const double cost_cp = p * cs;
+        const double cost_cc = p * p;
+        if (cost_cc <= cost_pc && cost_cc <= cost_cp) {
+          out.push_back({DualKind::kCC, level, ti, si});
+        } else if (cost_pc <= cost_cp) {
+          emit_at_leaves(DualKind::kPC, level, ti, si, out);
+        } else {
+          out.push_back({DualKind::kCP, level, ti, si});
+        }
+      };
+      emit_dir(i, j, l1, ca, cb);
+      emit_dir(j, i, l2, cb, ca);
+      return;
+    }
+
+    const bool a_splittable = !a.is_leaf();
+    const bool b_splittable = !b.is_leaf();
+    if (!a_splittable && !b_splittable) {
+      out.push_back({DualKind::kDirect, 0, i, j});
+      return;
+    }
+    const bool split_a =
+        a_splittable && (!b_splittable || a.radius >= b.radius);
+    if (split_a) {
+      for (int c = 0; c < a.num_children; ++c) {
+        mutual(a.children[static_cast<std::size_t>(c)], j, out);
+      }
+    } else {
+      for (int c = 0; c < b.num_children; ++c) {
+        mutual(i, b.children[static_cast<std::size_t>(c)], out);
+      }
+    }
+  }
+
+  /// Diagonal recursion: node i against itself. Leaves become triangular
+  /// self-interactions; internal nodes recurse on children (diagonal) and
+  /// distinct child pairs (mutual).
+  void traverse_self(int i, std::vector<DualPair>& out) const {
+    const ClusterNode& a = ttree.node(i);
+    if (a.count() == 0) return;
+    if (a.is_leaf()) {
+      out.push_back({DualKind::kDirect, 0, i, i});
+      return;
+    }
+    for (int c = 0; c < a.num_children; ++c) {
+      traverse_self(a.children[static_cast<std::size_t>(c)], out);
+    }
+    for (int c1 = 0; c1 < a.num_children; ++c1) {
+      for (int c2 = c1 + 1; c2 < a.num_children; ++c2) {
+        mutual(a.children[static_cast<std::size_t>(c1)],
+               a.children[static_cast<std::size_t>(c2)], out);
+      }
+    }
+  }
+};
+
+/// Group `pairs` matching `pred` into a CSR keyed by target node, keeping
+/// the pair order within each group. Bucket order is first-appearance order,
+/// which depends only on the pair sequence — deterministic.
+void group_by_target(const std::vector<DualPair>& pairs,
+                     bool (*pred)(DualKind), std::vector<DualPair>& out_pairs,
+                     std::vector<std::size_t>& out_offsets,
+                     std::vector<int>& out_nodes) {
+  std::vector<int> slot;  // target node -> group index, lazily grown
+  std::vector<std::vector<DualPair>> groups;
+  for (const DualPair& p : pairs) {
+    if (!pred(p.kind)) continue;
+    const std::size_t t = static_cast<std::size_t>(p.target);
+    if (slot.size() <= t) slot.resize(t + 1, -1);
+    if (slot[t] < 0) {
+      slot[t] = static_cast<int>(groups.size());
+      groups.emplace_back();
+      out_nodes.push_back(p.target);
+    }
+    groups[static_cast<std::size_t>(slot[t])].push_back(p);
+  }
+  out_offsets.assign(1, 0);
+  for (const auto& g : groups) {
+    out_pairs.insert(out_pairs.end(), g.begin(), g.end());
+    out_offsets.push_back(out_pairs.size());
+  }
+}
+
+}  // namespace
+
+std::vector<int> dual_degree_ladder(int degree) {
+  std::vector<int> ladder{degree};
+  for (int d = degree - 1; d >= 2; --d) ladder.push_back(d);
+  return ladder;
+}
+
+DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
+                                                  const ClusterTree& stree,
+                                                  double theta, int degree,
+                                                  bool self) {
+  DualInteractionLists lists;
+  lists.grid_offsets.assign(1, 0);
+  lists.leaf_offsets.assign(1, 0);
+  lists.ladder = dual_degree_ladder(degree);
+  lists.self = self;
+  if (ttree.num_nodes() == 0 || stree.num_nodes() == 0) return lists;
+
+  DualTraversal walker{ttree, stree, theta, degree, lists.ladder, {}};
+  walker.lppc.reserve(walker.ladder.size());
+  for (const int d : walker.ladder) {
+    walker.lppc.push_back(
+        static_cast<double>(interpolation_point_count(d)));
+  }
+
+  // Task frontier for parallel construction: diagonal (self) and mutual
+  // node-pair subproblems whose recursions are independent. Expansion
+  // follows the recursion rules exactly, so the concatenation of per-task
+  // outputs in task order is deterministic regardless of thread count.
+  struct Task {
+    int i;
+    int j;  ///< j == i: diagonal subproblem (self mode only)
+  };
+  std::vector<Task> frontier;
+  std::vector<DualPair> preamble;  // pairs resolved during expansion
+  if (self) {
+    frontier.push_back({ttree.root(), ttree.root()});
+  } else {
+    frontier.push_back({ttree.root(), stree.root()});
+  }
+  const std::size_t task_goal = 256;
+  bool grew = true;
+  while (grew && frontier.size() < task_goal) {
+    grew = false;
+    std::vector<Task> next;
+    next.reserve(frontier.size() * 4);
+    for (const Task& task : frontier) {
+      const ClusterNode& t = ttree.node(task.i);
+      const ClusterNode& s = stree.node(task.j);
+      if (t.count() == 0 || s.count() == 0) continue;
+      if (self && task.i == task.j) {
+        if (t.is_leaf()) {
+          walker.traverse_self(task.i, preamble);
+          continue;
+        }
+        grew = true;
+        for (int c = 0; c < t.num_children; ++c) {
+          next.push_back({t.children[static_cast<std::size_t>(c)],
+                          t.children[static_cast<std::size_t>(c)]});
+        }
+        for (int c1 = 0; c1 < t.num_children; ++c1) {
+          for (int c2 = c1 + 1; c2 < t.num_children; ++c2) {
+            next.push_back({t.children[static_cast<std::size_t>(c1)],
+                            t.children[static_cast<std::size_t>(c2)]});
+          }
+        }
+        continue;
+      }
+      const bool separated =
+          pair_well_separated(t.center, t.radius, s.center, s.radius, theta);
+      const bool t_splittable = !t.is_leaf();
+      const bool s_splittable = !s.is_leaf();
+      if (separated || (!t_splittable && !s_splittable)) {
+        // Resolvable without recursion: emit now, in frontier order.
+        if (self) {
+          walker.mutual(task.i, task.j, preamble);
+        } else {
+          walker.traverse(task.i, task.j, preamble);
+        }
+        continue;
+      }
+      grew = true;
+      const bool split_target =
+          t_splittable && (!s_splittable || t.radius >= s.radius);
+      if (split_target) {
+        for (int c = 0; c < t.num_children; ++c) {
+          next.push_back({t.children[static_cast<std::size_t>(c)], task.j});
+        }
+      } else {
+        for (int c = 0; c < s.num_children; ++c) {
+          next.push_back({task.i, s.children[static_cast<std::size_t>(c)]});
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  std::vector<std::vector<DualPair>> task_pairs(frontier.size());
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const Task& task = frontier[i];
+    if (self && task.i == task.j) {
+      walker.traverse_self(task.i, task_pairs[i]);
+    } else if (self) {
+      walker.mutual(task.i, task.j, task_pairs[i]);
+    } else {
+      walker.traverse(task.i, task.j, task_pairs[i]);
+    }
+  }
+
+  std::vector<DualPair> all = std::move(preamble);
+  for (const auto& tp : task_pairs) {
+    all.insert(all.end(), tp.begin(), tp.end());
+  }
+
+  group_by_target(
+      all,
+      [](DualKind k) { return k == DualKind::kCP || k == DualKind::kCC; },
+      lists.grid_pairs, lists.grid_offsets, lists.grid_nodes);
+  group_by_target(
+      all,
+      [](DualKind k) { return k == DualKind::kPC || k == DualKind::kDirect; },
+      lists.leaf_pairs, lists.leaf_offsets, lists.leaf_nodes);
+
+  for (const DualPair& p : all) {
+    switch (p.kind) {
+      case DualKind::kPC: ++lists.total_pc; break;
+      case DualKind::kCP: ++lists.total_cp; break;
+      case DualKind::kCC: ++lists.total_cc; break;
+      case DualKind::kDirect: ++lists.total_direct; break;
+    }
   }
   return lists;
 }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/batches.hpp"
@@ -41,5 +42,89 @@ InteractionLists build_interaction_lists(const std::vector<TargetBatch>& batches
 InteractionLists build_interaction_lists_per_target(
     const OrderedParticles& targets, const ClusterTree& tree, double theta,
     int degree);
+
+// ---- Dual traversal (BLDTT) ----------------------------------------------
+
+/// Interaction kinds the dual traversal emits for an admissible (target
+/// node, source node) pair. Which kind applies follows the size logic of
+/// Eq. (13) applied to each side: a side is interpolated only when it holds
+/// more particles than interpolation points.
+enum class DualKind : std::uint8_t {
+  kPC,      ///< source proxy charges -> target particles (Eq. 11)
+  kCP,      ///< source particles -> target Chebyshev grid
+  kCC,      ///< source proxy charges -> target Chebyshev grid
+  kDirect,  ///< source particles -> target particles (Eq. 9)
+};
+
+/// Interpolation-degree ladder of the variable-order dual traversal:
+/// descending degrees {n, n-1, ..., 2} (just {n} for n <= 2). Ladder
+/// moments are exact restrictions of the nominal-degree moments
+/// (ClusterMoments::restrict_from), so a pair separated comfortably below
+/// theta can interact through a much smaller Chebyshev grid while staying
+/// within the nominal (theta, n) error bound.
+std::vector<int> dual_degree_ladder(int degree);
+
+/// One admissible pair. `target`/`source` index the target/source cluster
+/// trees; for kPC and kDirect the target node is always a *leaf* (the
+/// traversal pushes particle-accumulating work down to leaves so the
+/// executor can parallelize over disjoint particle ranges). `level` indexes
+/// the degree ladder: the lowest degree whose per-pair error bound
+/// kappa^(n_l+1), kappa = (r_T + r_S)/R, still meets the nominal
+/// theta^(n+1) bound (always 0, the nominal degree, for kDirect).
+struct DualPair {
+  DualKind kind;
+  std::uint8_t level = 0;
+  int target = -1;
+  int source = -1;
+};
+
+/// Interaction lists of one dual traversal, pre-grouped by target node so
+/// both engines can execute groups in parallel without write conflicts:
+/// grid groups accumulate onto per-node Chebyshev grids (disjoint rows),
+/// leaf groups accumulate onto leaf particle ranges (disjoint ranges).
+/// Group order and in-group pair order are deterministic (independent of
+/// thread count), so the floating-point accumulation order is reproducible.
+struct DualInteractionLists {
+  /// CP + CC pairs, grouped by target node: group g holds
+  /// grid_pairs[grid_offsets[g] .. grid_offsets[g+1]) and accumulates onto
+  /// the grid of target node grid_nodes[g].
+  std::vector<DualPair> grid_pairs;
+  std::vector<std::size_t> grid_offsets;
+  std::vector<int> grid_nodes;
+
+  /// PC + direct pairs, grouped by target *leaf* (same CSR layout).
+  std::vector<DualPair> leaf_pairs;
+  std::vector<std::size_t> leaf_offsets;
+  std::vector<int> leaf_nodes;
+
+  // Aggregate pair counts for stats and the performance model.
+  std::size_t total_pc = 0;
+  std::size_t total_cp = 0;
+  std::size_t total_cc = 0;
+  std::size_t total_direct = 0;
+
+  /// The degree ladder the pairs' `level` fields index (dual_degree_ladder
+  /// of the traversal's nominal degree).
+  std::vector<int> ladder;
+
+  /// Self-interaction (mutual) traversal: targets and sources are the same
+  /// particle set under the same tree. Every unordered node pair appears
+  /// once; kDirect pairs are *symmetric* — the executor computes each G
+  /// value once and accumulates it into both sides (Newton's third law),
+  /// halving the near-field kernel evaluations. Far-field kinds are emitted
+  /// explicitly for both directions. kDirect pairs with target == source
+  /// are the diagonal leaf self-interactions (triangular sum).
+  bool self = false;
+};
+
+/// Simultaneous recursion over (target node, source node) with the pairwise
+/// MAC. Parallelized over an initial task frontier; the output ordering is
+/// deterministic regardless of thread count. With `self` the two trees must
+/// be identical (same particle order and node indexing); the traversal then
+/// walks unordered pairs (see DualInteractionLists::self).
+DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
+                                                  const ClusterTree& stree,
+                                                  double theta, int degree,
+                                                  bool self = false);
 
 }  // namespace bltc

@@ -40,6 +40,18 @@ inline MacResult evaluate_mac(const std::array<double, 3>& batch_center,
   return MacResult::kApprox;
 }
 
+/// Pairwise MAC of the dual traversal (BLDTT): the geometric condition of
+/// Eq. (13) applied to a (target node, source node) pair. The size
+/// conditions are applied per side by the traversal itself (a side is only
+/// interpolated when it holds more particles than interpolation points).
+inline bool pair_well_separated(const std::array<double, 3>& target_center,
+                                double target_radius,
+                                const std::array<double, 3>& source_center,
+                                double source_radius, double theta) {
+  return target_radius + source_radius <
+         theta * distance(target_center, source_center);
+}
+
 /// Per-target MAC used by the ablation study: the batch radius is zero and
 /// the distance is measured from the individual target.
 inline MacResult evaluate_mac_point(const std::array<double, 3>& target,

@@ -74,8 +74,14 @@ void ClusterMoments::compute_cluster_factorized(
   // do not coincide with any grid coordinate. Particles with a coincidence
   // are deferred to the delta-condition cleanup below, because 1/(y-s)
   // factors are undefined for them.
-  std::vector<double> qtilde(node.count(), 0.0);
   std::vector<unsigned char> hit(node.count(), 0);
+  bool any_hit = false;
+  // Kernel 2 scratch: per-dimension w[k]/(s - g[k]) tables for one particle.
+  // Hoisting them out of the m^3 accumulation turns its inner loop into
+  // pure multiply-add (the original grid-point-outer formulation redid
+  // three divisions per (particle, grid point) pair — the reason the
+  // factorized form lost to the direct one on the host).
+  std::vector<double> ax(m), ay(m), az(m);
   for (std::size_t j = 0; j < node.count(); ++j) {
     const std::size_t p = node.begin + j;
     const Denominator d1 = barycentric_denominator(gx, w, sources.x[p]);
@@ -83,28 +89,32 @@ void ClusterMoments::compute_cluster_factorized(
     const Denominator d3 = barycentric_denominator(gz, w, sources.z[p]);
     if (d1.hit >= 0 || d2.hit >= 0 || d3.hit >= 0) {
       hit[j] = 1;
+      any_hit = true;
       continue;
     }
-    qtilde[j] = sources.q[p] / (d1.value * d2.value * d3.value);
-  }
+    const double qtilde = sources.q[p] / (d1.value * d2.value * d3.value);
 
-  // Kernel 2 (Eq. 15): accumulate over regular particles for every grid
-  // point k = (k1,k2,k3).
-  for (std::size_t k1 = 0; k1 < m; ++k1) {
-    for (std::size_t k2 = 0; k2 < m; ++k2) {
-      for (std::size_t k3 = 0; k3 < m; ++k3) {
-        double acc = 0.0;
-        for (std::size_t j = 0; j < node.count(); ++j) {
-          if (hit[j]) continue;
-          const std::size_t p = node.begin + j;
-          acc += (w[k1] / (sources.x[p] - gx[k1])) *
-                 (w[k2] / (sources.y[p] - gy[k2])) *
-                 (w[k3] / (sources.z[p] - gz[k3])) * qtilde[j];
+    // Kernel 2 (Eq. 15), particle-outer form: q̂_k += [w/(y-s)]^3 q̃_j.
+    const double sx = sources.x[p], sy = sources.y[p], sz = sources.z[p];
+    for (std::size_t k = 0; k < m; ++k) {
+      ax[k] = w[k] / (sx - gx[k]);
+      ay[k] = w[k] / (sy - gy[k]);
+      az[k] = w[k] / (sz - gz[k]);
+    }
+    const double* __restrict azp = az.data();
+    for (std::size_t k1 = 0; k1 < m; ++k1) {
+      const double a = ax[k1] * qtilde;
+      for (std::size_t k2 = 0; k2 < m; ++k2) {
+        const double ab = a * ay[k2];
+        double* __restrict row = out.data() + (k1 * m + k2) * m;
+#pragma omp simd
+        for (std::size_t k3 = 0; k3 < m; ++k3) {
+          row[k3] += ab * azp[k3];
         }
-        out[(k1 * m + k2) * m + k3] += acc;
       }
     }
   }
+  if (!any_hit) return;
 
   // Cleanup for coincident particles: enforce L_k = delta in the hit
   // dimension(s) and the ordinary barycentric basis elsewhere.
@@ -131,6 +141,83 @@ void ClusterMoments::compute_cluster_factorized(
   }
 }
 
+ClusterMoments ClusterMoments::restrict_from(const ClusterTree& tree,
+                                             const ClusterMoments& fine,
+                                             int coarse_degree) {
+  ClusterMoments coarse = grids_only(tree, coarse_degree);
+  const std::size_t mf = static_cast<std::size_t>(fine.degree()) + 1;
+  const std::size_t mc = static_cast<std::size_t>(coarse_degree) + 1;
+  const std::size_t nc = coarse.num_clusters_;
+  const std::vector<double> w = chebyshev2_weights(coarse_degree);
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t c = 0; c < nc; ++c) {
+    const int ci = static_cast<int>(c);
+    // Modified charges transform with the *adjoint* of value interpolation:
+    // q̂'_k = sum_m L'_k(s_m) q̂_m, with the coarse basis L' evaluated at
+    // the fine grid points s_m. Per-dimension matrices stored fine-point-
+    // major: Bd[m * mc + k] = L'_k(s^{fine}_m).
+    std::vector<double> b1(mf * mc), b2(mf * mc), b3(mf * mc);
+    for (std::size_t j = 0; j < mf; ++j) {
+      barycentric_basis(coarse.grid(ci, 0), w, fine.grid(ci, 0)[j],
+                        {b1.data() + j * mc, mc});
+      barycentric_basis(coarse.grid(ci, 1), w, fine.grid(ci, 1)[j],
+                        {b2.data() + j * mc, mc});
+      barycentric_basis(coarse.grid(ci, 2), w, fine.grid(ci, 2)[j],
+                        {b3.data() + j * mc, mc});
+    }
+    // Mode-by-mode application of B1^T (x) B2^T (x) B3^T.
+    const std::span<const double> q = fine.qhat(ci);
+    std::vector<double> tmp1(mc * mf * mf, 0.0);
+    for (std::size_t j1 = 0; j1 < mf; ++j1) {
+      const double* src = q.data() + j1 * mf * mf;
+      for (std::size_t k1 = 0; k1 < mc; ++k1) {
+        const double coeff = b1[j1 * mc + k1];
+        if (coeff == 0.0) continue;
+        double* dst = tmp1.data() + k1 * mf * mf;
+        for (std::size_t i = 0; i < mf * mf; ++i) dst[i] += coeff * src[i];
+      }
+    }
+    std::vector<double> tmp2(mc * mc * mf, 0.0);
+    for (std::size_t k1 = 0; k1 < mc; ++k1) {
+      for (std::size_t j2 = 0; j2 < mf; ++j2) {
+        const double* src = tmp1.data() + (k1 * mf + j2) * mf;
+        for (std::size_t k2 = 0; k2 < mc; ++k2) {
+          const double coeff = b2[j2 * mc + k2];
+          if (coeff == 0.0) continue;
+          double* dst = tmp2.data() + (k1 * mc + k2) * mf;
+          for (std::size_t i = 0; i < mf; ++i) dst[i] += coeff * src[i];
+        }
+      }
+    }
+    const std::span<double> out = coarse.qhat_mutable(ci);
+    for (double& v : out) v = 0.0;
+    for (std::size_t r = 0; r < mc * mc; ++r) {
+      const double* src = tmp2.data() + r * mf;
+      double* dst = out.data() + r * mc;
+      for (std::size_t j = 0; j < mf; ++j) {
+        const double* brow = b3.data() + j * mc;
+        const double s = src[j];
+        if (s == 0.0) continue;
+        for (std::size_t k3 = 0; k3 < mc; ++k3) dst[k3] += brow[k3] * s;
+      }
+    }
+  }
+  return coarse;
+}
+
+MomentAlgorithm resolve_moment_algorithm(MomentAlgorithm algorithm,
+                                         std::size_t cluster_count,
+                                         int degree) {
+  if (algorithm != MomentAlgorithm::kAuto) return algorithm;
+  // Per particle, the factorized form pays 3 denominator sums + 3(n+1)
+  // divisions up front to make the (n+1)^3 accumulation pure multiply-add,
+  // while the direct form normalizes three bases but then branches on zero
+  // terms inside the accumulation. The setup only amortizes once both the
+  // cluster and the grid are non-trivial.
+  return (cluster_count >= 32 && degree >= 3) ? MomentAlgorithm::kFactorized
+                                              : MomentAlgorithm::kDirect;
+}
+
 ClusterMoments ClusterMoments::compute(const ClusterTree& tree,
                                        const OrderedParticles& sources,
                                        int degree,
@@ -141,7 +228,9 @@ ClusterMoments ClusterMoments::compute(const ClusterTree& tree,
   for (std::size_t c = 0; c < nc; ++c) {
     const int ci = static_cast<int>(c);
     std::span<double> out{m.qhat_.data() + c * m.ppc_, m.ppc_};
-    if (algorithm == MomentAlgorithm::kDirect) {
+    const MomentAlgorithm chosen =
+        resolve_moment_algorithm(algorithm, tree.node(ci).count(), degree);
+    if (chosen == MomentAlgorithm::kDirect) {
       compute_cluster_direct(tree, sources, degree, ci, m.grid(ci, 0),
                              m.grid(ci, 1), m.grid(ci, 2), out);
     } else {

@@ -20,8 +20,17 @@
 
 namespace bltc {
 
-/// Which algebraic formulation computes the modified charges.
-enum class MomentAlgorithm { kDirect, kFactorized };
+/// Which algebraic formulation computes the modified charges. kAuto lets
+/// `ClusterMoments::compute` pick the faster variant per cluster from its
+/// size and the degree (the factorized form's per-particle setup only pays
+/// off once the accumulation loop dominates).
+enum class MomentAlgorithm { kDirect, kFactorized, kAuto };
+
+/// Resolve kAuto to a concrete variant for one cluster (size/degree
+/// heuristic); concrete inputs pass through unchanged.
+MomentAlgorithm resolve_moment_algorithm(MomentAlgorithm algorithm,
+                                         std::size_t cluster_count,
+                                         int degree);
 
 /// Per-cluster interpolation grids and modified charges for a whole tree.
 /// Storage is flat: cluster c owns grid coords [c*3*(n+1), ...) and modified
@@ -86,6 +95,17 @@ class ClusterMoments {
                                          std::span<const double> gy,
                                          std::span<const double> gz,
                                          std::span<double> out);
+
+  /// Restrict modified charges to a lower interpolation degree on the same
+  /// boxes: q̂'_k = sum_m L_m(s'_k) q̂_m per dimension. Exact (not an
+  /// approximation): degree-n interpolation reproduces the degree-n' <= n
+  /// Lagrange polynomials, so the result equals recomputing Eq. (12) at the
+  /// coarse degree. This is what makes the variable-order dual traversal's
+  /// moment ladder essentially free — one O((n'+1)(n+1)^3) tensor transfer
+  /// per cluster instead of a full O(N_C (n'+1)^3) pass over the particles.
+  static ClusterMoments restrict_from(const ClusterTree& tree,
+                                      const ClusterMoments& fine,
+                                      int coarse_degree);
 
  private:
   int degree_ = 0;

@@ -15,6 +15,11 @@ void TreecodeParams::validate() const {
     throw std::invalid_argument(
         "TreecodeParams: max_leaf and max_batch must be positive");
   }
+  if (traversal == TraversalMode::kDual && per_target_mac) {
+    throw std::invalid_argument(
+        "TreecodeParams: per_target_mac is an ablation of the batched "
+        "traversal and cannot be combined with TraversalMode::kDual");
+  }
 }
 
 SourcePlanState SourcePlanState::build(const Cloud& sources,
@@ -25,6 +30,18 @@ SourcePlanState SourcePlanState::build(const Cloud& sources,
   tree_params.max_leaf = params.max_leaf;
   state.tree = ClusterTree::build(state.particles, tree_params);
   return state;
+}
+
+bool SourcePlanState::matches(const Cloud& cloud) const {
+  if (cloud.size() != particles.size()) return false;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    const std::size_t o = particles.original_index[i];
+    if (cloud.x[o] != particles.x[i] || cloud.y[o] != particles.y[i] ||
+        cloud.z[o] != particles.z[i]) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void SourcePlanState::set_charges(std::span<const double> charges) {
@@ -43,21 +60,38 @@ TargetPlanState TargetPlanState::plan(const Cloud& targets,
   TargetPlanState state;
   state.particles = OrderedParticles::from_cloud(targets);
   state.per_target_mac = params.per_target_mac;
-  if (!params.per_target_mac) {
+  state.traversal = params.traversal;
+  if (params.traversal == TraversalMode::kDual) {
+    // The dual traversal needs a full target cluster tree (its leaves play
+    // the batch role, N_B) plus per-node Chebyshev grids at every ladder
+    // degree for the CP/CC accumulation and the downward pass.
+    TreeParams tree_params;
+    tree_params.max_leaf = params.max_batch;
+    state.tree = ClusterTree::build(state.particles, tree_params);
+    for (const int d : dual_degree_ladder(params.degree)) {
+      state.grids.push_back(ClusterMoments::grids_only(state.tree, d));
+    }
+  } else if (!params.per_target_mac) {
     state.batches = build_target_batches(state.particles, params.max_batch);
   }
   return state;
 }
 
-std::size_t TargetPlanState::append_lists(const ClusterTree& tree,
-                                          const TreecodeParams& params) {
+std::size_t TargetPlanState::append_lists(const ClusterTree& source_tree,
+                                          const TreecodeParams& params,
+                                          bool self) {
+  if (traversal == TraversalMode::kDual) {
+    dual_lists.push_back(build_dual_interaction_lists(
+        tree, source_tree, params.theta, params.degree, self));
+    return dual_lists.size() - 1;
+  }
   if (per_target_mac) {
-    lists.push_back(build_interaction_lists_per_target(particles, tree,
+    lists.push_back(build_interaction_lists_per_target(particles, source_tree,
                                                        params.theta,
                                                        params.degree));
   } else {
-    lists.push_back(
-        build_interaction_lists(batches, tree, params.theta, params.degree));
+    lists.push_back(build_interaction_lists(batches, source_tree, params.theta,
+                                            params.degree));
   }
   return lists.size() - 1;
 }

@@ -29,6 +29,21 @@
 
 namespace bltc {
 
+/// How the interaction lists are built (and therefore what kinds of
+/// interactions the engines execute).
+enum class TraversalMode {
+  /// The paper's BLTC: every target batch descends the source tree, all
+  /// far-field work is particle-cluster (default).
+  kBatched,
+  /// BLDTT-style dual traversal: a target cluster tree is built too, the
+  /// MAC is applied to (target node, source node) pairs, and well-separated
+  /// work is emitted as cluster-cluster / cluster-particle / particle-
+  /// cluster interactions plus direct leaf-leaf pairs. Far-field work
+  /// collapses from O(N log N) toward O(N). Serial Solver only for now
+  /// (DistSolver's LET exchange is batched-PC shaped and rejects it).
+  kDual,
+};
+
 /// Treecode parameters (paper notation: theta, n, N_L, N_B).
 struct TreecodeParams {
   double theta = 0.8;           ///< MAC parameter
@@ -40,6 +55,8 @@ struct TreecodeParams {
   /// Ablation: apply the MAC per target instead of per batch (engines that
   /// batch by construction reject it; see Engine::supports_per_target_mac).
   bool per_target_mac = false;
+  /// Interaction-list construction scheme (see TraversalMode).
+  TraversalMode traversal = TraversalMode::kBatched;
 
   /// Throws std::invalid_argument when parameters are out of range.
   void validate() const;
@@ -67,6 +84,14 @@ struct TargetPlan {
   const std::vector<TargetBatch>* batches = nullptr;
   std::span<const InteractionLists> lists;
   bool per_target_mac = false;
+  TraversalMode traversal = TraversalMode::kBatched;
+  /// Dual-traversal extras (kDual only, null/empty otherwise): the target
+  /// cluster tree, its per-node Chebyshev grids at every ladder degree
+  /// (grids[l] matches DualPair::level l), and one dual list set per source
+  /// piece.
+  const ClusterTree* tree = nullptr;
+  std::span<const ClusterMoments> grids;
+  std::span<const DualInteractionLists> dual_lists;
 };
 
 /// Owning storage behind `SourcePlan`: the source half of the paper's setup
@@ -84,6 +109,11 @@ struct SourcePlanState {
   /// exposing `particles.q` stay valid.
   void set_charges(std::span<const double> charges);
 
+  /// Whether this plan was built over exactly these coordinates (charges
+  /// may differ). Used to detect targets == sources for the dual
+  /// traversal's symmetric self mode.
+  bool matches(const Cloud& cloud) const;
+
   std::size_t size() const { return particles.size(); }
   SourcePlan view() const { return {&particles, &tree, nullptr}; }
 };
@@ -98,16 +128,26 @@ struct TargetPlanState {
   std::vector<TargetBatch> batches;
   std::vector<InteractionLists> lists;  ///< one per source piece, in order
   bool per_target_mac = false;
+  TraversalMode traversal = TraversalMode::kBatched;
+  /// Dual traversal only: the target cluster tree (leaf size N_B), its
+  /// per-node Chebyshev grids per ladder degree, and one dual list set per
+  /// source piece.
+  ClusterTree tree;
+  std::vector<ClusterMoments> grids;
+  std::vector<DualInteractionLists> dual_lists;
 
   /// Tree-order the targets and build their batches (no lists yet).
   static TargetPlanState plan(const Cloud& targets,
                               const TreecodeParams& params);
 
-  /// Traverse `tree` with the planned batches (or per-target under the
-  /// per-target MAC) and append the resulting lists; returns the piece
-  /// index the lists belong to.
-  std::size_t append_lists(const ClusterTree& tree,
-                           const TreecodeParams& params);
+  /// Traverse `source_tree` with the planned batches (per-target under the
+  /// per-target MAC, pairwise against the target tree under the dual
+  /// traversal) and append the resulting lists; returns the piece index the
+  /// lists belong to. `self` (dual traversal only) asserts that the source
+  /// tree is identical to the target tree — same particles, same order,
+  /// same node indexing — enabling the symmetric mutual traversal.
+  std::size_t append_lists(const ClusterTree& source_tree,
+                           const TreecodeParams& params, bool self = false);
 
   /// Whether this plan was built over exactly these target coordinates
   /// (the plan-cache key: the stored permutation maps tree order back to
@@ -115,7 +155,18 @@ struct TargetPlanState {
   bool matches(const Cloud& targets) const;
 
   TargetPlan view() const {
-    return {&particles, &batches, lists, per_target_mac};
+    TargetPlan plan;
+    plan.particles = &particles;
+    plan.batches = &batches;
+    plan.lists = lists;
+    plan.per_target_mac = per_target_mac;
+    plan.traversal = traversal;
+    if (traversal == TraversalMode::kDual) {
+      plan.tree = &tree;
+      plan.grids = grids;
+      plan.dual_lists = dual_lists;
+    }
+    return plan;
   }
 };
 

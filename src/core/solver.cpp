@@ -62,7 +62,14 @@ void Solver::update_positions(const Cloud& sources) { set_sources(sources); }
 
 void Solver::plan_targets(const Cloud& targets) {
   targets_ = TargetPlanState::plan(targets, config_.params);
-  targets_.append_lists(source_.tree, config_.params);
+  // Dual traversal: when the targets are exactly the sources and both trees
+  // are built with the same leaf size, the trees are identical (the build
+  // is deterministic) and the traversal can walk unordered pairs, executing
+  // direct interactions symmetrically (one G evaluation per point pair).
+  const bool self = config_.params.traversal == TraversalMode::kDual &&
+                    config_.params.max_leaf == config_.params.max_batch &&
+                    source_.matches(targets);
+  targets_.append_lists(source_.tree, config_.params, self);
   targets_valid_ = true;
 }
 
@@ -94,11 +101,21 @@ bool Solver::begin_evaluation(const Cloud& targets, RunStats& stats,
 void Solver::finish_stats(RunStats& stats) const {
   stats.num_clusters = source_.tree.num_nodes();
   stats.num_leaves = source_.tree.num_leaves();
+  stats.per_target_mac = config_.params.per_target_mac;
+  if (config_.params.traversal == TraversalMode::kDual) {
+    const DualInteractionLists& lists = targets_.dual_lists.front();
+    stats.dual_traversal = true;
+    stats.num_batches = targets_.tree.num_leaves();
+    stats.approx_interactions = lists.total_pc;
+    stats.direct_interactions = lists.total_direct;
+    stats.cp_interactions = lists.total_cp;
+    stats.cc_interactions = lists.total_cc;
+    return;
+  }
   const InteractionLists& lists = targets_.lists.front();
   stats.num_batches = lists.per_batch.size();
   stats.approx_interactions = lists.total_approx;
   stats.direct_interactions = lists.total_direct;
-  stats.per_target_mac = config_.params.per_target_mac;
 }
 
 std::vector<double> Solver::evaluate(const Cloud& targets, RunStats* stats) {

@@ -99,16 +99,30 @@ struct RunStats {
   /// interaction counts are then target-cluster pairs, not batch-cluster
   /// pairs, and are not comparable with batched-run counts pair-for-pair.
   bool per_target_mac = false;
+  /// True when the dual traversal produced these counts: num_batches is the
+  /// target tree's leaf count, approx_interactions counts PC pairs, and the
+  /// cp_/cc_ fields below are populated.
+  bool dual_traversal = false;
+  std::size_t cp_interactions = 0;  ///< cluster-particle pairs (dual only)
+  std::size_t cc_interactions = 0;  ///< cluster-cluster pairs (dual only)
 
   // Work counts (kernel evaluations).
   double approx_evals = 0.0;
   double direct_evals = 0.0;
+  double cp_evals = 0.0;  ///< dual traversal: source particles x target grid
+  double cc_evals = 0.0;  ///< dual traversal: source proxy x target grid
+  /// Total G(x,y) evaluations across every interaction class.
+  double total_evals() const {
+    return approx_evals + direct_evals + cp_evals + cc_evals;
+  }
   /// Launch granularity: how many (list, cluster) kernel invocations the
   /// engine executed — batch-cluster pairs normally, target-cluster pairs
   /// under the per-target MAC. Together with the eval counts this tells
   /// benches how much work each launch amortizes.
   std::size_t approx_launches = 0;
   std::size_t direct_launches = 0;
+  std::size_t cp_launches = 0;  ///< dual traversal only
+  std::size_t cc_launches = 0;  ///< dual traversal only
 
   // Device accounting (GpuSim backend only); deltas for this evaluation.
   std::size_t gpu_launches = 0;

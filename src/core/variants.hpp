@@ -14,6 +14,12 @@
 // small it falls back to a PC interaction, when the source cluster is too
 // small to a CP interaction, and to direct summation when both are small —
 // the same size logic as Eq. (13).
+//
+// This module is the one-shot *reference* implementation. The production
+// path is `TraversalMode::kDual` (core/plan.hpp): the same interaction
+// kinds integrated into the plan/execute pipeline with list pre-grouping,
+// variable interpolation order, and the symmetric self mode, executed by
+// both engines through the blocked kernel core.
 #pragma once
 
 #include <vector>

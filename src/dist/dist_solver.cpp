@@ -108,6 +108,14 @@ DistSolver::DistSolver(DistConfig config) : config_(std::move(config)) {
     state->engine = make_engine(config_.params.backend, gpu);
     ranks_.push_back(std::move(state));
   }
+  if (config_.params.treecode.traversal == TraversalMode::kDual) {
+    throw std::invalid_argument(
+        "DistSolver: TraversalMode::kDual is not supported in the "
+        "distributed solver yet — the LET exchange serializes trees and "
+        "fetches charges for batched particle-cluster lists only, and has "
+        "no target-grid (CP/CC) transfer path. Use TraversalMode::kBatched "
+        "here, or the serial Solver for the dual traversal.");
+  }
   if (config_.params.treecode.per_target_mac &&
       !ranks_.front()->engine->supports_per_target_mac()) {
     throw std::invalid_argument(

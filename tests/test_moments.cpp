@@ -113,6 +113,48 @@ TEST_P(MomentAlgorithmEquivalence, FactorizedMatchesDirect) {
 INSTANTIATE_TEST_SUITE_P(Degrees, MomentAlgorithmEquivalence,
                          ::testing::Values(1, 3, 6, 9));
 
+TEST(Moments, AutoMatchesConcreteVariants) {
+  // kAuto must be algebraically equivalent — it only picks the faster of
+  // the two exact formulations per cluster.
+  const Harness s = make_setup(2500, 120, 4);
+  const ClusterMoments direct =
+      ClusterMoments::compute(s.tree, s.sources, 6, MomentAlgorithm::kDirect);
+  const ClusterMoments autom =
+      ClusterMoments::compute(s.tree, s.sources, 6, MomentAlgorithm::kAuto);
+  double scale = 0.0;
+  for (const double v : direct.all_qhat()) {
+    scale = std::fmax(scale, std::fabs(v));
+  }
+  for (std::size_t i = 0; i < direct.all_qhat().size(); ++i) {
+    ASSERT_NEAR(direct.all_qhat()[i], autom.all_qhat()[i], 1e-11 * scale);
+  }
+}
+
+TEST(Moments, RestrictionIsExactPolynomialTransfer) {
+  // Restricting degree-n modified charges to degree n' <= n must equal
+  // recomputing Eq. (12) directly at the coarse degree: degree-n
+  // interpolation reproduces every degree-n' Lagrange polynomial exactly.
+  const Harness s = make_setup(3000, 250, 7);
+  const ClusterMoments fine =
+      ClusterMoments::compute(s.tree, s.sources, 8, MomentAlgorithm::kDirect);
+  for (const int coarse_degree : {2, 4, 5, 7}) {
+    const ClusterMoments recomputed = ClusterMoments::compute(
+        s.tree, s.sources, coarse_degree, MomentAlgorithm::kDirect);
+    const ClusterMoments restricted =
+        ClusterMoments::restrict_from(s.tree, fine, coarse_degree);
+    double scale = 0.0;
+    for (const double v : recomputed.all_qhat()) {
+      scale = std::fmax(scale, std::fabs(v));
+    }
+    ASSERT_EQ(recomputed.all_qhat().size(), restricted.all_qhat().size());
+    for (std::size_t i = 0; i < recomputed.all_qhat().size(); ++i) {
+      ASSERT_NEAR(recomputed.all_qhat()[i], restricted.all_qhat()[i],
+                  1e-10 * scale)
+          << "degree " << coarse_degree << " entry " << i;
+    }
+  }
+}
+
 TEST(Moments, SingularParticlePlacedExactlyOnGridPoint) {
   // Build a tiny cluster whose extreme particle coincides with a Chebyshev
   // endpoint (guaranteed by the minimal bounding box). The delta condition
