@@ -108,8 +108,8 @@ int main(int argc, char** argv) {
     CpuWorkspace ws;
     const double sec = time_call([&] {
       g_sink += cpu_evaluate(s.tgt, s.batches, s.lists, s.tree, s.src,
-                             s.moments, KernelSpec::coulomb(), &counters,
-                             &ws)[0];
+                             s.moments, KernelSpec::coulomb(), nullptr,
+                             &counters, &ws)[0];
     });
     row("direct_interactions", sec, counters.direct_evals, "inter");
   }
@@ -127,8 +127,8 @@ int main(int argc, char** argv) {
     CpuWorkspace ws;
     const double sec = time_call([&] {
       g_sink += cpu_evaluate(s.tgt, s.batches, s.lists, s.tree, s.src,
-                             s.moments, KernelSpec::coulomb(), &counters,
-                             &ws)[0];
+                             s.moments, KernelSpec::coulomb(), nullptr,
+                             &counters, &ws)[0];
     });
     row("approx_interactions", sec, counters.approx_evals, "inter");
 
@@ -136,7 +136,7 @@ int main(int argc, char** argv) {
     EngineCounters fcounters;
     const double fsec = time_call([&] {
       g_sink += cpu_evaluate_field(s.tgt, s.batches, s.lists, s.tree, s.src,
-                                   s.moments, KernelSpec::coulomb(),
+                                   s.moments, KernelSpec::coulomb(), nullptr,
                                    &fcounters, &ws)
                     .ex[0];
     });
@@ -151,7 +151,7 @@ int main(int argc, char** argv) {
     CpuWorkspace ws;
     const double sec = time_call([&] {
       g_sink += cpu_evaluate_field(s.tgt, s.batches, s.lists, s.tree, s.src,
-                                   s.moments, KernelSpec::coulomb(),
+                                   s.moments, KernelSpec::coulomb(), nullptr,
                                    &counters, &ws)
                     .ex[0];
     });

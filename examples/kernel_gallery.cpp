@@ -2,17 +2,30 @@
 // kernel that is smooth for x != y"): the same treecode, same tree, same
 // parameters — five different kernels, each checked against direct
 // summation. Adding a kernel to the library is one functor + one enum.
+//
+// The periodic section runs the same machinery under
+// BoundaryConditions::kPeriodic: one source plan serving every lattice
+// image, checked against the periodic direct-sum oracle over the identical
+// image set. Yukawa and Gaussian converge absolutely; Coulomb requires the
+// neutral ionic-lattice workload.
+//
+// BLTC_GALLERY_N scales the open-boundary workload (CI smoke runs use a
+// tiny value so this example can never silently rot).
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "core/direct_sum.hpp"
+#include "core/periodic.hpp"
 #include "core/solver.hpp"
+#include "util/env.hpp"
 #include "util/stats.hpp"
 #include "util/workloads.hpp"
 
 int main() {
   using namespace bltc;
 
-  const std::size_t n = 30000;
+  const std::size_t n = env_size("BLTC_GALLERY_N", 30000);
   const Cloud particles = uniform_cube(n, 99);
 
   TreecodeParams params;
@@ -52,5 +65,60 @@ int main() {
 
   std::printf("\nAll kernels run through the identical treecode machinery — "
               "only kernel\nevaluations differ (kernel independence, §2).\n");
+
+  // ---- Periodic section --------------------------------------------------
+  const std::size_t pn = env_size("BLTC_GALLERY_PERIODIC_N",
+                                  std::min<std::size_t>(n / 10, 3000));
+  TreecodeParams pparams = params;
+  pparams.theta = 0.7;
+  pparams.degree = 8;
+  pparams.max_leaf = 400;
+  pparams.max_batch = 400;
+  pparams.boundary = BoundaryConditions::kPeriodic;
+  pparams.domain = Box3::cube(0.0, 1.0);
+  pparams.image_shells = 1;
+
+  struct PeriodicCase {
+    const char* label;
+    KernelSpec kernel;
+    bool ionic;  ///< neutral lattice (Coulomb requirement) vs plasma
+  };
+  const PeriodicCase cases[] = {
+      {"yukawa (screened plasma)", KernelSpec::yukawa(2.0), false},
+      {"gaussian (plasma)", KernelSpec::gaussian(4.0), false},
+      {"coulomb (neutral ionic)", KernelSpec::coulomb(), true},
+  };
+
+  std::printf("\nPeriodic section: [0,1)^3, %d image shell(s) — one shared "
+              "source plan serves all %d images\n\n",
+              pparams.image_shells, 27);
+  std::printf("%-28s %-12s %-14s\n", "kernel (workload)", "error",
+              "compute[s]");
+  for (const PeriodicCase& pc : cases) {
+    auto cells = static_cast<std::size_t>(std::cbrt(static_cast<double>(pn)));
+    const Cloud cloud = pc.ionic ? ionic_lattice(cells, 7, 1.0, 0.5)
+                                 : screened_plasma(pn, 7, 1.0);
+    SolverConfig config;
+    config.kernel = pc.kernel;
+    config.params = pparams;
+    Solver solver(config);
+    solver.set_sources(cloud);
+    RunStats stats;
+    const std::vector<double> phi = solver.evaluate(cloud, &stats);
+
+    const auto sample = sample_indices(cloud.size(), 200);
+    const auto ref = direct_sum_periodic_sampled(
+        cloud, sample, cloud, pc.kernel, pparams.domain,
+        pparams.image_shells);
+    std::vector<double> phi_sampled(sample.size());
+    for (std::size_t s = 0; s < sample.size(); ++s) {
+      phi_sampled[s] = phi[sample[s]];
+    }
+    std::printf("%-28s %-12.3e %-14.3f\n", pc.label,
+                relative_l2_error(ref, phi_sampled), stats.compute_seconds);
+  }
+  std::printf("\nThe periodic oracle sums the identical image set; errors "
+              "stay in the open-boundary\n(theta, n) regime because the "
+              "cluster moments are translation invariant.\n");
   return 0;
 }

@@ -3,10 +3,12 @@
 // summation on a sample of targets.
 //
 // Build & run:  ./build/quickstart
+// BLTC_QUICKSTART_N rescales the problem (CI smoke runs use a tiny value).
 #include <cstdio>
 
 #include "core/direct_sum.hpp"
 #include "core/solver.hpp"
+#include "util/env.hpp"
 #include "util/stats.hpp"
 #include "util/workloads.hpp"
 
@@ -15,7 +17,7 @@ int main() {
 
   // 1. Make a particle system: positions in [-1,1]^3, charges in [-1,1]
   //    (swap in your own Cloud with x/y/z/q arrays).
-  const std::size_t n = 20000;
+  const std::size_t n = env_size("BLTC_QUICKSTART_N", 20000);
   const Cloud particles = uniform_cube(n, /*seed=*/1);
 
   // 2. Configure a solver. theta controls the MAC (smaller = more

@@ -129,15 +129,17 @@ std::vector<double> CpuEngine::evaluate_potential(const SourcePlan& sources,
       phi = cpu_evaluate_dual(*targets.particles, *targets.tree,
                               targets.grids, targets.dual_lists[index],
                               *piece.tree, *piece.particles, dual_levels_,
-                              kernel, &counters, &workspace_);
+                              kernel, targets.shifts, &counters, &workspace_);
     } else if (targets.per_target_mac) {
       phi = cpu_evaluate_per_target(*targets.particles, targets.lists[index],
                                     *piece.tree, *piece.particles, moments,
-                                    kernel, &counters, &workspace_);
+                                    kernel, targets.shifts, &counters,
+                                    &workspace_);
     } else {
       phi = cpu_evaluate(*targets.particles, *targets.batches,
                          targets.lists[index], *piece.tree, *piece.particles,
-                         moments, kernel, &counters, &workspace_);
+                         moments, kernel, targets.shifts, &counters,
+                         &workspace_);
     }
     accumulate_counters(total, counters);
     return phi;
@@ -180,18 +182,19 @@ FieldResult CpuEngine::evaluate_field(const SourcePlan& sources,
       out = cpu_evaluate_dual_field(*targets.particles, *targets.tree,
                                     targets.grids, targets.dual_lists[index],
                                     *piece.tree, *piece.particles,
-                                    dual_levels_, kernel, &counters,
-                                    &workspace_);
+                                    dual_levels_, kernel, targets.shifts,
+                                    &counters, &workspace_);
     } else if (targets.per_target_mac) {
       out = cpu_evaluate_field_per_target(*targets.particles,
                                           targets.lists[index], *piece.tree,
                                           *piece.particles, moments, kernel,
-                                          &counters, &workspace_);
+                                          targets.shifts, &counters,
+                                          &workspace_);
     } else {
       out = cpu_evaluate_field(*targets.particles, *targets.batches,
                                targets.lists[index], *piece.tree,
-                               *piece.particles, moments, kernel, &counters,
-                               &workspace_);
+                               *piece.particles, moments, kernel,
+                               targets.shifts, &counters, &workspace_);
     }
     accumulate_counters(total, counters);
     return out;

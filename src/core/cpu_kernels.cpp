@@ -38,13 +38,17 @@ CpuScratch& CpuWorkspace::scratch() {
 namespace {
 
 /// Expand cluster `ci`'s tensor-product Chebyshev grid into contiguous
-/// point streams. Done once per (list, cluster) visit — hoisted out of the
-/// target loop, and amortized over every target tile of the list. `level`
-/// is the ladder level `moments` belongs to (0 outside the dual traversal);
-/// it is part of the cache key.
+/// point streams, adding the entry's lattice shift to the coordinates (the
+/// cached moments serve every image; only the staged grid moves). Done once
+/// per (list, cluster, shift) visit — hoisted out of the target loop, and
+/// amortized over every target tile of the list. `level` is the ladder
+/// level `moments` belongs to (0 outside the dual traversal); level and
+/// shift id are part of the cache key.
 std::size_t expand_cluster_points(const ClusterMoments& moments, int ci,
-                                  CpuScratch& scratch, int level = 0) {
-  if (scratch.cached_cluster == ci && scratch.cached_cluster_level == level) {
+                                  CpuScratch& scratch, int level = 0,
+                                  const ResolvedShift& shift = {}) {
+  if (scratch.cached_cluster == ci && scratch.cached_cluster_level == level &&
+      scratch.cached_cluster_shift == shift.id) {
     return moments.points_per_cluster();
   }
   const auto gx = moments.grid(ci, 0);
@@ -63,9 +67,9 @@ std::size_t expand_cluster_points(const ClusterMoments& moments, int ci,
     for (std::size_t k2 = 0; k2 < m; ++k2) {
       const double* __restrict qrow = qhat.data() + (k1 * m + k2) * m;
       for (std::size_t k3 = 0; k3 < m; ++k3) {
-        px[p] = gx[k1];
-        py[p] = gy[k2];
-        pz[p] = gz[k3];
+        px[p] = gx[k1] + shift.x;
+        py[p] = gy[k2] + shift.y;
+        pz[p] = gz[k3] + shift.z;
         pq[p] = qrow[k3];
         ++p;
       }
@@ -73,7 +77,37 @@ std::size_t expand_cluster_points(const ClusterMoments& moments, int ci,
   }
   scratch.cached_cluster = ci;
   scratch.cached_cluster_level = level;
+  scratch.cached_cluster_shift = shift.id;
   return ppc;
+}
+
+/// Pointers to one direct-range source stream: the raw arrays for the home
+/// cell, or a staged copy with the lattice shift added for an image entry
+/// (the charges always stream from the raw array).
+struct DirectStream {
+  const double* x;
+  const double* y;
+  const double* z;
+  const double* q;
+};
+
+DirectStream direct_stream(const OrderedParticles& sources, std::size_t begin,
+                           std::size_t count, const ResolvedShift& shift,
+                           CpuScratch& scratch) {
+  if (shift.id == 0) {
+    return {sources.x.data() + begin, sources.y.data() + begin,
+            sources.z.data() + begin, sources.q.data() + begin};
+  }
+  scratch.ensure_shifted_sources(count);
+  double* __restrict sx = scratch.ssx.data();
+  double* __restrict sy = scratch.ssy.data();
+  double* __restrict sz = scratch.ssz.data();
+  for (std::size_t j = 0; j < count; ++j) {
+    sx[j] = sources.x[begin + j] + shift.x;
+    sy[j] = sources.y[begin + j] + shift.y;
+    sz[j] = sources.z[begin + j] + shift.z;
+  }
+  return {sx, sy, sz, sources.q.data() + begin};
 }
 
 /// The one list-execution driver behind all four host paths. `batches`
@@ -83,9 +117,10 @@ void run_lists(const OrderedParticles& targets,
                const std::vector<TargetBatch>* batches,
                const InteractionLists& lists, const ClusterTree& tree,
                const OrderedParticles& sources, const ClusterMoments& moments,
-               K k, CpuWorkspace& ws, double* __restrict phi,
-               double* __restrict ex, double* __restrict ey,
-               double* __restrict ez, EngineCounters* counters) {
+               K k, CpuWorkspace& ws, const ShiftTable* shifts,
+               double* __restrict phi, double* __restrict ex,
+               double* __restrict ey, double* __restrict ez,
+               EngineCounters* counters) {
   const std::size_t nlists = lists.per_batch.size();
   const double ppc = static_cast<double>(moments.points_per_cluster());
 
@@ -128,8 +163,11 @@ void run_lists(const OrderedParticles& targets,
     const double* ty = targets.y.data();
     const double* tz = targets.z.data();
 
-    for (const int ci : bi.approx) {
-      const std::size_t npts = expand_cluster_points(moments, ci, scratch);
+    for (std::size_t e = 0; e < bi.approx.size(); ++e) {
+      const int ci = bi.approx[e];
+      const ResolvedShift shift = resolve_shift(shifts, bi.approx_shift, e);
+      const std::size_t npts =
+          expand_cluster_points(moments, ci, scratch, 0, shift);
       for (std::size_t t0 = begin; t0 < end; t0 += kTargetTile) {
         const std::size_t nt = std::min(kTargetTile, end - t0);
         accumulate_tile<Field, true>(
@@ -142,16 +180,17 @@ void run_lists(const OrderedParticles& targets,
       ++approx_launches;
     }
 
-    for (const int ci : bi.direct) {
-      const ClusterNode& node = tree.node(ci);
+    for (std::size_t e = 0; e < bi.direct.size(); ++e) {
+      const ClusterNode& node = tree.node(bi.direct[e]);
+      const ResolvedShift shift = resolve_shift(shifts, bi.direct_shift, e);
+      const DirectStream src =
+          direct_stream(sources, node.begin, node.count(), shift, scratch);
       for (std::size_t t0 = begin; t0 < end; t0 += kTargetTile) {
         const std::size_t nt = std::min(kTargetTile, end - t0);
         accumulate_tile<Field, true>(
-            tx + t0, ty + t0, tz + t0, nt, sources.x.data() + node.begin,
-            sources.y.data() + node.begin, sources.z.data() + node.begin,
-            sources.q.data() + node.begin, node.count(), k, phi + t0,
-            Field ? ex + t0 : nullptr, Field ? ey + t0 : nullptr,
-            Field ? ez + t0 : nullptr);
+            tx + t0, ty + t0, tz + t0, nt, src.x, src.y, src.z, src.q,
+            node.count(), k, phi + t0, Field ? ex + t0 : nullptr,
+            Field ? ey + t0 : nullptr, Field ? ez + t0 : nullptr);
       }
       direct_evals += count * static_cast<double>(node.count());
       ++direct_launches;
@@ -255,9 +294,9 @@ void run_dual(const OrderedParticles& targets, const ClusterTree& ttree,
               const DualInteractionLists& lists, const ClusterTree& stree,
               const OrderedParticles& sources,
               std::span<const ClusterMoments> mlevels, K k, CpuWorkspace& ws,
-              double* __restrict phi, double* __restrict ex,
-              double* __restrict ey, double* __restrict ez,
-              EngineCounters* counters) {
+              const ShiftTable* shifts, double* __restrict phi,
+              double* __restrict ex, double* __restrict ey,
+              double* __restrict ez, EngineCounters* counters) {
   const std::size_t nn = ttree.num_nodes();
   const std::size_t nlevels = tgrids.size();
 
@@ -316,9 +355,11 @@ void run_dual(const OrderedParticles& targets, const ClusterTree& ttree,
       double* hy = Field ? hats.ey.data() + row : nullptr;
       double* hz = Field ? hats.ez.data() + row : nullptr;
 
+      const ResolvedShift shift = resolve_pair_shift(shifts, pair);
       if (pair.kind == DualKind::kCC) {
-        const std::size_t npts = expand_cluster_points(
-            mlevels[level], pair.source, scratch, static_cast<int>(level));
+        const std::size_t npts =
+            expand_cluster_points(mlevels[level], pair.source, scratch,
+                                  static_cast<int>(level), shift);
         for (std::size_t t0 = 0; t0 < p; t0 += kTargetTile) {
           const std::size_t nt = std::min(kTargetTile, p - t0);
           accumulate_tile<Field, true>(
@@ -331,14 +372,14 @@ void run_dual(const OrderedParticles& targets, const ClusterTree& ttree,
         ++cc_launches;
       } else {  // kCP: source particles evaluated at the target grid
         const ClusterNode& s = stree.node(pair.source);
+        const DirectStream src =
+            direct_stream(sources, s.begin, s.count(), shift, scratch);
         for (std::size_t t0 = 0; t0 < p; t0 += kTargetTile) {
           const std::size_t nt = std::min(kTargetTile, p - t0);
           accumulate_tile<Field, true>(
-              tx + t0, ty + t0, tz + t0, nt, sources.x.data() + s.begin,
-              sources.y.data() + s.begin, sources.z.data() + s.begin,
-              sources.q.data() + s.begin, s.count(), k, hp + t0,
-              Field ? hx + t0 : nullptr, Field ? hy + t0 : nullptr,
-              Field ? hz + t0 : nullptr);
+              tx + t0, ty + t0, tz + t0, nt, src.x, src.y, src.z, src.q,
+              s.count(), k, hp + t0, Field ? hx + t0 : nullptr,
+              Field ? hy + t0 : nullptr, Field ? hz + t0 : nullptr);
         }
         cp_evals += static_cast<double>(p) * static_cast<double>(s.count());
         ++cp_launches;
@@ -481,9 +522,9 @@ void run_dual(const OrderedParticles& targets, const ClusterTree& ttree,
          ++e) {
       const DualPair& pair = lists.leaf_pairs[e];
       if (pair.kind == DualKind::kPC) {
-        const std::size_t npts =
-            expand_cluster_points(mlevels[pair.level], pair.source, scratch,
-                                  static_cast<int>(pair.level));
+        const std::size_t npts = expand_cluster_points(
+            mlevels[pair.level], pair.source, scratch,
+            static_cast<int>(pair.level), resolve_pair_shift(shifts, pair));
         for (std::size_t t0 = begin; t0 < end; t0 += kTargetTile) {
           const std::size_t nt = std::min(kTargetTile, end - t0);
           accumulate_tile<Field, true>(
@@ -496,14 +537,15 @@ void run_dual(const OrderedParticles& targets, const ClusterTree& ttree,
         ++approx_launches;
       } else if (!lists.self) {  // one-directional direct
         const ClusterNode& s = stree.node(pair.source);
+        const DirectStream src =
+            direct_stream(sources, s.begin, s.count(),
+                          resolve_pair_shift(shifts, pair), scratch);
         for (std::size_t t0 = begin; t0 < end; t0 += kTargetTile) {
           const std::size_t nt = std::min(kTargetTile, end - t0);
           accumulate_tile<Field, true>(
-              tx + t0, ty + t0, tz + t0, nt, sources.x.data() + s.begin,
-              sources.y.data() + s.begin, sources.z.data() + s.begin,
-              sources.q.data() + s.begin, s.count(), k, phi + t0,
-              Field ? ex + t0 : nullptr, Field ? ey + t0 : nullptr,
-              Field ? ez + t0 : nullptr);
+              tx + t0, ty + t0, tz + t0, nt, src.x, src.y, src.z, src.q,
+              s.count(), k, phi + t0, Field ? ex + t0 : nullptr,
+              Field ? ey + t0 : nullptr, Field ? ez + t0 : nullptr);
         }
         direct_evals += count * static_cast<double>(s.count());
         ++direct_launches;
@@ -577,6 +619,7 @@ std::vector<double> cpu_evaluate(const OrderedParticles& targets,
                                  const OrderedParticles& sources,
                                  const ClusterMoments& moments,
                                  const KernelSpec& kernel,
+                                 const ShiftTable* shifts,
                                  EngineCounters* counters,
                                  CpuWorkspace* workspace) {
   std::vector<double> phi(targets.size(), 0.0);
@@ -584,7 +627,7 @@ std::vector<double> cpu_evaluate(const OrderedParticles& targets,
   CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
   with_kernel(kernel, [&](auto k) {
     run_lists<false>(targets, &batches, lists, tree, sources, moments, k, ws,
-                     phi.data(), nullptr, nullptr, nullptr, counters);
+                     shifts, phi.data(), nullptr, nullptr, nullptr, counters);
   });
   return phi;
 }
@@ -595,6 +638,7 @@ std::vector<double> cpu_evaluate_per_target(const OrderedParticles& targets,
                                             const OrderedParticles& sources,
                                             const ClusterMoments& moments,
                                             const KernelSpec& kernel,
+                                            const ShiftTable* shifts,
                                             EngineCounters* counters,
                                             CpuWorkspace* workspace) {
   std::vector<double> phi(targets.size(), 0.0);
@@ -602,7 +646,7 @@ std::vector<double> cpu_evaluate_per_target(const OrderedParticles& targets,
   CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
   with_kernel(kernel, [&](auto k) {
     run_lists<false>(targets, nullptr, lists, tree, sources, moments, k, ws,
-                     phi.data(), nullptr, nullptr, nullptr, counters);
+                     shifts, phi.data(), nullptr, nullptr, nullptr, counters);
   });
   return phi;
 }
@@ -614,6 +658,7 @@ FieldResult cpu_evaluate_field(const OrderedParticles& targets,
                                const OrderedParticles& sources,
                                const ClusterMoments& moments,
                                const KernelSpec& kernel,
+                               const ShiftTable* shifts,
                                EngineCounters* counters,
                                CpuWorkspace* workspace) {
   FieldResult out;
@@ -625,7 +670,7 @@ FieldResult cpu_evaluate_field(const OrderedParticles& targets,
   CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
   with_grad_kernel(kernel, [&](auto k) {
     run_lists<true>(targets, &batches, lists, tree, sources, moments, k, ws,
-                    out.phi.data(), out.ex.data(), out.ey.data(),
+                    shifts, out.phi.data(), out.ex.data(), out.ey.data(),
                     out.ez.data(), counters);
   });
   return out;
@@ -637,6 +682,7 @@ FieldResult cpu_evaluate_field_per_target(const OrderedParticles& targets,
                                           const OrderedParticles& sources,
                                           const ClusterMoments& moments,
                                           const KernelSpec& kernel,
+                                          const ShiftTable* shifts,
                                           EngineCounters* counters,
                                           CpuWorkspace* workspace) {
   FieldResult out;
@@ -648,7 +694,7 @@ FieldResult cpu_evaluate_field_per_target(const OrderedParticles& targets,
   CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
   with_grad_kernel(kernel, [&](auto k) {
     run_lists<true>(targets, nullptr, lists, tree, sources, moments, k, ws,
-                    out.phi.data(), out.ex.data(), out.ey.data(),
+                    shifts, out.phi.data(), out.ex.data(), out.ey.data(),
                     out.ez.data(), counters);
   });
   return out;
@@ -660,14 +706,15 @@ std::vector<double> cpu_evaluate_dual(
     const DualInteractionLists& lists, const ClusterTree& source_tree,
     const OrderedParticles& sources,
     std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
-    EngineCounters* counters, CpuWorkspace* workspace) {
+    const ShiftTable* shifts, EngineCounters* counters,
+    CpuWorkspace* workspace) {
   std::vector<double> phi(targets.size(), 0.0);
   CpuWorkspace local;
   CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
   with_kernel(kernel, [&](auto k) {
     run_dual<false>(targets, target_tree, target_grids, lists, source_tree,
-                    sources, moment_levels, k, ws, phi.data(), nullptr,
-                    nullptr, nullptr, counters);
+                    sources, moment_levels, k, ws, shifts, phi.data(),
+                    nullptr, nullptr, nullptr, counters);
   });
   return phi;
 }
@@ -678,7 +725,8 @@ FieldResult cpu_evaluate_dual_field(
     const DualInteractionLists& lists, const ClusterTree& source_tree,
     const OrderedParticles& sources,
     std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
-    EngineCounters* counters, CpuWorkspace* workspace) {
+    const ShiftTable* shifts, EngineCounters* counters,
+    CpuWorkspace* workspace) {
   FieldResult out;
   out.phi.assign(targets.size(), 0.0);
   out.ex.assign(targets.size(), 0.0);
@@ -688,7 +736,7 @@ FieldResult cpu_evaluate_dual_field(
   CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
   with_grad_kernel(kernel, [&](auto k) {
     run_dual<true>(targets, target_tree, target_grids, lists, source_tree,
-                   sources, moment_levels, k, ws, out.phi.data(),
+                   sources, moment_levels, k, ws, shifts, out.phi.data(),
                    out.ex.data(), out.ey.data(), out.ez.data(), counters);
   });
   return out;

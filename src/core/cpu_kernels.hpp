@@ -62,6 +62,13 @@ struct CpuScratch {
   AlignedVector px, py, pz, pq;
   int cached_cluster = -1;
   int cached_cluster_level = 0;  ///< ladder level of the cached expansion
+  int cached_cluster_shift = 0;  ///< lattice shift id of the cached expansion
+
+  /// Periodic boundaries: a direct-range image is the source particle
+  /// stream with a lattice shift added to the coordinates (charges pass
+  /// through untouched). Staged here per (list, cluster, shift) visit; the
+  /// home cell keeps streaming the raw source arrays.
+  AlignedVector ssx, ssy, ssz;
 
   /// Dual traversal: one *target* node's Chebyshev grid expanded to
   /// contiguous point streams (the "targets" of CP/CC tile calls).
@@ -90,6 +97,14 @@ struct CpuScratch {
       py.resize(n);
       pz.resize(n);
       pq.resize(n);
+    }
+  }
+
+  void ensure_shifted_sources(std::size_t n) {
+    if (ssx.size() < n) {
+      ssx.resize(n);
+      ssy.resize(n);
+      ssz.resize(n);
     }
   }
 
@@ -651,6 +666,7 @@ std::vector<double> cpu_evaluate(const OrderedParticles& targets,
                                  const OrderedParticles& sources,
                                  const ClusterMoments& moments,
                                  const KernelSpec& kernel,
+                                 const ShiftTable* shifts = nullptr,
                                  EngineCounters* counters = nullptr,
                                  CpuWorkspace* workspace = nullptr);
 
@@ -661,6 +677,7 @@ std::vector<double> cpu_evaluate_per_target(const OrderedParticles& targets,
                                             const OrderedParticles& sources,
                                             const ClusterMoments& moments,
                                             const KernelSpec& kernel,
+                                            const ShiftTable* shifts = nullptr,
                                             EngineCounters* counters = nullptr,
                                             CpuWorkspace* workspace = nullptr);
 
@@ -673,6 +690,7 @@ FieldResult cpu_evaluate_field(const OrderedParticles& targets,
                                const OrderedParticles& sources,
                                const ClusterMoments& moments,
                                const KernelSpec& kernel,
+                               const ShiftTable* shifts = nullptr,
                                EngineCounters* counters = nullptr,
                                CpuWorkspace* workspace = nullptr);
 
@@ -683,6 +701,7 @@ FieldResult cpu_evaluate_field_per_target(const OrderedParticles& targets,
                                           const OrderedParticles& sources,
                                           const ClusterMoments& moments,
                                           const KernelSpec& kernel,
+                                          const ShiftTable* shifts = nullptr,
                                           EngineCounters* counters = nullptr,
                                           CpuWorkspace* workspace = nullptr);
 
@@ -698,7 +717,8 @@ std::vector<double> cpu_evaluate_dual(
     const DualInteractionLists& lists, const ClusterTree& source_tree,
     const OrderedParticles& sources,
     std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
-    EngineCounters* counters = nullptr, CpuWorkspace* workspace = nullptr);
+    const ShiftTable* shifts = nullptr, EngineCounters* counters = nullptr,
+    CpuWorkspace* workspace = nullptr);
 
 /// Dual-traversal potential + field evaluation: CP/CC accumulate the field
 /// at the target grid points and the downward pass interpolates each
@@ -710,6 +730,7 @@ FieldResult cpu_evaluate_dual_field(
     const DualInteractionLists& lists, const ClusterTree& source_tree,
     const OrderedParticles& sources,
     std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
-    EngineCounters* counters = nullptr, CpuWorkspace* workspace = nullptr);
+    const ShiftTable* shifts = nullptr, EngineCounters* counters = nullptr,
+    CpuWorkspace* workspace = nullptr);
 
 }  // namespace bltc

@@ -50,6 +50,10 @@ FieldResult direct_field(const Cloud& targets, const Cloud& sources,
   return out;
 }
 
+// direct_field_periodic lives in periodic.cpp, next to the potential
+// oracle, so the image-set semantics (wrapping, shift order, self-term
+// skip) are defined in exactly one translation unit.
+
 FieldResult compute_field(const Cloud& targets, const Cloud& sources,
                           const KernelSpec& kernel,
                           const TreecodeParams& params, RunStats* stats) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/kernels.hpp"
+#include "core/periodic.hpp"
 #include "core/solver.hpp"
 #include "util/workloads.hpp"
 
@@ -146,5 +147,13 @@ FieldResult compute_field(const Cloud& targets, const Cloud& sources,
 /// O(N^2) reference for fields.
 FieldResult direct_field(const Cloud& targets, const Cloud& sources,
                          const KernelSpec& kernel);
+
+/// O(N^2) reference for periodic fields: the lattice-image sum over the
+/// identical image set the treecode uses under BoundaryConditions::kPeriodic
+/// (see core/periodic.hpp for the image-set semantics; inputs are wrapped
+/// into `domain` exactly as the plan layer wraps them).
+FieldResult direct_field_periodic(const Cloud& targets, const Cloud& sources,
+                                  const KernelSpec& kernel, const Box3& domain,
+                                  int shells);
 
 }  // namespace bltc

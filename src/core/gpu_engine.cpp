@@ -171,6 +171,12 @@ GpuPrecomputeResult gpu_precompute_moments(gpusim::Device& device,
 
 namespace {
 
+// Shifted kernel bodies (periodic boundaries): the entry's lattice shift —
+// resolved from the (device-resident) shift table by its compact id via
+// resolve_shift/resolve_pair_shift (core/periodic.hpp) — is subtracted from
+// the target-source separation, i.e. the kernels see the source stream at
+// its image position without any image copy existing in device memory.
+
 /// Body of the batch-cluster approximation kernel (Eq. 11), templated on
 /// the accumulation precision: Real = double is the paper's configuration,
 /// Real = float is the §5 mixed-precision future-work mode (kernel values
@@ -180,10 +186,13 @@ void approx_kernel_body(const OrderedParticles& targets,
                         const TargetBatch& batch, std::span<const double> gx,
                         std::span<const double> gy, std::span<const double> gz,
                         std::span<const double> qhat, Kernel k,
-                        std::span<double> phi) {
+                        std::span<double> phi,
+                        const ResolvedShift& shift = {}) {
   const std::size_t m = gx.size();
   for (std::size_t i = batch.begin; i < batch.end; ++i) {
-    const double tx = targets.x[i], ty = targets.y[i], tz = targets.z[i];
+    const double tx = targets.x[i] - shift.x;
+    const double ty = targets.y[i] - shift.y;
+    const double tz = targets.z[i] - shift.z;
     Real acc = Real(0);
     for (std::size_t k1 = 0; k1 < m; ++k1) {
       const double dx2 = (tx - gx[k1]) * (tx - gx[k1]);
@@ -208,9 +217,12 @@ void direct_kernel_body(const OrderedParticles& targets,
                         const TargetBatch& batch,
                         const OrderedParticles& sources,
                         const ClusterNode& node, Kernel k,
-                        std::span<double> phi) {
+                        std::span<double> phi,
+                        const ResolvedShift& shift = {}) {
   for (std::size_t i = batch.begin; i < batch.end; ++i) {
-    const double tx = targets.x[i], ty = targets.y[i], tz = targets.z[i];
+    const double tx = targets.x[i] - shift.x;
+    const double ty = targets.y[i] - shift.y;
+    const double tz = targets.z[i] - shift.z;
     Real acc = Real(0);
     for (std::size_t j = node.begin; j < node.end; ++j) {
       const double dx = tx - sources.x[j];
@@ -232,13 +244,16 @@ template <typename Real, typename Kernel>
 void grid_accumulate_body(std::span<const double> tx, std::span<const double> ty,
                           std::span<const double> tz, const double* sx,
                           const double* sy, const double* sz, const double* sq,
-                          std::size_t ns, Kernel k, double* hat) {
+                          std::size_t ns, Kernel k, double* hat,
+                          const ResolvedShift& shift = {}) {
   const std::size_t m = tx.size();
   std::size_t p = 0;
   for (std::size_t k1 = 0; k1 < m; ++k1) {
     for (std::size_t k2 = 0; k2 < m; ++k2) {
       for (std::size_t k3 = 0; k3 < m; ++k3, ++p) {
-        const double x = tx[k1], y = ty[k2], z = tz[k3];
+        const double x = tx[k1] - shift.x;
+        const double y = ty[k2] - shift.y;
+        const double z = tz[k3] - shift.z;
         Real acc = Real(0);
         for (std::size_t j = 0; j < ns; ++j) {
           const double dx = x - sx[j];
@@ -339,7 +354,8 @@ std::vector<double> gpu_evaluate_dual_device_resident(
     const DualInteractionLists& lists, const ClusterTree& source_tree,
     const OrderedParticles& sources,
     std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
-    EngineCounters* counters, bool mixed_precision) {
+    EngineCounters* counters, bool mixed_precision,
+    const ShiftTable* shifts) {
   const std::size_t nn = target_tree.num_nodes();
   const std::size_t nlevels = target_grids.size();
   const double weight = kernel_eval_weight(kernel, /*on_gpu=*/true) *
@@ -373,6 +389,7 @@ std::vector<double> gpu_evaluate_dual_device_resident(
         const ClusterMoments& sm = moment_levels[level];
         const std::size_t ppc = lppc[level];
         const std::size_t m = static_cast<std::size_t>(tg.degree()) + 1;
+        const ResolvedShift shift = resolve_pair_shift(shifts, pair);
         flag[level * nn + static_cast<std::size_t>(ti)] = 1;
         const auto tx = tg.grid(ti, 0);
         const auto ty = tg.grid(ti, 1);
@@ -400,15 +417,16 @@ std::vector<double> gpu_evaluate_dual_device_resident(
           cost.evals = weight * static_cast<double>(ppc) *
                        static_cast<double>(ppc);
           cost.blocks = ppc;
-          device.launch(device.next_stream(), cost, [&, tx, ty, tz, hrow] {
+          device.launch(device.next_stream(), cost,
+                        [&, tx, ty, tz, hrow, shift] {
             if (mixed_precision) {
               grid_accumulate_body<float>(tx, ty, tz, sx.data(), sy.data(),
                                           sz.data(), qhat.data(), ppc, k,
-                                          hrow);
+                                          hrow, shift);
             } else {
               grid_accumulate_body<double>(tx, ty, tz, sx.data(), sy.data(),
                                            sz.data(), qhat.data(), ppc, k,
-                                           hrow);
+                                           hrow, shift);
             }
           });
           local.cc_evals +=
@@ -420,17 +438,18 @@ std::vector<double> gpu_evaluate_dual_device_resident(
           cost.evals = weight * static_cast<double>(ppc) *
                        static_cast<double>(s.count());
           cost.blocks = ppc;
-          device.launch(device.next_stream(), cost, [&, tx, ty, tz, hrow, s] {
+          device.launch(device.next_stream(), cost,
+                        [&, tx, ty, tz, hrow, s, shift] {
             if (mixed_precision) {
               grid_accumulate_body<float>(
                   tx, ty, tz, sources.x.data() + s.begin,
                   sources.y.data() + s.begin, sources.z.data() + s.begin,
-                  sources.q.data() + s.begin, s.count(), k, hrow);
+                  sources.q.data() + s.begin, s.count(), k, hrow, shift);
             } else {
               grid_accumulate_body<double>(
                   tx, ty, tz, sources.x.data() + s.begin,
                   sources.y.data() + s.begin, sources.z.data() + s.begin,
-                  sources.q.data() + s.begin, s.count(), k, hrow);
+                  sources.q.data() + s.begin, s.count(), k, hrow, shift);
             }
           });
           local.cp_evals +=
@@ -515,6 +534,7 @@ std::vector<double> gpu_evaluate_dual_device_resident(
       for (std::size_t e = lists.leaf_offsets[g];
            e < lists.leaf_offsets[g + 1]; ++e) {
         const DualPair& pair = lists.leaf_pairs[e];
+        const ResolvedShift shift = resolve_pair_shift(shifts, pair);
         if (pair.kind == DualKind::kPC) {
           const ClusterMoments& sm = moment_levels[pair.level];
           const std::size_t ppc = sm.points_per_cluster();
@@ -527,13 +547,13 @@ std::vector<double> gpu_evaluate_dual_device_resident(
                        static_cast<double>(ppc);
           cost.blocks = batch.count();
           device.launch(device.next_stream(), cost, [&, gx, gy, gz, qhat,
-                                                     batch] {
+                                                     batch, shift] {
             if (mixed_precision) {
               approx_kernel_body<float>(targets, batch, gx, gy, gz, qhat, k,
-                                        phi);
+                                        phi, shift);
             } else {
               approx_kernel_body<double>(targets, batch, gx, gy, gz, qhat, k,
-                                         phi);
+                                         phi, shift);
             }
           });
           local.approx_evals += static_cast<double>(batch.count()) *
@@ -545,11 +565,13 @@ std::vector<double> gpu_evaluate_dual_device_resident(
           cost.evals = weight * static_cast<double>(batch.count()) *
                        static_cast<double>(s.count());
           cost.blocks = batch.count();
-          device.launch(device.next_stream(), cost, [&, s, batch] {
+          device.launch(device.next_stream(), cost, [&, s, batch, shift] {
             if (mixed_precision) {
-              direct_kernel_body<float>(targets, batch, sources, s, k, phi);
+              direct_kernel_body<float>(targets, batch, sources, s, k, phi,
+                                        shift);
             } else {
-              direct_kernel_body<double>(targets, batch, sources, s, k, phi);
+              direct_kernel_body<double>(targets, batch, sources, s, k, phi,
+                                         shift);
             }
           });
           local.direct_evals += static_cast<double>(batch.count()) *
@@ -607,7 +629,8 @@ std::vector<double> gpu_evaluate_device_resident(
     const std::vector<TargetBatch>& batches, const InteractionLists& lists,
     const ClusterTree& tree, const OrderedParticles& sources,
     const ClusterMoments& moments, const KernelSpec& kernel,
-    EngineCounters* counters, bool mixed_precision) {
+    EngineCounters* counters, bool mixed_precision,
+    const ShiftTable* shifts) {
   std::vector<double> phi_store(targets.size(), 0.0);
   const std::span<double> phi = phi_store;
   // Single precision roughly doubles effective throughput on the paper's
@@ -626,7 +649,9 @@ std::vector<double> gpu_evaluate_device_resident(
       const TargetBatch& batch = batches[b];
       const BatchInteractions& bi = lists.per_batch[b];
 
-      for (const int ci : bi.approx) {
+      for (std::size_t e = 0; e < bi.approx.size(); ++e) {
+        const int ci = bi.approx[e];
+        const ResolvedShift shift = resolve_shift(shifts, bi.approx_shift, e);
         const auto gx = moments.grid(ci, 0);
         const auto gy = moments.grid(ci, 1);
         const auto gz = moments.grid(ci, 2);
@@ -635,15 +660,17 @@ std::vector<double> gpu_evaluate_device_resident(
         cost.evals = weight * static_cast<double>(batch.count()) *
                      static_cast<double>(qhat.size());
         cost.blocks = batch.count();
-        device.launch(device.next_stream(), cost, [&, gx, gy, gz, qhat] {
+        device.launch(device.next_stream(), cost,
+                      [&, gx, gy, gz, qhat, shift] {
           // Batch-cluster approximation kernel (Eq. 11): one target per
           // block; threads over Chebyshev points with a block reduction.
+          // The shift is read from the device-resident table by id.
           if (mixed_precision) {
             approx_kernel_body<float>(targets, batch, gx, gy, gz, qhat, k,
-                                      phi);
+                                      phi, shift);
           } else {
             approx_kernel_body<double>(targets, batch, gx, gy, gz, qhat, k,
-                                       phi);
+                                       phi, shift);
           }
         });
         local.approx_evals += static_cast<double>(batch.count()) *
@@ -651,19 +678,22 @@ std::vector<double> gpu_evaluate_device_resident(
         ++local.approx_launches;
       }
 
-      for (const int ci : bi.direct) {
-        const ClusterNode& node = tree.node(ci);
+      for (std::size_t e = 0; e < bi.direct.size(); ++e) {
+        const ClusterNode& node = tree.node(bi.direct[e]);
+        const ResolvedShift shift = resolve_shift(shifts, bi.direct_shift, e);
         gpusim::KernelCost cost;
         cost.evals = weight * static_cast<double>(batch.count()) *
                      static_cast<double>(node.count());
         cost.blocks = batch.count();
-        device.launch(device.next_stream(), cost, [&, node] {
+        device.launch(device.next_stream(), cost, [&, node, shift] {
           // Batch-cluster direct sum kernel (Eq. 9): one target per block;
           // threads over the cluster's source particles with a reduction.
           if (mixed_precision) {
-            direct_kernel_body<float>(targets, batch, sources, node, k, phi);
+            direct_kernel_body<float>(targets, batch, sources, node, k, phi,
+                                      shift);
           } else {
-            direct_kernel_body<double>(targets, batch, sources, node, k, phi);
+            direct_kernel_body<double>(targets, batch, sources, node, k, phi,
+                                       shift);
           }
         });
         local.direct_evals += static_cast<double>(batch.count()) *
@@ -687,7 +717,8 @@ std::vector<double> gpu_evaluate(gpusim::Device& device,
                                  const ClusterMoments& moments,
                                  const KernelSpec& kernel,
                                  EngineCounters* counters,
-                                 bool mixed_precision) {
+                                 bool mixed_precision,
+                                 const ShiftTable* shifts) {
   // HtD: targets, source particles (for direct interactions), cluster grid
   // coordinates and modified charges (the serial-run equivalent of copying
   // the LET onto the device).
@@ -700,10 +731,16 @@ std::vector<double> gpu_evaluate(gpusim::Device& device,
   gpusim::DeviceBuffer<double> dsq(device, std::span<const double>(sources.q));
   gpusim::DeviceBuffer<double> dgrids(device, moments.all_grids());
   gpusim::DeviceBuffer<double> dqhat(device, moments.all_qhat());
+  std::unique_ptr<gpusim::DeviceBuffer<double>> dshifts;
+  if (shifts != nullptr) {
+    const std::vector<double> flat = shifts->flattened();
+    dshifts = std::make_unique<gpusim::DeviceBuffer<double>>(
+        device, std::span<const double>(flat));
+  }
 
   std::vector<double> phi = gpu_evaluate_device_resident(
       device, targets, batches, lists, tree, sources, moments, kernel,
-      counters, mixed_precision);
+      counters, mixed_precision, shifts);
 
   // DtH: final potentials.
   device.device_to_host(phi.size() * sizeof(double));
@@ -913,6 +950,15 @@ std::vector<double> GpuSimEngine::evaluate_potential(const SourcePlan& sources,
       tgt_hat_.reset();
     }
   }
+  // Periodic boundaries: the shared lattice shift table rides to the device
+  // once per engine lifetime (it depends only on the solver's domain/shell
+  // configuration). This one upload is the entire extra device footprint of
+  // the image sum — sources, grids, and modified charges stay shared.
+  if (targets.shifts != nullptr && shift_table_ == nullptr) {
+    const std::vector<double> flat = targets.shifts->flattened();
+    shift_table_ =
+        std::make_unique<Buffer>(device_, std::span<const double>(flat));
+  }
 
   const gpusim::TimeMarker before = device_.marker();
   EngineCounters counters;
@@ -921,7 +967,7 @@ std::vector<double> GpuSimEngine::evaluate_potential(const SourcePlan& sources,
     phi = gpu_evaluate_dual_device_resident(
         device_, tgt, *targets.tree, targets.grids, targets.dual_lists[0],
         *sources.tree, *sources.particles, dual_moments_, kernel, &counters,
-        options_.mixed_precision);
+        options_.mixed_precision, targets.shifts);
   } else {
     // Local piece first, then the attached LET pieces in piece order (fixed
     // accumulation order keeps the result deterministic and backend-
@@ -929,7 +975,7 @@ std::vector<double> GpuSimEngine::evaluate_potential(const SourcePlan& sources,
     phi = gpu_evaluate_device_resident(
         device_, tgt, *targets.batches, targets.lists[0], *sources.tree,
         *sources.particles, moments_, kernel, &counters,
-        options_.mixed_precision);
+        options_.mixed_precision, targets.shifts);
     for (std::size_t p = 0; p < let_.size(); ++p) {
       const LetPiece& piece = let_[p].piece;
       EngineCounters piece_counters;

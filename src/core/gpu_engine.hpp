@@ -76,12 +76,17 @@ GpuPrecomputeResult gpu_precompute_moments(gpusim::Device& device,
 /// Potential evaluation (kernels 3 and 4) assuming all inputs are already
 /// device resident — no transfers are accounted. The distributed solver
 /// uses this after explicitly accounting the (much smaller) LET transfer.
+/// A non-null `shifts` table (periodic boundaries) executes image entries
+/// by adding the entry's shift — read from the device-resident table by its
+/// compact id — to the source stream inside the kernel bodies; the cluster
+/// data itself is shared by every image.
 std::vector<double> gpu_evaluate_device_resident(
     gpusim::Device& device, const OrderedParticles& targets,
     const std::vector<TargetBatch>& batches, const InteractionLists& lists,
     const ClusterTree& tree, const OrderedParticles& sources,
     const ClusterMoments& moments, const KernelSpec& kernel,
-    EngineCounters* counters = nullptr, bool mixed_precision = false);
+    EngineCounters* counters = nullptr, bool mixed_precision = false,
+    const ShiftTable* shifts = nullptr);
 
 /// Dual-traversal potential evaluation assuming all inputs (including the
 /// target cluster grids) are device resident. Models the BLDTT launch
@@ -96,7 +101,8 @@ std::vector<double> gpu_evaluate_dual_device_resident(
     const DualInteractionLists& lists, const ClusterTree& source_tree,
     const OrderedParticles& sources,
     std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
-    EngineCounters* counters = nullptr, bool mixed_precision = false);
+    EngineCounters* counters = nullptr, bool mixed_precision = false,
+    const ShiftTable* shifts = nullptr);
 
 /// Run the potential evaluation (kernels 3 and 4) for all batches on
 /// `device`, including the HtD upload of targets/sources/cluster data and
@@ -111,7 +117,8 @@ std::vector<double> gpu_evaluate(gpusim::Device& device,
                                  const ClusterMoments& moments,
                                  const KernelSpec& kernel,
                                  EngineCounters* counters = nullptr,
-                                 bool mixed_precision = false);
+                                 bool mixed_precision = false,
+                                 const ShiftTable* shifts = nullptr);
 
 /// Engine-interface wrapper owning one simulated device for the lifetime of
 /// its Solver. Device-resident state: source coordinates/charges (uploaded
@@ -176,6 +183,12 @@ class GpuSimEngine final : public Engine {
   std::unique_ptr<Buffer> src_x_, src_y_, src_z_, src_q_;
   std::unique_ptr<Buffer> grids_, qhat_;
   std::unique_ptr<Buffer> tgt_x_, tgt_y_, tgt_z_;
+  /// Periodic boundaries: the plan's lattice shift table, uploaded once per
+  /// engine lifetime (it depends only on the solver's domain/shell
+  /// configuration) and read by every shifted kernel launch. Its one upload
+  /// is the entire device-footprint cost of periodic images — sources,
+  /// grids, and modified charges are shared by every shift.
+  std::unique_ptr<Buffer> shift_table_;
   /// Dual traversal: target-node Chebyshev grids plus the per-node grid
   /// potentials the CC/CP kernels accumulate into; staged with the targets
   /// and resident until the target plan changes.

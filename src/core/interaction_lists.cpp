@@ -2,49 +2,85 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <utility>
 
 namespace bltc {
 namespace {
 
+/// One lattice image of the source tree: the shift vector added to every
+/// cluster center during the MAC test, and the shift id stamped on emitted
+/// entries. The home cell (and the whole open-boundary path) is the zero
+/// shift with `tag == false`, which leaves the per-entry shift arrays empty.
+struct ImageShift {
+  double x = 0.0, y = 0.0, z = 0.0;
+  std::uint16_t id = 0;
+  bool tag = false;
+};
+
 void traverse(const ClusterTree& tree, int ci,
               const std::array<double, 3>& center, double radius,
-              double theta, int degree, BatchInteractions& out) {
+              double theta, int degree, const ImageShift& shift,
+              BatchInteractions& out) {
   const ClusterNode& cluster = tree.node(ci);
   if (cluster.count() == 0) return;
-  switch (evaluate_mac(center, radius, cluster.center, cluster.radius,
+  const std::array<double, 3> shifted{cluster.center[0] + shift.x,
+                                      cluster.center[1] + shift.y,
+                                      cluster.center[2] + shift.z};
+  const auto emit = [&](std::vector<int>& nodes,
+                        std::vector<std::uint16_t>& ids) {
+    nodes.push_back(ci);
+    if (shift.tag) ids.push_back(shift.id);
+  };
+  switch (evaluate_mac(center, radius, shifted, cluster.radius,
                        cluster.count(), theta, degree)) {
     case MacResult::kApprox:
-      out.approx.push_back(ci);
+      emit(out.approx, out.approx_shift);
       return;
     case MacResult::kClusterSmall:
-      out.direct.push_back(ci);
+      emit(out.direct, out.direct_shift);
       return;
     case MacResult::kTooClose:
       if (cluster.is_leaf()) {
-        out.direct.push_back(ci);
+        emit(out.direct, out.direct_shift);
       } else {
         for (int c = 0; c < cluster.num_children; ++c) {
           traverse(tree, cluster.children[static_cast<std::size_t>(c)], center,
-                   radius, theta, degree, out);
+                   radius, theta, degree, shift, out);
         }
       }
       return;
   }
 }
 
+/// Expand `shifts` into per-image traversal descriptors. A null or
+/// single-entry table yields the one untagged home cell, which keeps the
+/// open-boundary lists (and their byte-for-byte comparisons) unchanged.
+std::vector<ImageShift> image_shifts(const ShiftTable* shifts) {
+  if (shifts == nullptr || shifts->size() <= 1) return {ImageShift{}};
+  std::vector<ImageShift> images(shifts->size());
+  for (std::size_t s = 0; s < shifts->size(); ++s) {
+    images[s] = {shifts->sx[s], shifts->sy[s], shifts->sz[s],
+                 static_cast<std::uint16_t>(s), true};
+  }
+  return images;
+}
+
 }  // namespace
 
 InteractionLists build_interaction_lists(
     const std::vector<TargetBatch>& batches, const ClusterTree& tree,
-    double theta, int degree) {
+    double theta, int degree, const ShiftTable* shifts) {
   InteractionLists lists;
   lists.per_batch.resize(batches.size());
   if (tree.num_nodes() == 0) return lists;
+  const std::vector<ImageShift> images = image_shifts(shifts);
 #pragma omp parallel for schedule(dynamic)
   for (std::size_t b = 0; b < batches.size(); ++b) {
-    traverse(tree, tree.root(), batches[b].center, batches[b].radius, theta,
-             degree, lists.per_batch[b]);
+    for (const ImageShift& image : images) {
+      traverse(tree, tree.root(), batches[b].center, batches[b].radius, theta,
+               degree, image, lists.per_batch[b]);
+    }
   }
   for (const auto& bi : lists.per_batch) {
     lists.total_approx += bi.approx.size();
@@ -111,25 +147,32 @@ struct DualTraversal {
   /// accumulating kinds are anchored at leaves so their particle ranges are
   /// disjoint across groups).
   void emit_at_leaves(DualKind kind, std::uint8_t level, int ti, int si,
-                      std::vector<DualPair>& out) const {
+                      std::uint16_t sid, std::vector<DualPair>& out) const {
     const ClusterNode& t = ttree.node(ti);
     if (t.count() == 0) return;
     if (t.is_leaf()) {
-      out.push_back({kind, level, ti, si});
+      out.push_back({kind, level, ti, si, sid});
       return;
     }
     for (int c = 0; c < t.num_children; ++c) {
       emit_at_leaves(kind, level, t.children[static_cast<std::size_t>(c)], si,
-                     out);
+                     sid, out);
     }
   }
 
-  void traverse(int ti, int si, std::vector<DualPair>& out) const {
+  /// Asymmetric recursion against one lattice image of the source tree:
+  /// `image` offsets every source cluster center (the open path is the
+  /// untagged zero shift).
+  void traverse(int ti, int si, const ImageShift& image,
+                std::vector<DualPair>& out) const {
     const ClusterNode& t = ttree.node(ti);
     const ClusterNode& s = stree.node(si);
     if (t.count() == 0 || s.count() == 0) return;
 
-    const double r = distance(t.center, s.center);
+    const std::array<double, 3> sc{s.center[0] + image.x,
+                                   s.center[1] + image.y,
+                                   s.center[2] + image.z};
+    const double r = distance(t.center, sc);
     if (t.radius + s.radius < theta * r) {
       // Separated: pick the ladder level the pair's separation ratio
       // admits, then the cheapest interaction kind at that level.
@@ -146,13 +189,13 @@ struct DualTraversal {
       const double cost_cc = p * p;
       if (cost_direct <= cost_pc && cost_direct <= cost_cp &&
           cost_direct <= cost_cc) {
-        emit_at_leaves(DualKind::kDirect, 0, ti, si, out);
+        emit_at_leaves(DualKind::kDirect, 0, ti, si, image.id, out);
       } else if (cost_cc <= cost_pc && cost_cc <= cost_cp) {
-        out.push_back({DualKind::kCC, level, ti, si});
+        out.push_back({DualKind::kCC, level, ti, si, image.id});
       } else if (cost_pc <= cost_cp) {
-        emit_at_leaves(DualKind::kPC, level, ti, si, out);
+        emit_at_leaves(DualKind::kPC, level, ti, si, image.id, out);
       } else {
-        out.push_back({DualKind::kCP, level, ti, si});
+        out.push_back({DualKind::kCP, level, ti, si, image.id});
       }
       return;
     }
@@ -162,18 +205,18 @@ struct DualTraversal {
     const bool t_splittable = !t.is_leaf();
     const bool s_splittable = !s.is_leaf();
     if (!t_splittable && !s_splittable) {
-      out.push_back({DualKind::kDirect, 0, ti, si});
+      out.push_back({DualKind::kDirect, 0, ti, si, image.id});
       return;
     }
     const bool split_target =
         t_splittable && (!s_splittable || t.radius >= s.radius);
     if (split_target) {
       for (int c = 0; c < t.num_children; ++c) {
-        traverse(t.children[static_cast<std::size_t>(c)], si, out);
+        traverse(t.children[static_cast<std::size_t>(c)], si, image, out);
       }
     } else {
       for (int c = 0; c < s.num_children; ++c) {
-        traverse(ti, s.children[static_cast<std::size_t>(c)], out);
+        traverse(ti, s.children[static_cast<std::size_t>(c)], image, out);
       }
     }
   }
@@ -242,7 +285,7 @@ struct DualTraversal {
         if (cost_cc <= cost_pc && cost_cc <= cost_cp) {
           out.push_back({DualKind::kCC, level, ti, si});
         } else if (cost_pc <= cost_cp) {
-          emit_at_leaves(DualKind::kPC, level, ti, si, out);
+          emit_at_leaves(DualKind::kPC, level, ti, si, 0, out);
         } else {
           out.push_back({DualKind::kCP, level, ti, si});
         }
@@ -331,13 +374,24 @@ std::vector<int> dual_degree_ladder(int degree) {
 DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
                                                   const ClusterTree& stree,
                                                   double theta, int degree,
-                                                  bool self) {
+                                                  bool self,
+                                                  const ShiftTable* shifts) {
   DualInteractionLists lists;
   lists.grid_offsets.assign(1, 0);
   lists.leaf_offsets.assign(1, 0);
   lists.ladder = dual_degree_ladder(degree);
   lists.self = self;
   if (ttree.num_nodes() == 0 || stree.num_nodes() == 0) return lists;
+  const std::vector<ImageShift> images = image_shifts(shifts);
+  // The symmetric self mode exploits targets == sources within one cell; a
+  // shifted image breaks that symmetry, so the solver never combines them.
+  if (self && images.size() > 1) {
+    throw std::invalid_argument(
+        "build_dual_interaction_lists: the symmetric self mode cannot be "
+        "combined with a lattice shift table (a shifted image breaks the "
+        "target/source exchange symmetry); pass self = false under "
+        "periodic boundaries");
+  }
 
   DualTraversal walker{ttree, stree, theta, degree, lists.ladder, {}};
   walker.lppc.reserve(walker.ladder.size());
@@ -347,19 +401,23 @@ DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
   }
 
   // Task frontier for parallel construction: diagonal (self) and mutual
-  // node-pair subproblems whose recursions are independent. Expansion
-  // follows the recursion rules exactly, so the concatenation of per-task
-  // outputs in task order is deterministic regardless of thread count.
+  // node-pair subproblems whose recursions are independent — one subproblem
+  // tree per lattice image under periodic boundaries. Expansion follows the
+  // recursion rules exactly, so the concatenation of per-task outputs in
+  // task order is deterministic regardless of thread count.
   struct Task {
     int i;
     int j;  ///< j == i: diagonal subproblem (self mode only)
+    std::uint16_t image = 0;  ///< index into `images`
   };
   std::vector<Task> frontier;
   std::vector<DualPair> preamble;  // pairs resolved during expansion
   if (self) {
-    frontier.push_back({ttree.root(), ttree.root()});
+    frontier.push_back({ttree.root(), ttree.root(), 0});
   } else {
-    frontier.push_back({ttree.root(), stree.root()});
+    for (std::uint16_t s = 0; s < images.size(); ++s) {
+      frontier.push_back({ttree.root(), stree.root(), s});
+    }
   }
   const std::size_t task_goal = 256;
   bool grew = true;
@@ -379,18 +437,22 @@ DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
         grew = true;
         for (int c = 0; c < t.num_children; ++c) {
           next.push_back({t.children[static_cast<std::size_t>(c)],
-                          t.children[static_cast<std::size_t>(c)]});
+                          t.children[static_cast<std::size_t>(c)], 0});
         }
         for (int c1 = 0; c1 < t.num_children; ++c1) {
           for (int c2 = c1 + 1; c2 < t.num_children; ++c2) {
             next.push_back({t.children[static_cast<std::size_t>(c1)],
-                            t.children[static_cast<std::size_t>(c2)]});
+                            t.children[static_cast<std::size_t>(c2)], 0});
           }
         }
         continue;
       }
+      const ImageShift& image = images[task.image];
+      const std::array<double, 3> sc{s.center[0] + image.x,
+                                     s.center[1] + image.y,
+                                     s.center[2] + image.z};
       const bool separated =
-          pair_well_separated(t.center, t.radius, s.center, s.radius, theta);
+          pair_well_separated(t.center, t.radius, sc, s.radius, theta);
       const bool t_splittable = !t.is_leaf();
       const bool s_splittable = !s.is_leaf();
       if (separated || (!t_splittable && !s_splittable)) {
@@ -398,7 +460,7 @@ DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
         if (self) {
           walker.mutual(task.i, task.j, preamble);
         } else {
-          walker.traverse(task.i, task.j, preamble);
+          walker.traverse(task.i, task.j, image, preamble);
         }
         continue;
       }
@@ -407,11 +469,13 @@ DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
           t_splittable && (!s_splittable || t.radius >= s.radius);
       if (split_target) {
         for (int c = 0; c < t.num_children; ++c) {
-          next.push_back({t.children[static_cast<std::size_t>(c)], task.j});
+          next.push_back({t.children[static_cast<std::size_t>(c)], task.j,
+                          task.image});
         }
       } else {
         for (int c = 0; c < s.num_children; ++c) {
-          next.push_back({task.i, s.children[static_cast<std::size_t>(c)]});
+          next.push_back({task.i, s.children[static_cast<std::size_t>(c)],
+                          task.image});
         }
       }
     }
@@ -427,7 +491,7 @@ DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
     } else if (self) {
       walker.mutual(task.i, task.j, task_pairs[i]);
     } else {
-      walker.traverse(task.i, task.j, task_pairs[i]);
+      walker.traverse(task.i, task.j, images[task.image], task_pairs[i]);
     }
   }
 
@@ -458,14 +522,18 @@ DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
 
 InteractionLists build_interaction_lists_per_target(
     const OrderedParticles& targets, const ClusterTree& tree, double theta,
-    int degree) {
+    int degree, const ShiftTable* shifts) {
   InteractionLists lists;
   lists.per_batch.resize(targets.size());
   if (tree.num_nodes() == 0) return lists;
+  const std::vector<ImageShift> images = image_shifts(shifts);
 #pragma omp parallel for schedule(dynamic, 64)
   for (std::size_t i = 0; i < targets.size(); ++i) {
     const std::array<double, 3> pt{targets.x[i], targets.y[i], targets.z[i]};
-    traverse(tree, tree.root(), pt, 0.0, theta, degree, lists.per_batch[i]);
+    for (const ImageShift& image : images) {
+      traverse(tree, tree.root(), pt, 0.0, theta, degree, image,
+               lists.per_batch[i]);
+    }
   }
   for (const auto& bi : lists.per_batch) {
     lists.total_approx += bi.approx.size();

@@ -12,15 +12,25 @@
 
 #include "core/batches.hpp"
 #include "core/mac.hpp"
+#include "core/periodic.hpp"
 #include "core/tree.hpp"
 
 namespace bltc {
 
 /// Interaction lists for one target batch: clusters to evaluate via the
 /// barycentric approximation (Eq. 11) and clusters to sum directly (Eq. 9).
+/// Under periodic boundary conditions each entry additionally carries a
+/// compact shift id into the plan's shared ShiftTable — the cluster is
+/// interacted with at its lattice-image position (grid/particle coordinates
+/// plus the shift vector), against the *same* cached moments. The shift
+/// arrays are parallel to `approx`/`direct` when filled and empty under
+/// open boundaries (executors treat empty as all-home-cell, keeping the
+/// open path untouched).
 struct BatchInteractions {
   std::vector<int> approx;  ///< cluster indices, MAC passed
   std::vector<int> direct;  ///< cluster indices, direct summation
+  std::vector<std::uint16_t> approx_shift;  ///< shift ids (periodic only)
+  std::vector<std::uint16_t> direct_shift;  ///< shift ids (periodic only)
 };
 
 /// Lists for all batches plus aggregate counts used by benches and the
@@ -32,16 +42,21 @@ struct InteractionLists {
 };
 
 /// Build interaction lists with the batch-level MAC (the paper's default).
+/// A non-null `shifts` table (periodic boundaries) descends one copy of the
+/// source tree per lattice shift, testing the MAC against shifted cluster
+/// centers and tagging every emitted entry with its shift id; entries are
+/// shift-major per batch, home cell first, so the ordering is deterministic.
 InteractionLists build_interaction_lists(const std::vector<TargetBatch>& batches,
                                          const ClusterTree& tree, double theta,
-                                         int degree);
+                                         int degree,
+                                         const ShiftTable* shifts = nullptr);
 
 /// Ablation variant: apply the MAC per target particle instead of per batch
 /// (§3.2 argues batching is near-optimal; this quantifies the claim). The
 /// result has one BatchInteractions per *target particle* of `targets`.
 InteractionLists build_interaction_lists_per_target(
     const OrderedParticles& targets, const ClusterTree& tree, double theta,
-    int degree);
+    int degree, const ShiftTable* shifts = nullptr);
 
 // ---- Dual traversal (BLDTT) ----------------------------------------------
 
@@ -76,6 +91,7 @@ struct DualPair {
   std::uint8_t level = 0;
   int target = -1;
   int source = -1;
+  std::uint16_t shift = 0;  ///< lattice shift id (0 = home cell / open)
 };
 
 /// Interaction lists of one dual traversal, pre-grouped by target node so
@@ -121,10 +137,25 @@ struct DualInteractionLists {
 /// MAC. Parallelized over an initial task frontier; the output ordering is
 /// deterministic regardless of thread count. With `self` the two trees must
 /// be identical (same particle order and node indexing); the traversal then
-/// walks unordered pairs (see DualInteractionLists::self).
+/// walks unordered pairs (see DualInteractionLists::self). A non-null
+/// `shifts` table (periodic boundaries) traverses one lattice-shifted copy
+/// of the source tree per shift, tagging pairs with their shift id; the
+/// symmetric self mode is incompatible with shifts (the solver disables it
+/// under periodic boundaries) and asserts against the combination.
 DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
                                                   const ClusterTree& stree,
                                                   double theta, int degree,
-                                                  bool self = false);
+                                                  bool self = false,
+                                                  const ShiftTable* shifts =
+                                                      nullptr);
+
+/// Resolve a dual pair's lattice shift (see ResolvedShift in
+/// core/periodic.hpp; both engines execute pairs through this).
+inline ResolvedShift resolve_pair_shift(const ShiftTable* shifts,
+                                        const DualPair& pair) {
+  if (shifts == nullptr || pair.shift == 0) return {};
+  const std::size_t s = pair.shift;
+  return {shifts->sx[s], shifts->sy[s], shifts->sz[s], static_cast<int>(s)};
+}
 
 }  // namespace bltc

@@ -1,5 +1,6 @@
 #include "core/moments.hpp"
 
+#include <atomic>
 #include <cassert>
 
 #include "core/barycentric.hpp"
@@ -7,6 +8,14 @@
 #include "core/mac.hpp"
 
 namespace bltc {
+
+namespace {
+std::atomic<std::size_t> moment_build_count{0};
+}  // namespace
+
+std::size_t ClusterMoments::build_count() {
+  return moment_build_count.load(std::memory_order_relaxed);
+}
 
 ClusterMoments ClusterMoments::grids_only(const ClusterTree& tree,
                                           int degree) {
@@ -222,6 +231,7 @@ ClusterMoments ClusterMoments::compute(const ClusterTree& tree,
                                        const OrderedParticles& sources,
                                        int degree,
                                        MomentAlgorithm algorithm) {
+  moment_build_count.fetch_add(1, std::memory_order_relaxed);
   ClusterMoments m = grids_only(tree, degree);
   const std::size_t nc = m.num_clusters_;
 #pragma omp parallel for schedule(dynamic)

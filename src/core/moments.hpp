@@ -44,6 +44,12 @@ class ClusterMoments {
                                 MomentAlgorithm algorithm =
                                     MomentAlgorithm::kDirect);
 
+  /// Process-wide count of full `compute` passes (not grids_only, not
+  /// restrict_from, not charges-only refreshes). Tests use deltas of this
+  /// counter to assert structural claims — e.g. that periodic image shells
+  /// share one moment build with the home cell.
+  static std::size_t build_count();
+
   int degree() const { return degree_; }
   std::size_t points_per_cluster() const { return ppc_; }
   std::size_t num_clusters() const { return num_clusters_; }

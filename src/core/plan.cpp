@@ -20,12 +20,70 @@ void TreecodeParams::validate() const {
         "TreecodeParams: per_target_mac is an ablation of the batched "
         "traversal and cannot be combined with TraversalMode::kDual");
   }
+  if (boundary == BoundaryConditions::kPeriodic) {
+    if (!domain.valid() || domain.shortest() <= 0.0) {
+      throw std::invalid_argument(
+          "TreecodeParams: periodic boundary conditions require a valid "
+          "domain box with positive extents");
+    }
+    if (image_shells < 0 || image_shells > 6) {
+      throw std::invalid_argument(
+          "TreecodeParams: image_shells must be in [0, 6] ((2k+1)^3 lattice "
+          "images; 6 shells is already 2197 copies of the source tree)");
+    }
+  }
 }
+
+namespace {
+
+/// Wrap tree-ordered particle coordinates into the primary cell in place
+/// (the plan stores canonical representatives, making plan matching and
+/// image arithmetic translation invariant).
+void wrap_particles(OrderedParticles& particles, const Box3& domain) {
+  const auto len = domain.lengths();
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    particles.x[i] = wrap_coordinate(particles.x[i], domain.lo[0], len[0]);
+    particles.y[i] = wrap_coordinate(particles.y[i], domain.lo[1], len[1]);
+    particles.z[i] = wrap_coordinate(particles.z[i], domain.lo[2], len[2]);
+  }
+}
+
+/// Plan-match comparison shared by both plan states: stored coordinates are
+/// canonical (wrapped under kPeriodic), so incoming coordinates wrap before
+/// comparing.
+bool matches_impl(const OrderedParticles& particles,
+                  BoundaryConditions boundary, const Box3& domain,
+                  const Cloud& cloud) {
+  if (cloud.size() != particles.size()) return false;
+  const bool periodic = boundary == BoundaryConditions::kPeriodic;
+  const auto len = domain.lengths();
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    const std::size_t o = particles.original_index[i];
+    double cx = cloud.x[o];
+    double cy = cloud.y[o];
+    double cz = cloud.z[o];
+    if (periodic) {
+      cx = wrap_coordinate(cx, domain.lo[0], len[0]);
+      cy = wrap_coordinate(cy, domain.lo[1], len[1]);
+      cz = wrap_coordinate(cz, domain.lo[2], len[2]);
+    }
+    if (cx != particles.x[i] || cy != particles.y[i] ||
+        cz != particles.z[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 SourcePlanState SourcePlanState::build(const Cloud& sources,
                                        const TreecodeParams& params) {
   SourcePlanState state;
   state.particles = OrderedParticles::from_cloud(sources);
+  state.boundary = params.boundary;
+  state.domain = params.domain;
+  if (params.periodic()) wrap_particles(state.particles, state.domain);
   TreeParams tree_params;
   tree_params.max_leaf = params.max_leaf;
   state.tree = ClusterTree::build(state.particles, tree_params);
@@ -33,15 +91,7 @@ SourcePlanState SourcePlanState::build(const Cloud& sources,
 }
 
 bool SourcePlanState::matches(const Cloud& cloud) const {
-  if (cloud.size() != particles.size()) return false;
-  for (std::size_t i = 0; i < particles.size(); ++i) {
-    const std::size_t o = particles.original_index[i];
-    if (cloud.x[o] != particles.x[i] || cloud.y[o] != particles.y[i] ||
-        cloud.z[o] != particles.z[i]) {
-      return false;
-    }
-  }
-  return true;
+  return matches_impl(particles, boundary, domain, cloud);
 }
 
 void SourcePlanState::set_charges(std::span<const double> charges) {
@@ -61,6 +111,12 @@ TargetPlanState TargetPlanState::plan(const Cloud& targets,
   state.particles = OrderedParticles::from_cloud(targets);
   state.per_target_mac = params.per_target_mac;
   state.traversal = params.traversal;
+  state.boundary = params.boundary;
+  state.domain = params.domain;
+  if (params.periodic()) {
+    wrap_particles(state.particles, state.domain);
+    state.shifts = ShiftTable::build(state.domain, params.image_shells);
+  }
   if (params.traversal == TraversalMode::kDual) {
     // The dual traversal needs a full target cluster tree (its leaves play
     // the batch role, N_B) plus per-node Chebyshev grids at every ladder
@@ -80,32 +136,24 @@ TargetPlanState TargetPlanState::plan(const Cloud& targets,
 std::size_t TargetPlanState::append_lists(const ClusterTree& source_tree,
                                           const TreecodeParams& params,
                                           bool self) {
+  const ShiftTable* table = params.periodic() ? &shifts : nullptr;
   if (traversal == TraversalMode::kDual) {
     dual_lists.push_back(build_dual_interaction_lists(
-        tree, source_tree, params.theta, params.degree, self));
+        tree, source_tree, params.theta, params.degree, self, table));
     return dual_lists.size() - 1;
   }
   if (per_target_mac) {
-    lists.push_back(build_interaction_lists_per_target(particles, source_tree,
-                                                       params.theta,
-                                                       params.degree));
+    lists.push_back(build_interaction_lists_per_target(
+        particles, source_tree, params.theta, params.degree, table));
   } else {
     lists.push_back(build_interaction_lists(batches, source_tree, params.theta,
-                                            params.degree));
+                                            params.degree, table));
   }
   return lists.size() - 1;
 }
 
 bool TargetPlanState::matches(const Cloud& targets) const {
-  if (targets.size() != particles.size()) return false;
-  for (std::size_t i = 0; i < particles.size(); ++i) {
-    const std::size_t o = particles.original_index[i];
-    if (targets.x[o] != particles.x[i] || targets.y[o] != particles.y[i] ||
-        targets.z[o] != particles.z[i]) {
-      return false;
-    }
-  }
-  return true;
+  return matches_impl(particles, boundary, domain, targets);
 }
 
 }  // namespace bltc

@@ -24,7 +24,9 @@
 #include "core/interaction_lists.hpp"
 #include "core/moments.hpp"
 #include "core/particles.hpp"
+#include "core/periodic.hpp"
 #include "core/tree.hpp"
+#include "util/box.hpp"
 #include "util/workloads.hpp"
 
 namespace bltc {
@@ -57,6 +59,21 @@ struct TreecodeParams {
   bool per_target_mac = false;
   /// Interaction-list construction scheme (see TraversalMode).
   TraversalMode traversal = TraversalMode::kBatched;
+
+  /// Boundary conditions (core/periodic.hpp). Under kPeriodic the plan
+  /// layer wraps all positions into `domain`, the traversals run the MAC
+  /// against lattice-shifted copies of the source tree, and the finite
+  /// image sum covers every shift with max(|i|,|j|,|k|) <= image_shells.
+  /// One source plan (one moment build, one device upload) serves all
+  /// shifts — the moments are translation invariant.
+  BoundaryConditions boundary = BoundaryConditions::kOpen;
+  /// Primary cell (kPeriodic only); must be valid with positive extents.
+  Box3 domain{};
+  /// Image-shell count k (kPeriodic only): (2k+1)^3 lattice images. k == 0
+  /// reproduces the open-boundary result for in-domain particles exactly.
+  int image_shells = 1;
+
+  bool periodic() const { return boundary == BoundaryConditions::kPeriodic; }
 
   /// Throws std::invalid_argument when parameters are out of range.
   void validate() const;
@@ -92,6 +109,10 @@ struct TargetPlan {
   const ClusterTree* tree = nullptr;
   std::span<const ClusterMoments> grids;
   std::span<const DualInteractionLists> dual_lists;
+  /// Lattice shift table the list entries' shift ids index (kPeriodic only,
+  /// null under open boundaries). Owned by the target plan state; one table
+  /// is shared by every list of the plan.
+  const ShiftTable* shifts = nullptr;
 };
 
 /// Owning storage behind `SourcePlan`: the source half of the paper's setup
@@ -99,6 +120,12 @@ struct TargetPlan {
 struct SourcePlanState {
   OrderedParticles particles;
   ClusterTree tree;
+  /// Boundary handling the plan was built with: under kPeriodic the stored
+  /// particles are wrapped into `domain`, and `matches` wraps incoming
+  /// coordinates before comparing (so a cloud translated by a lattice
+  /// vector matches the cached plan whenever the translation was exact).
+  BoundaryConditions boundary = BoundaryConditions::kOpen;
+  Box3 domain{};
 
   /// Build the tree-ordered particle set and its cluster tree.
   static SourcePlanState build(const Cloud& sources,
@@ -129,6 +156,12 @@ struct TargetPlanState {
   std::vector<InteractionLists> lists;  ///< one per source piece, in order
   bool per_target_mac = false;
   TraversalMode traversal = TraversalMode::kBatched;
+  /// Boundary handling (see SourcePlanState): wrapped targets, wrap-aware
+  /// plan matching, and the one shift table every traversal and engine of
+  /// this plan shares.
+  BoundaryConditions boundary = BoundaryConditions::kOpen;
+  Box3 domain{};
+  ShiftTable shifts;
   /// Dual traversal only: the target cluster tree (leaf size N_B), its
   /// per-node Chebyshev grids per ladder degree, and one dual list set per
   /// source piece.
@@ -166,6 +199,7 @@ struct TargetPlanState {
       plan.grids = grids;
       plan.dual_lists = dual_lists;
     }
+    if (boundary == BoundaryConditions::kPeriodic) plan.shifts = &shifts;
     return plan;
   }
 };

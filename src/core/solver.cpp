@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/engine.hpp"
+#include "core/periodic.hpp"
 #include "core/plan.hpp"
 #include "util/timer.hpp"
 
@@ -30,6 +31,11 @@ void Solver::plan_sources(const Cloud& sources) {
 }
 
 void Solver::set_sources(const Cloud& sources) {
+  // Conditionally convergent kernels (Coulomb) are only meaningful on
+  // neutral systems under periodic boundaries; reject before any planning.
+  if (config_.params.periodic()) {
+    require_periodic_neutrality(sources.q, config_.kernel);
+  }
   have_sources_ = true;
   // Interaction lists reference the source tree; any cached target plan
   // must be re-listed against the new tree.
@@ -49,6 +55,9 @@ void Solver::update_charges(std::span<const double> charges) {
     throw std::invalid_argument(
         "Solver::update_charges: charge count does not match the sources");
   }
+  if (config_.params.periodic()) {
+    require_periodic_neutrality(charges, config_.kernel);
+  }
   if (source_.size() == 0) return;
   // Charges arrive in caller order; the plan stores tree order.
   WallTimer timer;
@@ -66,7 +75,11 @@ void Solver::plan_targets(const Cloud& targets) {
   // are built with the same leaf size, the trees are identical (the build
   // is deterministic) and the traversal can walk unordered pairs, executing
   // direct interactions symmetrically (one G evaluation per point pair).
+  // Periodic boundaries disable the self mode: a lattice-shifted image
+  // breaks the target/source exchange symmetry the mutual walk exploits, so
+  // every image (including the home cell) uses the asymmetric traversal.
   const bool self = config_.params.traversal == TraversalMode::kDual &&
+                    !config_.params.periodic() &&
                     config_.params.max_leaf == config_.params.max_batch &&
                     source_.matches(targets);
   targets_.append_lists(source_.tree, config_.params, self);

@@ -116,6 +116,16 @@ DistSolver::DistSolver(DistConfig config) : config_(std::move(config)) {
         "no target-grid (CP/CC) transfer path. Use TraversalMode::kBatched "
         "here, or the serial Solver for the dual traversal.");
   }
+  if (config_.params.treecode.periodic()) {
+    throw std::invalid_argument(
+        "DistSolver: periodic boundary conditions are not supported in the "
+        "distributed solver yet — the LET exchange ships remote trees and "
+        "modified charges but no shift tables, so locally essential trees "
+        "cannot be traversed against lattice images (a remote cluster that "
+        "fails the MAC only through a shifted image would never be "
+        "fetched). Use BoundaryConditions::kOpen here, or the serial "
+        "Solver for periodic domains.");
+  }
   if (config_.params.treecode.per_target_mac &&
       !ranks_.front()->engine->supports_per_target_mac()) {
     throw std::invalid_argument(

@@ -62,6 +62,58 @@ Cloud sphere_surface(std::size_t n, std::uint64_t seed, double r) {
   return c;
 }
 
+namespace {
+
+/// Quantize a fraction in [0, 1) to a multiple of 2^-26 and scale into
+/// [0, box): keeps lattice translations exact (see header comment).
+double quantized(double frac, double box) {
+  constexpr double scale = 67108864.0;  // 2^26
+  double q = std::floor(frac * scale) / scale;
+  if (q >= 1.0) q = 0.0;
+  return q * box;
+}
+
+}  // namespace
+
+Cloud ionic_lattice(std::size_t cells, std::uint64_t seed, double box,
+                    double jitter) {
+  if (cells == 0) cells = 2;
+  if (cells % 2 != 0) ++cells;  // even side => exact charge neutrality
+  jitter = std::fmin(std::fmax(jitter, 0.0), 1.0);  // keep sites in-cell
+  Cloud c;
+  c.resize(cells * cells * cells);
+  SplitMix64 rng(seed);
+  const double h = 1.0 / static_cast<double>(cells);  // site spacing / box
+  std::size_t p = 0;
+  for (std::size_t i = 0; i < cells; ++i) {
+    for (std::size_t j = 0; j < cells; ++j) {
+      for (std::size_t k = 0; k < cells; ++k, ++p) {
+        const double jx = jitter * 0.5 * h * rng.uniform(-1.0, 1.0);
+        const double jy = jitter * 0.5 * h * rng.uniform(-1.0, 1.0);
+        const double jz = jitter * 0.5 * h * rng.uniform(-1.0, 1.0);
+        c.x[p] = quantized((static_cast<double>(i) + 0.5) * h + jx, box);
+        c.y[p] = quantized((static_cast<double>(j) + 0.5) * h + jy, box);
+        c.z[p] = quantized((static_cast<double>(k) + 0.5) * h + jz, box);
+        c.q[p] = ((i + j + k) % 2 == 0) ? 1.0 : -1.0;
+      }
+    }
+  }
+  return c;
+}
+
+Cloud screened_plasma(std::size_t n, std::uint64_t seed, double box) {
+  Cloud c;
+  c.resize(n);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.x[i] = quantized(rng.next_double(), box);
+    c.y[i] = quantized(rng.next_double(), box);
+    c.z[i] = quantized(rng.next_double(), box);
+    c.q[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  }
+  return c;
+}
+
 Cloud dumbbell(std::size_t n, std::uint64_t seed, double separation) {
   Cloud c;
   c.resize(n);

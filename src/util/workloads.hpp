@@ -43,4 +43,26 @@ Cloud sphere_surface(std::size_t n, std::uint64_t seed, double r = 1.0);
 /// the adaptive tree with a strongly non-uniform box population.
 Cloud dumbbell(std::size_t n, std::uint64_t seed, double separation = 6.0);
 
+// ---- Periodic workloads --------------------------------------------------
+// Both generators fill the half-open cube [0, box)^3 — the canonical
+// primary cell of a periodic run — and quantize coordinates to multiples of
+// box * 2^-26. Quantization makes lattice translations x + i*box exact in
+// double precision (for |i| up to ~2^25 and power-of-two boxes), which is
+// what lets translation-invariance tests demand bit-for-bit equality.
+
+/// NaCl-style cubic ionic lattice: `cells`^3 sites at cell centers with
+/// alternating charges (-1)^(i+j+k), optionally jittered by a uniform
+/// displacement of up to `jitter` * (half the site spacing) per axis
+/// (seeded, deterministic). `cells` is rounded up to the next even number
+/// so the lattice is exactly charge neutral — the Coulomb-periodic
+/// requirement. Returns cells^3 particles.
+Cloud ionic_lattice(std::size_t cells, std::uint64_t seed, double box = 1.0,
+                    double jitter = 0.0);
+
+/// Homogeneous two-species screened plasma: n particles uniform in
+/// [0, box)^3 with alternating charges +1/-1 (exactly neutral for even n).
+/// The Yukawa kernel is the physical pairing (Debye screening); its image
+/// sum converges absolutely, so neutrality is not required there.
+Cloud screened_plasma(std::size_t n, std::uint64_t seed, double box = 1.0);
+
 }  // namespace bltc

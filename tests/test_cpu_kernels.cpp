@@ -154,7 +154,7 @@ void check_all_paths(const EvalPlan& s, const KernelSpec& spec) {
 
   EngineCounters counters;
   const auto phi = cpu_evaluate(s.tgt, s.batches, s.lists, s.tree, s.src,
-                                s.moments, spec, &counters);
+                                s.moments, spec, nullptr, &counters);
   expect_close(phi, rb.phi, "batched potential", name);
   EXPECT_EQ(counters.approx_launches, s.lists.total_approx);
   EXPECT_EQ(counters.direct_launches, s.lists.total_direct);
@@ -222,9 +222,11 @@ TEST(CpuKernels, WorkspaceReuseIsDeterministic) {
   const EvalPlan s(c, c, 0.7, 4, 64, 48);
   CpuWorkspace ws;
   const auto a = cpu_evaluate(s.tgt, s.batches, s.lists, s.tree, s.src,
-                              s.moments, KernelSpec::coulomb(), nullptr, &ws);
+                              s.moments, KernelSpec::coulomb(), nullptr,
+                              nullptr, &ws);
   const auto b = cpu_evaluate(s.tgt, s.batches, s.lists, s.tree, s.src,
-                              s.moments, KernelSpec::coulomb(), nullptr, &ws);
+                              s.moments, KernelSpec::coulomb(), nullptr,
+                              nullptr, &ws);
   EXPECT_EQ(a, b);
 }
 

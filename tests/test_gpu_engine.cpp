@@ -73,7 +73,7 @@ TEST(GpuEngine, EvaluateMatchesCpuEngine) {
   EngineCounters cpu_counters, gpu_counters;
   const auto cpu = cpu_evaluate(s.targets, s.batches, s.lists, s.tree,
                                 s.sources, moments, KernelSpec::coulomb(),
-                                &cpu_counters);
+                                nullptr, &cpu_counters);
   gpusim::Device device = make_device();
   const auto gpu = gpu_evaluate(device, s.targets, s.batches, s.lists, s.tree,
                                 s.sources, moments, KernelSpec::coulomb(),

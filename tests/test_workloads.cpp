@@ -94,6 +94,66 @@ TEST(Workloads, SphereSurfaceIsQuasiUniform) {
   EXPECT_NEAR(static_cast<double>(north) / 5000.0, 0.5, 0.02);
 }
 
+TEST(Workloads, IonicLatticeIsNeutralAndInBox) {
+  const Cloud c = ionic_lattice(4, 1, 1.0, 0.3);
+  ASSERT_EQ(c.size(), 64u);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    sum += c.q[i];
+    EXPECT_TRUE(c.q[i] == 1.0 || c.q[i] == -1.0);
+    EXPECT_GE(c.x[i], 0.0);
+    EXPECT_LT(c.x[i], 1.0);
+    EXPECT_GE(c.y[i], 0.0);
+    EXPECT_LT(c.y[i], 1.0);
+    EXPECT_GE(c.z[i], 0.0);
+    EXPECT_LT(c.z[i], 1.0);
+  }
+  EXPECT_EQ(sum, 0.0);  // even side: exactly neutral
+}
+
+TEST(Workloads, IonicLatticeRoundsOddSideUpToEven) {
+  // Odd sides cannot be neutral ((-1)^(i+j+k) sums to +-1); the generator
+  // rounds up so downstream Coulomb-periodic runs never trip the guard.
+  const Cloud c = ionic_lattice(3, 7);
+  EXPECT_EQ(c.size(), 64u);
+}
+
+TEST(Workloads, IonicLatticeIsDeterministicPerSeed) {
+  const Cloud a = ionic_lattice(4, 42, 1.0, 0.5);
+  const Cloud b = ionic_lattice(4, 42, 1.0, 0.5);
+  const Cloud c = ionic_lattice(4, 43, 1.0, 0.5);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.z, b.z);
+  EXPECT_EQ(a.q, b.q);
+  EXPECT_NE(a.x, c.x);
+}
+
+TEST(Workloads, IonicLatticeTranslationByBoxIsExact) {
+  // The advertised quantization contract: adding a lattice vector to every
+  // coordinate is exact in double precision (box = 1, small multiples).
+  const Cloud c = ionic_lattice(4, 11, 1.0, 0.4);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ((c.x[i] + 3.0) - 3.0, c.x[i]);
+    EXPECT_EQ((c.y[i] - 2.0) + 2.0, c.y[i]);
+  }
+}
+
+TEST(Workloads, ScreenedPlasmaIsNeutralDeterministicAndInBox) {
+  const Cloud a = screened_plasma(2000, 5, 2.0);
+  const Cloud b = screened_plasma(2000, 5, 2.0);
+  ASSERT_EQ(a.size(), 2000u);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.q, b.q);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += a.q[i];
+    EXPECT_GE(a.x[i], 0.0);
+    EXPECT_LT(a.x[i], 2.0);
+  }
+  EXPECT_EQ(sum, 0.0);  // even n: alternating +-1 cancels exactly
+}
+
 TEST(Workloads, DumbbellFormsTwoSeparatedClusters) {
   const Cloud c = dumbbell(2000, 13, 6.0);
   std::size_t left = 0, right = 0;
