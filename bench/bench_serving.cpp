@@ -1,0 +1,205 @@
+// Serving-layer bench: a seeded multi-tenant request storm (mixed open /
+// periodic / dual-traversal requests over shared and unique clouds) driven
+// through the PlanCache + batching ServeFrontend by closed-loop clients.
+// Reports per-request latency percentiles and throughput at 1, 4, and 16
+// concurrent clients, plus a cache-hit storm that must show *zero* tree
+// builds and *zero* moment builds after warmup — the amortization claim of
+// the serving layer, measured with the same structural counters the tests
+// assert on. Results go to BENCH_serving.json (override with --json).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/moments.hpp"
+#include "core/tree.hpp"
+#include "serve/frontend.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/storm.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+using namespace bltc;
+
+namespace {
+
+struct StormRun {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double throughput = 0.0;  ///< requests per second
+  double wall_seconds = 0.0;
+  serve::CacheStats cache;
+  serve::FrontendStats frontend;
+};
+
+/// Drive every storm request through a fresh cache + frontend with
+/// `clients` closed-loop client threads.
+StormRun run_storm(const RequestStorm& storm,
+                   const serve::StormParams& presets, std::size_t clients,
+                   std::size_t max_batch, double max_delay_ms,
+                   std::size_t workers) {
+  serve::PlanCache cache;
+  serve::ServeOptions options;
+  options.max_batch = max_batch;
+  options.max_delay_ms = max_delay_ms;
+  options.workers = workers;
+  serve::ServeFrontend frontend(cache, options);
+
+  std::vector<double> latency(storm.requests.size(), 0.0);
+  std::atomic<std::size_t> cursor{0};
+  WallTimer wall;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = cursor.fetch_add(1);
+          if (i >= storm.requests.size()) return;
+          const serve::ServeRequest request =
+              serve::storm_request(storm, storm.requests[i], presets);
+          WallTimer timer;
+          frontend.submit(request).get();
+          latency[i] = timer.seconds();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  StormRun run;
+  run.wall_seconds = wall.seconds();
+  std::sort(latency.begin(), latency.end());
+  const auto pct = [&](double p) {
+    const std::size_t idx = std::min(
+        latency.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(latency.size())));
+    return latency[idx] * 1e3;
+  };
+  run.p50_ms = pct(0.50);
+  run.p99_ms = pct(0.99);
+  run.throughput =
+      static_cast<double>(storm.requests.size()) / run.wall_seconds;
+  run.cache = cache.stats();
+  run.frontend = frontend.stats();
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Multi-tenant serving — request storms through PlanCache + frontend",
+      "BLTC_SERVE_REQUESTS (default 48), BLTC_SERVE_SHARED_N (default "
+      "2048), BLTC_SERVE_SMALL_N (default 256)");
+
+  StormSpec spec;
+  spec.num_requests = env_size("BLTC_SERVE_REQUESTS", 48);
+  spec.num_shared = 3;
+  spec.shared_size = env_size("BLTC_SERVE_SHARED_N", 2048);
+  spec.small_size = env_size("BLTC_SERVE_SMALL_N", 256);
+  const RequestStorm storm = request_storm(spec, 20260809);
+  const serve::StormParams presets = serve::default_storm_params(storm.box);
+
+  bench::JsonReport report("bench_serving");
+  report.note("requests", std::to_string(storm.requests.size()));
+  report.note("clouds", std::to_string(storm.clouds.size()));
+  report.note("shared_size", std::to_string(spec.shared_size));
+  report.note("small_size", std::to_string(spec.small_size));
+  report.note("mix", "open+periodic+dual, yukawa for periodic");
+
+  // ---- Mixed storm at 1 / 4 / 16 concurrent clients ----------------------
+  bench::Table table({"clients", "p50 ms", "p99 ms", "req/s", "hits",
+                      "misses", "engine calls", "fused", "max group"});
+  for (const std::size_t clients : {std::size_t(1), std::size_t(4),
+                                    std::size_t(16)}) {
+    const StormRun run =
+        run_storm(storm, presets, clients, /*max_batch=*/16,
+                  /*max_delay_ms=*/0.5, /*workers=*/2);
+    table.add_row({std::to_string(clients), bench::Table::num(run.p50_ms),
+                   bench::Table::num(run.p99_ms),
+                   bench::Table::num(run.throughput, 1),
+                   std::to_string(run.cache.hits),
+                   std::to_string(run.cache.misses),
+                   std::to_string(run.frontend.executions),
+                   std::to_string(run.frontend.fused_requests),
+                   std::to_string(run.frontend.max_group)});
+    const std::string prefix = "clients" + std::to_string(clients) + "_";
+    report.metric(prefix + "p50_ms", run.p50_ms);
+    report.metric(prefix + "p99_ms", run.p99_ms);
+    report.metric(prefix + "throughput_rps", run.throughput);
+    report.metric(prefix + "wall_seconds", run.wall_seconds);
+    report.metric(prefix + "cache_hits",
+                  static_cast<double>(run.cache.hits));
+    report.metric(prefix + "cache_misses",
+                  static_cast<double>(run.cache.misses));
+    report.metric(prefix + "engine_calls",
+                  static_cast<double>(run.frontend.executions));
+    report.metric(prefix + "fused_requests",
+                  static_cast<double>(run.frontend.fused_requests));
+  }
+  table.print();
+
+  // ---- Cache-hit storm: every request revisits a shared cloud ------------
+  // After one warmup pass the cache holds every plan; the measured pass
+  // must build zero trees and zero moments.
+  StormSpec hit_spec = spec;
+  hit_spec.shared_fraction = 1.0;
+  hit_spec.translate_fraction = 0.0;
+  const RequestStorm hit_storm = request_storm(hit_spec, 77);
+
+  serve::PlanCache cache;
+  serve::ServeOptions options;
+  options.max_batch = 16;
+  options.max_delay_ms = 0.5;
+  options.workers = 2;
+  serve::ServeFrontend frontend(cache, options);
+  for (const StormRequest& req : hit_storm.requests) {  // warmup
+    frontend.submit(serve::storm_request(hit_storm, req, presets)).get();
+  }
+
+  const std::size_t trees_before = ClusterTree::build_count();
+  const std::size_t moments_before = ClusterMoments::build_count();
+  std::vector<double> latency;
+  WallTimer wall;
+  for (const StormRequest& req : hit_storm.requests) {  // measured, all hits
+    WallTimer timer;
+    frontend.submit(serve::storm_request(hit_storm, req, presets)).get();
+    latency.push_back(timer.seconds());
+  }
+  const double hit_wall = wall.seconds();
+  const auto tree_builds =
+      static_cast<double>(ClusterTree::build_count() - trees_before);
+  const auto moment_builds =
+      static_cast<double>(ClusterMoments::build_count() - moments_before);
+
+  std::sort(latency.begin(), latency.end());
+  const double hit_p50 = latency[latency.size() / 2] * 1e3;
+  const double hit_p99 =
+      latency[std::min(latency.size() - 1,
+                       static_cast<std::size_t>(
+                           0.99 * static_cast<double>(latency.size())))] *
+      1e3;
+  std::printf("\ncache-hit storm (post-warmup): p50 %.3f ms, p99 %.3f ms, "
+              "%.1f req/s; %g tree builds, %g moment builds\n",
+              hit_p50, hit_p99,
+              static_cast<double>(hit_storm.requests.size()) / hit_wall,
+              tree_builds, moment_builds);
+  report.metric("hitstorm_p50_ms", hit_p50);
+  report.metric("hitstorm_p99_ms", hit_p99);
+  report.metric("hitstorm_throughput_rps",
+                static_cast<double>(hit_storm.requests.size()) / hit_wall);
+  report.metric("hitstorm_tree_builds_after_warmup", tree_builds);
+  report.metric("hitstorm_moment_builds_after_warmup", moment_builds);
+  report.metric("hitstorm_cache_hits", static_cast<double>(cache.stats().hits));
+  report.metric("hitstorm_cache_misses",
+                static_cast<double>(cache.stats().misses));
+
+  const std::string path =
+      bench::json_output_path(argc, argv, "BENCH_serving.json");
+  if (!path.empty()) report.write(path);
+  return 0;
+}

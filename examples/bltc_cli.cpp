@@ -11,13 +11,20 @@
 //   bltc_cli --distribution plummer --n 30000 --check-error
 //   bltc_cli --distribution plasma --kernel yukawa --periodic --box 1 \
 //            --shells 2 --check-error               # periodic lattice sum
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/direct_sum.hpp"
 #include "core/solver.hpp"
 #include "dist/dist_solver.hpp"
+#include "serve/frontend.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/storm.hpp"
 #include "util/cli.hpp"
 #include "util/io.hpp"
 #include "util/stats.hpp"
@@ -54,6 +61,22 @@ void usage() {
       "                         generating a distribution\n"
       "  --output <file>        write potentials, one per line\n"
       "  --check-error          sampled direct-sum error (Eq. 16)\n"
+      "  --serve                multi-tenant serving mode: run a seeded\n"
+      "                         request storm through the PlanCache +\n"
+      "                         batching frontend and report latency\n"
+      "                         percentiles, throughput, and cache counters\n"
+      "  --requests <count>     serve: storm request count (default 64)\n"
+      "  --clients <count>      serve: concurrent closed-loop clients\n"
+      "                         (default 4)\n"
+      "  --serve-batch <count>  serve: max requests per fused group\n"
+      "                         (default 16)\n"
+      "  --serve-delay-ms <ms>  serve: max admission delay (default 0.2)\n"
+      "  --serve-workers <n>    serve: executor threads (default 2)\n"
+      "  --shared-fraction <f>  serve: fraction of requests revisiting a\n"
+      "                         shared cloud (default 0.5)\n"
+      "  --periodic-fraction <f> serve: periodic-boundary fraction (0.25)\n"
+      "  --dual-fraction <f>    serve: dual-traversal fraction (0.25)\n"
+      "  --cache-mb <mb>        serve: plan-cache budget in MiB (256)\n"
       "  --help                 this text\n");
 }
 
@@ -84,6 +107,84 @@ Cloud make_cloud(const std::string& dist, std::size_t n, std::uint64_t seed,
   std::exit(2);
 }
 
+/// Serving mode: closed-loop clients drive a seeded request storm through
+/// the PlanCache + ServeFrontend; reports per-request latency percentiles,
+/// throughput, and cache/frontend counters.
+int run_serve(const ArgParser& args, Backend backend, std::uint64_t seed,
+              double box) {
+  StormSpec spec;
+  spec.num_requests = args.get_size("requests", 64);
+  spec.shared_fraction = args.get_double("shared-fraction", 0.5);
+  spec.periodic_fraction = args.get_double("periodic-fraction", 0.25);
+  spec.dual_fraction = args.get_double("dual-fraction", 0.25);
+  spec.box = box;
+  const RequestStorm storm = request_storm(spec, seed);
+  const serve::StormParams presets = serve::default_storm_params(storm.box);
+
+  serve::PlanCache::Options cache_options;
+  cache_options.max_bytes = args.get_size("cache-mb", 256) << 20;
+  serve::PlanCache cache(cache_options);
+
+  serve::ServeOptions serve_options;
+  serve_options.max_batch = args.get_size("serve-batch", 16);
+  serve_options.max_delay_ms = args.get_double("serve-delay-ms", 0.2);
+  serve_options.workers = args.get_size("serve-workers", 2);
+  serve::ServeFrontend frontend(cache, serve_options);
+
+  const std::size_t clients = std::max<std::size_t>(
+      1, args.get_size("clients", 4));
+  std::printf("serving storm: %zu requests (%zu clouds), %zu clients, "
+              "group<=%zu, delay %.2f ms, %zu workers, cache %zu MiB\n",
+              storm.requests.size(), storm.clouds.size(), clients,
+              serve_options.max_batch, serve_options.max_delay_ms,
+              serve_options.workers, cache_options.max_bytes >> 20);
+
+  std::vector<double> latency(storm.requests.size(), 0.0);
+  std::atomic<std::size_t> cursor{0};
+  WallTimer wall;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = cursor.fetch_add(1);
+          if (i >= storm.requests.size()) return;
+          const serve::ServeRequest request = serve::storm_request(
+              storm, storm.requests[i], presets, backend);
+          WallTimer timer;
+          frontend.submit(request).get();
+          latency[i] = timer.seconds();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double elapsed = wall.seconds();
+
+  std::sort(latency.begin(), latency.end());
+  const auto pct = [&](double p) {
+    const std::size_t idx = std::min(
+        latency.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(latency.size())));
+    return latency[idx];
+  };
+  std::printf("latency: p50 %.3f ms, p99 %.3f ms; throughput %.1f req/s "
+              "(%.3f s wall)\n",
+              pct(0.50) * 1e3, pct(0.99) * 1e3,
+              static_cast<double>(storm.requests.size()) / elapsed, elapsed);
+  const serve::CacheStats cs = cache.stats();
+  std::printf("plan cache: %zu hits, %zu misses, %zu evictions, "
+              "%zu collisions; %zu plans resident (%.1f MiB)\n",
+              cs.hits, cs.misses, cs.evictions, cs.collisions, cs.entries,
+              static_cast<double>(cs.bytes) / (1024.0 * 1024.0));
+  const serve::FrontendStats fs = frontend.stats();
+  std::printf("frontend: %zu completed in %zu engine calls, %zu fused, "
+              "largest group %zu\n",
+              fs.completed, fs.executions, fs.fused_requests, fs.max_group);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,7 +197,12 @@ int main(int argc, char** argv) {
                                 "theta",  "degree",       "leaf",   "batch",
                                 "backend", "ranks",       "seed",
                                 "check-error", "input",    "output",
-                                "periodic", "box",         "shells"};
+                                "periodic", "box",         "shells",
+                                "serve",   "requests",     "clients",
+                                "serve-batch", "serve-delay-ms",
+                                "serve-workers", "shared-fraction",
+                                "periodic-fraction", "dual-fraction",
+                                "cache-mb"};
   for (const std::string& key : args.keys()) {
     bool ok = false;
     for (const char* k : known) ok = ok || key == k;
@@ -126,6 +232,15 @@ int main(int argc, char** argv) {
       backend_name == "gpu" ? Backend::kGpuSim : Backend::kCpu;
   const int ranks = args.get_int("ranks", 1);
   const auto seed = static_cast<std::uint64_t>(args.get_size("seed", 1));
+
+  if (args.has("serve")) {
+    try {
+      return run_serve(args, backend, seed, box);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "serving error: %s\n", e.what());
+      return 2;
+    }
+  }
 
   const Cloud cloud = args.has("input")
                           ? read_cloud(args.get_string("input", ""))

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "serve/exec_context.hpp"
+
 namespace bltc {
 namespace {
 
@@ -105,7 +107,8 @@ std::vector<double> CpuEngine::evaluate_potential(const SourcePlan& sources,
                                                   const TargetPlan& targets,
                                                   const KernelSpec& kernel,
                                                   bool /*fresh_targets*/,
-                                                  RunStats& stats) {
+                                                  RunStats& stats,
+                                                  ExecContext* ctx) const {
   const bool dual = targets.traversal == TraversalMode::kDual;
   const std::size_t npieces =
       dual ? targets.dual_lists.size() : targets.lists.size();
@@ -114,6 +117,8 @@ std::vector<double> CpuEngine::evaluate_potential(const SourcePlan& sources,
         "CpuEngine::evaluate_potential: one interaction list per source "
         "piece expected");
   }
+  CpuWorkspace* const workspace =
+      ctx != nullptr ? &ctx->cpu_workspace() : nullptr;
   EngineCounters total;
   const auto eval_piece = [&](const SourcePlan& piece, std::size_t index) {
     const ClusterMoments& moments =
@@ -121,25 +126,33 @@ std::vector<double> CpuEngine::evaluate_potential(const SourcePlan& sources,
     EngineCounters counters;
     std::vector<double> phi;
     if (dual) {
-      if (piece.moments != nullptr) {
+      // The pairs reference moments at every ladder degree: caller-owned
+      // ladders (serving-layer cached plans) ride in piece.moment_levels;
+      // the engine-owned piece falls back to the prepare_sources ladder.
+      const std::span<const ClusterMoments> levels =
+          !piece.moment_levels.empty()
+              ? piece.moment_levels
+              : std::span<const ClusterMoments>(dual_levels_);
+      if (piece.moments != nullptr && piece.moment_levels.empty()) {
         throw std::logic_error(
             "CpuEngine: dual-traversal evaluation of externally-provided "
-            "moments (LET pieces) is not supported");
+            "moments requires the full moment ladder "
+            "(SourcePlan::moment_levels)");
       }
       phi = cpu_evaluate_dual(*targets.particles, *targets.tree,
                               targets.grids, targets.dual_lists[index],
-                              *piece.tree, *piece.particles, dual_levels_,
-                              kernel, targets.shifts, &counters, &workspace_);
+                              *piece.tree, *piece.particles, levels, kernel,
+                              targets.shifts, &counters, workspace);
     } else if (targets.per_target_mac) {
       phi = cpu_evaluate_per_target(*targets.particles, targets.lists[index],
                                     *piece.tree, *piece.particles, moments,
                                     kernel, targets.shifts, &counters,
-                                    &workspace_);
+                                    workspace);
     } else {
       phi = cpu_evaluate(*targets.particles, *targets.batches,
                          targets.lists[index], *piece.tree, *piece.particles,
                          moments, kernel, targets.shifts, &counters,
-                         &workspace_);
+                         workspace);
     }
     accumulate_counters(total, counters);
     return phi;
@@ -157,8 +170,8 @@ std::vector<double> CpuEngine::evaluate_potential(const SourcePlan& sources,
 FieldResult CpuEngine::evaluate_field(const SourcePlan& sources,
                                       const TargetPlan& targets,
                                       const KernelSpec& kernel,
-                                      bool /*fresh_targets*/,
-                                      RunStats& stats) {
+                                      bool /*fresh_targets*/, RunStats& stats,
+                                      ExecContext* ctx) const {
   const bool dual = targets.traversal == TraversalMode::kDual;
   const std::size_t npieces =
       dual ? targets.dual_lists.size() : targets.lists.size();
@@ -167,6 +180,8 @@ FieldResult CpuEngine::evaluate_field(const SourcePlan& sources,
         "CpuEngine::evaluate_field: one interaction list per source piece "
         "expected");
   }
+  CpuWorkspace* const workspace =
+      ctx != nullptr ? &ctx->cpu_workspace() : nullptr;
   EngineCounters total;
   const auto eval_piece = [&](const SourcePlan& piece, std::size_t index) {
     const ClusterMoments& moments =
@@ -174,27 +189,32 @@ FieldResult CpuEngine::evaluate_field(const SourcePlan& sources,
     EngineCounters counters;
     FieldResult out;
     if (dual) {
-      if (piece.moments != nullptr) {
+      const std::span<const ClusterMoments> levels =
+          !piece.moment_levels.empty()
+              ? piece.moment_levels
+              : std::span<const ClusterMoments>(dual_levels_);
+      if (piece.moments != nullptr && piece.moment_levels.empty()) {
         throw std::logic_error(
             "CpuEngine: dual-traversal evaluation of externally-provided "
-            "moments (LET pieces) is not supported");
+            "moments requires the full moment ladder "
+            "(SourcePlan::moment_levels)");
       }
       out = cpu_evaluate_dual_field(*targets.particles, *targets.tree,
                                     targets.grids, targets.dual_lists[index],
-                                    *piece.tree, *piece.particles,
-                                    dual_levels_, kernel, targets.shifts,
-                                    &counters, &workspace_);
+                                    *piece.tree, *piece.particles, levels,
+                                    kernel, targets.shifts, &counters,
+                                    workspace);
     } else if (targets.per_target_mac) {
       out = cpu_evaluate_field_per_target(*targets.particles,
                                           targets.lists[index], *piece.tree,
                                           *piece.particles, moments, kernel,
                                           targets.shifts, &counters,
-                                          &workspace_);
+                                          workspace);
     } else {
       out = cpu_evaluate_field(*targets.particles, *targets.batches,
                                targets.lists[index], *piece.tree,
                                *piece.particles, moments, kernel,
-                               targets.shifts, &counters, &workspace_);
+                               targets.shifts, &counters, workspace);
     }
     accumulate_counters(total, counters);
     return out;

@@ -2,9 +2,12 @@
 // four host paths ({potential, field} x {batched, per-target MAC}) execute
 // through the blocked kernel core in core/cpu_kernels.hpp; `CpuEngine`
 // wraps those free evaluation functions behind the Engine interface and
-// keeps the modified charges plus the per-thread evaluation workspace alive
-// across evaluate() calls, so repeated evaluations of a cached plan
-// allocate nothing. In the distributed path each rank's CpuEngine also
+// keeps the modified charges alive across evaluate() calls. Evaluation
+// itself is const and re-entrant: all mutable scratch lives in the caller's
+// ExecContext (serve/exec_context.hpp), so the serving layer runs many
+// concurrent evaluations of one cached plan through one engine — each call
+// passes its own context, and a piece carrying caller-owned moments reads
+// nothing but the plan. In the distributed path each rank's CpuEngine also
 // holds the attached LET pieces (views into DistSolver-owned storage) and
 // sums their contributions after the local piece, in piece order, so the
 // accumulation is deterministic and backend-independent.
@@ -44,12 +47,13 @@ class CpuEngine final : public Engine {
   std::vector<double> evaluate_potential(const SourcePlan& sources,
                                          const TargetPlan& targets,
                                          const KernelSpec& kernel,
-                                         bool fresh_targets,
-                                         RunStats& stats) override;
+                                         bool fresh_targets, RunStats& stats,
+                                         ExecContext* ctx) const override;
   FieldResult evaluate_field(const SourcePlan& sources,
                              const TargetPlan& targets,
                              const KernelSpec& kernel, bool fresh_targets,
-                             RunStats& stats) override;
+                             RunStats& stats,
+                             ExecContext* ctx) const override;
 
  private:
   ClusterMoments moments_;
@@ -57,7 +61,6 @@ class CpuEngine final : public Engine {
   /// nominal degree, lower degrees are exact restrictions of it).
   std::vector<ClusterMoments> dual_levels_;
   std::vector<LetPiece> let_;  ///< attached remote pieces (caller-owned data)
-  CpuWorkspace workspace_;     ///< per-thread scratch, persists across calls
 };
 
 }  // namespace bltc

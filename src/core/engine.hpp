@@ -30,6 +30,8 @@
 
 namespace bltc {
 
+class ExecContext;  // per-call mutable scratch (serve/exec_context.hpp)
+
 /// Operation counters shared by the engines; these feed the performance
 /// model (evals are G(x,y) evaluations; the approximation counts one eval
 /// per target-Chebyshev-point pair because Eq. 11 has direct-sum form).
@@ -125,19 +127,32 @@ class Engine {
   /// plan the engine has not executed yet (device engines stage target data
   /// exactly then). Engines fill the work/device/modeled fields of `stats`;
   /// the solvers fill phase seconds and structure counts.
+  ///
+  /// Re-entrancy contract (the serving layer depends on it): evaluation is
+  /// `const`, and all mutable per-call scratch lives in `ctx` (null falls
+  /// back to call-local scratch). The CPU engine given per-call contexts is
+  /// safe to call concurrently from any number of threads as long as every
+  /// source piece carries caller-owned moments (`SourcePlan::moments` /
+  /// `moment_levels` non-null) — the engine then reads nothing but the plan.
+  /// The simulated-GPU engine stages device-resident state and is instead
+  /// internally serialized: concurrent calls are safe but run one at a time.
   virtual std::vector<double> evaluate_potential(const SourcePlan& sources,
                                                  const TargetPlan& targets,
                                                  const KernelSpec& kernel,
                                                  bool fresh_targets,
-                                                 RunStats& stats) = 0;
+                                                 RunStats& stats,
+                                                 ExecContext* ctx =
+                                                     nullptr) const = 0;
 
   /// Evaluate potential + field (E = -grad phi) at the planned targets, in
-  /// tree order, over the same pieces as evaluate_potential. Throws
-  /// std::invalid_argument when unsupported.
+  /// tree order, over the same pieces as evaluate_potential and under the
+  /// same re-entrancy contract. Throws std::invalid_argument when
+  /// unsupported.
   virtual FieldResult evaluate_field(const SourcePlan& sources,
                                      const TargetPlan& targets,
                                      const KernelSpec& kernel,
-                                     bool fresh_targets, RunStats& stats) = 0;
+                                     bool fresh_targets, RunStats& stats,
+                                     ExecContext* ctx = nullptr) const = 0;
 };
 
 /// Engine factory: builds a fresh engine for one solver handle.

@@ -902,11 +902,14 @@ void GpuSimEngine::attach_let_pieces(std::span<const LetPiece> pieces,
   }
 }
 
-std::vector<double> GpuSimEngine::evaluate_potential(const SourcePlan& sources,
-                                                     const TargetPlan& targets,
-                                                     const KernelSpec& kernel,
-                                                     bool fresh_targets,
-                                                     RunStats& stats) {
+std::vector<double> GpuSimEngine::evaluate_potential(
+    const SourcePlan& sources, const TargetPlan& targets,
+    const KernelSpec& kernel, bool fresh_targets, RunStats& stats,
+    ExecContext* /*ctx*/) const {
+  // One simulated device executes one evaluation at a time: concurrent
+  // callers (the serving layer) serialize here rather than corrupting the
+  // staged target buffers or the delta-reported device counters.
+  std::lock_guard<std::mutex> lock(eval_mutex_);
   if (targets.per_target_mac) {
     throw std::invalid_argument(
         "per_target_mac is a CPU-backend ablation; the GPU engine batches "
@@ -1027,7 +1030,8 @@ FieldResult GpuSimEngine::evaluate_field(const SourcePlan& /*sources*/,
                                          const TargetPlan& /*targets*/,
                                          const KernelSpec& /*kernel*/,
                                          bool /*fresh_targets*/,
-                                         RunStats& /*stats*/) {
+                                         RunStats& /*stats*/,
+                                         ExecContext* /*ctx*/) const {
   throw std::invalid_argument(
       "field evaluation is implemented on the CPU engine only; use "
       "Backend::kCpu");

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -146,12 +147,13 @@ class GpuSimEngine final : public Engine {
   std::vector<double> evaluate_potential(const SourcePlan& sources,
                                          const TargetPlan& targets,
                                          const KernelSpec& kernel,
-                                         bool fresh_targets,
-                                         RunStats& stats) override;
+                                         bool fresh_targets, RunStats& stats,
+                                         ExecContext* ctx) const override;
   FieldResult evaluate_field(const SourcePlan& sources,
                              const TargetPlan& targets,
                              const KernelSpec& kernel, bool fresh_targets,
-                             RunStats& stats) override;
+                             RunStats& stats,
+                             ExecContext* ctx) const override;
 
   /// Cumulative device counters (tests and benches).
   const gpusim::Device& device() const { return device_; }
@@ -170,8 +172,18 @@ class GpuSimEngine final : public Engine {
 
   void stage_piece_particles(LetDeviceState& state, bool charges_only);
 
+  // Deliberate `mutable` audit: evaluation is const under the Engine
+  // re-entrancy contract, but a simulated device accumulates time/transfer
+  // counters and stages target data on first use — physically mutable state
+  // that is logically part of executing a read-only plan. Everything touched
+  // by evaluate_potential is marked mutable and serialized by `eval_mutex_`
+  // (one device executes one evaluation at a time — the "one rank per
+  // device" shape of the paper); all remaining members are written only by
+  // the non-const prepare/attach lifecycle calls.
+  mutable std::mutex eval_mutex_;
+
   GpuOptions options_;
-  gpusim::Device device_;
+  mutable gpusim::Device device_;
   ClusterMoments moments_;  ///< host mirror of grids + modified charges
   /// Dual traversal only: host mirrors of the moment ladder ([0] is the
   /// nominal degree; lower degrees are device-side restrictions of it).
@@ -179,31 +191,33 @@ class GpuSimEngine final : public Engine {
   std::vector<std::unique_ptr<gpusim::DeviceBuffer<double>>> dual_grids_,
       dual_qhat_;
 
-  // Device-resident data (persist across evaluate calls).
+  // Device-resident data (persist across evaluate calls). Target-side
+  // buffers are staged lazily inside evaluate (hence mutable); source-side
+  // buffers are staged by prepare_sources.
   std::unique_ptr<Buffer> src_x_, src_y_, src_z_, src_q_;
   std::unique_ptr<Buffer> grids_, qhat_;
-  std::unique_ptr<Buffer> tgt_x_, tgt_y_, tgt_z_;
+  mutable std::unique_ptr<Buffer> tgt_x_, tgt_y_, tgt_z_;
   /// Periodic boundaries: the plan's lattice shift table, uploaded once per
   /// engine lifetime (it depends only on the solver's domain/shell
   /// configuration) and read by every shifted kernel launch. Its one upload
   /// is the entire device-footprint cost of periodic images — sources,
   /// grids, and modified charges are shared by every shift.
-  std::unique_ptr<Buffer> shift_table_;
+  mutable std::unique_ptr<Buffer> shift_table_;
   /// Dual traversal: target-node Chebyshev grids plus the per-node grid
   /// potentials the CC/CP kernels accumulate into; staged with the targets
   /// and resident until the target plan changes.
-  std::unique_ptr<Buffer> tgt_grids_, tgt_hat_;
+  mutable std::unique_ptr<Buffer> tgt_grids_, tgt_hat_;
   std::vector<LetDeviceState> let_;
 
   // Phase accounting pending attribution to the next evaluation.
-  double pending_modeled_precompute_ = 0.0;
-  std::size_t pending_host_setup_particles_ = 0;
+  mutable double pending_modeled_precompute_ = 0.0;
+  mutable std::size_t pending_host_setup_particles_ = 0;
 
   // Snapshots of the device's cumulative counters at the last report.
-  gpusim::TimeMarker reported_marker_;
-  std::size_t reported_launches_ = 0;
-  std::size_t reported_bytes_htd_ = 0;
-  std::size_t reported_bytes_dth_ = 0;
+  mutable gpusim::TimeMarker reported_marker_;
+  mutable std::size_t reported_launches_ = 0;
+  mutable std::size_t reported_bytes_htd_ = 0;
+  mutable std::size_t reported_bytes_dth_ = 0;
 };
 
 }  // namespace bltc

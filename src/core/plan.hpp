@@ -89,6 +89,12 @@ struct SourcePlan {
   const OrderedParticles* particles = nullptr;
   const ClusterTree* tree = nullptr;
   const ClusterMoments* moments = nullptr;
+  /// Dual traversal with caller-owned moments (the serving layer's cached
+  /// plans): the moment ladder, one entry per dual degree ([0] is the
+  /// nominal degree, lower degrees its exact restrictions). Empty for
+  /// engine-owned pieces — the engine then uses the ladder it computed in
+  /// prepare_sources.
+  std::span<const ClusterMoments> moment_levels;
 };
 
 /// Target side of a plan: tree-ordered targets, their batches, and the

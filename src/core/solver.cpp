@@ -6,6 +6,7 @@
 #include "core/engine.hpp"
 #include "core/periodic.hpp"
 #include "core/plan.hpp"
+#include "serve/exec_context.hpp"
 #include "util/timer.hpp"
 
 namespace bltc {
@@ -13,6 +14,7 @@ namespace bltc {
 Solver::Solver(SolverConfig config) : config_(std::move(config)) {
   config_.params.validate();
   engine_ = make_engine(config_.backend, config_.gpu);
+  exec_ = std::make_unique<ExecContext>();
 }
 
 Solver::~Solver() = default;
@@ -139,8 +141,10 @@ std::vector<double> Solver::evaluate(const Cloud& targets, RunStats* stats) {
     return std::vector<double>(targets.size(), 0.0);
   }
   WallTimer timer;
-  std::vector<double> phi_tree_order = engine_->evaluate_potential(
-      source_.view(), targets_.view(), config_.kernel, fresh_targets, local);
+  std::vector<double> phi_tree_order =
+      engine_->evaluate_potential(source_.view(), targets_.view(),
+                                  config_.kernel, fresh_targets, local,
+                                  exec_.get());
   local.compute_seconds = timer.seconds();
   finish_stats(local);
   if (stats != nullptr) *stats = local;
@@ -168,7 +172,8 @@ FieldResult Solver::evaluate_field(const Cloud& targets, RunStats* stats) {
   }
   WallTimer timer;
   FieldResult tree_order = engine_->evaluate_field(
-      source_.view(), targets_.view(), config_.kernel, fresh_targets, local);
+      source_.view(), targets_.view(), config_.kernel, fresh_targets, local,
+      exec_.get());
   local.compute_seconds = timer.seconds();
   finish_stats(local);
   if (stats != nullptr) *stats = local;

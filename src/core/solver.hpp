@@ -43,6 +43,7 @@
 namespace bltc {
 
 class Engine;
+class ExecContext;
 
 /// Which engine evaluates the potentials.
 enum class Backend {
@@ -203,6 +204,10 @@ class Solver {
 
   SolverConfig config_;
   std::unique_ptr<Engine> engine_;
+  /// Per-handle execution scratch: the engine itself is re-entrant, so the
+  /// mutable evaluation state (per-thread expansion caches, dual grid
+  /// accumulators) lives here and persists across evaluate() calls.
+  std::unique_ptr<ExecContext> exec_;
 
   // Source plan (core/plan.hpp owns the construction pipeline).
   bool have_sources_ = false;

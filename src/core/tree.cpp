@@ -1,9 +1,20 @@
 #include "core/tree.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 namespace bltc {
+namespace {
+
+std::atomic<std::size_t> tree_build_count{0};
+
+}  // namespace
+
+std::size_t ClusterTree::build_count() {
+  return tree_build_count.load(std::memory_order_relaxed);
+}
+
 namespace {
 
 /// Decide which of the three dimensions to bisect: a dimension is split iff
@@ -24,6 +35,7 @@ unsigned split_mask(const Box3& box, double max_aspect) {
 
 ClusterTree ClusterTree::build(OrderedParticles& particles,
                                const TreeParams& params) {
+  tree_build_count.fetch_add(1, std::memory_order_relaxed);
   ClusterTree tree;
   const std::size_t n = particles.size();
   const std::size_t max_leaf = std::max<std::size_t>(1, params.max_leaf);

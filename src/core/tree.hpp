@@ -69,6 +69,11 @@ class ClusterTree {
   /// count and max level are recomputed.
   static ClusterTree from_nodes(std::vector<ClusterNode> nodes);
 
+  /// Process-wide count of `build` calls (not from_nodes). Mirrors
+  /// ClusterMoments::build_count: tests use deltas of this counter to assert
+  /// structural claims — e.g. that a plan-cache hit replans nothing.
+  static std::size_t build_count();
+
  private:
   std::vector<ClusterNode> nodes_;
   std::size_t num_leaves_ = 0;

@@ -8,6 +8,7 @@
 #include "core/engine.hpp"
 #include "core/plan.hpp"
 #include "dist/let.hpp"
+#include "serve/exec_context.hpp"
 #include "partition/rcb.hpp"
 #include "simmpi/comm.hpp"
 #include "util/box.hpp"
@@ -23,6 +24,9 @@ namespace bltc::dist {
 struct DistSolver::RankState {
   int rank = 0;
   std::unique_ptr<Engine> engine;
+  /// Per-rank execution scratch (one rank = one evaluation stream, so the
+  /// context is never shared across threads).
+  ExecContext exec;
 
   // Local plan.
   std::vector<std::size_t> owned;  ///< original indices of local particles
@@ -475,7 +479,7 @@ std::vector<double> DistSolver::evaluate(DistStats* stats) {
     WallTimer timer;
     const std::vector<double> phi = s.engine->evaluate_potential(
         s.source.view(), s.targets.view(), config_.kernel, targets_fresh_,
-        run);
+        run, &s.exec);
     st.compute_seconds = timer.seconds();
     st.bytes_to_device = run.bytes_to_device;
     st.bytes_to_host = run.bytes_to_host;
@@ -520,7 +524,7 @@ FieldResult DistSolver::evaluate_field(DistStats* stats) {
     WallTimer timer;
     const FieldResult tree_order = s.engine->evaluate_field(
         s.source.view(), s.targets.view(), config_.kernel, targets_fresh_,
-        run);
+        run, &s.exec);
     st.compute_seconds = timer.seconds();
     st.bytes_to_device = run.bytes_to_device;
     st.bytes_to_host = run.bytes_to_host;

@@ -1,0 +1,28 @@
+#include "serve/exec_context.hpp"
+
+namespace bltc::serve {
+
+std::unique_ptr<ExecContext> ExecContextPool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!idle_.empty()) {
+      std::unique_ptr<ExecContext> context = std::move(idle_.back());
+      idle_.pop_back();
+      return context;
+    }
+  }
+  return std::make_unique<ExecContext>();
+}
+
+void ExecContextPool::release(std::unique_ptr<ExecContext> context) {
+  if (context == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  idle_.push_back(std::move(context));
+}
+
+std::size_t ExecContextPool::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return idle_.size();
+}
+
+}  // namespace bltc::serve

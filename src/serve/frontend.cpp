@@ -1,0 +1,448 @@
+#include "serve/frontend.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "core/engine.hpp"
+#include "core/periodic.hpp"
+#include "util/timer.hpp"
+
+namespace bltc::serve {
+namespace {
+
+/// The one shared, stateless CPU engine every CPU execution goes through.
+/// Cached plans carry their own moments and every call passes its own
+/// ExecContext, so the engine itself holds nothing mutable per plan.
+const Engine& shared_cpu_engine() {
+  static const std::unique_ptr<Engine> engine =
+      make_engine(Backend::kCpu, GpuOptions{});
+  return *engine;
+}
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Solver-equivalent periodic admission check, against the plan's stored
+/// charges (verification guarantees they equal the request's).
+void check_neutrality(const CachedPlan& plan, const KernelSpec& kernel) {
+  if (!plan.params.periodic()) return;
+  const AlignedVector& q = plan.source.particles.q;
+  require_periodic_neutrality(std::span<const double>(q.data(), q.size()),
+                              kernel);
+}
+
+/// One fused multi-target execution: the concatenation of several target
+/// plans into a single TargetPlan. Every source batch keeps its own
+/// interaction list and its own contiguous output range, so each member's
+/// slice of the fused result is bit-identical to executing its plan alone.
+struct FusedTargets {
+  OrderedParticles particles;
+  std::vector<TargetBatch> batches;
+  InteractionLists lists;
+  std::vector<std::size_t> offsets;  ///< member start index, parallel input
+};
+
+FusedTargets fuse_targets(
+    const std::vector<const TargetPlanState*>& members) {
+  FusedTargets fused;
+  std::size_t total = 0, nbatches = 0, nlists = 0;
+  for (const TargetPlanState* t : members) {
+    total += t->particles.size();
+    nbatches += t->batches.size();
+    nlists += t->lists.front().per_batch.size();
+  }
+  fused.particles.x.reserve(total);
+  fused.particles.y.reserve(total);
+  fused.particles.z.reserve(total);
+  fused.particles.q.reserve(total);
+  fused.particles.original_index.reserve(total);
+  fused.batches.reserve(nbatches);
+  fused.lists.per_batch.reserve(nlists);
+  fused.offsets.reserve(members.size());
+
+  std::size_t offset = 0;
+  for (const TargetPlanState* t : members) {
+    fused.offsets.push_back(offset);
+    const OrderedParticles& p = t->particles;
+    fused.particles.x.insert(fused.particles.x.end(), p.x.begin(), p.x.end());
+    fused.particles.y.insert(fused.particles.y.end(), p.y.begin(), p.y.end());
+    fused.particles.z.insert(fused.particles.z.end(), p.z.begin(), p.z.end());
+    fused.particles.q.insert(fused.particles.q.end(), p.q.begin(), p.q.end());
+    // Identity permutation over the fused order: each member un-permutes its
+    // own slice with its own plan's original_index afterwards.
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      fused.particles.original_index.push_back(offset + i);
+    }
+    for (TargetBatch batch : t->batches) {
+      batch.begin += offset;
+      batch.end += offset;
+      fused.batches.push_back(batch);
+    }
+    const InteractionLists& lists = t->lists.front();
+    fused.lists.per_batch.insert(fused.lists.per_batch.end(),
+                                 lists.per_batch.begin(),
+                                 lists.per_batch.end());
+    fused.lists.total_approx += lists.total_approx;
+    fused.lists.total_direct += lists.total_direct;
+    offset += p.size();
+  }
+  return fused;
+}
+
+}  // namespace
+
+ServeFrontend::ServeFrontend(PlanCache& cache, ServeOptions options)
+    : cache_(cache), options_(options) {
+  options_.max_batch = std::max<std::size_t>(1, options_.max_batch);
+  options_.max_delay_ms = std::max(0.0, options_.max_delay_ms);
+  const std::size_t n = std::max<std::size_t>(1, options_.workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ServeFrontend::~ServeFrontend() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::uint64_t ServeFrontend::group_key(const ServeRequest& request) {
+  // FNV-1a over the cache key plus the kernel: requests may only share an
+  // engine call when they share the compiled plan *and* the kernel.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(plan_key(*request.sources, request.params, request.backend));
+  mix(static_cast<std::uint64_t>(request.kernel.type));
+  std::uint64_t kappa_bits = 0;
+  static_assert(sizeof(kappa_bits) == sizeof(request.kernel.kappa));
+  std::memcpy(&kappa_bits, &request.kernel.kappa, sizeof(kappa_bits));
+  mix(kappa_bits);
+  return h;
+}
+
+std::future<ServeResponse> ServeFrontend::submit(ServeRequest request) {
+  if (request.sources == nullptr) {
+    throw std::invalid_argument("ServeFrontend::submit: null source cloud");
+  }
+  request.params.validate();
+  Pending pending;
+  pending.group = group_key(request);
+  pending.request = std::move(request);
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<ServeResponse> result = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ServeFrontend::submit: frontend stopped");
+    }
+    queue_.push_back(std::move(pending));
+    ++counters_.submitted;
+  }
+  // notify_all: besides idle workers, a worker sitting in the group-fill
+  // wait must wake to see a newly arrived member of its group.
+  cv_.notify_all();
+  return result;
+}
+
+void ServeFrontend::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+
+    // Adopt the oldest request's group and hold admission open until the
+    // group fills or its max-delay deadline passes. While stopping, drain
+    // immediately.
+    const std::uint64_t key = queue_.front().group;
+    const auto deadline =
+        queue_.front().enqueued +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(options_.max_delay_ms));
+    const auto group_count = [&] {
+      std::size_t n = 0;
+      for (const Pending& p : queue_) {
+        if (p.group == key && ++n >= options_.max_batch) break;
+      }
+      return n;
+    };
+    while (!stopping_ && group_count() < options_.max_batch) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      // Another worker may have drained this group while we slept.
+      if (group_count() == 0) break;
+    }
+
+    std::vector<Pending> group;
+    for (auto it = queue_.begin();
+         it != queue_.end() && group.size() < options_.max_batch;) {
+      if (it->group == key) {
+        group.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (group.empty()) continue;
+    counters_.max_group = std::max(counters_.max_group, group.size());
+
+    lock.unlock();
+    execute_group(group);
+    lock.lock();
+  }
+}
+
+std::vector<double> ServeFrontend::execute_plan(
+    const CachedPlan& plan,
+    const std::shared_ptr<const TargetPlanState>& targets,
+    const KernelSpec& kernel) {
+  RunStats stats;
+  if (plan.backend == Backend::kCpu) {
+    ExecContextPool::Lease context(contexts_);
+    return shared_cpu_engine().evaluate_potential(plan.source_view(),
+                                                  targets->view(), kernel,
+                                                  /*fresh_targets=*/true,
+                                                  stats, context.get());
+  }
+  // GpuSim: the plan's prepared engine keeps targets device-resident, so
+  // the staleness decision and the call must be one atomic step.
+  std::lock_guard<std::mutex> lock(plan.gpu_mutex);
+  const bool fresh = plan.gpu_staged_targets != targets;
+  std::vector<double> phi = plan.gpu_engine->evaluate_potential(
+      plan.source_view(), targets->view(), kernel, fresh, stats, nullptr);
+  plan.gpu_staged_targets = targets;
+  return phi;
+}
+
+void ServeFrontend::execute_group(std::vector<Pending>& group) {
+  const auto started = std::chrono::steady_clock::now();
+  std::size_t engine_calls = 0;
+  std::size_t fused_requests = 0;
+  std::size_t cache_hits = 0;
+
+  // Fulfillment is deferred until after the counter update at the bottom:
+  // a client's .get() returning must imply its request is visible in
+  // stats(), so promises are the very last thing this function touches.
+  std::vector<std::pair<std::promise<ServeResponse>*, ServeResponse>> fulfill;
+  std::vector<std::pair<std::promise<ServeResponse>*, std::exception_ptr>>
+      fail;
+  fulfill.reserve(group.size());
+
+  // Phase 1: resolve every request's plan and target plan. The first miss
+  // builds; the rest are verified hits. Per-request failures (bad params, a
+  // non-neutral periodic cloud) poison only their own promise.
+  struct Item {
+    Pending* pending = nullptr;
+    PlanPtr plan;
+    std::shared_ptr<const TargetPlanState> targets;
+    bool hit = false;
+  };
+  std::vector<Item> items;
+  items.reserve(group.size());
+  for (Pending& pending : group) {
+    try {
+      const Cloud& sources = *pending.request.sources;
+      const Cloud& targets = pending.request.targets != nullptr
+                                 ? *pending.request.targets
+                                 : sources;
+      if (sources.size() == 0 || targets.size() == 0) {
+        ServeResponse response;
+        response.phi.assign(targets.size(), 0.0);
+        response.group_size = group.size();
+        response.queue_seconds = seconds_between(pending.enqueued, started);
+        fulfill.emplace_back(&pending.promise, std::move(response));
+        continue;
+      }
+      Item item;
+      item.pending = &pending;
+      item.plan = cache_.get_or_build(sources, pending.request.params,
+                                      pending.request.backend, &item.hit);
+      check_neutrality(*item.plan, pending.request.kernel);
+      item.targets = item.plan->target_plan(targets);
+      if (item.hit) ++cache_hits;
+      items.push_back(std::move(item));
+    } catch (...) {
+      fail.emplace_back(&pending.promise, std::current_exception());
+    }
+  }
+
+  // Phase 2: execute per distinct plan (normally exactly one — the group
+  // key contains the plan key; a fingerprint collision can split it).
+  std::vector<const CachedPlan*> plans;
+  for (const Item& item : items) {
+    if (std::find(plans.begin(), plans.end(), item.plan.get()) ==
+        plans.end()) {
+      plans.push_back(item.plan.get());
+    }
+  }
+  for (const CachedPlan* plan : plans) {
+    std::vector<std::size_t> member_of;  // indices into items
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (items[i].plan.get() == plan) member_of.push_back(i);
+    }
+    // Dedupe target plans: identical target clouds share one execution.
+    std::vector<std::shared_ptr<const TargetPlanState>> unique_targets;
+    std::vector<std::vector<std::size_t>> target_members;
+    for (std::size_t i : member_of) {
+      const auto& t = items[i].targets;
+      std::size_t slot = unique_targets.size();
+      for (std::size_t u = 0; u < unique_targets.size(); ++u) {
+        if (unique_targets[u] == t) {
+          slot = u;
+          break;
+        }
+      }
+      if (slot == unique_targets.size()) {
+        unique_targets.push_back(t);
+        target_members.emplace_back();
+      }
+      target_members[slot].push_back(i);
+    }
+
+    const KernelSpec kernel = items[member_of.front()].pending->request.kernel;
+    const bool dual = plan->params.traversal == TraversalMode::kDual;
+    const bool device = plan->backend != Backend::kCpu;
+    std::vector<std::vector<double>> results(unique_targets.size());
+    try {
+      if (!dual && !device && unique_targets.size() > 1) {
+        // Fuse every distinct target set into one engine call. The dual
+        // traversal accumulates through a global per-target-tree structure
+        // and GpuSim stages per device, so those execute per target set.
+        std::vector<const TargetPlanState*> raw;
+        raw.reserve(unique_targets.size());
+        for (const auto& t : unique_targets) raw.push_back(t.get());
+        const FusedTargets fused = fuse_targets(raw);
+
+        TargetPlan view;
+        view.particles = &fused.particles;
+        view.batches = &fused.batches;
+        view.lists = std::span<const InteractionLists>(&fused.lists, 1);
+        view.per_target_mac = plan->params.per_target_mac;
+        view.traversal = TraversalMode::kBatched;
+        // Every member plan shares one shift table (same params).
+        view.shifts =
+            plan->params.periodic() ? &unique_targets.front()->shifts : nullptr;
+
+        RunStats stats;
+        std::vector<double> phi;
+        {
+          ExecContextPool::Lease context(contexts_);
+          phi = shared_cpu_engine().evaluate_potential(
+              plan->source_view(), view, kernel, /*fresh_targets=*/true,
+              stats, context.get());
+        }
+        ++engine_calls;
+        fused_requests += member_of.size();
+        for (std::size_t u = 0; u < unique_targets.size(); ++u) {
+          const std::size_t begin = fused.offsets[u];
+          const std::size_t count = unique_targets[u]->particles.size();
+          results[u].assign(phi.begin() + static_cast<long>(begin),
+                            phi.begin() + static_cast<long>(begin + count));
+        }
+      } else {
+        for (std::size_t u = 0; u < unique_targets.size(); ++u) {
+          results[u] = execute_plan(*plan, unique_targets[u], kernel);
+          ++engine_calls;
+          if (target_members[u].size() > 1) {
+            fused_requests += target_members[u].size();
+          }
+        }
+      }
+    } catch (...) {
+      for (std::size_t i : member_of) {
+        fail.emplace_back(&items[i].pending->promise,
+                          std::current_exception());
+      }
+      continue;
+    }
+
+    const auto finished = std::chrono::steady_clock::now();
+    for (std::size_t u = 0; u < unique_targets.size(); ++u) {
+      for (std::size_t i : target_members[u]) {
+        Item& item = items[i];
+        ServeResponse response;
+        response.phi =
+            unique_targets[u]->particles.scatter_to_original(results[u]);
+        response.cache_hit = item.hit;
+        response.group_size = group.size();
+        response.queue_seconds =
+            seconds_between(item.pending->enqueued, started);
+        response.execute_seconds = seconds_between(started, finished);
+        fulfill.emplace_back(&item.pending->promise, std::move(response));
+      }
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.completed += fulfill.size() + fail.size();
+    counters_.executions += engine_calls;
+    counters_.fused_requests += fused_requests;
+    counters_.cache_hits += cache_hits;
+  }
+  for (auto& [promise, error] : fail) promise->set_exception(error);
+  for (auto& [promise, response] : fulfill) {
+    promise->set_value(std::move(response));
+  }
+}
+
+ServeResponse ServeFrontend::evaluate_now(const ServeRequest& request) {
+  if (request.sources == nullptr) {
+    throw std::invalid_argument(
+        "ServeFrontend::evaluate_now: null source cloud");
+  }
+  WallTimer timer;
+  const Cloud& sources = *request.sources;
+  const Cloud& targets =
+      request.targets != nullptr ? *request.targets : sources;
+  ServeResponse response;
+  bool hit = false;
+  if (sources.size() == 0 || targets.size() == 0) {
+    response.phi.assign(targets.size(), 0.0);
+  } else {
+    PlanPtr plan =
+        cache_.get_or_build(sources, request.params, request.backend, &hit);
+    check_neutrality(*plan, request.kernel);
+    const auto target_plan = plan->target_plan(targets);
+    const std::vector<double> phi =
+        execute_plan(*plan, target_plan, request.kernel);
+    response.phi = target_plan->particles.scatter_to_original(phi);
+    response.cache_hit = hit;
+  }
+  response.execute_seconds = timer.seconds();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.submitted;
+    ++counters_.completed;
+    if (response.phi.size() > 0 && targets.size() > 0 &&
+        sources.size() > 0) {
+      ++counters_.executions;
+    }
+    if (hit) ++counters_.cache_hits;
+    counters_.max_group = std::max<std::size_t>(counters_.max_group, 1);
+  }
+  return response;
+}
+
+FrontendStats ServeFrontend::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace bltc::serve

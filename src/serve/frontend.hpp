@@ -1,0 +1,138 @@
+// Request-batching serving front end over the shared PlanCache.
+//
+// The serving observation mirrors the paper's batching observation: many
+// small independent requests against one compiled plan are the same work
+// shape as many small target batches against one source tree — so coalesce
+// them. `ServeFrontend::submit` enqueues a request and returns a future;
+// worker threads group queued requests by (plan key, kernel) under a
+// max-batch-size / max-delay admission policy and execute each group
+// through one fused engine call:
+//
+//   * requests sharing identical target coordinates share one execution
+//     (and one result vector) outright;
+//   * distinct target sets under the batched traversal are *fused*: their
+//     tree-ordered particles, offset-shifted batches, and per-batch
+//     interaction lists are concatenated into one TargetPlan (the same
+//     span-of-lists machinery the distributed LET uses), executed in a
+//     single engine call, and sliced back per request. Because every batch
+//     keeps its own lists and its own contiguous output range, each
+//     request's potentials are bit-identical to an individual evaluate()
+//     of its own plan;
+//   * dual-traversal and GpuSim-backend groups execute per unique target
+//     set (their accumulation structure is global per target tree / staged
+//     per device), still sharing the cached plan and deduped results.
+//
+// Re-entrancy: CPU executions run concurrently on a shared stateless
+// engine, each call on a per-call ExecContext leased from a pool; GpuSim
+// executions serialize on the plan's device engine.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "core/solver.hpp"
+#include "serve/exec_context.hpp"
+#include "serve/plan_cache.hpp"
+#include "util/workloads.hpp"
+
+namespace bltc::serve {
+
+/// One evaluation request. Cloud storage is caller-owned and must outlive
+/// the response future (the storm generators keep all clouds alive for the
+/// run, the natural serving shape).
+struct ServeRequest {
+  const Cloud* sources = nullptr;
+  /// Null targets evaluate at the source points (the dominant shape).
+  const Cloud* targets = nullptr;
+  TreecodeParams params;
+  KernelSpec kernel;
+  Backend backend = Backend::kCpu;
+};
+
+/// One request's result plus its serving metadata.
+struct ServeResponse {
+  std::vector<double> phi;  ///< caller target order
+  bool cache_hit = false;   ///< plan served from the cache
+  std::size_t group_size = 1;  ///< requests coalesced into its execution group
+  double queue_seconds = 0.0;    ///< admission wait
+  double execute_seconds = 0.0;  ///< plan fetch + engine call for its group
+};
+
+/// Admission policy and worker fleet size.
+struct ServeOptions {
+  std::size_t max_batch = 16;   ///< requests per fused execution group
+  double max_delay_ms = 0.2;    ///< max admission wait for group fill
+  std::size_t workers = 1;      ///< executor threads
+};
+
+/// Monotonic frontend counters.
+struct FrontendStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t executions = 0;      ///< engine calls issued
+  std::size_t fused_requests = 0;  ///< requests that shared an engine call
+  std::size_t cache_hits = 0;      ///< responses served from a cached plan
+  std::size_t max_group = 0;       ///< largest coalesced group observed
+};
+
+/// Coalescing front end (see file comment). Owns its worker threads; the
+/// destructor drains the queue before joining.
+class ServeFrontend {
+ public:
+  explicit ServeFrontend(PlanCache& cache, ServeOptions options = {});
+  ~ServeFrontend();
+  ServeFrontend(const ServeFrontend&) = delete;
+  ServeFrontend& operator=(const ServeFrontend&) = delete;
+
+  /// Enqueue one request; the future resolves when its group executes.
+  std::future<ServeResponse> submit(ServeRequest request);
+
+  /// Synchronous single-request path (no coalescing): fetch the plan, plan
+  /// targets, execute. The reference the fused path must match bit-for-bit.
+  ServeResponse evaluate_now(const ServeRequest& request);
+
+  FrontendStats stats() const;
+
+ private:
+  struct Pending {
+    ServeRequest request;
+    std::promise<ServeResponse> promise;
+    std::uint64_t group = 0;  ///< (plan key, kernel) grouping fingerprint
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  static std::uint64_t group_key(const ServeRequest& request);
+
+  void worker_loop();
+  /// Execute one coalesced group and fulfill its promises.
+  void execute_group(std::vector<Pending>& group);
+  /// Execute one (plan, target plan) pair; tree-order potentials. Takes the
+  /// target plan under its shared_ptr so GpuSim staging can pin it.
+  std::vector<double> execute_plan(
+      const CachedPlan& plan,
+      const std::shared_ptr<const TargetPlanState>& targets,
+      const KernelSpec& kernel);
+
+  PlanCache& cache_;
+  ServeOptions options_;
+  ExecContextPool contexts_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  FrontendStats counters_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bltc::serve

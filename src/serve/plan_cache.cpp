@@ -1,0 +1,364 @@
+#include "serve/plan_cache.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "core/interaction_lists.hpp"
+#include "core/periodic.hpp"
+
+namespace bltc::serve {
+namespace {
+
+/// FNV-1a accumulator over 64-bit words (doubles contribute their exact bit
+/// patterns, so fingerprint equality is a statement about bitwise inputs).
+struct Fnv1a {
+  std::uint64_t h = 1469598103934665603ULL;
+
+  void add_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  }
+  void add_double(double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    add_u64(bits);
+  }
+};
+
+bool params_equal(const TreecodeParams& a, const TreecodeParams& b) {
+  return a.theta == b.theta && a.degree == b.degree &&
+         a.max_leaf == b.max_leaf && a.max_batch == b.max_batch &&
+         a.moment_algorithm == b.moment_algorithm &&
+         a.per_target_mac == b.per_target_mac && a.traversal == b.traversal &&
+         a.boundary == b.boundary && a.image_shells == b.image_shells &&
+         a.domain.lo == b.domain.lo && a.domain.hi == b.domain.hi;
+}
+
+std::size_t particles_bytes(const OrderedParticles& p) {
+  return 4 * p.x.size() * sizeof(double) +
+         p.original_index.size() * sizeof(std::size_t);
+}
+
+std::size_t moments_bytes(const ClusterMoments& m) {
+  return (m.all_grids().size() + m.all_qhat().size()) * sizeof(double);
+}
+
+std::size_t lists_bytes(const InteractionLists& l) {
+  std::size_t b = l.per_batch.size() * sizeof(BatchInteractions);
+  for (const BatchInteractions& bi : l.per_batch) {
+    b += (bi.approx.size() + bi.direct.size()) * sizeof(int) +
+         (bi.approx_shift.size() + bi.direct_shift.size()) *
+             sizeof(std::uint16_t);
+  }
+  return b;
+}
+
+std::size_t dual_lists_bytes(const DualInteractionLists& l) {
+  return (l.grid_pairs.size() + l.leaf_pairs.size()) * sizeof(DualPair) +
+         (l.grid_offsets.size() + l.leaf_offsets.size()) *
+             sizeof(std::size_t) +
+         (l.grid_nodes.size() + l.leaf_nodes.size() + l.ladder.size()) *
+             sizeof(int);
+}
+
+std::size_t target_plan_bytes(const TargetPlanState& t) {
+  std::size_t b = particles_bytes(t.particles) +
+                  t.batches.size() * sizeof(TargetBatch) +
+                  t.shifts.bytes();
+  for (const InteractionLists& l : t.lists) b += lists_bytes(l);
+  b += t.tree.num_nodes() * sizeof(ClusterNode);
+  for (const ClusterMoments& g : t.grids) b += moments_bytes(g);
+  for (const DualInteractionLists& l : t.dual_lists) b += dual_lists_bytes(l);
+  return b;
+}
+
+/// Build one target plan against the cached source (the Solver's
+/// plan_targets, including its dual self-mode condition).
+std::shared_ptr<const TargetPlanState> build_target_plan(
+    const Cloud& targets, const SourcePlanState& source,
+    const TreecodeParams& params) {
+  auto state =
+      std::make_shared<TargetPlanState>(TargetPlanState::plan(targets,
+                                                              params));
+  const bool self = params.traversal == TraversalMode::kDual &&
+                    !params.periodic() &&
+                    params.max_leaf == params.max_batch &&
+                    source.matches(targets);
+  state->append_lists(source.tree, params, self);
+  return state;
+}
+
+}  // namespace
+
+std::uint64_t cloud_fingerprint(const Cloud& cloud,
+                                const TreecodeParams& params) {
+  Fnv1a fnv;
+  fnv.add_u64(cloud.size());
+  const bool wrap = params.periodic();
+  const auto len = params.domain.lengths();
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    if (wrap) {
+      fnv.add_double(
+          wrap_coordinate(cloud.x[i], params.domain.lo[0], len[0]));
+      fnv.add_double(
+          wrap_coordinate(cloud.y[i], params.domain.lo[1], len[1]));
+      fnv.add_double(
+          wrap_coordinate(cloud.z[i], params.domain.lo[2], len[2]));
+    } else {
+      fnv.add_double(cloud.x[i]);
+      fnv.add_double(cloud.y[i]);
+      fnv.add_double(cloud.z[i]);
+    }
+  }
+  for (const double q : cloud.q) fnv.add_double(q);
+  return fnv.h;
+}
+
+std::uint64_t params_fingerprint(const TreecodeParams& params) {
+  Fnv1a fnv;
+  fnv.add_double(params.theta);
+  fnv.add_u64(static_cast<std::uint64_t>(params.degree));
+  fnv.add_u64(params.max_leaf);
+  fnv.add_u64(params.max_batch);
+  fnv.add_u64(static_cast<std::uint64_t>(params.moment_algorithm));
+  fnv.add_u64(params.per_target_mac ? 1 : 0);
+  fnv.add_u64(static_cast<std::uint64_t>(params.traversal));
+  fnv.add_u64(static_cast<std::uint64_t>(params.boundary));
+  fnv.add_u64(static_cast<std::uint64_t>(params.image_shells));
+  for (int d = 0; d < 3; ++d) {
+    fnv.add_double(params.domain.lo[static_cast<std::size_t>(d)]);
+    fnv.add_double(params.domain.hi[static_cast<std::size_t>(d)]);
+  }
+  return fnv.h;
+}
+
+std::uint64_t plan_key(const Cloud& sources, const TreecodeParams& params,
+                       Backend backend) {
+  Fnv1a fnv;
+  fnv.add_u64(cloud_fingerprint(sources, params));
+  fnv.add_u64(params_fingerprint(params));
+  fnv.add_u64(static_cast<std::uint64_t>(backend));
+  return fnv.h;
+}
+
+std::size_t cached_plan_bytes(const CachedPlan& plan) {
+  std::size_t b = particles_bytes(plan.source.particles) +
+                  plan.source.tree.num_nodes() * sizeof(ClusterNode);
+  for (const ClusterMoments& m : plan.moment_levels) b += moments_bytes(m);
+  if (plan.self_targets != nullptr) b += target_plan_bytes(*plan.self_targets);
+  if (plan.gpu_engine != nullptr) {
+    // Device-resident stand-in for host moments: per-cluster grids
+    // (3 (n+1) doubles) plus modified charges ((n+1)^3 doubles).
+    const std::size_t m = static_cast<std::size_t>(plan.params.degree) + 1;
+    b += plan.source.tree.num_nodes() * (3 * m + m * m * m) * sizeof(double);
+  }
+  return b;
+}
+
+SourcePlan CachedPlan::source_view() const {
+  SourcePlan view = source.view();
+  if (!moment_levels.empty()) {
+    view.moments = &moment_levels.front();
+    view.moment_levels = moment_levels;
+  }
+  return view;
+}
+
+std::shared_ptr<const TargetPlanState> CachedPlan::self_target_plan() const {
+  return self_targets;
+}
+
+std::shared_ptr<const TargetPlanState> CachedPlan::target_plan(
+    const Cloud& targets) const {
+  if (self_targets->matches(targets)) return self_targets;
+  const std::uint64_t fp = cloud_fingerprint(targets, params);
+  {
+    std::lock_guard<std::mutex> lock(targets_mutex_);
+    for (const auto& [key, state] : extra_targets_) {
+      if (key == fp && state->matches(targets)) return state;
+    }
+  }
+  std::shared_ptr<const TargetPlanState> state =
+      build_target_plan(targets, source, params);
+  std::lock_guard<std::mutex> lock(targets_mutex_);
+  // A racing builder may have inserted the same plan meanwhile; prefer the
+  // resident one so concurrent requests share a single instance.
+  for (const auto& [key, existing] : extra_targets_) {
+    if (key == fp && existing->matches(targets)) return existing;
+  }
+  constexpr std::size_t kMaxExtraTargets = 16;
+  if (extra_targets_.size() >= kMaxExtraTargets) extra_targets_.pop_back();
+  extra_targets_.emplace_front(fp, state);
+  return state;
+}
+
+PlanCache::PlanCache(Options options) : options_(options) {}
+
+PlanPtr PlanCache::build_plan(const Cloud& sources,
+                              const TreecodeParams& params, Backend backend,
+                              std::uint64_t key) const {
+  auto plan = std::make_shared<CachedPlan>();
+  plan->params = params;
+  plan->backend = backend;
+  plan->key = key;
+  plan->source = SourcePlanState::build(sources, params);
+
+  if (backend == Backend::kCpu) {
+    ClusterMoments nominal =
+        ClusterMoments::compute(plan->source.tree, plan->source.particles,
+                                params.degree, params.moment_algorithm);
+    if (params.traversal == TraversalMode::kDual) {
+      const std::vector<int> ladder = dual_degree_ladder(params.degree);
+      plan->moment_levels.reserve(ladder.size());
+      plan->moment_levels.push_back(std::move(nominal));
+      for (std::size_t l = 1; l < ladder.size(); ++l) {
+        plan->moment_levels.push_back(ClusterMoments::restrict_from(
+            plan->source.tree, plan->moment_levels.front(), ladder[l]));
+      }
+    } else {
+      plan->moment_levels.push_back(std::move(nominal));
+    }
+  } else {
+    // The GpuSim plan's compiled artifact is a prepared engine: sources,
+    // grids, and modified charges staged device-resident once at build.
+    plan->gpu_engine = make_engine(backend, options_.gpu);
+    plan->gpu_engine->prepare_sources(plan->source.view(), params,
+                                      /*charges_only=*/false);
+  }
+
+  plan->self_targets = build_target_plan(sources, plan->source, params);
+  plan->bytes = cached_plan_bytes(*plan);
+  return plan;
+}
+
+bool PlanCache::verify(const CachedPlan& plan, const Cloud& sources,
+                       const TreecodeParams& params, Backend backend) {
+  if (plan.backend != backend || !params_equal(plan.params, params)) {
+    return false;
+  }
+  if (plan.source.size() != sources.size()) return false;
+  if (!plan.source.matches(sources)) return false;
+  const OrderedParticles& p = plan.source.particles;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p.q[i] != sources.q[p.original_index[i]]) return false;
+  }
+  return true;
+}
+
+PlanPtr PlanCache::get_or_build(const Cloud& sources,
+                                const TreecodeParams& params, Backend backend,
+                                bool* was_hit) {
+  if (was_hit != nullptr) *was_hit = false;
+  params.validate();
+  if (sources.size() == 0) {
+    throw std::invalid_argument("PlanCache::get_or_build: empty source cloud");
+  }
+  const std::uint64_t key = plan_key(sources, params, backend);
+
+  std::promise<PlanPtr> promise;
+  std::shared_future<PlanPtr> future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      future = it->second.plan;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+    } else {
+      builder = true;
+      counters_.misses += 1;
+      Entry entry;
+      entry.plan = promise.get_future().share();
+      lru_.push_front(key);
+      entry.lru = lru_.begin();
+      future = entry.plan;
+      entries_.emplace(key, std::move(entry));
+    }
+  }
+
+  if (builder) {
+    PlanPtr plan;
+    try {
+      plan = build_plan(sources, params, backend, key);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+          lru_.erase(it->second.lru);
+          entries_.erase(it);
+        }
+      }
+      promise.set_exception(std::current_exception());
+      throw;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        it->second.ready = true;
+        it->second.bytes = plan->bytes;
+        bytes_ += plan->bytes;
+        // LRU eviction under the byte budget: walk from the cold end,
+        // skipping entries still being built; always keep the most
+        // recently used plan even when it alone overflows the budget.
+        const auto evict_one = [&]() -> bool {
+          for (auto pos = lru_.rbegin(); pos != lru_.rend(); ++pos) {
+            if (*pos == key) continue;  // the plan being inserted stays
+            auto victim = entries_.find(*pos);
+            if (victim == entries_.end() || !victim->second.ready) continue;
+            bytes_ -= victim->second.bytes;
+            entries_.erase(victim);
+            lru_.erase(std::next(pos).base());
+            counters_.evictions += 1;
+            return true;
+          }
+          return false;
+        };
+        while (bytes_ > options_.max_bytes && entries_.size() > 1 &&
+               evict_one()) {
+        }
+      }
+    }
+    promise.set_value(plan);
+    return plan;
+  }
+
+  PlanPtr plan = future.get();  // rethrows a failed build
+  if (!verify(*plan, sources, params, backend)) {
+    // Fingerprint collision: never serve a wrong plan — build privately
+    // (uncached, so the resident entry keeps serving its own key).
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      counters_.collisions += 1;
+      counters_.misses += 1;
+    }
+    return build_plan(sources, params, backend, key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.hits += 1;
+  }
+  if (was_hit != nullptr) *was_hit = true;
+  return plan;
+}
+
+CacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats out = counters_;
+  out.entries = entries_.size();
+  out.bytes = bytes_;
+  return out;
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace bltc::serve

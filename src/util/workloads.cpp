@@ -1,7 +1,9 @@
 #include "util/workloads.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <utility>
 
 #include "util/rng.hpp"
 
@@ -112,6 +114,61 @@ Cloud screened_plasma(std::size_t n, std::uint64_t seed, double box) {
     c.q[i] = (i % 2 == 0) ? 1.0 : -1.0;
   }
   return c;
+}
+
+RequestStorm request_storm(const StormSpec& spec, std::uint64_t seed) {
+  RequestStorm storm;
+  storm.box = spec.box;
+  SplitMix64 rng(seed);
+
+  const auto even = [](std::size_t n) {
+    n = std::max<std::size_t>(2, n);
+    return n + (n % 2);
+  };
+  const std::size_t num_shared = std::max<std::size_t>(1, spec.num_shared);
+  for (std::size_t i = 0; i < num_shared; ++i) {
+    storm.clouds.push_back(
+        screened_plasma(even(spec.shared_size), rng.next_u64(), spec.box));
+  }
+
+  storm.requests.reserve(spec.num_requests);
+  for (std::size_t r = 0; r < spec.num_requests; ++r) {
+    StormRequest req;
+    const bool shared = rng.next_double() < spec.shared_fraction;
+    const bool periodic = rng.next_double() < spec.periodic_fraction;
+    req.boundary = periodic ? StormBoundary::kPeriodic : StormBoundary::kOpen;
+    // The dual traversal is open-boundary only (the periodic image sum runs
+    // through the batched lists).
+    if (!periodic && rng.next_double() < spec.dual_fraction) {
+      req.traversal = StormTraversal::kDual;
+    }
+    if (shared) {
+      req.shared = true;
+      req.cloud = rng.next_u64() % num_shared;
+      if (periodic && rng.next_double() < spec.translate_fraction) {
+        // Translate by an exact lattice vector: distinct storage, identical
+        // wrapped coordinates (the coordinates are quantized, so the shift
+        // is exact in double precision).
+        Cloud translated = storm.clouds[req.cloud];
+        for (int axis = 0; axis < 3; ++axis) {
+          const double shift =
+              (static_cast<double>(rng.next_u64() % 5) - 2.0) * spec.box;
+          auto& v = axis == 0 ? translated.x
+                              : (axis == 1 ? translated.y : translated.z);
+          for (double& c : v) c += shift;
+        }
+        req.cloud = storm.clouds.size();
+        req.translated = true;
+        storm.clouds.push_back(std::move(translated));
+      }
+    } else {
+      req.cloud = storm.clouds.size();
+      storm.clouds.push_back(
+          screened_plasma(even(spec.small_size), rng.next_u64(), spec.box));
+    }
+    storm.requests.push_back(req);
+  }
+  return storm;
 }
 
 Cloud dumbbell(std::size_t n, std::uint64_t seed, double separation) {

@@ -65,4 +65,55 @@ Cloud ionic_lattice(std::size_t cells, std::uint64_t seed, double box = 1.0,
 /// sum converges absolutely, so neutrality is not required there.
 Cloud screened_plasma(std::size_t n, std::uint64_t seed, double box = 1.0);
 
+// ---- Request storms ------------------------------------------------------
+// Serving-shaped workload: a seeded stream of evaluation requests over a
+// mix of a few large *shared* clouds (requests repeat them — plan-cache
+// hits after warmup), many unique small clouds (every request plans), and
+// lattice-translated copies of shared periodic clouds (distinct storage,
+// identical wrapped coordinates — the wrap-aware cache-hit case). Clouds
+// are generated in [0, box)^3 with quantized coordinates so translations
+// are exact; all cloud sizes are rounded up to even for charge neutrality.
+// This layer is pure geometry + mix tags: mapping a tag to treecode
+// parameters/kernels happens in the serving layer (serve/storm.hpp), which
+// keeps util/ free of core types.
+
+/// Boundary/traversal mix tag of one storm request.
+enum class StormBoundary { kOpen, kPeriodic };
+enum class StormTraversal { kBatched, kDual };
+
+/// Storm shape. Fractions are probabilities per request.
+struct StormSpec {
+  std::size_t num_requests = 64;
+  std::size_t num_shared = 3;       ///< large clouds requests keep revisiting
+  std::size_t shared_size = 4096;   ///< particles per shared cloud
+  std::size_t small_size = 256;     ///< particles per unique small cloud
+  double shared_fraction = 0.5;     ///< request targets a shared cloud
+  double translate_fraction = 0.5;  ///< periodic shared request arrives
+                                    ///< lattice-translated
+  double periodic_fraction = 0.25;
+  double dual_fraction = 0.25;      ///< dual traversal (open requests only)
+  double box = 1.0;                 ///< periodic cell edge
+};
+
+/// One request of the storm: which cloud plus its mix tags.
+struct StormRequest {
+  std::size_t cloud = 0;    ///< index into RequestStorm::clouds
+  StormBoundary boundary = StormBoundary::kOpen;
+  StormTraversal traversal = StormTraversal::kBatched;
+  bool shared = false;      ///< revisits a shared cloud's plan
+  bool translated = false;  ///< lattice-translated shared periodic cloud
+};
+
+/// A generated storm. `clouds` is stable storage for the whole run (the
+/// serving layer's requests point into it); the first `num_shared` entries
+/// are the shared clouds.
+struct RequestStorm {
+  std::vector<Cloud> clouds;
+  std::vector<StormRequest> requests;
+  double box = 1.0;
+};
+
+/// Generate a storm (deterministic in `seed`).
+RequestStorm request_storm(const StormSpec& spec, std::uint64_t seed);
+
 }  // namespace bltc
