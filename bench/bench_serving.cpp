@@ -31,25 +31,33 @@ struct StormRun {
   double p99_ms = 0.0;
   double throughput = 0.0;  ///< requests per second
   double wall_seconds = 0.0;
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  std::size_t expired = 0;  ///< resolved with DeadlineExceeded
   serve::CacheStats cache;
   serve::FrontendStats frontend;
 };
 
 /// Drive every storm request through a fresh cache + frontend with
-/// `clients` closed-loop client threads.
+/// `clients` closed-loop client threads. Latency is submit-to-resolution —
+/// under overload a shed or expired request resolving fast is the *point*
+/// of the hardening, so errors count in the percentiles too. `warmup`
+/// pre-builds every plan so the measured burst isolates serving behavior.
 StormRun run_storm(const RequestStorm& storm,
                    const serve::StormParams& presets, std::size_t clients,
-                   std::size_t max_batch, double max_delay_ms,
-                   std::size_t workers) {
+                   const serve::ServeOptions& options,
+                   double deadline_ms = 0.0, bool warmup = false) {
   serve::PlanCache cache;
-  serve::ServeOptions options;
-  options.max_batch = max_batch;
-  options.max_delay_ms = max_delay_ms;
-  options.workers = workers;
   serve::ServeFrontend frontend(cache, options);
+  if (warmup) {
+    for (const StormRequest& req : storm.requests) {
+      frontend.evaluate_now(serve::storm_request(storm, req, presets));
+    }
+  }
 
   std::vector<double> latency(storm.requests.size(), 0.0);
   std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> ok{0}, shed{0}, expired{0};
   WallTimer wall;
   {
     std::vector<std::thread> threads;
@@ -59,10 +67,18 @@ StormRun run_storm(const RequestStorm& storm,
         for (;;) {
           const std::size_t i = cursor.fetch_add(1);
           if (i >= storm.requests.size()) return;
-          const serve::ServeRequest request =
+          serve::ServeRequest request =
               serve::storm_request(storm, storm.requests[i], presets);
+          request.deadline_ms = deadline_ms;
           WallTimer timer;
-          frontend.submit(request).get();
+          try {
+            frontend.submit(request).get();
+            ++ok;
+          } catch (const serve::RequestShed&) {
+            ++shed;
+          } catch (const serve::DeadlineExceeded&) {
+            ++expired;
+          }
           latency[i] = timer.seconds();
         }
       });
@@ -83,6 +99,9 @@ StormRun run_storm(const RequestStorm& storm,
   run.p99_ms = pct(0.99);
   run.throughput =
       static_cast<double>(storm.requests.size()) / run.wall_seconds;
+  run.ok = ok.load();
+  run.shed = shed.load();
+  run.expired = expired.load();
   run.cache = cache.stats();
   run.frontend = frontend.stats();
   return run;
@@ -116,9 +135,11 @@ int main(int argc, char** argv) {
                       "misses", "engine calls", "fused", "max group"});
   for (const std::size_t clients : {std::size_t(1), std::size_t(4),
                                     std::size_t(16)}) {
-    const StormRun run =
-        run_storm(storm, presets, clients, /*max_batch=*/16,
-                  /*max_delay_ms=*/0.5, /*workers=*/2);
+    serve::ServeOptions mixed_options;
+    mixed_options.max_batch = 16;
+    mixed_options.max_delay_ms = 0.5;
+    mixed_options.workers = 2;
+    const StormRun run = run_storm(storm, presets, clients, mixed_options);
     table.add_row({std::to_string(clients), bench::Table::num(run.p50_ms),
                    bench::Table::num(run.p99_ms),
                    bench::Table::num(run.throughput, 1),
@@ -197,6 +218,70 @@ int main(int argc, char** argv) {
   report.metric("hitstorm_cache_hits", static_cast<double>(cache.stats().hits));
   report.metric("hitstorm_cache_misses",
                 static_cast<double>(cache.stats().misses));
+
+  // ---- Overload: offered load far above capacity -------------------------
+  // One worker serves a burst of closed-loop clients several times deeper
+  // than the queue budget, over a pre-warmed cache. The hardened frontend
+  // (bounded queue + kShedOldest + per-request deadline + graceful
+  // degradation) must keep resolution p99 near the deadline — sheds and
+  // expiries resolve fast, successes execute from a bounded queue — while
+  // the unhardened configuration (kBlock, no deadline, no degradation)
+  // makes every request wait out the full backlog.
+  StormSpec overload_spec = spec;
+  overload_spec.num_requests = env_size("BLTC_SERVE_OVERLOAD_REQUESTS", 192);
+  overload_spec.shared_fraction = 1.0;  // stable per-request cost
+  overload_spec.translate_fraction = 0.0;
+  const RequestStorm overload_storm = request_storm(overload_spec, 99);
+  const std::size_t overload_clients = 32;
+  const double deadline_ms = 50.0;
+
+  serve::ServeOptions hardened;
+  hardened.workers = 1;
+  hardened.max_batch = 4;
+  hardened.max_delay_ms = 0.2;
+  hardened.max_queue_requests = 8;
+  hardened.shed_policy = serve::ShedPolicy::kShedOldest;
+  hardened.max_degrade_tier = 2;
+  hardened.overload_factor = 1.0;
+  hardened.ewma_alpha = 0.5;
+
+  serve::ServeOptions unhardened = hardened;
+  unhardened.shed_policy = serve::ShedPolicy::kBlock;
+  unhardened.max_degrade_tier = 0;
+
+  const StormRun hard = run_storm(overload_storm, presets, overload_clients,
+                                  hardened, deadline_ms, /*warmup=*/true);
+  const StormRun soft = run_storm(overload_storm, presets, overload_clients,
+                                  unhardened, /*deadline_ms=*/0.0,
+                                  /*warmup=*/true);
+
+  const auto rate = [&](std::size_t n) {
+    return static_cast<double>(n) /
+           static_cast<double>(overload_storm.requests.size());
+  };
+  std::printf("\noverload (%zu clients, queue<=8, 1 worker, %zu requests):\n",
+              overload_clients, overload_storm.requests.size());
+  std::printf("  hardened   p50 %8.3f ms  p99 %8.3f ms  ok %zu  shed %zu  "
+              "deadline %zu  degraded %zu (deadline %.0f ms)\n",
+              hard.p50_ms, hard.p99_ms, hard.ok, hard.shed, hard.expired,
+              hard.frontend.degraded, deadline_ms);
+  std::printf("  unhardened p50 %8.3f ms  p99 %8.3f ms  ok %zu "
+              "(kBlock, no deadline, no degradation)\n",
+              soft.p50_ms, soft.p99_ms, soft.ok);
+
+  report.metric("overload_deadline_ms", deadline_ms);
+  report.metric("overload_hardened_p50_ms", hard.p50_ms);
+  report.metric("overload_hardened_p99_ms", hard.p99_ms);
+  report.metric("overload_hardened_shed_rate", rate(hard.shed));
+  report.metric("overload_hardened_deadline_rate", rate(hard.expired));
+  report.metric("overload_hardened_ok", static_cast<double>(hard.ok));
+  report.metric("overload_hardened_degraded",
+                static_cast<double>(hard.frontend.degraded));
+  report.metric("overload_hardened_throughput_rps", hard.throughput);
+  report.metric("overload_unhardened_p50_ms", soft.p50_ms);
+  report.metric("overload_unhardened_p99_ms", soft.p99_ms);
+  report.metric("overload_unhardened_ok", static_cast<double>(soft.ok));
+  report.metric("overload_unhardened_throughput_rps", soft.throughput);
 
   const std::string path =
       bench::json_output_path(argc, argv, "BENCH_serving.json");

@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "serve/plan_cache.hpp"
 #include "serve/storm.hpp"
 #include "util/cli.hpp"
+#include "util/failpoints.hpp"
 #include "util/io.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -77,6 +79,13 @@ void usage() {
       "  --periodic-fraction <f> serve: periodic-boundary fraction (0.25)\n"
       "  --dual-fraction <f>    serve: dual-traversal fraction (0.25)\n"
       "  --cache-mb <mb>        serve: plan-cache budget in MiB (256)\n"
+      "  --chaos                serve: arm every failpoint site (seeded\n"
+      "                         fault injection) and run the storm with\n"
+      "                         retries; exits non-zero if any request\n"
+      "                         fails with other than a precise serve\n"
+      "                         error\n"
+      "  --chaos-p <p>          serve: per-hit failpoint probability\n"
+      "                         (default 0.05)\n"
       "  --help                 this text\n");
 }
 
@@ -129,6 +138,23 @@ int run_serve(const ArgParser& args, Backend backend, std::uint64_t seed,
   serve_options.max_batch = args.get_size("serve-batch", 16);
   serve_options.max_delay_ms = args.get_double("serve-delay-ms", 0.2);
   serve_options.workers = args.get_size("serve-workers", 2);
+
+  // Chaos mode: arm every failpoint site with a seeded per-hit fault
+  // probability and let the frontend's transient-retry machinery absorb
+  // the injected failures. Scopes stay armed for the whole storm.
+  const bool chaos = args.has("chaos");
+  std::vector<std::unique_ptr<failpoints::FailpointScope>> chaos_scopes;
+  if (chaos) {
+    serve_options.max_retries = 8;
+    serve_options.retry_backoff_ms = 0.1;
+    FailpointConfig config;
+    config.probability = args.get_double("chaos-p", 0.05);
+    config.seed = seed;
+    for (const char* site : failpoints::all_sites()) {
+      chaos_scopes.push_back(
+          std::make_unique<failpoints::FailpointScope>(site, config));
+    }
+  }
   serve::ServeFrontend frontend(cache, serve_options);
 
   const std::size_t clients = std::max<std::size_t>(
@@ -141,6 +167,7 @@ int run_serve(const ArgParser& args, Backend backend, std::uint64_t seed,
 
   std::vector<double> latency(storm.requests.size(), 0.0);
   std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> ok{0}, shed{0}, expired{0}, failed{0};
   WallTimer wall;
   {
     std::vector<std::thread> threads;
@@ -153,7 +180,17 @@ int run_serve(const ArgParser& args, Backend backend, std::uint64_t seed,
           const serve::ServeRequest request = serve::storm_request(
               storm, storm.requests[i], presets, backend);
           WallTimer timer;
-          frontend.submit(request).get();
+          try {
+            frontend.submit(request).get();
+            ++ok;
+          } catch (const serve::RequestShed&) {
+            ++shed;
+          } catch (const serve::DeadlineExceeded&) {
+            ++expired;
+          } catch (const std::exception& e) {
+            ++failed;
+            std::fprintf(stderr, "request %zu failed: %s\n", i, e.what());
+          }
           latency[i] = timer.seconds();
         }
       });
@@ -182,6 +219,21 @@ int run_serve(const ArgParser& args, Backend backend, std::uint64_t seed,
   std::printf("frontend: %zu completed in %zu engine calls, %zu fused, "
               "largest group %zu\n",
               fs.completed, fs.executions, fs.fused_requests, fs.max_group);
+  if (chaos) {
+    std::printf("chaos: %zu ok, %zu shed, %zu deadline, %zu failed; "
+                "%zu retries\n",
+                ok.load(), shed.load(), expired.load(), failed.load(),
+                fs.retries);
+    for (const auto& scope : chaos_scopes) {
+      const FailpointStats stats = scope->stats();
+      std::printf("  failpoint %-20s %6zu hits, %4zu trips\n",
+                  scope->site().c_str(), static_cast<std::size_t>(stats.hits),
+                  static_cast<std::size_t>(stats.trips));
+    }
+    // Under chaos every request must still resolve precisely: a value, a
+    // shed, or a deadline — anything else is a robustness bug.
+    return failed.load() == 0 ? 0 : 1;
+  }
   return 0;
 }
 
@@ -202,7 +254,7 @@ int main(int argc, char** argv) {
                                 "serve-batch", "serve-delay-ms",
                                 "serve-workers", "shared-fraction",
                                 "periodic-fraction", "dual-fraction",
-                                "cache-mb"};
+                                "cache-mb", "chaos", "chaos-p"};
   for (const std::string& key : args.keys()) {
     bool ok = false;
     for (const char* k : known) ok = ok || key == k;

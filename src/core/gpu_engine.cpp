@@ -10,6 +10,7 @@
 #include "core/cpu_kernels.hpp"  // dual_transfer_apply (downward pass)
 #include "gpusim/buffer.hpp"
 #include "gpusim/perf_model.hpp"
+#include "util/failpoints.hpp"
 
 namespace bltc {
 
@@ -753,6 +754,9 @@ GpuSimEngine::GpuSimEngine(const GpuOptions& options)
 void GpuSimEngine::prepare_sources(const SourcePlan& plan,
                                    const TreecodeParams& params,
                                    bool charges_only) {
+  // Injected before any device mutation, so a tripped staging attempt
+  // leaves prior staged state intact and the whole call is retryable.
+  failpoint(failpoints::sites::kGpuStage);
   const OrderedParticles& src = *plan.particles;
   const ClusterTree& tree = *plan.tree;
 
@@ -845,6 +849,7 @@ void GpuSimEngine::prepare_sources(const SourcePlan& plan,
 
 void GpuSimEngine::stage_piece_particles(LetDeviceState& state,
                                          bool charges_only) {
+  failpoint(failpoints::sites::kGpuStage);
   const OrderedParticles& p = *state.piece.plan.particles;
   if (!charges_only) {
     // Allocate full-size device arrays (OpenACC `create`), then model the
@@ -930,6 +935,10 @@ std::vector<double> GpuSimEngine::evaluate_potential(
   }
   const OrderedParticles& tgt = *targets.particles;
   if (fresh_targets || tgt_x_ == nullptr) {
+    // Injected before the first buffer replacement: a tripped target
+    // staging keeps the previously staged targets whole, and the retry
+    // re-runs the full staging block.
+    failpoint(failpoints::sites::kGpuStage);
     // HtD: target coordinates, only when the target plan changed.
     tgt_x_ = std::make_unique<Buffer>(device_, std::span<const double>(tgt.x));
     tgt_y_ = std::make_unique<Buffer>(device_, std::span<const double>(tgt.y));

@@ -1,10 +1,14 @@
 #include "core/plan.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace bltc {
 
 void TreecodeParams::validate() const {
+  if (!std::isfinite(theta)) {
+    throw std::invalid_argument("TreecodeParams: theta must be finite");
+  }
   if (!(theta > 0.0) || theta >= 1.0) {
     throw std::invalid_argument("TreecodeParams: theta must be in (0, 1)");
   }
@@ -21,6 +25,13 @@ void TreecodeParams::validate() const {
         "traversal and cannot be combined with TraversalMode::kDual");
   }
   if (boundary == BoundaryConditions::kPeriodic) {
+    for (int d = 0; d < 3; ++d) {
+      const auto i = static_cast<std::size_t>(d);
+      if (!std::isfinite(domain.lo[i]) || !std::isfinite(domain.hi[i])) {
+        throw std::invalid_argument(
+            "TreecodeParams: periodic domain bounds must be finite");
+      }
+    }
     if (!domain.valid() || domain.shortest() <= 0.0) {
       throw std::invalid_argument(
           "TreecodeParams: periodic boundary conditions require a valid "

@@ -8,6 +8,7 @@
 #include "core/plan.hpp"
 #include "serve/exec_context.hpp"
 #include "util/timer.hpp"
+#include "util/validate.hpp"
 
 namespace bltc {
 
@@ -33,6 +34,9 @@ void Solver::plan_sources(const Cloud& sources) {
 }
 
 void Solver::set_sources(const Cloud& sources) {
+  // A NaN coordinate corrupts the tree bounds silently; reject at the
+  // boundary with the offending index instead.
+  require_finite(sources, "Solver::set_sources");
   // Conditionally convergent kernels (Coulomb) are only meaningful on
   // neutral systems under periodic boundaries; reject before any planning.
   if (config_.params.periodic()) {
@@ -57,6 +61,7 @@ void Solver::update_charges(std::span<const double> charges) {
     throw std::invalid_argument(
         "Solver::update_charges: charge count does not match the sources");
   }
+  require_finite(charges, "Solver::update_charges", "charge");
   if (config_.params.periodic()) {
     require_periodic_neutrality(charges, config_.kernel);
   }
@@ -72,6 +77,7 @@ void Solver::update_charges(std::span<const double> charges) {
 void Solver::update_positions(const Cloud& sources) { set_sources(sources); }
 
 void Solver::plan_targets(const Cloud& targets) {
+  require_finite(targets, "Solver::plan_targets");
   targets_ = TargetPlanState::plan(targets, config_.params);
   // Dual traversal: when the targets are exactly the sources and both trees
   // are built with the same leaf size, the trees are identical (the build

@@ -1,8 +1,11 @@
 #include "serve/exec_context.hpp"
 
+#include "util/failpoints.hpp"
+
 namespace bltc::serve {
 
 std::unique_ptr<ExecContext> ExecContextPool::acquire() {
+  failpoint(failpoints::sites::kExecContextAcquire);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!idle_.empty()) {

@@ -1,6 +1,7 @@
 #include "serve/frontend.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <span>
 #include <stdexcept>
@@ -8,7 +9,9 @@
 
 #include "core/engine.hpp"
 #include "core/periodic.hpp"
+#include "util/failpoints.hpp"
 #include "util/timer.hpp"
+#include "util/validate.hpp"
 
 namespace bltc::serve {
 namespace {
@@ -25,6 +28,33 @@ const Engine& shared_cpu_engine() {
 double seconds_between(std::chrono::steady_clock::time_point from,
                        std::chrono::steady_clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
+}
+
+std::chrono::steady_clock::duration duration_ms(double ms) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Payload accounted against the queue byte budget: the coordinates and
+/// charges this request asks the frontend to hold a reference to.
+std::size_t request_payload_bytes(const ServeRequest& request) {
+  std::size_t n = request.sources != nullptr ? request.sources->size() : 0;
+  if (request.targets != nullptr) n += request.targets->size();
+  return 4 * n * sizeof(double);
+}
+
+std::exception_ptr shed_error(const char* why) {
+  return std::make_exception_ptr(RequestShed(why));
+}
+
+std::exception_ptr deadline_error() {
+  return std::make_exception_ptr(
+      DeadlineExceeded("request deadline exceeded before execution"));
+}
+
+std::exception_ptr cancel_error() {
+  return std::make_exception_ptr(
+      RequestCancelled("request cancelled before execution"));
 }
 
 /// Solver-equivalent periodic admission check, against the plan's stored
@@ -100,9 +130,11 @@ ServeFrontend::ServeFrontend(PlanCache& cache, ServeOptions options)
     : cache_(cache), options_(options) {
   options_.max_batch = std::max<std::size_t>(1, options_.max_batch);
   options_.max_delay_ms = std::max(0.0, options_.max_delay_ms);
-  const std::size_t n = std::max<std::size_t>(1, options_.workers);
-  workers_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
+  options_.max_degrade_tier = std::max(0, options_.max_degrade_tier);
+  // workers == 0 is admission-only (deterministic shed-policy tests): no
+  // threads, queued requests are shed at destruction.
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
@@ -113,7 +145,25 @@ ServeFrontend::~ServeFrontend() {
     stopping_ = true;
   }
   cv_.notify_all();
+  space_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  // With a worker fleet the loop drains the queue before exiting; without
+  // one (workers == 0) every leftover must still resolve exactly once.
+  std::vector<Pending> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (!queue_.empty()) {
+      ++counters_.shed;
+      ++counters_.completed;
+      leftovers.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    queue_bytes_ = 0;
+  }
+  for (Pending& pending : leftovers) {
+    pending.promise.set_exception(
+        shed_error("request shed: frontend stopped while it was queued"));
+  }
 }
 
 std::uint64_t ServeFrontend::group_key(const ServeRequest& request) {
@@ -140,29 +190,136 @@ std::future<ServeResponse> ServeFrontend::submit(ServeRequest request) {
     throw std::invalid_argument("ServeFrontend::submit: null source cloud");
   }
   request.params.validate();
+  require_finite(*request.sources, "ServeFrontend::submit sources");
+  if (request.targets != nullptr) {
+    require_finite(*request.targets, "ServeFrontend::submit targets");
+  }
+
   Pending pending;
   pending.group = group_key(request);
-  pending.request = std::move(request);
+  pending.bytes = request_payload_bytes(request);
   pending.enqueued = std::chrono::steady_clock::now();
+  pending.deadline = request.deadline_ms > 0.0
+                         ? pending.enqueued + duration_ms(request.deadline_ms)
+                         : std::chrono::steady_clock::time_point::max();
+  pending.request = std::move(request);
   std::future<ServeResponse> result = pending.promise.get_future();
+
+  // Bounded admission. Promises are resolved only after the lock drops.
+  std::vector<Pending> shed_victims;
+  bool rejected = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     if (stopping_) {
       throw std::runtime_error("ServeFrontend::submit: frontend stopped");
     }
-    queue_.push_back(std::move(pending));
-    ++counters_.submitted;
+    const auto over_budget = [&] {
+      if (options_.max_queue_requests > 0 &&
+          queue_.size() >= options_.max_queue_requests) {
+        return true;
+      }
+      // An oversized single request is still admitted to an empty queue
+      // (mirrors the plan cache's keep-the-MRU rule) so it cannot starve.
+      if (options_.max_queue_bytes > 0 && !queue_.empty() &&
+          queue_bytes_ + pending.bytes > options_.max_queue_bytes) {
+        return true;
+      }
+      return false;
+    };
+    while (over_budget()) {
+      if (options_.shed_policy == ShedPolicy::kBlock) {
+        space_cv_.wait(lock, [&] { return stopping_ || !over_budget(); });
+        if (stopping_) {
+          throw std::runtime_error("ServeFrontend::submit: frontend stopped");
+        }
+      } else if (options_.shed_policy == ShedPolicy::kRejectNew) {
+        ++counters_.submitted;
+        ++counters_.shed;
+        ++counters_.completed;
+        rejected = true;
+        break;
+      } else {  // kShedOldest: the newest work most likely still matters.
+        shed_victims.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        queue_bytes_ -= shed_victims.back().bytes;
+        ++counters_.shed;
+        ++counters_.completed;
+      }
+    }
+    if (!rejected) {
+      queue_bytes_ += pending.bytes;
+      queue_.push_back(std::move(pending));
+      ++counters_.submitted;
+    }
   }
   // notify_all: besides idle workers, a worker sitting in the group-fill
   // wait must wake to see a newly arrived member of its group.
   cv_.notify_all();
+  for (Pending& victim : shed_victims) {
+    victim.promise.set_exception(shed_error(
+        "request shed: evicted by a newer request (ShedPolicy::kShedOldest)"));
+  }
+  if (rejected) {
+    pending.promise.set_exception(shed_error(
+        "request shed: queue budget exceeded (ShedPolicy::kRejectNew)"));
+  }
   return result;
+}
+
+void ServeFrontend::purge_queue(std::unique_lock<std::mutex>& lock) {
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<std::pair<Pending, bool>> dead;  // (request, was_cancelled)
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    const bool cancelled =
+        it->request.cancel != nullptr && it->request.cancel->cancelled();
+    const bool expired = now >= it->deadline;
+    if (!cancelled && !expired) {
+      ++it;
+      continue;
+    }
+    queue_bytes_ -= it->bytes;
+    if (cancelled) {
+      ++counters_.cancelled;
+    } else {
+      ++counters_.deadline_exceeded;
+    }
+    ++counters_.completed;
+    dead.emplace_back(std::move(*it), cancelled);
+    it = queue_.erase(it);
+  }
+  if (dead.empty()) return;
+  lock.unlock();
+  space_cv_.notify_all();
+  for (auto& [pending, was_cancelled] : dead) {
+    pending.promise.set_exception(was_cancelled ? cancel_error()
+                                                : deadline_error());
+  }
+  lock.lock();
+}
+
+void ServeFrontend::observe_queue_wait(double wait_ms) {
+  const double alpha = std::clamp(options_.ewma_alpha, 0.01, 1.0);
+  counters_.queue_wait_ewma_ms =
+      (1.0 - alpha) * counters_.queue_wait_ewma_ms + alpha * wait_ms;
+  const double threshold =
+      options_.overload_factor * std::max(options_.max_delay_ms, 0.01);
+  // Hysteresis: enter above the threshold, exit below half of it, so the
+  // degradation decision doesn't flap per group.
+  if (!overloaded_ && counters_.queue_wait_ewma_ms > threshold) {
+    overloaded_ = true;
+  } else if (overloaded_ &&
+             counters_.queue_wait_ewma_ms < 0.5 * threshold) {
+    overloaded_ = false;
+  }
+  counters_.overloaded = overloaded_;
 }
 
 void ServeFrontend::worker_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    // Expired and cancelled requests resolve without occupying a batch.
+    purge_queue(lock);
     if (queue_.empty()) {
       if (stopping_) return;
       continue;
@@ -172,10 +329,8 @@ void ServeFrontend::worker_loop() {
     // group fills or its max-delay deadline passes. While stopping, drain
     // immediately.
     const std::uint64_t key = queue_.front().group;
-    const auto deadline =
-        queue_.front().enqueued +
-        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double, std::milli>(options_.max_delay_ms));
+    const auto deadline = queue_.front().enqueued +
+                          duration_ms(options_.max_delay_ms);
     const auto group_count = [&] {
       std::size_t n = 0;
       for (const Pending& p : queue_) {
@@ -190,9 +345,12 @@ void ServeFrontend::worker_loop() {
     }
 
     std::vector<Pending> group;
+    const auto now = std::chrono::steady_clock::now();
     for (auto it = queue_.begin();
          it != queue_.end() && group.size() < options_.max_batch;) {
       if (it->group == key) {
+        queue_bytes_ -= it->bytes;
+        observe_queue_wait(1e3 * seconds_between(it->enqueued, now));
         group.push_back(std::move(*it));
         it = queue_.erase(it);
       } else {
@@ -203,25 +361,53 @@ void ServeFrontend::worker_loop() {
     counters_.max_group = std::max(counters_.max_group, group.size());
 
     lock.unlock();
+    space_cv_.notify_all();
     execute_group(group);
     lock.lock();
+  }
+}
+
+template <typename Fn>
+auto ServeFrontend::with_retries(Fn&& fn) -> decltype(fn()) {
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return fn();
+    } catch (const std::exception& e) {
+      // Only failures tagged retry-safe are retried; everything else (bad
+      // input, non-neutral periodic cloud, ...) is deterministic and final.
+      if (attempt >= options_.max_retries ||
+          dynamic_cast<const TransientError*>(&e) == nullptr) {
+        throw;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.retries;
+      }
+      const double backoff_ms =
+          options_.retry_backoff_ms * std::ldexp(1.0, static_cast<int>(attempt));
+      if (backoff_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+      }
+    }
   }
 }
 
 std::vector<double> ServeFrontend::execute_plan(
     const CachedPlan& plan,
     const std::shared_ptr<const TargetPlanState>& targets,
-    const KernelSpec& kernel) {
+    const KernelSpec& kernel, std::size_t tier) {
   RunStats stats;
   if (plan.backend == Backend::kCpu) {
     ExecContextPool::Lease context(contexts_);
-    return shared_cpu_engine().evaluate_potential(plan.source_view(),
+    return shared_cpu_engine().evaluate_potential(plan.source_view(tier),
                                                   targets->view(), kernel,
                                                   /*fresh_targets=*/true,
                                                   stats, context.get());
   }
   // GpuSim: the plan's prepared engine keeps targets device-resident, so
-  // the staleness decision and the call must be one atomic step.
+  // the staleness decision and the call must be one atomic step. (Degraded
+  // tiers never reach here — degrade_tiers() is 1 for device plans.)
   std::lock_guard<std::mutex> lock(plan.gpu_mutex);
   const bool fresh = plan.gpu_staged_targets != targets;
   std::vector<double> phi = plan.gpu_engine->evaluate_potential(
@@ -235,6 +421,14 @@ void ServeFrontend::execute_group(std::vector<Pending>& group) {
   std::size_t engine_calls = 0;
   std::size_t fused_requests = 0;
   std::size_t cache_hits = 0;
+  std::size_t deadline_failures = 0;
+  std::size_t cancel_failures = 0;
+  std::size_t degraded_responses = 0;
+  bool overloaded = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    overloaded = overloaded_;
+  }
 
   // Fulfillment is deferred until after the counter update at the bottom:
   // a client's .get() returning must imply its request is visible in
@@ -244,18 +438,31 @@ void ServeFrontend::execute_group(std::vector<Pending>& group) {
       fail;
   fulfill.reserve(group.size());
 
-  // Phase 1: resolve every request's plan and target plan. The first miss
-  // builds; the rest are verified hits. Per-request failures (bad params, a
-  // non-neutral periodic cloud) poison only their own promise.
+  // Phase 1: admission re-check (deadline / cancellation) and per-request
+  // plan resolution. The first miss builds; the rest are verified hits.
+  // Per-request failures (bad params, a non-neutral periodic cloud) poison
+  // only their own promise.
   struct Item {
     Pending* pending = nullptr;
     PlanPtr plan;
     std::shared_ptr<const TargetPlanState> targets;
     bool hit = false;
+    std::size_t tier = 0;
   };
   std::vector<Item> items;
   items.reserve(group.size());
   for (Pending& pending : group) {
+    if (pending.request.cancel != nullptr &&
+        pending.request.cancel->cancelled()) {
+      ++cancel_failures;
+      fail.emplace_back(&pending.promise, cancel_error());
+      continue;
+    }
+    if (started >= pending.deadline) {
+      ++deadline_failures;
+      fail.emplace_back(&pending.promise, deadline_error());
+      continue;
+    }
     try {
       const Cloud& sources = *pending.request.sources;
       const Cloud& targets = pending.request.targets != nullptr
@@ -271,10 +478,25 @@ void ServeFrontend::execute_group(std::vector<Pending>& group) {
       }
       Item item;
       item.pending = &pending;
-      item.plan = cache_.get_or_build(sources, pending.request.params,
-                                      pending.request.backend, &item.hit);
+      item.plan = with_retries([&] {
+        bool hit = false;
+        PlanPtr plan = cache_.get_or_build(sources, pending.request.params,
+                                           pending.request.backend, &hit);
+        item.hit = hit;
+        return plan;
+      });
       check_neutrality(*item.plan, pending.request.kernel);
       item.targets = item.plan->target_plan(targets);
+      // Tier decision: an explicit per-request override wins; otherwise
+      // degrade only while the overload detector is tripped.
+      const int forced = pending.request.degrade_tier;
+      std::size_t tier = forced >= 0
+                             ? static_cast<std::size_t>(forced)
+                             : (overloaded && options_.max_degrade_tier > 0
+                                    ? static_cast<std::size_t>(
+                                          options_.max_degrade_tier)
+                                    : 0);
+      item.tier = std::min(tier, item.plan->degrade_tiers() - 1);
       if (item.hit) ++cache_hits;
       items.push_back(std::move(item));
     } catch (...) {
@@ -282,19 +504,28 @@ void ServeFrontend::execute_group(std::vector<Pending>& group) {
     }
   }
 
-  // Phase 2: execute per distinct plan (normally exactly one — the group
-  // key contains the plan key; a fingerprint collision can split it).
-  std::vector<const CachedPlan*> plans;
+  // Phase 2: execute per (plan, tier) unit (normally exactly one — the
+  // group key contains the plan key; a fingerprint collision or mixed
+  // forced tiers can split it).
+  struct Unit {
+    const CachedPlan* plan = nullptr;
+    std::size_t tier = 0;
+  };
+  std::vector<Unit> units;
   for (const Item& item : items) {
-    if (std::find(plans.begin(), plans.end(), item.plan.get()) ==
-        plans.end()) {
-      plans.push_back(item.plan.get());
-    }
+    const bool seen =
+        std::any_of(units.begin(), units.end(), [&](const Unit& u) {
+          return u.plan == item.plan.get() && u.tier == item.tier;
+        });
+    if (!seen) units.push_back({item.plan.get(), item.tier});
   }
-  for (const CachedPlan* plan : plans) {
+  for (const Unit& unit : units) {
+    const CachedPlan* plan = unit.plan;
     std::vector<std::size_t> member_of;  // indices into items
     for (std::size_t i = 0; i < items.size(); ++i) {
-      if (items[i].plan.get() == plan) member_of.push_back(i);
+      if (items[i].plan.get() == plan && items[i].tier == unit.tier) {
+        member_of.push_back(i);
+      }
     }
     // Dedupe target plans: identical target clouds share one execution.
     std::vector<std::shared_ptr<const TargetPlanState>> unique_targets;
@@ -315,49 +546,86 @@ void ServeFrontend::execute_group(std::vector<Pending>& group) {
       target_members[slot].push_back(i);
     }
 
+    // Between-engine-calls deadline/cancel check: drop members whose
+    // deadline passed while earlier work in this group ran; they must not
+    // hold results they will never read.
+    const auto drop_expired = [&](std::vector<std::size_t>& members) {
+      const auto now = std::chrono::steady_clock::now();
+      std::vector<std::size_t> live;
+      live.reserve(members.size());
+      for (std::size_t i : members) {
+        Pending* pending = items[i].pending;
+        if (pending->request.cancel != nullptr &&
+            pending->request.cancel->cancelled()) {
+          ++cancel_failures;
+          fail.emplace_back(&pending->promise, cancel_error());
+        } else if (now >= pending->deadline) {
+          ++deadline_failures;
+          fail.emplace_back(&pending->promise, deadline_error());
+        } else {
+          live.push_back(i);
+        }
+      }
+      members.swap(live);
+    };
+
     const KernelSpec kernel = items[member_of.front()].pending->request.kernel;
     const bool dual = plan->params.traversal == TraversalMode::kDual;
     const bool device = plan->backend != Backend::kCpu;
     std::vector<std::vector<double>> results(unique_targets.size());
+    std::vector<char> executed(unique_targets.size(), 0);
     try {
       if (!dual && !device && unique_targets.size() > 1) {
         // Fuse every distinct target set into one engine call. The dual
         // traversal accumulates through a global per-target-tree structure
         // and GpuSim stages per device, so those execute per target set.
-        std::vector<const TargetPlanState*> raw;
-        raw.reserve(unique_targets.size());
-        for (const auto& t : unique_targets) raw.push_back(t.get());
-        const FusedTargets fused = fuse_targets(raw);
-
-        TargetPlan view;
-        view.particles = &fused.particles;
-        view.batches = &fused.batches;
-        view.lists = std::span<const InteractionLists>(&fused.lists, 1);
-        view.per_target_mac = plan->params.per_target_mac;
-        view.traversal = TraversalMode::kBatched;
-        // Every member plan shares one shift table (same params).
-        view.shifts =
-            plan->params.periodic() ? &unique_targets.front()->shifts : nullptr;
-
-        RunStats stats;
-        std::vector<double> phi;
-        {
-          ExecContextPool::Lease context(contexts_);
-          phi = shared_cpu_engine().evaluate_potential(
-              plan->source_view(), view, kernel, /*fresh_targets=*/true,
-              stats, context.get());
+        std::size_t live_members = 0;
+        for (auto& members : target_members) {
+          drop_expired(members);
+          live_members += members.size();
         }
-        ++engine_calls;
-        fused_requests += member_of.size();
-        for (std::size_t u = 0; u < unique_targets.size(); ++u) {
-          const std::size_t begin = fused.offsets[u];
-          const std::size_t count = unique_targets[u]->particles.size();
-          results[u].assign(phi.begin() + static_cast<long>(begin),
-                            phi.begin() + static_cast<long>(begin + count));
+        if (live_members > 0) {
+          std::vector<const TargetPlanState*> raw;
+          raw.reserve(unique_targets.size());
+          for (const auto& t : unique_targets) raw.push_back(t.get());
+          const FusedTargets fused = fuse_targets(raw);
+
+          TargetPlan view;
+          view.particles = &fused.particles;
+          view.batches = &fused.batches;
+          view.lists = std::span<const InteractionLists>(&fused.lists, 1);
+          view.per_target_mac = plan->params.per_target_mac;
+          view.traversal = TraversalMode::kBatched;
+          // Every member plan shares one shift table (same params).
+          view.shifts = plan->params.periodic()
+                            ? &unique_targets.front()->shifts
+                            : nullptr;
+
+          std::vector<double> phi = with_retries([&] {
+            RunStats stats;
+            ExecContextPool::Lease context(contexts_);
+            return shared_cpu_engine().evaluate_potential(
+                plan->source_view(unit.tier), view, kernel,
+                /*fresh_targets=*/true, stats, context.get());
+          });
+          ++engine_calls;
+          fused_requests += live_members;
+          for (std::size_t u = 0; u < unique_targets.size(); ++u) {
+            const std::size_t begin = fused.offsets[u];
+            const std::size_t count = unique_targets[u]->particles.size();
+            results[u].assign(phi.begin() + static_cast<long>(begin),
+                              phi.begin() + static_cast<long>(begin + count));
+            executed[u] = 1;
+          }
         }
       } else {
         for (std::size_t u = 0; u < unique_targets.size(); ++u) {
-          results[u] = execute_plan(*plan, unique_targets[u], kernel);
+          drop_expired(target_members[u]);
+          if (target_members[u].empty()) continue;
+          results[u] = with_retries([&] {
+            return execute_plan(*plan, unique_targets[u], kernel, unit.tier);
+          });
+          executed[u] = 1;
           ++engine_calls;
           if (target_members[u].size() > 1) {
             fused_requests += target_members[u].size();
@@ -365,15 +633,21 @@ void ServeFrontend::execute_group(std::vector<Pending>& group) {
         }
       }
     } catch (...) {
-      for (std::size_t i : member_of) {
-        fail.emplace_back(&items[i].pending->promise,
-                          std::current_exception());
+      // Only members whose target set never executed fail; members of
+      // already-executed sets still get their results below.
+      for (std::size_t u = 0; u < unique_targets.size(); ++u) {
+        if (executed[u]) continue;
+        for (std::size_t i : target_members[u]) {
+          fail.emplace_back(&items[i].pending->promise,
+                            std::current_exception());
+        }
+        target_members[u].clear();
       }
-      continue;
     }
 
     const auto finished = std::chrono::steady_clock::now();
     for (std::size_t u = 0; u < unique_targets.size(); ++u) {
+      if (!executed[u]) continue;
       for (std::size_t i : target_members[u]) {
         Item& item = items[i];
         ServeResponse response;
@@ -384,6 +658,10 @@ void ServeFrontend::execute_group(std::vector<Pending>& group) {
         response.queue_seconds =
             seconds_between(item.pending->enqueued, started);
         response.execute_seconds = seconds_between(started, finished);
+        response.degrade_tier = static_cast<int>(unit.tier);
+        response.degree = plan->tier_degree(unit.tier);
+        response.error_bound = plan->tier_error_bound(unit.tier);
+        if (unit.tier > 0) ++degraded_responses;
         fulfill.emplace_back(&item.pending->promise, std::move(response));
       }
     }
@@ -395,6 +673,9 @@ void ServeFrontend::execute_group(std::vector<Pending>& group) {
     counters_.executions += engine_calls;
     counters_.fused_requests += fused_requests;
     counters_.cache_hits += cache_hits;
+    counters_.deadline_exceeded += deadline_failures;
+    counters_.cancelled += cancel_failures;
+    counters_.degraded += degraded_responses;
   }
   for (auto& [promise, error] : fail) promise->set_exception(error);
   for (auto& [promise, response] : fulfill) {
@@ -406,6 +687,11 @@ ServeResponse ServeFrontend::evaluate_now(const ServeRequest& request) {
   if (request.sources == nullptr) {
     throw std::invalid_argument(
         "ServeFrontend::evaluate_now: null source cloud");
+  }
+  request.params.validate();
+  require_finite(*request.sources, "ServeFrontend::evaluate_now sources");
+  if (request.targets != nullptr) {
+    require_finite(*request.targets, "ServeFrontend::evaluate_now targets");
   }
   WallTimer timer;
   const Cloud& sources = *request.sources;
@@ -420,10 +706,18 @@ ServeResponse ServeFrontend::evaluate_now(const ServeRequest& request) {
         cache_.get_or_build(sources, request.params, request.backend, &hit);
     check_neutrality(*plan, request.kernel);
     const auto target_plan = plan->target_plan(targets);
+    const std::size_t tier =
+        request.degrade_tier >= 0
+            ? std::min(static_cast<std::size_t>(request.degrade_tier),
+                       plan->degrade_tiers() - 1)
+            : 0;
     const std::vector<double> phi =
-        execute_plan(*plan, target_plan, request.kernel);
+        execute_plan(*plan, target_plan, request.kernel, tier);
     response.phi = target_plan->particles.scatter_to_original(phi);
     response.cache_hit = hit;
+    response.degrade_tier = static_cast<int>(tier);
+    response.degree = plan->tier_degree(tier);
+    response.error_bound = plan->tier_error_bound(tier);
   }
   response.execute_seconds = timer.seconds();
   {
@@ -435,6 +729,7 @@ ServeResponse ServeFrontend::evaluate_now(const ServeRequest& request) {
       ++counters_.executions;
     }
     if (hit) ++counters_.cache_hits;
+    if (response.degrade_tier > 0) ++counters_.degraded;
     counters_.max_group = std::max<std::size_t>(counters_.max_group, 1);
   }
   return response;
@@ -442,7 +737,10 @@ ServeResponse ServeFrontend::evaluate_now(const ServeRequest& request) {
 
 FrontendStats ServeFrontend::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return counters_;
+  FrontendStats out = counters_;
+  out.queue_depth = queue_.size();
+  out.queue_bytes = queue_bytes_;
+  return out;
 }
 
 }  // namespace bltc::serve

@@ -4,8 +4,13 @@
 #include <stdexcept>
 #include <utility>
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/interaction_lists.hpp"
 #include "core/periodic.hpp"
+#include "util/failpoints.hpp"
+#include "util/validate.hpp"
 
 namespace bltc::serve {
 namespace {
@@ -158,13 +163,37 @@ std::size_t cached_plan_bytes(const CachedPlan& plan) {
   return b;
 }
 
-SourcePlan CachedPlan::source_view() const {
+SourcePlan CachedPlan::source_view() const { return source_view(0); }
+
+SourcePlan CachedPlan::source_view(std::size_t tier) const {
   SourcePlan view = source.view();
   if (!moment_levels.empty()) {
-    view.moments = &moment_levels.front();
+    tier = std::min(tier, moment_levels.size() - 1);
+    view.moments = &moment_levels[tier];
     view.moment_levels = moment_levels;
   }
   return view;
+}
+
+std::size_t CachedPlan::degrade_tiers() const {
+  // Degradation swaps the executed moments for a deeper ladder level, which
+  // only the batched CPU traversal reads per-level; dual executes its whole
+  // ladder already and GpuSim moments are device-resident.
+  if (backend != Backend::kCpu || params.traversal == TraversalMode::kDual) {
+    return 1;
+  }
+  return std::max<std::size_t>(1, moment_levels.size());
+}
+
+int CachedPlan::tier_degree(std::size_t tier) const {
+  if (moment_levels.empty()) return params.degree;
+  tier = std::min(tier, moment_levels.size() - 1);
+  return moment_levels[tier].degree();
+}
+
+double CachedPlan::tier_error_bound(std::size_t tier) const {
+  const double d = static_cast<double>(tier_degree(tier));
+  return std::pow(params.theta, d + 1.0) / (1.0 - params.theta);
 }
 
 std::shared_ptr<const TargetPlanState> CachedPlan::self_target_plan() const {
@@ -200,6 +229,7 @@ PlanCache::PlanCache(Options options) : options_(options) {}
 PlanPtr PlanCache::build_plan(const Cloud& sources,
                               const TreecodeParams& params, Backend backend,
                               std::uint64_t key) const {
+  failpoint(failpoints::sites::kPlanCacheBuild);
   auto plan = std::make_shared<CachedPlan>();
   plan->params = params;
   plan->backend = backend;
@@ -207,19 +237,20 @@ PlanPtr PlanCache::build_plan(const Cloud& sources,
   plan->source = SourcePlanState::build(sources, params);
 
   if (backend == Backend::kCpu) {
+    // Both traversals get the full degree ladder: the dual traversal
+    // executes through it per pair, and the batched traversal's deeper
+    // levels are the graceful-degradation tiers the frontend serves under
+    // overload. Restrictions are exact (no fresh moment computation), so a
+    // cache-hit storm still shows zero moment builds after warmup.
     ClusterMoments nominal =
         ClusterMoments::compute(plan->source.tree, plan->source.particles,
                                 params.degree, params.moment_algorithm);
-    if (params.traversal == TraversalMode::kDual) {
-      const std::vector<int> ladder = dual_degree_ladder(params.degree);
-      plan->moment_levels.reserve(ladder.size());
-      plan->moment_levels.push_back(std::move(nominal));
-      for (std::size_t l = 1; l < ladder.size(); ++l) {
-        plan->moment_levels.push_back(ClusterMoments::restrict_from(
-            plan->source.tree, plan->moment_levels.front(), ladder[l]));
-      }
-    } else {
-      plan->moment_levels.push_back(std::move(nominal));
+    const std::vector<int> ladder = dual_degree_ladder(params.degree);
+    plan->moment_levels.reserve(ladder.size());
+    plan->moment_levels.push_back(std::move(nominal));
+    for (std::size_t l = 1; l < ladder.size(); ++l) {
+      plan->moment_levels.push_back(ClusterMoments::restrict_from(
+          plan->source.tree, plan->moment_levels.front(), ladder[l]));
     }
   } else {
     // The GpuSim plan's compiled artifact is a prepared engine: sources,
@@ -256,6 +287,7 @@ PlanPtr PlanCache::get_or_build(const Cloud& sources,
   if (sources.size() == 0) {
     throw std::invalid_argument("PlanCache::get_or_build: empty source cloud");
   }
+  require_finite(sources, "PlanCache::get_or_build");
   const std::uint64_t key = plan_key(sources, params, backend);
 
   std::promise<PlanPtr> promise;
@@ -284,8 +316,13 @@ PlanPtr PlanCache::get_or_build(const Cloud& sources,
     try {
       plan = build_plan(sources, params, backend, key);
     } catch (...) {
+      // Exception safety: the pending single-flight entry must go before
+      // the waiters are released, so no key is ever permanently poisoned —
+      // the next miss on this key starts a fresh build. Bytes were never
+      // accounted for a failed build, so entries/bytes stay consistent.
       {
         std::lock_guard<std::mutex> lock(mutex_);
+        counters_.build_failures += 1;
         auto it = entries_.find(key);
         if (it != entries_.end()) {
           lru_.erase(it->second.lru);

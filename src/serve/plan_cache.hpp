@@ -60,8 +60,12 @@ struct CachedPlan {
   std::shared_ptr<const TargetPlanState> self_targets;
 
   /// CPU backends: caller-owned moments, [0] at the nominal degree and
-  /// (dual traversal only) exact restrictions below it. Empty on GpuSim —
-  /// the prepared engine keeps its moments device-resident.
+  /// exact restrictions below it ({n, n-1, ..., 2}). The dual traversal
+  /// executes through the whole ladder; the batched traversal executes [0]
+  /// nominally and a deeper level when the frontend serves a *degraded
+  /// tier* under overload (the interaction lists are degree-independent, so
+  /// no rebuild). Empty on GpuSim — the prepared engine keeps its moments
+  /// device-resident.
   std::vector<ClusterMoments> moment_levels;
 
   /// GpuSim only: the engine whose device-resident state this plan is.
@@ -72,6 +76,21 @@ struct CachedPlan {
   /// Source view carrying the caller-owned moments (CPU backends), so a
   /// shared re-entrant engine reads nothing but this plan.
   SourcePlan source_view() const;
+
+  /// Source view executing moment-ladder level `tier` (0 = nominal). Only
+  /// meaningful for batched CPU plans — the graceful-degradation path.
+  SourcePlan source_view(std::size_t tier) const;
+
+  /// Degraded tiers this plan can serve (1 when degradation does not apply:
+  /// dual traversal, GpuSim, or degree too small for a ladder).
+  std::size_t degrade_tiers() const;
+
+  /// Interpolation degree executed at `tier` (clamped).
+  int tier_degree(std::size_t tier) const;
+
+  /// A-priori relative far-field error estimate at `tier`: the classical
+  /// treecode bound theta^(d+1) / (1 - theta) at the tier's degree.
+  double tier_error_bound(std::size_t tier) const;
 
   /// Target plan for `targets` — the precomputed self plan when the cloud
   /// is the source cloud (wrap-aware), else built against the source tree
@@ -110,6 +129,7 @@ struct CacheStats {
   std::size_t misses = 0;
   std::size_t evictions = 0;
   std::size_t collisions = 0;  ///< fingerprint matched, verification failed
+  std::size_t build_failures = 0;  ///< builds that threw (entry evicted)
   std::size_t entries = 0;     ///< plans currently resident
   std::size_t bytes = 0;       ///< bytes currently accounted
 };

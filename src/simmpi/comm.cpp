@@ -17,14 +17,29 @@ Context::Context(int size)
 
 void Context::barrier() {
   std::unique_lock lock(barrier_mutex_);
+  if (aborted()) throw CommAborted();
   const bool sense = barrier_sense_;
   if (++barrier_count_ == size_) {
     barrier_count_ = 0;
     barrier_sense_ = !barrier_sense_;
     barrier_cv_.notify_all();
   } else {
-    barrier_cv_.wait(lock, [&] { return barrier_sense_ != sense; });
+    barrier_cv_.wait(lock,
+                     [&] { return barrier_sense_ != sense || aborted(); });
+    // Woken by abort, not by the last arriver: the peer this barrier waits
+    // for is never coming.
+    if (barrier_sense_ == sense) throw CommAborted();
   }
+}
+
+void Context::abort() noexcept {
+  aborted_.store(true, std::memory_order_release);
+  // Lock-then-notify so a waiter can't check its predicate, miss the store,
+  // and sleep through the wakeup.
+  { std::lock_guard<std::mutex> lock(barrier_mutex_); }
+  barrier_cv_.notify_all();
+  { std::lock_guard<std::mutex> lock(windows_mutex_); }
+  windows_cv_.notify_all();
 }
 
 std::size_t Context::register_window(int rank, void* base, std::size_t bytes,
@@ -48,14 +63,46 @@ std::size_t Context::register_window(int rank, void* base, std::size_t bytes,
   return id;
 }
 
+void Context::await_window_live(std::size_t win_id) {
+  std::unique_lock lock(windows_mutex_);
+  WindowState& w = *windows_.at(win_id);
+  windows_cv_.wait(lock, [&] { return w.live || aborted(); });
+  if (aborted()) throw CommAborted();
+}
+
 void Context::deregister_window(std::size_t win_id, int rank) {
   std::unique_lock lock(windows_mutex_);
   WindowState& w = *windows_[win_id];
-  w.exposure[static_cast<std::size_t>(rank)] = {};
+  if (w.exposure.size() > static_cast<std::size_t>(rank)) {
+    w.exposure[static_cast<std::size_t>(rank)] = {};
+  }
   if (--w.registered == 0) {
     w.live = false;
     w.exposure.clear();
     w.locks.clear();
+    w.teardown = 0;
+  }
+}
+
+void Context::finish_window(std::size_t win_id, int rank) noexcept {
+  std::unique_lock lock(windows_mutex_);
+  if (win_id >= windows_.size() || windows_[win_id] == nullptr) return;
+  WindowState& w = *windows_[win_id];
+  if (w.registered <= 0) return;
+  // Destroy rendezvous before any exposure is removed: every registered
+  // rank must stop accessing the window first. Under abort, peers are
+  // unwinding — drop the exposure without waiting for them.
+  ++w.teardown;
+  windows_cv_.notify_all();
+  windows_cv_.wait(lock, [&] { return w.teardown >= w.registered || aborted(); });
+  if (w.exposure.size() > static_cast<std::size_t>(rank)) {
+    w.exposure[static_cast<std::size_t>(rank)] = {};
+  }
+  if (--w.registered == 0) {
+    w.live = false;
+    w.exposure.clear();
+    w.locks.clear();
+    w.teardown = 0;
   }
 }
 
@@ -109,13 +156,29 @@ void RankTeam::run(const std::function<void(Comm&)>& fn) {
         fn(comms_[static_cast<std::size_t>(r)]);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Peers may be blocked in collectives waiting for this rank.
+        ctx_.abort();
       }
     });
   }
   for (auto& t : threads) t.join();
+  // Rethrow the root cause: CommAborted on a bystander rank is a symptom
+  // of some other rank's failure, so report it only when it is all we have.
+  std::exception_ptr root, any;
   for (const auto& e : errors) {
-    if (e) std::rethrow_exception(e);
+    if (!e) continue;
+    if (!any) any = e;
+    if (!root) {
+      try {
+        std::rethrow_exception(e);
+      } catch (const CommAborted&) {
+      } catch (...) {
+        root = e;
+      }
+    }
   }
+  if (root) std::rethrow_exception(root);
+  if (any) std::rethrow_exception(any);
 }
 
 void run_ranks(int nranks, const std::function<void(Comm&)>& fn) {

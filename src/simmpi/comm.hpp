@@ -10,11 +10,20 @@
 // Because ranks are real threads, ordering and publication bugs that would
 // appear under MPI RMA (reading a window before its owner filled it, racing
 // puts) appear here too — the barrier/lock discipline is load-bearing.
+//
+// Fault model: any rank failure poisons the communicator (`Context::abort`,
+// the stand-in for MPI_Abort semantics). Ranks blocked in a collective wake
+// and throw `CommAborted` instead of waiting forever for a peer that will
+// never arrive, and window teardown rendezvous drains without hanging, so a
+// single faulting rank surfaces as one clean exception from RankTeam::run —
+// never a hang. One-sided ops carry failpoints (util/failpoints.hpp) so
+// this path is exercised deterministically in tests.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -22,9 +31,18 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/failpoints.hpp"
+
 namespace bltc::simmpi {
 
 class Comm;
+
+/// Thrown by collective operations on a poisoned communicator: some rank
+/// failed and every peer must unwind instead of waiting for it.
+class CommAborted : public std::runtime_error {
+ public:
+  CommAborted() : std::runtime_error("simmpi: communicator aborted") {}
+};
 
 /// Shared state for one communicator: barrier machinery plus the window
 /// registry (windows are collective objects identified by creation order,
@@ -35,14 +53,32 @@ class Context {
 
   int size() const { return size_; }
 
-  /// Sense-reversing barrier across all ranks.
+  /// Sense-reversing barrier across all ranks. Throws CommAborted (on entry
+  /// or mid-wait) once the communicator is poisoned.
   void barrier();
+
+  /// Poison the communicator: wake every blocked collective so it throws
+  /// CommAborted. Idempotent, callable from any thread.
+  void abort() noexcept;
+  bool aborted() const noexcept {
+    return aborted_.load(std::memory_order_acquire);
+  }
 
   /// Collective window registration: every rank calls with its local
   /// exposure; returns the window id. Ranks must call in the same order.
   std::size_t register_window(int rank, void* base, std::size_t bytes,
                               std::size_t elem_size);
   void deregister_window(std::size_t win_id, int rank);
+
+  /// Block until every rank has registered `win_id` (the collective-create
+  /// rendezvous). Throws CommAborted if the communicator is poisoned.
+  void await_window_live(std::size_t win_id);
+
+  /// Collective-destroy rendezvous + exposure removal, in that order (no
+  /// rank drops its exposure while a peer could still access it). Never
+  /// throws: under an aborted communicator the rendezvous is skipped, so
+  /// window destructors are safe during stack unwinding.
+  void finish_window(std::size_t win_id, int rank) noexcept;
 
   struct Exposure {
     void* base = nullptr;
@@ -68,10 +104,12 @@ class Context {
     std::vector<Exposure> exposure;          // per rank
     std::vector<std::unique_ptr<std::mutex>> locks;  // per rank
     int registered = 0;
+    int teardown = 0;  ///< ranks that reached the destroy rendezvous
     bool live = false;
   };
 
   int size_;
+  std::atomic<bool> aborted_{false};
   // Barrier.
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;
@@ -109,7 +147,9 @@ class Comm {
 
 /// Typed RMA window. Creation and destruction are collective; `get`/`put`
 /// are one-sided and may target any rank while that rank computes,
-/// matching MPI passive-target synchronization.
+/// matching MPI passive-target synchronization. Both lifecycle rendezvous
+/// are window-specific (not the global barrier), so they can never pair
+/// with an unrelated barrier call when a peer rank fails mid-algorithm.
 template <typename T>
 class Window {
  public:
@@ -117,17 +157,18 @@ class Window {
   Window(Comm& comm, std::span<T> local) : comm_(&comm) {
     id_ = comm.context().register_window(comm.rank(), local.data(),
                                          local.size_bytes(), sizeof(T));
-    comm.barrier();  // all exposures visible before any access
+    comm.context().await_window_live(id_);  // all exposures visible first
   }
 
   Window(const Window&) = delete;
   Window& operator=(const Window&) = delete;
 
   ~Window() {
-    // Collective teardown: no rank may destroy its exposure while another
-    // could still access it.
-    comm_->barrier();
-    comm_->context().deregister_window(id_, comm_->rank());
+    // A rank unwinding through a live collective object means the
+    // collective algorithm is broken on this communicator: poison it so
+    // peers blocked in barriers or their own teardown unwind too.
+    if (std::uncaught_exceptions() > 0) comm_->context().abort();
+    comm_->context().finish_window(id_, comm_->rank());
   }
 
   /// Number of elements exposed by `target_rank`.
@@ -137,8 +178,15 @@ class Window {
   }
 
   /// One-sided get: copy `out.size()` elements starting at element `offset`
-  /// of `target_rank`'s exposure. Lock-protected (passive target).
+  /// of `target_rank`'s exposure. Lock-protected (passive target). A
+  /// failure here (bounds, injected failpoint) is a *per-call* error the
+  /// caller may catch and recover from — no data moved, the window stays
+  /// consistent. Only when the exception escapes the rank does the
+  /// communicator abort (in ~Window during unwinding, or in
+  /// RankTeam::run's rank wrapper), unblocking peers waiting in
+  /// collectives.
   void get(int target_rank, std::size_t offset, std::span<T> out) {
+    failpoint(failpoints::sites::kSimmpiGet);
     const auto& e = comm_->context().exposure(id_, target_rank);
     if ((offset + out.size()) * sizeof(T) > e.bytes) {
       throw std::out_of_range("Window::get: range outside target exposure");
@@ -150,7 +198,9 @@ class Window {
   }
 
   /// One-sided put: write `data` into `target_rank`'s exposure at `offset`.
+  /// Same failure contract as get().
   void put(int target_rank, std::size_t offset, std::span<const T> data) {
+    failpoint(failpoints::sites::kSimmpiPut);
     const auto& e = comm_->context().exposure(id_, target_rank);
     if ((offset + data.size()) * sizeof(T) > e.bytes) {
       throw std::out_of_range("Window::put: range outside target exposure");
@@ -173,7 +223,7 @@ class Window {
 /// update_charges. Each `run()` spawns fresh OS threads (ranks are
 /// stateless between phases; all rank state lives in the caller), and
 /// window teardown must itself happen inside a `run()` so the collective
-/// barriers pair.
+/// rendezvous pair.
 class RankTeam {
  public:
   explicit RankTeam(int nranks);
@@ -184,9 +234,12 @@ class RankTeam {
   int size() const { return ctx_.size(); }
   Context& context() { return ctx_; }
 
-  /// Run `fn(comm)` on every rank concurrently and join; rethrows the first
-  /// rank exception after joining all threads. The Comm handed to rank r is
-  /// the same object across runs.
+  /// Run `fn(comm)` on every rank concurrently and join. A rank exception
+  /// aborts the communicator (so peers unwind instead of hanging) and, after
+  /// all threads join, the first *root-cause* exception is rethrown —
+  /// CommAborted from bystander ranks is reported only when no rank carries
+  /// a real error. A team whose communicator aborted stays poisoned:
+  /// subsequent collective calls throw CommAborted.
   void run(const std::function<void(Comm&)>& fn);
 
  private:

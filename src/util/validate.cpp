@@ -1,0 +1,28 @@
+#include "util/validate.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace bltc {
+
+void require_finite(std::span<const double> values, const char* context,
+                    const char* what) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      throw std::invalid_argument(
+          std::string(context) + ": non-finite " + what + " at index " +
+          std::to_string(i) + " (" +
+          (std::isnan(values[i]) ? "NaN" : "Inf") + ")");
+    }
+  }
+}
+
+void require_finite(const Cloud& cloud, const char* context) {
+  require_finite(cloud.x, context, "x coordinate");
+  require_finite(cloud.y, context, "y coordinate");
+  require_finite(cloud.z, context, "z coordinate");
+  require_finite(cloud.q, context, "charge");
+}
+
+}  // namespace bltc

@@ -1,0 +1,22 @@
+// Input hardening shared by every public entry point (Solver, PlanCache,
+// ServeFrontend): a NaN coordinate silently corrupts tree bounds (every
+// comparison against it is false, so the root box collapses) and a NaN
+// charge poisons all downstream potentials — reject both at the boundary
+// with a message naming the entry point, the array, and the first bad index.
+#pragma once
+
+#include <span>
+
+#include "util/workloads.hpp"
+
+namespace bltc {
+
+/// Throw std::invalid_argument unless every value is finite; `context` names
+/// the rejecting entry point and `what` the offending array.
+void require_finite(std::span<const double> values, const char* context,
+                    const char* what);
+
+/// Finite check over all four cloud arrays (x, y, z, q).
+void require_finite(const Cloud& cloud, const char* context);
+
+}  // namespace bltc

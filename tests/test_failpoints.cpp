@@ -1,0 +1,133 @@
+// Unit tests for the seeded failpoint framework itself: determinism,
+// Nth-hit and probability semantics, trip caps, scoped arming, and the
+// TransientError retry tag the frontend keys on.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/failpoints.hpp"
+
+namespace bltc {
+namespace {
+
+using failpoints::FailpointScope;
+
+constexpr const char* kSite = failpoints::sites::kPlanCacheBuild;
+
+// Run `n` hits against the site, recording which ones tripped.
+std::vector<int> trip_pattern(int n) {
+  std::vector<int> tripped;
+  for (int i = 0; i < n; ++i) {
+    try {
+      failpoint(kSite);
+    } catch (const FailpointError&) {
+      tripped.push_back(i);
+    }
+  }
+  return tripped;
+}
+
+TEST(Failpoints, UnarmedSitesAreFree) {
+  // No scope active: hits never throw and are not even counted.
+  EXPECT_NO_THROW(trip_pattern(1000));
+  EXPECT_EQ(failpoints::stats(kSite).hits, 0u);
+}
+
+TEST(Failpoints, NthHitTripsExactlyOnce) {
+  FailpointConfig config;
+  config.fail_on_hit = 3;
+  FailpointScope scope(kSite, config);
+  const auto tripped = trip_pattern(10);
+  ASSERT_EQ(tripped.size(), 1u);
+  EXPECT_EQ(tripped[0], 2);  // zero-based index of the third hit
+  EXPECT_EQ(scope.stats().hits, 10u);
+  EXPECT_EQ(scope.stats().trips, 1u);
+}
+
+TEST(Failpoints, SeededProbabilityIsDeterministic) {
+  FailpointConfig config;
+  config.probability = 0.3;
+  config.seed = 42;
+  std::vector<int> first;
+  {
+    FailpointScope scope(kSite, config);
+    first = trip_pattern(200);
+  }
+  std::vector<int> second;
+  {
+    FailpointScope scope(kSite, config);
+    second = trip_pattern(200);
+  }
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);  // same seed -> identical trip schedule
+
+  config.seed = 43;
+  std::vector<int> other;
+  {
+    FailpointScope scope(kSite, config);
+    other = trip_pattern(200);
+  }
+  EXPECT_NE(first, other);  // different seed -> different schedule
+}
+
+TEST(Failpoints, MaxTripsCapsInjection) {
+  FailpointConfig config;
+  config.probability = 1.0;
+  config.max_trips = 2;
+  FailpointScope scope(kSite, config);
+  const auto tripped = trip_pattern(50);
+  EXPECT_EQ(tripped, (std::vector<int>{0, 1}));
+  EXPECT_EQ(scope.stats().trips, 2u);
+  EXPECT_EQ(scope.stats().hits, 50u);
+}
+
+TEST(Failpoints, ScopeDisarmsOnExit) {
+  {
+    FailpointConfig config;
+    config.probability = 1.0;
+    FailpointScope scope(kSite, config);
+    EXPECT_THROW(failpoint(kSite), FailpointError);
+  }
+  EXPECT_NO_THROW(failpoint(kSite));
+}
+
+TEST(Failpoints, ErrorCarriesSiteAndIsTransient) {
+  FailpointConfig config;
+  config.fail_on_hit = 1;
+  FailpointScope scope(kSite, config);
+  try {
+    failpoint(kSite);
+    FAIL() << "failpoint did not trip";
+  } catch (const std::exception& e) {
+    // The frontend's retry decision: dynamic_cast to the tag base.
+    EXPECT_NE(dynamic_cast<const TransientError*>(&e), nullptr);
+    const auto* fp = dynamic_cast<const FailpointError*>(&e);
+    ASSERT_NE(fp, nullptr);
+    EXPECT_EQ(fp->site(), std::string(kSite));
+    EXPECT_EQ(fp->hit(), 1u);
+  }
+}
+
+TEST(Failpoints, SitesAreIndependent) {
+  FailpointConfig config;
+  config.probability = 1.0;
+  FailpointScope scope(failpoints::sites::kGpuStage, config);
+  EXPECT_NO_THROW(failpoint(kSite));
+  EXPECT_THROW(failpoint(failpoints::sites::kGpuStage), FailpointError);
+}
+
+TEST(Failpoints, AllSitesRegistered) {
+  const auto sites = failpoints::all_sites();
+  EXPECT_GE(sites.size(), 5u);
+  for (const char* site : sites) {
+    FailpointConfig config;
+    config.fail_on_hit = 1;
+    FailpointScope scope(site, config);
+    EXPECT_THROW(failpoint(site), FailpointError) << site;
+  }
+}
+
+}  // namespace
+}  // namespace bltc

@@ -1,13 +1,27 @@
 // Robustness and failure-injection tests: determinism, degenerate inputs
-// (duplicate particles, collinear clouds, extreme separations), and
-// numerical edge cases that a production treecode must survive.
+// (duplicate particles, collinear clouds, extreme separations), numerical
+// edge cases a production treecode must survive, plus the overload /
+// fault-injection layer: input validation, seeded failpoint storms against
+// the plan cache and the serving frontend, shed/deadline/cancel accounting
+// (every future resolves exactly once), graceful degradation bit-identity,
+// simmpi fault containment, and retry convergence.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <future>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/direct_sum.hpp"
 #include "core/solver.hpp"
 #include "dist/dist_solver.hpp"
+#include "serve/frontend.hpp"
+#include "serve/plan_cache.hpp"
+#include "util/failpoints.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/workloads.hpp"
@@ -162,6 +176,475 @@ TEST(Robustness, GpuBackendSurvivesDegenerateInputs) {
   double scale = 0.0;
   for (const double v : cpu) scale = std::fmax(scale, std::fabs(v));
   EXPECT_LT(max_abs_difference(cpu, gpu), 1e-11 * scale);
+}
+
+// ---- Input validation ----------------------------------------------------
+
+using failpoints::FailpointScope;
+
+void expect_bits_equal(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&a[i], &b[i], sizeof(double)), 0)
+        << "element " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+serve::ServeRequest make_request(const Cloud& cloud,
+                                 const TreecodeParams& p) {
+  serve::ServeRequest request;
+  request.sources = &cloud;
+  request.params = p;
+  request.kernel = KernelSpec::coulomb();
+  return request;
+}
+
+TEST(Validation, SolverRejectsNonFiniteInputs) {
+  Cloud bad = uniform_cube(100, 41);
+  bad.x[7] = std::numeric_limits<double>::quiet_NaN();
+  SolverConfig config;
+  config.kernel = KernelSpec::coulomb();
+  config.params = params();
+  Solver solver{std::move(config)};
+  try {
+    solver.set_sources(bad);
+    FAIL() << "set_sources accepted a NaN coordinate";
+  } catch (const std::invalid_argument& e) {
+    // The message must name the entry point, the array, and the index.
+    EXPECT_NE(std::string(e.what()).find("Solver::set_sources"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("index 7"), std::string::npos)
+        << e.what();
+  }
+
+  const Cloud good = uniform_cube(100, 41);
+  solver.set_sources(good);
+  std::vector<double> q(good.size(), 1.0);
+  q[3] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(solver.update_charges(q), std::invalid_argument);
+  // The rejected update must not have poisoned the solver.
+  EXPECT_NO_THROW(solver.evaluate(good));
+}
+
+TEST(Validation, NonFiniteParamsAndCloudsRejectedAtTheServeBoundary) {
+  const Cloud good = uniform_cube(64, 42);
+  Cloud bad = good;
+  bad.q[5] = std::numeric_limits<double>::quiet_NaN();
+
+  serve::PlanCache cache;
+  EXPECT_THROW(cache.get_or_build(bad, params()), std::invalid_argument);
+
+  serve::ServeOptions options;
+  options.workers = 1;
+  serve::ServeFrontend frontend(cache, options);
+  // submit() validates synchronously: the bad request never enqueues.
+  EXPECT_THROW(frontend.submit(make_request(bad, params())),
+               std::invalid_argument);
+  serve::ServeRequest bad_targets = make_request(good, params());
+  bad_targets.targets = &bad;
+  EXPECT_THROW(frontend.evaluate_now(bad_targets), std::invalid_argument);
+
+  TreecodeParams nan_theta = params();
+  nan_theta.theta = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(frontend.submit(make_request(good, nan_theta)),
+               std::invalid_argument);
+  EXPECT_EQ(frontend.stats().submitted, 0u);
+
+  // A valid request still sails through the same frontend.
+  EXPECT_NO_THROW(frontend.submit(make_request(good, params())).get());
+}
+
+// ---- Failpoint-driven cache robustness -----------------------------------
+
+TEST(FailpointServe, CacheBuildFailureEvictsPendingAndRecovers) {
+  const Cloud cloud = uniform_cube(2000, 51);
+  serve::PlanCache cache;
+  {
+    FailpointConfig config;
+    config.fail_on_hit = 1;
+    FailpointScope scope(failpoints::sites::kPlanCacheBuild, config);
+    EXPECT_THROW(cache.get_or_build(cloud, params()), FailpointError);
+  }
+  // The poisoned single-flight entry must be gone and unaccounted.
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.build_failures, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+
+  // The next build must succeed and serve bit-identical to a fresh cache.
+  serve::PlanCache fresh;
+  serve::ServeOptions options;
+  options.workers = 1;
+  serve::ServeFrontend recovered(cache, options);
+  serve::ServeFrontend reference(fresh, options);
+  const auto a = recovered.evaluate_now(make_request(cloud, params()));
+  const auto b = reference.evaluate_now(make_request(cloud, params()));
+  EXPECT_FALSE(a.cache_hit);
+  expect_bits_equal(a.phi, b.phi);
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(FailpointServe, CacheBuildFailureMidStormRecoversBitIdentically) {
+  // A request storm against one cloud while the first build attempt is
+  // rigged to fail: the frontend retries the transient build, every future
+  // resolves with a correct value, and the cache ends consistent.
+  const Cloud cloud = uniform_cube(2500, 52);
+  serve::PlanCache cache;
+  serve::ServeOptions options;
+  options.workers = 4;
+  options.max_batch = 4;
+  options.max_retries = 4;
+  options.retry_backoff_ms = 0.0;
+  serve::ServeFrontend frontend(cache, options);
+
+  std::vector<std::future<serve::ServeResponse>> futures;
+  {
+    FailpointConfig config;
+    config.fail_on_hit = 1;
+    FailpointScope scope(failpoints::sites::kPlanCacheBuild, config);
+    for (int i = 0; i < 16; ++i) {
+      futures.push_back(frontend.submit(make_request(cloud, params())));
+    }
+    for (auto& f : futures) EXPECT_NO_THROW(f.get());
+  }
+  EXPECT_GE(cache.stats().build_failures, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_GE(frontend.stats().retries, 1u);
+
+  serve::PlanCache fresh;
+  serve::ServeFrontend reference(fresh, options);
+  const auto expect = reference.evaluate_now(make_request(cloud, params()));
+  const auto got = frontend.evaluate_now(make_request(cloud, params()));
+  EXPECT_TRUE(got.cache_hit);
+  expect_bits_equal(got.phi, expect.phi);
+}
+
+// ---- Graceful degradation ------------------------------------------------
+
+TEST(Degradation, ForcedTierIsBitIdenticalToDirectEvaluate) {
+  const Cloud cloud = uniform_cube(3000, 53);
+  const TreecodeParams p = params();  // degree 5 -> ladder {5, 4, 3, 2}
+  serve::PlanCache cache;
+  serve::ServeOptions options;
+  options.workers = 1;
+  serve::ServeFrontend frontend(cache, options);
+
+  serve::ServeRequest degraded = make_request(cloud, p);
+  degraded.degrade_tier = 2;  // degree 3
+  const auto response = frontend.submit(degraded).get();
+  EXPECT_EQ(response.degrade_tier, 2);
+  EXPECT_EQ(response.degree, p.degree - 2);
+  const double bound =
+      std::pow(p.theta, p.degree - 2 + 1.0) / (1.0 - p.theta);
+  EXPECT_DOUBLE_EQ(response.error_bound, bound);
+
+  // The acceptance bar: a degraded storm response matches a direct
+  // evaluate at the same tier of the same plan bit for bit.
+  const auto direct = frontend.evaluate_now(degraded);
+  EXPECT_EQ(direct.degrade_tier, 2);
+  expect_bits_equal(response.phi, direct.phi);
+
+  // Degraded is genuinely different from nominal but still accurate.
+  const auto nominal = frontend.evaluate_now(make_request(cloud, p));
+  EXPECT_EQ(nominal.degrade_tier, 0);
+  EXPECT_EQ(nominal.degree, p.degree);
+  EXPECT_NE(response.phi, nominal.phi);
+  EXPECT_LT(relative_l2_error(nominal.phi, response.phi), 1e-2);
+  EXPECT_EQ(frontend.stats().degraded, 2u);  // storm + direct, not nominal
+
+  // Out-of-range tiers clamp to the deepest ladder level (degree 2).
+  serve::ServeRequest deep = make_request(cloud, p);
+  deep.degrade_tier = 99;
+  EXPECT_EQ(frontend.evaluate_now(deep).degree, 2);
+}
+
+// ---- Shed policies (deterministic: admission-only frontend) --------------
+
+TEST(Overload, RejectNewShedsTheNewcomer) {
+  const Cloud cloud = uniform_cube(256, 54);
+  serve::PlanCache cache;
+  serve::ServeOptions options;
+  options.workers = 0;  // admission only: the queue state is deterministic
+  options.max_queue_requests = 2;
+  options.shed_policy = serve::ShedPolicy::kRejectNew;
+  std::vector<std::future<serve::ServeResponse>> futures;
+  {
+    serve::ServeFrontend frontend(cache, options);
+    for (int i = 0; i < 3; ++i) {
+      futures.push_back(frontend.submit(make_request(cloud, params())));
+    }
+    const auto stats = frontend.stats();
+    EXPECT_EQ(stats.submitted, 3u);
+    EXPECT_EQ(stats.shed, 1u);
+    EXPECT_EQ(stats.queue_depth, 2u);
+    EXPECT_GT(stats.queue_bytes, 0u);
+    EXPECT_THROW(futures[2].get(), serve::RequestShed);  // the newcomer
+  }
+  // Destruction sheds what never executed — exactly once each.
+  EXPECT_THROW(futures[0].get(), serve::RequestShed);
+  EXPECT_THROW(futures[1].get(), serve::RequestShed);
+}
+
+TEST(Overload, ShedOldestEvictsTheOldest) {
+  const Cloud cloud = uniform_cube(256, 55);
+  serve::PlanCache cache;
+  serve::ServeOptions options;
+  options.workers = 0;
+  options.max_queue_requests = 2;
+  options.shed_policy = serve::ShedPolicy::kShedOldest;
+  std::vector<std::future<serve::ServeResponse>> futures;
+  {
+    serve::ServeFrontend frontend(cache, options);
+    for (int i = 0; i < 3; ++i) {
+      futures.push_back(frontend.submit(make_request(cloud, params())));
+    }
+    EXPECT_EQ(frontend.stats().shed, 1u);
+    EXPECT_THROW(futures[0].get(), serve::RequestShed);  // the oldest
+  }
+  EXPECT_THROW(futures[1].get(), serve::RequestShed);
+  EXPECT_THROW(futures[2].get(), serve::RequestShed);
+}
+
+TEST(Overload, ByteBudgetAdmitsOversizedRequestToEmptyQueue) {
+  const Cloud cloud = uniform_cube(256, 56);
+  serve::PlanCache cache;
+  serve::ServeOptions options;
+  options.workers = 0;
+  options.max_queue_bytes = 1;  // smaller than any request
+  options.shed_policy = serve::ShedPolicy::kRejectNew;
+  std::vector<std::future<serve::ServeResponse>> futures;
+  {
+    serve::ServeFrontend frontend(cache, options);
+    // The first oversized request is admitted (empty queue); the second is
+    // over budget and rejected.
+    futures.push_back(frontend.submit(make_request(cloud, params())));
+    futures.push_back(frontend.submit(make_request(cloud, params())));
+    EXPECT_EQ(frontend.stats().queue_depth, 1u);
+    EXPECT_EQ(frontend.stats().shed, 1u);
+    EXPECT_THROW(futures[1].get(), serve::RequestShed);
+  }
+  EXPECT_THROW(futures[0].get(), serve::RequestShed);
+}
+
+// ---- Deadlines and cancellation ------------------------------------------
+
+TEST(Overload, ExpiredDeadlineResolvesWithDeadlineExceeded) {
+  const Cloud cloud = uniform_cube(2000, 57);
+  serve::PlanCache cache;
+  serve::ServeOptions options;
+  options.workers = 1;
+  options.max_batch = 4;       // group never fills...
+  options.max_delay_ms = 25.0;  // ...so the worker waits past the deadline
+  serve::ServeFrontend frontend(cache, options);
+  serve::ServeRequest request = make_request(cloud, params());
+  request.deadline_ms = 1e-3;
+  auto future = frontend.submit(request);
+  EXPECT_THROW(future.get(), serve::DeadlineExceeded);
+  const auto stats = frontend.stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.queue_bytes, 0u);
+}
+
+TEST(Overload, CancelledRequestResolvesWithRequestCancelled) {
+  const Cloud cloud = uniform_cube(2000, 58);
+  serve::PlanCache cache;
+  serve::ServeOptions options;
+  options.workers = 1;
+  options.max_batch = 4;
+  options.max_delay_ms = 25.0;
+  serve::ServeFrontend frontend(cache, options);
+  serve::ServeRequest request = make_request(cloud, params());
+  request.cancel = std::make_shared<serve::CancelToken>();
+  request.cancel->cancel();  // fired before the worker ever sees it
+  auto future = frontend.submit(request);
+  EXPECT_THROW(future.get(), serve::RequestCancelled);
+  EXPECT_EQ(frontend.stats().cancelled, 1u);
+  EXPECT_EQ(frontend.stats().completed, 1u);
+}
+
+// ---- Overload storm ------------------------------------------------------
+
+TEST(Overload, StormResolvesEveryFutureExactlyOnce) {
+  // Offered load far above capacity: a queue bounded at 8 requests is fed
+  // 64 in one burst, with mixed deadlines, under kShedOldest with graceful
+  // degradation enabled. Every future must resolve exactly once with a
+  // value or a precise error, and every success must be bit-identical to a
+  // direct evaluate at its reported tier.
+  const KernelSpec kernel = KernelSpec::coulomb();
+  std::vector<Cloud> clouds;
+  for (int i = 0; i < 4; ++i) clouds.push_back(uniform_cube(1200, 60 + i));
+
+  serve::PlanCache cache;
+  serve::ServeOptions options;
+  options.workers = 2;
+  options.max_batch = 4;
+  options.max_delay_ms = 0.05;
+  options.max_queue_requests = 8;
+  options.shed_policy = serve::ShedPolicy::kShedOldest;
+  options.max_degrade_tier = 2;
+  options.overload_factor = 1.0;  // trip the detector readily
+  options.ewma_alpha = 0.5;
+  serve::ServeFrontend frontend(cache, options);
+
+  constexpr std::size_t kTotal = 64;
+  std::vector<std::future<serve::ServeResponse>> futures;
+  futures.reserve(kTotal);
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    serve::ServeRequest request =
+        make_request(clouds[i % clouds.size()], params());
+    request.kernel = kernel;
+    if (i % 4 == 3) request.deadline_ms = 0.5;
+    futures.push_back(frontend.submit(request));
+  }
+
+  std::size_t ok = 0, shed = 0, deadline = 0;
+  std::vector<std::pair<std::size_t, serve::ServeResponse>> successes;
+  for (std::size_t i = 0; i < kTotal; ++i) {
+    try {
+      successes.emplace_back(i, futures[i].get());
+      ++ok;
+    } catch (const serve::RequestShed&) {
+      ++shed;
+    } catch (const serve::DeadlineExceeded&) {
+      ++deadline;
+    }
+  }
+  EXPECT_EQ(ok + shed + deadline, kTotal);  // nothing lost, nothing extra
+  EXPECT_GT(ok, 0u);
+  EXPECT_GT(shed, 0u);  // 8x over the queue bound must shed
+
+  const auto stats = frontend.stats();
+  EXPECT_EQ(stats.submitted, kTotal);
+  EXPECT_EQ(stats.completed, kTotal);
+  EXPECT_EQ(stats.shed, shed);
+  EXPECT_EQ(stats.deadline_exceeded, deadline);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.queue_bytes, 0u);
+
+  for (const auto& [i, response] : successes) {
+    serve::ServeRequest reference =
+        make_request(clouds[i % clouds.size()], params());
+    reference.kernel = kernel;
+    reference.degrade_tier = response.degrade_tier;
+    expect_bits_equal(response.phi, frontend.evaluate_now(reference).phi);
+  }
+}
+
+// ---- Chaos storm: every failpoint armed ----------------------------------
+
+TEST(FailpointServe, ChaosStormWithAllSitesArmedStaysCorrect) {
+  // All failpoints at p = 0.05 with retries: every non-shed request must
+  // still produce the exact answer. (simmpi sites are armed but idle here;
+  // the dist suite exercises them.)
+  std::vector<Cloud> clouds;
+  for (int i = 0; i < 3; ++i) clouds.push_back(uniform_cube(1000, 70 + i));
+
+  serve::PlanCache cache;
+  serve::ServeOptions options;
+  options.workers = 2;
+  options.max_batch = 4;
+  options.max_delay_ms = 0.05;
+  options.max_retries = 8;
+  options.retry_backoff_ms = 0.0;
+  serve::ServeFrontend frontend(cache, options);
+
+  constexpr std::size_t kCpu = 24, kGpu = 8;
+  std::vector<std::future<serve::ServeResponse>> futures;
+  {
+    std::vector<std::unique_ptr<FailpointScope>> scopes;
+    for (const char* site : failpoints::all_sites()) {
+      FailpointConfig config;
+      config.probability = 0.05;
+      config.seed = 7;
+      scopes.push_back(std::make_unique<FailpointScope>(site, config));
+    }
+    for (std::size_t i = 0; i < kCpu; ++i) {
+      futures.push_back(
+          frontend.submit(make_request(clouds[i % clouds.size()], params())));
+    }
+    for (std::size_t i = 0; i < kGpu; ++i) {
+      serve::ServeRequest request = make_request(clouds[0], params());
+      request.backend = Backend::kGpuSim;
+      futures.push_back(frontend.submit(request));
+    }
+    for (auto& f : futures) EXPECT_NO_THROW(f.get());
+  }
+
+  // References computed with the chaos disarmed: cached plans built under
+  // injection must already have been correct.
+  for (std::size_t i = 0; i < kCpu; ++i) {
+    auto future = frontend.submit(make_request(clouds[i % clouds.size()],
+                                               params()));
+    const auto reference =
+        frontend.evaluate_now(make_request(clouds[i % clouds.size()],
+                                           params()));
+    expect_bits_equal(future.get().phi, reference.phi);
+  }
+  EXPECT_EQ(frontend.stats().completed, frontend.stats().submitted);
+}
+
+// ---- simmpi fault containment --------------------------------------------
+
+TEST(FailpointDist, RmaFaultDuringExchangeFailsCleanlyWithoutHang) {
+  const Cloud cloud = uniform_cube(3000, 80);
+  dist::DistParams dp;
+  dp.treecode = params();
+  dp.backend = Backend::kCpu;
+  const auto good =
+      dist::compute_potential_distributed(cloud, KernelSpec::coulomb(), dp, 4);
+
+  {
+    FailpointConfig config;
+    config.fail_on_hit = 3;  // mid-exchange, after some gets succeeded
+    FailpointScope scope(failpoints::sites::kSimmpiGet, config);
+    try {
+      dist::compute_potential_distributed(cloud, KernelSpec::coulomb(), dp,
+                                          4);
+      FAIL() << "the injected RMA fault did not surface";
+    } catch (const FailpointError& e) {
+      // The root cause surfaces — not the secondary CommAborted the other
+      // ranks died with — and all ranks joined (no hang under the test
+      // timeout, no leaked threads under sanitizers).
+      EXPECT_EQ(e.site(), std::string(failpoints::sites::kSimmpiGet));
+    }
+  }
+
+  // A fresh team after the fault reproduces the original answer exactly.
+  const auto again =
+      dist::compute_potential_distributed(cloud, KernelSpec::coulomb(), dp, 4);
+  EXPECT_EQ(good.potential, again.potential);
+}
+
+// ---- Retry convergence ---------------------------------------------------
+
+TEST(FailpointServe, GpuStagingRetryConverges) {
+  const Cloud cloud = uniform_cube(1500, 81);
+  serve::PlanCache cache;
+  serve::ServeOptions options;
+  options.workers = 1;
+  options.max_retries = 4;
+  options.retry_backoff_ms = 0.0;
+  serve::ServeFrontend frontend(cache, options);
+
+  serve::ServeRequest request = make_request(cloud, params());
+  request.backend = Backend::kGpuSim;
+  serve::ServeResponse response;
+  {
+    FailpointConfig config;
+    config.probability = 1.0;  // every staging attempt fails...
+    config.max_trips = 2;      // ...until the cap; retries then converge
+    FailpointScope scope(failpoints::sites::kGpuStage, config);
+    response = frontend.submit(request).get();
+  }
+  EXPECT_GE(frontend.stats().retries, 1u);
+
+  const auto reference = frontend.evaluate_now(request);
+  EXPECT_TRUE(reference.cache_hit);
+  expect_bits_equal(response.phi, reference.phi);
 }
 
 }  // namespace
