@@ -1,0 +1,287 @@
+// Incremental dynamics bench: what does a position update cost once the
+// plan is slack-fattened? Two workloads bracket the design space:
+//
+//   * leapfrog — every particle drifts a little each step (MD). The
+//     incremental path keeps the tree, batches, and interaction lists and
+//     rebuilds only dirty-cluster moments; with every leaf dirty the win is
+//     skipping all structural work, and the headline ratio is replan time
+//     as a fraction of evaluate time.
+//   * sparse-move — a small fraction of particles moves per step (local
+//     relaxation / accepted Monte-Carlo moves). This is the amortized-
+//     O(moved) showcase: moved, dirty clusters, rebuilt moments, and GpuSim
+//     restage bytes all scale with the moving subset, not with N.
+//
+// Both compare against position_slack = 0, which is the exact-parity
+// contract: update_positions degenerates to set_sources (full re-plan) and
+// results are bit-identical to a fresh solver. Results are written to
+// BENCH_dynamics.json (override with --json) for cross-PR tracking.
+//
+// BLTC_DYN_N / BLTC_DYN_STEPS / BLTC_DYN_SLACK rescale the run.
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/solver.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+
+using namespace bltc;
+
+namespace {
+
+TreecodeParams dyn_params(double slack) {
+  TreecodeParams p;
+  p.theta = 0.7;
+  p.degree = 8;
+  p.max_leaf = 2000;
+  p.max_batch = 2000;
+  p.position_slack = slack;
+  return p;
+}
+
+SolverConfig dyn_config(double slack, Backend backend) {
+  SolverConfig config;
+  config.kernel = KernelSpec::coulomb();
+  config.params = dyn_params(slack);
+  config.backend = backend;
+  return config;
+}
+
+/// Drift every particle by a uniform step of at most `scale` per axis.
+void drift_all(Cloud& cloud, double scale, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    cloud.x[i] += scale * (2.0 * rng.next_double() - 1.0);
+    cloud.y[i] += scale * (2.0 * rng.next_double() - 1.0);
+    cloud.z[i] += scale * (2.0 * rng.next_double() - 1.0);
+  }
+}
+
+/// The `count` particles nearest to a probe point: a spatially localized
+/// patch, the shape of a local relaxation or an accepted Monte-Carlo
+/// cluster move. Locality is the point — the moving subset occupies a few
+/// leaves, so dirty clusters (and restaged bytes) scale with the patch,
+/// not with N.
+std::vector<std::size_t> nearest_patch(const Cloud& cloud, std::size_t count,
+                                       double px, double py, double pz) {
+  std::vector<std::size_t> idx(cloud.size());
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  const auto dist2 = [&](std::size_t i) {
+    const double dx = cloud.x[i] - px;
+    const double dy = cloud.y[i] - py;
+    const double dz = cloud.z[i] - pz;
+    return dx * dx + dy * dy + dz * dz;
+  };
+  std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(count),
+                   idx.end(),
+                   [&](std::size_t a, std::size_t b) { return dist2(a) < dist2(b); });
+  idx.resize(count);
+  return idx;
+}
+
+/// Move the patch members by a uniform step of at most `scale`.
+void drift_patch(Cloud& cloud, const std::vector<std::size_t>& patch,
+                 double scale, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (const std::size_t j : patch) {
+    cloud.x[j] += scale * (2.0 * rng.next_double() - 1.0);
+    cloud.y[j] += scale * (2.0 * rng.next_double() - 1.0);
+    cloud.z[j] += scale * (2.0 * rng.next_double() - 1.0);
+  }
+}
+
+struct StepCost {
+  double replan = 0.0;    ///< setup + precompute attributed to the update
+  double evaluate = 0.0;  ///< compute phase
+  RunStats stats;
+};
+
+StepCost step(Solver& solver, const Cloud& cloud) {
+  solver.update_positions(cloud);
+  StepCost cost;
+  solver.evaluate(cloud, &cost.stats);
+  cost.replan = cost.stats.setup_seconds + cost.stats.precompute_seconds;
+  cost.evaluate = cost.stats.compute_seconds;
+  return cost;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::banner(
+      "Incremental dynamics — slack-fattened update_positions vs full "
+      "re-plan",
+      "BLTC_DYN_N (default 200000), BLTC_DYN_STEPS (default 4), "
+      "BLTC_DYN_SLACK (default 0.1)");
+
+  const std::size_t n = env_size("BLTC_DYN_N", 200000);
+  const int steps = static_cast<int>(env_size("BLTC_DYN_STEPS", 4));
+  const double slack = env_double("BLTC_DYN_SLACK", 0.1);
+  const Cloud start = uniform_cube(n, 777);
+
+  bench::JsonReport report("bench_dynamics");
+  report.note("n", std::to_string(n));
+  report.note("steps", std::to_string(steps));
+  report.note("slack", bench::Table::num(slack, 3));
+
+  // ---- Exact-parity contract: slack = 0 must be bit-identical to a fresh
+  // plan of the moved cloud.
+  {
+    Cloud moved = start;
+    drift_all(moved, 1e-4, 1);
+    Solver a(dyn_config(0.0, Backend::kCpu));
+    a.set_sources(start);
+    (void)a.evaluate(start);
+    a.update_positions(moved);
+    Solver b(dyn_config(0.0, Backend::kCpu));
+    b.set_sources(moved);
+    const bool identical = a.evaluate(moved) == b.evaluate(moved);
+    std::printf("slack = 0 parity: update_positions %s set_sources\n",
+                identical ? "bit-identical to" : "DIFFERS FROM");
+    report.note("slack0_bit_identical", identical ? "true" : "false");
+  }
+
+  // ---- Leapfrog: every particle drifts every step --------------------------
+  {
+    std::printf("\n--- leapfrog (all %zu particles drift each step, cpu) "
+                "---\n", n);
+    bench::Table table({"variant", "step", "replan[s]", "evaluate[s]",
+                        "moved", "dirty", "rebucketed", "lists_reused"});
+    double full_replan = 0.0, incr_replan = 0.0, incr_eval = 0.0;
+    RunStats last{};
+    for (const double s : {0.0, slack}) {
+      Solver solver(dyn_config(s, Backend::kCpu));
+      Cloud cloud = start;
+      solver.set_sources(cloud);
+      (void)solver.evaluate(cloud);
+      for (int c = 1; c <= steps; ++c) {
+        drift_all(cloud, 1e-4, static_cast<std::uint64_t>(10 + c));
+        const StepCost cost = step(solver, cloud);
+        table.add_row({s == 0.0 ? "full-replan" : "incremental",
+                       std::to_string(c), bench::Table::num(cost.replan, 4),
+                       bench::Table::num(cost.evaluate, 4),
+                       std::to_string(cost.stats.moved_particles),
+                       std::to_string(cost.stats.dirty_clusters),
+                       std::to_string(cost.stats.rebucketed_particles),
+                       std::to_string(cost.stats.lists_reused)});
+        if (s == 0.0) {
+          full_replan += cost.replan;
+        } else {
+          incr_replan += cost.replan;
+          incr_eval += cost.evaluate;
+          last = cost.stats;
+        }
+      }
+    }
+    table.print();
+    const double speedup = full_replan / incr_replan;
+    const double frac = incr_replan / incr_eval;
+    std::printf("leapfrog replan: full %.4f s, incremental %.4f s "
+                "(%.1fx); incremental replan = %.1f%% of evaluate\n",
+                full_replan / steps, incr_replan / steps, speedup,
+                100.0 * frac);
+    report.metric("leapfrog_full_replan_seconds", full_replan / steps);
+    report.metric("leapfrog_incremental_replan_seconds", incr_replan / steps);
+    report.metric("leapfrog_replan_speedup", speedup);
+    report.metric("leapfrog_replan_over_evaluate", frac);
+    report.metric("leapfrog_lists_reused",
+                  static_cast<double>(last.lists_reused));
+  }
+
+  // ---- Sparse moves: amortized-O(moved) ------------------------------------
+  {
+    const std::size_t moving = n / 100 > 0 ? n / 100 : 1;
+    const std::vector<std::size_t> patch =
+        nearest_patch(start, moving, 0.25, 0.25, 0.25);
+    std::printf("\n--- sparse-move (a patch of %zu of %zu particles moves "
+                "each step, cpu) ---\n", moving, n);
+    bench::Table table({"variant", "step", "replan[s]", "evaluate[s]",
+                        "moved", "dirty", "rebucketed", "lists_reused"});
+    double full_replan = 0.0, incr_replan = 0.0;
+    RunStats last{};
+    for (const double s : {0.0, slack}) {
+      Solver solver(dyn_config(s, Backend::kCpu));
+      Cloud cloud = start;
+      solver.set_sources(cloud);
+      (void)solver.evaluate(cloud);
+      for (int c = 1; c <= steps; ++c) {
+        drift_patch(cloud, patch, 1e-4, static_cast<std::uint64_t>(20 + c));
+        const StepCost cost = step(solver, cloud);
+        table.add_row({s == 0.0 ? "full-replan" : "incremental",
+                       std::to_string(c), bench::Table::num(cost.replan, 4),
+                       bench::Table::num(cost.evaluate, 4),
+                       std::to_string(cost.stats.moved_particles),
+                       std::to_string(cost.stats.dirty_clusters),
+                       std::to_string(cost.stats.rebucketed_particles),
+                       std::to_string(cost.stats.lists_reused)});
+        if (s == 0.0) {
+          full_replan += cost.replan;
+        } else {
+          incr_replan += cost.replan;
+          last = cost.stats;
+        }
+      }
+    }
+    table.print();
+    const double speedup = full_replan / incr_replan;
+    std::printf("sparse-move replan: full %.4f s, incremental %.4f s "
+                "(%.1fx), %zu moved -> %zu dirty clusters of %zu\n",
+                full_replan / steps, incr_replan / steps, speedup,
+                last.moved_particles, last.dirty_clusters,
+                last.num_clusters);
+    report.metric("sparse_full_replan_seconds", full_replan / steps);
+    report.metric("sparse_incremental_replan_seconds", incr_replan / steps);
+    report.metric("sparse_replan_speedup", speedup);
+    report.metric("sparse_moved_particles",
+                  static_cast<double>(last.moved_particles));
+    report.metric("sparse_dirty_clusters",
+                  static_cast<double>(last.dirty_clusters));
+    report.metric("sparse_num_clusters",
+                  static_cast<double>(last.num_clusters));
+    report.metric("sparse_lists_reused",
+                  static_cast<double>(last.lists_reused));
+  }
+
+  // ---- GpuSim: restage traffic proportional to the moved subset ------------
+  {
+    const std::size_t moving = n / 100 > 0 ? n / 100 : 1;
+    const std::vector<std::size_t> patch =
+        nearest_patch(start, moving, 0.25, 0.25, 0.25);
+    std::printf("\n--- gpusim restage (a patch of %zu of %zu particles "
+                "moves) ---\n", moving, n);
+    Solver solver(dyn_config(slack, Backend::kGpuSim));
+    Cloud cloud = start;
+    solver.set_sources(cloud);
+    RunStats stats;
+    (void)solver.evaluate(cloud, &stats);
+    const std::size_t full_bytes = stats.bytes_to_device;
+
+    drift_patch(cloud, patch, 1e-4, 31);
+    solver.update_positions(cloud);
+    (void)solver.evaluate(cloud, &stats);
+    const std::size_t delta_bytes = stats.bytes_to_device;
+    std::printf("full stage %.1f KiB -> incremental restage %.1f KiB "
+                "(%.1f%%), incremental=%s\n",
+                static_cast<double>(full_bytes) / 1024.0,
+                static_cast<double>(delta_bytes) / 1024.0,
+                100.0 * static_cast<double>(delta_bytes) /
+                    static_cast<double>(full_bytes),
+                stats.incremental_update ? "yes" : "no");
+    report.metric("gpusim_full_stage_bytes",
+                  static_cast<double>(full_bytes));
+    report.metric("gpusim_incremental_restage_bytes",
+                  static_cast<double>(delta_bytes));
+    report.metric("gpusim_restage_fraction",
+                  static_cast<double>(delta_bytes) /
+                      static_cast<double>(full_bytes));
+  }
+
+  const std::string json_path =
+      bench::json_output_path(argc, argv, "BENCH_dynamics.json");
+  if (!json_path.empty()) report.write(json_path);
+  return 0;
+}

@@ -2,24 +2,28 @@
 // opens: a Plummer cluster integrated with kick-drift-kick leapfrog whose
 // accelerations come from the *distributed* treecode (RCB decomposition,
 // per-rank engines, locally essential trees). Each step moves the
-// particles, so every force evaluation is a full re-plan
-// (update_positions: RCB re-partition + fresh LET exchange); the per-step
-// RMA accounting printed below shows the LET traffic staying far below
-// "ship everything everywhere" while the energy drift confirms the
-// distributed forces are treecode-accurate.
+// particles; with a nonzero position_slack the update_positions call is
+// incremental — fixed per-rank trees and lists, dirty-cluster moment
+// rebuilds, and an LET *refresh* through the existing RMA windows instead
+// of a re-partition + fresh exchange (BLTC_DIST_SLACK=0 restores the full
+// re-plan). The per-step RMA accounting printed below shows the LET traffic
+// staying far below "ship everything everywhere" while the energy drift
+// confirms the distributed forces are treecode-accurate.
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "dist/dist_solver.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
 #include "util/workloads.hpp"
 
 int main() {
   using namespace bltc;
 
-  const std::size_t n = 8000;
+  const std::size_t n = env_size("BLTC_DIST_N", 8000);
   const int nranks = 4;
+  const int steps = static_cast<int>(env_size("BLTC_DIST_STEPS", 10));
   Cloud stars = plummer_sphere(n, 77, 1.0);  // q[i] = mass 1/N, G = 1
 
   // Virial-equilibrium-ish isotropic velocities.
@@ -46,6 +50,7 @@ int main() {
   config.params.treecode.degree = 6;
   config.params.treecode.max_leaf = 500;
   config.params.treecode.max_batch = 500;
+  config.params.treecode.position_slack = env_double("BLTC_DIST_SLACK", 0.1);
   config.params.backend = Backend::kCpu;
   config.nranks = nranks;
   dist::DistSolver solver(config);
@@ -83,7 +88,6 @@ int main() {
               static_cast<double>(b0) / 1024.0);
 
   const double dt = 0.01;
-  const int steps = 10;
   for (int s = 1; s <= steps; ++s) {
     // Kick (half), drift, kick (half).
     for (std::size_t i = 0; i < n; ++i) {
@@ -94,7 +98,7 @@ int main() {
       stars.y[i] += dt * vy[i];
       stars.z[i] += dt * vz[i];
     }
-    solver.update_positions(stars);  // RCB re-partition + fresh LET
+    solver.update_positions(stars);  // LET window refresh when slack > 0
     f = solver.evaluate_field(&stats);
     for (std::size_t i = 0; i < n; ++i) {
       vx[i] += 0.5 * dt * -f.ex[i];

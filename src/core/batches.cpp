@@ -3,9 +3,11 @@
 namespace bltc {
 
 std::vector<TargetBatch> build_target_batches(OrderedParticles& targets,
-                                              std::size_t max_batch) {
+                                              std::size_t max_batch,
+                                              double slack) {
   TreeParams params;
   params.max_leaf = max_batch;
+  params.slack = slack;
   const ClusterTree tree = ClusterTree::build(targets, params);
 
   std::vector<TargetBatch> batches;

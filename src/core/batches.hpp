@@ -28,7 +28,10 @@ struct TargetBatch {
 
 /// Partition targets into batches of at most `max_batch` particles; reorders
 /// `targets` in place (permutation retained inside OrderedParticles).
+/// `slack > 0` fattens the batch boxes (TreeParams::slack) so targets can
+/// drift within them across incremental position updates.
 std::vector<TargetBatch> build_target_batches(OrderedParticles& targets,
-                                              std::size_t max_batch);
+                                              std::size_t max_batch,
+                                              double slack = 0.0);
 
 }  // namespace bltc

@@ -1,7 +1,9 @@
 #include "core/cpu_engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "core/chebyshev.hpp"
 #include "serve/exec_context.hpp"
 
 namespace bltc {
@@ -56,6 +58,7 @@ void CpuEngine::prepare_sources(const SourcePlan& plan,
   if (!charges_only) {
     moments_ = ClusterMoments::compute(tree, sources, params.degree,
                                        params.moment_algorithm);
+    delta_patched_.assign(tree.num_nodes(), 0);
     build_ladder(false);
     // New source geometry orphans whatever LET pieces were attached (their
     // lists referenced the old trees); the caller re-attaches after the
@@ -85,6 +88,107 @@ void CpuEngine::prepare_sources(const SourcePlan& plan,
     }
   }
   build_ladder(true);
+}
+
+void CpuEngine::update_sources(const SourcePlan& plan,
+                               const TreecodeParams& params,
+                               const SourceUpdate& update) {
+  const ClusterTree& tree = *plan.tree;
+  const OrderedParticles& sources = *plan.particles;
+  if (moments_.num_clusters() != tree.num_nodes()) {
+    // No prepared state to patch (or the tree changed shape): full build.
+    prepare_sources(plan, params, /*charges_only=*/false);
+    return;
+  }
+  // The boxes (and hence grids) are unchanged by an in-topology position
+  // update, so only the dirty clusters' modified charges change — and a
+  // dirty path reaches the root, whose cluster holds every particle. To
+  // keep the update O(moved) rather than O(N), a cluster is patched by
+  // subtracting each moved particle's old Lagrange contribution and adding
+  // the new one (`update.before` carries the old values, sorted by slot;
+  // with zero re-buckets a particle's containing clusters are exactly the
+  // nodes whose slot range covers it). A cluster is recomputed outright
+  // when the patch volume approaches its size: at that point the recompute
+  // is no more expensive, and it resets the rounding drift that repeated
+  // subtract/add cycles would otherwise accumulate.
+  if (delta_patched_.size() != tree.num_nodes()) {
+    delta_patched_.assign(tree.num_nodes(), 0);
+  }
+  const std::size_t nd = update.dirty_clusters.size();
+  const std::span<const MovedSlot> before = update.before;
+  const std::vector<double> weights = chebyshev2_weights(params.degree);
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t i = 0; i < nd; ++i) {
+    const int ci = static_cast<int>(update.dirty_clusters[i]);
+    const ClusterNode& node = tree.node(ci);
+    const auto lo = std::lower_bound(
+        before.begin(), before.end(), node.begin,
+        [](const MovedSlot& s, std::size_t v) { return s.slot < v; });
+    const auto hi = std::lower_bound(
+        lo, before.end(), node.end,
+        [](const MovedSlot& s, std::size_t v) { return s.slot < v; });
+    const std::size_t patch = static_cast<std::size_t>(hi - lo);
+    const bool use_delta = !before.empty() && patch > 0 &&
+                           2 * patch < node.count() &&
+                           delta_patched_[static_cast<std::size_t>(ci)] +
+                                   patch <
+                               node.count();
+    if (use_delta) {
+      delta_patched_[static_cast<std::size_t>(ci)] += patch;
+      const auto qhat = moments_.qhat_mutable(ci);
+      for (auto it = lo; it != hi; ++it) {
+        ClusterMoments::accumulate_particle(
+            params.degree, moments_.grid(ci, 0), moments_.grid(ci, 1),
+            moments_.grid(ci, 2), weights, it->x, it->y, it->z, -it->q,
+            qhat);
+        ClusterMoments::accumulate_particle(
+            params.degree, moments_.grid(ci, 0), moments_.grid(ci, 1),
+            moments_.grid(ci, 2), weights, sources.x[it->slot],
+            sources.y[it->slot], sources.z[it->slot], sources.q[it->slot],
+            qhat);
+      }
+      continue;
+    }
+    delta_patched_[static_cast<std::size_t>(ci)] = 0;
+    const MomentAlgorithm algorithm = resolve_moment_algorithm(
+        params.moment_algorithm, tree.node(ci).count(), params.degree);
+    if (algorithm == MomentAlgorithm::kDirect) {
+      ClusterMoments::compute_cluster_direct(
+          tree, sources, params.degree, ci, moments_.grid(ci, 0),
+          moments_.grid(ci, 1), moments_.grid(ci, 2),
+          moments_.qhat_mutable(ci));
+    } else {
+      ClusterMoments::compute_cluster_factorized(
+          tree, sources, params.degree, ci, moments_.grid(ci, 0),
+          moments_.grid(ci, 1), moments_.grid(ci, 2),
+          moments_.qhat_mutable(ci));
+    }
+  }
+  // Dual ladder: level 0 copies the dirty charges, lower levels restrict
+  // them — per dirty cluster, never a full pass.
+  if (params.traversal == TraversalMode::kDual && !dual_levels_.empty()) {
+#pragma omp parallel for schedule(dynamic)
+    for (std::size_t i = 0; i < nd; ++i) {
+      const int ci = static_cast<int>(update.dirty_clusters[i]);
+      const auto src = moments_.qhat(ci);
+      const auto dst = dual_levels_.front().qhat_mutable(ci);
+      std::copy(src.begin(), src.end(), dst.begin());
+      for (std::size_t l = 1; l < dual_levels_.size(); ++l) {
+        ClusterMoments::restrict_cluster(moments_, ci, dual_levels_[l]);
+      }
+    }
+  }
+}
+
+void CpuEngine::refresh_let_positions(std::span<const LetPiece> pieces,
+                                      const TreecodeParams& /*params*/) {
+  // The stored views already point at the caller-owned piece storage that
+  // was refreshed in place; only the piece set must be unchanged.
+  if (pieces.size() != let_.size()) {
+    throw std::logic_error(
+        "CpuEngine::refresh_let_positions: refresh with a different piece "
+        "count");
+  }
 }
 
 void CpuEngine::attach_let_pieces(std::span<const LetPiece> pieces,

@@ -38,9 +38,13 @@ class CpuEngine final : public Engine {
 
   void prepare_sources(const SourcePlan& plan, const TreecodeParams& params,
                        bool charges_only) override;
+  void update_sources(const SourcePlan& plan, const TreecodeParams& params,
+                      const SourceUpdate& update) override;
   void attach_let_pieces(std::span<const LetPiece> pieces,
                          const TreecodeParams& params,
                          bool charges_only) override;
+  void refresh_let_positions(std::span<const LetPiece> pieces,
+                             const TreecodeParams& params) override;
   std::span<const double> prepared_qhat() const override {
     return moments_.all_qhat();
   }
@@ -61,6 +65,12 @@ class CpuEngine final : public Engine {
   /// nominal degree, lower degrees are exact restrictions of it).
   std::vector<ClusterMoments> dual_levels_;
   std::vector<LetPiece> let_;  ///< attached remote pieces (caller-owned data)
+  /// Per-cluster count of particles patched into the moments by delta
+  /// updates since the last full recompute of that cluster. Once it
+  /// approaches the cluster's size, the cluster is recomputed outright —
+  /// keeping the rounding drift of repeated subtract/add cycles bounded
+  /// without giving up the amortized-O(moved) update cost.
+  std::vector<std::size_t> delta_patched_;
 };
 
 }  // namespace bltc

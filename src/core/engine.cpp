@@ -48,6 +48,24 @@ void add_into(std::vector<double>& acc,
   for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += contribution[i];
 }
 
+void Engine::update_sources(const SourcePlan& plan,
+                            const TreecodeParams& params,
+                            const SourceUpdate& /*update*/) {
+  // Always-correct fallback: treat the update as a full geometry change.
+  prepare_sources(plan, params, /*charges_only=*/false);
+}
+
+void Engine::update_targets(
+    const TargetPlan& /*plan*/,
+    std::span<const std::pair<std::size_t, std::size_t>> /*moved_ranges*/) {
+  // Host engines read target data straight from the plan: nothing cached.
+}
+
+void Engine::refresh_let_positions(std::span<const LetPiece> pieces,
+                                   const TreecodeParams& params) {
+  attach_let_pieces(pieces, params, /*charges_only=*/false);
+}
+
 void Engine::attach_let_pieces(std::span<const LetPiece> pieces,
                                const TreecodeParams& /*params*/,
                                bool /*charges_only*/) {

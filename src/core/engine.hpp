@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/interaction_lists.hpp"
@@ -74,6 +75,26 @@ struct LetPiece {
   std::size_t fetched_particles = 0;
 };
 
+/// Delta description for `Engine::update_sources` — the incremental
+/// counterpart of a full prepare_sources after an in-topology position
+/// update (see SourcePlanState::update_positions). Spans view caller
+/// storage valid for the duration of the call.
+struct SourceUpdate {
+  /// Ascending node indices whose particle data changed; exactly these
+  /// clusters' modified charges must be recomputed (boxes and grids are
+  /// unchanged by construction).
+  std::span<const std::size_t> dirty_clusters;
+  /// Coalesced tree-order slot ranges whose stored particle data changed;
+  /// device engines re-stage exactly these ranges.
+  std::span<const std::pair<std::size_t, std::size_t>> moved_ranges;
+  /// Pre-update values of the changed slots, sorted by slot (empty when the
+  /// update re-bucketed particles). When present, host engines patch dirty
+  /// clusters' moments in O(moved): subtract each old contribution, add the
+  /// new one, and only recompute a cluster outright when the patch volume
+  /// approaches its particle count.
+  std::span<const MovedSlot> before;
+};
+
 /// Backend evaluation engine. One engine instance lives inside one solver
 /// handle (one rank, in the distributed case) and sees every lifecycle
 /// transition, so it can cache whatever makes repeated evaluation cheap.
@@ -99,6 +120,38 @@ class Engine {
   virtual void prepare_sources(const SourcePlan& plan,
                                const TreecodeParams& params,
                                bool charges_only) = 0;
+
+  /// Incremental counterpart of prepare_sources after an in-topology
+  /// position update: the tree, boxes, and grids are unchanged; only the
+  /// particle data of `update.moved_ranges` and consequently the modified
+  /// charges of `update.dirty_clusters` are stale. Engines recompute the
+  /// dirty clusters in place (and on device engines re-stage only the
+  /// moved ranges plus dirty charges, accounting the proportional byte
+  /// delta). The default implementation falls back to a full
+  /// prepare_sources, which is always correct.
+  virtual void update_sources(const SourcePlan& plan,
+                              const TreecodeParams& params,
+                              const SourceUpdate& update);
+
+  /// Incremental target refresh: the cached target plan's structure
+  /// (batches, lists, trees, grids) is unchanged but the target
+  /// coordinates of `moved_ranges` (tree-order slots) were rewritten in
+  /// place. Host engines read target data from the plan and need do
+  /// nothing (the default); device engines overwrite the staged ranges so
+  /// a following evaluate with fresh_targets == false stays coherent.
+  virtual void update_targets(const TargetPlan& plan,
+                              std::span<const std::pair<std::size_t,
+                                                        std::size_t>>
+                                  moved_ranges);
+
+  /// Incremental counterpart of attach_let_pieces after the caller
+  /// refreshed the piece storage in place (same piece set, same trees,
+  /// same fetched ranges; coordinates, charges, and modified charges were
+  /// rewritten). Device engines re-stage the fetched particle data and
+  /// charges without re-staging tree geometry. The default implementation
+  /// falls back to a full attach_let_pieces.
+  virtual void refresh_let_positions(std::span<const LetPiece> pieces,
+                                     const TreecodeParams& params);
 
   /// Distributed LET path: attach the remote source pieces this engine
   /// evaluates in addition to its prepared local sources. The piece storage

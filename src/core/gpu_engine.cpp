@@ -31,33 +31,27 @@ double kernel_eval_weight(const KernelSpec& spec, bool on_gpu) {
   return 1.0;
 }
 
-GpuPrecomputeResult gpu_precompute_moments_device_resident(
-    gpusim::Device& device, const ClusterTree& tree,
-    const OrderedParticles& sources, const ClusterMoments& moments,
-    int degree) {
-  const std::size_t m = static_cast<std::size_t>(degree) + 1;
-  const std::size_t ppc = moments.points_per_cluster();
-  const std::vector<double> w = chebyshev2_weights(degree);
+namespace {
 
-  gpusim::DeviceBuffer<double> dqhat(device, tree.num_nodes() * ppc);
-  auto qhat_all = dqhat.span();
+/// The two preprocessing kernels (Eqs. 14-15) for one cluster, writing its
+/// modified charges into `out`. Shared by the full-tree precompute and the
+/// dirty-cluster incremental variant; `qtilde`/`hit` are caller scratch
+/// reused across launches.
+void gpu_precompute_one_cluster(gpusim::Device& device, const ClusterTree& tree,
+                                const OrderedParticles& sources,
+                                const ClusterMoments& moments, std::size_t m,
+                                const std::vector<double>& w, int ci,
+                                std::span<double> out,
+                                std::vector<double>& qtilde,
+                                std::vector<unsigned char>& hit) {
+  const ClusterNode& node = tree.node(ci);
+  const auto gx = moments.grid(ci, 0);
+  const auto gy = moments.grid(ci, 1);
+  const auto gz = moments.grid(ci, 2);
+  const std::size_t ppc = out.size();
 
-  // Per-cluster scratch, reused across launches (device-resident in a real
-  // implementation).
-  std::vector<double> qtilde;
-  std::vector<unsigned char> hit;
-
-  for (std::size_t c = 0; c < tree.num_nodes(); ++c) {
-    const int ci = static_cast<int>(c);
-    const ClusterNode& node = tree.node(ci);
-    if (node.count() == 0) continue;
-    const auto gx = moments.grid(ci, 0);
-    const auto gy = moments.grid(ci, 1);
-    const auto gz = moments.grid(ci, 2);
-    std::span<double> out{qhat_all.data() + c * ppc, ppc};
-
-    qtilde.assign(node.count(), 0.0);
-    hit.assign(node.count(), 0);
+  qtilde.assign(node.count(), 0.0);
+  hit.assign(node.count(), 0);
 
     // --- Preprocessing kernel 1 (Eq. 14): one block per source particle,
     // threads parallelize over the interpolation degree computing the three
@@ -134,12 +128,67 @@ GpuPrecomputeResult gpu_precompute_moments_device_resident(
         }
       });
     }
+}
+
+}  // namespace
+
+GpuPrecomputeResult gpu_precompute_moments_device_resident(
+    gpusim::Device& device, const ClusterTree& tree,
+    const OrderedParticles& sources, const ClusterMoments& moments,
+    int degree) {
+  const std::size_t m = static_cast<std::size_t>(degree) + 1;
+  const std::size_t ppc = moments.points_per_cluster();
+  const std::vector<double> w = chebyshev2_weights(degree);
+
+  gpusim::DeviceBuffer<double> dqhat(device, tree.num_nodes() * ppc);
+  auto qhat_all = dqhat.span();
+
+  // Per-cluster scratch, reused across launches (device-resident in a real
+  // implementation).
+  std::vector<double> qtilde;
+  std::vector<unsigned char> hit;
+
+  for (std::size_t c = 0; c < tree.num_nodes(); ++c) {
+    const int ci = static_cast<int>(c);
+    if (tree.node(ci).count() == 0) continue;
+    gpu_precompute_one_cluster(device, tree, sources, moments, m, w, ci,
+                               {qhat_all.data() + c * ppc, ppc}, qtilde, hit);
   }
 
   device.synchronize();
 
   // DtH: modified charges return to the host, where (in the distributed
   // code) they are exposed through RMA windows for LET construction.
+  GpuPrecomputeResult result;
+  result.qhat = dqhat.copy_to_host();
+  return result;
+}
+
+GpuPrecomputeResult gpu_precompute_moments_clusters(
+    gpusim::Device& device, const ClusterTree& tree,
+    const OrderedParticles& sources, const ClusterMoments& moments, int degree,
+    std::span<const std::size_t> clusters) {
+  const std::size_t m = static_cast<std::size_t>(degree) + 1;
+  const std::size_t ppc = moments.points_per_cluster();
+  const std::vector<double> w = chebyshev2_weights(degree);
+
+  // Device scratch sized to the dirty subset only: the resident full-size
+  // charge array is patched from it range-by-range by the caller.
+  gpusim::DeviceBuffer<double> dqhat(device, clusters.size() * ppc);
+  auto qhat_all = dqhat.span();
+
+  std::vector<double> qtilde;
+  std::vector<unsigned char> hit;
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    const int ci = static_cast<int>(clusters[i]);
+    if (tree.node(ci).count() == 0) continue;
+    gpu_precompute_one_cluster(device, tree, sources, moments, m, w, ci,
+                               {qhat_all.data() + i * ppc, ppc}, qtilde, hit);
+  }
+
+  device.synchronize();
+
+  // DtH: only the dirty clusters' modified charges return to the host.
   GpuPrecomputeResult result;
   result.qhat = dqhat.copy_to_host();
   return result;
@@ -844,6 +893,153 @@ void GpuSimEngine::prepare_sources(const SourcePlan& plan,
             device_, dual_moments_[l].all_qhat()));
       }
     }
+  }
+}
+
+void GpuSimEngine::update_sources(const SourcePlan& plan,
+                                  const TreecodeParams& params,
+                                  const SourceUpdate& update) {
+  // Injected before any device mutation: a tripped partial restage leaves
+  // the resident state whole and the caller falls back to a full rebuild.
+  failpoint(failpoints::sites::kGpuPartialRestage);
+  const OrderedParticles& src = *plan.particles;
+  const ClusterTree& tree = *plan.tree;
+  if (src_x_ == nullptr || src_x_->size() != src.size() ||
+      moments_.num_clusters() != tree.num_nodes()) {
+    // Nothing resident to patch: full stage.
+    prepare_sources(plan, params, /*charges_only=*/false);
+    return;
+  }
+
+  // Update-device of array sections: only the moved tree-order ranges of
+  // the four source streams cross PCIe. Grids stay resident untouched —
+  // the boxes are unchanged by an in-topology update.
+  std::size_t moved_doubles = 0;
+  for (const auto& range : update.moved_ranges) {
+    const auto b = static_cast<std::ptrdiff_t>(range.first);
+    const auto e = static_cast<std::ptrdiff_t>(range.second);
+    std::copy(src.x.begin() + b, src.x.begin() + e, src_x_->span().begin() + b);
+    std::copy(src.y.begin() + b, src.y.begin() + e, src_y_->span().begin() + b);
+    std::copy(src.z.begin() + b, src.z.begin() + e, src_z_->span().begin() + b);
+    std::copy(src.q.begin() + b, src.q.begin() + e, src_q_->span().begin() + b);
+    moved_doubles += range.second - range.first;
+  }
+  device_.host_to_device(4 * moved_doubles * sizeof(double));
+
+  // Re-run the two preprocessing kernels for the dirty clusters only; the
+  // packed result returns to the host (proportional DtH) and patches the
+  // host mirror plus the resident charge array (proportional HtD).
+  const gpusim::TimeMarker before = device_.marker();
+  const GpuPrecomputeResult pre = gpu_precompute_moments_clusters(
+      device_, tree, src, moments_, params.degree, update.dirty_clusters);
+  pending_modeled_precompute_ +=
+      device_.marker().kernel_seconds - before.kernel_seconds;
+
+  const std::size_t ppc = moments_.points_per_cluster();
+  const auto dq = qhat_->span();
+  for (std::size_t i = 0; i < update.dirty_clusters.size(); ++i) {
+    const std::size_t c = update.dirty_clusters[i];
+    const auto dst = moments_.qhat_mutable(static_cast<int>(c));
+    const double* s = pre.qhat.data() + i * ppc;
+    std::copy(s, s + ppc, dst.begin());
+    std::copy(dst.begin(), dst.end(),
+              dq.begin() + static_cast<std::ptrdiff_t>(c * ppc));
+  }
+  device_.host_to_device(update.dirty_clusters.size() * ppc * sizeof(double));
+
+  // Dual ladder: restrict the dirty clusters per level (one small modeled
+  // launch per level) and update-device their coarse charge ranges.
+  if (params.traversal == TraversalMode::kDual && !dual_moments_.empty()) {
+    for (const std::size_t c : update.dirty_clusters) {
+      const auto src_hat = moments_.qhat(static_cast<int>(c));
+      const auto dst_hat = dual_moments_.front().qhat_mutable(
+          static_cast<int>(c));
+      std::copy(src_hat.begin(), src_hat.end(), dst_hat.begin());
+    }
+    for (std::size_t l = 1; l < dual_moments_.size(); ++l) {
+      ClusterMoments& coarse = dual_moments_[l];
+      gpusim::KernelCost cost;
+      cost.evals = static_cast<double>(update.dirty_clusters.size()) *
+                   static_cast<double>(coarse.points_per_cluster());
+      cost.blocks = update.dirty_clusters.size();
+      const gpusim::TimeMarker rb = device_.marker();
+      device_.launch(device_.next_stream(), cost, [&] {
+        for (const std::size_t c : update.dirty_clusters) {
+          ClusterMoments::restrict_cluster(moments_, static_cast<int>(c),
+                                           coarse);
+        }
+      });
+      device_.synchronize();
+      pending_modeled_precompute_ +=
+          device_.marker().kernel_seconds - rb.kernel_seconds;
+      const std::size_t cppc = coarse.points_per_cluster();
+      const auto dhat = dual_qhat_[l - 1]->span();
+      for (const std::size_t c : update.dirty_clusters) {
+        const auto src_hat = coarse.qhat(static_cast<int>(c));
+        std::copy(src_hat.begin(), src_hat.end(),
+                  dhat.begin() + static_cast<std::ptrdiff_t>(c * cppc));
+      }
+      device_.host_to_device(update.dirty_clusters.size() * cppc *
+                             sizeof(double));
+    }
+  }
+}
+
+void GpuSimEngine::update_targets(
+    const TargetPlan& plan,
+    std::span<const std::pair<std::size_t, std::size_t>> moved_ranges) {
+  // Serialize against evaluations: the staged target buffers are the same
+  // state evaluate_potential reads.
+  std::lock_guard<std::mutex> lock(eval_mutex_);
+  failpoint(failpoints::sites::kGpuPartialRestage);
+  const OrderedParticles& tgt = *plan.particles;
+  if (tgt_x_ == nullptr) return;  // nothing staged; next evaluate stages all
+  if (tgt_x_->size() != tgt.size()) {
+    // Shape changed under us: drop the staged targets, the next evaluate
+    // runs the full fresh-target staging path.
+    tgt_x_.reset();
+    tgt_y_.reset();
+    tgt_z_.reset();
+    tgt_grids_.reset();
+    tgt_hat_.reset();
+    return;
+  }
+  // Update-device of array sections: only the moved target coordinate
+  // ranges cross PCIe, keeping the resident plan coherent for the next
+  // evaluate with fresh_targets == false.
+  std::size_t moved_doubles = 0;
+  for (const auto& range : moved_ranges) {
+    const auto b = static_cast<std::ptrdiff_t>(range.first);
+    const auto e = static_cast<std::ptrdiff_t>(range.second);
+    std::copy(tgt.x.begin() + b, tgt.x.begin() + e, tgt_x_->span().begin() + b);
+    std::copy(tgt.y.begin() + b, tgt.y.begin() + e, tgt_y_->span().begin() + b);
+    std::copy(tgt.z.begin() + b, tgt.z.begin() + e, tgt_z_->span().begin() + b);
+    moved_doubles += range.second - range.first;
+  }
+  device_.host_to_device(3 * moved_doubles * sizeof(double));
+}
+
+void GpuSimEngine::refresh_let_positions(std::span<const LetPiece> pieces,
+                                         const TreecodeParams& /*params*/) {
+  failpoint(failpoints::sites::kGpuPartialRestage);
+  if (pieces.size() != let_.size()) {
+    throw std::logic_error(
+        "GpuSimEngine::refresh_let_positions: refresh with a different "
+        "piece count");
+  }
+  // The piece set, trees, and fetched ranges are unchanged; the caller
+  // refreshed coordinates, charges, and modified charges in place. Restage
+  // the fetched particle data (coordinates + charges) and the charge
+  // arrays; grids and tree geometry stay resident.
+  for (LetDeviceState& state : let_) {
+    const OrderedParticles& p = *state.piece.plan.particles;
+    std::copy(p.x.begin(), p.x.end(), state.sx->span().begin());
+    std::copy(p.y.begin(), p.y.end(), state.sy->span().begin());
+    std::copy(p.z.begin(), p.z.end(), state.sz->span().begin());
+    std::copy(p.q.begin(), p.q.end(), state.sq->span().begin());
+    device_.host_to_device(4 * state.piece.fetched_particles *
+                           sizeof(double));
+    state.qhat->upload(state.piece.plan.moments->all_qhat());
   }
 }
 

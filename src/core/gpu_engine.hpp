@@ -27,6 +27,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -59,6 +60,17 @@ GpuPrecomputeResult gpu_precompute_moments_device_resident(
     gpusim::Device& device, const ClusterTree& tree,
     const OrderedParticles& sources, const ClusterMoments& moments,
     int degree);
+
+/// Incremental variant: run the two preprocessing kernels for exactly
+/// `clusters` (ascending node indices into `tree`), assuming sources are
+/// already device resident. Returns the modified charges packed in
+/// `clusters` order (clusters.size() * (n+1)^3 doubles) — only the dirty
+/// subset returns to the host (DtH), so the accounted traffic is
+/// proportional to the dirty cluster count, not the tree size.
+GpuPrecomputeResult gpu_precompute_moments_clusters(
+    gpusim::Device& device, const ClusterTree& tree,
+    const OrderedParticles& sources, const ClusterMoments& moments, int degree,
+    std::span<const std::size_t> clusters);
 
 /// Copy a precompute result's flattened modified charges into `moments`
 /// (which must have been built over the same tree/degree). The layout
@@ -138,9 +150,16 @@ class GpuSimEngine final : public Engine {
 
   void prepare_sources(const SourcePlan& plan, const TreecodeParams& params,
                        bool charges_only) override;
+  void update_sources(const SourcePlan& plan, const TreecodeParams& params,
+                      const SourceUpdate& update) override;
+  void update_targets(const TargetPlan& plan,
+                      std::span<const std::pair<std::size_t, std::size_t>>
+                          moved_ranges) override;
   void attach_let_pieces(std::span<const LetPiece> pieces,
                          const TreecodeParams& params,
                          bool charges_only) override;
+  void refresh_let_positions(std::span<const LetPiece> pieces,
+                             const TreecodeParams& params) override;
   std::span<const double> prepared_qhat() const override {
     return moments_.all_qhat();
   }

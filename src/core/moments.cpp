@@ -69,6 +69,33 @@ void ClusterMoments::compute_cluster_direct(
   }
 }
 
+void ClusterMoments::accumulate_particle(int degree,
+                                         std::span<const double> gx,
+                                         std::span<const double> gy,
+                                         std::span<const double> gz,
+                                         std::span<const double> w, double x,
+                                         double y, double z, double q,
+                                         std::span<double> out) {
+  const std::size_t m = static_cast<std::size_t>(degree) + 1;
+  std::vector<double> l1(m), l2(m), l3(m);
+  barycentric_basis(gx, w, x, l1);
+  barycentric_basis(gy, w, y, l2);
+  barycentric_basis(gz, w, z, l3);
+  for (std::size_t k1 = 0; k1 < m; ++k1) {
+    const double a = l1[k1] * q;
+    if (a == 0.0) continue;
+    for (std::size_t k2 = 0; k2 < m; ++k2) {
+      const double ab = a * l2[k2];
+      if (ab == 0.0) continue;
+      double* __restrict row = out.data() + (k1 * m + k2) * m;
+#pragma omp simd
+      for (std::size_t k3 = 0; k3 < m; ++k3) {
+        row[k3] += ab * l3[k3];
+      }
+    }
+  }
+}
+
 void ClusterMoments::compute_cluster_factorized(
     const ClusterTree& tree, const OrderedParticles& sources, int degree,
     int cluster, std::span<const double> gx, std::span<const double> gy,
@@ -150,66 +177,71 @@ void ClusterMoments::compute_cluster_factorized(
   }
 }
 
+void ClusterMoments::restrict_cluster(const ClusterMoments& fine, int cluster,
+                                      ClusterMoments& coarse) {
+  const std::size_t mf = static_cast<std::size_t>(fine.degree()) + 1;
+  const std::size_t mc = static_cast<std::size_t>(coarse.degree()) + 1;
+  const std::vector<double> w = chebyshev2_weights(coarse.degree());
+  const int ci = cluster;
+  // Modified charges transform with the *adjoint* of value interpolation:
+  // q̂'_k = sum_m L'_k(s_m) q̂_m, with the coarse basis L' evaluated at
+  // the fine grid points s_m. Per-dimension matrices stored fine-point-
+  // major: Bd[m * mc + k] = L'_k(s^{fine}_m).
+  std::vector<double> b1(mf * mc), b2(mf * mc), b3(mf * mc);
+  for (std::size_t j = 0; j < mf; ++j) {
+    barycentric_basis(coarse.grid(ci, 0), w, fine.grid(ci, 0)[j],
+                      {b1.data() + j * mc, mc});
+    barycentric_basis(coarse.grid(ci, 1), w, fine.grid(ci, 1)[j],
+                      {b2.data() + j * mc, mc});
+    barycentric_basis(coarse.grid(ci, 2), w, fine.grid(ci, 2)[j],
+                      {b3.data() + j * mc, mc});
+  }
+  // Mode-by-mode application of B1^T (x) B2^T (x) B3^T.
+  const std::span<const double> q = fine.qhat(ci);
+  std::vector<double> tmp1(mc * mf * mf, 0.0);
+  for (std::size_t j1 = 0; j1 < mf; ++j1) {
+    const double* src = q.data() + j1 * mf * mf;
+    for (std::size_t k1 = 0; k1 < mc; ++k1) {
+      const double coeff = b1[j1 * mc + k1];
+      if (coeff == 0.0) continue;
+      double* dst = tmp1.data() + k1 * mf * mf;
+      for (std::size_t i = 0; i < mf * mf; ++i) dst[i] += coeff * src[i];
+    }
+  }
+  std::vector<double> tmp2(mc * mc * mf, 0.0);
+  for (std::size_t k1 = 0; k1 < mc; ++k1) {
+    for (std::size_t j2 = 0; j2 < mf; ++j2) {
+      const double* src = tmp1.data() + (k1 * mf + j2) * mf;
+      for (std::size_t k2 = 0; k2 < mc; ++k2) {
+        const double coeff = b2[j2 * mc + k2];
+        if (coeff == 0.0) continue;
+        double* dst = tmp2.data() + (k1 * mc + k2) * mf;
+        for (std::size_t i = 0; i < mf; ++i) dst[i] += coeff * src[i];
+      }
+    }
+  }
+  const std::span<double> out = coarse.qhat_mutable(ci);
+  for (double& v : out) v = 0.0;
+  for (std::size_t r = 0; r < mc * mc; ++r) {
+    const double* src = tmp2.data() + r * mf;
+    double* dst = out.data() + r * mc;
+    for (std::size_t j = 0; j < mf; ++j) {
+      const double* brow = b3.data() + j * mc;
+      const double s = src[j];
+      if (s == 0.0) continue;
+      for (std::size_t k3 = 0; k3 < mc; ++k3) dst[k3] += brow[k3] * s;
+    }
+  }
+}
+
 ClusterMoments ClusterMoments::restrict_from(const ClusterTree& tree,
                                              const ClusterMoments& fine,
                                              int coarse_degree) {
   ClusterMoments coarse = grids_only(tree, coarse_degree);
-  const std::size_t mf = static_cast<std::size_t>(fine.degree()) + 1;
-  const std::size_t mc = static_cast<std::size_t>(coarse_degree) + 1;
   const std::size_t nc = coarse.num_clusters_;
-  const std::vector<double> w = chebyshev2_weights(coarse_degree);
 #pragma omp parallel for schedule(dynamic)
   for (std::size_t c = 0; c < nc; ++c) {
-    const int ci = static_cast<int>(c);
-    // Modified charges transform with the *adjoint* of value interpolation:
-    // q̂'_k = sum_m L'_k(s_m) q̂_m, with the coarse basis L' evaluated at
-    // the fine grid points s_m. Per-dimension matrices stored fine-point-
-    // major: Bd[m * mc + k] = L'_k(s^{fine}_m).
-    std::vector<double> b1(mf * mc), b2(mf * mc), b3(mf * mc);
-    for (std::size_t j = 0; j < mf; ++j) {
-      barycentric_basis(coarse.grid(ci, 0), w, fine.grid(ci, 0)[j],
-                        {b1.data() + j * mc, mc});
-      barycentric_basis(coarse.grid(ci, 1), w, fine.grid(ci, 1)[j],
-                        {b2.data() + j * mc, mc});
-      barycentric_basis(coarse.grid(ci, 2), w, fine.grid(ci, 2)[j],
-                        {b3.data() + j * mc, mc});
-    }
-    // Mode-by-mode application of B1^T (x) B2^T (x) B3^T.
-    const std::span<const double> q = fine.qhat(ci);
-    std::vector<double> tmp1(mc * mf * mf, 0.0);
-    for (std::size_t j1 = 0; j1 < mf; ++j1) {
-      const double* src = q.data() + j1 * mf * mf;
-      for (std::size_t k1 = 0; k1 < mc; ++k1) {
-        const double coeff = b1[j1 * mc + k1];
-        if (coeff == 0.0) continue;
-        double* dst = tmp1.data() + k1 * mf * mf;
-        for (std::size_t i = 0; i < mf * mf; ++i) dst[i] += coeff * src[i];
-      }
-    }
-    std::vector<double> tmp2(mc * mc * mf, 0.0);
-    for (std::size_t k1 = 0; k1 < mc; ++k1) {
-      for (std::size_t j2 = 0; j2 < mf; ++j2) {
-        const double* src = tmp1.data() + (k1 * mf + j2) * mf;
-        for (std::size_t k2 = 0; k2 < mc; ++k2) {
-          const double coeff = b2[j2 * mc + k2];
-          if (coeff == 0.0) continue;
-          double* dst = tmp2.data() + (k1 * mc + k2) * mf;
-          for (std::size_t i = 0; i < mf; ++i) dst[i] += coeff * src[i];
-        }
-      }
-    }
-    const std::span<double> out = coarse.qhat_mutable(ci);
-    for (double& v : out) v = 0.0;
-    for (std::size_t r = 0; r < mc * mc; ++r) {
-      const double* src = tmp2.data() + r * mf;
-      double* dst = out.data() + r * mc;
-      for (std::size_t j = 0; j < mf; ++j) {
-        const double* brow = b3.data() + j * mc;
-        const double s = src[j];
-        if (s == 0.0) continue;
-        for (std::size_t k3 = 0; k3 < mc; ++k3) dst[k3] += brow[k3] * s;
-      }
-    }
+    restrict_cluster(fine, static_cast<int>(c), coarse);
   }
   return coarse;
 }

@@ -102,6 +102,19 @@ class ClusterMoments {
                                          std::span<const double> gz,
                                          std::span<double> out);
 
+  /// Accumulate one particle's signed contribution q * L_k1(x) L_k2(y)
+  /// L_k3(z) into a cluster's modified charges in place. With a negative
+  /// `q` this subtracts a stale contribution, which is the whole delta
+  /// position update: -old +new per moved particle per containing cluster,
+  /// O(moved) instead of O(cluster size). `w` are the Chebyshev barycentric
+  /// weights for `degree` (hoisted so callers pay for them once per batch).
+  static void accumulate_particle(int degree, std::span<const double> gx,
+                                  std::span<const double> gy,
+                                  std::span<const double> gz,
+                                  std::span<const double> w, double x,
+                                  double y, double z, double q,
+                                  std::span<double> out);
+
   /// Restrict modified charges to a lower interpolation degree on the same
   /// boxes: q̂'_k = sum_m L_m(s'_k) q̂_m per dimension. Exact (not an
   /// approximation): degree-n interpolation reproduces the degree-n' <= n
@@ -112,6 +125,13 @@ class ClusterMoments {
   static ClusterMoments restrict_from(const ClusterTree& tree,
                                       const ClusterMoments& fine,
                                       int coarse_degree);
+
+  /// Per-cluster body of `restrict_from`: restrict one cluster's
+  /// fine-degree modified charges into `coarse` (same boxes,
+  /// coarse.degree() <= fine.degree()). Exposed so incremental position
+  /// updates can refresh the moment ladder for dirty clusters only.
+  static void restrict_cluster(const ClusterMoments& fine, int cluster,
+                               ClusterMoments& coarse);
 
  private:
   int degree_ = 0;

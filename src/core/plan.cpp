@@ -1,7 +1,11 @@
 #include "core/plan.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "util/failpoints.hpp"
 
 namespace bltc {
 
@@ -18,6 +22,11 @@ void TreecodeParams::validate() const {
   if (max_leaf == 0 || max_batch == 0) {
     throw std::invalid_argument(
         "TreecodeParams: max_leaf and max_batch must be positive");
+  }
+  if (!std::isfinite(position_slack) || position_slack < 0.0 ||
+      position_slack > 4.0) {
+    throw std::invalid_argument(
+        "TreecodeParams: position_slack must be finite and in [0, 4]");
   }
   if (traversal == TraversalMode::kDual && per_target_mac) {
     throw std::invalid_argument(
@@ -86,6 +95,24 @@ bool matches_impl(const OrderedParticles& particles,
   return true;
 }
 
+/// Coalesce the set bits of `changed` into [begin, end) slot ranges.
+void append_changed_ranges(
+    const std::vector<unsigned char>& changed,
+    std::vector<std::pair<std::size_t, std::size_t>>& out) {
+  std::size_t i = 0;
+  const std::size_t n = changed.size();
+  while (i < n) {
+    if (changed[i] == 0) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < n && changed[j] != 0) ++j;
+    out.emplace_back(i, j);
+    i = j;
+  }
+}
+
 }  // namespace
 
 SourcePlanState SourcePlanState::build(const Cloud& sources,
@@ -97,6 +124,7 @@ SourcePlanState SourcePlanState::build(const Cloud& sources,
   if (params.periodic()) wrap_particles(state.particles, state.domain);
   TreeParams tree_params;
   tree_params.max_leaf = params.max_leaf;
+  tree_params.slack = params.position_slack;
   state.tree = ClusterTree::build(state.particles, tree_params);
   return state;
 }
@@ -114,6 +142,149 @@ void SourcePlanState::set_charges(std::span<const double> charges) {
   for (std::size_t i = 0; i < particles.size(); ++i) {
     particles.q[i] = charges[particles.original_index[i]];
   }
+}
+
+bool SourcePlanState::update_positions(const Cloud& sources,
+                                       const TreecodeParams& params,
+                                       PositionUpdate& out) {
+  (void)params;
+  out = PositionUpdate{};
+  const std::size_t n = particles.size();
+  if (sources.size() != n) return false;
+  if (n == 0) return true;
+  const bool periodic = boundary == BoundaryConditions::kPeriodic;
+  const auto len = domain.lengths();
+
+  // Map every tree-order slot to its leaf.
+  std::vector<int> leaf_of(n, -1);
+  for (const int li : tree.leaf_indices()) {
+    const ClusterNode& leaf = tree.node(li);
+    for (std::size_t s = leaf.begin; s < leaf.end; ++s) leaf_of[s] = li;
+  }
+
+  std::vector<unsigned char> dirty(tree.num_nodes(), 0);
+  const auto mark_path = [&](int node) {
+    while (node >= 0 && dirty[static_cast<std::size_t>(node)] == 0) {
+      dirty[static_cast<std::size_t>(node)] = 1;
+      node = tree.node(node).parent;
+    }
+  };
+
+  // Phase 1, read-only: wrapped new data, move/escape classification, and
+  // destination leaves. Nothing is mutated until every particle has a
+  // home, so any infeasibility (or a tripped failpoint) leaves this state
+  // exactly as it was and the caller can rebuild from scratch.
+  std::vector<double> nx(n), ny(n), nz(n), nq(n);
+  std::vector<unsigned char> changed(n, 0);
+  struct Escape {
+    std::size_t slot;
+    int to;
+  };
+  std::vector<Escape> escapes;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t o = particles.original_index[i];
+    double cx = sources.x[o];
+    double cy = sources.y[o];
+    double cz = sources.z[o];
+    if (periodic) {
+      cx = wrap_coordinate(cx, domain.lo[0], len[0]);
+      cy = wrap_coordinate(cy, domain.lo[1], len[1]);
+      cz = wrap_coordinate(cz, domain.lo[2], len[2]);
+    }
+    nx[i] = cx;
+    ny[i] = cy;
+    nz[i] = cz;
+    nq[i] = sources.q[o];
+    const bool pos_changed =
+        cx != particles.x[i] || cy != particles.y[i] || cz != particles.z[i];
+    if (!pos_changed && nq[i] == particles.q[i]) continue;
+    changed[i] = 1;
+    ++out.moved;
+    const int home = leaf_of[i];
+    mark_path(home);
+    if (pos_changed && !tree.node(home).box.contains(cx, cy, cz)) {
+      const int dest = tree.locate_leaf(cx, cy, cz);
+      if (dest < 0 || !tree.node(dest).box.contains(cx, cy, cz)) {
+        out = PositionUpdate{};
+        return false;
+      }
+      escapes.push_back({i, dest});
+      mark_path(dest);
+    }
+  }
+  out.rebucketed = escapes.size();
+  if (out.moved == 0) return true;
+
+  failpoint(failpoints::sites::kPlanIncrementalRebucket);
+
+  // Phase 2, mutation (cannot fail): write the changed data in place at
+  // the old slots, then apply the minimal in-range permutation that moves
+  // escaped particles to their destination leaves while preserving the
+  // slot order of everything else. The displaced values are recorded first
+  // (ascending slot order) so engines can patch moments by subtraction
+  // instead of recomputing root-path clusters.
+  out.before.reserve(out.moved);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (changed[i] == 0) continue;
+    out.before.push_back(
+        {i, particles.x[i], particles.y[i], particles.z[i], particles.q[i]});
+    particles.x[i] = nx[i];
+    particles.y[i] = ny[i];
+    particles.z[i] = nz[i];
+    particles.q[i] = nq[i];
+  }
+
+  if (!escapes.empty()) {
+    std::vector<std::size_t> counts(tree.num_nodes(), 0);
+    std::vector<int> leaves = tree.leaf_indices();
+    for (const int li : leaves) {
+      counts[static_cast<std::size_t>(li)] = tree.node(li).count();
+    }
+    std::vector<unsigned char> departing(n, 0);
+    std::vector<std::vector<std::size_t>> arrivals(tree.num_nodes());
+    for (const Escape& e : escapes) {  // ascending slot order by construction
+      departing[e.slot] = 1;
+      --counts[static_cast<std::size_t>(leaf_of[e.slot])];
+      ++counts[static_cast<std::size_t>(e.to)];
+      arrivals[static_cast<std::size_t>(e.to)].push_back(e.slot);
+    }
+    // Tie-break equal begins (possible once a leaf has emptied) by node
+    // index — reassign_leaf_counts lays ranges out in the same total order.
+    std::sort(leaves.begin(), leaves.end(), [&](int a, int b) {
+      if (tree.node(a).begin != tree.node(b).begin) {
+        return tree.node(a).begin < tree.node(b).begin;
+      }
+      return a < b;
+    });
+    std::vector<std::size_t> perm;
+    perm.reserve(n);
+    for (const int li : leaves) {
+      const ClusterNode& leaf = tree.node(li);
+      for (std::size_t s = leaf.begin; s < leaf.end; ++s) {
+        if (departing[s] == 0) perm.push_back(s);
+      }
+      for (const std::size_t s : arrivals[static_cast<std::size_t>(li)]) {
+        perm.push_back(s);
+      }
+    }
+    particles.permute(perm);
+    tree.reassign_leaf_counts(counts);
+    // Slot contents shifted: the recorded old values no longer address the
+    // slots they describe, so the delta-moment shortcut is off the table.
+    out.before.clear();
+    // A slot whose occupant changed under the permutation changed too.
+    std::vector<unsigned char> after(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (perm[i] != i || changed[perm[i]] != 0) after[i] = 1;
+    }
+    changed.swap(after);
+  }
+
+  for (std::size_t c = 0; c < dirty.size(); ++c) {
+    if (dirty[c] != 0) out.dirty_clusters.push_back(c);
+  }
+  append_changed_ranges(changed, out.moved_ranges);
+  return true;
 }
 
 TargetPlanState TargetPlanState::plan(const Cloud& targets,
@@ -134,12 +305,14 @@ TargetPlanState TargetPlanState::plan(const Cloud& targets,
     // degree for the CP/CC accumulation and the downward pass.
     TreeParams tree_params;
     tree_params.max_leaf = params.max_batch;
+    tree_params.slack = params.position_slack;
     state.tree = ClusterTree::build(state.particles, tree_params);
     for (const int d : dual_degree_ladder(params.degree)) {
       state.grids.push_back(ClusterMoments::grids_only(state.tree, d));
     }
   } else if (!params.per_target_mac) {
-    state.batches = build_target_batches(state.particles, params.max_batch);
+    state.batches = build_target_batches(state.particles, params.max_batch,
+                                         params.position_slack);
   }
   return state;
 }
@@ -165,6 +338,76 @@ std::size_t TargetPlanState::append_lists(const ClusterTree& source_tree,
 
 bool TargetPlanState::matches(const Cloud& targets) const {
   return matches_impl(particles, boundary, domain, targets);
+}
+
+bool TargetPlanState::update_positions_self(
+    const Cloud& targets, const TreecodeParams& params, bool source_rebucketed,
+    std::vector<std::pair<std::size_t, std::size_t>>& moved_ranges) {
+  (void)params;
+  const std::size_t n = particles.size();
+  if (targets.size() != n) return false;
+  // Per-target lists encode exact target positions; any movement
+  // invalidates them.
+  if (per_target_mac) return false;
+  // The dual self lists rely on the source and target trees being the same
+  // tree (same particles, same order, same node indexing); a source
+  // re-bucket breaks that identity.
+  if (traversal == TraversalMode::kDual && source_rebucketed) return false;
+  const bool periodic = boundary == BoundaryConditions::kPeriodic;
+  const auto len = domain.lengths();
+
+  // Phase 1, read-only: wrapped new coordinates and fat-box containment
+  // (target charges do not enter the potential, so only coordinates
+  // matter here).
+  std::vector<double> nx(n), ny(n), nz(n);
+  std::vector<unsigned char> changed(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t o = particles.original_index[i];
+    double cx = targets.x[o];
+    double cy = targets.y[o];
+    double cz = targets.z[o];
+    if (periodic) {
+      cx = wrap_coordinate(cx, domain.lo[0], len[0]);
+      cy = wrap_coordinate(cy, domain.lo[1], len[1]);
+      cz = wrap_coordinate(cz, domain.lo[2], len[2]);
+    }
+    nx[i] = cx;
+    ny[i] = cy;
+    nz[i] = cz;
+    if (cx != particles.x[i] || cy != particles.y[i] ||
+        cz != particles.z[i]) {
+      changed[i] = 1;
+    }
+  }
+  const auto contained = [&](const Box3& box, std::size_t begin,
+                             std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      if (changed[s] != 0 && !box.contains(nx[s], ny[s], nz[s])) return false;
+    }
+    return true;
+  };
+  if (traversal == TraversalMode::kDual) {
+    for (const int li : tree.leaf_indices()) {
+      const ClusterNode& leaf = tree.node(li);
+      if (!contained(leaf.box, leaf.begin, leaf.end)) return false;
+    }
+  } else {
+    for (const TargetBatch& b : batches) {
+      if (!contained(b.box, b.begin, b.end)) return false;
+    }
+  }
+
+  // Phase 2, mutation: in-place coordinate rewrite; the batches, trees,
+  // grids, and lists all stay valid because every target remains inside
+  // the fat geometry the lists were built over.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (changed[i] == 0) continue;
+    particles.x[i] = nx[i];
+    particles.y[i] = ny[i];
+    particles.z[i] = nz[i];
+  }
+  append_changed_ranges(changed, moved_ranges);
+  return true;
 }
 
 }  // namespace bltc

@@ -60,6 +60,17 @@ struct TreecodeParams {
   /// Interaction-list construction scheme (see TraversalMode).
   TraversalMode traversal = TraversalMode::kBatched;
 
+  /// Incremental-dynamics slack: fatten every cluster and batch bounding
+  /// box by this fraction of its tight longest extent (half per side), so
+  /// `update_positions` can keep the tree topology, interaction lists, and
+  /// interpolation grids fixed while particles drift within the fat leaves
+  /// — amortized-O(moved) instead of a full replan. 0 (the default)
+  /// disables fattening and forces update_positions down the exact-parity
+  /// full-rebuild path (bit-identical to set_sources). Typical MD values:
+  /// 0.05–0.3. Larger slack means fewer rebuilds but a slightly more
+  /// conservative MAC (more direct work) and marginally larger grids.
+  double position_slack = 0.0;
+
   /// Boundary conditions (core/periodic.hpp). Under kPeriodic the plan
   /// layer wraps all positions into `domain`, the traversals run the MAC
   /// against lattice-shifted copies of the source tree, and the finite
@@ -121,6 +132,40 @@ struct TargetPlan {
   const ShiftTable* shifts = nullptr;
 };
 
+/// One changed tree-order slot's pre-update state (coordinates + charge).
+struct MovedSlot {
+  std::size_t slot = 0;
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+  double q = 0.0;
+};
+
+/// What one incremental `SourcePlanState::update_positions` changed —
+/// everything downstream consumers need to do proportional work: dirty
+/// clusters for the moment rebuild, moved tree-order slot ranges for
+/// partial device restage.
+struct PositionUpdate {
+  std::size_t moved = 0;        ///< particles whose stored data changed
+  std::size_t rebucketed = 0;   ///< moved particles that changed leaves
+  /// Node indices (ascending) whose particle set or particle data changed:
+  /// the leaf-to-root paths of every moved particle's old and new leaf.
+  /// Moments must be recomputed for exactly these clusters (boxes and
+  /// grids are unchanged by construction).
+  std::vector<std::size_t> dirty_clusters;
+  /// Coalesced tree-order slot ranges [begin, end) whose stored particle
+  /// data (coordinates, charge, or slot contents after re-bucketing)
+  /// changed. Device engines re-stage exactly these ranges.
+  std::vector<std::pair<std::size_t, std::size_t>> moved_ranges;
+  /// The previous stored values of every changed slot, recorded before the
+  /// in-place overwrite and sorted by slot. This is what makes a truly
+  /// O(moved) moment patch possible: subtract the old Lagrange contribution,
+  /// add the new one, instead of recomputing whole root-path clusters.
+  /// Empty whenever `rebucketed > 0` — a re-bucket permutes slot contents,
+  /// so engines must recompute the dirty clusters outright.
+  std::vector<MovedSlot> before;
+};
+
 /// Owning storage behind `SourcePlan`: the source half of the paper's setup
 /// phase (tree-order permutation + cluster tree).
 struct SourcePlanState {
@@ -146,6 +191,20 @@ struct SourcePlanState {
   /// may differ). Used to detect targets == sources for the dual
   /// traversal's symmetric self mode.
   bool matches(const Cloud& cloud) const;
+
+  /// Incremental position update over a fixed tree topology (requires the
+  /// tree to have been built with slack > 0 to be useful). Particles that
+  /// stayed inside their leaf's fat box move in place; particles that
+  /// escaped re-bucket into the leaf whose cell now contains them (a
+  /// minimal in-range permutation that preserves the slot order of
+  /// unmoved particles). Returns false — with this state completely
+  /// untouched — when any particle cannot be re-bucketed (it left the
+  /// root's fat box, its destination leaf's fat box does not contain it,
+  /// or the descent crosses a degenerate split); callers then fall back
+  /// to a full rebuild. On success, `out` describes the delta. Trips
+  /// failpoint `plan.incremental_rebucket` before mutating anything.
+  bool update_positions(const Cloud& sources, const TreecodeParams& params,
+                        PositionUpdate& out);
 
   std::size_t size() const { return particles.size(); }
   SourcePlan view() const { return {&particles, &tree, nullptr}; }
@@ -192,6 +251,22 @@ struct TargetPlanState {
   /// (the plan-cache key: the stored permutation maps tree order back to
   /// caller order for comparison).
   bool matches(const Cloud& targets) const;
+
+  /// Incremental position update for the targets == sources case: rewrite
+  /// the stored target coordinates in place, keeping batches, trees,
+  /// grids, and every interaction list. Valid only while each target stays
+  /// inside its batch's fat box (batched traversal) or its target-tree
+  /// leaf's fat box (dual traversal); under the dual traversal the plan
+  /// additionally dies whenever the source side re-bucketed (`self` lists
+  /// rely on identical source/target trees). Returns false — state
+  /// untouched — when the plan cannot be preserved; the caller then
+  /// invalidates the target plan. On success appends the changed
+  /// tree-order slot ranges (target ordering) to `moved_ranges`.
+  bool update_positions_self(const Cloud& targets,
+                             const TreecodeParams& params,
+                             bool source_rebucketed,
+                             std::vector<std::pair<std::size_t, std::size_t>>&
+                                 moved_ranges);
 
   TargetPlan view() const {
     TargetPlan plan;

@@ -7,6 +7,7 @@
 #include "core/periodic.hpp"
 #include "core/plan.hpp"
 #include "serve/exec_context.hpp"
+#include "util/failpoints.hpp"
 #include "util/timer.hpp"
 #include "util/validate.hpp"
 
@@ -46,6 +47,13 @@ void Solver::set_sources(const Cloud& sources) {
   // Interaction lists reference the source tree; any cached target plan
   // must be re-listed against the new tree.
   targets_valid_ = false;
+  targets_follow_sources_ = false;
+  // A full re-plan supersedes whatever incremental bookkeeping was pending.
+  pending_incremental_ = false;
+  pending_moved_ = 0;
+  pending_rebucketed_ = 0;
+  pending_dirty_clusters_ = 0;
+  pending_lists_reused_ = 0;
   if (sources.size() == 0) {
     source_ = SourcePlanState{};
     return;
@@ -74,7 +82,91 @@ void Solver::update_charges(std::span<const double> charges) {
   pending_precompute_seconds_ += timer.seconds();
 }
 
-void Solver::update_positions(const Cloud& sources) { set_sources(sources); }
+void Solver::update_positions(const Cloud& sources) {
+  // Incremental path: same particle count, slack-fattened boxes, and an
+  // existing plan to patch. Anything else — including position_slack == 0,
+  // which is the exact-parity contract — is a full re-plan.
+  const bool eligible = have_sources_ && source_.size() > 0 &&
+                        sources.size() == source_.size() &&
+                        config_.params.position_slack > 0.0;
+  if (!eligible) {
+    set_sources(sources);
+    return;
+  }
+  require_finite(sources, "Solver::update_positions");
+  if (config_.params.periodic()) {
+    require_periodic_neutrality(sources.q, config_.kernel);
+  }
+  WallTimer timer;
+  PositionUpdate update;
+  bool patched = false;
+  try {
+    patched = source_.update_positions(sources, config_.params, update);
+  } catch (const TransientError&) {
+    // Failpoint fired before any mutation; the plan is intact but the new
+    // positions were not applied — fall through to the full rebuild.
+    patched = false;
+  }
+  if (!patched) {
+    set_sources(sources);
+    return;
+  }
+  pending_setup_seconds_ += timer.seconds();
+
+  timer.reset();
+  SourceUpdate delta;
+  delta.dirty_clusters = update.dirty_clusters;
+  delta.moved_ranges = update.moved_ranges;
+  delta.before = update.before;
+  try {
+    engine_->update_sources(source_.view(), config_.params, delta);
+  } catch (const TransientError&) {
+    // The host plan already holds the new positions; a full re-plan from the
+    // caller's cloud restores engine coherence from scratch.
+    set_sources(sources);
+    return;
+  }
+  pending_precompute_seconds_ += timer.seconds();
+
+  pending_incremental_ = true;
+  pending_moved_ += update.moved;
+  pending_rebucketed_ += update.rebucketed;
+  pending_dirty_clusters_ += update.dirty_clusters.size();
+  // The source-side interaction-list set survives verbatim: fat-box geometry
+  // is unchanged, so every MAC admission still holds and node ranges are
+  // read live from the (re-bucketed) tree.
+  ++pending_lists_reused_;
+
+  if (!targets_valid_) return;
+  if (!targets_follow_sources_) {
+    // Fixed targets: they did not move, and their cached lists reference
+    // source nodes whose fat geometry is unchanged — the plan stays valid.
+    ++pending_lists_reused_;
+    return;
+  }
+  // Self-targets (targets == sources): carry the cached target plan along by
+  // rewriting its coordinates in place; a re-bucketed source kills the dual
+  // self mode (it requires bitwise tree identity), in which case the next
+  // evaluate re-plans the targets.
+  timer.reset();
+  std::vector<std::pair<std::size_t, std::size_t>> target_moved;
+  const bool kept = targets_.update_positions_self(
+      sources, config_.params, update.rebucketed > 0, target_moved);
+  if (!kept) {
+    targets_valid_ = false;
+    return;
+  }
+  try {
+    engine_->update_targets(targets_.view(), target_moved);
+  } catch (const TransientError&) {
+    // Host-side target plan is consistent but the staged device targets are
+    // in an unknown state; drop the cache so the next evaluate restages.
+    targets_valid_ = false;
+    return;
+  }
+  pending_setup_seconds_ += timer.seconds();
+  ++pending_lists_reused_;
+}
 
 void Solver::plan_targets(const Cloud& targets) {
   require_finite(targets, "Solver::plan_targets");
@@ -86,12 +178,17 @@ void Solver::plan_targets(const Cloud& targets) {
   // Periodic boundaries disable the self mode: a lattice-shifted image
   // breaks the target/source exchange symmetry the mutual walk exploits, so
   // every image (including the home cell) uses the asymmetric traversal.
+  const bool follows = source_.matches(targets);
   const bool self = config_.params.traversal == TraversalMode::kDual &&
                     !config_.params.periodic() &&
                     config_.params.max_leaf == config_.params.max_batch &&
-                    source_.matches(targets);
+                    follows;
   targets_.append_lists(source_.tree, config_.params, self);
   targets_valid_ = true;
+  // Remember whether this plan targets the sources themselves: an
+  // incremental update_positions then moves the cached target plan in
+  // lock-step instead of invalidating it.
+  targets_follow_sources_ = follows;
 }
 
 bool Solver::begin_evaluation(const Cloud& targets, RunStats& stats,
@@ -114,8 +211,18 @@ bool Solver::begin_evaluation(const Cloud& targets, RunStats& stats,
   stats = RunStats{};
   stats.setup_seconds = pending_setup_seconds_ + timer.seconds();
   stats.precompute_seconds = pending_precompute_seconds_;
+  stats.incremental_update = pending_incremental_;
+  stats.moved_particles = pending_moved_;
+  stats.rebucketed_particles = pending_rebucketed_;
+  stats.dirty_clusters = pending_dirty_clusters_;
+  stats.lists_reused = pending_lists_reused_;
   pending_setup_seconds_ = 0.0;
   pending_precompute_seconds_ = 0.0;
+  pending_incremental_ = false;
+  pending_moved_ = 0;
+  pending_rebucketed_ = 0;
+  pending_dirty_clusters_ = 0;
+  pending_lists_reused_ = 0;
   return true;
 }
 

@@ -11,7 +11,8 @@
 //   auto phi  = solver.evaluate(targets);   // plans targets on first use
 //   auto phi2 = solver.evaluate(targets);   // re-executes the cached plan
 //   solver.update_charges(new_q);           // moments only, tree kept
-//   solver.update_positions(moved_cloud);   // full re-plan
+//   solver.update_positions(moved_cloud);   // amortized-O(moved) with
+//                                           // position_slack > 0, else full
 //
 // Behind the handle a polymorphic Engine (core/engine.hpp) owns all
 // backend-specific state: the simulated-GPU engine keeps sources and
@@ -125,6 +126,21 @@ struct RunStats {
   std::size_t cp_launches = 0;  ///< dual traversal only
   std::size_t cc_launches = 0;  ///< dual traversal only
 
+  // Incremental-dynamics accounting: filled when a preceding
+  // update_positions took the amortized-O(moved) path (position_slack > 0,
+  // no particle escaped the fat geometry's reach), attributed to the first
+  // evaluation after the update like the phase seconds above.
+  bool incremental_update = false;  ///< the last update was incremental
+  std::size_t moved_particles = 0;  ///< particles whose stored data changed
+  std::size_t rebucketed_particles = 0;  ///< moved particles changing leaves
+  std::size_t dirty_clusters = 0;  ///< clusters whose moments were rebuilt
+  /// Cached interaction-list sets reused verbatim by the update instead of
+  /// re-traversing (the source-side set, plus the target-side set when the
+  /// cached target plan was preserved). The dual traversal's list build is
+  /// its dominant setup cost, so this counter is what makes the
+  /// amortization visible in BENCH_dynamics.json.
+  std::size_t lists_reused = 0;
+
   // Device accounting (GpuSim backend only); deltas for this evaluation.
   std::size_t gpu_launches = 0;
   std::size_t bytes_to_device = 0;
@@ -178,7 +194,16 @@ class Solver {
   /// precompute phase). `charges` is in caller order, one per source.
   void update_charges(std::span<const double> charges);
 
-  /// Incremental path: positions changed — a full source re-plan.
+  /// Incremental path: positions changed. With `position_slack > 0` and
+  /// every particle still reachable within the slack-fattened geometry,
+  /// this is amortized O(moved): the tree topology, interaction lists, and
+  /// interpolation grids are kept, only escaped particles re-bucket, and
+  /// only dirty clusters' moments rebuild (device engines re-stage only
+  /// the moved ranges and dirty charges). A cached self-target plan (the
+  /// MD case: targets == sources) is preserved and updated in place. With
+  /// `position_slack == 0` (default), or whenever the incremental update
+  /// is infeasible, this falls back to a full re-plan bit-identical to
+  /// set_sources. RunStats of the next evaluation report which path ran.
   void update_positions(const Cloud& sources);
 
   /// Compute potentials at `targets` (Eq. 1), in the caller's target order.
@@ -217,10 +242,20 @@ class Solver {
   // targets themselves (TargetPlanState::matches).
   bool targets_valid_ = false;
   TargetPlanState targets_;
+  /// Whether the cached target plan was planned over the source
+  /// coordinates themselves (the MD self-target case) — the only case an
+  /// incremental update_positions can carry the target plan along.
+  bool targets_follow_sources_ = false;
 
   // Phase seconds paid in lifecycle calls, attributed to the next evaluate.
   double pending_setup_seconds_ = 0.0;
   double pending_precompute_seconds_ = 0.0;
+  // Incremental-update accounting, attributed to the next evaluate.
+  bool pending_incremental_ = false;
+  std::size_t pending_moved_ = 0;
+  std::size_t pending_rebucketed_ = 0;
+  std::size_t pending_dirty_clusters_ = 0;
+  std::size_t pending_lists_reused_ = 0;
 };
 
 /// One-shot convenience wrapper (deprecated for hot paths): builds a

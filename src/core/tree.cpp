@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <limits>
 
 namespace bltc {
 namespace {
@@ -106,6 +107,13 @@ ClusterTree ClusterTree::build(OrderedParticles& particles,
       bucket_count[1] = count - half;
     }
 
+    {
+      auto& node = tree.nodes_[static_cast<std::size_t>(ni)];
+      node.split_mid = mid;
+      node.split_dims = degenerate ? 0u : mask;
+      node.degenerate_split = degenerate;
+    }
+
     // Counting sort of the particle range into octant order.
     std::array<std::size_t, 8> offset{};
     std::size_t running = 0;
@@ -158,12 +166,88 @@ ClusterTree ClusterTree::build(OrderedParticles& particles,
       parent_node.children[static_cast<std::size_t>(parent_node.num_children)] =
           child_index;
       ++parent_node.num_children;
+      parent_node.child_by_code[static_cast<std::size_t>(c)] = child_index;
       tree.max_level_ = std::max(tree.max_level_, level + 1);
       stack.push_back(child_index);
     }
   }
 
+  // Record the tight boxes and, with slack, fatten every box by half the
+  // slack fraction of its tight longest extent per side. Padding is
+  // monotone down the tree (a parent's tight box contains its children's,
+  // so its pad is at least theirs), which preserves nesting: a particle
+  // inside its leaf's fat box is inside every ancestor's fat box too. The
+  // MAC geometry (center, radius) follows the fat box so interaction lists
+  // built over it stay admissible for any particle positions within the
+  // fat leaves.
+  for (ClusterNode& node : tree.nodes_) {
+    node.tight_box = node.box;
+    if (params.slack <= 0.0 || !node.box.valid()) continue;
+    const double pad = 0.5 * params.slack * node.tight_box.longest();
+    if (pad <= 0.0) continue;
+    for (std::size_t d = 0; d < 3; ++d) {
+      node.box.lo[d] -= pad;
+      node.box.hi[d] += pad;
+    }
+    node.center = node.box.center();
+    node.radius = node.box.radius();
+  }
+
   return tree;
+}
+
+int ClusterTree::locate_leaf(double x, double y, double z) const {
+  if (nodes_.empty()) return -1;
+  int ni = 0;
+  while (!nodes_[static_cast<std::size_t>(ni)].is_leaf()) {
+    const ClusterNode& n = nodes_[static_cast<std::size_t>(ni)];
+    if (n.degenerate_split) return -1;
+    int code = 0;
+    if ((n.split_dims & 1u) && x > n.split_mid[0]) code |= 1;
+    if ((n.split_dims & 2u) && y > n.split_mid[1]) code |= 2;
+    if ((n.split_dims & 4u) && z > n.split_mid[2]) code |= 4;
+    ni = n.child_by_code[static_cast<std::size_t>(code)];
+    if (ni < 0) return -1;
+  }
+  return ni;
+}
+
+void ClusterTree::reassign_leaf_counts(const std::vector<std::size_t>& counts) {
+  assert(counts.size() == nodes_.size());
+  // Leaves in current range order (leaf_indices() is node-index order,
+  // which need not be range order).
+  std::vector<int> leaves = leaf_indices();
+  // Total order (begin, node index): equal begins occur once a leaf has
+  // emptied, and callers laying out permutations must agree on the order.
+  std::sort(leaves.begin(), leaves.end(), [&](int a, int b) {
+    const std::size_t ba = nodes_[static_cast<std::size_t>(a)].begin;
+    const std::size_t bb = nodes_[static_cast<std::size_t>(b)].begin;
+    if (ba != bb) return ba < bb;
+    return a < b;
+  });
+  std::size_t cursor = 0;
+  for (const int li : leaves) {
+    ClusterNode& leaf = nodes_[static_cast<std::size_t>(li)];
+    leaf.begin = cursor;
+    cursor += counts[static_cast<std::size_t>(li)];
+    leaf.end = cursor;
+  }
+  // Children are always pushed after their parent, so a reverse index walk
+  // sees every child before its parent.
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    ClusterNode& node = nodes_[i];
+    if (node.is_leaf()) continue;
+    std::size_t begin = std::numeric_limits<std::size_t>::max();
+    std::size_t end = 0;
+    for (int c = 0; c < node.num_children; ++c) {
+      const ClusterNode& child =
+          nodes_[static_cast<std::size_t>(node.children[static_cast<std::size_t>(c)])];
+      begin = std::min(begin, child.begin);
+      end = std::max(end, child.end);
+    }
+    node.begin = begin;
+    node.end = end;
+  }
 }
 
 ClusterTree ClusterTree::from_nodes(std::vector<ClusterNode> nodes) {

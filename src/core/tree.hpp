@@ -23,12 +23,19 @@ struct TreeParams {
   /// Maximum tolerated aspect ratio when deciding which dimensions to split;
   /// the paper uses sqrt(2).
   double max_aspect = 1.4142135623730951;
+  /// Fattened-AABB slack (collision-detection-tree style): every node's box
+  /// is padded by 0.5 * slack * longest(tight box) per dimension, and the
+  /// MAC geometry (center, radius) is taken from the fat box. Particles may
+  /// then move anywhere inside their leaf's fat box without invalidating
+  /// the interaction lists or the interpolation grids — the basis of the
+  /// incremental update_positions path. 0 keeps exact minimal boxes.
+  double slack = 0.0;
 };
 
 /// One cluster. Children are indices into ClusterTree::nodes();
 /// `begin..end` is the cluster's contiguous particle range in tree order.
 struct ClusterNode {
-  Box3 box;                        ///< minimal bounding box of the particles
+  Box3 box;                        ///< bounding box (fattened when slack > 0)
   std::array<double, 3> center{};  ///< box center (interpolation grid center)
   double radius = 0.0;             ///< half-diagonal, the MAC's r_C
   std::size_t begin = 0;
@@ -37,6 +44,21 @@ struct ClusterNode {
   int level = 0;
   std::array<int, 8> children{-1, -1, -1, -1, -1, -1, -1, -1};
   int num_children = 0;
+  /// Minimal bounding box of the particles at build time (equals `box` when
+  /// slack == 0). Fattening pads this; the split planes below refer to it.
+  Box3 tight_box;
+  /// Geometry of the midpoint split that produced this node's children
+  /// (meaningful for internal nodes only): the tight-box center used as the
+  /// split plane and the 3-bit mask of dimensions actually split.
+  std::array<double, 3> split_mid{};
+  unsigned split_dims = 0;
+  /// Octant code -> child node index (-1 where no child exists). Lets
+  /// `locate_leaf` descend without re-deriving the build-time bucketing.
+  std::array<int, 8> child_by_code{-1, -1, -1, -1, -1, -1, -1, -1};
+  /// True when this node was bisected by index (coincident particles or a
+  /// zero-extent box): the children are not geometric octants, so point
+  /// location cannot descend through it.
+  bool degenerate_split = false;
 
   bool is_leaf() const { return num_children == 0; }
   std::size_t count() const { return end - begin; }
@@ -63,6 +85,21 @@ class ClusterTree {
 
   /// Indices of all leaf nodes, in tree order.
   std::vector<int> leaf_indices() const;
+
+  /// Descend the build-time split planes to the leaf whose cell contains
+  /// (x, y, z). Returns -1 when the descent crosses a degenerate
+  /// (index-bisected) split or reaches an octant that had no particles at
+  /// build time — callers must then fall back to a full rebuild. The
+  /// returned leaf's cell contains the point, but its (fat) bounding box
+  /// need not; callers check containment separately.
+  int locate_leaf(double x, double y, double z) const;
+
+  /// Incremental re-bucket support: reassign every leaf's particle count
+  /// (`counts[node index]`; non-leaf entries ignored) while keeping the
+  /// topology and all box geometry. Leaf ranges are laid out contiguously
+  /// in their existing range order and internal ranges recomputed
+  /// bottom-up. The total count must equal the current particle count.
+  void reassign_leaf_counts(const std::vector<std::size_t>& counts);
 
   /// Reassemble a tree from an explicit node array (used by the distributed
   /// layer to materialize a remote rank's tree received over RMA). Leaf

@@ -1,6 +1,7 @@
 #include "dist/dist_solver.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <span>
 #include <stdexcept>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "partition/rcb.hpp"
 #include "simmpi/comm.hpp"
 #include "util/box.hpp"
+#include "util/failpoints.hpp"
 #include "util/timer.hpp"
 
 namespace bltc::dist {
@@ -409,7 +411,129 @@ void DistSolver::update_charges(std::span<const double> charges) {
   });
 }
 
-void DistSolver::update_positions(const Cloud& cloud) { set_sources(cloud); }
+void DistSolver::update_positions(const Cloud& cloud) {
+  const TreecodeParams& tc = config_.params.treecode;
+  const bool eligible = have_sources_ && num_sources_ > 0 &&
+                        cloud.size() == num_sources_ &&
+                        tc.position_slack > 0.0 && !ranks_.empty() &&
+                        ranks_.front()->tree_win != nullptr;
+  if (!eligible) {
+    set_sources(cloud);
+    return;
+  }
+
+  // Any rank that cannot patch in place raises this flag; the checks sit
+  // immediately after barriers so every rank takes the same branch and the
+  // collective barrier counts stay uniform across ranks.
+  std::atomic<bool> fallback{false};
+  team_->run([&](simmpi::Comm& comm) {
+    RankState& s = *ranks_[static_cast<std::size_t>(comm.rank())];
+
+    // ---- Phase 1: patch the local source plan in place. A re-bucket is
+    // fatal here even though the serial solver tolerates it: the permutation
+    // reallocates the tree-ordered charge storage the charge window exposes
+    // and shifts node ranges that remote direct fetches reference by offset.
+    WallTimer timer;
+    PositionUpdate update;
+    bool ok = false;
+    const Cloud local = gather_cloud(cloud, s.owned);
+    try {
+      ok = s.source.update_positions(local, tc, update) &&
+           update.rebucketed == 0;
+    } catch (const TransientError&) {
+      ok = false;
+    }
+    if (!ok) fallback.store(true, std::memory_order_relaxed);
+    s.pending_setup_seconds += timer.seconds();
+    comm.barrier();
+    if (fallback.load(std::memory_order_relaxed)) return;
+
+    // ---- Phase 2: dirty-cluster moment rebuild (refreshes the qhat window
+    // exposure in place) and the coordinate-window mirror of the moved
+    // slots. The charge window already sees the in-place charge writes.
+    timer.reset();
+    try {
+      SourceUpdate delta;
+      delta.dirty_clusters = update.dirty_clusters;
+      delta.moved_ranges = update.moved_ranges;
+      delta.before = update.before;
+      s.engine->update_sources(s.source.view(), tc, delta);
+      // The local targets are the same physical particles: patch them too,
+      // or a moved source sits epsilon away from its stale target twin and
+      // the singular self-interaction guard (exact r == 0) stops firing.
+      std::vector<std::pair<std::size_t, std::size_t>> target_moved;
+      if (s.targets.update_positions_self(local, tc,
+                                          /*source_rebucketed=*/false,
+                                          target_moved)) {
+        s.engine->update_targets(s.targets.view(), target_moved);
+      } else {
+        fallback.store(true, std::memory_order_relaxed);
+      }
+    } catch (const TransientError&) {
+      fallback.store(true, std::memory_order_relaxed);
+    }
+    const OrderedParticles& src = s.source.particles;
+    for (const auto& range : update.moved_ranges) {
+      for (std::size_t i = range.first; i < range.second; ++i) {
+        s.coords[3 * i + 0] = src.x[i];
+        s.coords[3 * i + 1] = src.y[i];
+        s.coords[3 * i + 2] = src.z[i];
+      }
+    }
+    s.pending_precompute_seconds += timer.seconds();
+    // Every rank's exposures must be coherent before anyone re-fetches.
+    comm.barrier();
+    if (fallback.load(std::memory_order_relaxed)) return;
+
+    // ---- Phase 3: LET refresh through the existing windows — modified
+    // charges of MAC-accepted clusters plus coordinates and charges of the
+    // direct-fetched ranges. Trees, lists, and grids are untouched (remote
+    // fat boxes still contain their particles, so every MAC admission
+    // holds), and with zero re-buckets everywhere the fetched ranges still
+    // address the same remote slots.
+    timer.reset();
+    try {
+      s.let_charge_bytes = 0;
+      std::vector<double> buf;
+      for (RankState::Remote& rem : s.remotes) {
+        for (const int ci : rem.approx_nodes) {
+          s.qhat_win->get(rem.rank,
+                          static_cast<std::size_t>(ci) *
+                              rem.moments.points_per_cluster(),
+                          rem.moments.qhat_mutable(ci));
+          s.let_charge_bytes +=
+              rem.moments.points_per_cluster() * sizeof(double);
+        }
+        for (const auto& range : rem.ranges) {
+          const std::size_t count = range.second - range.first;
+          buf.resize(3 * count);
+          s.coord_win->get(rem.rank, 3 * range.first, buf);
+          for (std::size_t i = 0; i < count; ++i) {
+            rem.particles.x[range.first + i] = buf[3 * i + 0];
+            rem.particles.y[range.first + i] = buf[3 * i + 1];
+            rem.particles.z[range.first + i] = buf[3 * i + 2];
+          }
+          s.charge_win->get(
+              rem.rank, range.first,
+              std::span<double>(rem.particles.q.data() + range.first,
+                                count));
+          s.let_charge_bytes += 4 * count * sizeof(double);
+        }
+      }
+      s.engine->refresh_let_positions(s.pieces, tc);
+    } catch (const TransientError&) {
+      fallback.store(true, std::memory_order_relaxed);
+    }
+    s.pending_setup_seconds += timer.seconds();
+    // Fetches must complete before any rank mutates its exposures again.
+    comm.barrier();
+  });
+  if (fallback.load(std::memory_order_relaxed)) {
+    // Lock-step fallback: the plan (or an engine) on some rank could not be
+    // patched; rebuild everything from the caller's cloud.
+    set_sources(cloud);
+  }
+}
 
 void DistSolver::finish_rank_stats(RankState& s, RankStats& st) const {
   st.setup_seconds += s.pending_setup_seconds;

@@ -13,7 +13,8 @@
 //   auto phi  = solver.evaluate();      // per-rank engines run cached plans
 //   auto phi2 = solver.evaluate();      // no RMA, no tree work: kernels only
 //   solver.update_charges(new_q);       // moments + LET *charge* refresh
-//   solver.update_positions(moved);     // full re-plan (RCB re-partition)
+//   solver.update_positions(moved);     // LET window refresh when
+//                                       // position_slack > 0, else re-plan
 //
 // Each rank owns one Engine from the core registry, so the distributed
 // path inherits the blocked CPU kernels and the simulated-GPU persistent-
@@ -152,8 +153,18 @@ class DistSolver {
   /// `charges` is in caller order, one per source.
   void update_charges(std::span<const double> charges);
 
-  /// Incremental path: positions changed — a full re-plan including the
-  /// RCB re-partition.
+  /// Positions changed. With `position_slack > 0` and a live plan, each rank
+  /// patches its local source plan in place (dirty-cluster moment rebuilds)
+  /// and refreshes its LET — modified charges of MAC-accepted clusters plus
+  /// coordinates and charges of direct-fetched ranges — through the existing
+  /// RMA windows, with no re-partition, no tree builds, and no list
+  /// rebuilds. The incremental path additionally requires that no particle
+  /// escaped its slack-fattened leaf on any rank: a re-bucket permutes
+  /// (reallocates) the tree-ordered particle storage the RMA windows expose
+  /// and shifts the node ranges remote direct fetches reference. If any rank
+  /// cannot patch (escape, failpoint, size change, or
+  /// `position_slack == 0`), every rank falls back in lock-step to the full
+  /// re-plan including the RCB re-partition.
   void update_positions(const Cloud& cloud);
 
   /// Compute potentials at every source particle, in the caller's order.

@@ -39,7 +39,44 @@ bool params_equal(const TreecodeParams& a, const TreecodeParams& b) {
          a.moment_algorithm == b.moment_algorithm &&
          a.per_target_mac == b.per_target_mac && a.traversal == b.traversal &&
          a.boundary == b.boundary && a.image_shells == b.image_shells &&
+         a.position_slack == b.position_slack &&
          a.domain.lo == b.domain.lo && a.domain.hi == b.domain.hi;
+}
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mixer.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+/// Hash of one particle (slot `i`), wrap-aware. The slot index seeds the
+/// chain so permuted clouds hash differently; the coordinates and charge
+/// contribute their exact (wrapped) bit patterns.
+std::uint64_t particle_hash(std::size_t i, const Cloud& cloud,
+                            const TreecodeParams& params) {
+  double x = cloud.x[i];
+  double y = cloud.y[i];
+  double z = cloud.z[i];
+  if (params.periodic()) {
+    const auto len = params.domain.lengths();
+    x = wrap_coordinate(x, params.domain.lo[0], len[0]);
+    y = wrap_coordinate(y, params.domain.lo[1], len[1]);
+    z = wrap_coordinate(z, params.domain.lo[2], len[2]);
+  }
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(i));
+  h = mix64(h ^ double_bits(x));
+  h = mix64(h ^ double_bits(y));
+  h = mix64(h ^ double_bits(z));
+  h = mix64(h ^ double_bits(cloud.q[i]));
+  return h;
 }
 
 std::size_t particles_bytes(const OrderedParticles& p) {
@@ -100,26 +137,34 @@ std::shared_ptr<const TargetPlanState> build_target_plan(
 
 std::uint64_t cloud_fingerprint(const Cloud& cloud,
                                 const TreecodeParams& params) {
-  Fnv1a fnv;
-  fnv.add_u64(cloud.size());
-  const bool wrap = params.periodic();
-  const auto len = params.domain.lengths();
+  // XOR of per-particle hashes: commutative, so replacing one particle's
+  // contribution is two XORs — the basis of cloud_fingerprint_update.
+  std::uint64_t fp = mix64(cloud.size() ^ 0xb1c7a9e35d02f846ULL);
   for (std::size_t i = 0; i < cloud.size(); ++i) {
-    if (wrap) {
-      fnv.add_double(
-          wrap_coordinate(cloud.x[i], params.domain.lo[0], len[0]));
-      fnv.add_double(
-          wrap_coordinate(cloud.y[i], params.domain.lo[1], len[1]));
-      fnv.add_double(
-          wrap_coordinate(cloud.z[i], params.domain.lo[2], len[2]));
-    } else {
-      fnv.add_double(cloud.x[i]);
-      fnv.add_double(cloud.y[i]);
-      fnv.add_double(cloud.z[i]);
-    }
+    fp ^= particle_hash(i, cloud, params);
   }
-  for (const double q : cloud.q) fnv.add_double(q);
-  return fnv.h;
+  return fp;
+}
+
+std::uint64_t cloud_fingerprint_update(std::uint64_t fingerprint,
+                                       const Cloud& before,
+                                       const Cloud& after,
+                                       std::span<const std::size_t> moved,
+                                       const TreecodeParams& params) {
+  if (before.size() != after.size()) {
+    throw std::invalid_argument(
+        "cloud_fingerprint_update: before/after particle counts differ — "
+        "an incremental update cannot add or remove particles");
+  }
+  for (const std::size_t i : moved) {
+    if (i >= after.size()) {
+      throw std::out_of_range(
+          "cloud_fingerprint_update: moved index out of range");
+    }
+    fingerprint ^= particle_hash(i, before, params);
+    fingerprint ^= particle_hash(i, after, params);
+  }
+  return fingerprint;
 }
 
 std::uint64_t params_fingerprint(const TreecodeParams& params) {
@@ -133,6 +178,7 @@ std::uint64_t params_fingerprint(const TreecodeParams& params) {
   fnv.add_u64(static_cast<std::uint64_t>(params.traversal));
   fnv.add_u64(static_cast<std::uint64_t>(params.boundary));
   fnv.add_u64(static_cast<std::uint64_t>(params.image_shells));
+  fnv.add_double(params.position_slack);
   for (int d = 0; d < 3; ++d) {
     fnv.add_double(params.domain.lo[static_cast<std::size_t>(d)]);
     fnv.add_double(params.domain.hi[static_cast<std::size_t>(d)]);

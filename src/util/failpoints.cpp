@@ -40,8 +40,10 @@ std::map<std::string, Site>& registry() {
 }  // namespace
 
 std::vector<const char*> all_sites() {
-  return {sites::kPlanCacheBuild, sites::kExecContextAcquire,
-          sites::kSimmpiGet, sites::kSimmpiPut, sites::kGpuStage};
+  return {sites::kPlanCacheBuild,          sites::kExecContextAcquire,
+          sites::kSimmpiGet,               sites::kSimmpiPut,
+          sites::kGpuStage,                sites::kPlanIncrementalRebucket,
+          sites::kGpuPartialRestage};
 }
 
 void hit_slow(const char* site) {

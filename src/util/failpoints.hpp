@@ -72,6 +72,9 @@ inline constexpr const char* kExecContextAcquire = "exec_context.acquire";
 inline constexpr const char* kSimmpiGet = "simmpi.get";
 inline constexpr const char* kSimmpiPut = "simmpi.put";
 inline constexpr const char* kGpuStage = "gpusim.stage";
+inline constexpr const char* kPlanIncrementalRebucket =
+    "plan.incremental_rebucket";
+inline constexpr const char* kGpuPartialRestage = "gpusim.partial_restage";
 }  // namespace sites
 
 /// Every wired site name (for chaos harnesses that arm the whole surface).
