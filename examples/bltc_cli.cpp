@@ -52,6 +52,11 @@ void usage() {
       "  --leaf <count>         N_L source leaf size (default 2000)\n"
       "  --batch <count>        N_B target batch size (default 2000)\n"
       "  --backend <name>       cpu | gpu (default cpu)\n"
+      "  --precision <name>     fp64 | mixed | fp32far (default fp64):\n"
+      "                         per-interaction execution precision — mixed\n"
+      "                         demotes far-field tiles to fp32 only when\n"
+      "                         the ladder still meets the nominal error\n"
+      "                         target; direct tiles always run fp64\n"
       "  --ranks <count>        >1 runs the distributed pipeline\n"
       "  --periodic             periodic boundary conditions over [0, L)^3\n"
       "                         (serial only; Coulomb requires neutrality)\n"
@@ -99,6 +104,15 @@ KernelSpec parse_kernel(const std::string& name, double kappa) {
   std::exit(2);
 }
 
+PrecisionPolicy parse_precision(const std::string& name) {
+  if (name == "fp64") return PrecisionPolicy::kFp64;
+  if (name == "mixed") return PrecisionPolicy::kMixed;
+  if (name == "fp32far") return PrecisionPolicy::kFp32Far;
+  std::fprintf(stderr, "unknown precision '%s' (fp64 | mixed | fp32far)\n",
+               name.c_str());
+  std::exit(2);
+}
+
 Cloud make_cloud(const std::string& dist, std::size_t n, std::uint64_t seed,
                  double box) {
   if (dist == "uniform") return uniform_cube(n, seed);
@@ -128,7 +142,14 @@ int run_serve(const ArgParser& args, Backend backend, std::uint64_t seed,
   spec.dual_fraction = args.get_double("dual-fraction", 0.25);
   spec.box = box;
   const RequestStorm storm = request_storm(spec, seed);
-  const serve::StormParams presets = serve::default_storm_params(storm.box);
+  serve::StormParams presets = serve::default_storm_params(storm.box);
+  // One precision policy across all three storm presets; each response
+  // reports what actually executed (degraded tiers fall back to fp64).
+  const PrecisionPolicy precision =
+      parse_precision(args.get_string("precision", "fp64"));
+  presets.open.precision = precision;
+  presets.dual.precision = precision;
+  presets.periodic.precision = precision;
 
   serve::PlanCache::Options cache_options;
   cache_options.max_bytes = args.get_size("cache-mb", 256) << 20;
@@ -168,6 +189,7 @@ int run_serve(const ArgParser& args, Backend backend, std::uint64_t seed,
   std::vector<double> latency(storm.requests.size(), 0.0);
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::size_t> ok{0}, shed{0}, expired{0}, failed{0};
+  std::atomic<std::size_t> served_fp64{0}, served_reduced{0};
   WallTimer wall;
   {
     std::vector<std::thread> threads;
@@ -181,8 +203,14 @@ int run_serve(const ArgParser& args, Backend backend, std::uint64_t seed,
               storm, storm.requests[i], presets, backend);
           WallTimer timer;
           try {
-            frontend.submit(request).get();
+            const serve::ServeResponse response =
+                frontend.submit(request).get();
             ++ok;
+            if (response.precision == PrecisionPolicy::kFp64) {
+              ++served_fp64;
+            } else {
+              ++served_reduced;
+            }
           } catch (const serve::RequestShed&) {
             ++shed;
           } catch (const serve::DeadlineExceeded&) {
@@ -219,6 +247,10 @@ int run_serve(const ArgParser& args, Backend backend, std::uint64_t seed,
   std::printf("frontend: %zu completed in %zu engine calls, %zu fused, "
               "largest group %zu\n",
               fs.completed, fs.executions, fs.fused_requests, fs.max_group);
+  std::printf("precision: policy %s; %zu responses served with fp32 tiles, "
+              "%zu all-fp64 (degraded tiers always report fp64)\n",
+              precision_policy_name(precision), served_reduced.load(),
+              served_fp64.load());
   if (chaos) {
     std::printf("chaos: %zu ok, %zu shed, %zu deadline, %zu failed; "
                 "%zu retries\n",
@@ -247,7 +279,7 @@ int main(int argc, char** argv) {
   }
   static const char* known[] = {"n",      "distribution", "kernel", "kappa",
                                 "theta",  "degree",       "leaf",   "batch",
-                                "backend", "ranks",       "seed",
+                                "backend", "ranks",       "seed",  "precision",
                                 "check-error", "input",    "output",
                                 "periodic", "box",         "shells",
                                 "serve",   "requests",     "clients",
@@ -273,6 +305,7 @@ int main(int argc, char** argv) {
   params.degree = args.get_int("degree", 8);
   params.max_leaf = args.get_size("leaf", 2000);
   params.max_batch = args.get_size("batch", 2000);
+  params.precision = parse_precision(args.get_string("precision", "fp64"));
   const double box = args.get_double("box", 1.0);
   if (args.has("periodic")) {
     params.boundary = BoundaryConditions::kPeriodic;
@@ -351,6 +384,12 @@ int main(int argc, char** argv) {
                 "approx + %zu direct interactions\n",
                 stats.num_clusters, stats.num_leaves, stats.num_batches,
                 stats.approx_interactions, stats.direct_interactions);
+    if (params.precision != PrecisionPolicy::kFp64) {
+      std::printf("precision: %s — %.3g fp32 evals, %.3g fp64 evals "
+                  "(direct tiles stay fp64), %zu demotions\n",
+                  precision_policy_name(params.precision), stats.fp32_evals,
+                  stats.fp64_evals, stats.precision_demotions);
+    }
     if (backend == Backend::kGpuSim) {
       std::printf("modeled %s: setup %.4f s, precompute %.4f s, compute "
                   "%.4f s (%zu launches)\n",

@@ -18,6 +18,8 @@ void fill_stats(const EngineCounters& counters, RunStats& stats) {
   stats.cc_evals = counters.cc_evals;
   stats.cp_launches = counters.cp_launches;
   stats.cc_launches = counters.cc_launches;
+  stats.fp32_evals = counters.fp32_evals;
+  stats.fp64_evals = counters.fp64_evals;
 }
 
 }  // namespace
@@ -55,11 +57,24 @@ void CpuEngine::prepare_sources(const SourcePlan& plan,
                                                                  moments_, d));
     }
   };
+  // The fp32 shadow mirrors whichever moment set evaluation reads: the
+  // full ladder under the dual traversal, the single nominal level
+  // otherwise. Under kFp64 it stays empty — the empty shadow is what makes
+  // that policy execute the byte-identical all-fp64 path.
+  const auto shadow_levels = [&]() -> std::span<const ClusterMoments> {
+    if (params.traversal == TraversalMode::kDual) return dual_levels_;
+    return {&moments_, 1};
+  };
   if (!charges_only) {
     moments_ = ClusterMoments::compute(tree, sources, params.degree,
                                        params.moment_algorithm);
     delta_patched_.assign(tree.num_nodes(), 0);
     build_ladder(false);
+    if (params.precision != PrecisionPolicy::kFp64) {
+      shadow_ = Fp32Shadow::build(sources, shadow_levels());
+    } else {
+      shadow_.clear();
+    }
     // New source geometry orphans whatever LET pieces were attached (their
     // lists referenced the old trees); the caller re-attaches after the
     // exchange.
@@ -88,6 +103,15 @@ void CpuEngine::prepare_sources(const SourcePlan& plan,
     }
   }
   build_ladder(true);
+  if (params.precision != PrecisionPolicy::kFp64) {
+    if (shadow_.empty()) {
+      shadow_ = Fp32Shadow::build(sources, shadow_levels());
+    } else {
+      shadow_.refresh_charges(sources, shadow_levels());
+    }
+  } else {
+    shadow_.clear();
+  }
 }
 
 void CpuEngine::update_sources(const SourcePlan& plan,
@@ -178,6 +202,17 @@ void CpuEngine::update_sources(const SourcePlan& plan,
       }
     }
   }
+  // Float shadow follows the same dirty sets: re-narrow exactly the moved
+  // particle slots and the dirty clusters' q̂ per level, keeping the
+  // incremental path O(moved) for mixed precision too.
+  if (params.precision != PrecisionPolicy::kFp64 && !shadow_.empty()) {
+    const std::span<const ClusterMoments> levels =
+        params.traversal == TraversalMode::kDual
+            ? std::span<const ClusterMoments>(dual_levels_)
+            : std::span<const ClusterMoments>(&moments_, 1);
+    shadow_.patch_positions(sources, update.moved_ranges,
+                            update.dirty_clusters, levels);
+  }
 }
 
 void CpuEngine::refresh_let_positions(std::span<const LetPiece> pieces,
@@ -227,6 +262,13 @@ std::vector<double> CpuEngine::evaluate_potential(const SourcePlan& sources,
   const auto eval_piece = [&](const SourcePlan& piece, std::size_t index) {
     const ClusterMoments& moments =
         piece.moments != nullptr ? *piece.moments : moments_;
+    // fp32 shadow resolution mirrors the moments': cached serve plans carry
+    // their own (piece.fp32), the engine-owned piece uses the prepared one,
+    // and LET pieces run fp64 (a null shadow demotes their tagged tiles).
+    const Fp32Shadow* fp32 =
+        piece.fp32 != nullptr
+            ? piece.fp32
+            : (piece.moments == nullptr ? &shadow_ : nullptr);
     EngineCounters counters;
     std::vector<double> phi;
     if (dual) {
@@ -246,17 +288,17 @@ std::vector<double> CpuEngine::evaluate_potential(const SourcePlan& sources,
       phi = cpu_evaluate_dual(*targets.particles, *targets.tree,
                               targets.grids, targets.dual_lists[index],
                               *piece.tree, *piece.particles, levels, kernel,
-                              targets.shifts, &counters, workspace);
+                              targets.shifts, &counters, workspace, fp32);
     } else if (targets.per_target_mac) {
       phi = cpu_evaluate_per_target(*targets.particles, targets.lists[index],
                                     *piece.tree, *piece.particles, moments,
                                     kernel, targets.shifts, &counters,
-                                    workspace);
+                                    workspace, fp32);
     } else {
       phi = cpu_evaluate(*targets.particles, *targets.batches,
                          targets.lists[index], *piece.tree, *piece.particles,
                          moments, kernel, targets.shifts, &counters,
-                         workspace);
+                         workspace, fp32);
     }
     accumulate_counters(total, counters);
     return phi;
@@ -290,6 +332,10 @@ FieldResult CpuEngine::evaluate_field(const SourcePlan& sources,
   const auto eval_piece = [&](const SourcePlan& piece, std::size_t index) {
     const ClusterMoments& moments =
         piece.moments != nullptr ? *piece.moments : moments_;
+    const Fp32Shadow* fp32 =
+        piece.fp32 != nullptr
+            ? piece.fp32
+            : (piece.moments == nullptr ? &shadow_ : nullptr);
     EngineCounters counters;
     FieldResult out;
     if (dual) {
@@ -307,18 +353,18 @@ FieldResult CpuEngine::evaluate_field(const SourcePlan& sources,
                                     targets.grids, targets.dual_lists[index],
                                     *piece.tree, *piece.particles, levels,
                                     kernel, targets.shifts, &counters,
-                                    workspace);
+                                    workspace, fp32);
     } else if (targets.per_target_mac) {
       out = cpu_evaluate_field_per_target(*targets.particles,
                                           targets.lists[index], *piece.tree,
                                           *piece.particles, moments, kernel,
                                           targets.shifts, &counters,
-                                          workspace);
+                                          workspace, fp32);
     } else {
       out = cpu_evaluate_field(*targets.particles, *targets.batches,
                                targets.lists[index], *piece.tree,
                                *piece.particles, moments, kernel,
-                               targets.shifts, &counters, workspace);
+                               targets.shifts, &counters, workspace, fp32);
     }
     accumulate_counters(total, counters);
     return out;

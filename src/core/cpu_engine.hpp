@@ -23,6 +23,7 @@
 #include "core/kernels.hpp"
 #include "core/moments.hpp"
 #include "core/particles.hpp"
+#include "core/precision.hpp"
 
 namespace bltc {
 
@@ -65,6 +66,11 @@ class CpuEngine final : public Engine {
   /// nominal degree, lower degrees are exact restrictions of it).
   std::vector<ClusterMoments> dual_levels_;
   std::vector<LetPiece> let_;  ///< attached remote pieces (caller-owned data)
+  /// Float mirrors of the prepared source streams, maintained only when
+  /// `params.precision != kFp64` and patched in lock-step with the fp64
+  /// masters (charges-only refresh, O(moved) position patches). Empty under
+  /// kFp64, which is what keeps that policy bit-identical.
+  Fp32Shadow shadow_;
   /// Per-cluster count of particles patched into the moments by delta
   /// updates since the last full recompute of that cluster. Once it
   /// approaches the cluster's size, the cluster is recomputed outright —

@@ -23,6 +23,7 @@ void CpuWorkspace::ensure_threads() {
   // charges behind a cached cluster id may have been rewritten since.
   for (CpuScratch& s : per_thread_) {
     s.cached_cluster = -1;
+    s.fcached_cluster = -1;
     s.cached_target = -1;
   }
 }
@@ -81,6 +82,61 @@ std::size_t expand_cluster_points(const ClusterMoments& moments, int ci,
   return ppc;
 }
 
+/// fp32 twin of expand_cluster_points: stages the cluster's Chebyshev grid
+/// and modified charges as float streams, reading the Fp32Shadow's mirrors
+/// of the flat per-level arrays. `moments` supplies only the layout (the
+/// shadow mirrors its all_grids()/all_qhat() storage one-to-one, so span
+/// offsets translate directly); the numeric data comes from the shadow.
+std::size_t expand_cluster_points_f32(const ClusterMoments& moments,
+                                      const Fp32Shadow& shadow,
+                                      std::size_t level, int ci,
+                                      CpuScratch& scratch,
+                                      const ResolvedShift& shift = {}) {
+  const std::size_t ppc = moments.points_per_cluster();
+  if (scratch.fcached_cluster == ci &&
+      scratch.fcached_cluster_level == static_cast<int>(level) &&
+      scratch.fcached_cluster_shift == shift.id) {
+    return ppc;
+  }
+  const auto gx = moments.grid(ci, 0);
+  const auto gy = moments.grid(ci, 1);
+  const auto gz = moments.grid(ci, 2);
+  const std::size_t m = gx.size();
+  const double* gbase = moments.all_grids().data();
+  const float* fg = shadow.grids[level].data();
+  const float* fgx = fg + (gx.data() - gbase);
+  const float* fgy = fg + (gy.data() - gbase);
+  const float* fgz = fg + (gz.data() - gbase);
+  const float* fqhat =
+      shadow.qhat[level].data() +
+      (moments.qhat(ci).data() - moments.all_qhat().data());
+  const float shx = static_cast<float>(shift.x);
+  const float shy = static_cast<float>(shift.y);
+  const float shz = static_cast<float>(shift.z);
+  scratch.ensure_f32(ppc);
+  float* __restrict px = scratch.fpx.data();
+  float* __restrict py = scratch.fpy.data();
+  float* __restrict pz = scratch.fpz.data();
+  float* __restrict pq = scratch.fpq.data();
+  std::size_t p = 0;
+  for (std::size_t k1 = 0; k1 < m; ++k1) {
+    for (std::size_t k2 = 0; k2 < m; ++k2) {
+      const float* __restrict qrow = fqhat + (k1 * m + k2) * m;
+      for (std::size_t k3 = 0; k3 < m; ++k3) {
+        px[p] = fgx[k1] + shx;
+        py[p] = fgy[k2] + shy;
+        pz[p] = fgz[k3] + shz;
+        pq[p] = qrow[k3];
+        ++p;
+      }
+    }
+  }
+  scratch.fcached_cluster = ci;
+  scratch.fcached_cluster_level = static_cast<int>(level);
+  scratch.fcached_cluster_shift = shift.id;
+  return ppc;
+}
+
 /// Pointers to one direct-range source stream: the raw arrays for the home
 /// cell, or a staged copy with the lattice shift added for an image entry
 /// (the charges always stream from the raw array).
@@ -90,6 +146,38 @@ struct DirectStream {
   const double* z;
   const double* q;
 };
+
+/// fp32 twin of DirectStream, streaming from an Fp32Shadow's particle
+/// mirrors (used by CP pairs tagged fp32-eligible).
+struct DirectStreamF32 {
+  const float* x;
+  const float* y;
+  const float* z;
+  const float* q;
+};
+
+DirectStreamF32 direct_stream_f32(const Fp32Shadow& shadow, std::size_t begin,
+                                  std::size_t count,
+                                  const ResolvedShift& shift,
+                                  CpuScratch& scratch) {
+  if (shift.id == 0) {
+    return {shadow.x.data() + begin, shadow.y.data() + begin,
+            shadow.z.data() + begin, shadow.q.data() + begin};
+  }
+  scratch.ensure_shifted_sources_f32(count);
+  float* __restrict sx = scratch.fssx.data();
+  float* __restrict sy = scratch.fssy.data();
+  float* __restrict sz = scratch.fssz.data();
+  const float shx = static_cast<float>(shift.x);
+  const float shy = static_cast<float>(shift.y);
+  const float shz = static_cast<float>(shift.z);
+  for (std::size_t j = 0; j < count; ++j) {
+    sx[j] = shadow.x[begin + j] + shx;
+    sy[j] = shadow.y[begin + j] + shy;
+    sz[j] = shadow.z[begin + j] + shz;
+  }
+  return {sx, sy, sz, shadow.q.data() + begin};
+}
 
 DirectStream direct_stream(const OrderedParticles& sources, std::size_t begin,
                            std::size_t count, const ResolvedShift& shift,
@@ -118,9 +206,10 @@ void run_lists(const OrderedParticles& targets,
                const InteractionLists& lists, const ClusterTree& tree,
                const OrderedParticles& sources, const ClusterMoments& moments,
                K k, CpuWorkspace& ws, const ShiftTable* shifts,
-               double* __restrict phi, double* __restrict ex,
-               double* __restrict ey, double* __restrict ez,
-               EngineCounters* counters) {
+               const Fp32Shadow* shadow, double* __restrict phi,
+               double* __restrict ex, double* __restrict ey,
+               double* __restrict ez, EngineCounters* counters) {
+  const bool have_shadow = shadow != nullptr && !shadow->empty();
   const std::size_t nlists = lists.per_batch.size();
   const double ppc = static_cast<double>(moments.points_per_cluster());
 
@@ -147,10 +236,12 @@ void run_lists(const OrderedParticles& targets,
 
   ws.ensure_threads();
   double approx_evals = 0.0, direct_evals = 0.0;
+  double fp32_evals = 0.0;
   std::size_t approx_launches = 0, direct_launches = 0;
 
 #pragma omp parallel for schedule(guided) \
-    reduction(+ : approx_evals, direct_evals, approx_launches, direct_launches)
+    reduction(+ : approx_evals, direct_evals, fp32_evals, approx_launches, \
+                  direct_launches)
   for (std::size_t s = 0; s < nlists; ++s) {
     const std::size_t b = order[s];
     const BatchInteractions& bi = lists.per_batch[b];
@@ -166,6 +257,24 @@ void run_lists(const OrderedParticles& targets,
     for (std::size_t e = 0; e < bi.approx.size(); ++e) {
       const int ci = bi.approx[e];
       const ResolvedShift shift = resolve_shift(shifts, bi.approx_shift, e);
+      const bool use_f32 = have_shadow && e < bi.approx_fp32.size() &&
+                           bi.approx_fp32[e] != 0;
+      if (use_f32) {
+        const std::size_t npts =
+            expand_cluster_points_f32(moments, *shadow, 0, ci, scratch, shift);
+        for (std::size_t t0 = begin; t0 < end; t0 += kTargetTile) {
+          const std::size_t nt = std::min(kTargetTile, end - t0);
+          accumulate_tile_f32<Field, true>(
+              tx + t0, ty + t0, tz + t0, nt, scratch.fpx.data(),
+              scratch.fpy.data(), scratch.fpz.data(), scratch.fpq.data(),
+              npts, k, phi + t0, Field ? ex + t0 : nullptr,
+              Field ? ey + t0 : nullptr, Field ? ez + t0 : nullptr);
+        }
+        approx_evals += count * static_cast<double>(npts);
+        fp32_evals += count * static_cast<double>(npts);
+        ++approx_launches;
+        continue;
+      }
       const std::size_t npts =
           expand_cluster_points(moments, ci, scratch, 0, shift);
       for (std::size_t t0 = begin; t0 < end; t0 += kTargetTile) {
@@ -202,6 +311,8 @@ void run_lists(const OrderedParticles& targets,
     counters->direct_evals = direct_evals;
     counters->approx_launches = approx_launches;
     counters->direct_launches = direct_launches;
+    counters->fp32_evals = fp32_evals;
+    counters->fp64_evals = approx_evals + direct_evals - fp32_evals;
   }
 }
 
@@ -294,11 +405,16 @@ void run_dual(const OrderedParticles& targets, const ClusterTree& ttree,
               const DualInteractionLists& lists, const ClusterTree& stree,
               const OrderedParticles& sources,
               std::span<const ClusterMoments> mlevels, K k, CpuWorkspace& ws,
-              const ShiftTable* shifts, double* __restrict phi,
-              double* __restrict ex, double* __restrict ey,
-              double* __restrict ez, EngineCounters* counters) {
+              const ShiftTable* shifts, const Fp32Shadow* shadow,
+              double* __restrict phi, double* __restrict ex,
+              double* __restrict ey, double* __restrict ez,
+              EngineCounters* counters) {
   const std::size_t nn = ttree.num_nodes();
   const std::size_t nlevels = tgrids.size();
+  // fp32 pair tags only fire when the shadow mirrors every ladder level the
+  // lists index (a plan piece without a shadow executes all-fp64).
+  const bool have_shadow = shadow != nullptr && !shadow->empty() &&
+                           shadow->qhat.size() >= mlevels.size();
 
   // Per-level grid-potential storage: level l's hat rows live at
   // hat_off[l] + node * lppc[l].
@@ -326,6 +442,7 @@ void run_dual(const OrderedParticles& targets, const ClusterTree& ttree,
 
   double approx_evals = 0.0, direct_evals = 0.0;
   double cp_evals = 0.0, cc_evals = 0.0;
+  double fp32_evals = 0.0;
   std::size_t approx_launches = 0, direct_launches = 0;
   std::size_t cp_launches = 0, cc_launches = 0;
 
@@ -334,7 +451,7 @@ void run_dual(const OrderedParticles& targets, const ClusterTree& ttree,
   // the parallel loop is race-free.
   const std::size_t ngrid = lists.grid_nodes.size();
 #pragma omp parallel for schedule(guided) \
-    reduction(+ : cp_evals, cc_evals, cp_launches, cc_launches)
+    reduction(+ : cp_evals, cc_evals, fp32_evals, cp_launches, cc_launches)
   for (std::size_t g = 0; g < ngrid; ++g) {
     const int ti = lists.grid_nodes[g];
     CpuScratch& scratch = ws.scratch();
@@ -356,7 +473,24 @@ void run_dual(const OrderedParticles& targets, const ClusterTree& ttree,
       double* hz = Field ? hats.ez.data() + row : nullptr;
 
       const ResolvedShift shift = resolve_pair_shift(shifts, pair);
+      const bool use_f32 = have_shadow && pair.fp32 != 0;
       if (pair.kind == DualKind::kCC) {
+        if (use_f32) {
+          const std::size_t npts = expand_cluster_points_f32(
+              mlevels[level], *shadow, level, pair.source, scratch, shift);
+          for (std::size_t t0 = 0; t0 < p; t0 += kTargetTile) {
+            const std::size_t nt = std::min(kTargetTile, p - t0);
+            accumulate_tile_f32<Field, true>(
+                tx + t0, ty + t0, tz + t0, nt, scratch.fpx.data(),
+                scratch.fpy.data(), scratch.fpz.data(), scratch.fpq.data(),
+                npts, k, hp + t0, Field ? hx + t0 : nullptr,
+                Field ? hy + t0 : nullptr, Field ? hz + t0 : nullptr);
+          }
+          fp32_evals += static_cast<double>(p) * static_cast<double>(npts);
+          cc_evals += static_cast<double>(p) * static_cast<double>(npts);
+          ++cc_launches;
+          continue;
+        }
         const std::size_t npts =
             expand_cluster_points(mlevels[level], pair.source, scratch,
                                   static_cast<int>(level), shift);
@@ -372,6 +506,22 @@ void run_dual(const OrderedParticles& targets, const ClusterTree& ttree,
         ++cc_launches;
       } else {  // kCP: source particles evaluated at the target grid
         const ClusterNode& s = stree.node(pair.source);
+        if (use_f32) {
+          const DirectStreamF32 src =
+              direct_stream_f32(*shadow, s.begin, s.count(), shift, scratch);
+          for (std::size_t t0 = 0; t0 < p; t0 += kTargetTile) {
+            const std::size_t nt = std::min(kTargetTile, p - t0);
+            accumulate_tile_f32<Field, true>(
+                tx + t0, ty + t0, tz + t0, nt, src.x, src.y, src.z, src.q,
+                s.count(), k, hp + t0, Field ? hx + t0 : nullptr,
+                Field ? hy + t0 : nullptr, Field ? hz + t0 : nullptr);
+          }
+          fp32_evals +=
+              static_cast<double>(p) * static_cast<double>(s.count());
+          cp_evals += static_cast<double>(p) * static_cast<double>(s.count());
+          ++cp_launches;
+          continue;
+        }
         const DirectStream src =
             direct_stream(sources, s.begin, s.count(), shift, scratch);
         for (std::size_t t0 = 0; t0 < p; t0 += kTargetTile) {
@@ -502,7 +652,8 @@ void run_dual(const OrderedParticles& targets, const ClusterTree& ttree,
   }
   const std::size_t nleaf = lists.leaf_nodes.size();
 #pragma omp parallel for schedule(guided) \
-    reduction(+ : approx_evals, direct_evals, approx_launches, direct_launches)
+    reduction(+ : approx_evals, direct_evals, fp32_evals, approx_launches, \
+                  direct_launches)
   for (std::size_t g = 0; g < nleaf; ++g) {
     const ClusterNode& node = ttree.node(lists.leaf_nodes[g]);
     const std::size_t begin = node.begin;
@@ -522,6 +673,23 @@ void run_dual(const OrderedParticles& targets, const ClusterTree& ttree,
          ++e) {
       const DualPair& pair = lists.leaf_pairs[e];
       if (pair.kind == DualKind::kPC) {
+        if (have_shadow && pair.fp32 != 0) {
+          const std::size_t npts = expand_cluster_points_f32(
+              mlevels[pair.level], *shadow, pair.level, pair.source, scratch,
+              resolve_pair_shift(shifts, pair));
+          for (std::size_t t0 = begin; t0 < end; t0 += kTargetTile) {
+            const std::size_t nt = std::min(kTargetTile, end - t0);
+            accumulate_tile_f32<Field, true>(
+                tx + t0, ty + t0, tz + t0, nt, scratch.fpx.data(),
+                scratch.fpy.data(), scratch.fpz.data(), scratch.fpq.data(),
+                npts, k, phi + t0, Field ? ex + t0 : nullptr,
+                Field ? ey + t0 : nullptr, Field ? ez + t0 : nullptr);
+          }
+          approx_evals += count * static_cast<double>(npts);
+          fp32_evals += count * static_cast<double>(npts);
+          ++approx_launches;
+          continue;
+        }
         const std::size_t npts = expand_cluster_points(
             mlevels[pair.level], pair.source, scratch,
             static_cast<int>(pair.level), resolve_pair_shift(shifts, pair));
@@ -607,6 +775,9 @@ void run_dual(const OrderedParticles& targets, const ClusterTree& ttree,
     counters->cc_evals = cc_evals;
     counters->cp_launches = cp_launches;
     counters->cc_launches = cc_launches;
+    counters->fp32_evals = fp32_evals;
+    counters->fp64_evals =
+        approx_evals + direct_evals + cp_evals + cc_evals - fp32_evals;
   }
 }
 
@@ -621,32 +792,32 @@ std::vector<double> cpu_evaluate(const OrderedParticles& targets,
                                  const KernelSpec& kernel,
                                  const ShiftTable* shifts,
                                  EngineCounters* counters,
-                                 CpuWorkspace* workspace) {
+                                 CpuWorkspace* workspace,
+                                 const Fp32Shadow* fp32) {
   std::vector<double> phi(targets.size(), 0.0);
   CpuWorkspace local;
   CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
   with_kernel(kernel, [&](auto k) {
     run_lists<false>(targets, &batches, lists, tree, sources, moments, k, ws,
-                     shifts, phi.data(), nullptr, nullptr, nullptr, counters);
+                     shifts, fp32, phi.data(), nullptr, nullptr, nullptr,
+                     counters);
   });
   return phi;
 }
 
-std::vector<double> cpu_evaluate_per_target(const OrderedParticles& targets,
-                                            const InteractionLists& lists,
-                                            const ClusterTree& tree,
-                                            const OrderedParticles& sources,
-                                            const ClusterMoments& moments,
-                                            const KernelSpec& kernel,
-                                            const ShiftTable* shifts,
-                                            EngineCounters* counters,
-                                            CpuWorkspace* workspace) {
+std::vector<double> cpu_evaluate_per_target(
+    const OrderedParticles& targets, const InteractionLists& lists,
+    const ClusterTree& tree, const OrderedParticles& sources,
+    const ClusterMoments& moments, const KernelSpec& kernel,
+    const ShiftTable* shifts, EngineCounters* counters,
+    CpuWorkspace* workspace, const Fp32Shadow* fp32) {
   std::vector<double> phi(targets.size(), 0.0);
   CpuWorkspace local;
   CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
   with_kernel(kernel, [&](auto k) {
     run_lists<false>(targets, nullptr, lists, tree, sources, moments, k, ws,
-                     shifts, phi.data(), nullptr, nullptr, nullptr, counters);
+                     shifts, fp32, phi.data(), nullptr, nullptr, nullptr,
+                     counters);
   });
   return phi;
 }
@@ -660,7 +831,8 @@ FieldResult cpu_evaluate_field(const OrderedParticles& targets,
                                const KernelSpec& kernel,
                                const ShiftTable* shifts,
                                EngineCounters* counters,
-                               CpuWorkspace* workspace) {
+                               CpuWorkspace* workspace,
+                               const Fp32Shadow* fp32) {
   FieldResult out;
   out.phi.assign(targets.size(), 0.0);
   out.ex.assign(targets.size(), 0.0);
@@ -670,21 +842,18 @@ FieldResult cpu_evaluate_field(const OrderedParticles& targets,
   CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
   with_grad_kernel(kernel, [&](auto k) {
     run_lists<true>(targets, &batches, lists, tree, sources, moments, k, ws,
-                    shifts, out.phi.data(), out.ex.data(), out.ey.data(),
-                    out.ez.data(), counters);
+                    shifts, fp32, out.phi.data(), out.ex.data(),
+                    out.ey.data(), out.ez.data(), counters);
   });
   return out;
 }
 
-FieldResult cpu_evaluate_field_per_target(const OrderedParticles& targets,
-                                          const InteractionLists& lists,
-                                          const ClusterTree& tree,
-                                          const OrderedParticles& sources,
-                                          const ClusterMoments& moments,
-                                          const KernelSpec& kernel,
-                                          const ShiftTable* shifts,
-                                          EngineCounters* counters,
-                                          CpuWorkspace* workspace) {
+FieldResult cpu_evaluate_field_per_target(
+    const OrderedParticles& targets, const InteractionLists& lists,
+    const ClusterTree& tree, const OrderedParticles& sources,
+    const ClusterMoments& moments, const KernelSpec& kernel,
+    const ShiftTable* shifts, EngineCounters* counters,
+    CpuWorkspace* workspace, const Fp32Shadow* fp32) {
   FieldResult out;
   out.phi.assign(targets.size(), 0.0);
   out.ex.assign(targets.size(), 0.0);
@@ -694,8 +863,8 @@ FieldResult cpu_evaluate_field_per_target(const OrderedParticles& targets,
   CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
   with_grad_kernel(kernel, [&](auto k) {
     run_lists<true>(targets, nullptr, lists, tree, sources, moments, k, ws,
-                    shifts, out.phi.data(), out.ex.data(), out.ey.data(),
-                    out.ez.data(), counters);
+                    shifts, fp32, out.phi.data(), out.ex.data(),
+                    out.ey.data(), out.ez.data(), counters);
   });
   return out;
 }
@@ -707,13 +876,13 @@ std::vector<double> cpu_evaluate_dual(
     const OrderedParticles& sources,
     std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
     const ShiftTable* shifts, EngineCounters* counters,
-    CpuWorkspace* workspace) {
+    CpuWorkspace* workspace, const Fp32Shadow* fp32) {
   std::vector<double> phi(targets.size(), 0.0);
   CpuWorkspace local;
   CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
   with_kernel(kernel, [&](auto k) {
     run_dual<false>(targets, target_tree, target_grids, lists, source_tree,
-                    sources, moment_levels, k, ws, shifts, phi.data(),
+                    sources, moment_levels, k, ws, shifts, fp32, phi.data(),
                     nullptr, nullptr, nullptr, counters);
   });
   return phi;
@@ -726,7 +895,7 @@ FieldResult cpu_evaluate_dual_field(
     const OrderedParticles& sources,
     std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
     const ShiftTable* shifts, EngineCounters* counters,
-    CpuWorkspace* workspace) {
+    CpuWorkspace* workspace, const Fp32Shadow* fp32) {
   FieldResult out;
   out.phi.assign(targets.size(), 0.0);
   out.ex.assign(targets.size(), 0.0);
@@ -736,8 +905,9 @@ FieldResult cpu_evaluate_dual_field(
   CpuWorkspace& ws = workspace != nullptr ? *workspace : local;
   with_grad_kernel(kernel, [&](auto k) {
     run_dual<true>(targets, target_tree, target_grids, lists, source_tree,
-                   sources, moment_levels, k, ws, shifts, out.phi.data(),
-                   out.ex.data(), out.ey.data(), out.ez.data(), counters);
+                   sources, moment_levels, k, ws, shifts, fp32,
+                   out.phi.data(), out.ex.data(), out.ey.data(),
+                   out.ez.data(), counters);
   });
   return out;
 }

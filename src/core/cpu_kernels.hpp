@@ -39,6 +39,7 @@
 #include "core/kernels.hpp"
 #include "core/moments.hpp"
 #include "core/particles.hpp"
+#include "core/precision.hpp"
 #include "core/tree.hpp"
 
 #if defined(__AVX512F__)
@@ -50,6 +51,12 @@ namespace bltc {
 /// Targets per tile: accumulators for one tile live in registers for the
 /// whole source stream (16 doubles = two AVX-512 registers, four NEON/SSE).
 inline constexpr std::size_t kTargetTile = 16;
+
+/// fp32 tiles flush their float accumulators into fp64 every this many
+/// sources, bounding the single-precision summation error to O(interval *
+/// eps32) per flush block independent of the stream length — the "accumulate
+/// into fp64" half of the mixed-precision contract.
+inline constexpr std::size_t kF32FlushInterval = 128;
 
 /// Per-thread scratch: one cluster's Chebyshev grid expanded to contiguous
 /// point streams (coordinates + modified charges), reused across clusters,
@@ -63,6 +70,35 @@ struct CpuScratch {
   int cached_cluster = -1;
   int cached_cluster_level = 0;  ///< ladder level of the cached expansion
   int cached_cluster_shift = 0;  ///< lattice shift id of the cached expansion
+
+  /// fp32 mirror of the expanded cluster stream, staged from an Fp32Shadow
+  /// for tiles tagged fp32-eligible. Separate cache key: one thread can
+  /// alternate between fp64 and fp32 expansions of different clusters.
+  std::vector<float> fpx, fpy, fpz, fpq;
+  int fcached_cluster = -1;
+  int fcached_cluster_level = 0;
+  int fcached_cluster_shift = 0;
+
+  /// fp32 staging for lattice-shifted direct-range images (the fp32 twin of
+  /// `ssx`/`ssy`/`ssz` below).
+  std::vector<float> fssx, fssy, fssz;
+
+  void ensure_f32(std::size_t n) {
+    if (fpx.size() < n) {
+      fpx.resize(n);
+      fpy.resize(n);
+      fpz.resize(n);
+      fpq.resize(n);
+    }
+  }
+
+  void ensure_shifted_sources_f32(std::size_t n) {
+    if (fssx.size() < n) {
+      fssx.resize(n);
+      fssy.resize(n);
+      fssz.resize(n);
+    }
+  }
 
   /// Periodic boundaries: a direct-range image is the source particle
   /// stream with a lattice shift added to the coordinates (charges pass
@@ -169,6 +205,16 @@ struct TileSimdMutual {
   static constexpr bool kAvailable = false;
 };
 
+/// ISA-specific fp32 tiles for tagged far-field interactions: float target
+/// and source streams, fp64 output accumulators (the float partial sums are
+/// widened every kF32FlushInterval sources). With AVX-512 the whole 16-
+/// target tile fits one zmm register per accumulator — half the register
+/// pressure and twice the lane count of the fp64 tile.
+template <bool Field, typename K>
+struct TileSimdF32 {
+  static constexpr bool kAvailable = false;
+};
+
 #if defined(__AVX512F__)
 
 namespace detail {
@@ -186,6 +232,30 @@ inline __m512d masked_rsqrt_nr2(__m512d a, __mmask8 ok) {
   y = _mm512_mul_pd(
       y, _mm512_fnmadd_pd(_mm512_mul_pd(ha, y), y, three_halves));
   return _mm512_maskz_mov_pd(ok, y);
+}
+
+/// fp32 1/sqrt(a) from vrsqrt14ps (relative error < 2^-14) refined by one
+/// Newton-Raphson step: error ~2^-28, below the fp32 representation error
+/// of the tile inputs, so the refinement is free accuracy-wise and the
+/// divider stays idle. Lanes where a == 0 are zeroed by `ok`.
+inline __m512 masked_rsqrt_ps_nr1(__m512 a, __mmask16 ok) {
+  const __m512 half = _mm512_set1_ps(0.5f);
+  const __m512 three_halves = _mm512_set1_ps(1.5f);
+  __m512 y = _mm512_rsqrt14_ps(a);
+  y = _mm512_mul_ps(
+      y, _mm512_fnmadd_ps(_mm512_mul_ps(_mm512_mul_ps(half, a), y), y,
+                          three_halves));
+  return _mm512_maskz_mov_ps(ok, y);
+}
+
+/// Widen a 16-float partial sum into the two fp64 accumulator registers
+/// (the flush step of the fp32 tiles). The upper 256-bit extract goes
+/// through a pd reinterpret so only AVX-512F is required.
+inline void flush_ps_to_pd(__m512 v, __m512d& lo, __m512d& hi) {
+  lo = _mm512_add_pd(lo, _mm512_cvtps_pd(_mm512_castps512_ps256(v)));
+  hi = _mm512_add_pd(
+      hi, _mm512_cvtps_pd(_mm256_castpd_ps(
+              _mm512_extractf64x4_pd(_mm512_castps_pd(v), 1))));
 }
 
 }  // namespace detail
@@ -425,6 +495,113 @@ struct TileSimdMutual<true, CoulombGradKernel> {
   }
 };
 
+/// fp32 Coulomb potential tile: 16 targets in ONE zmm accumulator register,
+/// vrsqrt14ps + one Newton step, float partials widened to fp64 every
+/// kF32FlushInterval sources.
+template <>
+struct TileSimdF32<false, CoulombKernel> {
+  static constexpr bool kAvailable = true;
+
+  static void run(const float* tx, const float* ty, const float* tz,
+                  const float* sx, const float* sy, const float* sz,
+                  const float* sq, std::size_t ns, CoulombKernel,
+                  double* phi, double*, double*, double*) {
+    const __m512 zero = _mm512_setzero_ps();
+    const __m512 tx0 = _mm512_loadu_ps(tx);
+    const __m512 ty0 = _mm512_loadu_ps(ty);
+    const __m512 tz0 = _mm512_loadu_ps(tz);
+    __m512d p0 = _mm512_setzero_pd(), p1 = _mm512_setzero_pd();
+    __m512 acc = zero;
+    std::size_t since_flush = 0;
+    for (std::size_t j = 0; j < ns; ++j) {
+      const __m512 xj = _mm512_set1_ps(sx[j]);
+      const __m512 yj = _mm512_set1_ps(sy[j]);
+      const __m512 zj = _mm512_set1_ps(sz[j]);
+      const __m512 qj = _mm512_set1_ps(sq[j]);
+      const __m512 dx = _mm512_sub_ps(tx0, xj);
+      const __m512 dy = _mm512_sub_ps(ty0, yj);
+      const __m512 dz = _mm512_sub_ps(tz0, zj);
+      const __m512 r2 = _mm512_fmadd_ps(
+          dx, dx, _mm512_fmadd_ps(dy, dy, _mm512_mul_ps(dz, dz)));
+      acc = _mm512_fmadd_ps(
+          detail::masked_rsqrt_ps_nr1(
+              r2, _mm512_cmp_ps_mask(r2, zero, _CMP_GT_OQ)),
+          qj, acc);
+      if (++since_flush == kF32FlushInterval) {
+        detail::flush_ps_to_pd(acc, p0, p1);
+        acc = zero;
+        since_flush = 0;
+      }
+    }
+    detail::flush_ps_to_pd(acc, p0, p1);
+    _mm512_storeu_pd(phi, _mm512_add_pd(_mm512_loadu_pd(phi), p0));
+    _mm512_storeu_pd(phi + 8, _mm512_add_pd(_mm512_loadu_pd(phi + 8), p1));
+  }
+};
+
+/// fp32 Coulomb potential+field tile: four zmm float accumulators, all
+/// rsqrt-only, flushed into eight fp64 registers.
+template <>
+struct TileSimdF32<true, CoulombGradKernel> {
+  static constexpr bool kAvailable = true;
+
+  static void run(const float* tx, const float* ty, const float* tz,
+                  const float* sx, const float* sy, const float* sz,
+                  const float* sq, std::size_t ns, CoulombGradKernel,
+                  double* phi, double* ex, double* ey, double* ez) {
+    const __m512 zero = _mm512_setzero_ps();
+    const __m512 tx0 = _mm512_loadu_ps(tx);
+    const __m512 ty0 = _mm512_loadu_ps(ty);
+    const __m512 tz0 = _mm512_loadu_ps(tz);
+    __m512d pp0 = _mm512_setzero_pd(), pp1 = _mm512_setzero_pd();
+    __m512d px0 = _mm512_setzero_pd(), px1 = _mm512_setzero_pd();
+    __m512d py0 = _mm512_setzero_pd(), py1 = _mm512_setzero_pd();
+    __m512d pz0 = _mm512_setzero_pd(), pz1 = _mm512_setzero_pd();
+    __m512 ap = zero, ax = zero, ay = zero, az = zero;
+    std::size_t since_flush = 0;
+    for (std::size_t j = 0; j < ns; ++j) {
+      const __m512 xj = _mm512_set1_ps(sx[j]);
+      const __m512 yj = _mm512_set1_ps(sy[j]);
+      const __m512 zj = _mm512_set1_ps(sz[j]);
+      const __m512 qj = _mm512_set1_ps(sq[j]);
+      const __m512 dx = _mm512_sub_ps(tx0, xj);
+      const __m512 dy = _mm512_sub_ps(ty0, yj);
+      const __m512 dz = _mm512_sub_ps(tz0, zj);
+      const __m512 r2 = _mm512_fmadd_ps(
+          dx, dx, _mm512_fmadd_ps(dy, dy, _mm512_mul_ps(dz, dz)));
+      const __m512 inv_r = detail::masked_rsqrt_ps_nr1(
+          r2, _mm512_cmp_ps_mask(r2, zero, _CMP_GT_OQ));
+      // w = q/r^3; target side accumulates +w*d (E = -grad phi).
+      const __m512 w = _mm512_mul_ps(
+          qj, _mm512_mul_ps(inv_r, _mm512_mul_ps(inv_r, inv_r)));
+      ap = _mm512_fmadd_ps(inv_r, qj, ap);
+      ax = _mm512_fmadd_ps(w, dx, ax);
+      ay = _mm512_fmadd_ps(w, dy, ay);
+      az = _mm512_fmadd_ps(w, dz, az);
+      if (++since_flush == kF32FlushInterval) {
+        detail::flush_ps_to_pd(ap, pp0, pp1);
+        detail::flush_ps_to_pd(ax, px0, px1);
+        detail::flush_ps_to_pd(ay, py0, py1);
+        detail::flush_ps_to_pd(az, pz0, pz1);
+        ap = ax = ay = az = zero;
+        since_flush = 0;
+      }
+    }
+    detail::flush_ps_to_pd(ap, pp0, pp1);
+    detail::flush_ps_to_pd(ax, px0, px1);
+    detail::flush_ps_to_pd(ay, py0, py1);
+    detail::flush_ps_to_pd(az, pz0, pz1);
+    _mm512_storeu_pd(phi, _mm512_add_pd(_mm512_loadu_pd(phi), pp0));
+    _mm512_storeu_pd(phi + 8, _mm512_add_pd(_mm512_loadu_pd(phi + 8), pp1));
+    _mm512_storeu_pd(ex, _mm512_add_pd(_mm512_loadu_pd(ex), px0));
+    _mm512_storeu_pd(ex + 8, _mm512_add_pd(_mm512_loadu_pd(ex + 8), px1));
+    _mm512_storeu_pd(ey, _mm512_add_pd(_mm512_loadu_pd(ey), py0));
+    _mm512_storeu_pd(ey + 8, _mm512_add_pd(_mm512_loadu_pd(ey + 8), py1));
+    _mm512_storeu_pd(ez, _mm512_add_pd(_mm512_loadu_pd(ez), pz0));
+    _mm512_storeu_pd(ez + 8, _mm512_add_pd(_mm512_loadu_pd(ez + 8), pz1));
+  }
+};
+
 #endif  // __AVX512F__
 
 /// One target against a source stream, vectorized across sources with a
@@ -511,6 +688,134 @@ inline void accumulate_tile(const double* __restrict tx,
       } else {
         accp[t] += kernel_value_masked(k, r2) * qj;
       }
+    }
+  }
+  for (std::size_t t = 0; t < nt; ++t) phi[t] += accp[t];
+  if constexpr (Field) {
+    for (std::size_t t = 0; t < nt; ++t) ex[t] += accx[t];
+    for (std::size_t t = 0; t < nt; ++t) ey[t] += accy[t];
+    for (std::size_t t = 0; t < nt; ++t) ez[t] += accz[t];
+  }
+}
+
+/// fp32 twin of accumulate_single: one target against a float source
+/// stream, simd-reduced in float per kF32FlushInterval block, block sums
+/// accumulated in fp64.
+template <bool Field, typename K>
+inline void accumulate_single_f32(double tx, double ty, double tz,
+                                  const float* __restrict sx,
+                                  const float* __restrict sy,
+                                  const float* __restrict sz,
+                                  const float* __restrict sq, std::size_t ns,
+                                  K k, double& phi, double& ex, double& ey,
+                                  double& ez) {
+  const float x = static_cast<float>(tx);
+  const float y = static_cast<float>(ty);
+  const float z = static_cast<float>(tz);
+  double dp = 0.0, dxs = 0.0, dys = 0.0, dzs = 0.0;
+  for (std::size_t j0 = 0; j0 < ns; j0 += kF32FlushInterval) {
+    const std::size_t jend = std::min(ns, j0 + kF32FlushInterval);
+    float accp = 0.0f, accx = 0.0f, accy = 0.0f, accz = 0.0f;
+#pragma omp simd reduction(+ : accp, accx, accy, accz)
+    for (std::size_t j = j0; j < jend; ++j) {
+      const float dx = x - sx[j];
+      const float dy = y - sy[j];
+      const float dz = z - sz[j];
+      const float r2 = dx * dx + dy * dy + dz * dz;
+      const float qj = sq[j];
+      if constexpr (Field) {
+        const GradValueF v = grad_value_masked(k, r2);
+        accp += v.g * qj;
+        accx -= v.slope * dx * qj;
+        accy -= v.slope * dy * qj;
+        accz -= v.slope * dz * qj;
+      } else {
+        accp += kernel_value_masked(k, r2) * qj;
+      }
+    }
+    dp += accp;
+    dxs += accx;
+    dys += accy;
+    dzs += accz;
+  }
+  phi += dp;
+  if constexpr (Field) {
+    ex += dxs;
+    ey += dys;
+    ez += dzs;
+  }
+}
+
+/// fp32 twin of accumulate_tile for tagged far-field interactions: fp64
+/// target coordinates are narrowed once per tile (<= 16 conversions against
+/// an O(ns) inner loop), sources stream as floats from an Fp32Shadow, and
+/// float partial sums are widened into the fp64 outputs every
+/// kF32FlushInterval sources.
+template <bool Field, bool Fast, typename K>
+inline void accumulate_tile_f32(const double* __restrict tx,
+                                const double* __restrict ty,
+                                const double* __restrict tz, std::size_t nt,
+                                const float* __restrict sx,
+                                const float* __restrict sy,
+                                const float* __restrict sz,
+                                const float* __restrict sq, std::size_t ns,
+                                K k, double* __restrict phi,
+                                double* __restrict ex, double* __restrict ey,
+                                double* __restrict ez) {
+  if (nt == 1) {
+    accumulate_single_f32<Field>(
+        tx[0], ty[0], tz[0], sx, sy, sz, sq, ns, k, phi[0],
+        Field ? ex[0] : phi[0], Field ? ey[0] : phi[0],
+        Field ? ez[0] : phi[0]);
+    return;
+  }
+  float ftx[kTargetTile], fty[kTargetTile], ftz[kTargetTile];
+  for (std::size_t t = 0; t < nt; ++t) {
+    ftx[t] = static_cast<float>(tx[t]);
+    fty[t] = static_cast<float>(ty[t]);
+    ftz[t] = static_cast<float>(tz[t]);
+  }
+  if constexpr (Fast && TileSimdF32<Field, K>::kAvailable) {
+    if (nt == kTargetTile) {
+      TileSimdF32<Field, K>::run(ftx, fty, ftz, sx, sy, sz, sq, ns, k, phi,
+                                 ex, ey, ez);
+      return;
+    }
+  }
+  double accp[kTargetTile] = {};
+  double accx[kTargetTile] = {};
+  double accy[kTargetTile] = {};
+  double accz[kTargetTile] = {};
+  for (std::size_t j0 = 0; j0 < ns; j0 += kF32FlushInterval) {
+    const std::size_t jend = std::min(ns, j0 + kF32FlushInterval);
+    float bp[kTargetTile] = {};
+    float bx[kTargetTile] = {};
+    float by[kTargetTile] = {};
+    float bz[kTargetTile] = {};
+    for (std::size_t j = j0; j < jend; ++j) {
+      const float xj = sx[j], yj = sy[j], zj = sz[j], qj = sq[j];
+#pragma omp simd
+      for (std::size_t t = 0; t < nt; ++t) {
+        const float dx = ftx[t] - xj;
+        const float dy = fty[t] - yj;
+        const float dz = ftz[t] - zj;
+        const float r2 = dx * dx + dy * dy + dz * dz;
+        if constexpr (Field) {
+          const GradValueF v = grad_value_masked(k, r2);
+          bp[t] += v.g * qj;
+          bx[t] -= v.slope * dx * qj;
+          by[t] -= v.slope * dy * qj;
+          bz[t] -= v.slope * dz * qj;
+        } else {
+          bp[t] += kernel_value_masked(k, r2) * qj;
+        }
+      }
+    }
+    for (std::size_t t = 0; t < nt; ++t) accp[t] += bp[t];
+    if constexpr (Field) {
+      for (std::size_t t = 0; t < nt; ++t) accx[t] += bx[t];
+      for (std::size_t t = 0; t < nt; ++t) accy[t] += by[t];
+      for (std::size_t t = 0; t < nt; ++t) accz[t] += bz[t];
     }
   }
   for (std::size_t t = 0; t < nt; ++t) phi[t] += accp[t];
@@ -658,7 +963,9 @@ void dual_transfer_apply(const double* parent, double* child,
 
 // ---- List-driven evaluators (implemented in cpu_kernels.cpp) -------------
 
-/// Evaluate potentials (tree order) for batched targets.
+/// Evaluate potentials (tree order) for batched targets. A non-null `fp32`
+/// shadow routes interactions tagged fp32-eligible through the fp32 tiles
+/// (null, or empty per-batch tags, executes everything fp64).
 std::vector<double> cpu_evaluate(const OrderedParticles& targets,
                                  const std::vector<TargetBatch>& batches,
                                  const InteractionLists& lists,
@@ -668,18 +975,16 @@ std::vector<double> cpu_evaluate(const OrderedParticles& targets,
                                  const KernelSpec& kernel,
                                  const ShiftTable* shifts = nullptr,
                                  EngineCounters* counters = nullptr,
-                                 CpuWorkspace* workspace = nullptr);
+                                 CpuWorkspace* workspace = nullptr,
+                                 const Fp32Shadow* fp32 = nullptr);
 
 /// Ablation path: `lists` has one entry per target (per-target MAC).
-std::vector<double> cpu_evaluate_per_target(const OrderedParticles& targets,
-                                            const InteractionLists& lists,
-                                            const ClusterTree& tree,
-                                            const OrderedParticles& sources,
-                                            const ClusterMoments& moments,
-                                            const KernelSpec& kernel,
-                                            const ShiftTable* shifts = nullptr,
-                                            EngineCounters* counters = nullptr,
-                                            CpuWorkspace* workspace = nullptr);
+std::vector<double> cpu_evaluate_per_target(
+    const OrderedParticles& targets, const InteractionLists& lists,
+    const ClusterTree& tree, const OrderedParticles& sources,
+    const ClusterMoments& moments, const KernelSpec& kernel,
+    const ShiftTable* shifts = nullptr, EngineCounters* counters = nullptr,
+    CpuWorkspace* workspace = nullptr, const Fp32Shadow* fp32 = nullptr);
 
 /// Potential + field evaluation (tree order) for batched targets, using the
 /// analytic gradient of the barycentric approximation (core/fields.hpp).
@@ -692,18 +997,16 @@ FieldResult cpu_evaluate_field(const OrderedParticles& targets,
                                const KernelSpec& kernel,
                                const ShiftTable* shifts = nullptr,
                                EngineCounters* counters = nullptr,
-                               CpuWorkspace* workspace = nullptr);
+                               CpuWorkspace* workspace = nullptr,
+                               const Fp32Shadow* fp32 = nullptr);
 
 /// Per-target-MAC potential + field evaluation.
-FieldResult cpu_evaluate_field_per_target(const OrderedParticles& targets,
-                                          const InteractionLists& lists,
-                                          const ClusterTree& tree,
-                                          const OrderedParticles& sources,
-                                          const ClusterMoments& moments,
-                                          const KernelSpec& kernel,
-                                          const ShiftTable* shifts = nullptr,
-                                          EngineCounters* counters = nullptr,
-                                          CpuWorkspace* workspace = nullptr);
+FieldResult cpu_evaluate_field_per_target(
+    const OrderedParticles& targets, const InteractionLists& lists,
+    const ClusterTree& tree, const OrderedParticles& sources,
+    const ClusterMoments& moments, const KernelSpec& kernel,
+    const ShiftTable* shifts = nullptr, EngineCounters* counters = nullptr,
+    CpuWorkspace* workspace = nullptr, const Fp32Shadow* fp32 = nullptr);
 
 /// Dual-traversal potential evaluation (tree order): executes CC/CP pairs
 /// onto target-node grids (parallel over grid groups), runs the downward
@@ -718,7 +1021,7 @@ std::vector<double> cpu_evaluate_dual(
     const OrderedParticles& sources,
     std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
     const ShiftTable* shifts = nullptr, EngineCounters* counters = nullptr,
-    CpuWorkspace* workspace = nullptr);
+    CpuWorkspace* workspace = nullptr, const Fp32Shadow* fp32 = nullptr);
 
 /// Dual-traversal potential + field evaluation: CP/CC accumulate the field
 /// at the target grid points and the downward pass interpolates each
@@ -731,6 +1034,6 @@ FieldResult cpu_evaluate_dual_field(
     const OrderedParticles& sources,
     std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
     const ShiftTable* shifts = nullptr, EngineCounters* counters = nullptr,
-    CpuWorkspace* workspace = nullptr);
+    CpuWorkspace* workspace = nullptr, const Fp32Shadow* fp32 = nullptr);
 
 }  // namespace bltc

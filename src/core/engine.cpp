@@ -41,6 +41,8 @@ void accumulate_counters(EngineCounters& total, const EngineCounters& piece) {
   total.cc_evals += piece.cc_evals;
   total.cp_launches += piece.cp_launches;
   total.cc_launches += piece.cc_launches;
+  total.fp32_evals += piece.fp32_evals;
+  total.fp64_evals += piece.fp64_evals;
 }
 
 void add_into(std::vector<double>& acc,

@@ -48,6 +48,11 @@ struct EngineCounters {
   double cc_evals = 0.0;
   std::size_t cp_launches = 0;
   std::size_t cc_launches = 0;
+  /// Mixed-precision split (core/precision.hpp): evaluations executed
+  /// through fp32 tiles vs fp64 tiles. fp32 + fp64 == total_evals(); both
+  /// zero under PrecisionPolicy::kFp64 except fp64_evals == total.
+  double fp32_evals = 0.0;
+  double fp64_evals = 0.0;
 
   double total_evals() const {
     return direct_evals + approx_evals + cp_evals + cc_evals;

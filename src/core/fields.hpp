@@ -33,13 +33,25 @@ struct GradValue {
   double slope = 0.0;  ///< G'(r)/r
 };
 
-/// Radial-derivative functors: `grad(r2)` returns G(r) and G'(r)/r.
+/// fp32 companion of GradValue for the mixed-precision tiles.
+struct GradValueF {
+  float g = 0.0f;
+  float slope = 0.0f;
+};
+
+/// Radial-derivative functors: `grad(r2)` returns G(r) and G'(r)/r. Each
+/// also provides an fp32 overload (selected by a float r2) mirroring the
+/// scalar kernels in core/kernels.hpp.
 struct CoulombGradKernel {
   static constexpr bool kSingular = true;
   GradValue grad(double r2) const {
     const double inv_r = 1.0 / std::sqrt(r2);
     const double inv_r2 = inv_r * inv_r;
     return {inv_r, -inv_r * inv_r2};  // slope = -1/r^3
+  }
+  GradValueF grad(float r2) const {
+    const float inv_r = 1.0f / std::sqrt(r2);
+    return {inv_r, -inv_r * inv_r * inv_r};
   }
 };
 
@@ -51,6 +63,12 @@ struct YukawaGradKernel {
     const double g = std::exp(-kappa * r) / r;
     return {g, -g * (kappa * r + 1.0) / r2};  // -e^{-kr}(kr+1)/r^3
   }
+  GradValueF grad(float r2) const {
+    const float kf = static_cast<float>(kappa);
+    const float r = std::sqrt(r2);
+    const float g = std::exp(-kf * r) / r;
+    return {g, -g * (kf * r + 1.0f) / r2};
+  }
 };
 
 struct GaussianGradKernel {
@@ -59,6 +77,11 @@ struct GaussianGradKernel {
   GradValue grad(double r2) const {
     const double g = std::exp(-kappa * r2);
     return {g, -2.0 * kappa * g};
+  }
+  GradValueF grad(float r2) const {
+    const float kf = static_cast<float>(kappa);
+    const float g = std::exp(-kf * r2);
+    return {g, -2.0f * kf * g};
   }
 };
 
@@ -69,6 +92,10 @@ struct MultiquadricGradKernel {
     const double g = std::sqrt(r2 + shape * shape);
     return {g, 1.0 / g};
   }
+  GradValueF grad(float r2) const {
+    const float g = std::sqrt(r2 + static_cast<float>(shape * shape));
+    return {g, 1.0f / g};
+  }
 };
 
 struct InverseSquareGradKernel {
@@ -76,6 +103,10 @@ struct InverseSquareGradKernel {
   GradValue grad(double r2) const {
     const double g = 1.0 / r2;
     return {g, -2.0 * g * g};  // -2/r^4
+  }
+  GradValueF grad(float r2) const {
+    const float g = 1.0f / r2;
+    return {g, -2.0f * g * g};
   }
 };
 
@@ -86,6 +117,16 @@ inline GradValue grad_value_masked(GradK k, double r2) {
   GradValue v = k.grad(r2);
   if constexpr (GradK::kSingular) {
     if (!(r2 > 0.0)) v = GradValue{};
+  }
+  return v;
+}
+
+/// fp32 overload of the guarded gradient value.
+template <typename GradK>
+inline GradValueF grad_value_masked(GradK k, float r2) {
+  GradValueF v = k.grad(r2);
+  if constexpr (GradK::kSingular) {
+    if (!(r2 > 0.0f)) v = GradValueF{};
   }
   return v;
 }

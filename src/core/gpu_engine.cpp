@@ -404,12 +404,13 @@ std::vector<double> gpu_evaluate_dual_device_resident(
     const DualInteractionLists& lists, const ClusterTree& source_tree,
     const OrderedParticles& sources,
     std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
-    EngineCounters* counters, bool mixed_precision,
-    const ShiftTable* shifts) {
+    EngineCounters* counters, const ShiftTable* shifts) {
   const std::size_t nn = target_tree.num_nodes();
   const std::size_t nlevels = target_grids.size();
-  const double weight = kernel_eval_weight(kernel, /*on_gpu=*/true) *
-                        (mixed_precision ? 0.5 : 1.0);
+  // Per-launch precision: a pair tagged fp32-eligible by the list builder
+  // runs single precision at the 2:1 FP32:FP64 modeled throughput of the
+  // paper's GPUs (Titan V); untagged pairs — every direct pair — run fp64.
+  const double weight = kernel_eval_weight(kernel, /*on_gpu=*/true);
 
   // Per-level grid-potential scratch (resident in a real implementation;
   // the engine's tgt_hat_ buffer stands in for it between calls).
@@ -435,6 +436,7 @@ std::vector<double> gpu_evaluate_dual_device_resident(
            e < lists.grid_offsets[g + 1]; ++e) {
         const DualPair& pair = lists.grid_pairs[e];
         const std::size_t level = pair.level;
+        const bool f32 = pair.fp32 != 0;
         const ClusterMoments& tg = target_grids[level];
         const ClusterMoments& sm = moment_levels[level];
         const std::size_t ppc = lppc[level];
@@ -463,13 +465,14 @@ std::vector<double> gpu_evaluate_dual_device_resident(
               }
             }
           }
+          const double evals = static_cast<double>(ppc) *
+                               static_cast<double>(ppc);
           gpusim::KernelCost cost;
-          cost.evals = weight * static_cast<double>(ppc) *
-                       static_cast<double>(ppc);
+          cost.evals = weight * (f32 ? 0.5 : 1.0) * evals;
           cost.blocks = ppc;
           device.launch(device.next_stream(), cost,
                         [&, tx, ty, tz, hrow, shift] {
-            if (mixed_precision) {
+            if (f32) {
               grid_accumulate_body<float>(tx, ty, tz, sx.data(), sy.data(),
                                           sz.data(), qhat.data(), ppc, k,
                                           hrow, shift);
@@ -479,18 +482,19 @@ std::vector<double> gpu_evaluate_dual_device_resident(
                                            hrow, shift);
             }
           });
-          local.cc_evals +=
-              static_cast<double>(ppc) * static_cast<double>(ppc);
+          local.cc_evals += evals;
+          if (f32) local.fp32_evals += evals;
           ++local.cc_launches;
         } else {  // kCP
           const ClusterNode& s = source_tree.node(pair.source);
+          const double evals = static_cast<double>(ppc) *
+                               static_cast<double>(s.count());
           gpusim::KernelCost cost;
-          cost.evals = weight * static_cast<double>(ppc) *
-                       static_cast<double>(s.count());
+          cost.evals = weight * (f32 ? 0.5 : 1.0) * evals;
           cost.blocks = ppc;
           device.launch(device.next_stream(), cost,
                         [&, tx, ty, tz, hrow, s, shift] {
-            if (mixed_precision) {
+            if (f32) {
               grid_accumulate_body<float>(
                   tx, ty, tz, sources.x.data() + s.begin,
                   sources.y.data() + s.begin, sources.z.data() + s.begin,
@@ -502,8 +506,8 @@ std::vector<double> gpu_evaluate_dual_device_resident(
                   sources.q.data() + s.begin, s.count(), k, hrow, shift);
             }
           });
-          local.cp_evals +=
-              static_cast<double>(ppc) * static_cast<double>(s.count());
+          local.cp_evals += evals;
+          if (f32) local.fp32_evals += evals;
           ++local.cp_launches;
         }
       }
@@ -586,19 +590,21 @@ std::vector<double> gpu_evaluate_dual_device_resident(
         const DualPair& pair = lists.leaf_pairs[e];
         const ResolvedShift shift = resolve_pair_shift(shifts, pair);
         if (pair.kind == DualKind::kPC) {
+          const bool f32 = pair.fp32 != 0;
           const ClusterMoments& sm = moment_levels[pair.level];
           const std::size_t ppc = sm.points_per_cluster();
           const auto gx = sm.grid(pair.source, 0);
           const auto gy = sm.grid(pair.source, 1);
           const auto gz = sm.grid(pair.source, 2);
           const auto qhat = sm.qhat(pair.source);
+          const double evals = static_cast<double>(batch.count()) *
+                               static_cast<double>(ppc);
           gpusim::KernelCost cost;
-          cost.evals = weight * static_cast<double>(batch.count()) *
-                       static_cast<double>(ppc);
+          cost.evals = weight * (f32 ? 0.5 : 1.0) * evals;
           cost.blocks = batch.count();
           device.launch(device.next_stream(), cost, [&, gx, gy, gz, qhat,
                                                      batch, shift] {
-            if (mixed_precision) {
+            if (f32) {
               approx_kernel_body<float>(targets, batch, gx, gy, gz, qhat, k,
                                         phi, shift);
             } else {
@@ -606,23 +612,18 @@ std::vector<double> gpu_evaluate_dual_device_resident(
                                          phi, shift);
             }
           });
-          local.approx_evals += static_cast<double>(batch.count()) *
-                                static_cast<double>(ppc);
+          local.approx_evals += evals;
+          if (f32) local.fp32_evals += evals;
           ++local.approx_launches;
-        } else if (!lists.self) {  // one-directional direct
+        } else if (!lists.self) {  // one-directional direct, always fp64
           const ClusterNode& s = source_tree.node(pair.source);
           gpusim::KernelCost cost;
           cost.evals = weight * static_cast<double>(batch.count()) *
                        static_cast<double>(s.count());
           cost.blocks = batch.count();
           device.launch(device.next_stream(), cost, [&, s, batch, shift] {
-            if (mixed_precision) {
-              direct_kernel_body<float>(targets, batch, sources, s, k, phi,
-                                        shift);
-            } else {
-              direct_kernel_body<double>(targets, batch, sources, s, k, phi,
-                                         shift);
-            }
+            direct_kernel_body<double>(targets, batch, sources, s, k, phi,
+                                       shift);
           });
           local.direct_evals += static_cast<double>(batch.count()) *
                                 static_cast<double>(s.count());
@@ -639,11 +640,7 @@ std::vector<double> gpu_evaluate_dual_device_resident(
           // the source particles see update_charges — read everything from
           // the live source arrays.
           device.launch(device.next_stream(), cost, [&] {
-            if (mixed_precision) {
-              direct_self_body<float>(sources, leaf, k, phi);
-            } else {
-              direct_self_body<double>(sources, leaf, k, phi);
-            }
+            direct_self_body<double>(sources, leaf, k, phi);
           });
           local.direct_evals += evals;
           ++local.direct_launches;
@@ -656,11 +653,7 @@ std::vector<double> gpu_evaluate_dual_device_resident(
           cost.evals = weight * evals;
           cost.blocks = batch.count();
           device.launch(device.next_stream(), cost, [&, s] {
-            if (mixed_precision) {
-              direct_mutual_body<float>(sources, leaf, s, k, phi);
-            } else {
-              direct_mutual_body<double>(sources, leaf, s, k, phi);
-            }
+            direct_mutual_body<double>(sources, leaf, s, k, phi);
           });
           local.direct_evals += evals;
           ++local.direct_launches;
@@ -670,6 +663,7 @@ std::vector<double> gpu_evaluate_dual_device_resident(
   });
 
   device.synchronize();
+  local.fp64_evals = local.total_evals() - local.fp32_evals;
   if (counters != nullptr) *counters = local;
   return phi_store;
 }
@@ -679,14 +673,14 @@ std::vector<double> gpu_evaluate_device_resident(
     const std::vector<TargetBatch>& batches, const InteractionLists& lists,
     const ClusterTree& tree, const OrderedParticles& sources,
     const ClusterMoments& moments, const KernelSpec& kernel,
-    EngineCounters* counters, bool mixed_precision,
-    const ShiftTable* shifts) {
+    EngineCounters* counters, const ShiftTable* shifts) {
   std::vector<double> phi_store(targets.size(), 0.0);
   const std::span<double> phi = phi_store;
-  // Single precision roughly doubles effective throughput on the paper's
-  // GPUs (Titan V FP32:FP64 = 2:1).
-  const double weight = kernel_eval_weight(kernel, /*on_gpu=*/true) *
-                        (mixed_precision ? 0.5 : 1.0);
+  // Per-launch precision: approximation launches tagged fp32-eligible run
+  // single precision, which roughly doubles effective throughput on the
+  // paper's GPUs (Titan V FP32:FP64 = 2:1); direct launches always run
+  // fp64 (they have no truncation budget to hide the float floor in).
+  const double weight = kernel_eval_weight(kernel, /*on_gpu=*/true);
   EngineCounters local;
 
   with_kernel(kernel, [&](auto k) {
@@ -701,21 +695,23 @@ std::vector<double> gpu_evaluate_device_resident(
 
       for (std::size_t e = 0; e < bi.approx.size(); ++e) {
         const int ci = bi.approx[e];
+        const bool f32 = e < bi.approx_fp32.size() && bi.approx_fp32[e] != 0;
         const ResolvedShift shift = resolve_shift(shifts, bi.approx_shift, e);
         const auto gx = moments.grid(ci, 0);
         const auto gy = moments.grid(ci, 1);
         const auto gz = moments.grid(ci, 2);
         const auto qhat = moments.qhat(ci);
+        const double evals = static_cast<double>(batch.count()) *
+                             static_cast<double>(qhat.size());
         gpusim::KernelCost cost;
-        cost.evals = weight * static_cast<double>(batch.count()) *
-                     static_cast<double>(qhat.size());
+        cost.evals = weight * (f32 ? 0.5 : 1.0) * evals;
         cost.blocks = batch.count();
         device.launch(device.next_stream(), cost,
                       [&, gx, gy, gz, qhat, shift] {
           // Batch-cluster approximation kernel (Eq. 11): one target per
           // block; threads over Chebyshev points with a block reduction.
           // The shift is read from the device-resident table by id.
-          if (mixed_precision) {
+          if (f32) {
             approx_kernel_body<float>(targets, batch, gx, gy, gz, qhat, k,
                                       phi, shift);
           } else {
@@ -723,8 +719,8 @@ std::vector<double> gpu_evaluate_device_resident(
                                        phi, shift);
           }
         });
-        local.approx_evals += static_cast<double>(batch.count()) *
-                              static_cast<double>(qhat.size());
+        local.approx_evals += evals;
+        if (f32) local.fp32_evals += evals;
         ++local.approx_launches;
       }
 
@@ -738,13 +734,9 @@ std::vector<double> gpu_evaluate_device_resident(
         device.launch(device.next_stream(), cost, [&, node, shift] {
           // Batch-cluster direct sum kernel (Eq. 9): one target per block;
           // threads over the cluster's source particles with a reduction.
-          if (mixed_precision) {
-            direct_kernel_body<float>(targets, batch, sources, node, k, phi,
-                                      shift);
-          } else {
-            direct_kernel_body<double>(targets, batch, sources, node, k, phi,
-                                       shift);
-          }
+          // Direct tiles run fp64 under every precision policy.
+          direct_kernel_body<double>(targets, batch, sources, node, k, phi,
+                                     shift);
         });
         local.direct_evals += static_cast<double>(batch.count()) *
                               static_cast<double>(node.count());
@@ -754,6 +746,7 @@ std::vector<double> gpu_evaluate_device_resident(
   });
 
   device.synchronize();
+  local.fp64_evals = local.total_evals() - local.fp32_evals;
   if (counters != nullptr) *counters = local;
   return phi_store;
 }
@@ -767,7 +760,6 @@ std::vector<double> gpu_evaluate(gpusim::Device& device,
                                  const ClusterMoments& moments,
                                  const KernelSpec& kernel,
                                  EngineCounters* counters,
-                                 bool mixed_precision,
                                  const ShiftTable* shifts) {
   // HtD: targets, source particles (for direct interactions), cluster grid
   // coordinates and modified charges (the serial-run equivalent of copying
@@ -790,7 +782,7 @@ std::vector<double> gpu_evaluate(gpusim::Device& device,
 
   std::vector<double> phi = gpu_evaluate_device_resident(
       device, targets, batches, lists, tree, sources, moments, kernel,
-      counters, mixed_precision, shifts);
+      counters, shifts);
 
   // DtH: final potentials.
   device.device_to_host(phi.size() * sizeof(double));
@@ -841,12 +833,31 @@ void GpuSimEngine::prepare_sources(const SourcePlan& plan,
   apply_precompute_result(pre, tree, moments_);
 
   // HtD: cluster data (grids + modified charges) staged for the compute
-  // phase; stays resident across evaluations.
+  // phase; stays resident across evaluations. Under a non-fp64 precision
+  // policy the cluster arrays are fp32-resident — only far-field launches
+  // read them, so a real implementation ships them as floats and the
+  // modeled transfer is half the bytes (the simulated kernels still read
+  // the double storage; the fp32 arithmetic is modeled by the 2:1 launch
+  // weight).
+  const std::size_t cluster_elem_bytes =
+      params.precision != PrecisionPolicy::kFp64 ? sizeof(float)
+                                                 : sizeof(double);
+  const auto stage_cluster = [&](std::span<const double> host) {
+    auto buf = std::make_unique<Buffer>(device_, host.size());
+    std::copy(host.begin(), host.end(), buf->span().begin());
+    device_.host_to_device(host.size() * cluster_elem_bytes);
+    return buf;
+  };
+  const auto restage_cluster = [&](Buffer& buf,
+                                   std::span<const double> host) {
+    std::copy(host.begin(), host.end(), buf.span().begin());
+    device_.host_to_device(host.size() * cluster_elem_bytes);
+  };
   if (charges_only) {
-    qhat_->upload(moments_.all_qhat());
+    restage_cluster(*qhat_, moments_.all_qhat());
   } else {
-    grids_ = std::make_unique<Buffer>(device_, moments_.all_grids());
-    qhat_ = std::make_unique<Buffer>(device_, moments_.all_qhat());
+    grids_ = stage_cluster(moments_.all_grids());
+    qhat_ = stage_cluster(moments_.all_qhat());
     // New source geometry orphans the attached LET; the caller re-attaches
     // after the exchange.
     let_.clear();
@@ -883,14 +894,12 @@ void GpuSimEngine::prepare_sources(const SourcePlan& plan,
     }
     if (charges_only) {
       for (std::size_t l = 1; l < dual_moments_.size(); ++l) {
-        dual_qhat_[l - 1]->upload(dual_moments_[l].all_qhat());
+        restage_cluster(*dual_qhat_[l - 1], dual_moments_[l].all_qhat());
       }
     } else {
       for (std::size_t l = 1; l < dual_moments_.size(); ++l) {
-        dual_grids_.push_back(std::make_unique<Buffer>(
-            device_, dual_moments_[l].all_grids()));
-        dual_qhat_.push_back(std::make_unique<Buffer>(
-            device_, dual_moments_[l].all_qhat()));
+        dual_grids_.push_back(stage_cluster(dual_moments_[l].all_grids()));
+        dual_qhat_.push_back(stage_cluster(dual_moments_[l].all_qhat()));
       }
     }
   }
@@ -935,6 +944,11 @@ void GpuSimEngine::update_sources(const SourcePlan& plan,
   pending_modeled_precompute_ +=
       device_.marker().kernel_seconds - before.kernel_seconds;
 
+  // fp32-resident charge arrays (precision policy != kFp64) restage their
+  // dirty ranges at half the bytes, matching the prepare-time staging model.
+  const std::size_t cluster_elem_bytes =
+      params.precision != PrecisionPolicy::kFp64 ? sizeof(float)
+                                                 : sizeof(double);
   const std::size_t ppc = moments_.points_per_cluster();
   const auto dq = qhat_->span();
   for (std::size_t i = 0; i < update.dirty_clusters.size(); ++i) {
@@ -945,7 +959,8 @@ void GpuSimEngine::update_sources(const SourcePlan& plan,
     std::copy(dst.begin(), dst.end(),
               dq.begin() + static_cast<std::ptrdiff_t>(c * ppc));
   }
-  device_.host_to_device(update.dirty_clusters.size() * ppc * sizeof(double));
+  device_.host_to_device(update.dirty_clusters.size() * ppc *
+                         cluster_elem_bytes);
 
   // Dual ladder: restrict the dirty clusters per level (one small modeled
   // launch per level) and update-device their coarse charge ranges.
@@ -980,7 +995,7 @@ void GpuSimEngine::update_sources(const SourcePlan& plan,
                   dhat.begin() + static_cast<std::ptrdiff_t>(c * cppc));
       }
       device_.host_to_device(update.dirty_clusters.size() * cppc *
-                             sizeof(double));
+                             cluster_elem_bytes);
     }
   }
 }
@@ -1175,23 +1190,21 @@ std::vector<double> GpuSimEngine::evaluate_potential(
     phi = gpu_evaluate_dual_device_resident(
         device_, tgt, *targets.tree, targets.grids, targets.dual_lists[0],
         *sources.tree, *sources.particles, dual_moments_, kernel, &counters,
-        options_.mixed_precision, targets.shifts);
+        targets.shifts);
   } else {
     // Local piece first, then the attached LET pieces in piece order (fixed
     // accumulation order keeps the result deterministic and backend-
     // independent).
     phi = gpu_evaluate_device_resident(
         device_, tgt, *targets.batches, targets.lists[0], *sources.tree,
-        *sources.particles, moments_, kernel, &counters,
-        options_.mixed_precision, targets.shifts);
+        *sources.particles, moments_, kernel, &counters, targets.shifts);
     for (std::size_t p = 0; p < let_.size(); ++p) {
       const LetPiece& piece = let_[p].piece;
       EngineCounters piece_counters;
       add_into(phi, gpu_evaluate_device_resident(
                         device_, tgt, *targets.batches, targets.lists[1 + p],
                         *piece.plan.tree, *piece.plan.particles,
-                        *piece.plan.moments, kernel, &piece_counters,
-                        options_.mixed_precision));
+                        *piece.plan.moments, kernel, &piece_counters));
       accumulate_counters(counters, piece_counters);
     }
   }
@@ -1207,6 +1220,8 @@ std::vector<double> GpuSimEngine::evaluate_potential(
   stats.cc_evals = counters.cc_evals;
   stats.cp_launches = counters.cp_launches;
   stats.cc_launches = counters.cc_launches;
+  stats.fp32_evals = counters.fp32_evals;
+  stats.fp64_evals = counters.fp64_evals;
 
   // Modeled times on the paper's hardware: host-side setup work plus all
   // PCIe transfers since the last report are attributed to the setup phase

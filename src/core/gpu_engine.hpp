@@ -93,20 +93,26 @@ GpuPrecomputeResult gpu_precompute_moments(gpusim::Device& device,
 /// by adding the entry's shift — read from the device-resident table by its
 /// compact id — to the source stream inside the kernel bodies; the cluster
 /// data itself is shared by every image.
+///
+/// Launch precision is per interaction: approximation launches whose list
+/// entry is tagged fp32-eligible (`BatchInteractions::approx_fp32`, see
+/// core/precision.hpp) run single precision at the 2:1 FP32:FP64 modeled
+/// throughput of the paper's GPUs; direct launches always run fp64.
 std::vector<double> gpu_evaluate_device_resident(
     gpusim::Device& device, const OrderedParticles& targets,
     const std::vector<TargetBatch>& batches, const InteractionLists& lists,
     const ClusterTree& tree, const OrderedParticles& sources,
     const ClusterMoments& moments, const KernelSpec& kernel,
-    EngineCounters* counters = nullptr, bool mixed_precision = false,
-    const ShiftTable* shifts = nullptr);
+    EngineCounters* counters = nullptr, const ShiftTable* shifts = nullptr);
 
 /// Dual-traversal potential evaluation assuming all inputs (including the
 /// target cluster grids) are device resident. Models the BLDTT launch
 /// classes: CC/CP kernels accumulate onto per-target-node grid potentials,
 /// a downward-pass kernel chain propagates parent grids to children and
 /// interpolates leaf grids to particles, and PC/direct kernels reuse the
-/// batch-cluster bodies with target leaves as batches.
+/// batch-cluster bodies with target leaves as batches. PC/CP/CC launches
+/// tagged fp32-eligible (`DualPair::fp32`) run single precision at the 2:1
+/// modeled throughput; direct launches always run fp64.
 std::vector<double> gpu_evaluate_dual_device_resident(
     gpusim::Device& device, const OrderedParticles& targets,
     const ClusterTree& target_tree,
@@ -114,8 +120,7 @@ std::vector<double> gpu_evaluate_dual_device_resident(
     const DualInteractionLists& lists, const ClusterTree& source_tree,
     const OrderedParticles& sources,
     std::span<const ClusterMoments> moment_levels, const KernelSpec& kernel,
-    EngineCounters* counters = nullptr, bool mixed_precision = false,
-    const ShiftTable* shifts = nullptr);
+    EngineCounters* counters = nullptr, const ShiftTable* shifts = nullptr);
 
 /// Run the potential evaluation (kernels 3 and 4) for all batches on
 /// `device`, including the HtD upload of targets/sources/cluster data and
@@ -130,7 +135,6 @@ std::vector<double> gpu_evaluate(gpusim::Device& device,
                                  const ClusterMoments& moments,
                                  const KernelSpec& kernel,
                                  EngineCounters* counters = nullptr,
-                                 bool mixed_precision = false,
                                  const ShiftTable* shifts = nullptr);
 
 /// Engine-interface wrapper owning one simulated device for the lifetime of

@@ -21,7 +21,7 @@ struct ImageShift {
 void traverse(const ClusterTree& tree, int ci,
               const std::array<double, 3>& center, double radius,
               double theta, int degree, const ImageShift& shift,
-              BatchInteractions& out) {
+              PrecisionPolicy precision, BatchInteractions& out) {
   const ClusterNode& cluster = tree.node(ci);
   if (cluster.count() == 0) return;
   const std::array<double, 3> shifted{cluster.center[0] + shift.x,
@@ -36,6 +36,14 @@ void traverse(const ClusterTree& tree, int ci,
                        cluster.count(), theta, degree)) {
     case MacResult::kApprox:
       emit(out.approx, out.approx_shift);
+      if (precision != PrecisionPolicy::kFp64) {
+        // The admitted interaction's own opening ratio decides whether its
+        // truncation budget can absorb the fp32 tile floor.
+        const double kappa = (radius + cluster.radius) /
+                             distance(center, shifted);
+        out.approx_fp32.push_back(
+            fp32_admissible(precision, kappa, degree, theta, degree) ? 1 : 0);
+      }
       return;
     case MacResult::kClusterSmall:
       emit(out.direct, out.direct_shift);
@@ -46,7 +54,7 @@ void traverse(const ClusterTree& tree, int ci,
       } else {
         for (int c = 0; c < cluster.num_children; ++c) {
           traverse(tree, cluster.children[static_cast<std::size_t>(c)], center,
-                   radius, theta, degree, shift, out);
+                   radius, theta, degree, shift, precision, out);
         }
       }
       return;
@@ -68,9 +76,28 @@ std::vector<ImageShift> image_shifts(const ShiftTable* shifts) {
 
 }  // namespace
 
+namespace {
+
+/// Aggregate totals shared by both batched builders; under kMixed every
+/// untagged approx entry is a demotion (it wanted fp32 but failed the
+/// bound).
+void finish_totals(InteractionLists& lists, PrecisionPolicy precision) {
+  for (const auto& bi : lists.per_batch) {
+    lists.total_approx += bi.approx.size();
+    lists.total_direct += bi.direct.size();
+    for (const std::uint8_t tag : bi.approx_fp32) lists.total_fp32 += tag;
+  }
+  if (precision == PrecisionPolicy::kMixed) {
+    lists.precision_demotions = lists.total_approx - lists.total_fp32;
+  }
+}
+
+}  // namespace
+
 InteractionLists build_interaction_lists(
     const std::vector<TargetBatch>& batches, const ClusterTree& tree,
-    double theta, int degree, const ShiftTable* shifts) {
+    double theta, int degree, const ShiftTable* shifts,
+    PrecisionPolicy precision) {
   InteractionLists lists;
   lists.per_batch.resize(batches.size());
   if (tree.num_nodes() == 0) return lists;
@@ -79,13 +106,10 @@ InteractionLists build_interaction_lists(
   for (std::size_t b = 0; b < batches.size(); ++b) {
     for (const ImageShift& image : images) {
       traverse(tree, tree.root(), batches[b].center, batches[b].radius, theta,
-               degree, image, lists.per_batch[b]);
+               degree, image, precision, lists.per_batch[b]);
     }
   }
-  for (const auto& bi : lists.per_batch) {
-    lists.total_approx += bi.approx.size();
-    lists.total_direct += bi.direct.size();
-  }
+  finish_totals(lists, precision);
   return lists;
 }
 
@@ -98,8 +122,19 @@ struct DualTraversal {
   const ClusterTree& stree;
   double theta;
   int degree;                ///< nominal interpolation degree n
+  PrecisionPolicy precision = PrecisionPolicy::kFp64;
   std::vector<int> ladder;   ///< dual_degree_ladder(degree)
   std::vector<double> lppc;  ///< (ladder[l]+1)^3 per level
+
+  /// fp32 tag for a far-field pair: the error ladder already chose the
+  /// degree this pair executes at, so the precision question is whether
+  /// that degree's truncation bound at this kappa still leaves room for
+  /// the fp32 tile floor under the nominal target.
+  std::uint8_t pair_fp32(double kappa, std::uint8_t level) const {
+    return fp32_admissible(precision, kappa, ladder[level], theta, degree)
+               ? 1
+               : 0;
+  }
 
   /// Chebyshev interpolation of a kernel analytic outside the cluster
   /// converges geometrically with the Bernstein-ellipse parameter
@@ -146,17 +181,18 @@ struct DualTraversal {
   /// Emit `kind` once per non-empty target leaf under `ti` (particle-
   /// accumulating kinds are anchored at leaves so their particle ranges are
   /// disjoint across groups).
-  void emit_at_leaves(DualKind kind, std::uint8_t level, int ti, int si,
-                      std::uint16_t sid, std::vector<DualPair>& out) const {
+  void emit_at_leaves(DualKind kind, std::uint8_t level, std::uint8_t fp32,
+                      int ti, int si, std::uint16_t sid,
+                      std::vector<DualPair>& out) const {
     const ClusterNode& t = ttree.node(ti);
     if (t.count() == 0) return;
     if (t.is_leaf()) {
-      out.push_back({kind, level, ti, si, sid});
+      out.push_back({kind, level, fp32, ti, si, sid});
       return;
     }
     for (int c = 0; c < t.num_children; ++c) {
-      emit_at_leaves(kind, level, t.children[static_cast<std::size_t>(c)], si,
-                     sid, out);
+      emit_at_leaves(kind, level, fp32,
+                     t.children[static_cast<std::size_t>(c)], si, sid, out);
     }
   }
 
@@ -176,10 +212,11 @@ struct DualTraversal {
     if (t.radius + s.radius < theta * r) {
       // Separated: pick the ladder level the pair's separation ratio
       // admits, then the cheapest interaction kind at that level.
+      const double kappa = (t.radius + s.radius) / r;
       const std::uint8_t level =
-          pick_level((t.radius + s.radius) / r,
-                     static_cast<double>(s.count()),
+          pick_level(kappa, static_cast<double>(s.count()),
                      static_cast<double>(t.count()));
+      const std::uint8_t fp32 = pair_fp32(kappa, level);
       const double p = lppc[level];
       const double ct = static_cast<double>(t.count());
       const double cs = static_cast<double>(s.count());
@@ -189,13 +226,13 @@ struct DualTraversal {
       const double cost_cc = p * p;
       if (cost_direct <= cost_pc && cost_direct <= cost_cp &&
           cost_direct <= cost_cc) {
-        emit_at_leaves(DualKind::kDirect, 0, ti, si, image.id, out);
+        emit_at_leaves(DualKind::kDirect, 0, 0, ti, si, image.id, out);
       } else if (cost_cc <= cost_pc && cost_cc <= cost_cp) {
-        out.push_back({DualKind::kCC, level, ti, si, image.id});
+        out.push_back({DualKind::kCC, level, fp32, ti, si, image.id});
       } else if (cost_pc <= cost_cp) {
-        emit_at_leaves(DualKind::kPC, level, ti, si, image.id, out);
+        emit_at_leaves(DualKind::kPC, level, fp32, ti, si, image.id, out);
       } else {
-        out.push_back({DualKind::kCP, level, ti, si, image.id});
+        out.push_back({DualKind::kCP, level, fp32, ti, si, image.id});
       }
       return;
     }
@@ -205,7 +242,7 @@ struct DualTraversal {
     const bool t_splittable = !t.is_leaf();
     const bool s_splittable = !s.is_leaf();
     if (!t_splittable && !s_splittable) {
-      out.push_back({DualKind::kDirect, 0, ti, si, image.id});
+      out.push_back({DualKind::kDirect, 0, 0, ti, si, image.id});
       return;
     }
     const bool split_target =
@@ -247,7 +284,7 @@ struct DualTraversal {
       }
       return;
     }
-    out.push_back({DualKind::kDirect, 0, ti, si});
+    out.push_back({DualKind::kDirect, 0, 0, ti, si});
   }
 
   /// Unordered pair of disjoint nodes of the one tree. Far-field kinds are
@@ -278,16 +315,17 @@ struct DualTraversal {
       }
       const auto emit_dir = [&](int ti, int si, std::uint8_t level,
                                 double ct, double cs) {
+        const std::uint8_t fp32 = pair_fp32(kappa, level);
         const double p = lppc[level];
         const double cost_pc = ct * p;
         const double cost_cp = p * cs;
         const double cost_cc = p * p;
         if (cost_cc <= cost_pc && cost_cc <= cost_cp) {
-          out.push_back({DualKind::kCC, level, ti, si});
+          out.push_back({DualKind::kCC, level, fp32, ti, si});
         } else if (cost_pc <= cost_cp) {
-          emit_at_leaves(DualKind::kPC, level, ti, si, 0, out);
+          emit_at_leaves(DualKind::kPC, level, fp32, ti, si, 0, out);
         } else {
-          out.push_back({DualKind::kCP, level, ti, si});
+          out.push_back({DualKind::kCP, level, fp32, ti, si});
         }
       };
       emit_dir(i, j, l1, ca, cb);
@@ -298,7 +336,7 @@ struct DualTraversal {
     const bool a_splittable = !a.is_leaf();
     const bool b_splittable = !b.is_leaf();
     if (!a_splittable && !b_splittable) {
-      out.push_back({DualKind::kDirect, 0, i, j});
+      out.push_back({DualKind::kDirect, 0, 0, i, j});
       return;
     }
     const bool split_a =
@@ -321,7 +359,7 @@ struct DualTraversal {
     const ClusterNode& a = ttree.node(i);
     if (a.count() == 0) return;
     if (a.is_leaf()) {
-      out.push_back({DualKind::kDirect, 0, i, i});
+      out.push_back({DualKind::kDirect, 0, 0, i, i});
       return;
     }
     for (int c = 0; c < a.num_children; ++c) {
@@ -375,7 +413,8 @@ DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
                                                   const ClusterTree& stree,
                                                   double theta, int degree,
                                                   bool self,
-                                                  const ShiftTable* shifts) {
+                                                  const ShiftTable* shifts,
+                                                  PrecisionPolicy precision) {
   DualInteractionLists lists;
   lists.grid_offsets.assign(1, 0);
   lists.leaf_offsets.assign(1, 0);
@@ -393,7 +432,8 @@ DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
         "periodic boundaries");
   }
 
-  DualTraversal walker{ttree, stree, theta, degree, lists.ladder, {}};
+  DualTraversal walker{ttree, stree, theta, degree, precision, lists.ladder,
+                       {}};
   walker.lppc.reserve(walker.ladder.size());
   for (const int d : walker.ladder) {
     walker.lppc.push_back(
@@ -516,13 +556,18 @@ DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
       case DualKind::kCC: ++lists.total_cc; break;
       case DualKind::kDirect: ++lists.total_direct; break;
     }
+    lists.total_fp32 += p.fp32;
+  }
+  if (precision == PrecisionPolicy::kMixed) {
+    lists.precision_demotions =
+        lists.total_pc + lists.total_cp + lists.total_cc - lists.total_fp32;
   }
   return lists;
 }
 
 InteractionLists build_interaction_lists_per_target(
     const OrderedParticles& targets, const ClusterTree& tree, double theta,
-    int degree, const ShiftTable* shifts) {
+    int degree, const ShiftTable* shifts, PrecisionPolicy precision) {
   InteractionLists lists;
   lists.per_batch.resize(targets.size());
   if (tree.num_nodes() == 0) return lists;
@@ -531,14 +576,11 @@ InteractionLists build_interaction_lists_per_target(
   for (std::size_t i = 0; i < targets.size(); ++i) {
     const std::array<double, 3> pt{targets.x[i], targets.y[i], targets.z[i]};
     for (const ImageShift& image : images) {
-      traverse(tree, tree.root(), pt, 0.0, theta, degree, image,
+      traverse(tree, tree.root(), pt, 0.0, theta, degree, image, precision,
                lists.per_batch[i]);
     }
   }
-  for (const auto& bi : lists.per_batch) {
-    lists.total_approx += bi.approx.size();
-    lists.total_direct += bi.direct.size();
-  }
+  finish_totals(lists, precision);
   return lists;
 }
 

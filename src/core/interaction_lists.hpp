@@ -13,6 +13,7 @@
 #include "core/batches.hpp"
 #include "core/mac.hpp"
 #include "core/periodic.hpp"
+#include "core/precision.hpp"
 #include "core/tree.hpp"
 
 namespace bltc {
@@ -31,6 +32,12 @@ struct BatchInteractions {
   std::vector<int> direct;  ///< cluster indices, direct summation
   std::vector<std::uint16_t> approx_shift;  ///< shift ids (periodic only)
   std::vector<std::uint16_t> direct_shift;  ///< shift ids (periodic only)
+  /// Per-interaction fp32 tags parallel to `approx` (core/precision.hpp):
+  /// 1 = the tile may execute fp32 (its truncation bound plus the fp32
+  /// floor meets the nominal target). Empty under PrecisionPolicy::kFp64 —
+  /// executors treat empty as all-fp64, keeping that path byte-identical.
+  /// Direct entries carry no tags; they are always fp64.
+  std::vector<std::uint8_t> approx_fp32;
 };
 
 /// Lists for all batches plus aggregate counts used by benches and the
@@ -39,6 +46,10 @@ struct InteractionLists {
   std::vector<BatchInteractions> per_batch;
   std::size_t total_approx = 0;
   std::size_t total_direct = 0;
+  std::size_t total_fp32 = 0;  ///< approx entries tagged fp32-eligible
+  /// Interactions that wanted fp32 under kMixed but failed the error bound
+  /// (always 0 under kFp64/kFp32Far).
+  std::size_t precision_demotions = 0;
 };
 
 /// Build interaction lists with the batch-level MAC (the paper's default).
@@ -46,17 +57,18 @@ struct InteractionLists {
 /// source tree per lattice shift, testing the MAC against shifted cluster
 /// centers and tagging every emitted entry with its shift id; entries are
 /// shift-major per batch, home cell first, so the ordering is deterministic.
-InteractionLists build_interaction_lists(const std::vector<TargetBatch>& batches,
-                                         const ClusterTree& tree, double theta,
-                                         int degree,
-                                         const ShiftTable* shifts = nullptr);
+InteractionLists build_interaction_lists(
+    const std::vector<TargetBatch>& batches, const ClusterTree& tree,
+    double theta, int degree, const ShiftTable* shifts = nullptr,
+    PrecisionPolicy precision = PrecisionPolicy::kFp64);
 
 /// Ablation variant: apply the MAC per target particle instead of per batch
 /// (§3.2 argues batching is near-optimal; this quantifies the claim). The
 /// result has one BatchInteractions per *target particle* of `targets`.
 InteractionLists build_interaction_lists_per_target(
     const OrderedParticles& targets, const ClusterTree& tree, double theta,
-    int degree, const ShiftTable* shifts = nullptr);
+    int degree, const ShiftTable* shifts = nullptr,
+    PrecisionPolicy precision = PrecisionPolicy::kFp64);
 
 // ---- Dual traversal (BLDTT) ----------------------------------------------
 
@@ -89,6 +101,9 @@ std::vector<int> dual_degree_ladder(int degree);
 struct DualPair {
   DualKind kind;
   std::uint8_t level = 0;
+  /// fp32 tag (core/precision.hpp): 1 = this far-field pair may execute
+  /// fp32 (always 0 for kDirect and under PrecisionPolicy::kFp64).
+  std::uint8_t fp32 = 0;
   int target = -1;
   int source = -1;
   std::uint16_t shift = 0;  ///< lattice shift id (0 = home cell / open)
@@ -118,6 +133,9 @@ struct DualInteractionLists {
   std::size_t total_cp = 0;
   std::size_t total_cc = 0;
   std::size_t total_direct = 0;
+  std::size_t total_fp32 = 0;  ///< far-field pairs tagged fp32-eligible
+  /// Pairs that wanted fp32 under kMixed but failed the error bound.
+  std::size_t precision_demotions = 0;
 
   /// The degree ladder the pairs' `level` fields index (dual_degree_ladder
   /// of the traversal's nominal degree).
@@ -142,12 +160,10 @@ struct DualInteractionLists {
 /// of the source tree per shift, tagging pairs with their shift id; the
 /// symmetric self mode is incompatible with shifts (the solver disables it
 /// under periodic boundaries) and asserts against the combination.
-DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
-                                                  const ClusterTree& stree,
-                                                  double theta, int degree,
-                                                  bool self = false,
-                                                  const ShiftTable* shifts =
-                                                      nullptr);
+DualInteractionLists build_dual_interaction_lists(
+    const ClusterTree& ttree, const ClusterTree& stree, double theta,
+    int degree, bool self = false, const ShiftTable* shifts = nullptr,
+    PrecisionPolicy precision = PrecisionPolicy::kFp64);
 
 /// Resolve a dual pair's lattice shift (see ResolvedShift in
 /// core/periodic.hpp; both engines execute pairs through this).

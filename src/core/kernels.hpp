@@ -50,10 +50,14 @@ struct KernelSpec {
 
 /// Functors. Each takes the *squared* distance; the compute kernels form
 /// r^2 from coordinate differences, so passing r2 avoids a redundant sqrt
-/// for kernels that do not need r itself.
+/// for kernels that do not need r itself. Every functor also provides an
+/// fp32 overload (selected by passing a float r2) for the mixed-precision
+/// tiles (core/precision.hpp): same formula in float arithmetic, with
+/// double-held parameters narrowed once per call.
 struct CoulombKernel {
   static constexpr bool kSingular = true;
   double operator()(double r2) const { return 1.0 / std::sqrt(r2); }
+  float operator()(float r2) const { return 1.0f / std::sqrt(r2); }
 };
 
 struct YukawaKernel {
@@ -63,23 +67,34 @@ struct YukawaKernel {
     const double r = std::sqrt(r2);
     return std::exp(-kappa * r) / r;
   }
+  float operator()(float r2) const {
+    const float r = std::sqrt(r2);
+    return std::exp(-static_cast<float>(kappa) * r) / r;
+  }
 };
 
 struct GaussianKernel {
   static constexpr bool kSingular = false;
   double kappa;
   double operator()(double r2) const { return std::exp(-kappa * r2); }
+  float operator()(float r2) const {
+    return std::exp(-static_cast<float>(kappa) * r2);
+  }
 };
 
 struct MultiquadricKernel {
   static constexpr bool kSingular = false;
   double shape;
   double operator()(double r2) const { return std::sqrt(r2 + shape * shape); }
+  float operator()(float r2) const {
+    return std::sqrt(r2 + static_cast<float>(shape * shape));
+  }
 };
 
 struct InverseSquareKernel {
   static constexpr bool kSingular = true;
   double operator()(double r2) const { return 1.0 / r2; }
+  float operator()(float r2) const { return 1.0f / r2; }
 };
 
 /// Singularity-guarded kernel value in branchless (blend) form: the value of
@@ -92,6 +107,17 @@ template <typename K>
 inline double kernel_value_masked(K k, double r2) {
   if constexpr (K::kSingular) {
     return (r2 > 0.0) ? k(r2) : 0.0;
+  } else {
+    return k(r2);
+  }
+}
+
+/// fp32 overload: a float r2 selects the functor's float path, keeping the
+/// whole guarded evaluation in single precision.
+template <typename K>
+inline float kernel_value_masked(K k, float r2) {
+  if constexpr (K::kSingular) {
+    return (r2 > 0.0f) ? k(r2) : 0.0f;
   } else {
     return k(r2);
   }

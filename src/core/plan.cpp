@@ -28,6 +28,12 @@ void TreecodeParams::validate() const {
     throw std::invalid_argument(
         "TreecodeParams: position_slack must be finite and in [0, 4]");
   }
+  if (precision != PrecisionPolicy::kFp64 &&
+      precision != PrecisionPolicy::kMixed &&
+      precision != PrecisionPolicy::kFp32Far) {
+    throw std::invalid_argument(
+        "TreecodeParams: precision must be kFp64, kMixed, or kFp32Far");
+  }
   if (traversal == TraversalMode::kDual && per_target_mac) {
     throw std::invalid_argument(
         "TreecodeParams: per_target_mac is an ablation of the batched "
@@ -323,15 +329,18 @@ std::size_t TargetPlanState::append_lists(const ClusterTree& source_tree,
   const ShiftTable* table = params.periodic() ? &shifts : nullptr;
   if (traversal == TraversalMode::kDual) {
     dual_lists.push_back(build_dual_interaction_lists(
-        tree, source_tree, params.theta, params.degree, self, table));
+        tree, source_tree, params.theta, params.degree, self, table,
+        params.precision));
     return dual_lists.size() - 1;
   }
   if (per_target_mac) {
     lists.push_back(build_interaction_lists_per_target(
-        particles, source_tree, params.theta, params.degree, table));
+        particles, source_tree, params.theta, params.degree, table,
+        params.precision));
   } else {
     lists.push_back(build_interaction_lists(batches, source_tree, params.theta,
-                                            params.degree, table));
+                                            params.degree, table,
+                                            params.precision));
   }
   return lists.size() - 1;
 }

@@ -25,6 +25,7 @@
 #include "core/moments.hpp"
 #include "core/particles.hpp"
 #include "core/periodic.hpp"
+#include "core/precision.hpp"
 #include "core/tree.hpp"
 #include "util/box.hpp"
 #include "util/workloads.hpp"
@@ -59,6 +60,14 @@ struct TreecodeParams {
   bool per_target_mac = false;
   /// Interaction-list construction scheme (see TraversalMode).
   TraversalMode traversal = TraversalMode::kBatched;
+
+  /// Far-field execution precision (core/precision.hpp). Under kMixed the
+  /// traversals tag each admitted interaction fp32 when its truncation
+  /// bound plus the fp32 tile floor still meets the nominal (theta, n)
+  /// target; kFp32Far tags every admitted far-field interaction. Direct
+  /// tiles are fp64 under every policy, and kFp64 (the default) is
+  /// bit-identical to the pre-policy behavior.
+  PrecisionPolicy precision = PrecisionPolicy::kFp64;
 
   /// Incremental-dynamics slack: fatten every cluster and batch bounding
   /// box by this fraction of its tight longest extent (half per side), so
@@ -106,6 +115,12 @@ struct SourcePlan {
   /// engine-owned pieces — the engine then uses the ladder it computed in
   /// prepare_sources.
   std::span<const ClusterMoments> moment_levels;
+  /// Float mirrors backing the fp32 tiles for a piece with caller-owned
+  /// moments (the serving layer's cached plans build one next to the moment
+  /// ladder). Null means "no shadow": an engine-owned piece falls back to
+  /// the engine's own shadow, and a piece with neither (a distributed LET
+  /// piece) executes fp64 regardless of interaction tags.
+  const Fp32Shadow* fp32 = nullptr;
 };
 
 /// Target side of a plan: tree-ordered targets, their batches, and the

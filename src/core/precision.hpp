@@ -1,0 +1,110 @@
+// Per-interaction mixed-precision execution (§5 future work, made real).
+//
+// Precision is selected the same way the dual traversal selects its moment
+// ladder level: per interaction, against the nominal (theta, n) error
+// target. An admitted far-field interaction with opening ratio
+// kappa = (r_B + r_C)/R < theta carries a truncation error bounded by
+// kappa^(d+1)/(1-kappa); executing its tile in fp32 adds a representation/
+// accumulation floor of order a few float ulps. Under kMixed the tile runs
+// fp32 exactly when truncation + fp32 floor still meets the nominal bound
+// theta^(n+1)/(1-theta) — so mixed precision never costs accuracy the user
+// did not already concede to the treecode itself. Direct (leaf-leaf) tiles
+// always stay fp64: they carry no truncation budget to hide the float
+// floor in, and they contain the near-singular pairs.
+//
+// The fp32 tiles read float mirrors of the hot source-side streams — the
+// `Fp32Shadow` below: ordered particles, every ladder level's modified
+// charges q̂, and the Chebyshev grids. Engines build the shadow at prepare
+// time and patch it with exactly the dirty sets `update_charges`/
+// `update_positions` already produce, so the incremental path keeps its
+// amortized-O(moved) cost. Accumulation is always fp64.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/moments.hpp"
+#include "core/particles.hpp"
+
+namespace bltc {
+
+/// Execution precision of far-field tiles. Direct tiles are fp64 under
+/// every policy.
+enum class PrecisionPolicy {
+  kFp64,    ///< everything fp64 (bit-identical to the pre-policy behavior)
+  kMixed,   ///< fp32 where the error ladder proves the nominal bound holds
+  kFp32Far, ///< every admitted far-field tile fp32 (frontier exploration)
+};
+
+/// Human-readable policy name ("fp64" | "mixed" | "fp32far").
+const char* precision_policy_name(PrecisionPolicy policy);
+
+/// Conservative relative error contributed by one fp32 tile: float inputs
+/// (~1.2e-7 ulp) amplified by blocked accumulation before each fp64 flush.
+inline constexpr double kFp32TileError = 1e-6;
+
+/// Classical a-priori far-field bound at (theta, degree):
+/// theta^(degree+1) / (1 - theta).
+inline double nominal_error_bound(double theta, int degree) {
+  return std::pow(theta, degree + 1) / (1.0 - theta);
+}
+
+/// Whether one admitted far-field interaction may execute fp32: its own
+/// truncation bound at the degree it will actually run, plus the fp32 tile
+/// floor, must still meet the nominal (theta, nominal_degree) target.
+/// `kappa` is the interaction's opening ratio (< theta by admission).
+inline bool fp32_admissible(PrecisionPolicy policy, double kappa,
+                            int used_degree, double theta,
+                            int nominal_degree) {
+  switch (policy) {
+    case PrecisionPolicy::kFp64:
+      return false;
+    case PrecisionPolicy::kFp32Far:
+      return true;
+    case PrecisionPolicy::kMixed:
+      break;
+  }
+  const double truncation =
+      std::pow(kappa, used_degree + 1) / (1.0 - kappa);
+  return truncation + kFp32TileError <= nominal_error_bound(theta,
+                                                            nominal_degree);
+}
+
+/// Float mirrors of the source-side streams the fp32 tiles read: ordered
+/// particles plus, per moment-ladder level ([0] is the nominal degree), the
+/// flattened modified charges and Chebyshev grids in the ClusterMoments
+/// layouts. Owned by the engine (or by a cached serve plan) and patched in
+/// lock-step with the fp64 masters; an empty shadow means "execute fp64".
+struct Fp32Shadow {
+  std::vector<float> x, y, z, q;           ///< ordered particles
+  std::vector<std::vector<float>> qhat;    ///< per level, all_qhat layout
+  std::vector<std::vector<float>> grids;   ///< per level, all_grids layout
+
+  bool empty() const { return x.empty(); }
+  void clear();
+
+  /// Build from the ordered particles and the moment ladder ([0] nominal;
+  /// a single-element span is the batched traversal's one level).
+  static Fp32Shadow build(const OrderedParticles& particles,
+                          std::span<const ClusterMoments> levels);
+
+  /// Charges-only refresh: re-mirror q and every level's q̂ (grids depend
+  /// only on the tree geometry and are untouched).
+  void refresh_charges(const OrderedParticles& particles,
+                       std::span<const ClusterMoments> levels);
+
+  /// Incremental position patch: re-mirror exactly the rewritten particle
+  /// slots (half-open tree-order ranges) and the dirty clusters' q̂ per
+  /// level — the same dirty sets the fp64 masters were patched with, so the
+  /// cost stays O(moved).
+  void patch_positions(
+      const OrderedParticles& particles,
+      std::span<const std::pair<std::size_t, std::size_t>> moved_ranges,
+      std::span<const std::size_t> dirty_clusters,
+      std::span<const ClusterMoments> levels);
+};
+
+}  // namespace bltc

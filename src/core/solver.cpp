@@ -238,12 +238,14 @@ void Solver::finish_stats(RunStats& stats) const {
     stats.direct_interactions = lists.total_direct;
     stats.cp_interactions = lists.total_cp;
     stats.cc_interactions = lists.total_cc;
+    stats.precision_demotions = lists.precision_demotions;
     return;
   }
   const InteractionLists& lists = targets_.lists.front();
   stats.num_batches = lists.per_batch.size();
   stats.approx_interactions = lists.total_approx;
   stats.direct_interactions = lists.total_direct;
+  stats.precision_demotions = lists.precision_demotions;
 }
 
 std::vector<double> Solver::evaluate(const Cloud& targets, RunStats* stats) {

@@ -59,11 +59,9 @@ struct GpuOptions {
   /// Host CPU model for the phases that stay on the host (tree, batches,
   /// lists, LET assembly), feeding the modeled setup seconds.
   gpusim::HostSpec host = gpusim::HostSpec::comet_haswell();
-  /// §5 future-work feature: evaluate the potential kernels in single
-  /// precision (accumulation and storage in float) while the tree, moments,
-  /// and MAC stay double. Roughly halves the modeled kernel time on FP32-
-  /// heavy GPUs at the cost of ~1e-7 relative error.
-  bool mixed_precision = false;
+  // Execution precision is no longer a device flag: set
+  // TreecodeParams::precision (core/precision.hpp) — the engine derives
+  // per-launch precision from the interaction tags.
 };
 
 /// Modeled wall-clock on the paper's hardware (GpuSim backend only).
@@ -117,6 +115,13 @@ struct RunStats {
   double total_evals() const {
     return approx_evals + direct_evals + cp_evals + cc_evals;
   }
+  /// Mixed-precision split (TreecodeParams::precision): evaluations
+  /// executed in fp32 vs fp64 tiles (fp32 + fp64 == total_evals()), and
+  /// far-field interactions that wanted fp32 under kMixed but failed the
+  /// error-ladder bound and stayed fp64.
+  double fp32_evals = 0.0;
+  double fp64_evals = 0.0;
+  std::size_t precision_demotions = 0;
   /// Launch granularity: how many (list, cluster) kernel invocations the
   /// engine executed — batch-cluster pairs normally, target-cluster pairs
   /// under the per-target MAC. Together with the eval counts this tells

@@ -40,6 +40,7 @@ bool params_equal(const TreecodeParams& a, const TreecodeParams& b) {
          a.per_target_mac == b.per_target_mac && a.traversal == b.traversal &&
          a.boundary == b.boundary && a.image_shells == b.image_shells &&
          a.position_slack == b.position_slack &&
+         a.precision == b.precision &&
          a.domain.lo == b.domain.lo && a.domain.hi == b.domain.hi;
 }
 
@@ -179,6 +180,7 @@ std::uint64_t params_fingerprint(const TreecodeParams& params) {
   fnv.add_u64(static_cast<std::uint64_t>(params.boundary));
   fnv.add_u64(static_cast<std::uint64_t>(params.image_shells));
   fnv.add_double(params.position_slack);
+  fnv.add_u64(static_cast<std::uint64_t>(params.precision));
   for (int d = 0; d < 3; ++d) {
     fnv.add_double(params.domain.lo[static_cast<std::size_t>(d)]);
     fnv.add_double(params.domain.hi[static_cast<std::size_t>(d)]);
@@ -199,6 +201,12 @@ std::size_t cached_plan_bytes(const CachedPlan& plan) {
   std::size_t b = particles_bytes(plan.source.particles) +
                   plan.source.tree.num_nodes() * sizeof(ClusterNode);
   for (const ClusterMoments& m : plan.moment_levels) b += moments_bytes(m);
+  if (!plan.fp32_shadow.empty()) {
+    std::size_t floats = 4 * plan.fp32_shadow.x.size();
+    for (const auto& v : plan.fp32_shadow.qhat) floats += v.size();
+    for (const auto& v : plan.fp32_shadow.grids) floats += v.size();
+    b += floats * sizeof(float);
+  }
   if (plan.self_targets != nullptr) b += target_plan_bytes(*plan.self_targets);
   if (plan.gpu_engine != nullptr) {
     // Device-resident stand-in for host moments: per-cluster grids
@@ -218,6 +226,11 @@ SourcePlan CachedPlan::source_view(std::size_t tier) const {
     view.moments = &moment_levels[tier];
     view.moment_levels = moment_levels;
   }
+  // Tagged fp32 tiles execute only at the nominal tier: a degraded tier
+  // already trades accuracy for latency through a deeper ladder level, and
+  // its moments no longer match the shadow's level-0 mirror — null shadow
+  // means those evaluations run all-fp64.
+  if (tier == 0 && !fp32_shadow.empty()) view.fp32 = &fp32_shadow;
   return view;
 }
 
@@ -297,6 +310,10 @@ PlanPtr PlanCache::build_plan(const Cloud& sources,
     for (std::size_t l = 1; l < ladder.size(); ++l) {
       plan->moment_levels.push_back(ClusterMoments::restrict_from(
           plan->source.tree, plan->moment_levels.front(), ladder[l]));
+    }
+    if (params.precision != PrecisionPolicy::kFp64) {
+      plan->fp32_shadow = Fp32Shadow::build(plan->source.particles,
+                                            plan->moment_levels);
     }
   } else {
     // The GpuSim plan's compiled artifact is a prepared engine: sources,

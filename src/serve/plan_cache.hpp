@@ -38,6 +38,7 @@
 #include "core/engine.hpp"
 #include "core/moments.hpp"
 #include "core/plan.hpp"
+#include "core/precision.hpp"
 #include "core/solver.hpp"
 #include "util/workloads.hpp"
 
@@ -68,6 +69,12 @@ struct CachedPlan {
   /// no rebuild). Empty on GpuSim — the prepared engine keeps its moments
   /// device-resident.
   std::vector<ClusterMoments> moment_levels;
+
+  /// CPU backends under a non-fp64 precision policy: float mirrors of the
+  /// particle streams and the whole moment ladder (core/precision.hpp),
+  /// built once with the plan so re-entrant evaluations of this immutable
+  /// artifact can execute tagged fp32 tiles. Empty under kFp64.
+  Fp32Shadow fp32_shadow;
 
   /// GpuSim only: the engine whose device-resident state this plan is.
   std::unique_ptr<Engine> gpu_engine;
