@@ -23,6 +23,7 @@
 #include "core/direct_sum.hpp"
 #include "core/solver.hpp"
 #include "dist/dist_solver.hpp"
+#include "mesh/mesh.hpp"
 #include "serve/frontend.hpp"
 #include "serve/plan_cache.hpp"
 #include "serve/storm.hpp"
@@ -42,8 +43,8 @@ void usage() {
       "bltc_cli — barycentric Lagrange treecode driver\n"
       "  --n <count>            particles (default 100000)\n"
       "  --distribution <name>  uniform | plummer | sphere | dumbbell |\n"
-      "                         ionic | plasma (periodic workloads in\n"
-      "                         [0, box)^3)\n"
+      "                         ionic | plasma | melt (periodic workloads\n"
+      "                         in [0, box)^3; melt is non-neutral)\n"
       "  --kernel <name>        coulomb | yukawa | gaussian | multiquadric |\n"
       "                         inverse_square (default coulomb)\n"
       "  --kappa <value>        kernel parameter (default 0.5)\n"
@@ -63,6 +64,14 @@ void usage() {
       "  --box <L>              periodic cell edge length (default 1.0)\n"
       "  --shells <k>           image shells: (2k+1)^3 lattice images\n"
       "                         (default 1)\n"
+      "  --pme                  PME-style periodic Coulomb over [0, L)^3:\n"
+      "                         screened erfc(ar)/r treecode near field +\n"
+      "                         FFT mesh far field (Coulomb only; accepts\n"
+      "                         non-neutral clouds — uniform background)\n"
+      "  --mesh-order <p>       PME B-spline order, even: 4 | 6 | 8 (6)\n"
+      "  --mesh-spacing <h>     PME target grid spacing (0 = auto-tuned to\n"
+      "                         the treecode's nominal error target)\n"
+      "  --alpha <a>            PME Ewald splitting parameter (0 = auto)\n"
       "  --seed <value>         workload seed (default 1)\n"
       "  --input <file>         read particles (x y z q per line) instead of\n"
       "                         generating a distribution\n"
@@ -126,6 +135,7 @@ Cloud make_cloud(const std::string& dist, std::size_t n, std::uint64_t seed,
     return ionic_lattice(cells, seed, box, 0.5);
   }
   if (dist == "plasma") return screened_plasma(n, seed, box);
+  if (dist == "melt") return ionic_melt(n, seed, box);
   std::fprintf(stderr, "unknown distribution '%s'\n", dist.c_str());
   std::exit(2);
 }
@@ -282,6 +292,8 @@ int main(int argc, char** argv) {
                                 "backend", "ranks",       "seed",  "precision",
                                 "check-error", "input",    "output",
                                 "periodic", "box",         "shells",
+                                "pme",      "mesh-order",  "mesh-spacing",
+                                "alpha",
                                 "serve",   "requests",     "clients",
                                 "serve-batch", "serve-delay-ms",
                                 "serve-workers", "shared-fraction",
@@ -312,6 +324,13 @@ int main(int argc, char** argv) {
     params.domain = Box3::cube(0.0, box);
     params.image_shells = args.get_int("shells", 1);
   }
+  if (args.has("pme")) {
+    params.boundary = BoundaryConditions::kPeriodicMesh;
+    params.domain = Box3::cube(0.0, box);
+    params.mesh_order = args.get_int("mesh-order", 6);
+    params.mesh_spacing = args.get_double("mesh-spacing", 0.0);
+    params.ewald_alpha = args.get_double("alpha", 0.0);
+  }
   const std::string backend_name = args.get_string("backend", "cpu");
   const Backend backend =
       backend_name == "gpu" ? Backend::kGpuSim : Backend::kCpu;
@@ -338,7 +357,13 @@ int main(int argc, char** argv) {
               kernel.name().c_str(), params.theta,
               params.degree, params.max_leaf, params.max_batch,
               backend_name.c_str(), ranks);
-  if (params.periodic()) {
+  if (params.mesh()) {
+    const mesh::MeshTuning tuning = mesh::tune_mesh(params);
+    std::printf("pme: box [0, %g)^3, order %d, alpha %.3f, r_cut %.3f, "
+                "grid %dx%dx%d (target error %.1e)\n",
+                box, tuning.order, tuning.alpha, tuning.r_cut, tuning.nx,
+                tuning.ny, tuning.nz, tuning.target_error);
+  } else if (params.periodic()) {
     std::printf("periodic: box [0, %g)^3, %d image shell(s) => %d lattice "
                 "images per source plan\n",
                 box, params.image_shells,
@@ -384,6 +409,14 @@ int main(int argc, char** argv) {
                 "approx + %zu direct interactions\n",
                 stats.num_clusters, stats.num_leaves, stats.num_batches,
                 stats.approx_interactions, stats.direct_interactions);
+    if (params.mesh()) {
+      std::printf("pme split: near %.3g kernel evals; far %zu mesh points "
+                  "(spread+gather %.3f s, k-space %.3f s)\n",
+                  stats.approx_evals + stats.direct_evals + stats.cp_evals +
+                      stats.cc_evals,
+                  stats.mesh_points, stats.mesh_spread_seconds,
+                  stats.fft_seconds);
+    }
     if (params.precision != PrecisionPolicy::kFp64) {
       std::printf("precision: %s — %.3g fp32 evals, %.3g fp64 evals "
                   "(direct tiles stay fp64), %zu demotions\n",
@@ -417,16 +450,20 @@ int main(int argc, char** argv) {
     // The oracle matches the run's boundary conditions: the periodic
     // reference sums the identical lattice-image set the treecode used.
     const auto ref =
-        params.periodic()
-            ? direct_sum_periodic_sampled(cloud, sample, cloud, kernel,
-                                          params.domain, params.image_shells)
-            : direct_sum_sampled(cloud, sample, cloud, kernel);
+        params.mesh()
+            ? direct_sum_ewald_sampled(cloud, sample, cloud, params.domain)
+            : params.periodic()
+                  ? direct_sum_periodic_sampled(cloud, sample, cloud, kernel,
+                                                params.domain,
+                                                params.image_shells)
+                  : direct_sum_sampled(cloud, sample, cloud, kernel);
     std::vector<double> phi_sampled(sample.size());
     for (std::size_t s = 0; s < sample.size(); ++s) {
       phi_sampled[s] = phi[sample[s]];
     }
     std::printf("sampled relative 2-norm error vs %sdirect sum: %.3e\n",
-                params.periodic() ? "periodic " : "",
+                params.mesh() ? "converged Ewald "
+                              : params.periodic() ? "periodic " : "",
                 relative_l2_error(ref, phi_sampled));
   }
   return 0;

@@ -120,5 +120,55 @@ int main() {
   std::printf("\nThe periodic oracle sums the identical image set; errors "
               "stay in the open-boundary\n(theta, n) regime because the "
               "cluster moments are translation invariant.\n");
+
+  // ---- PME section -------------------------------------------------------
+  // The same Coulomb treecode under kPeriodicMesh: screened erfc(ar)/r near
+  // field + FFT mesh far field, checked against the converged Ewald oracle.
+  // Unlike kPeriodic it is the *full* lattice sum (not a truncated image
+  // set) and accepts non-neutral clouds via the uniform-background
+  // convention.
+  TreecodeParams mparams = pparams;
+  mparams.boundary = BoundaryConditions::kPeriodicMesh;
+  mparams.image_shells = 1;
+
+  struct MeshCase {
+    const char* label;
+    bool neutral;
+  };
+  const MeshCase mesh_cases[] = {
+      {"coulomb pme (neutral ionic)", true},
+      {"coulomb pme (non-neutral melt)", false},
+  };
+
+  std::printf("\nPME section: [0,1)^3, treecode near field + mesh far field "
+              "vs converged Ewald\n\n");
+  std::printf("%-30s %-12s %-14s %-10s\n", "mode (workload)", "error",
+              "near evals", "mesh pts");
+  for (const MeshCase& mc : mesh_cases) {
+    auto cells = static_cast<std::size_t>(std::cbrt(static_cast<double>(pn)));
+    const Cloud cloud = mc.neutral ? ionic_lattice(cells, 7, 1.0, 0.5)
+                                   : ionic_melt(pn, 7, 1.0);
+    SolverConfig config;
+    config.kernel = KernelSpec::coulomb();
+    config.params = mparams;
+    Solver solver(config);
+    solver.set_sources(cloud);
+    RunStats stats;
+    const std::vector<double> phi = solver.evaluate(cloud, &stats);
+
+    const auto sample = sample_indices(cloud.size(), 200);
+    const auto ref =
+        direct_sum_ewald_sampled(cloud, sample, cloud, mparams.domain);
+    std::vector<double> phi_sampled(sample.size());
+    for (std::size_t s = 0; s < sample.size(); ++s) {
+      phi_sampled[s] = phi[sample[s]];
+    }
+    std::printf("%-30s %-12.3e %-14.3g %-10zu\n", mc.label,
+                relative_l2_error(ref, phi_sampled),
+                stats.approx_evals + stats.direct_evals, stats.mesh_points);
+  }
+  std::printf("\nThe mesh far field replaces the image-shell sum entirely: "
+              "near-field work stays\nat the open-boundary level, and "
+              "non-neutral cells are legal (uniform background).\n");
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/kernels.hpp"
+#include "util/box.hpp"
 #include "util/workloads.hpp"
 
 namespace bltc {
@@ -22,5 +23,26 @@ std::vector<double> direct_sum_sampled(const Cloud& targets,
                                        std::span<const std::size_t> sample,
                                        const Cloud& sources,
                                        const KernelSpec& kernel);
+
+/// Well-converged classical Ewald sum for the periodic *Coulomb* potential:
+/// the oracle for BoundaryConditions::kPeriodicMesh. Semantics (shared with
+/// src/mesh): tinfoil boundary at infinity, and for non-neutral systems the
+/// uniform-background convention (the k = 0 term is dropped and the
+/// -pi Q_tot / (alpha^2 V) background correction added), so the result is
+/// well defined for any charge distribution. Coincident target/source points
+/// contribute nothing (the treecode's singular-skip convention; a particle
+/// still interacts with all of its images). `alpha` <= 0 picks a
+/// convergence-safe default from the domain; any alpha > 0 changes only
+/// roundoff, not the converged value.
+std::vector<double> direct_sum_ewald(const Cloud& targets,
+                                     const Cloud& sources, const Box3& domain,
+                                     double alpha = 0.0);
+
+/// Ewald potential at the sampled targets only.
+std::vector<double> direct_sum_ewald_sampled(const Cloud& targets,
+                                             std::span<const std::size_t> sample,
+                                             const Cloud& sources,
+                                             const Box3& domain,
+                                             double alpha = 0.0);
 
 }  // namespace bltc

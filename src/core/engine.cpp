@@ -7,6 +7,8 @@
 
 #include "core/cpu_engine.hpp"
 #include "core/gpu_engine.hpp"
+#include "mesh/mesh.hpp"
+#include "util/timer.hpp"
 
 namespace bltc {
 namespace {
@@ -78,6 +80,20 @@ void Engine::attach_let_pieces(std::span<const LetPiece> pieces,
 }
 
 std::span<const double> Engine::prepared_qhat() const { return {}; }
+
+void Engine::mesh_far_field(const mesh::MeshPlan& plan,
+                            const TargetPlan& targets,
+                            std::vector<double>& phi, FieldResult* field,
+                            RunStats& stats) const {
+  WallTimer timer;
+  if (field != nullptr) {
+    plan.add_field(*targets.particles, *field);
+  } else {
+    plan.add_potential(*targets.particles, phi);
+  }
+  stats.mesh_spread_seconds += timer.seconds();
+  stats.mesh_points = plan.grid_points();
+}
 
 void register_engine(Backend backend, EngineFactory factory) {
   std::scoped_lock lock(registry_mutex());

@@ -33,6 +33,10 @@ namespace bltc {
 
 class ExecContext;  // per-call mutable scratch (serve/exec_context.hpp)
 
+namespace mesh {
+class MeshPlan;  // FFT far field of the Ewald split (src/mesh/mesh.hpp)
+}  // namespace mesh
+
 /// Operation counters shared by the engines; these feed the performance
 /// model (evals are G(x,y) evaluations; the approximation counts one eval
 /// per target-Chebyshev-point pair because Eq. 11 has direct-sum form).
@@ -211,6 +215,20 @@ class Engine {
                                      const KernelSpec& kernel,
                                      bool fresh_targets, RunStats& stats,
                                      ExecContext* ctx = nullptr) const = 0;
+
+  /// Accumulate the solved mesh far field (kPeriodicMesh) at the planned
+  /// targets, in tree order, on top of the treecode near field the calls
+  /// above produced: B-spline-interpolated potential into `phi` when
+  /// `field` is null, potential + analytic-gradient forces into `field`
+  /// otherwise (`phi` is then unused). `plan` must be solved. Const and
+  /// re-entrant like evaluation (the serving layer gathers from one shared
+  /// solved mesh concurrently). The default implementation gathers on the
+  /// host; device engines override to model the device-resident mesh
+  /// pipeline. Fills the mesh_* fields of `stats`.
+  virtual void mesh_far_field(const mesh::MeshPlan& plan,
+                              const TargetPlan& targets,
+                              std::vector<double>& phi, FieldResult* field,
+                              RunStats& stats) const;
 };
 
 /// Engine factory: builds a fresh engine for one solver handle.

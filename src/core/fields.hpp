@@ -110,6 +110,29 @@ struct InverseSquareGradKernel {
   }
 };
 
+/// Ewald-screened Coulomb (the kPeriodicMesh near field):
+/// G = erfc(a r)/r, G'(r) = -[erfc(a r)/r + (2a/sqrt(pi)) e^{-a^2 r^2}]/r.
+struct CoulombErfcGradKernel {
+  static constexpr bool kSingular = true;
+  double alpha;
+  GradValue grad(double r2) const {
+    constexpr double kTwoOverSqrtPi = 1.1283791670955126;
+    const double r = std::sqrt(r2);
+    const double g = std::erfc(alpha * r) / r;
+    const double gauss =
+        kTwoOverSqrtPi * alpha * std::exp(-alpha * alpha * r2);
+    return {g, -(g + gauss) / r2};
+  }
+  GradValueF grad(float r2) const {
+    constexpr float kTwoOverSqrtPi = 1.1283791670955126f;
+    const float a = static_cast<float>(alpha);
+    const float r = std::sqrt(r2);
+    const float g = std::erfc(a * r) / r;
+    const float gauss = kTwoOverSqrtPi * a * std::exp(-a * a * r2);
+    return {g, -(g + gauss) / r2};
+  }
+};
+
 /// Guarded gradient value in branchless form (see kernel_value_masked): both
 /// components zero at a coincident point for singular kernels.
 template <typename GradK>
@@ -145,6 +168,8 @@ decltype(auto) with_grad_kernel(const KernelSpec& spec, F&& f) {
       return f(MultiquadricGradKernel{spec.kappa});
     case KernelType::kInverseSquare:
       return f(InverseSquareGradKernel{});
+    case KernelType::kCoulombErfc:
+      return f(CoulombErfcGradKernel{spec.kappa});
   }
   throw std::invalid_argument("with_grad_kernel: unknown kernel type");
 }
@@ -196,5 +221,12 @@ FieldResult direct_field(const Cloud& targets, const Cloud& sources,
 FieldResult direct_field_periodic(const Cloud& targets, const Cloud& sources,
                                   const KernelSpec& kernel, const Box3& domain,
                                   int shells);
+
+/// Well-converged Ewald reference for periodic *Coulomb* fields under the
+/// tinfoil / uniform-background convention (the kPeriodicMesh oracle; see
+/// direct_sum_ewald in core/direct_sum.hpp for the shared semantics).
+/// `alpha` <= 0 picks a convergence-safe default from the domain.
+FieldResult direct_field_ewald(const Cloud& targets, const Cloud& sources,
+                               const Box3& domain, double alpha = 0.0);
 
 }  // namespace bltc

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -177,6 +178,9 @@ class GpuSimEngine final : public Engine {
                              const KernelSpec& kernel, bool fresh_targets,
                              RunStats& stats,
                              ExecContext* ctx) const override;
+  void mesh_far_field(const mesh::MeshPlan& plan, const TargetPlan& targets,
+                      std::vector<double>& phi, FieldResult* field,
+                      RunStats& stats) const override;
 
   /// Cumulative device counters (tests and benches).
   const gpusim::Device& device() const { return device_; }
@@ -235,6 +239,13 @@ class GpuSimEngine final : public Engine {
   // Phase accounting pending attribution to the next evaluation.
   mutable double pending_modeled_precompute_ = 0.0;
   mutable std::size_t pending_host_setup_particles_ = 0;
+
+  /// Mesh-mode (kPeriodicMesh) device residency: version of the MeshPlan
+  /// whose solved k-space grid was last staged/solved on the device. A
+  /// version change models the full spread → FFT → Green multiply →
+  /// inverse-FFT pipeline; matching versions model only the per-call
+  /// interpolation launch plus the result download.
+  mutable std::uint64_t mesh_version_staged_ = 0;
 
   // Snapshots of the device's cumulative counters at the last report.
   mutable gpusim::TimeMarker reported_marker_;

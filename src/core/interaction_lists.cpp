@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -21,12 +22,19 @@ struct ImageShift {
 void traverse(const ClusterTree& tree, int ci,
               const std::array<double, 3>& center, double radius,
               double theta, int degree, const ImageShift& shift,
-              PrecisionPolicy precision, BatchInteractions& out) {
+              PrecisionPolicy precision, double range_cutoff,
+              BatchInteractions& out) {
   const ClusterNode& cluster = tree.node(ci);
   if (cluster.count() == 0) return;
   const std::array<double, 3> shifted{cluster.center[0] + shift.x,
                                       cluster.center[1] + shift.y,
                                       cluster.center[2] + shift.z};
+  // Range-limited kernels (the kPeriodicMesh erfc near field): no particle
+  // of this subtree can come closer than the sphere-to-sphere gap.
+  if (range_cutoff != std::numeric_limits<double>::infinity() &&
+      distance(center, shifted) - radius - cluster.radius > range_cutoff) {
+    return;
+  }
   const auto emit = [&](std::vector<int>& nodes,
                         std::vector<std::uint16_t>& ids) {
     nodes.push_back(ci);
@@ -54,7 +62,7 @@ void traverse(const ClusterTree& tree, int ci,
       } else {
         for (int c = 0; c < cluster.num_children; ++c) {
           traverse(tree, cluster.children[static_cast<std::size_t>(c)], center,
-                   radius, theta, degree, shift, precision, out);
+                   radius, theta, degree, shift, precision, range_cutoff, out);
         }
       }
       return;
@@ -97,7 +105,7 @@ void finish_totals(InteractionLists& lists, PrecisionPolicy precision) {
 InteractionLists build_interaction_lists(
     const std::vector<TargetBatch>& batches, const ClusterTree& tree,
     double theta, int degree, const ShiftTable* shifts,
-    PrecisionPolicy precision) {
+    PrecisionPolicy precision, double range_cutoff) {
   InteractionLists lists;
   lists.per_batch.resize(batches.size());
   if (tree.num_nodes() == 0) return lists;
@@ -106,7 +114,7 @@ InteractionLists build_interaction_lists(
   for (std::size_t b = 0; b < batches.size(); ++b) {
     for (const ImageShift& image : images) {
       traverse(tree, tree.root(), batches[b].center, batches[b].radius, theta,
-               degree, image, precision, lists.per_batch[b]);
+               degree, image, precision, range_cutoff, lists.per_batch[b]);
     }
   }
   finish_totals(lists, precision);
@@ -125,6 +133,8 @@ struct DualTraversal {
   PrecisionPolicy precision = PrecisionPolicy::kFp64;
   std::vector<int> ladder;   ///< dual_degree_ladder(degree)
   std::vector<double> lppc;  ///< (ladder[l]+1)^3 per level
+  /// Sphere-to-sphere pruning distance for range-limited kernels.
+  double range_cutoff = std::numeric_limits<double>::infinity();
 
   /// fp32 tag for a far-field pair: the error ladder already chose the
   /// degree this pair executes at, so the precision question is whether
@@ -209,6 +219,7 @@ struct DualTraversal {
                                    s.center[1] + image.y,
                                    s.center[2] + image.z};
     const double r = distance(t.center, sc);
+    if (r - t.radius - s.radius > range_cutoff) return;  // beyond the kernel
     if (t.radius + s.radius < theta * r) {
       // Separated: pick the ladder level the pair's separation ratio
       // admits, then the cheapest interaction kind at that level.
@@ -414,7 +425,8 @@ DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
                                                   double theta, int degree,
                                                   bool self,
                                                   const ShiftTable* shifts,
-                                                  PrecisionPolicy precision) {
+                                                  PrecisionPolicy precision,
+                                                  double range_cutoff) {
   DualInteractionLists lists;
   lists.grid_offsets.assign(1, 0);
   lists.leaf_offsets.assign(1, 0);
@@ -433,7 +445,7 @@ DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
   }
 
   DualTraversal walker{ttree, stree, theta, degree, precision, lists.ladder,
-                       {}};
+                       {}, range_cutoff};
   walker.lppc.reserve(walker.ladder.size());
   for (const int d : walker.ladder) {
     walker.lppc.push_back(
@@ -567,7 +579,8 @@ DualInteractionLists build_dual_interaction_lists(const ClusterTree& ttree,
 
 InteractionLists build_interaction_lists_per_target(
     const OrderedParticles& targets, const ClusterTree& tree, double theta,
-    int degree, const ShiftTable* shifts, PrecisionPolicy precision) {
+    int degree, const ShiftTable* shifts, PrecisionPolicy precision,
+    double range_cutoff) {
   InteractionLists lists;
   lists.per_batch.resize(targets.size());
   if (tree.num_nodes() == 0) return lists;
@@ -577,7 +590,7 @@ InteractionLists build_interaction_lists_per_target(
     const std::array<double, 3> pt{targets.x[i], targets.y[i], targets.z[i]};
     for (const ImageShift& image : images) {
       traverse(tree, tree.root(), pt, 0.0, theta, degree, image, precision,
-               lists.per_batch[i]);
+               range_cutoff, lists.per_batch[i]);
     }
   }
   finish_totals(lists, precision);

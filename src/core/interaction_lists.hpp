@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/batches.hpp"
@@ -57,10 +58,16 @@ struct InteractionLists {
 /// source tree per lattice shift, testing the MAC against shifted cluster
 /// centers and tagging every emitted entry with its shift id; entries are
 /// shift-major per batch, home cell first, so the ordering is deterministic.
+/// `range_cutoff` (kPeriodicMesh near field): prune any subtree whose
+/// closest possible point to the batch sphere exceeds the cutoff —
+/// min-distance(batch sphere, cluster sphere) > range_cutoff. Sound for
+/// range-limited kernels because every particle of a cluster lies inside its
+/// bounding sphere; the default (infinity) prunes nothing.
 InteractionLists build_interaction_lists(
     const std::vector<TargetBatch>& batches, const ClusterTree& tree,
     double theta, int degree, const ShiftTable* shifts = nullptr,
-    PrecisionPolicy precision = PrecisionPolicy::kFp64);
+    PrecisionPolicy precision = PrecisionPolicy::kFp64,
+    double range_cutoff = std::numeric_limits<double>::infinity());
 
 /// Ablation variant: apply the MAC per target particle instead of per batch
 /// (§3.2 argues batching is near-optimal; this quantifies the claim). The
@@ -68,7 +75,8 @@ InteractionLists build_interaction_lists(
 InteractionLists build_interaction_lists_per_target(
     const OrderedParticles& targets, const ClusterTree& tree, double theta,
     int degree, const ShiftTable* shifts = nullptr,
-    PrecisionPolicy precision = PrecisionPolicy::kFp64);
+    PrecisionPolicy precision = PrecisionPolicy::kFp64,
+    double range_cutoff = std::numeric_limits<double>::infinity());
 
 // ---- Dual traversal (BLDTT) ----------------------------------------------
 
@@ -160,10 +168,13 @@ struct DualInteractionLists {
 /// of the source tree per shift, tagging pairs with their shift id; the
 /// symmetric self mode is incompatible with shifts (the solver disables it
 /// under periodic boundaries) and asserts against the combination.
+/// `range_cutoff` prunes node pairs whose sphere-to-sphere minimum distance
+/// exceeds the cutoff (the kPeriodicMesh near field; infinity = no pruning).
 DualInteractionLists build_dual_interaction_lists(
     const ClusterTree& ttree, const ClusterTree& stree, double theta,
     int degree, bool self = false, const ShiftTable* shifts = nullptr,
-    PrecisionPolicy precision = PrecisionPolicy::kFp64);
+    PrecisionPolicy precision = PrecisionPolicy::kFp64,
+    double range_cutoff = std::numeric_limits<double>::infinity());
 
 /// Resolve a dual pair's lattice shift (see ResolvedShift in
 /// core/periodic.hpp; both engines execute pairs through this).

@@ -14,6 +14,8 @@ std::string KernelSpec::name() const {
       return "multiquadric(c=" + std::to_string(kappa) + ")";
     case KernelType::kInverseSquare:
       return "inverse_square";
+    case KernelType::kCoulombErfc:
+      return "coulomb_erfc(alpha=" + std::to_string(kappa) + ")";
   }
   return "unknown";
 }

@@ -18,6 +18,7 @@ enum class KernelType {
   kGaussian,       ///< G = exp(-kappa r^2), smooth everywhere
   kMultiquadric,   ///< G = sqrt(r^2 + kappa^2), RBF interpolation kernel
   kInverseSquare,  ///< G = 1/r^2, steeper singular decay
+  kCoulombErfc,    ///< G = erfc(kappa r)/r, the Ewald-screened near field
 };
 
 /// POD kernel description passed through the public API.
@@ -38,13 +39,20 @@ struct KernelSpec {
   static KernelSpec inverse_square() {
     return {KernelType::kInverseSquare, 0.0};
   }
+  /// Ewald-screened Coulomb: G = erfc(alpha r)/r. This is the short-range
+  /// half of the kPeriodicMesh split (src/mesh); the splitting parameter
+  /// alpha rides in `kappa`.
+  static KernelSpec coulomb_erfc(double alpha) {
+    return {KernelType::kCoulombErfc, alpha};
+  }
 
   std::string name() const;
   /// True when G(x,y) diverges as x -> y, in which case self-interactions
   /// (r == 0) are skipped in direct sums, matching the paper's convention.
   bool singular_at_origin() const {
     return type == KernelType::kCoulomb || type == KernelType::kYukawa ||
-           type == KernelType::kInverseSquare;
+           type == KernelType::kInverseSquare ||
+           type == KernelType::kCoulombErfc;
   }
 };
 
@@ -97,6 +105,19 @@ struct InverseSquareKernel {
   float operator()(float r2) const { return 1.0f / r2; }
 };
 
+struct CoulombErfcKernel {
+  static constexpr bool kSingular = true;
+  double alpha;
+  double operator()(double r2) const {
+    const double r = std::sqrt(r2);
+    return std::erfc(alpha * r) / r;
+  }
+  float operator()(float r2) const {
+    const float r = std::sqrt(r2);
+    return std::erfc(static_cast<float>(alpha) * r) / r;
+  }
+};
+
 /// Singularity-guarded kernel value in branchless (blend) form: the value of
 /// G at squared distance `r2`, zero at a coincident point for singular
 /// kernels. Written as a select rather than an early-out so the blocked
@@ -138,6 +159,8 @@ decltype(auto) with_kernel(const KernelSpec& spec, F&& f) {
       return f(MultiquadricKernel{spec.kappa});
     case KernelType::kInverseSquare:
       return f(InverseSquareKernel{});
+    case KernelType::kCoulombErfc:
+      return f(CoulombErfcKernel{spec.kappa});
   }
   throw std::invalid_argument("with_kernel: unknown kernel type");
 }

@@ -42,6 +42,12 @@ namespace bltc {
 enum class BoundaryConditions {
   kOpen,      ///< free space (every workload of the original paper)
   kPeriodic,  ///< periodic images of `TreecodeParams::domain`
+  /// Ewald split over `TreecodeParams::domain`: screened treecode near field
+  /// (erfc(alpha r)/r, one image shell, range cutoff) plus an FFT mesh far
+  /// field (src/mesh). Coulomb only; the infinite lattice sum under the
+  /// tinfoil / uniform-background convention, so non-neutral systems are
+  /// legal (a homogeneous compensating background is implied).
+  kPeriodicMesh,
 };
 
 /// Shared table of lattice shift vectors. Entry 0 is always the home cell

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "mesh/mesh.hpp"
 #include "util/failpoints.hpp"
 
 namespace bltc {
@@ -39,7 +40,7 @@ void TreecodeParams::validate() const {
         "TreecodeParams: per_target_mac is an ablation of the batched "
         "traversal and cannot be combined with TraversalMode::kDual");
   }
-  if (boundary == BoundaryConditions::kPeriodic) {
+  if (boundary != BoundaryConditions::kOpen) {
     for (int d = 0; d < 3; ++d) {
       const auto i = static_cast<std::size_t>(d);
       if (!std::isfinite(domain.lo[i]) || !std::isfinite(domain.hi[i])) {
@@ -52,10 +53,29 @@ void TreecodeParams::validate() const {
           "TreecodeParams: periodic boundary conditions require a valid "
           "domain box with positive extents");
     }
+  }
+  if (boundary == BoundaryConditions::kPeriodic) {
     if (image_shells < 0 || image_shells > 6) {
       throw std::invalid_argument(
           "TreecodeParams: image_shells must be in [0, 6] ((2k+1)^3 lattice "
           "images; 6 shells is already 2197 copies of the source tree)");
+    }
+  }
+  if (boundary == BoundaryConditions::kPeriodicMesh) {
+    if (mesh_order != 4 && mesh_order != 6 && mesh_order != 8) {
+      throw std::invalid_argument(
+          "TreecodeParams: mesh_order must be 4, 6, or 8 (even B-spline "
+          "orders; odd orders center poorly on the grid)");
+    }
+    if (!std::isfinite(mesh_spacing) || mesh_spacing < 0.0) {
+      throw std::invalid_argument(
+          "TreecodeParams: mesh_spacing must be finite and >= 0 "
+          "(0 = auto-tune)");
+    }
+    if (!std::isfinite(ewald_alpha) || ewald_alpha < 0.0) {
+      throw std::invalid_argument(
+          "TreecodeParams: ewald_alpha must be finite and >= 0 "
+          "(0 = auto-tune)");
     }
   }
 }
@@ -81,7 +101,7 @@ bool matches_impl(const OrderedParticles& particles,
                   BoundaryConditions boundary, const Box3& domain,
                   const Cloud& cloud) {
   if (cloud.size() != particles.size()) return false;
-  const bool periodic = boundary == BoundaryConditions::kPeriodic;
+  const bool periodic = boundary != BoundaryConditions::kOpen;
   const auto len = domain.lengths();
   for (std::size_t i = 0; i < particles.size(); ++i) {
     const std::size_t o = particles.original_index[i];
@@ -158,7 +178,7 @@ bool SourcePlanState::update_positions(const Cloud& sources,
   const std::size_t n = particles.size();
   if (sources.size() != n) return false;
   if (n == 0) return true;
-  const bool periodic = boundary == BoundaryConditions::kPeriodic;
+  const bool periodic = boundary != BoundaryConditions::kOpen;
   const auto len = domain.lengths();
 
   // Map every tree-order slot to its leaf.
@@ -303,7 +323,11 @@ TargetPlanState TargetPlanState::plan(const Cloud& targets,
   state.domain = params.domain;
   if (params.periodic()) {
     wrap_particles(state.particles, state.domain);
-    state.shifts = ShiftTable::build(state.domain, params.image_shells);
+    // Mesh mode needs exactly one image shell: the near field is cut off at
+    // r_cut <= 0.45 * L_min, so the home cell plus adjacent images cover
+    // every in-range pair; all farther images belong to the FFT far field.
+    state.shifts = ShiftTable::build(state.domain,
+                                     params.mesh() ? 1 : params.image_shells);
   }
   if (params.traversal == TraversalMode::kDual) {
     // The dual traversal needs a full target cluster tree (its leaves play
@@ -327,20 +351,25 @@ std::size_t TargetPlanState::append_lists(const ClusterTree& source_tree,
                                           const TreecodeParams& params,
                                           bool self) {
   const ShiftTable* table = params.periodic() ? &shifts : nullptr;
+  // Mesh mode: the erfc near field is negligible beyond the tuned cutoff,
+  // so the traversals prune any node pair that cannot come within range.
+  const double cutoff = params.mesh()
+                            ? mesh::tune_mesh(params).r_cut
+                            : std::numeric_limits<double>::infinity();
   if (traversal == TraversalMode::kDual) {
     dual_lists.push_back(build_dual_interaction_lists(
         tree, source_tree, params.theta, params.degree, self, table,
-        params.precision));
+        params.precision, cutoff));
     return dual_lists.size() - 1;
   }
   if (per_target_mac) {
     lists.push_back(build_interaction_lists_per_target(
         particles, source_tree, params.theta, params.degree, table,
-        params.precision));
+        params.precision, cutoff));
   } else {
     lists.push_back(build_interaction_lists(batches, source_tree, params.theta,
                                             params.degree, table,
-                                            params.precision));
+                                            params.precision, cutoff));
   }
   return lists.size() - 1;
 }
@@ -362,7 +391,7 @@ bool TargetPlanState::update_positions_self(
   // tree (same particles, same order, same node indexing); a source
   // re-bucket breaks that identity.
   if (traversal == TraversalMode::kDual && source_rebucketed) return false;
-  const bool periodic = boundary == BoundaryConditions::kPeriodic;
+  const bool periodic = boundary != BoundaryConditions::kOpen;
   const auto len = domain.lengths();
 
   // Phase 1, read-only: wrapped new coordinates and fat-box containment

@@ -93,7 +93,23 @@ struct TreecodeParams {
   /// reproduces the open-boundary result for in-domain particles exactly.
   int image_shells = 1;
 
-  bool periodic() const { return boundary == BoundaryConditions::kPeriodic; }
+  /// kPeriodicMesh (src/mesh) only — the Ewald-split mesh far field.
+  /// B-spline interpolation order of the charge spreading / force gather
+  /// (even, one of {4, 6, 8}; higher = smoother far field per grid point).
+  int mesh_order = 6;
+  /// Target mesh spacing h; 0 (default) lets the tuner derive it from the
+  /// nominal (theta, n) error target. The grid is the next power of two of
+  /// L_d / h per dimension.
+  double mesh_spacing = 0.0;
+  /// Ewald splitting parameter alpha; 0 (default) lets the tuner pick it
+  /// (near-field cutoff at a fixed fraction of the shortest box edge).
+  double ewald_alpha = 0.0;
+
+  /// Any periodic mode: positions wrap into `domain`, traversals are
+  /// image-shifted, plan matching is wrap-aware.
+  bool periodic() const { return boundary != BoundaryConditions::kOpen; }
+  /// The Ewald-split mesh mode specifically.
+  bool mesh() const { return boundary == BoundaryConditions::kPeriodicMesh; }
 
   /// Throws std::invalid_argument when parameters are out of range.
   void validate() const;
@@ -295,7 +311,7 @@ struct TargetPlanState {
       plan.grids = grids;
       plan.dual_lists = dual_lists;
     }
-    if (boundary == BoundaryConditions::kPeriodic) plan.shifts = &shifts;
+    if (boundary != BoundaryConditions::kOpen) plan.shifts = &shifts;
     return plan;
   }
 };

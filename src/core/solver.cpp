@@ -6,6 +6,7 @@
 #include "core/engine.hpp"
 #include "core/periodic.hpp"
 #include "core/plan.hpp"
+#include "mesh/mesh.hpp"
 #include "serve/exec_context.hpp"
 #include "util/failpoints.hpp"
 #include "util/timer.hpp"
@@ -15,6 +16,16 @@ namespace bltc {
 
 Solver::Solver(SolverConfig config) : config_(std::move(config)) {
   config_.params.validate();
+  // The Ewald split is a property of 1/r alone: the erfc near field and the
+  // reciprocal-space Gaussian far field recombine to the Coulomb lattice sum
+  // and to nothing else.
+  if (config_.params.mesh() &&
+      config_.kernel.type != KernelType::kCoulomb) {
+    throw std::invalid_argument(
+        "Solver: BoundaryConditions::kPeriodicMesh applies the Ewald "
+        "split of the Coulomb kernel; use KernelSpec::coulomb() (other "
+        "kernels run under kPeriodic image sums)");
+  }
   engine_ = make_engine(config_.backend, config_.gpu);
   exec_ = std::make_unique<ExecContext>();
 }
@@ -26,6 +37,14 @@ Solver& Solver::operator=(Solver&&) noexcept = default;
 void Solver::plan_sources(const Cloud& sources) {
   WallTimer timer;
   source_ = SourcePlanState::build(sources, config_.params);
+  if (config_.params.mesh()) {
+    // Spread the (wrapped, tree-ordered) charges onto the far-field grid;
+    // the k-space solve itself is deferred to the first evaluation.
+    mesh_ = std::make_unique<mesh::MeshPlan>(source_.particles,
+                                             config_.params);
+  } else {
+    mesh_.reset();
+  }
   pending_setup_seconds_ += timer.seconds();
 
   timer.reset();
@@ -39,8 +58,10 @@ void Solver::set_sources(const Cloud& sources) {
   // boundary with the offending index instead.
   require_finite(sources, "Solver::set_sources");
   // Conditionally convergent kernels (Coulomb) are only meaningful on
-  // neutral systems under periodic boundaries; reject before any planning.
-  if (config_.params.periodic()) {
+  // neutral systems under kPeriodic image sums; reject before any planning.
+  // The Ewald-split mesh mode is exempt: its tinfoil/uniform-background
+  // convention gives non-neutral systems a well-defined potential.
+  if (config_.params.periodic() && !config_.params.mesh()) {
     require_periodic_neutrality(sources.q, config_.kernel);
   }
   have_sources_ = true;
@@ -56,6 +77,7 @@ void Solver::set_sources(const Cloud& sources) {
   pending_lists_reused_ = 0;
   if (sources.size() == 0) {
     source_ = SourcePlanState{};
+    mesh_.reset();
     return;
   }
   plan_sources(sources);
@@ -70,7 +92,7 @@ void Solver::update_charges(std::span<const double> charges) {
         "Solver::update_charges: charge count does not match the sources");
   }
   require_finite(charges, "Solver::update_charges", "charge");
-  if (config_.params.periodic()) {
+  if (config_.params.periodic() && !config_.params.mesh()) {
     require_periodic_neutrality(charges, config_.kernel);
   }
   if (source_.size() == 0) return;
@@ -79,6 +101,7 @@ void Solver::update_charges(std::span<const double> charges) {
   source_.set_charges(charges);
   engine_->prepare_sources(source_.view(), config_.params,
                            /*charges_only=*/true);
+  if (mesh_ != nullptr) mesh_->update_charges(source_.particles);
   pending_precompute_seconds_ += timer.seconds();
 }
 
@@ -94,7 +117,7 @@ void Solver::update_positions(const Cloud& sources) {
     return;
   }
   require_finite(sources, "Solver::update_positions");
-  if (config_.params.periodic()) {
+  if (config_.params.periodic() && !config_.params.mesh()) {
     require_periodic_neutrality(sources.q, config_.kernel);
   }
   WallTimer timer;
@@ -125,6 +148,11 @@ void Solver::update_positions(const Cloud& sources) {
     // caller's cloud restores engine coherence from scratch.
     set_sources(sources);
     return;
+  }
+  if (mesh_ != nullptr) {
+    // O(moved) grid patch: only the moved tree-order ranges re-spread (the
+    // k-space re-solve happens lazily at the next evaluation).
+    mesh_->update_positions(source_.particles, update.moved_ranges);
   }
   pending_precompute_seconds_ += timer.seconds();
 
@@ -209,6 +237,14 @@ bool Solver::begin_evaluation(const Cloud& targets, RunStats& stats,
   fresh_targets = !(targets_valid_ && targets_.matches(targets));
   if (fresh_targets) plan_targets(targets);
   stats = RunStats{};
+  if (mesh_ != nullptr) {
+    WallTimer solve_timer;
+    if (!mesh_->solved()) mesh_->solve();
+    pending_precompute_seconds_ += solve_timer.seconds();
+    mesh_->take_pending_seconds(&stats.mesh_spread_seconds,
+                                &stats.fft_seconds);
+    stats.mesh_points = mesh_->grid_points();
+  }
   stats.setup_seconds = pending_setup_seconds_ + timer.seconds();
   stats.precompute_seconds = pending_precompute_seconds_;
   stats.incremental_update = pending_incremental_;
@@ -256,10 +292,19 @@ std::vector<double> Solver::evaluate(const Cloud& targets, RunStats* stats) {
     return std::vector<double>(targets.size(), 0.0);
   }
   WallTimer timer;
+  // Mesh mode: the engines evaluate the *screened* near field; the user
+  // still configures plain Coulomb (the split is an internal detail).
+  const KernelSpec exec_kernel = config_.params.mesh()
+                                     ? mesh::mesh_near_kernel(config_.params)
+                                     : config_.kernel;
   std::vector<double> phi_tree_order =
       engine_->evaluate_potential(source_.view(), targets_.view(),
-                                  config_.kernel, fresh_targets, local,
+                                  exec_kernel, fresh_targets, local,
                                   exec_.get());
+  if (mesh_ != nullptr) {
+    engine_->mesh_far_field(*mesh_, targets_.view(), phi_tree_order, nullptr,
+                            local);
+  }
   local.compute_seconds = timer.seconds();
   finish_stats(local);
   if (stats != nullptr) *stats = local;
@@ -286,9 +331,17 @@ FieldResult Solver::evaluate_field(const Cloud& targets, RunStats* stats) {
     return out;
   }
   WallTimer timer;
+  const KernelSpec exec_kernel = config_.params.mesh()
+                                     ? mesh::mesh_near_kernel(config_.params)
+                                     : config_.kernel;
   FieldResult tree_order = engine_->evaluate_field(
-      source_.view(), targets_.view(), config_.kernel, fresh_targets, local,
+      source_.view(), targets_.view(), exec_kernel, fresh_targets, local,
       exec_.get());
+  if (mesh_ != nullptr) {
+    std::vector<double> unused;
+    engine_->mesh_far_field(*mesh_, targets_.view(), unused, &tree_order,
+                            local);
+  }
   local.compute_seconds = timer.seconds();
   finish_stats(local);
   if (stats != nullptr) *stats = local;

@@ -46,6 +46,10 @@ namespace bltc {
 class Engine;
 class ExecContext;
 
+namespace mesh {
+class MeshPlan;  // FFT far field of the Ewald split (src/mesh/mesh.hpp)
+}  // namespace mesh
+
 /// Which engine evaluates the potentials.
 enum class Backend {
   kCpu,     ///< host OpenMP engine (the paper's 6-core CPU comparator)
@@ -146,6 +150,15 @@ struct RunStats {
   /// amortization visible in BENCH_dynamics.json.
   std::size_t lists_reused = 0;
 
+  // Mesh far field (BoundaryConditions::kPeriodicMesh only): grid-side
+  // particle work (charge spreading + potential/force gather), the k-space
+  // solve (forward FFT, Green multiply, inverse FFT), and the grid size.
+  // Attributed like the phase seconds: spread/FFT costs paid in lifecycle
+  // calls land on the first evaluation that uses them.
+  double mesh_spread_seconds = 0.0;
+  double fft_seconds = 0.0;
+  std::size_t mesh_points = 0;
+
   // Device accounting (GpuSim backend only); deltas for this evaluation.
   std::size_t gpu_launches = 0;
   std::size_t bytes_to_device = 0;
@@ -242,6 +255,12 @@ class Solver {
   // Source plan (core/plan.hpp owns the construction pipeline).
   bool have_sources_ = false;
   SourcePlanState source_;
+  /// Mesh far field (kPeriodicMesh only, null otherwise): lives beside the
+  /// source plan — it spreads the *source* charges onto the grid — and
+  /// follows the same lifecycle (built in plan_sources, charges re-spread
+  /// by update_charges, moved ranges re-spread by update_positions, solved
+  /// lazily at the first evaluation after any mutation).
+  std::unique_ptr<mesh::MeshPlan> mesh_;
 
   // Target plan cache. The plan-match key is the stored tree-ordered
   // targets themselves (TargetPlanState::matches).

@@ -129,8 +129,9 @@ DistSolver::DistSolver(DistConfig config) : config_(std::move(config)) {
         "modified charges but no shift tables, so locally essential trees "
         "cannot be traversed against lattice images (a remote cluster that "
         "fails the MAC only through a shifted image would never be "
-        "fetched). Use BoundaryConditions::kOpen here, or the serial "
-        "Solver for periodic domains.");
+        "fetched), and kPeriodicMesh's FFT far field is a global solve "
+        "with no rank decomposition. Use BoundaryConditions::kOpen here, "
+        "or the serial Solver for periodic domains.");
   }
   if (config_.params.treecode.per_target_mac &&
       !ranks_.front()->engine->supports_per_target_mac()) {

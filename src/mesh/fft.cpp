@@ -1,0 +1,219 @@
+#include "mesh/fft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace bltc::mesh {
+namespace {
+
+constexpr double kPi = 3.141592653589793238462643383279502884;
+
+}  // namespace
+
+Fft1d::Fft1d(std::size_t n) : n_(n) {
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("Fft1d: length must be a power of two");
+  }
+  twiddle_.reserve(2 * (n - 1));
+  for (std::size_t n0 = n; n0 > 1; n0 >>= 1) {
+    const std::size_t m = n0 >> 1;
+    const double theta = 2.0 * kPi / static_cast<double>(n0);
+    for (std::size_t p = 0; p < m; ++p) {
+      const double a = theta * static_cast<double>(p);
+      twiddle_.push_back(std::cos(a));
+      twiddle_.push_back(-std::sin(a));  // forward sign
+    }
+  }
+}
+
+void Fft1d::run(double* x, double* work, double sign) const {
+  if (n_ <= 1) return;
+  const double* tw = twiddle_.data();
+  double* src = x;
+  double* dst = work;
+  // Stockham DIF: stage over sub-transform length n0, stride s. Each stage
+  // is a full sweep src -> dst; the autosort keeps outputs in natural order
+  // so no bit-reversal pass is needed.
+  for (std::size_t n0 = n_, s = 1; n0 > 1; n0 >>= 1, s <<= 1) {
+    const std::size_t m = n0 >> 1;
+    for (std::size_t p = 0; p < m; ++p) {
+      const double wr = tw[0];
+      const double wi = sign < 0.0 ? tw[1] : -tw[1];
+      tw += 2;
+      const double* a = src + 2 * s * p;
+      const double* b = src + 2 * s * (p + m);
+      double* lo = dst + 2 * s * (2 * p);
+      double* hi = dst + 2 * s * (2 * p + 1);
+      for (std::size_t q = 0; q < s; ++q) {
+        const double ar = a[2 * q], ai = a[2 * q + 1];
+        const double br = b[2 * q], bi = b[2 * q + 1];
+        lo[2 * q] = ar + br;
+        lo[2 * q + 1] = ai + bi;
+        const double dr = ar - br, di = ai - bi;
+        hi[2 * q] = dr * wr - di * wi;
+        hi[2 * q + 1] = dr * wi + di * wr;
+      }
+    }
+    std::swap(src, dst);
+  }
+  if (src != x) std::memcpy(x, src, 2 * n_ * sizeof(double));
+}
+
+Fft3::Fft3(std::size_t nx, std::size_t ny, std::size_t nz)
+    : nx_(nx), ny_(ny), nz_(nz), nzh_(nz / 2 + 1) {
+  if (!is_pow2(nx) || !is_pow2(ny) || !is_pow2(nz) || nx < 8 || ny < 8 ||
+      nz < 8) {
+    throw std::invalid_argument(
+        "Fft3: grid dimensions must be powers of two, each >= 8");
+  }
+  fx_ = Fft1d(nx);
+  fy_ = Fft1d(ny);
+  fz_ = Fft1d(nz / 2);
+  untangle_.resize(2 * (nz / 2 + 1));
+  for (std::size_t k = 0; k <= nz / 2; ++k) {
+    const double a = 2.0 * kPi * static_cast<double>(k) /
+                     static_cast<double>(nz);
+    untangle_[2 * k] = std::cos(a);
+    untangle_[2 * k + 1] = -std::sin(a);
+  }
+}
+
+void Fft3::forward(const double* real, double* spec) const {
+  const std::size_t h = nz_ / 2;
+  const std::size_t pencils = nx_ * ny_;
+  const std::size_t buf_len = 2 * std::max({nx_, ny_, h});
+#pragma omp parallel
+  {
+    std::vector<double> buf(buf_len), wk(buf_len);
+    // z stage: pack the nz contiguous reals of each pencil as nz/2 complex
+    // points, transform, and untangle into the nzh half-spectrum bins.
+#pragma omp for schedule(static)
+    for (std::size_t pencil = 0; pencil < pencils; ++pencil) {
+      std::memcpy(buf.data(), real + pencil * nz_, nz_ * sizeof(double));
+      fz_.forward(buf.data(), wk.data());
+      double* out = spec + pencil * nzh_ * 2;
+      out[0] = buf[0] + buf[1];
+      out[1] = 0.0;
+      out[2 * h] = buf[0] - buf[1];
+      out[2 * h + 1] = 0.0;
+      for (std::size_t k = 1; k < h; ++k) {
+        const double zr = buf[2 * k], zi = buf[2 * k + 1];
+        const double yr = buf[2 * (h - k)], yi = buf[2 * (h - k) + 1];
+        // Even/odd sub-spectra: E = (Z[k] + conj(Z[h-k]))/2,
+        // O = (Z[k] - conj(Z[h-k]))/(2i); F[k] = E + W^k O, W = e^{-2pi i/nz}.
+        const double er = 0.5 * (zr + yr), ei = 0.5 * (zi - yi);
+        const double odd_r = 0.5 * (zi + yi), odd_i = -0.5 * (zr - yr);
+        const double c = untangle_[2 * k], s = untangle_[2 * k + 1];
+        out[2 * k] = er + odd_r * c - odd_i * s;
+        out[2 * k + 1] = ei + odd_r * s + odd_i * c;
+      }
+    }
+    // y stage: gathered complex pencils of length ny, stride nzh bins.
+#pragma omp for schedule(static) collapse(2)
+    for (std::size_t ix = 0; ix < nx_; ++ix) {
+      for (std::size_t kz = 0; kz < nzh_; ++kz) {
+        double* base = spec + (ix * ny_ * nzh_ + kz) * 2;
+        for (std::size_t iy = 0; iy < ny_; ++iy) {
+          buf[2 * iy] = base[iy * nzh_ * 2];
+          buf[2 * iy + 1] = base[iy * nzh_ * 2 + 1];
+        }
+        fy_.forward(buf.data(), wk.data());
+        for (std::size_t iy = 0; iy < ny_; ++iy) {
+          base[iy * nzh_ * 2] = buf[2 * iy];
+          base[iy * nzh_ * 2 + 1] = buf[2 * iy + 1];
+        }
+      }
+    }
+    // x stage: gathered complex pencils of length nx, stride ny*nzh bins.
+#pragma omp for schedule(static) collapse(2)
+    for (std::size_t iy = 0; iy < ny_; ++iy) {
+      for (std::size_t kz = 0; kz < nzh_; ++kz) {
+        double* base = spec + (iy * nzh_ + kz) * 2;
+        const std::size_t stride = ny_ * nzh_ * 2;
+        for (std::size_t ix = 0; ix < nx_; ++ix) {
+          buf[2 * ix] = base[ix * stride];
+          buf[2 * ix + 1] = base[ix * stride + 1];
+        }
+        fx_.forward(buf.data(), wk.data());
+        for (std::size_t ix = 0; ix < nx_; ++ix) {
+          base[ix * stride] = buf[2 * ix];
+          base[ix * stride + 1] = buf[2 * ix + 1];
+        }
+      }
+    }
+  }
+}
+
+void Fft3::inverse(double* spec, double* real) const {
+  const std::size_t h = nz_ / 2;
+  const std::size_t pencils = nx_ * ny_;
+  const std::size_t buf_len = 2 * std::max({nx_, ny_, h});
+  // The three inverse 1D sweeps are unnormalized; the z pack derivation
+  // carries its own 1/2 factors, leaving exactly nx*ny*(nz/2) to divide out.
+  const double scale =
+      1.0 / (static_cast<double>(nx_) * static_cast<double>(ny_) *
+             static_cast<double>(h));
+#pragma omp parallel
+  {
+    std::vector<double> buf(buf_len), wk(buf_len);
+#pragma omp for schedule(static) collapse(2)
+    for (std::size_t iy = 0; iy < ny_; ++iy) {
+      for (std::size_t kz = 0; kz < nzh_; ++kz) {
+        double* base = spec + (iy * nzh_ + kz) * 2;
+        const std::size_t stride = ny_ * nzh_ * 2;
+        for (std::size_t ix = 0; ix < nx_; ++ix) {
+          buf[2 * ix] = base[ix * stride];
+          buf[2 * ix + 1] = base[ix * stride + 1];
+        }
+        fx_.inverse(buf.data(), wk.data());
+        for (std::size_t ix = 0; ix < nx_; ++ix) {
+          base[ix * stride] = buf[2 * ix];
+          base[ix * stride + 1] = buf[2 * ix + 1];
+        }
+      }
+    }
+#pragma omp for schedule(static) collapse(2)
+    for (std::size_t ix = 0; ix < nx_; ++ix) {
+      for (std::size_t kz = 0; kz < nzh_; ++kz) {
+        double* base = spec + (ix * ny_ * nzh_ + kz) * 2;
+        for (std::size_t iy = 0; iy < ny_; ++iy) {
+          buf[2 * iy] = base[iy * nzh_ * 2];
+          buf[2 * iy + 1] = base[iy * nzh_ * 2 + 1];
+        }
+        fy_.inverse(buf.data(), wk.data());
+        for (std::size_t iy = 0; iy < ny_; ++iy) {
+          base[iy * nzh_ * 2] = buf[2 * iy];
+          base[iy * nzh_ * 2 + 1] = buf[2 * iy + 1];
+        }
+      }
+    }
+    // z stage: retangle the half spectrum back into nz/2 packed complex
+    // points, inverse transform, and unpack reals.
+#pragma omp for schedule(static)
+    for (std::size_t pencil = 0; pencil < pencils; ++pencil) {
+      const double* in = spec + pencil * nzh_ * 2;
+      // Z[0] re/im are the (real) DC and Nyquist bins re-fused.
+      buf[0] = 0.5 * (in[0] + in[2 * h]);
+      buf[1] = 0.5 * (in[0] - in[2 * h]);
+      for (std::size_t k = 1; k < h; ++k) {
+        const double fr = in[2 * k], fi = in[2 * k + 1];
+        const double gr = in[2 * (h - k)], gi = in[2 * (h - k) + 1];
+        const double er = 0.5 * (fr + gr), ei = 0.5 * (fi - gi);
+        const double dr = 0.5 * (fr - gr), di = 0.5 * (fi + gi);
+        // O = conj(W^k) * (F[k] - conj(F[h-k]))/2; Z = E + i O.
+        const double c = untangle_[2 * k], s = untangle_[2 * k + 1];
+        const double odd_r = dr * c + di * s;
+        const double odd_i = di * c - dr * s;
+        buf[2 * k] = er - odd_i;
+        buf[2 * k + 1] = ei + odd_r;
+      }
+      fz_.inverse(buf.data(), wk.data());
+      double* out = real + pencil * nz_;
+      for (std::size_t j = 0; j < nz_; ++j) out[j] = scale * buf[j];
+    }
+  }
+}
+
+}  // namespace bltc::mesh

@@ -1,0 +1,77 @@
+// Dependency-free real-to-complex 3D FFT for the PME far field.
+//
+// The mesh solve needs exactly one transform shape: a real charge grid over
+// a power-of-two (nx, ny, nz) box forward into a half spectrum, a pointwise
+// multiply by the (real) screened Green's function, and the inverse back to
+// a real potential grid. That shape never needs the generality (or the
+// dependency) of FFTW: an iterative radix-2 Stockham autosort kernel over
+// precomputed twiddles, a pack-the-reals R2C untangle along the contiguous
+// z axis, and gathered complex pencils along y and x cover it in ~200 lines
+// and vectorize well. Pencils are independent, so the 3D stages parallelize
+// over them with OpenMP.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bltc::mesh {
+
+/// True for nonzero powers of two.
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Iterative radix-2 Stockham autosort transform of one power-of-two
+/// length over interleaved complex data (re, im pairs). Forward is the
+/// e^{-2 pi i jk/n} DFT; `inverse` is the unnormalized conjugate transform
+/// (callers fold the 1/n into their final scaling). Stockham reads one
+/// buffer and writes the other each stage -- no bit-reversal pass -- so
+/// both calls need a caller-provided work buffer of the same 2n doubles.
+class Fft1d {
+ public:
+  Fft1d() = default;
+  explicit Fft1d(std::size_t n);
+
+  std::size_t size() const { return n_; }
+  /// Transform `x` (2n doubles) in place; `work` is 2n doubles of scratch.
+  void forward(double* x, double* work) const { run(x, work, -1.0); }
+  void inverse(double* x, double* work) const { run(x, work, 1.0); }
+
+ private:
+  void run(double* x, double* work, double sign) const;
+
+  std::size_t n_ = 0;
+  /// Per-stage (cos, -sin) twiddle pairs for the forward sign, concatenated
+  /// largest stage first: n/2 + n/4 + ... + 1 = n - 1 pairs.
+  std::vector<double> twiddle_;
+};
+
+/// Real-to-complex 3D FFT over an (nx, ny, nz) power-of-two grid.
+/// Real layout: real[(ix*ny + iy)*nz + iz] (z fastest, matching the mesh).
+/// Spectrum layout: interleaved complex spec[((ix*ny + iy)*nzh + kz)*2 + c]
+/// with nzh = nz/2 + 1 -- the z half spectrum; x and y keep all nx/ny bins.
+class Fft3 {
+ public:
+  Fft3() = default;
+  /// Dimensions must be powers of two, each >= 8 (the z pack needs nz/2 to
+  /// itself be a transformable length). Throws std::invalid_argument.
+  Fft3(std::size_t nx, std::size_t ny, std::size_t nz);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t nz() const { return nz_; }
+  /// Complex bins in the half spectrum: nx * ny * (nz/2 + 1).
+  std::size_t spectrum_bins() const { return nx_ * ny_ * nzh_; }
+
+  /// real (nx*ny*nz doubles) -> spec (2 * spectrum_bins() doubles).
+  void forward(const double* real, double* spec) const;
+  /// spec -> real, *including* the 1/(nx*ny*nz) normalization. Destroys
+  /// `spec` (the y/x stages run in place over it).
+  void inverse(double* spec, double* real) const;
+
+ private:
+  std::size_t nx_ = 0, ny_ = 0, nz_ = 0, nzh_ = 0;
+  Fft1d fx_, fy_, fz_;  ///< fz_ transforms nz/2 packed complex points
+  /// Untangle twiddles e^{-2 pi i k/nz}, k = 0..nz/2, interleaved pairs.
+  std::vector<double> untangle_;
+};
+
+}  // namespace bltc::mesh

@@ -9,6 +9,7 @@
 
 #include "core/engine.hpp"
 #include "core/periodic.hpp"
+#include "mesh/mesh.hpp"
 #include "util/failpoints.hpp"
 #include "util/timer.hpp"
 #include "util/validate.hpp"
@@ -58,12 +59,28 @@ std::exception_ptr cancel_error() {
 }
 
 /// Solver-equivalent periodic admission check, against the plan's stored
-/// charges (verification guarantees they equal the request's).
+/// charges (verification guarantees they equal the request's). Mesh mode
+/// accepts non-neutral clouds (uniform-background convention) but serves
+/// the Coulomb kernel only — mirroring the Solver constructor.
 void check_neutrality(const CachedPlan& plan, const KernelSpec& kernel) {
+  if (plan.params.mesh()) {
+    if (kernel.type != KernelType::kCoulomb) {
+      throw std::invalid_argument(
+          "BoundaryConditions::kPeriodicMesh serves the Coulomb kernel only");
+    }
+    return;
+  }
   if (!plan.params.periodic()) return;
   const AlignedVector& q = plan.source.particles.q;
   require_periodic_neutrality(std::span<const double>(q.data(), q.size()),
                               kernel);
+}
+
+/// The kernel the engines actually execute for `plan`: mesh-mode plans run
+/// the screened erfc(alpha r)/r near field through the treecode while the
+/// user-facing kernel stays KernelSpec::coulomb().
+KernelSpec exec_kernel(const CachedPlan& plan, const KernelSpec& kernel) {
+  return plan.mesh != nullptr ? mesh::mesh_near_kernel(plan.params) : kernel;
 }
 
 /// One fused multi-target execution: the concatenation of several target
@@ -398,12 +415,18 @@ std::vector<double> ServeFrontend::execute_plan(
     const std::shared_ptr<const TargetPlanState>& targets,
     const KernelSpec& kernel, std::size_t tier) {
   RunStats stats;
+  const KernelSpec exec = exec_kernel(plan, kernel);
+  const TargetPlan view = targets->view();
   if (plan.backend == Backend::kCpu) {
     ExecContextPool::Lease context(contexts_);
-    return shared_cpu_engine().evaluate_potential(plan.source_view(tier),
-                                                  targets->view(), kernel,
-                                                  /*fresh_targets=*/true,
-                                                  stats, context.get());
+    std::vector<double> phi = shared_cpu_engine().evaluate_potential(
+        plan.source_view(tier), view, exec,
+        /*fresh_targets=*/true, stats, context.get());
+    if (plan.mesh != nullptr) {
+      shared_cpu_engine().mesh_far_field(*plan.mesh, view, phi,
+                                         /*field=*/nullptr, stats);
+    }
+    return phi;
   }
   // GpuSim: the plan's prepared engine keeps targets device-resident, so
   // the staleness decision and the call must be one atomic step. (Degraded
@@ -411,7 +434,11 @@ std::vector<double> ServeFrontend::execute_plan(
   std::lock_guard<std::mutex> lock(plan.gpu_mutex);
   const bool fresh = plan.gpu_staged_targets != targets;
   std::vector<double> phi = plan.gpu_engine->evaluate_potential(
-      plan.source_view(), targets->view(), kernel, fresh, stats, nullptr);
+      plan.source_view(), view, exec, fresh, stats, nullptr);
+  if (plan.mesh != nullptr) {
+    plan.gpu_engine->mesh_far_field(*plan.mesh, view, phi, /*field=*/nullptr,
+                                    stats);
+  }
   plan.gpu_staged_targets = targets;
   return phi;
 }
@@ -604,9 +631,15 @@ void ServeFrontend::execute_group(std::vector<Pending>& group) {
           std::vector<double> phi = with_retries([&] {
             RunStats stats;
             ExecContextPool::Lease context(contexts_);
-            return shared_cpu_engine().evaluate_potential(
-                plan->source_view(unit.tier), view, kernel,
+            std::vector<double> out = shared_cpu_engine().evaluate_potential(
+                plan->source_view(unit.tier), view,
+                exec_kernel(*plan, kernel),
                 /*fresh_targets=*/true, stats, context.get());
+            if (plan->mesh != nullptr) {
+              shared_cpu_engine().mesh_far_field(*plan->mesh, view, out,
+                                                 /*field=*/nullptr, stats);
+            }
+            return out;
           });
           ++engine_calls;
           fused_requests += live_members;

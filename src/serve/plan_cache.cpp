@@ -9,6 +9,7 @@
 
 #include "core/interaction_lists.hpp"
 #include "core/periodic.hpp"
+#include "mesh/mesh.hpp"
 #include "util/failpoints.hpp"
 #include "util/validate.hpp"
 
@@ -39,6 +40,8 @@ bool params_equal(const TreecodeParams& a, const TreecodeParams& b) {
          a.moment_algorithm == b.moment_algorithm &&
          a.per_target_mac == b.per_target_mac && a.traversal == b.traversal &&
          a.boundary == b.boundary && a.image_shells == b.image_shells &&
+         a.mesh_order == b.mesh_order && a.mesh_spacing == b.mesh_spacing &&
+         a.ewald_alpha == b.ewald_alpha &&
          a.position_slack == b.position_slack &&
          a.precision == b.precision &&
          a.domain.lo == b.domain.lo && a.domain.hi == b.domain.hi;
@@ -179,6 +182,9 @@ std::uint64_t params_fingerprint(const TreecodeParams& params) {
   fnv.add_u64(static_cast<std::uint64_t>(params.traversal));
   fnv.add_u64(static_cast<std::uint64_t>(params.boundary));
   fnv.add_u64(static_cast<std::uint64_t>(params.image_shells));
+  fnv.add_u64(static_cast<std::uint64_t>(params.mesh_order));
+  fnv.add_double(params.mesh_spacing);
+  fnv.add_double(params.ewald_alpha);
   fnv.add_double(params.position_slack);
   fnv.add_u64(static_cast<std::uint64_t>(params.precision));
   for (int d = 0; d < 3; ++d) {
@@ -214,6 +220,7 @@ std::size_t cached_plan_bytes(const CachedPlan& plan) {
     const std::size_t m = static_cast<std::size_t>(plan.params.degree) + 1;
     b += plan.source.tree.num_nodes() * (3 * m + m * m * m) * sizeof(double);
   }
+  if (plan.mesh != nullptr) b += plan.mesh->bytes();
   return b;
 }
 
@@ -294,6 +301,16 @@ PlanPtr PlanCache::build_plan(const Cloud& sources,
   plan->backend = backend;
   plan->key = key;
   plan->source = SourcePlanState::build(sources, params);
+
+  if (params.mesh()) {
+    // The far field is part of the compiled artifact: built AND solved at
+    // plan build, so cache hits gather from the immutable k-space solution
+    // without ever re-spreading or re-transforming.
+    auto far = std::make_unique<mesh::MeshPlan>(plan->source.particles,
+                                                params);
+    far->solve();
+    plan->mesh = std::move(far);
+  }
 
   if (backend == Backend::kCpu) {
     // Both traversals get the full degree ladder: the dual traversal

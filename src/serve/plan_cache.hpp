@@ -79,6 +79,12 @@ struct CachedPlan {
   /// GpuSim only: the engine whose device-resident state this plan is.
   std::unique_ptr<Engine> gpu_engine;
 
+  /// kPeriodicMesh only: the solved FFT far field of the cached source
+  /// cloud, built and solved once at plan build. Immutable afterwards —
+  /// concurrent requests gather from it re-entrantly, so a cache-hit storm
+  /// shows zero extra mesh builds or solves. Null under other boundaries.
+  std::unique_ptr<const mesh::MeshPlan> mesh;
+
   std::size_t bytes = 0;  ///< accounted against the cache budget
 
   /// Source view carrying the caller-owned moments (CPU backends), so a

@@ -116,6 +116,22 @@ Cloud screened_plasma(std::size_t n, std::uint64_t seed, double box) {
   return c;
 }
 
+Cloud ionic_melt(std::size_t n, std::uint64_t seed, double box) {
+  Cloud c;
+  c.resize(n);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    c.x[i] = quantized(rng.next_double(), box);
+    c.y[i] = quantized(rng.next_double(), box);
+    c.z[i] = quantized(rng.next_double(), box);
+    // 2:1 mix of divalent cations and monovalent anions: every third
+    // particle is a -1 anion, the rest are +2 cations, so the net charge
+    // grows linearly with n — deliberately non-neutral.
+    c.q[i] = (i % 3 == 2) ? -1.0 : 2.0;
+  }
+  return c;
+}
+
 RequestStorm request_storm(const StormSpec& spec, std::uint64_t seed) {
   RequestStorm storm;
   storm.box = spec.box;

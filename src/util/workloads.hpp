@@ -65,6 +65,16 @@ Cloud ionic_lattice(std::size_t cells, std::uint64_t seed, double box = 1.0,
 /// sum converges absolutely, so neutrality is not required there.
 Cloud screened_plasma(std::size_t n, std::uint64_t seed, double box = 1.0);
 
+/// Non-neutral ionic melt: n particles uniform in [0, box)^3 carrying a
+/// 2:1 mix of +2 and -1 charges (think a molten-salt cell holding only the
+/// cations of a divalent species plus half the compensating anions), so the
+/// cell carries net charge n - floor(n/3)*3-dependent surplus > 0. Legal
+/// only under BoundaryConditions::kPeriodicMesh, whose tinfoil /
+/// uniform-background convention neutralizes the net monopole on the mesh
+/// (legacy kPeriodic rejects it). Coordinates are quantized like the other
+/// periodic workloads so lattice translations stay exact.
+Cloud ionic_melt(std::size_t n, std::uint64_t seed, double box = 1.0);
+
 // ---- Request storms ------------------------------------------------------
 // Serving-shaped workload: a seeded stream of evaluation requests over a
 // mix of a few large *shared* clouds (requests repeat them — plan-cache
